@@ -1,0 +1,106 @@
+// Ablation: the latency/throughput trade-off surface (related work [13]
+// studies optimal latency-throughput trade-offs for data-parallel
+// pipelines; the paper's §3.3 chooses the latency extreme deliberately —
+// "this trade-off is consistent with our desire to minimize latency").
+//
+// For the 8-model tracker, we evaluate every T4 variant under (a) the
+// latency-optimal schedule for that variant and (b) the throughput-greedy
+// naive pipeline, and mark the Pareto-efficient points. The paper's chosen
+// operating point must be the latency-minimal one.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/ascii_table.hpp"
+#include "graph/op_graph.hpp"
+#include "sched/naive.hpp"
+#include "sched/optimal.hpp"
+
+int main() {
+  using namespace ss;
+  bench::PaperSetup setup;
+  const RegimeId regime = setup.space.FromState(8);
+
+  bench::PrintHeader(
+      "Ablation: latency/throughput trade-off surface (8 models)");
+
+  struct Point {
+    std::string name;
+    double latency_s;
+    double throughput;
+    bool pareto = false;
+  };
+  std::vector<Point> points;
+
+  sched::OptimalScheduler scheduler(setup.tg.graph, setup.costs, setup.comm,
+                                    setup.machine);
+  const auto& t4cost = setup.costs.Get(regime, setup.tg.target_detection);
+  for (std::size_t v = 0; v < t4cost.variant_count(); ++v) {
+    std::vector<VariantId> variants(setup.tg.graph.task_count(),
+                                    VariantId(0));
+    variants[setup.tg.target_detection.index()] =
+        VariantId(static_cast<int>(v));
+    const std::string vname = t4cost.variant(VariantId(static_cast<int>(v)))
+                                  .name;
+
+    auto opt = scheduler.ScheduleWithVariants(regime, variants);
+    SS_CHECK(opt.ok());
+    points.push_back({"latency-opt " + vname,
+                      ticks::ToSeconds(opt->min_latency),
+                      opt->best.ThroughputPerSec()});
+
+    graph::OpGraph og = graph::OpGraph::Expand(setup.tg.graph, setup.costs,
+                                               regime, variants);
+    auto naive = sched::NaivePipelineSchedule(og, setup.machine);
+    points.push_back({"naive-pipe  " + vname,
+                      ticks::ToSeconds(naive.Latency()),
+                      naive.ThroughputPerSec()});
+  }
+
+  // Mark Pareto-efficient points (no other point is better in both axes).
+  for (auto& p : points) {
+    p.pareto = std::none_of(points.begin(), points.end(), [&](const Point&
+                                                                  q) {
+      return q.latency_s < p.latency_s - 1e-9 &&
+             q.throughput > p.throughput + 1e-9;
+    });
+  }
+
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) {
+              return a.latency_s < b.latency_s;
+            });
+
+  AsciiTable t;
+  t.SetHeader({"schedule x T4 variant", "latency(s)", "throughput(1/s)",
+               "pareto"});
+  for (const auto& p : points) {
+    t.AddRow({p.name, FormatDouble(p.latency_s, 3),
+              FormatDouble(p.throughput, 3), p.pareto ? "*" : ""});
+  }
+  std::printf("%s\n", t.Render().c_str());
+
+  const Point& latency_extreme = points.front();
+  double best_throughput = 0;
+  for (const auto& p : points) {
+    best_throughput = std::max(best_throughput, p.throughput);
+  }
+
+  std::printf("shape checks:\n");
+  std::printf("  [%s] the latency extreme of the frontier is a "
+              "data-parallel latency-optimal schedule (%s)\n",
+              latency_extreme.name.rfind("latency-opt", 0) == 0 ? "ok"
+                                                                : "FAIL",
+              latency_extreme.name.c_str());
+  std::printf("  [%s] the latency extreme is Pareto-efficient — the "
+              "paper's operating point is on the frontier\n",
+              latency_extreme.pareto ? "ok" : "FAIL");
+  std::printf("  [%s] a real trade-off exists: the throughput extreme "
+              "(%.3f 1/s) exceeds the latency extreme's throughput "
+              "(%.3f 1/s)\n",
+              best_throughput > latency_extreme.throughput + 1e-9 ? "ok"
+                                                                  : "FAIL",
+              best_throughput, latency_extreme.throughput);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: why Fig. 6 computes the *set* S of latency-optimal schedules
+// before pipelining. Latency-equal schedules can differ substantially in
+// their minimal initiation interval (steady-state throughput), so choosing
+// an arbitrary member of S rather than the best one leaves throughput on
+// the table.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/ascii_table.hpp"
+#include "sched/optimal.hpp"
+#include "sched/pipeline.hpp"
+
+int main() {
+  using namespace ss;
+  bench::PaperSetup setup;
+
+  bench::PrintHeader(
+      "Ablation: initiation-interval spread across the latency-optimal "
+      "schedule set S (Fig. 6 steps 2-3)");
+
+  sched::OptimalScheduler scheduler(setup.tg.graph, setup.costs, setup.comm,
+                                    setup.machine);
+  sched::OptimalOptions opts;
+  opts.max_optimal_schedules = 64;
+
+  AsciiTable t;
+  t.SetHeader({"models", "|S| (capped)", "latency(s)", "II rot (min/max, s)",
+               "II fixed (min/max, s)", "fixed spread"});
+  bool spread_somewhere = false;
+  double worst_fixed_loss = 0;
+  for (RegimeId r : setup.space.AllRegimes()) {
+    auto result = scheduler.Schedule(r, opts);
+    SS_CHECK(result.ok());
+    Tick best_rot = kTickInfinity, worst_rot = 0;
+    Tick best_fix = kTickInfinity, worst_fix = 0;
+    sched::PipelineOptions no_rotation;
+    no_rotation.allow_rotation = false;
+    for (const auto& s : result->optimal) {
+      auto rot = sched::PipelineComposer::Compose(
+          s, setup.machine.total_procs());
+      auto fix = sched::PipelineComposer::Compose(
+          s, setup.machine.total_procs(), no_rotation);
+      best_rot = std::min(best_rot, rot.initiation_interval);
+      worst_rot = std::max(worst_rot, rot.initiation_interval);
+      best_fix = std::min(best_fix, fix.initiation_interval);
+      worst_fix = std::max(worst_fix, fix.initiation_interval);
+    }
+    const double fixed_loss =
+        worst_fix > 0 ? 1.0 - static_cast<double>(best_fix) /
+                                  static_cast<double>(worst_fix)
+                      : 0.0;
+    spread_somewhere |= fixed_loss > 0.01;
+    worst_fixed_loss = std::max(worst_fixed_loss, fixed_loss);
+    t.AddRow({std::to_string(setup.space.ToState(r)),
+              std::to_string(result->optimal.size()),
+              FormatDouble(ticks::ToSeconds(result->min_latency), 3),
+              FormatDouble(ticks::ToSeconds(best_rot), 3) + "/" +
+                  FormatDouble(ticks::ToSeconds(worst_rot), 3),
+              FormatDouble(ticks::ToSeconds(best_fix), 3) + "/" +
+                  FormatDouble(ticks::ToSeconds(worst_fix), 3),
+              FormatDouble(100 * fixed_loss, 1) + "%"});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf("shape checks:\n");
+  std::printf("  [%s] without rotation, latency-equal schedules differ in "
+              "achievable throughput (up to %.0f%%) — picking the best "
+              "member of S (Fig. 6 step 3) is doing real work\n",
+              spread_somewhere ? "ok" : "FAIL", 100 * worst_fixed_loss);
+  std::printf("  [info] rotation largely equalizes S: with the wrap-around "
+              "of Fig. 5(a), every latency-optimal member pipelines to a "
+              "similar interval.\n");
+  return 0;
+}

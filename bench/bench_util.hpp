@@ -1,0 +1,38 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "graph/cost_model.hpp"
+#include "graph/machine.hpp"
+#include "regime/regime.hpp"
+#include "tracker/costs.hpp"
+#include "tracker/graph_builder.hpp"
+
+namespace ss::bench {
+
+/// Standard experimental setup: the paper's per-node machine (one 4-way
+/// SMP of the AlphaServer cluster), regimes for 1..8 tracked models, and
+/// the paper-calibrated cost model.
+struct PaperSetup {
+  tracker::TrackerGraph tg;
+  regime::RegimeSpace space{1, 8};
+  graph::CostModel costs;
+  graph::CommModel comm;
+  graph::MachineConfig machine = graph::MachineConfig::SingleNode(4);
+
+  PaperSetup() : tg(tracker::BuildTrackerGraph()) {
+    costs = tracker::PaperCostModel(tg, space);
+  }
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+}  // namespace ss::bench

@@ -1,0 +1,115 @@
+// Microbenchmarks of the Space-Time Memory layer: put/get/consume rates,
+// wildcard queries, and producer/consumer streaming under flow control.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "stm/channel.hpp"
+#include "stm/work_queue.hpp"
+
+namespace ss::stm {
+namespace {
+
+void BM_ChannelPutGetConsume(benchmark::State& state) {
+  Channel ch(ChannelId(0), "bench");
+  ConnId in = ch.Attach(ConnDir::kInput);
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    SS_CHECK(ch.Put(out, ts, Payload::Make<int>(42)).ok());
+    auto item = ch.Get(in, TsQuery::Exact(ts), GetMode::kNonBlocking);
+    benchmark::DoNotOptimize(item);
+    SS_CHECK(ch.Consume(in, ts).ok());
+    ++ts;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelPutGetConsume);
+
+void BM_ChannelNewestWildcard(benchmark::State& state) {
+  Channel ch(ChannelId(0), "bench");
+  ConnId in = ch.Attach(ConnDir::kInput);
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  const auto backlog = static_cast<Timestamp>(state.range(0));
+  for (Timestamp t = 0; t < backlog; ++t) {
+    SS_CHECK(ch.Put(out, t, Payload::Make<int>(0)).ok());
+  }
+  for (auto _ : state) {
+    auto item = ch.Get(in, TsQuery::Newest(), GetMode::kNonBlocking);
+    benchmark::DoNotOptimize(item);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelNewestWildcard)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_ChannelLargePayload(benchmark::State& state) {
+  Channel ch(ChannelId(0), "bench");
+  ConnId in = ch.Attach(ConnDir::kInput);
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::uint8_t> buf(bytes, 0xAB);
+    state.ResumeTiming();
+    SS_CHECK(ch.Put(out, ts,
+                    Payload::Make<std::vector<std::uint8_t>>(std::move(buf)))
+                 .ok());
+    auto item = ch.Get(in, TsQuery::Exact(ts), GetMode::kNonBlocking);
+    benchmark::DoNotOptimize(item);
+    SS_CHECK(ch.Consume(in, ts).ok());
+    ++ts;
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ChannelLargePayload)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ChannelStreaming(benchmark::State& state) {
+  // Producer thread streams; the benchmark thread consumes with flow
+  // control bounded at `capacity`.
+  const std::size_t capacity = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Channel ch(ChannelId(0), "stream", ChannelOptions{capacity});
+    ConnId in = ch.Attach(ConnDir::kInput);
+    ConnId out = ch.Attach(ConnDir::kOutput);
+    constexpr Timestamp kFrames = 2000;
+    state.ResumeTiming();
+    std::thread producer([&] {
+      for (Timestamp t = 0; t < kFrames; ++t) {
+        if (!ch.Put(out, t, Payload::Make<int>(static_cast<int>(t)),
+                    PutMode::kBlocking)
+                 .ok()) {
+          return;
+        }
+      }
+    });
+    for (Timestamp t = 0; t < kFrames; ++t) {
+      auto item = ch.Get(in, TsQuery::Exact(t), GetMode::kBlocking);
+      benchmark::DoNotOptimize(item);
+      SS_CHECK(ch.Consume(in, t).ok());
+    }
+    producer.join();
+    state.SetItemsProcessed(state.items_processed() + kFrames);
+  }
+}
+BENCHMARK(BM_ChannelStreaming)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WorkQueuePushPop(benchmark::State& state) {
+  WorkQueue<int> q;
+  for (auto _ : state) {
+    SS_CHECK(q.Push(1).ok());
+    auto v = q.TryPop();
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkQueuePushPop);
+
+}  // namespace
+}  // namespace ss::stm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+#include "core/ascii_table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace ss {
+
+namespace {
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == '(' ||
+          c == ')' || c == '%' || c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void AsciiTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    SS_CHECK_MSG(row.size() == header_.size(),
+                 "row width does not match header");
+  }
+  rows_.push_back(Row{std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void AsciiTable::AddRule() { pending_rule_ = true; }
+
+std::string AsciiTable::Render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  if (ncols == 0) return "";
+
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r.cells);
+
+  std::ostringstream os;
+  auto emit_rule = [&] {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      os << std::string(width[i], '-');
+      if (i + 1 < ncols) os << "  ";
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      const std::size_t pad = width[i] - cell.size();
+      if (LooksNumeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      if (i + 1 < ncols) os << "  ";
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    emit_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.rule_before) emit_rule();
+    emit(r.cells);
+  }
+  return os.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace ss

@@ -1,0 +1,41 @@
+// Plain-text table rendering for bench/example output.
+//
+// The benches print paper-style tables (e.g. Table 1) and series; this is a
+// tiny right-aligned column formatter, no external dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ss {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class AsciiTable {
+ public:
+  /// Sets the header row. Column count is fixed by this call.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count if one is set.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  /// Renders the table. Columns are separated by two spaces; numeric-looking
+  /// cells are right-aligned, text cells left-aligned.
+  std::string Render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Convenience: formats a double with the given precision.
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace ss

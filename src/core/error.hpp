@@ -1,0 +1,141 @@
+// Lightweight Status / Expected error handling.
+//
+// The STM layer reports recoverable conditions (missing timestamp, channel
+// full, detached connection) through Status codes rather than exceptions so
+// that the real-time paths never throw; programming errors use SS_CHECK.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ss {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // no item with that timestamp (yet)
+  kOutOfRange,      // timestamp outside the window retained by GC
+  kWouldBlock,      // bounded channel full / empty in non-blocking mode
+  kAlreadyExists,   // duplicate put for a timestamp
+  kInvalidArgument,
+  kFailedPrecondition,
+  kCancelled,       // channel/runtime shut down
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status WouldBlockError(std::string msg) {
+  return Status(StatusCode::kWouldBlock, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status CancelledError(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}        // NOLINT(implicit)
+  Expected(Status status) : data_(std::move(status)) {  // NOLINT(implicit)
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status(StatusCode::kInternal,
+                     "Expected constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "SS_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace internal
+
+/// Fatal assertion for programming errors (always on, release included).
+#define SS_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::ss::internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                 \
+  } while (0)
+
+#define SS_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::ss::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                                 \
+  } while (0)
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define SS_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::ss::Status ss_status__ = (expr);      \
+    if (!ss_status__.ok()) return ss_status__; \
+  } while (0)
+
+}  // namespace ss

@@ -1,0 +1,77 @@
+// Strongly-typed integer identifiers.
+//
+// The task graph, machine model, STM and scheduler all index into dense
+// arrays; strong id types prevent mixing a TaskId with a ProcId at compile
+// time while costing nothing at run time.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ss {
+
+/// CRTP-free strong integer id. `Tag` makes distinct instantiations
+/// incompatible. Value -1 is the "invalid" sentinel.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::int32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  constexpr underlying_type value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+  constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  static constexpr StrongId Invalid() { return StrongId(); }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  underlying_type value_ = -1;
+};
+
+struct TaskIdTag {};
+struct ChannelIdTag {};
+struct ProcIdTag {};
+struct NodeIdTag {};
+struct RegimeIdTag {};
+struct ConnIdTag {};
+struct VariantIdTag {};
+
+/// A task (node) in the application task graph.
+using TaskId = StrongId<TaskIdTag>;
+/// A channel (stream of timestamped items) in the task graph.
+using ChannelId = StrongId<ChannelIdTag>;
+/// A physical processor within the machine (global numbering).
+using ProcId = StrongId<ProcIdTag>;
+/// An SMP node within the cluster.
+using NodeId = StrongId<NodeIdTag>;
+/// An operating regime (state of the constrained-dynamic application).
+using RegimeId = StrongId<RegimeIdTag>;
+/// A connection from a thread to a channel.
+using ConnId = StrongId<ConnIdTag>;
+/// A data-parallel variant of a task within its cost model.
+using VariantId = StrongId<VariantIdTag>;
+
+/// Logical timestamp of an item flowing through the graph (frame number).
+using Timestamp = std::int64_t;
+inline constexpr Timestamp kNoTimestamp =
+    std::numeric_limits<Timestamp>::min();
+
+}  // namespace ss
+
+namespace std {
+template <typename Tag>
+struct hash<ss::StrongId<Tag>> {
+  size_t operator()(ss::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>()(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,57 @@
+// Minimal leveled logger, thread-safe, printf-free.
+//
+// The library is quiet by default (kWarn); examples and benches raise the
+// level explicitly. Logging is intentionally simple: one line per message,
+// written atomically to stderr.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace ss {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogLine(LogLevel level, const std::string& text);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows the message entirely when the level is filtered out.
+  void operator&(const LogMessage&) {}
+};
+
+}  // namespace internal
+
+#define SS_LOG(level)                                       \
+  (::ss::GetLogLevel() > ::ss::LogLevel::level) ? (void)0   \
+      : ::ss::internal::LogSink() &                         \
+            ::ss::internal::LogMessage(::ss::LogLevel::level)
+
+#define SS_LOG_DEBUG SS_LOG(kDebug)
+#define SS_LOG_INFO SS_LOG(kInfo)
+#define SS_LOG_WARN SS_LOG(kWarn)
+#define SS_LOG_ERROR SS_LOG(kError)
+
+}  // namespace ss

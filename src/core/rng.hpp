@@ -1,0 +1,101 @@
+// Deterministic random number generation (splitmix64 / xoshiro256**).
+//
+// Every stochastic component (synthetic frames, arrival processes, online-
+// scheduler tie-breaking) takes an explicit seeded Rng so runs are exactly
+// reproducible; nothing in the library touches std::random_device.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ss {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// xoshiro256** seeded via splitmix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0); NextDouble() is in [0,1).
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Gaussian via Box–Muller (no cached spare; deterministic call pattern).
+  double NextGaussian(double mean, double stddev) {
+    double u1 = 1.0 - NextDouble();  // in (0,1]
+    double u2 = NextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * kPi * u2);
+  }
+
+  /// Fork a statistically independent child stream (for per-thread RNGs).
+  Rng Split() { return Rng((*this)() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace ss

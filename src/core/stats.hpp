@@ -1,0 +1,63 @@
+// Summary statistics used by the measurement harnesses.
+//
+// Latency and inter-arrival series from the simulator and the real runtime
+// are reduced with these helpers: mean/min/max/stddev, percentiles, and the
+// coefficient of variation we use as the paper's "uniformity" metric.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+/// Streaming accumulator (Welford) for mean/variance/min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+  double cov() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over a sample vector. Percentiles use linear interpolation.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  /// Coefficient of variation — the paper's uniformity metric (lower is more
+  /// uniform frame processing).
+  double cov = 0.0;
+
+  std::string ToString() const;
+};
+
+Summary Summarize(std::vector<double> samples);
+
+/// Percentile (q in [0,1]) of a sample vector, linear interpolation.
+/// The input is copied and sorted.
+double Percentile(std::vector<double> samples, double q);
+
+}  // namespace ss

@@ -1,0 +1,29 @@
+#include "core/time.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace ss {
+
+std::string FormatTick(Tick t) {
+  std::ostringstream os;
+  if (t == kNoTick) return "-";
+  if (t < 0) {
+    os << "-";
+    t = -t;
+  }
+  os.setf(std::ios::fixed);
+  const double us = static_cast<double>(t);
+  if (t >= 1000000) {
+    os.precision(3);
+    os << us / 1e6 << "s";
+  } else if (t >= 1000) {
+    os.precision(2);
+    os << us / 1e3 << "ms";
+  } else {
+    os << t << "us";
+  }
+  return os.str();
+}
+
+}  // namespace ss

@@ -1,0 +1,64 @@
+// Virtual and wall-clock time primitives.
+//
+// All simulation and scheduling arithmetic in this library is done in integer
+// microseconds ("ticks") so that results are exactly reproducible across
+// machines. Wall-clock helpers are provided for the real threaded runtime.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ss {
+
+/// Virtual time in microseconds. Signed so that differences are safe.
+using Tick = std::int64_t;
+
+/// Sentinel for "no time" / "unscheduled".
+inline constexpr Tick kNoTick = -1;
+
+/// An effectively-infinite virtual time, safe to add small durations to.
+inline constexpr Tick kTickInfinity = INT64_C(1) << 60;
+
+namespace ticks {
+
+inline constexpr Tick FromMicros(std::int64_t us) { return us; }
+inline constexpr Tick FromMillis(double ms) {
+  return static_cast<Tick>(ms * 1e3);
+}
+inline constexpr Tick FromSeconds(double s) {
+  return static_cast<Tick>(s * 1e6);
+}
+inline constexpr double ToSeconds(Tick t) {
+  return static_cast<double>(t) * 1e-6;
+}
+inline constexpr double ToMillis(Tick t) {
+  return static_cast<double>(t) * 1e-3;
+}
+
+}  // namespace ticks
+
+/// Formats a tick count as a human-readable duration, e.g. "3.214s", "87ms".
+std::string FormatTick(Tick t);
+
+/// Monotonic wall-clock now, as ticks (microseconds). For the real runtime.
+inline Tick WallNow() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A simple wall-clock stopwatch for measurement harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(WallNow()) {}
+  void Reset() { start_ = WallNow(); }
+  /// Elapsed wall time in ticks (microseconds).
+  Tick Elapsed() const { return WallNow() - start_; }
+  double ElapsedSeconds() const { return ticks::ToSeconds(Elapsed()); }
+
+ private:
+  Tick start_;
+};
+
+}  // namespace ss

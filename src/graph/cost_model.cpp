@@ -1,0 +1,53 @@
+#include "graph/cost_model.hpp"
+
+namespace ss::graph {
+
+void CostModel::Set(RegimeId regime, TaskId task, TaskCost cost) {
+  SS_CHECK(regime.valid());
+  SS_CHECK(task.valid());
+  SS_CHECK_MSG(!cost.variants.empty(), "task cost must have >= 1 variant");
+  SS_CHECK_MSG(cost.variants[0].chunks == 1,
+               "variant 0 must be the serial execution");
+  if (table_.size() <= regime.index()) {
+    table_.resize(regime.index() + 1);
+    present_.resize(regime.index() + 1);
+  }
+  auto& row = table_[regime.index()];
+  auto& mask = present_[regime.index()];
+  if (row.size() <= task.index()) {
+    row.resize(task.index() + 1);
+    mask.resize(task.index() + 1, false);
+  }
+  row[task.index()] = std::move(cost);
+  mask[task.index()] = true;
+}
+
+bool CostModel::Has(RegimeId regime, TaskId task) const {
+  return regime.valid() && task.valid() && regime.index() < present_.size() &&
+         task.index() < present_[regime.index()].size() &&
+         present_[regime.index()][task.index()];
+}
+
+const TaskCost& CostModel::Get(RegimeId regime, TaskId task) const {
+  SS_CHECK_MSG(Has(regime, task), "missing cost entry");
+  return table_[regime.index()][task.index()];
+}
+
+Status CostModel::Validate(std::size_t task_count) const {
+  if (table_.empty()) {
+    return FailedPreconditionError("cost model has no regimes");
+  }
+  for (std::size_t r = 0; r < table_.size(); ++r) {
+    for (std::size_t t = 0; t < task_count; ++t) {
+      if (!Has(RegimeId(static_cast<RegimeId::underlying_type>(r)),
+               TaskId(static_cast<TaskId::underlying_type>(t)))) {
+        return FailedPreconditionError(
+            "cost model missing task " + std::to_string(t) + " in regime " +
+            std::to_string(r));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace ss::graph

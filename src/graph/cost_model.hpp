@@ -1,0 +1,104 @@
+// Execution and communication cost models consumed by the scheduler.
+//
+// Costs are the scheduler's inputs per the paper's Fig. 6: execution times
+// for each operation *including its data-parallel variants*, and
+// communication times within and across cluster nodes. Because the
+// application is dynamic, the execution costs are indexed by regime (for the
+// color tracker: the number of models being tracked).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace ss::graph {
+
+/// One way of executing a task: `chunks` data-parallel pieces, each costing
+/// `chunk_cost`, bracketed by serial split/join stages. A serial execution is
+/// the degenerate variant with chunks == 1 and zero split/join cost.
+struct DpVariant {
+  std::string name;      // e.g. "serial", "FP=4", "MP=8", "FP=4xMP=8"
+  int chunks = 1;
+  Tick chunk_cost = 0;
+  Tick split_cost = 0;   // serial work before chunks can start
+  Tick join_cost = 0;    // serial work after all chunks finish
+
+  /// Total work if run entirely on one processor.
+  Tick SerializedCost() const {
+    return split_cost + static_cast<Tick>(chunks) * chunk_cost + join_cost;
+  }
+  /// Lower bound on elapsed time given unlimited processors.
+  Tick CriticalPathCost() const {
+    return split_cost + chunk_cost + join_cost;
+  }
+};
+
+/// All execution options for one task in one regime. Variant 0 is always the
+/// serial execution.
+struct TaskCost {
+  std::vector<DpVariant> variants;
+
+  static TaskCost Serial(Tick cost) {
+    TaskCost tc;
+    tc.variants.push_back(DpVariant{"serial", 1, cost, 0, 0});
+    return tc;
+  }
+
+  TaskCost& AddVariant(DpVariant v) {
+    variants.push_back(std::move(v));
+    return *this;
+  }
+
+  const DpVariant& variant(VariantId id) const {
+    return variants.at(id.index());
+  }
+  std::size_t variant_count() const { return variants.size(); }
+  Tick serial_cost() const { return variants.at(0).SerializedCost(); }
+};
+
+/// Per-regime, per-task cost table.
+class CostModel {
+ public:
+  /// Registers costs for `task` in `regime` (regimes and tasks are dense).
+  void Set(RegimeId regime, TaskId task, TaskCost cost);
+
+  bool Has(RegimeId regime, TaskId task) const;
+  const TaskCost& Get(RegimeId regime, TaskId task) const;
+
+  std::size_t regime_count() const { return table_.size(); }
+
+  /// Checks every task in [0, task_count) has costs in every regime.
+  Status Validate(std::size_t task_count) const;
+
+ private:
+  // table_[regime][task]
+  std::vector<std::vector<TaskCost>> table_;
+  std::vector<std::vector<bool>> present_;
+};
+
+/// Linear latency+bandwidth communication model, with distinct intra-node
+/// (shared memory) and inter-node (interconnect) parameters.
+struct CommModel {
+  Tick intra_latency = 0;           // per-message, same SMP
+  double intra_bytes_per_us = 4000; // shared-memory copy bandwidth
+  Tick inter_latency = 30;          // per-message, across nodes
+  double inter_bytes_per_us = 100;  // interconnect bandwidth
+
+  /// Time to move `bytes` from producer to consumer.
+  Tick Cost(std::size_t bytes, bool same_node) const {
+    const Tick lat = same_node ? intra_latency : inter_latency;
+    const double bw = same_node ? intra_bytes_per_us : inter_bytes_per_us;
+    if (bytes == 0 || bw <= 0) return lat;
+    return lat + static_cast<Tick>(static_cast<double>(bytes) / bw);
+  }
+
+  /// A model in which all communication is free (useful for tests and for
+  /// isolating scheduling effects).
+  static CommModel Free() { return CommModel{0, 0, 0, 0}; }
+};
+
+}  // namespace ss::graph

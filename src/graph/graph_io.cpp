@@ -1,0 +1,426 @@
+#include "graph/graph_io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace ss::graph {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+/// Splits "key=value"; returns false if '=' is absent.
+bool SplitKeyValue(const std::string& token, std::string* key,
+                   std::string* value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+Expected<double> ParseDouble(const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(text, &pos);
+    if (pos != text.size()) {
+      return Status(InvalidArgumentError("trailing characters in number '" +
+                                         text + "'"));
+    }
+    return v;
+  } catch (...) {
+    return Status(InvalidArgumentError("bad number '" + text + "'"));
+  }
+}
+
+Expected<std::int64_t> ParseInt(const std::string& text) {
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status(InvalidArgumentError("bad integer '" + text + "'"));
+  }
+  return v;
+}
+
+std::string AtLine(int line, const std::string& message) {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+}  // namespace
+
+Expected<Tick> ParseTickValue(std::string_view text) {
+  std::string s(text);
+  double multiplier = 1.0;
+  if (s.size() >= 2 && s.substr(s.size() - 2) == "us") {
+    s.resize(s.size() - 2);
+    multiplier = 1.0;
+  } else if (s.size() >= 2 && s.substr(s.size() - 2) == "ms") {
+    s.resize(s.size() - 2);
+    multiplier = 1e3;
+  } else if (!s.empty() && s.back() == 's') {
+    s.resize(s.size() - 1);
+    multiplier = 1e6;
+  }
+  auto v = ParseDouble(s);
+  if (!v.ok()) return v.status();
+  if (*v < 0) return Status(InvalidArgumentError("negative time value"));
+  return static_cast<Tick>(std::llround(*v * multiplier));
+}
+
+Expected<ProblemSpec> ParseProblem(std::string_view text) {
+  ProblemSpec spec;
+  std::unordered_map<std::string, TaskId> tasks;
+  // Pending variants keyed (regime, task index), applied before Set.
+  struct PendingCost {
+    bool has_serial = false;
+    TaskCost cost;
+  };
+  std::unordered_map<std::int64_t, PendingCost> costs;  // regime<<32 | task
+  auto cost_key = [](std::int64_t regime, std::int64_t task) {
+    return (regime << 32) | task;
+  };
+  bool regimes_declared = false;
+
+  std::istringstream stream{std::string(text)};
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    // Strip comments.
+    const auto hash = raw_line.find('#');
+    if (hash != std::string::npos) raw_line.resize(hash);
+    auto tokens = Tokenize(raw_line);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+
+    auto kv = [&](std::size_t i, std::string* key,
+                  std::string* value) -> Status {
+      if (i >= tokens.size() || !SplitKeyValue(tokens[i], key, value)) {
+        return InvalidArgumentError(
+            AtLine(line_no, "expected key=value token"));
+      }
+      return OkStatus();
+    };
+
+    if (kind == "machine") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string key, value;
+        SS_RETURN_IF_ERROR(kv(i, &key, &value));
+        auto n = ParseInt(value);
+        if (!n.ok() || *n <= 0) {
+          return Status(InvalidArgumentError(
+              AtLine(line_no, "bad machine value '" + value + "'")));
+        }
+        if (key == "nodes") {
+          spec.machine.nodes = static_cast<int>(*n);
+        } else if (key == "procs_per_node" || key == "procs") {
+          spec.machine.procs_per_node = static_cast<int>(*n);
+        } else {
+          return Status(InvalidArgumentError(
+              AtLine(line_no, "unknown machine key '" + key + "'")));
+        }
+      }
+    } else if (kind == "comm") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string key, value;
+        SS_RETURN_IF_ERROR(kv(i, &key, &value));
+        if (key == "intra_latency" || key == "inter_latency") {
+          auto t = ParseTickValue(value);
+          if (!t.ok()) {
+            return Status(
+                InvalidArgumentError(AtLine(line_no, t.status().message())));
+          }
+          // "intra"[3] == 'r', "inter"[3] == 'e'.
+          (key[3] == 'r' ? spec.comm.intra_latency
+                         : spec.comm.inter_latency) = *t;
+        } else if (key == "intra_bandwidth" || key == "inter_bandwidth") {
+          auto v = ParseDouble(value);
+          if (!v.ok()) {
+            return Status(
+                InvalidArgumentError(AtLine(line_no, v.status().message())));
+          }
+          (key[3] == 'r' ? spec.comm.intra_bytes_per_us
+                         : spec.comm.inter_bytes_per_us) = *v;
+        } else {
+          return Status(InvalidArgumentError(
+              AtLine(line_no, "unknown comm key '" + key + "'")));
+        }
+      }
+    } else if (kind == "task") {
+      if (tokens.size() < 2) {
+        return Status(
+            InvalidArgumentError(AtLine(line_no, "task needs a name")));
+      }
+      const std::string& name = tokens[1];
+      if (tasks.count(name)) {
+        return Status(InvalidArgumentError(
+            AtLine(line_no, "duplicate task '" + name + "'")));
+      }
+      bool source = tokens.size() > 2 && tokens[2] == "source";
+      tasks.emplace(name, spec.graph.AddTask(name, source));
+    } else if (kind == "channel") {
+      if (tokens.size() < 2) {
+        return Status(
+            InvalidArgumentError(AtLine(line_no, "channel needs a name")));
+      }
+      const std::string& name = tokens[1];
+      std::size_t bytes = 0;
+      TaskId producer;
+      std::vector<TaskId> consumers;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string key, value;
+        SS_RETURN_IF_ERROR(kv(i, &key, &value));
+        if (key == "bytes") {
+          auto n = ParseInt(value);
+          if (!n.ok() || *n < 0) {
+            return Status(InvalidArgumentError(
+                AtLine(line_no, "bad bytes value '" + value + "'")));
+          }
+          bytes = static_cast<std::size_t>(*n);
+        } else if (key == "producer") {
+          auto it = tasks.find(value);
+          if (it == tasks.end()) {
+            return Status(InvalidArgumentError(
+                AtLine(line_no, "unknown producer task '" + value + "'")));
+          }
+          producer = it->second;
+        } else if (key == "consumers") {
+          std::string current;
+          auto flush = [&]() -> Status {
+            if (current.empty()) return OkStatus();
+            auto it = tasks.find(current);
+            if (it == tasks.end()) {
+              return InvalidArgumentError(AtLine(
+                  line_no, "unknown consumer task '" + current + "'"));
+            }
+            consumers.push_back(it->second);
+            current.clear();
+            return OkStatus();
+          };
+          for (char c : value) {
+            if (c == ',') {
+              SS_RETURN_IF_ERROR(flush());
+            } else {
+              current.push_back(c);
+            }
+          }
+          SS_RETURN_IF_ERROR(flush());
+        } else {
+          return Status(InvalidArgumentError(
+              AtLine(line_no, "unknown channel key '" + key + "'")));
+        }
+      }
+      if (!producer.valid()) {
+        return Status(InvalidArgumentError(
+            AtLine(line_no, "channel '" + name + "' needs a producer")));
+      }
+      ChannelId ch = spec.graph.AddChannel(name, bytes);
+      spec.graph.SetProducer(producer, ch);
+      for (TaskId t : consumers) spec.graph.AddConsumer(t, ch);
+    } else if (kind == "regimes") {
+      if (tokens.size() != 2) {
+        return Status(
+            InvalidArgumentError(AtLine(line_no, "regimes needs a count")));
+      }
+      auto n = ParseInt(tokens[1]);
+      if (!n.ok() || *n <= 0) {
+        return Status(
+            InvalidArgumentError(AtLine(line_no, "bad regime count")));
+      }
+      spec.regime_count = static_cast<std::size_t>(*n);
+      regimes_declared = true;
+    } else if (kind == "cost" || kind == "variant") {
+      std::int64_t regime = -1;
+      std::string task_name;
+      Tick serial = -1;
+      DpVariant variant;
+      variant.chunks = -1;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string key, value;
+        SS_RETURN_IF_ERROR(kv(i, &key, &value));
+        if (key == "regime") {
+          auto n = ParseInt(value);
+          if (!n.ok()) {
+            return Status(
+                InvalidArgumentError(AtLine(line_no, "bad regime index")));
+          }
+          regime = *n;
+        } else if (key == "task") {
+          task_name = value;
+        } else if (key == "serial" && kind == "cost") {
+          auto t = ParseTickValue(value);
+          if (!t.ok()) {
+            return Status(
+                InvalidArgumentError(AtLine(line_no, t.status().message())));
+          }
+          serial = *t;
+        } else if (kind == "variant" &&
+                   (key == "chunk" || key == "split" || key == "join")) {
+          auto t = ParseTickValue(value);
+          if (!t.ok()) {
+            return Status(
+                InvalidArgumentError(AtLine(line_no, t.status().message())));
+          }
+          if (key == "chunk") variant.chunk_cost = *t;
+          if (key == "split") variant.split_cost = *t;
+          if (key == "join") variant.join_cost = *t;
+        } else if (kind == "variant" && key == "chunks") {
+          auto n = ParseInt(value);
+          if (!n.ok() || *n < 1) {
+            return Status(
+                InvalidArgumentError(AtLine(line_no, "bad chunk count")));
+          }
+          variant.chunks = static_cast<int>(*n);
+        } else if (kind == "variant" && key == "name") {
+          variant.name = value;
+        } else {
+          return Status(InvalidArgumentError(
+              AtLine(line_no, "unknown " + kind + " key '" + key + "'")));
+        }
+      }
+      auto it = tasks.find(task_name);
+      if (it == tasks.end()) {
+        return Status(InvalidArgumentError(
+            AtLine(line_no, "unknown task '" + task_name + "'")));
+      }
+      if (regime < 0 ||
+          static_cast<std::size_t>(regime) >= spec.regime_count) {
+        return Status(InvalidArgumentError(
+            AtLine(line_no, "regime index out of range")));
+      }
+      auto& pending = costs[cost_key(regime, it->second.value())];
+      if (kind == "cost") {
+        if (serial < 0) {
+          return Status(InvalidArgumentError(
+              AtLine(line_no, "cost needs serial=<time>")));
+        }
+        if (pending.has_serial) {
+          return Status(InvalidArgumentError(
+              AtLine(line_no, "duplicate cost for task '" + task_name +
+                                  "' in regime " + std::to_string(regime))));
+        }
+        TaskCost tc = TaskCost::Serial(serial);
+        // Variants parsed before the serial cost are not allowed; keep the
+        // file readable top-down.
+        pending.cost = std::move(tc);
+        pending.has_serial = true;
+      } else {
+        if (!pending.has_serial) {
+          return Status(InvalidArgumentError(
+              AtLine(line_no, "variant before cost for task '" + task_name +
+                                  "'")));
+        }
+        if (variant.chunks < 1) {
+          return Status(InvalidArgumentError(
+              AtLine(line_no, "variant needs chunks=<n>")));
+        }
+        if (variant.name.empty()) {
+          variant.name = "v" +
+                         std::to_string(pending.cost.variant_count());
+        }
+        pending.cost.AddVariant(std::move(variant));
+      }
+    } else {
+      return Status(InvalidArgumentError(
+          AtLine(line_no, "unknown directive '" + kind + "'")));
+    }
+  }
+
+  if (!regimes_declared && spec.regime_count == 1) {
+    // Single implicit regime is fine.
+  }
+  for (auto& [key, pending] : costs) {
+    const auto regime = static_cast<RegimeId::underlying_type>(key >> 32);
+    const auto task =
+        static_cast<TaskId::underlying_type>(key & 0xFFFFFFFF);
+    spec.costs.Set(RegimeId(regime), TaskId(task), std::move(pending.cost));
+  }
+
+  SS_RETURN_IF_ERROR(spec.graph.Validate());
+  SS_RETURN_IF_ERROR(spec.costs.Validate(spec.graph.task_count()));
+  return spec;
+}
+
+std::string FormatProblem(const ProblemSpec& spec) {
+  std::ostringstream os;
+  os << "machine nodes=" << spec.machine.nodes
+     << " procs_per_node=" << spec.machine.procs_per_node << "\n";
+  os << "comm intra_latency=" << spec.comm.intra_latency
+     << "us intra_bandwidth=" << spec.comm.intra_bytes_per_us
+     << " inter_latency=" << spec.comm.inter_latency
+     << "us inter_bandwidth=" << spec.comm.inter_bytes_per_us << "\n\n";
+  for (std::size_t t = 0; t < spec.graph.task_count(); ++t) {
+    const TaskId tid(static_cast<TaskId::underlying_type>(t));
+    os << "task " << spec.graph.task(tid).name;
+    if (spec.graph.task(tid).is_source) os << " source";
+    os << "\n";
+  }
+  for (std::size_t c = 0; c < spec.graph.channel_count(); ++c) {
+    const ChannelId cid(static_cast<ChannelId::underlying_type>(c));
+    os << "channel " << spec.graph.channel(cid).name
+       << " bytes=" << spec.graph.channel(cid).item_bytes << " producer="
+       << spec.graph.task(spec.graph.producer(cid)).name;
+    const auto& consumers = spec.graph.consumers(cid);
+    if (!consumers.empty()) {
+      os << " consumers=";
+      for (std::size_t i = 0; i < consumers.size(); ++i) {
+        if (i) os << ",";
+        os << spec.graph.task(consumers[i]).name;
+      }
+    }
+    os << "\n";
+  }
+  os << "\nregimes " << spec.regime_count << "\n";
+  for (std::size_t r = 0; r < spec.regime_count; ++r) {
+    const RegimeId rid(static_cast<RegimeId::underlying_type>(r));
+    for (std::size_t t = 0; t < spec.graph.task_count(); ++t) {
+      const TaskId tid(static_cast<TaskId::underlying_type>(t));
+      if (!spec.costs.Has(rid, tid)) continue;
+      const TaskCost& tc = spec.costs.Get(rid, tid);
+      os << "cost regime=" << r << " task=" << spec.graph.task(tid).name
+         << " serial=" << tc.variants[0].chunk_cost << "us\n";
+      for (std::size_t v = 1; v < tc.variant_count(); ++v) {
+        const DpVariant& dv = tc.variant(VariantId(static_cast<int>(v)));
+        os << "variant regime=" << r << " task="
+           << spec.graph.task(tid).name << " name=" << dv.name
+           << " chunks=" << dv.chunks << " chunk=" << dv.chunk_cost
+           << "us split=" << dv.split_cost << "us join=" << dv.join_cost
+           << "us\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+Expected<ProblemSpec> LoadProblemFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status(NotFoundError("cannot open '" + path + "'"));
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseProblem(buffer.str());
+}
+
+}  // namespace ss::graph

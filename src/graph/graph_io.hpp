@@ -1,0 +1,60 @@
+// Text format for scheduling problems ("<name>.ssg").
+//
+// Lets users describe an application (task graph, channels, per-regime
+// costs with data-parallel variants), the machine, and the communication
+// model in one file and feed it to the scheduler — the `tools/ssched` CLI
+// consumes this format.
+//
+// Format (line-based, '#' comments, key=value tokens):
+//
+//   machine nodes=1 procs_per_node=4
+//   comm intra_latency=20us intra_bandwidth=4000 \
+//        inter_latency=30us inter_bandwidth=100      # bandwidth: bytes/us
+//   task digitizer source
+//   task detect
+//   channel frames bytes=57600 producer=digitizer consumers=detect
+//   regimes 2
+//   cost regime=0 task=digitizer serial=5ms
+//   cost regime=0 task=detect serial=876ms
+//   variant regime=0 task=detect name=FP=4 chunks=4 chunk=224ms \
+//           split=15ms join=10ms
+//
+// Times accept suffixes us/ms/s (default microseconds).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/error.hpp"
+#include "graph/cost_model.hpp"
+#include "graph/machine.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ss::graph {
+
+/// A fully-specified scheduling problem.
+struct ProblemSpec {
+  TaskGraph graph;
+  CostModel costs;
+  MachineConfig machine;
+  CommModel comm;
+  std::size_t regime_count = 1;
+};
+
+/// Parses a tick value with an optional unit suffix: "250" (µs), "30us",
+/// "12.5ms", "3.2s".
+Expected<Tick> ParseTickValue(std::string_view text);
+
+/// Parses a problem description; returns the first error with its line
+/// number. The result is validated (graph acyclic, costs dense).
+Expected<ProblemSpec> ParseProblem(std::string_view text);
+
+/// Serializes a problem back to the text format (round-trips through
+/// ParseProblem up to formatting).
+std::string FormatProblem(const ProblemSpec& spec);
+
+/// Reads and parses a problem file from disk.
+Expected<ProblemSpec> LoadProblemFile(const std::string& path);
+
+}  // namespace ss::graph

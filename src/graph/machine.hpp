@@ -1,0 +1,47 @@
+// Cluster machine model: `nodes` SMP nodes, each with `procs_per_node`
+// identical processors. Processors are numbered globally; node membership
+// determines whether communication is intra- or inter-node.
+//
+// The paper's platform was four 4-way AlphaServer SMPs; the default
+// configuration mirrors one such node (the scheduling experiments in the
+// paper run within a node, with inter-node cost steering iteration placement).
+#pragma once
+
+#include <string>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+
+namespace ss::graph {
+
+struct MachineConfig {
+  int nodes = 1;
+  int procs_per_node = 4;
+
+  static MachineConfig SingleNode(int procs) { return {1, procs}; }
+  static MachineConfig Cluster(int n, int ppn) { return {n, ppn}; }
+
+  int total_procs() const { return nodes * procs_per_node; }
+
+  NodeId NodeOfProc(ProcId p) const {
+    SS_CHECK(p.valid() && p.value() < total_procs());
+    return NodeId(p.value() / procs_per_node);
+  }
+
+  bool SameNode(ProcId a, ProcId b) const {
+    return NodeOfProc(a) == NodeOfProc(b);
+  }
+
+  /// First processor belonging to `node`.
+  ProcId FirstProcOf(NodeId node) const {
+    SS_CHECK(node.valid() && node.value() < nodes);
+    return ProcId(node.value() * procs_per_node);
+  }
+
+  std::string ToString() const {
+    return std::to_string(nodes) + " node(s) x " +
+           std::to_string(procs_per_node) + " proc(s)";
+  }
+};
+
+}  // namespace ss::graph

@@ -1,0 +1,139 @@
+#include "graph/op_graph.hpp"
+
+#include <algorithm>
+
+namespace ss::graph {
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kWhole: return "whole";
+    case OpKind::kSplit: return "split";
+    case OpKind::kChunk: return "chunk";
+    case OpKind::kJoin: return "join";
+  }
+  return "?";
+}
+
+void OpGraph::AddEdge(int from, int to, std::size_t bytes) {
+  edges_.push_back(OpEdge{from, to, bytes});
+  succs_[static_cast<std::size_t>(from)].push_back(to);
+  preds_[static_cast<std::size_t>(to)].push_back(from);
+}
+
+OpGraph OpGraph::Expand(const TaskGraph& graph, const CostModel& costs,
+                        RegimeId regime,
+                        const std::vector<VariantId>& variants) {
+  SS_CHECK_MSG(variants.size() == graph.task_count(),
+               "one variant per task required");
+  OpGraph og;
+  og.variants_ = variants;
+  og.entry_.assign(graph.task_count(), -1);
+  og.exit_.assign(graph.task_count(), -1);
+
+  auto order = graph.TopologicalOrder();
+  SS_CHECK_MSG(order.ok(), "op expansion requires an acyclic task graph");
+
+  auto new_op = [&](TaskId t, OpKind kind, int chunk, Tick cost,
+                    std::string label) {
+    og.ops_.push_back(Op{t, kind, chunk, cost, std::move(label)});
+    og.preds_.emplace_back();
+    og.succs_.emplace_back();
+    return static_cast<int>(og.ops_.size() - 1);
+  };
+
+  // Create the ops task by task in topological order so the op id order is
+  // itself topological.
+  for (TaskId t : *order) {
+    const TaskCost& tc = costs.Get(regime, t);
+    const VariantId vid = variants[t.index()];
+    SS_CHECK_MSG(vid.valid() && vid.index() < tc.variant_count(),
+                 "variant id out of range");
+    const DpVariant& v = tc.variant(vid);
+    const std::string& tname = graph.task(t).name;
+
+    // Total input bytes for this task (used for intra-task edge weights).
+    std::size_t in_bytes = 0;
+    for (ChannelId ch : graph.inputs(t)) {
+      in_bytes += graph.channel(ch).item_bytes;
+    }
+
+    if (v.chunks <= 1 && v.split_cost == 0 && v.join_cost == 0) {
+      int id = new_op(t, OpKind::kWhole, 0, v.chunk_cost, tname);
+      og.entry_[t.index()] = id;
+      og.exit_[t.index()] = id;
+    } else {
+      int split = new_op(t, OpKind::kSplit, 0, v.split_cost, tname + ".split");
+      const std::size_t chunk_bytes =
+          v.chunks > 0 ? in_bytes / static_cast<std::size_t>(v.chunks) : 0;
+      int join = -1;
+      std::vector<int> chunk_ids;
+      chunk_ids.reserve(static_cast<std::size_t>(v.chunks));
+      for (int c = 0; c < v.chunks; ++c) {
+        int id = new_op(t, OpKind::kChunk, c, v.chunk_cost,
+                        tname + ".c" + std::to_string(c));
+        chunk_ids.push_back(id);
+      }
+      join = new_op(t, OpKind::kJoin, 0, v.join_cost, tname + ".join");
+      for (int id : chunk_ids) {
+        og.AddEdge(split, id, chunk_bytes);
+        og.AddEdge(id, join, chunk_bytes);
+      }
+      og.entry_[t.index()] = split;
+      og.exit_[t.index()] = join;
+    }
+  }
+
+  // Cross-task edges: exit(producer) -> entry(consumer), weighted by the sum
+  // of the item sizes of the channels between them.
+  for (TaskId t : *order) {
+    for (TaskId s : graph.Successors(t)) {
+      std::size_t bytes = 0;
+      for (ChannelId ch : graph.ChannelsBetween(t, s)) {
+        bytes += graph.channel(ch).item_bytes;
+      }
+      og.AddEdge(og.exit_[t.index()], og.entry_[s.index()], bytes);
+    }
+  }
+
+  og.topo_.resize(og.ops_.size());
+  for (std::size_t i = 0; i < og.ops_.size(); ++i) {
+    og.topo_[i] = static_cast<int>(i);
+  }
+  return og;
+}
+
+std::size_t OpGraph::EdgeBytes(int from, int to) const {
+  for (const auto& e : edges_) {
+    if (e.from == from && e.to == to) return e.bytes;
+  }
+  return 0;
+}
+
+Tick OpGraph::TotalWork() const {
+  Tick total = 0;
+  for (const auto& op : ops_) total += op.cost;
+  return total;
+}
+
+std::vector<Tick> OpGraph::TailLengths() const {
+  std::vector<Tick> tail(ops_.size(), 0);
+  // Iterate in reverse topological (= reverse id) order.
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    int i = *it;
+    Tick best = 0;
+    for (int s : succs_[static_cast<std::size_t>(i)]) {
+      best = std::max(best, tail[static_cast<std::size_t>(s)]);
+    }
+    tail[static_cast<std::size_t>(i)] =
+        ops_[static_cast<std::size_t>(i)].cost + best;
+  }
+  return tail;
+}
+
+Tick OpGraph::CriticalPath() const {
+  Tick best = 0;
+  for (Tick t : TailLengths()) best = std::max(best, t);
+  return best;
+}
+
+}  // namespace ss::graph

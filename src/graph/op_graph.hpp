@@ -1,0 +1,99 @@
+// Operation graph: the task graph expanded under a chosen data-parallel
+// variant per task, for one regime.
+//
+// A task whose chosen variant has `chunks == 1` becomes a single op. A
+// chunked task becomes a splitter op, `chunks` chunk ops, and a joiner op
+// (paper Fig. 9); split and join serialize the task's external dependencies
+// while chunk ops may run on distinct processors concurrently.
+//
+// Edges carry the number of bytes moved so schedulers can charge intra- vs
+// inter-node communication.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "graph/cost_model.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ss::graph {
+
+enum class OpKind { kWhole, kSplit, kChunk, kJoin };
+
+std::string_view OpKindName(OpKind kind);
+
+struct Op {
+  TaskId task;
+  OpKind kind = OpKind::kWhole;
+  int chunk_index = 0;  // for kChunk
+  Tick cost = 0;
+  std::string label;    // e.g. "T4.c2"
+};
+
+struct OpEdge {
+  int from = -1;
+  int to = -1;
+  std::size_t bytes = 0;
+};
+
+class OpGraph {
+ public:
+  /// Expands `graph` using `variants[t]` (a VariantId into the task's
+  /// TaskCost) for each task, with costs drawn from `costs` at `regime`.
+  static OpGraph Expand(const TaskGraph& graph, const CostModel& costs,
+                        RegimeId regime,
+                        const std::vector<VariantId>& variants);
+
+  std::size_t op_count() const { return ops_.size(); }
+  const Op& op(int i) const { return ops_.at(static_cast<std::size_t>(i)); }
+  const std::vector<Op>& ops() const { return ops_; }
+  const std::vector<OpEdge>& edges() const { return edges_; }
+
+  const std::vector<int>& preds(int i) const {
+    return preds_.at(static_cast<std::size_t>(i));
+  }
+  const std::vector<int>& succs(int i) const {
+    return succs_.at(static_cast<std::size_t>(i));
+  }
+  /// Bytes on the edge from -> to (0 if absent).
+  std::size_t EdgeBytes(int from, int to) const;
+
+  /// Entry op of a task (split op or the whole op).
+  int TaskEntry(TaskId t) const { return entry_.at(t.index()); }
+  /// Exit op of a task (join op or the whole op).
+  int TaskExit(TaskId t) const { return exit_.at(t.index()); }
+
+  /// Ops in topological order (the construction order already is one).
+  const std::vector<int>& TopoOrder() const { return topo_; }
+
+  /// Sum of all op costs — elapsed time if run entirely on one processor.
+  Tick TotalWork() const;
+
+  /// Communication-free critical path length: a lower bound on the latency
+  /// of any schedule on any number of processors.
+  Tick CriticalPath() const;
+
+  /// Per-op comm-free "tail" length: cost of the op plus the longest chain
+  /// of successors. Used as the branch-and-bound lower bound.
+  std::vector<Tick> TailLengths() const;
+
+  const std::vector<VariantId>& variants() const { return variants_; }
+
+ private:
+  void AddEdge(int from, int to, std::size_t bytes);
+
+  std::vector<Op> ops_;
+  std::vector<OpEdge> edges_;
+  std::vector<std::vector<int>> preds_;
+  std::vector<std::vector<int>> succs_;
+  std::vector<int> entry_;  // by task index
+  std::vector<int> exit_;   // by task index
+  std::vector<int> topo_;
+  std::vector<VariantId> variants_;
+};
+
+}  // namespace ss::graph

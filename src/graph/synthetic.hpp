@@ -1,0 +1,54 @@
+// Synthetic scheduling-problem generators.
+//
+// Families of task graphs with seeded random costs, used to benchmark and
+// property-test the schedulers beyond the tracker's fixed shape: chains,
+// fork-joins, diamonds, and layered random DAGs (the shape of real
+// stream-processing applications in the paper's class).
+#pragma once
+
+#include <string>
+
+#include "core/rng.hpp"
+#include "graph/cost_model.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ss::graph {
+
+struct SyntheticOptions {
+  /// Tasks per layer are drawn from [1, max_width].
+  int max_width = 3;
+  /// Number of layers between the source and the end of the graph.
+  int layers = 3;
+  /// Serial cost range (ticks).
+  Tick min_cost = 20;
+  Tick max_cost = 400;
+  /// Probability (percent) that a task gets a data-parallel variant.
+  int variant_percent = 33;
+  /// Chunk counts drawn from [2, max_chunks] for variant-carrying tasks.
+  int max_chunks = 4;
+  /// Channel payload size range (bytes).
+  std::size_t min_bytes = 100;
+  std::size_t max_bytes = 10'000;
+};
+
+/// A generated problem: graph plus a single-regime cost model.
+struct SyntheticProblem {
+  TaskGraph graph;
+  CostModel costs;  // regime 0 only
+  std::string family;
+};
+
+/// Linear chain: src -> t1 -> ... -> tN.
+SyntheticProblem MakeChain(Rng& rng, int length,
+                           const SyntheticOptions& options = {});
+
+/// Fork-join: src fans out to `width` parallel tasks joined by a sink.
+SyntheticProblem MakeForkJoin(Rng& rng, int width,
+                              const SyntheticOptions& options = {});
+
+/// Layered random DAG: a source, `options.layers` layers of random width,
+/// each task consuming 1-2 channels of the previous layer; dangling
+/// channels are attached so the graph validates.
+SyntheticProblem MakeLayered(Rng& rng, const SyntheticOptions& options = {});
+
+}  // namespace ss::graph

@@ -1,0 +1,215 @@
+#include "graph/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <unordered_set>
+
+namespace ss::graph {
+
+TaskId TaskGraph::AddTask(std::string name, bool is_source) {
+  tasks_.push_back(TaskDef{std::move(name), is_source});
+  task_outputs_.emplace_back();
+  task_inputs_.emplace_back();
+  return TaskId(static_cast<TaskId::underlying_type>(tasks_.size() - 1));
+}
+
+ChannelId TaskGraph::AddChannel(std::string name, std::size_t item_bytes) {
+  channels_.push_back(ChannelDef{std::move(name), item_bytes});
+  producers_.push_back(TaskId::Invalid());
+  consumers_.emplace_back();
+  return ChannelId(
+      static_cast<ChannelId::underlying_type>(channels_.size() - 1));
+}
+
+void TaskGraph::SetProducer(TaskId task, ChannelId channel) {
+  SS_CHECK(task.valid() && task.index() < tasks_.size());
+  SS_CHECK(channel.valid() && channel.index() < channels_.size());
+  SS_CHECK_MSG(!producers_[channel.index()].valid(),
+               "channel already has a producer");
+  producers_[channel.index()] = task;
+  task_outputs_[task.index()].push_back(channel);
+}
+
+void TaskGraph::AddConsumer(TaskId task, ChannelId channel) {
+  SS_CHECK(task.valid() && task.index() < tasks_.size());
+  SS_CHECK(channel.valid() && channel.index() < channels_.size());
+  consumers_[channel.index()].push_back(task);
+  task_inputs_[task.index()].push_back(channel);
+}
+
+TaskId TaskGraph::FindTask(const std::string& name) const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].name == name) {
+      return TaskId(static_cast<TaskId::underlying_type>(i));
+    }
+  }
+  return TaskId::Invalid();
+}
+
+ChannelId TaskGraph::FindChannel(const std::string& name) const {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (channels_[i].name == name) {
+      return ChannelId(static_cast<ChannelId::underlying_type>(i));
+    }
+  }
+  return ChannelId::Invalid();
+}
+
+std::vector<TaskId> TaskGraph::Predecessors(TaskId id) const {
+  std::vector<TaskId> preds;
+  for (ChannelId ch : inputs(id)) {
+    TaskId p = producer(ch);
+    if (p.valid() && std::find(preds.begin(), preds.end(), p) == preds.end()) {
+      preds.push_back(p);
+    }
+  }
+  return preds;
+}
+
+std::vector<TaskId> TaskGraph::Successors(TaskId id) const {
+  std::vector<TaskId> succs;
+  for (ChannelId ch : outputs(id)) {
+    for (TaskId c : consumers(ch)) {
+      if (std::find(succs.begin(), succs.end(), c) == succs.end()) {
+        succs.push_back(c);
+      }
+    }
+  }
+  return succs;
+}
+
+std::vector<ChannelId> TaskGraph::ChannelsBetween(TaskId from,
+                                                  TaskId to) const {
+  std::vector<ChannelId> out;
+  for (ChannelId ch : outputs(from)) {
+    const auto& cons = consumers(ch);
+    if (std::find(cons.begin(), cons.end(), to) != cons.end()) {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+Expected<std::vector<TaskId>> TaskGraph::TopologicalOrder() const {
+  std::vector<int> in_degree(tasks_.size(), 0);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    in_degree[i] = static_cast<int>(
+        Predecessors(TaskId(static_cast<TaskId::underlying_type>(i))).size());
+  }
+  // Kahn's algorithm with a stable (smallest-id-first) tie break so the
+  // order is deterministic.
+  std::priority_queue<int, std::vector<int>, std::greater<>> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push(static_cast<int>(i));
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    int t = ready.top();
+    ready.pop();
+    TaskId tid(t);
+    order.push_back(tid);
+    for (TaskId s : Successors(tid)) {
+      if (--in_degree[s.index()] == 0) ready.push(s.value());
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    return Status(FailedPreconditionError(
+        "task graph has a dependence cycle"));
+  }
+  return order;
+}
+
+bool TaskGraph::IsDag() const { return TopologicalOrder().ok(); }
+
+std::vector<TaskId> TaskGraph::SourceTasks() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (task_inputs_[i].empty()) {
+      out.push_back(TaskId(static_cast<TaskId::underlying_type>(i)));
+    }
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::SinkTasks() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    TaskId tid(static_cast<TaskId::underlying_type>(i));
+    if (Successors(tid).empty()) out.push_back(tid);
+  }
+  return out;
+}
+
+Status TaskGraph::Validate() const {
+  if (tasks_.empty()) {
+    return FailedPreconditionError("task graph has no tasks");
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (!producers_[i].valid()) {
+      return FailedPreconditionError("channel '" + channels_[i].name +
+                                     "' has no producer");
+    }
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!tasks_[i].is_source && task_inputs_[i].empty()) {
+      return FailedPreconditionError(
+          "non-source task '" + tasks_[i].name + "' has no inputs");
+    }
+  }
+  if (!IsDag()) {
+    return FailedPreconditionError("task graph has a dependence cycle");
+  }
+  return OkStatus();
+}
+
+std::string TaskGraph::ToDot() const {
+  std::ostringstream os;
+  os << "digraph task_graph {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    os << "  t" << i << " [label=\"" << tasks_[i].name
+       << "\" shape=oval];\n";
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    os << "  c" << i << " [label=\"" << channels_[i].name
+       << "\" shape=box];\n";
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (producers_[i].valid()) {
+      os << "  t" << producers_[i].value() << " -> c" << i << ";\n";
+    }
+    for (TaskId c : consumers_[i]) {
+      os << "  c" << i << " -> t" << c.value() << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string TaskGraph::ToText() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    TaskId tid(static_cast<TaskId::underlying_type>(i));
+    os << tasks_[i].name;
+    if (tasks_[i].is_source) os << " [source]";
+    os << ": in(";
+    bool first = true;
+    for (ChannelId ch : inputs(tid)) {
+      if (!first) os << ", ";
+      os << channels_[ch.index()].name;
+      first = false;
+    }
+    os << ") out(";
+    first = true;
+    for (ChannelId ch : outputs(tid)) {
+      if (!first) os << ", ";
+      os << channels_[ch.index()].name;
+      first = false;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace ss::graph

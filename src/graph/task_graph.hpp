@@ -1,0 +1,107 @@
+// Application task graph: the macro-dataflow graph of paper Fig. 2.
+//
+// Nodes are tasks (threads in the abstract execution model, each on its own
+// virtual processor); edges run through channels holding streams of
+// timestamped items. A task declares channels as inputs or outputs; the
+// induced task-to-task dependence relation (producer of a channel precedes
+// its consumers) must be acyclic for scheduling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+
+namespace ss::graph {
+
+struct TaskDef {
+  std::string name;
+  /// True for the task that introduces new timestamps into the graph (the
+  /// digitizer). Source tasks have no channel inputs and are self-timed.
+  bool is_source = false;
+};
+
+struct ChannelDef {
+  std::string name;
+  /// Size of one item, used by the communication cost model.
+  std::size_t item_bytes = 0;
+};
+
+class TaskGraph {
+ public:
+  TaskId AddTask(std::string name, bool is_source = false);
+  ChannelId AddChannel(std::string name, std::size_t item_bytes = 0);
+
+  /// Declares `task` a producer of `channel`. A channel has at most one
+  /// producer (streams have a single writer in this application class).
+  void SetProducer(TaskId task, ChannelId channel);
+
+  /// Declares `task` a consumer of `channel`.
+  void AddConsumer(TaskId task, ChannelId channel);
+
+  // ---- Introspection ------------------------------------------------------
+  std::size_t task_count() const { return tasks_.size(); }
+  std::size_t channel_count() const { return channels_.size(); }
+
+  const TaskDef& task(TaskId id) const { return tasks_.at(id.index()); }
+  const ChannelDef& channel(ChannelId id) const {
+    return channels_.at(id.index());
+  }
+
+  TaskId FindTask(const std::string& name) const;
+  ChannelId FindChannel(const std::string& name) const;
+
+  /// Channels written / read by a task.
+  const std::vector<ChannelId>& outputs(TaskId id) const {
+    return task_outputs_.at(id.index());
+  }
+  const std::vector<ChannelId>& inputs(TaskId id) const {
+    return task_inputs_.at(id.index());
+  }
+
+  /// Producer of a channel (invalid id if none yet).
+  TaskId producer(ChannelId id) const { return producers_.at(id.index()); }
+  const std::vector<TaskId>& consumers(ChannelId id) const {
+    return consumers_.at(id.index());
+  }
+
+  /// Task-level predecessors/successors induced via channels (deduplicated).
+  std::vector<TaskId> Predecessors(TaskId id) const;
+  std::vector<TaskId> Successors(TaskId id) const;
+
+  /// Channels connecting `from` to `to` (from produces, to consumes).
+  std::vector<ChannelId> ChannelsBetween(TaskId from, TaskId to) const;
+
+  /// True when the induced task dependence relation is acyclic.
+  bool IsDag() const;
+
+  /// Tasks in a topological order of the induced dependence relation.
+  /// Fails with kFailedPrecondition if the graph is cyclic.
+  Expected<std::vector<TaskId>> TopologicalOrder() const;
+
+  /// Tasks with no channel inputs.
+  std::vector<TaskId> SourceTasks() const;
+  /// Tasks with no consumed outputs (their outputs, if any, end the graph).
+  std::vector<TaskId> SinkTasks() const;
+
+  /// Structural validation: every channel has a producer; every non-source
+  /// task has at least one input; the dependence relation is acyclic.
+  Status Validate() const;
+
+  /// Graphviz dot rendering (tasks as ovals, channels as boxes, as Fig. 2).
+  std::string ToDot() const;
+  /// Compact one-line-per-task text rendering.
+  std::string ToText() const;
+
+ private:
+  std::vector<TaskDef> tasks_;
+  std::vector<ChannelDef> channels_;
+  std::vector<std::vector<ChannelId>> task_outputs_;
+  std::vector<std::vector<ChannelId>> task_inputs_;
+  std::vector<TaskId> producers_;                // by channel
+  std::vector<std::vector<TaskId>> consumers_;   // by channel
+};
+
+}  // namespace ss::graph

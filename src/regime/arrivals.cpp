@@ -1,0 +1,74 @@
+#include "regime/arrivals.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace ss::regime {
+
+StateTimeline::StateTimeline(int initial, std::vector<StateChange> changes)
+    : initial_(initial), changes_(std::move(changes)) {
+  for (std::size_t i = 1; i < changes_.size(); ++i) {
+    SS_CHECK_MSG(changes_[i - 1].at <= changes_[i].at,
+                 "state changes must be time-ordered");
+  }
+}
+
+int StateTimeline::At(Tick t) const {
+  int state = initial_;
+  for (const auto& c : changes_) {
+    if (c.at > t) break;
+    state = c.state;
+  }
+  return state;
+}
+
+std::size_t StateTimeline::ChangesBefore(Tick horizon) const {
+  std::size_t n = 0;
+  int state = initial_;
+  for (const auto& c : changes_) {
+    if (c.at >= horizon) break;
+    if (c.state != state) {
+      ++n;
+      state = c.state;
+    }
+  }
+  return n;
+}
+
+StateTimeline StateTimeline::BirthDeath(Rng& rng, Tick horizon,
+                                        Tick mean_interarrival,
+                                        Tick mean_dwell, int initial,
+                                        int min_state, int max_state) {
+  SS_CHECK(mean_interarrival > 0 && mean_dwell > 0);
+  // Generate arrival instants and matching departures, then integrate the
+  // count. Use a multimap of (time -> delta).
+  std::multimap<Tick, int> deltas;
+  Tick t = 0;
+  while (true) {
+    t += static_cast<Tick>(
+        rng.NextExponential(static_cast<double>(mean_interarrival)));
+    if (t >= horizon) break;
+    deltas.emplace(t, +1);
+    const Tick leave =
+        t + static_cast<Tick>(
+                rng.NextExponential(static_cast<double>(mean_dwell)));
+    if (leave < horizon) deltas.emplace(leave, -1);
+  }
+  std::vector<StateChange> changes;
+  int count = initial;
+  int last_state = std::clamp(initial, min_state, max_state);
+  for (const auto& [at, delta] : deltas) {
+    count += delta;
+    const int state = std::clamp(count, min_state, max_state);
+    if (state != last_state) {
+      changes.push_back(StateChange{at, state});
+      last_state = state;
+    }
+  }
+  return StateTimeline(std::clamp(initial, min_state, max_state),
+                       std::move(changes));
+}
+
+}  // namespace ss::regime

@@ -1,0 +1,48 @@
+// Arrival processes: the kiosk's customers coming and going.
+//
+// The paper's dynamism source is people arriving at and leaving the kiosk.
+// We model it as a step function of the integer state (number of tracked
+// models) over virtual time, built either from an explicit script or from a
+// seeded stochastic process (Poisson arrivals, exponential dwell times).
+#pragma once
+
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/rng.hpp"
+#include "core/time.hpp"
+
+namespace ss::regime {
+
+struct StateChange {
+  Tick at = 0;
+  int state = 0;  // state value from this instant on
+};
+
+/// A piecewise-constant state timeline.
+class StateTimeline {
+ public:
+  /// `initial` holds before the first change. Changes must be time-ordered.
+  StateTimeline(int initial, std::vector<StateChange> changes);
+
+  int At(Tick t) const;
+  const std::vector<StateChange>& changes() const { return changes_; }
+  int initial() const { return initial_; }
+
+  /// Number of state *changes* in [0, horizon).
+  std::size_t ChangesBefore(Tick horizon) const;
+
+  /// Builds a timeline from a seeded birth-death process: arrivals are
+  /// Poisson with `mean_interarrival`; each person stays an exponential
+  /// `mean_dwell`; the state is the current person count clamped to
+  /// [min_state, max_state].
+  static StateTimeline BirthDeath(Rng& rng, Tick horizon,
+                                  Tick mean_interarrival, Tick mean_dwell,
+                                  int initial, int min_state, int max_state);
+
+ private:
+  int initial_;
+  std::vector<StateChange> changes_;
+};
+
+}  // namespace ss::regime

@@ -1,0 +1,55 @@
+#include "regime/manager.hpp"
+
+#include <algorithm>
+
+namespace ss::regime {
+
+RegimeRunResult RegimeManager::Replay(const StateTimeline& timeline,
+                                      const RegimeRunOptions& options) const {
+  RegimeRunResult result;
+  RegimeDetector detector(space_, timeline.initial());
+  RegimeId active = detector.current();
+
+  Tick now = 0;
+  Timestamp ts = 0;
+  while (now < options.horizon) {
+    // Detect at frame boundaries — state changes are observed when the next
+    // frame is digitized.
+    const int state = timeline.At(now);
+    const RegimeId changed = detector.Observe(state);
+    if (changed.valid() && changed != active) {
+      TransitionRecord tr;
+      tr.at = now;
+      tr.from = active;
+      tr.to = changed;
+      tr.overhead = options.lookup_cost;
+      if (options.drain_on_switch) {
+        // In-flight iterations of the outgoing schedule finish first.
+        tr.overhead += table_.Get(active).schedule.Latency();
+      }
+      now += tr.overhead;
+      result.transition_overhead += tr.overhead;
+      result.transitions.push_back(tr);
+      active = changed;
+      if (now >= options.horizon) break;
+    }
+
+    const auto& entry = table_.Get(active);
+    sim::FrameRecord rec;
+    rec.ts = ts++;
+    rec.digitized_at = now;
+    rec.completed_at = now + entry.schedule.Latency();
+    result.frames.push_back(rec);
+    now += std::max<Tick>(1, entry.schedule.initiation_interval);
+  }
+
+  result.metrics = sim::ComputeMetrics(result.frames, options.warmup);
+  if (options.horizon > 0) {
+    result.overhead_fraction =
+        static_cast<double>(result.transition_overhead) /
+        static_cast<double>(options.horizon);
+  }
+  return result;
+}
+
+}  // namespace ss::regime

@@ -1,0 +1,35 @@
+#include "regime/regime.hpp"
+
+#include <algorithm>
+
+namespace ss::regime {
+
+RegimeSpace::RegimeSpace(int min_state, int max_state)
+    : min_state_(min_state), max_state_(max_state) {
+  SS_CHECK_MSG(min_state <= max_state, "empty regime space");
+}
+
+RegimeId RegimeSpace::FromState(int state) const {
+  const int clamped = std::clamp(state, min_state_, max_state_);
+  return RegimeId(clamped - min_state_);
+}
+
+int RegimeSpace::ToState(RegimeId regime) const {
+  SS_CHECK(regime.valid() && regime.index() < size());
+  return min_state_ + regime.value();
+}
+
+std::string RegimeSpace::Name(RegimeId regime) const {
+  return "state=" + std::to_string(ToState(regime));
+}
+
+std::vector<RegimeId> RegimeSpace::AllRegimes() const {
+  std::vector<RegimeId> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.push_back(RegimeId(static_cast<RegimeId::underlying_type>(i)));
+  }
+  return out;
+}
+
+}  // namespace ss::regime

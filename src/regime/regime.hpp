@@ -1,0 +1,67 @@
+// Constrained dynamism: regimes (operating states) and their detection.
+//
+// Paper §2: the application's dynamism is constrained — it moves among a
+// small number of states, changes are infrequent relative to the frame
+// rate, and changes are detectable. For the color tracker the state is the
+// number of people (models) currently tracked.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+
+namespace ss::regime {
+
+/// Maps an application state value (e.g. number of tracked models) onto a
+/// dense regime index. States outside the modelled range are clamped to the
+/// nearest regime, which keeps the table total.
+class RegimeSpace {
+ public:
+  /// Regimes for integer states in [min_state, max_state].
+  RegimeSpace(int min_state, int max_state);
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(max_state_ - min_state_ + 1);
+  }
+  int min_state() const { return min_state_; }
+  int max_state() const { return max_state_; }
+
+  RegimeId FromState(int state) const;
+  int ToState(RegimeId regime) const;
+  std::string Name(RegimeId regime) const;
+
+  std::vector<RegimeId> AllRegimes() const;
+
+ private:
+  int min_state_;
+  int max_state_;
+};
+
+/// Observes a state signal and reports changes. Detection latency models the
+/// vision-side cost of noticing an arrival/departure (paper: "departures and
+/// arrivals can be easily detected using standard vision techniques").
+class RegimeDetector {
+ public:
+  explicit RegimeDetector(const RegimeSpace& space, int initial_state)
+      : space_(space), current_(space.FromState(initial_state)) {}
+
+  /// Feeds the true state at some instant; returns the new regime if a
+  /// change was detected, or an invalid id otherwise.
+  RegimeId Observe(int state) {
+    RegimeId next = space_.FromState(state);
+    if (next == current_) return RegimeId::Invalid();
+    current_ = next;
+    return next;
+  }
+
+  RegimeId current() const { return current_; }
+
+ private:
+  const RegimeSpace& space_;
+  RegimeId current_;
+};
+
+}  // namespace ss::regime

@@ -1,0 +1,34 @@
+#include "regime/schedule_table.hpp"
+
+namespace ss::regime {
+
+Expected<ScheduleTable> ScheduleTable::Precompute(
+    const RegimeSpace& space, const graph::TaskGraph& graph,
+    const graph::CostModel& costs, const graph::CommModel& comm,
+    const graph::MachineConfig& machine,
+    const sched::OptimalOptions& options) {
+  ScheduleTable table;
+  sched::OptimalScheduler scheduler(graph, costs, comm, machine);
+  for (RegimeId r : space.AllRegimes()) {
+    auto result = scheduler.Schedule(r, options);
+    if (!result.ok()) return result.status();
+    TableEntry entry;
+    entry.schedule = std::move(result->best);
+    entry.min_latency = result->min_latency;
+    entry.nodes_explored = result->nodes_explored;
+    // The schedule's op ids refer to the op graph expanded under its variant
+    // selection; expansion is deterministic, so rebuild it here for keeps.
+    entry.op_graph = std::make_unique<graph::OpGraph>(graph::OpGraph::Expand(
+        graph, costs, r, entry.schedule.iteration.variants()));
+    table.entries_.push_back(std::move(entry));
+  }
+  return table;
+}
+
+const TableEntry& ScheduleTable::Get(RegimeId regime) const {
+  SS_CHECK_MSG(regime.valid() && regime.index() < entries_.size(),
+               "regime outside schedule table");
+  return entries_[regime.index()];
+}
+
+}  // namespace ss::regime

@@ -1,0 +1,47 @@
+// Pre-computed regime -> optimal schedule table (paper §3.4).
+//
+// Off-line, the optimal scheduler runs once per regime; on-line, a state
+// change is a table lookup plus a schedule transition. The table owns the
+// per-regime op graphs (the schedule's op ids refer into them).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+#include "graph/cost_model.hpp"
+#include "graph/machine.hpp"
+#include "graph/op_graph.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/optimal.hpp"
+#include "sched/schedule.hpp"
+#include "regime/regime.hpp"
+
+namespace ss::regime {
+
+struct TableEntry {
+  sched::PipelinedSchedule schedule;
+  std::unique_ptr<graph::OpGraph> op_graph;
+  /// Scheduler diagnostics kept for reporting.
+  Tick min_latency = 0;
+  std::uint64_t nodes_explored = 0;
+};
+
+class ScheduleTable {
+ public:
+  /// Runs the Fig. 6 optimal scheduler for every regime in `space`.
+  /// Off-line cost is deliberately paid here, once.
+  static Expected<ScheduleTable> Precompute(
+      const RegimeSpace& space, const graph::TaskGraph& graph,
+      const graph::CostModel& costs, const graph::CommModel& comm,
+      const graph::MachineConfig& machine,
+      const sched::OptimalOptions& options = {});
+
+  const TableEntry& Get(RegimeId regime) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<TableEntry> entries_;
+};
+
+}  // namespace ss::regime

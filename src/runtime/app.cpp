@@ -1,0 +1,45 @@
+#include "runtime/app.hpp"
+
+namespace ss::runtime {
+
+Application::Application(const graph::TaskGraph& graph, AppOptions options)
+    : graph_(graph), options_(options) {
+  bodies_.resize(graph_.task_count());
+}
+
+void Application::SetBody(TaskId task, std::unique_ptr<TaskBody> body) {
+  SS_CHECK(task.valid() && task.index() < bodies_.size());
+  bodies_[task.index()] = std::move(body);
+}
+
+Status Application::Materialize() {
+  if (materialized_) {
+    return FailedPreconditionError("application already materialized");
+  }
+  SS_RETURN_IF_ERROR(graph_.Validate());
+  for (std::size_t t = 0; t < graph_.task_count(); ++t) {
+    if (!bodies_[t]) {
+      return FailedPreconditionError(
+          "no body installed for task '" +
+          graph_.task(TaskId(static_cast<TaskId::underlying_type>(t))).name +
+          "'");
+    }
+  }
+  for (std::size_t c = 0; c < graph_.channel_count(); ++c) {
+    const ChannelId id(static_cast<ChannelId::underlying_type>(c));
+    stm::ChannelOptions opts;
+    // Channels without in-graph consumers (application outputs such as the
+    // tracker's Model Locations) are left unbounded: no consume frontier
+    // would ever free space, so a capacity would deadlock their producer.
+    opts.capacity =
+        graph_.consumers(id).empty() ? 0 : options_.channel_capacity;
+    auto created = channels_.Create(graph_.channel(id).name, opts);
+    if (!created.ok()) return created.status();
+    SS_CHECK_MSG((*created)->id() == id,
+                 "channel table ids must mirror graph channel ids");
+  }
+  materialized_ = true;
+  return OkStatus();
+}
+
+}  // namespace ss::runtime

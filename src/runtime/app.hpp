@@ -1,0 +1,50 @@
+// Application: a task graph bound to task bodies and STM channels, ready to
+// be executed by a runner (free-running or schedule-driven).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+#include "graph/task_graph.hpp"
+#include "runtime/body.hpp"
+#include "stm/channel_table.hpp"
+
+namespace ss::runtime {
+
+struct AppOptions {
+  /// Capacity applied to every channel (0 = unbounded).
+  std::size_t channel_capacity = 8;
+};
+
+class Application {
+ public:
+  /// `graph` must outlive the application.
+  Application(const graph::TaskGraph& graph, AppOptions options = {});
+
+  /// Installs the body for a task (exactly one per task before Start).
+  void SetBody(TaskId task, std::unique_ptr<TaskBody> body);
+
+  /// Creates one STM channel per graph channel. Must be called once, after
+  /// all bodies are installed.
+  Status Materialize();
+
+  const graph::TaskGraph& graph() const { return graph_; }
+  stm::ChannelTable& channels() { return channels_; }
+  TaskBody* body(TaskId task) const { return bodies_.at(task.index()).get(); }
+
+  /// The STM channel realizing a graph channel.
+  stm::Channel* channel(ChannelId id) const { return channels_.Get(id); }
+
+  /// Wakes every blocked thread; used at shutdown.
+  void ShutdownChannels() { channels_.ShutdownAll(); }
+
+ private:
+  const graph::TaskGraph& graph_;
+  AppOptions options_;
+  stm::ChannelTable channels_;
+  std::vector<std::unique_ptr<TaskBody>> bodies_;
+  bool materialized_ = false;
+};
+
+}  // namespace ss::runtime

@@ -1,0 +1,72 @@
+// Task body interfaces for real (threaded) execution.
+//
+// A TaskBody implements the computation of one task for one timestamp. The
+// abstract execution model allows the same task to process *different*
+// timestamps concurrently (paper §3.2, third bullet), so bodies must be
+// safe for concurrent Process calls on distinct timestamps: any state that
+// spans frames (e.g. change detection's previous frame) is obtained through
+// channel history (`prev_items`) rather than mutable members.
+//
+// Data-parallel tasks additionally implement the chunk interface used by
+// both the splitter/worker/joiner harness and the scheduled runner.
+#pragma once
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "stm/item.hpp"
+
+namespace ss::runtime {
+
+/// Inputs handed to a body: one item per input channel of the task (in the
+/// task graph's input order). For history-consuming tasks, `prev_items`
+/// carries the items at ts-1 (empty payloads at the first timestamp).
+struct TaskInputs {
+  Timestamp ts = kNoTimestamp;
+  std::vector<stm::Item> items;
+  std::vector<stm::Item> prev_items;
+};
+
+/// Outputs produced by a body: one payload per output channel of the task
+/// (in the task graph's output order).
+struct TaskOutputs {
+  std::vector<stm::Payload> items;
+};
+
+class TaskBody {
+ public:
+  virtual ~TaskBody() = default;
+
+  /// Serial processing of one timestamp.
+  virtual Status Process(const TaskInputs& in, TaskOutputs* out) = 0;
+
+  /// True if the body wants the previous timestamp's input items as well.
+  virtual bool NeedsHistory() const { return false; }
+
+  /// Largest chunk count this body supports (1 = serial only).
+  virtual int MaxChunks() const { return 1; }
+
+  /// Computes one of `nchunks` partial results for a timestamp. Only called
+  /// when nchunks > 1; must be safe to call concurrently for distinct
+  /// (ts, chunk) pairs.
+  virtual Status ProcessChunk(const TaskInputs& in, int chunk, int nchunks,
+                              stm::Payload* partial) {
+    (void)in;
+    (void)chunk;
+    (void)nchunks;
+    (void)partial;
+    return FailedPreconditionError("body does not support chunking");
+  }
+
+  /// Combines partial results (in chunk order) into the task outputs.
+  virtual Status Join(const TaskInputs& in,
+                      std::vector<stm::Payload> partials, TaskOutputs* out) {
+    (void)in;
+    (void)partials;
+    (void)out;
+    return FailedPreconditionError("body does not support chunking");
+  }
+};
+
+}  // namespace ss::runtime

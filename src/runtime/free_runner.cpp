@@ -1,0 +1,260 @@
+#include "runtime/free_runner.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/log.hpp"
+#include "runtime/splitjoin.hpp"
+#include "stm/channel.hpp"
+
+namespace ss::runtime {
+
+namespace {
+
+/// Shared bookkeeping for the run: frame records and completion counting.
+struct RunState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<sim::FrameRecord> frames;
+  std::vector<int> sinks_remaining;  // per frame
+  std::size_t accounted = 0;         // completed + dropped
+  Tick start_wall = 0;
+
+  void MarkDigitized(Timestamp ts, Tick now) {
+    std::lock_guard lock(mu);
+    auto& f = frames[static_cast<std::size_t>(ts)];
+    f.ts = ts;
+    f.digitized_at = now - start_wall;
+  }
+  void MarkDropped(Timestamp ts) {
+    std::lock_guard lock(mu);
+    frames[static_cast<std::size_t>(ts)].ts = ts;
+    ++accounted;
+    cv.notify_all();
+  }
+  void MarkSinkDone(Timestamp ts, Tick now) {
+    std::lock_guard lock(mu);
+    const auto i = static_cast<std::size_t>(ts);
+    if (i >= frames.size()) return;
+    if (--sinks_remaining[i] == 0) {
+      frames[i].completed_at = now - start_wall;
+      ++accounted;
+      cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+FreeRunner::FreeRunner(Application& app, FreeRunOptions options)
+    : app_(app), options_(options) {}
+
+Expected<FreeRunResult> FreeRunner::Run() {
+  const graph::TaskGraph& g = app_.graph();
+  const auto sources = g.SourceTasks();
+  if (sources.size() != 1) {
+    return Status(FailedPreconditionError(
+        "free runner expects exactly one source task"));
+  }
+  const TaskId source = sources.front();
+  const auto sinks = g.SinkTasks();
+
+  RunState state;
+  state.frames.assign(options_.frames, sim::FrameRecord{});
+  state.sinks_remaining.assign(options_.frames,
+                               static_cast<int>(sinks.size()));
+  state.start_wall = WallNow();
+
+  // Attach connections up-front so threads only execute the loop.
+  std::vector<std::vector<stm::Channel*>> in_ch(g.task_count());
+  std::vector<std::vector<ConnId>> in_conn(g.task_count());
+  std::vector<std::vector<stm::Channel*>> out_ch(g.task_count());
+  std::vector<std::vector<ConnId>> out_conn(g.task_count());
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    const TaskId tid(static_cast<TaskId::underlying_type>(t));
+    for (ChannelId cid : g.inputs(tid)) {
+      stm::Channel* ch = app_.channel(cid);
+      in_ch[t].push_back(ch);
+      in_conn[t].push_back(ch->Attach(stm::ConnDir::kInput));
+    }
+    for (ChannelId cid : g.outputs(tid)) {
+      stm::Channel* ch = app_.channel(cid);
+      out_ch[t].push_back(ch);
+      out_conn[t].push_back(ch->Attach(stm::ConnDir::kOutput));
+    }
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(g.task_count());
+
+  // --- Digitizer thread ----------------------------------------------------
+  threads.emplace_back([&, source] {
+    const auto t = source.index();
+    TaskBody* body = app_.body(source);
+    const Tick base = WallNow();
+    for (std::size_t k = 0; k < options_.frames; ++k) {
+      if (options_.digitizer_period > 0) {
+        const Tick target = base + static_cast<Tick>(k) *
+                                       options_.digitizer_period;
+        const Tick now = WallNow();
+        if (target > now) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(target - now));
+        }
+      }
+      TaskInputs in;
+      in.ts = static_cast<Timestamp>(k);
+      TaskOutputs out;
+      Stopwatch body_timer;
+      Status s = body->Process(in, &out);
+      if (options_.timing != nullptr) {
+        options_.timing->Record(source, TaskTimingCollector::Kind::kSerial,
+                                body_timer.Elapsed());
+      }
+      if (!s.ok()) {
+        SS_LOG_WARN << "digitizer body failed: " << s.ToString();
+        state.MarkDropped(in.ts);
+        continue;
+      }
+      SS_CHECK_MSG(out.items.size() == out_ch[t].size(),
+                   "body produced wrong number of outputs");
+      const stm::PutMode mode = options_.drop_when_full
+                                    ? stm::PutMode::kNonBlocking
+                                    : stm::PutMode::kBlocking;
+      bool dropped = false;
+      for (std::size_t o = 0; o < out_ch[t].size(); ++o) {
+        Status put = out_ch[t][o]->Put(out_conn[t][o], in.ts,
+                                       std::move(out.items[o]), mode);
+        if (put.code() == StatusCode::kWouldBlock) {
+          dropped = true;
+          break;
+        }
+        if (put.code() == StatusCode::kCancelled) return;
+        SS_CHECK_MSG(put.ok(), "digitizer put failed unexpectedly");
+      }
+      if (dropped) {
+        state.MarkDropped(in.ts);
+      } else {
+        state.MarkDigitized(in.ts, WallNow());
+        if (sinks.empty()) state.MarkSinkDone(in.ts, WallNow());
+      }
+    }
+  });
+
+  // --- Worker thread per non-source task ------------------------------------
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    const TaskId tid(static_cast<TaskId::underlying_type>(t));
+    if (tid == source) continue;
+    const bool is_sink =
+        std::find(sinks.begin(), sinks.end(), tid) != sinks.end();
+    int dp_chunks = 1;
+    if (auto it = options_.data_parallel.find(tid);
+        it != options_.data_parallel.end()) {
+      dp_chunks = std::max(1, it->second);
+    }
+    threads.emplace_back([&, t, tid, is_sink, dp_chunks] {
+      TaskBody* body = app_.body(tid);
+      const bool history = body->NeedsHistory();
+      // Data-parallel tasks keep a persistent chunk-worker pool for the
+      // whole run (the Fig. 9 subgraph, inline).
+      std::unique_ptr<ChunkPool> pool;
+      if (dp_chunks > 1) {
+        pool = std::make_unique<ChunkPool>(body, dp_chunks);
+      }
+      Timestamp last = kNoTimestamp;
+      for (;;) {
+        // Arrival order on the first input channel defines the iteration.
+        auto head = in_ch[t][0]->Get(in_conn[t][0],
+                                     stm::TsQuery::After(last),
+                                     stm::GetMode::kBlocking);
+        if (!head.ok()) return;  // shutdown
+        const Timestamp ts = head->ts;
+        TaskInputs in;
+        in.ts = ts;
+        in.items.push_back(*head);
+        bool cancelled = false;
+        for (std::size_t i = 1; i < in_ch[t].size(); ++i) {
+          auto item = in_ch[t][i]->Get(in_conn[t][i],
+                                       stm::TsQuery::Exact(ts),
+                                       stm::GetMode::kBlocking);
+          if (!item.ok()) {
+            cancelled = true;
+            break;
+          }
+          in.items.push_back(*item);
+        }
+        if (cancelled) return;
+        if (history) {
+          for (std::size_t i = 0; i < in_ch[t].size(); ++i) {
+            auto prev = in_ch[t][i]->Get(in_conn[t][i],
+                                         stm::TsQuery::Exact(ts - 1),
+                                         stm::GetMode::kNonBlocking);
+            in.prev_items.push_back(prev.ok() ? *prev : stm::Item{});
+          }
+        }
+
+        TaskOutputs out;
+        Stopwatch body_timer;
+        Status s = pool ? pool->RunOne(in, dp_chunks, &out)
+                        : body->Process(in, &out);
+        if (options_.timing != nullptr) {
+          options_.timing->Record(tid, TaskTimingCollector::Kind::kSerial,
+                                  body_timer.Elapsed());
+        }
+        if (!s.ok()) {
+          SS_LOG_WARN << "task body failed: " << s.ToString();
+          return;
+        }
+        SS_CHECK_MSG(out.items.size() == out_ch[t].size(),
+                     "body produced wrong number of outputs");
+        for (std::size_t o = 0; o < out_ch[t].size(); ++o) {
+          Status put = out_ch[t][o]->Put(out_conn[t][o], ts,
+                                         std::move(out.items[o]),
+                                         stm::PutMode::kBlocking);
+          if (put.code() == StatusCode::kCancelled) return;
+          SS_CHECK_MSG(put.ok(), "worker put failed unexpectedly");
+        }
+        // Advance consume frontiers: keep ts-1 alive for history consumers.
+        const Timestamp frontier = history ? ts - 1 : ts;
+        for (std::size_t i = 0; i < in_ch[t].size(); ++i) {
+          (void)in_ch[t][i]->Consume(in_conn[t][i], frontier);
+        }
+        if (is_sink) state.MarkSinkDone(ts, WallNow());
+        last = ts;
+      }
+    });
+  }
+
+  // --- Wait for completion ---------------------------------------------------
+  // Also watch for an external ShutdownChannels() (checked via the first
+  // channel), which ends the run early without being a timeout in itself.
+  bool timed_out = false;
+  {
+    stm::Channel* probe =
+        g.channel_count() > 0 ? app_.channel(ChannelId(0)) : nullptr;
+    const Tick deadline = WallNow() + options_.timeout;
+    std::unique_lock lock(state.mu);
+    for (;;) {
+      if (state.accounted >= options_.frames) break;
+      if (probe != nullptr && probe->shut_down()) break;
+      if (WallNow() >= deadline) {
+        timed_out = true;
+        break;
+      }
+      state.cv.wait_for(lock, std::chrono::milliseconds(20));
+    }
+  }
+  app_.ShutdownChannels();
+  for (auto& th : threads) th.join();
+
+  FreeRunResult result;
+  result.frames = state.frames;
+  result.metrics = sim::ComputeMetrics(state.frames, options_.warmup);
+  result.timed_out = timed_out;
+  return result;
+}
+
+}  // namespace ss::runtime

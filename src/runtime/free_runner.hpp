@@ -1,0 +1,64 @@
+// Free-running execution: one POSIX thread per task, scheduled by the OS —
+// the paper's baseline actual execution model (§3.1/§3.2).
+//
+// Each task thread loops over timestamps in arrival order: it gets its
+// inputs from STM channels (blocking), runs the task body, puts the results
+// and advances its consume frontier. The digitizer thread is self-timed by
+// `digitizer_period` (the paper's primary hand-tuning variable) and drops a
+// frame when its output channel is full — the saturation regime of Fig. 3.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/time.hpp"
+#include "runtime/app.hpp"
+#include "runtime/timing.hpp"
+#include "sim/metrics.hpp"
+
+namespace ss::runtime {
+
+struct FreeRunOptions {
+  /// Digitizer firing period; 0 fires as fast as the channel accepts.
+  Tick digitizer_period = 0;
+  /// Frames the digitizer attempts to produce.
+  std::size_t frames = 32;
+  /// Completed frames excluded from steady-state statistics.
+  std::size_t warmup = 2;
+  /// Wall-clock cap on the whole run.
+  Tick timeout = ticks::FromSeconds(120);
+  /// When false, a full output channel blocks the digitizer instead of
+  /// dropping the frame.
+  bool drop_when_full = true;
+  /// Optional per-task execution-time collection (not owned).
+  TaskTimingCollector* timing = nullptr;
+  /// Tasks executed data-parallel: task -> chunk count. Each such task's
+  /// thread drives a persistent worker pool (the paper's hand-tuned
+  /// configuration: best decomposition under generic scheduling). The
+  /// body's decomposition (e.g. SetDecomposition on the tracker's T4) must
+  /// match the chunk count.
+  std::map<TaskId, int> data_parallel;
+};
+
+struct FreeRunResult {
+  sim::RunMetrics metrics;
+  std::vector<sim::FrameRecord> frames;
+  bool timed_out = false;
+};
+
+class FreeRunner {
+ public:
+  /// `app` must be materialized and outlive the runner.
+  FreeRunner(Application& app, FreeRunOptions options);
+
+  /// Executes the run to completion (all frames completed or dropped, or
+  /// timeout). Joins every thread before returning.
+  Expected<FreeRunResult> Run();
+
+ private:
+  Application& app_;
+  FreeRunOptions options_;
+};
+
+}  // namespace ss::runtime

@@ -1,0 +1,80 @@
+#include "runtime/regime_runner.hpp"
+
+#include "runtime/scheduled_runner.hpp"
+
+namespace ss::runtime {
+
+RegimeSwitchingRunner::RegimeSwitchingRunner(
+    Application& app, const regime::RegimeSpace& space,
+    const regime::ScheduleTable& table, StateFn state,
+    ReconfigureFn reconfigure, RegimeRunnerOptions options)
+    : app_(app),
+      space_(space),
+      table_(table),
+      state_(std::move(state)),
+      reconfigure_(std::move(reconfigure)),
+      options_(options) {
+  SS_CHECK(state_ != nullptr);
+}
+
+Expected<RegimeRunResult> RegimeSwitchingRunner::Run() {
+  RegimeRunResult result;
+  result.frames.reserve(options_.frames);
+  const Tick run_start = WallNow();
+
+  Timestamp ts = 0;
+  const auto total = static_cast<Timestamp>(options_.frames);
+  RegimeId active = space_.FromState(state_(0));
+  if (reconfigure_) reconfigure_(active, table_.Get(active));
+
+  while (ts < total) {
+    // The segment runs while the regime holds.
+    Timestamp end = ts;
+    while (end < total && space_.FromState(state_(end)) == active) ++end;
+
+    const regime::TableEntry& entry = table_.Get(active);
+    ScheduledRunOptions seg_opts;
+    seg_opts.first_frame = ts;
+    seg_opts.frames = static_cast<std::size_t>(end - ts);
+    seg_opts.digitizer_period = options_.digitizer_period;
+    seg_opts.warmup = 0;
+    ScheduledRunner segment(app_, *entry.op_graph, entry.schedule, seg_opts);
+    const Tick seg_offset = WallNow() - run_start;
+    auto seg_result = segment.Run();
+    if (!seg_result.ok()) return seg_result.status();
+
+    // Segment records are relative to the segment start; re-base them onto
+    // the whole run (latencies are shift-invariant, completion order and
+    // inter-arrival across segments become consistent).
+    for (auto f : seg_result->frames) {
+      if (f.digitized_at != kNoTick) {
+        f.digitized_at += seg_offset;
+        if (f.completed_at != kNoTick) f.completed_at += seg_offset;
+      }
+      result.frames.push_back(f);
+    }
+
+    ts = end;
+    if (ts >= total) break;
+
+    // Regime change: the segment has drained (ScheduledRunner joined all
+    // masters); look up and reconfigure, measuring the switch cost.
+    const RegimeId next = space_.FromState(state_(ts));
+    Stopwatch sw;
+    if (reconfigure_) reconfigure_(next, table_.Get(next));
+    RegimeSwitch change;
+    change.at_frame = ts;
+    change.from = active;
+    change.to = next;
+    change.wall_overhead = sw.Elapsed();
+    result.total_switch_overhead += change.wall_overhead;
+    result.switches.push_back(change);
+    active = next;
+  }
+
+  result.total_wall = WallNow() - run_start;
+  result.metrics = sim::ComputeMetrics(result.frames, options_.warmup);
+  return result;
+}
+
+}  // namespace ss::runtime

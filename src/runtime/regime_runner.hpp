@@ -1,0 +1,72 @@
+// Real-threaded regime switching — paper §3.4 executed, not just replayed.
+//
+// The runner processes a stream of frames whose application state (for the
+// tracker: the number of people) varies over the run. At each frame
+// boundary it detects the regime; while the regime holds it executes frames
+// under that regime's pre-computed optimal schedule (ScheduledRunner); on a
+// change it drains the in-flight segment, performs the table lookup,
+// reconfigures the bodies (the decomposition decision travelling with the
+// schedule) and continues — all over the same persistent STM channels, so
+// history-consuming tasks keep working across switches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/time.hpp"
+#include "regime/regime.hpp"
+#include "regime/schedule_table.hpp"
+#include "runtime/app.hpp"
+#include "sim/metrics.hpp"
+
+namespace ss::runtime {
+
+struct RegimeRunnerOptions {
+  std::size_t frames = 32;
+  /// Pacing of frame releases (0 = as fast as dependencies allow).
+  Tick digitizer_period = 0;
+  std::size_t warmup = 2;
+};
+
+struct RegimeSwitch {
+  Timestamp at_frame = 0;
+  RegimeId from;
+  RegimeId to;
+  Tick wall_overhead = 0;  // measured drain + reconfigure time
+};
+
+struct RegimeRunResult {
+  sim::RunMetrics metrics;
+  std::vector<sim::FrameRecord> frames;
+  std::vector<RegimeSwitch> switches;
+  Tick total_switch_overhead = 0;
+  Tick total_wall = 0;
+};
+
+class RegimeSwitchingRunner {
+ public:
+  /// Called after each table lookup so the application can align body
+  /// configuration (e.g. the T4 decomposition) with the incoming schedule.
+  using ReconfigureFn =
+      std::function<void(RegimeId, const regime::TableEntry&)>;
+  /// The observable application state at a timestamp.
+  using StateFn = std::function<int(Timestamp)>;
+
+  RegimeSwitchingRunner(Application& app, const regime::RegimeSpace& space,
+                        const regime::ScheduleTable& table, StateFn state,
+                        ReconfigureFn reconfigure,
+                        RegimeRunnerOptions options);
+
+  Expected<RegimeRunResult> Run();
+
+ private:
+  Application& app_;
+  const regime::RegimeSpace& space_;
+  const regime::ScheduleTable& table_;
+  StateFn state_;
+  ReconfigureFn reconfigure_;
+  RegimeRunnerOptions options_;
+};
+
+}  // namespace ss::runtime

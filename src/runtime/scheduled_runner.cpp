@@ -1,0 +1,361 @@
+#include "runtime/scheduled_runner.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "core/log.hpp"
+#include "stm/channel.hpp"
+
+namespace ss::runtime {
+
+namespace {
+
+/// Completion tickets for (op, frame) pairs, plus shared per-task staging
+/// for split/chunk/join cooperation.
+struct RunState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::vector<bool>> done;  // done[frame][op]
+  bool failed = false;
+  std::string error;
+
+  /// Staged inputs and partial results per (task, frame).
+  struct Stage {
+    TaskInputs inputs;
+    std::vector<stm::Payload> partials;
+  };
+  std::map<std::pair<int, Timestamp>, Stage> stages;
+
+  std::vector<sim::FrameRecord> frames;
+  std::vector<int> sinks_remaining;
+  Tick start_wall = 0;
+
+  Timestamp first_frame = 0;
+
+  // Pipelined iterations may complete out of order across processors, but a
+  // consume frontier is monotone ("never again request <= ts"), so each
+  // task may only consume up to its contiguous completed prefix.
+  std::vector<Timestamp> next_unconsumed;          // per task
+  std::vector<std::set<Timestamp>> done_early;     // per task
+
+  /// Records that `task` finished `ts`; returns the new highest timestamp
+  /// covered by the contiguous prefix, or kNoTimestamp if unchanged.
+  Timestamp AdvancePrefix(std::size_t task, Timestamp ts) {
+    std::lock_guard lock(mu);
+    if (ts != next_unconsumed[task]) {
+      done_early[task].insert(ts);
+      return kNoTimestamp;
+    }
+    Timestamp high = ts;
+    ++next_unconsumed[task];
+    auto& pending = done_early[task];
+    while (!pending.empty() && *pending.begin() == next_unconsumed[task]) {
+      high = *pending.begin();
+      pending.erase(pending.begin());
+      ++next_unconsumed[task];
+    }
+    return high;
+  }
+
+  std::size_t FrameIndex(Timestamp frame) const {
+    return static_cast<std::size_t>(frame - first_frame);
+  }
+
+  void MarkDone(int op, Timestamp frame) {
+    std::lock_guard lock(mu);
+    done[FrameIndex(frame)][static_cast<std::size_t>(op)] = true;
+    cv.notify_all();
+  }
+
+  /// Waits until every listed (op, frame) ticket is set. Returns false if
+  /// the run failed meanwhile.
+  bool WaitFor(const std::vector<int>& ops, Timestamp frame) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] {
+      if (failed) return true;
+      for (int op : ops) {
+        if (!done[FrameIndex(frame)][static_cast<std::size_t>(op)]) {
+          return false;
+        }
+      }
+      return true;
+    });
+    return !failed;
+  }
+
+  void Fail(std::string why) {
+    std::lock_guard lock(mu);
+    if (!failed) {
+      failed = true;
+      error = std::move(why);
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace
+
+ScheduledRunner::ScheduledRunner(Application& app, const graph::OpGraph& og,
+                                 const sched::PipelinedSchedule& schedule,
+                                 ScheduledRunOptions options)
+    : app_(app), og_(og), schedule_(schedule), options_(options) {}
+
+Expected<ScheduledRunResult> ScheduledRunner::Run() {
+  const graph::TaskGraph& g = app_.graph();
+  const int procs = schedule_.procs;
+  const std::size_t nops = og_.op_count();
+  const auto sinks = g.SinkTasks();
+
+  RunState state;
+  state.first_frame = options_.first_frame;
+  state.next_unconsumed.assign(g.task_count(), options_.first_frame);
+  state.done_early.resize(g.task_count());
+  state.done.assign(options_.frames, std::vector<bool>(nops, false));
+  state.frames.assign(options_.frames, sim::FrameRecord{});
+  state.sinks_remaining.assign(options_.frames,
+                               static_cast<int>(sinks.size()));
+  state.start_wall = WallNow();
+
+  // Per-task channel connections (shared across worker threads; Channel is
+  // thread-safe and consume frontiers are per-connection).
+  std::vector<std::vector<stm::Channel*>> in_ch(g.task_count());
+  std::vector<std::vector<ConnId>> in_conn(g.task_count());
+  std::vector<std::vector<stm::Channel*>> out_ch(g.task_count());
+  std::vector<std::vector<ConnId>> out_conn(g.task_count());
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    const TaskId tid(static_cast<TaskId::underlying_type>(t));
+    for (ChannelId cid : g.inputs(tid)) {
+      stm::Channel* ch = app_.channel(cid);
+      in_ch[t].push_back(ch);
+      in_conn[t].push_back(ch->Attach(stm::ConnDir::kInput));
+    }
+    for (ChannelId cid : g.outputs(tid)) {
+      stm::Channel* ch = app_.channel(cid);
+      out_ch[t].push_back(ch);
+      out_conn[t].push_back(ch->Attach(stm::ConnDir::kOutput));
+    }
+  }
+
+  // Chunk count per task under the schedule's variant selection.
+  std::vector<int> task_chunks(g.task_count(), 1);
+  for (std::size_t i = 0; i < nops; ++i) {
+    const graph::Op& op = og_.op(static_cast<int>(i));
+    if (op.kind == graph::OpKind::kChunk) {
+      task_chunks[op.task.index()] =
+          std::max(task_chunks[op.task.index()], op.chunk_index + 1);
+    }
+  }
+
+  // Gather inputs for a task at a frame (channels already hold the items
+  // because the producer's exit op completed).
+  auto gather_inputs = [&](TaskId tid, Timestamp ts,
+                           TaskInputs* in) -> Status {
+    const auto t = tid.index();
+    in->ts = ts;
+    for (std::size_t i = 0; i < in_ch[t].size(); ++i) {
+      auto item = in_ch[t][i]->Get(in_conn[t][i], stm::TsQuery::Exact(ts),
+                                   stm::GetMode::kNonBlocking);
+      if (!item.ok()) {
+        return InternalError("scheduled input missing: " +
+                             item.status().ToString());
+      }
+      in->items.push_back(*item);
+    }
+    if (app_.body(tid)->NeedsHistory()) {
+      for (std::size_t i = 0; i < in_ch[t].size(); ++i) {
+        auto prev = in_ch[t][i]->Get(in_conn[t][i],
+                                     stm::TsQuery::Exact(ts - 1),
+                                     stm::GetMode::kNonBlocking);
+        in->prev_items.push_back(prev.ok() ? *prev : stm::Item{});
+      }
+    }
+    return OkStatus();
+  };
+
+  // Emit outputs and advance consume frontiers after a task's exit op.
+  auto finish_task = [&](TaskId tid, Timestamp ts,
+                         TaskOutputs&& out) -> Status {
+    const auto t = tid.index();
+    if (out.items.size() != out_ch[t].size()) {
+      return InternalError("body produced wrong number of outputs");
+    }
+    for (std::size_t o = 0; o < out_ch[t].size(); ++o) {
+      SS_RETURN_IF_ERROR(out_ch[t][o]->Put(out_conn[t][o], ts,
+                                           std::move(out.items[o]),
+                                           stm::PutMode::kBlocking));
+    }
+    const Timestamp prefix = state.AdvancePrefix(t, ts);
+    if (prefix != kNoTimestamp) {
+      const Timestamp frontier =
+          app_.body(tid)->NeedsHistory() ? prefix - 1 : prefix;
+      for (std::size_t i = 0; i < in_ch[t].size(); ++i) {
+        (void)in_ch[t][i]->Consume(in_conn[t][i], frontier);
+      }
+    }
+    const bool is_sink =
+        std::find(sinks.begin(), sinks.end(), tid) != sinks.end();
+    if (is_sink) {
+      std::lock_guard lock(state.mu);
+      const auto i = state.FrameIndex(ts);
+      if (--state.sinks_remaining[i] == 0) {
+        state.frames[i].completed_at = WallNow() - state.start_wall;
+      }
+    }
+    return OkStatus();
+  };
+
+  // Execute one op for one frame.
+  auto run_op = [&](int op_id, Timestamp ts) -> Status {
+    const graph::Op& op = og_.op(op_id);
+    const TaskId tid = op.task;
+    TaskBody* body = app_.body(tid);
+    const bool is_source = g.task(tid).is_source;
+    const auto key = std::make_pair(tid.value(), ts);
+
+    switch (op.kind) {
+      case graph::OpKind::kWhole: {
+        TaskInputs in;
+        if (is_source) {
+          in.ts = ts;
+          {
+            std::lock_guard lock(state.mu);
+            auto& f = state.frames[state.FrameIndex(ts)];
+            f.ts = ts;
+            f.digitized_at = WallNow() - state.start_wall;
+          }
+        } else {
+          SS_RETURN_IF_ERROR(gather_inputs(tid, ts, &in));
+        }
+        TaskOutputs out;
+        Stopwatch body_timer;
+        SS_RETURN_IF_ERROR(body->Process(in, &out));
+        if (options_.timing != nullptr) {
+          options_.timing->Record(tid, TaskTimingCollector::Kind::kSerial,
+                                  body_timer.Elapsed());
+        }
+        return finish_task(tid, ts, std::move(out));
+      }
+      case graph::OpKind::kSplit: {
+        TaskInputs in;
+        SS_RETURN_IF_ERROR(gather_inputs(tid, ts, &in));
+        std::lock_guard lock(state.mu);
+        auto& stage = state.stages[key];
+        stage.inputs = std::move(in);
+        stage.partials.assign(
+            static_cast<std::size_t>(task_chunks[tid.index()]),
+            stm::Payload{});
+        return OkStatus();
+      }
+      case graph::OpKind::kChunk: {
+        const TaskInputs* in = nullptr;
+        {
+          std::lock_guard lock(state.mu);
+          in = &state.stages.at(key).inputs;
+        }
+        stm::Payload partial;
+        Stopwatch chunk_timer;
+        SS_RETURN_IF_ERROR(body->ProcessChunk(
+            *in, op.chunk_index, task_chunks[tid.index()], &partial));
+        if (options_.timing != nullptr) {
+          options_.timing->Record(tid, TaskTimingCollector::Kind::kChunk,
+                                  chunk_timer.Elapsed());
+        }
+        std::lock_guard lock(state.mu);
+        state.stages.at(key)
+            .partials[static_cast<std::size_t>(op.chunk_index)] =
+            std::move(partial);
+        return OkStatus();
+      }
+      case graph::OpKind::kJoin: {
+        TaskInputs in;
+        std::vector<stm::Payload> partials;
+        {
+          std::lock_guard lock(state.mu);
+          auto node = state.stages.extract(key);
+          SS_CHECK_MSG(!node.empty(), "join without staged split");
+          in = std::move(node.mapped().inputs);
+          partials = std::move(node.mapped().partials);
+        }
+        TaskOutputs out;
+        Stopwatch join_timer;
+        SS_RETURN_IF_ERROR(body->Join(in, std::move(partials), &out));
+        if (options_.timing != nullptr) {
+          options_.timing->Record(tid, TaskTimingCollector::Kind::kJoin,
+                                  join_timer.Elapsed());
+        }
+        return finish_task(tid, ts, std::move(out));
+      }
+    }
+    return InternalError("unknown op kind");
+  };
+
+  // Per-processor entry sequences per frame (rotation applied per frame).
+  std::vector<sched::ScheduleEntry> base = schedule_.iteration.entries();
+  std::sort(base.begin(), base.end(),
+            [](const sched::ScheduleEntry& a, const sched::ScheduleEntry& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.op < b.op;
+            });
+
+  const Tick run_base = WallNow();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(procs));
+  for (int p = 0; p < procs; ++p) {
+    workers.emplace_back([&, p] {
+      for (std::size_t k = 0; k < options_.frames; ++k) {
+        const auto frame =
+            options_.first_frame + static_cast<Timestamp>(k);
+        for (const auto& e : base) {
+          if (schedule_.ProcFor(e, static_cast<std::int64_t>(k)).value() !=
+              p) {
+            continue;
+          }
+          // Release pacing for the frame's first (source) ops.
+          if (og_.preds(e.op).empty() && options_.digitizer_period > 0) {
+            const Tick target = run_base + static_cast<Tick>(k) *
+                                               options_.digitizer_period;
+            const Tick now = WallNow();
+            if (target > now) {
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(target - now));
+            }
+          }
+          if (!state.WaitFor(og_.preds(e.op), frame)) return;
+          Status s = run_op(e.op, frame);
+          if (!s.ok()) {
+            state.Fail(s.ToString());
+            return;
+          }
+          state.MarkDone(e.op, frame);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Detach our connections so a later runner over the same application does
+  // not find its garbage collection pinned by our stale frontiers.
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    for (std::size_t i = 0; i < in_ch[t].size(); ++i) {
+      in_ch[t][i]->Detach(in_conn[t][i]);
+    }
+    for (std::size_t o = 0; o < out_ch[t].size(); ++o) {
+      out_ch[t][o]->Detach(out_conn[t][o]);
+    }
+  }
+
+  ScheduledRunResult result;
+  if (state.failed) {
+    app_.ShutdownChannels();
+    return Status(InternalError("scheduled run failed: " + state.error));
+  }
+  result.frames = state.frames;
+  result.metrics = sim::ComputeMetrics(state.frames, options_.warmup);
+  return result;
+}
+
+}  // namespace ss::runtime

@@ -1,0 +1,231 @@
+#include "runtime/splitjoin.hpp"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "core/log.hpp"
+
+namespace ss::runtime {
+
+void DecompositionTable::Set(RegimeId state, Decomposition d) {
+  SS_CHECK(state.valid());
+  SS_CHECK_MSG(d.chunks >= 1, "decomposition needs >= 1 chunk");
+  if (table_.size() <= state.index()) table_.resize(state.index() + 1);
+  table_[state.index()] = d;
+}
+
+Decomposition DecompositionTable::Get(RegimeId state) const {
+  SS_CHECK_MSG(state.valid() && state.index() < table_.size(),
+               "no decomposition for state");
+  return table_[state.index()];
+}
+
+SplitJoinHarness::SplitJoinHarness(TaskBody* body, DecompositionTable table,
+                                   SplitJoinOptions options)
+    : body_(body), table_(std::move(table)), options_(options) {
+  SS_CHECK(body_ != nullptr);
+  SS_CHECK(options_.workers >= 1);
+}
+
+Status SplitJoinHarness::Run(std::size_t frames, const InputFn& input,
+                             const OutputFn& output, const StateFn& state) {
+  stm::WorkQueue<Chunk> work(options_.work_queue_capacity);
+  struct Done {
+    Timestamp ts;
+    DoneChunk chunk;
+  };
+  stm::WorkQueue<Done> done(0);
+  // Controller channel (splitter -> joiner): the decomposition decision and
+  // the shared inputs for the timestamp, so the joiner can run Join.
+  struct Control {
+    Timestamp ts;
+    int total;
+    std::shared_ptr<const TaskInputs> inputs;
+  };
+  stm::WorkQueue<Control> controller(0);
+
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mu;
+  auto fail = [&](const Status& s) {
+    {
+      std::lock_guard lock(error_mu);
+      if (!failed.exchange(true)) first_error = s;
+    }
+    work.Shutdown();
+    done.Shutdown();
+    controller.Shutdown();
+  };
+
+  // ---- Workers -------------------------------------------------------------
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> chunks_processed{0};
+  workers.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        auto chunk = work.Pop();
+        if (!chunk) return;  // shutdown + drained
+        stm::Payload partial;
+        Status s;
+        if (chunk->total == 1) {
+          // Degenerate decomposition: run the task serially and forward the
+          // full outputs through the partial slot.
+          TaskOutputs out;
+          s = body_->Process(*chunk->inputs, &out);
+          if (s.ok()) {
+            partial = stm::Payload::Make<TaskOutputs>(std::move(out));
+          }
+        } else {
+          s = body_->ProcessChunk(*chunk->inputs, chunk->index, chunk->total,
+                                  &partial);
+        }
+        if (!s.ok()) {
+          fail(s);
+          return;
+        }
+        chunks_processed.fetch_add(1);
+        if (!done.Push(Done{chunk->ts,
+                            DoneChunk{chunk->index, std::move(partial)}})
+                 .ok()) {
+          return;
+        }
+      }
+    });
+  }
+
+  // ---- Joiner ----------------------------------------------------------------
+  std::thread joiner([&] {
+    struct Assembly {
+      int total = 0;
+      int received = 0;
+      std::shared_ptr<const TaskInputs> inputs;
+      std::vector<stm::Payload> partials;
+    };
+    std::map<Timestamp, Assembly> pending;
+    std::size_t emitted = 0;
+
+    while (emitted < frames && !failed.load()) {
+      auto d = done.Pop();
+      if (!d) return;  // shutdown
+      // The splitter announces a timestamp on the controller before pushing
+      // its chunks, so draining the controller until the ts appears always
+      // terminates.
+      while (pending.find(d->ts) == pending.end()) {
+        auto ctl = controller.Pop();
+        if (!ctl) return;
+        Assembly a;
+        a.total = ctl->total;
+        a.inputs = std::move(ctl->inputs);
+        a.partials.resize(static_cast<std::size_t>(ctl->total));
+        pending.emplace(ctl->ts, std::move(a));
+      }
+      Assembly& a = pending[d->ts];
+      a.partials[static_cast<std::size_t>(d->chunk.index)] =
+          std::move(d->chunk.partial);
+      if (++a.received < a.total) continue;
+
+      TaskOutputs out;
+      if (a.total == 1) {
+        out = *a.partials[0].As<TaskOutputs>();
+      } else {
+        Status s = body_->Join(*a.inputs, std::move(a.partials), &out);
+        if (!s.ok()) {
+          fail(s);
+          return;
+        }
+      }
+      output(d->ts, std::move(out));
+      pending.erase(d->ts);
+      ++emitted;
+    }
+  });
+
+  // ---- Splitter (runs on the caller's thread) ----------------------------------
+  Status status = OkStatus();
+  for (std::size_t k = 0; k < frames && !failed.load(); ++k) {
+    const auto ts = static_cast<Timestamp>(k);
+    auto in = input(ts);
+    if (!in.ok()) {
+      status = in.status();
+      fail(status);
+      break;
+    }
+    const Decomposition d = table_.Get(state(ts));
+    auto shared = std::make_shared<const TaskInputs>(std::move(*in));
+    if (!controller.Push(Control{ts, d.chunks, shared}).ok()) break;
+    for (int c = 0; c < d.chunks; ++c) {
+      if (!work.Push(Chunk{ts, c, d.chunks, shared}).ok()) break;
+    }
+    ++stats_.items_processed;
+  }
+
+  joiner.join();
+  work.Shutdown();
+  done.Shutdown();
+  controller.Shutdown();
+  for (auto& w : workers) w.join();
+  stats_.chunks_processed = chunks_processed.load();
+
+  if (failed.load()) {
+    std::lock_guard lock(error_mu);
+    return first_error.ok() ? InternalError("split/join run failed")
+                            : first_error;
+  }
+  return status;
+}
+
+ChunkPool::ChunkPool(TaskBody* body, int workers)
+    : body_(body), queue_(0) {
+  SS_CHECK(body_ != nullptr);
+  SS_CHECK(workers >= 1);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] {
+      for (;;) {
+        auto job = queue_.Pop();
+        if (!job) return;  // shutdown
+        stm::Payload partial;
+        Status s = body_->ProcessChunk(*job->inputs, job->index, job->total,
+                                       &partial);
+        std::lock_guard lock(mu_);
+        if (!s.ok() && first_error_.ok()) first_error_ = s;
+        if (s.ok()) {
+          partials_[static_cast<std::size_t>(job->index)] =
+              std::move(partial);
+        }
+        if (--outstanding_ == 0) cv_.notify_all();
+      }
+    });
+  }
+}
+
+ChunkPool::~ChunkPool() {
+  queue_.Shutdown();
+  for (auto& w : workers_) w.join();
+}
+
+Status ChunkPool::RunOne(const TaskInputs& in, int chunks, TaskOutputs* out) {
+  if (chunks <= 1) return body_->Process(in, out);
+  {
+    std::lock_guard lock(mu_);
+    SS_CHECK_MSG(outstanding_ == 0, "ChunkPool::RunOne is not reentrant");
+    partials_.assign(static_cast<std::size_t>(chunks), stm::Payload{});
+    outstanding_ = chunks;
+    first_error_ = OkStatus();
+  }
+  for (int cidx = 0; cidx < chunks; ++cidx) {
+    SS_RETURN_IF_ERROR(queue_.Push(Job{&in, cidx, chunks}));
+  }
+  std::vector<stm::Payload> partials;
+  {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return outstanding_ == 0; });
+    SS_RETURN_IF_ERROR(first_error_);
+    partials = std::move(partials_);
+  }
+  return body_->Join(in, std::move(partials), out);
+}
+
+}  // namespace ss::runtime

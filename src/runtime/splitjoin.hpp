@@ -1,0 +1,145 @@
+// Splitter / worker / joiner harness — the paper's mechanism for integrating
+// data parallelism into the task-parallel model (Fig. 9).
+//
+// A data-parallel task is replaced by a subgraph that exactly duplicates its
+// behaviour on its input and output channels:
+//   * the splitter reads the task's inputs, looks up the decomposition for
+//     the current state in a pre-computed table, divides the work into
+//     chunks and pushes them on the work queue;
+//   * `workers` parameterized copies of the task pull chunks by
+//     availability and write partial results to the done channel of their
+//     timestamp;
+//   * the joiner assembles each timestamp's partial results (the done
+//     channels act as a sorting network) into the task's output.
+//
+// The decomposition decision travels from splitter to joiner over a
+// controller channel, so the two always agree on the chunk count even when
+// the state (and hence the table entry) changes between frames.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "runtime/body.hpp"
+#include "stm/channel.hpp"
+#include "stm/work_queue.hpp"
+
+namespace ss::runtime {
+
+/// A decomposition decision: how many chunks to split one unit of work into.
+/// For the color tracker this encodes (frame partitions) x (model
+/// partitions); the harness only needs the product.
+struct Decomposition {
+  int chunks = 1;
+  /// Opaque tag forwarded to the body (e.g. packed FP/MP counts).
+  int tag = 0;
+};
+
+/// Pre-computed state -> decomposition table (the paper's constrained-
+/// dynamism table for data decomposition, §2.2).
+class DecompositionTable {
+ public:
+  void Set(RegimeId state, Decomposition d);
+  Decomposition Get(RegimeId state) const;
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::vector<Decomposition> table_;
+};
+
+struct SplitJoinOptions {
+  int workers = 4;
+  std::size_t work_queue_capacity = 64;
+};
+
+/// Statistics observed by the harness.
+struct SplitJoinStats {
+  std::uint64_t items_processed = 0;
+  std::uint64_t chunks_processed = 0;
+};
+
+/// Runs a chunk-capable TaskBody as a splitter/worker/joiner pipeline
+/// between an input fetch function and an output sink function, driving
+/// `frames` timestamps. The state function supplies the regime per
+/// timestamp; the decomposition table maps it to a chunk count.
+///
+/// This is a self-contained harness (it does not need a full Application):
+/// Table 1's measurement drives exactly this path.
+class SplitJoinHarness {
+ public:
+  using InputFn = std::function<Expected<TaskInputs>(Timestamp)>;
+  using OutputFn = std::function<void(Timestamp, TaskOutputs)>;
+  using StateFn = std::function<RegimeId(Timestamp)>;
+
+  SplitJoinHarness(TaskBody* body, DecompositionTable table,
+                   SplitJoinOptions options);
+
+  /// Processes timestamps [0, frames). Blocking; returns when the joiner
+  /// has emitted every frame.
+  Status Run(std::size_t frames, const InputFn& input, const OutputFn& output,
+             const StateFn& state);
+
+  const SplitJoinStats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    Timestamp ts = kNoTimestamp;
+    int index = 0;
+    int total = 1;
+    /// Shared inputs for the timestamp (set by the splitter).
+    std::shared_ptr<const TaskInputs> inputs;
+  };
+
+  struct DoneChunk {
+    int index = 0;
+    stm::Payload partial;
+  };
+
+  TaskBody* body_;
+  DecompositionTable table_;
+  SplitJoinOptions options_;
+  SplitJoinStats stats_;
+};
+
+/// Persistent worker pool executing one chunk-capable body, one timestamp
+/// at a time: the inline form of the splitter/worker/joiner subgraph, used
+/// by the free runner to execute a data-parallel task inside its task
+/// thread (the paper's hand-tuned configuration: best decomposition under
+/// generic scheduling).
+class ChunkPool {
+ public:
+  /// `body` must outlive the pool and support ProcessChunk/Join.
+  ChunkPool(TaskBody* body, int workers);
+  ~ChunkPool();
+
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  /// Splits `in` into `chunks` pieces, runs them on the pool, joins into
+  /// `out`. Serial path (chunks == 1) calls Process directly.
+  Status RunOne(const TaskInputs& in, int chunks, TaskOutputs* out);
+
+ private:
+  struct Job {
+    const TaskInputs* inputs;
+    int index;
+    int total;
+  };
+
+  TaskBody* body_;
+  stm::WorkQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<stm::Payload> partials_;
+  int outstanding_ = 0;
+  Status first_error_;
+};
+
+}  // namespace ss::runtime

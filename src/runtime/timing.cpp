@@ -1,0 +1,77 @@
+#include "runtime/timing.hpp"
+
+#include <sstream>
+
+namespace ss::runtime {
+
+void TaskTimingCollector::Record(TaskId task, Kind kind, Tick elapsed) {
+  if (!task.valid() || task.index() >= stats_.size()) return;
+  std::lock_guard lock(mu_);
+  PerTask& pt = stats_[task.index()];
+  switch (kind) {
+    case Kind::kSerial: pt.serial.Add(static_cast<double>(elapsed)); break;
+    case Kind::kChunk: pt.chunk.Add(static_cast<double>(elapsed)); break;
+    case Kind::kJoin: pt.join.Add(static_cast<double>(elapsed)); break;
+  }
+}
+
+RunningStats TaskTimingCollector::SerialStats(TaskId task) const {
+  std::lock_guard lock(mu_);
+  return stats_.at(task.index()).serial;
+}
+
+std::size_t TaskTimingCollector::SampleCount(TaskId task) const {
+  std::lock_guard lock(mu_);
+  const PerTask& pt = stats_.at(task.index());
+  return pt.serial.count() + pt.chunk.count() + pt.join.count();
+}
+
+std::vector<TaskTimingCollector::Drift> TaskTimingCollector::CompareTo(
+    const graph::CostModel& costs, RegimeId regime,
+    double tolerance) const {
+  std::vector<Drift> drifted;
+  std::lock_guard lock(mu_);
+  for (std::size_t t = 0; t < stats_.size(); ++t) {
+    const TaskId tid(static_cast<TaskId::underlying_type>(t));
+    const RunningStats& serial = stats_[t].serial;
+    if (serial.count() == 0 || !costs.Has(regime, tid)) continue;
+    const Tick expected = costs.Get(regime, tid).serial_cost();
+    if (expected <= 0) continue;
+    const double ratio =
+        serial.mean() / static_cast<double>(expected);
+    if (ratio > 1.0 + tolerance || ratio < 1.0 / (1.0 + tolerance)) {
+      drifted.push_back(Drift{tid, serial.mean(), expected, ratio});
+    }
+  }
+  return drifted;
+}
+
+std::string TaskTimingCollector::Report(
+    const graph::TaskGraph& graph) const {
+  std::ostringstream os;
+  std::lock_guard lock(mu_);
+  for (std::size_t t = 0; t < stats_.size() && t < graph.task_count(); ++t) {
+    const TaskId tid(static_cast<TaskId::underlying_type>(t));
+    const PerTask& pt = stats_[t];
+    os << graph.task(tid).name << ": ";
+    if (pt.serial.count() > 0) {
+      os << "serial n=" << pt.serial.count() << " mean="
+         << FormatTick(static_cast<Tick>(pt.serial.mean()));
+    }
+    if (pt.chunk.count() > 0) {
+      os << " chunk n=" << pt.chunk.count() << " mean="
+         << FormatTick(static_cast<Tick>(pt.chunk.mean()));
+    }
+    if (pt.join.count() > 0) {
+      os << " join n=" << pt.join.count() << " mean="
+         << FormatTick(static_cast<Tick>(pt.join.mean()));
+    }
+    if (pt.serial.count() + pt.chunk.count() + pt.join.count() == 0) {
+      os << "(no samples)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ss::runtime

@@ -1,0 +1,68 @@
+// Per-task execution-time collection during real runs, and drift detection
+// against the scheduler's cost model.
+//
+// The paper's framework is only as good as its measured costs ("execution
+// times for each operation" are scheduler inputs, Fig. 6). A deployed kiosk
+// runs for months; if the true costs drift from the table the schedules
+// were computed with (different hardware, thermal throttling, a model count
+// the calibration never saw), the regime table silently degrades. The
+// collector makes that observable: runners feed it per-invocation times and
+// CompareTo() reports tasks whose observed cost departs from the model.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/stats.hpp"
+#include "core/time.hpp"
+#include "graph/cost_model.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ss::runtime {
+
+class TaskTimingCollector {
+ public:
+  explicit TaskTimingCollector(std::size_t task_count)
+      : stats_(task_count) {}
+
+  /// Records one invocation of `task` taking `elapsed` ticks. Thread-safe.
+  /// `kind` distinguishes serial runs from chunk/join pieces; drift
+  /// comparison uses only serial samples (chunk times are per-piece).
+  enum class Kind { kSerial, kChunk, kJoin };
+  void Record(TaskId task, Kind kind, Tick elapsed);
+
+  /// Serial-invocation statistics for a task.
+  RunningStats SerialStats(TaskId task) const;
+  /// Total samples recorded for a task across all kinds.
+  std::size_t SampleCount(TaskId task) const;
+
+  struct Drift {
+    TaskId task;
+    double observed_mean = 0;  // ticks
+    Tick expected = 0;         // cost model serial cost
+    double ratio = 0;          // observed / expected
+  };
+
+  /// Tasks whose observed mean serial time departs from the model's serial
+  /// cost by more than `tolerance` in either direction (ratio outside
+  /// [1/(1+tolerance), 1+tolerance]). Tasks without serial samples are
+  /// skipped.
+  std::vector<Drift> CompareTo(const graph::CostModel& costs,
+                               RegimeId regime, double tolerance) const;
+
+  /// Human-readable per-task summary.
+  std::string Report(const graph::TaskGraph& graph) const;
+
+ private:
+  struct PerTask {
+    RunningStats serial;
+    RunningStats chunk;
+    RunningStats join;
+  };
+  mutable std::mutex mu_;
+  std::vector<PerTask> stats_;
+};
+
+}  // namespace ss::runtime

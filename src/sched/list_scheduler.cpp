@@ -1,0 +1,114 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+
+namespace ss::sched {
+
+IterationSchedule ListScheduler::Schedule(const graph::OpGraph& og) const {
+  const int n = static_cast<int>(og.op_count());
+  const int procs = machine_.total_procs();
+  const std::vector<Tick> tail = og.TailLengths();
+
+  // Priority order: descending upward rank, op id as a deterministic tie
+  // break. We must still respect readiness, so we pick the highest-priority
+  // ready op each step.
+  std::vector<int> pred_remaining(n);
+  for (int i = 0; i < n; ++i) {
+    pred_remaining[i] = static_cast<int>(og.preds(i).size());
+  }
+  std::vector<ProcId> proc_of(n, ProcId::Invalid());
+  std::vector<Tick> start_of(n, 0);
+  std::vector<Tick> finish_of(n, 0);
+  std::vector<Tick> proc_free(static_cast<std::size_t>(procs), 0);
+  std::vector<bool> done(n, false);
+
+  std::vector<ScheduleEntry> entries;
+  entries.reserve(static_cast<std::size_t>(n));
+
+  for (int step = 0; step < n; ++step) {
+    int best_op = -1;
+    for (int i = 0; i < n; ++i) {
+      if (done[i] || pred_remaining[i] != 0) continue;
+      if (best_op == -1 ||
+          tail[static_cast<std::size_t>(i)] >
+              tail[static_cast<std::size_t>(best_op)]) {
+        best_op = i;
+      }
+    }
+    SS_CHECK_MSG(best_op >= 0, "list scheduler stuck: graph is cyclic");
+
+    // Earliest-finish-time processor selection.
+    ProcId best_proc;
+    Tick best_start = 0;
+    Tick best_finish = kTickInfinity;
+    for (int p = 0; p < procs; ++p) {
+      ProcId pid(p);
+      Tick est = proc_free[pid.index()];
+      for (int pr : og.preds(best_op)) {
+        Tick ready = finish_of[pr];
+        if (proc_of[pr] != pid) {
+          ready += comm_.Cost(og.EdgeBytes(pr, best_op),
+                              machine_.SameNode(proc_of[pr], pid));
+        }
+        est = std::max(est, ready);
+      }
+      Tick finish = est + og.op(best_op).cost;
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_start = est;
+        best_proc = pid;
+      }
+    }
+
+    done[best_op] = true;
+    proc_of[best_op] = best_proc;
+    start_of[best_op] = best_start;
+    finish_of[best_op] = best_finish;
+    proc_free[best_proc.index()] = best_finish;
+    for (int s : og.succs(best_op)) --pred_remaining[s];
+    entries.push_back(
+        ScheduleEntry{best_op, best_proc, best_start, og.op(best_op).cost});
+  }
+
+  return IterationSchedule(og.variants(), std::move(entries));
+}
+
+Expected<IterationSchedule> ListScheduler::ScheduleBestVariant(
+    const graph::TaskGraph& graph, const graph::CostModel& costs,
+    RegimeId regime) const {
+  SS_RETURN_IF_ERROR(graph.Validate());
+  SS_RETURN_IF_ERROR(costs.Validate(graph.task_count()));
+
+  const std::size_t ntasks = graph.task_count();
+  std::vector<std::size_t> variant_counts(ntasks);
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    variant_counts[t] =
+        costs.Get(regime, TaskId(static_cast<TaskId::underlying_type>(t)))
+            .variant_count();
+  }
+  std::vector<VariantId> combo(ntasks, VariantId(0));
+  bool have_best = false;
+  IterationSchedule best;
+  for (;;) {
+    graph::OpGraph og = graph::OpGraph::Expand(graph, costs, regime, combo);
+    IterationSchedule cand = Schedule(og);
+    if (!have_best || cand.Latency() < best.Latency()) {
+      best = std::move(cand);
+      have_best = true;
+    }
+    std::size_t pos = 0;
+    while (pos < ntasks) {
+      auto next = combo[pos].value() + 1;
+      if (static_cast<std::size_t>(next) < variant_counts[pos]) {
+        combo[pos] = VariantId(next);
+        break;
+      }
+      combo[pos] = VariantId(0);
+      ++pos;
+    }
+    if (pos == ntasks) break;
+  }
+  return best;
+}
+
+}  // namespace ss::sched

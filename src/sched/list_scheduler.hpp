@@ -1,0 +1,40 @@
+// Critical-path list scheduler (HEFT-style) — the heuristic foil for the
+// exhaustive optimal scheduler.
+//
+// Used (a) in the ablation bench comparing heuristic vs exhaustive schedule
+// quality, and (b) for synthetic graphs large enough that exhaustive search
+// is out of reach. Ops are prioritized by upward rank (comm-free tail
+// length) and each is assigned to the processor giving the earliest finish,
+// charging communication for cross-processor edges.
+#pragma once
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "graph/cost_model.hpp"
+#include "graph/machine.hpp"
+#include "graph/op_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace ss::sched {
+
+class ListScheduler {
+ public:
+  ListScheduler(graph::CommModel comm, graph::MachineConfig machine)
+      : comm_(comm), machine_(machine) {}
+
+  /// Schedules one expanded op graph; always succeeds on a valid DAG.
+  IterationSchedule Schedule(const graph::OpGraph& og) const;
+
+  /// Tries every variant combination with the list scheduler and returns the
+  /// minimal-latency result (a cheap approximation of Fig. 6 steps 1-2).
+  Expected<IterationSchedule> ScheduleBestVariant(
+      const graph::TaskGraph& graph, const graph::CostModel& costs,
+      RegimeId regime) const;
+
+ private:
+  graph::CommModel comm_;
+  graph::MachineConfig machine_;
+};
+
+}  // namespace ss::sched

@@ -1,0 +1,42 @@
+#include "sched/naive.hpp"
+
+namespace ss::sched {
+
+namespace {
+
+IterationSchedule SerialIteration(const graph::OpGraph& og) {
+  std::vector<ScheduleEntry> entries;
+  entries.reserve(og.op_count());
+  Tick t = 0;
+  for (int op : og.TopoOrder()) {
+    entries.push_back(ScheduleEntry{op, ProcId(0), t, og.op(op).cost});
+    t += og.op(op).cost;
+  }
+  return IterationSchedule(og.variants(), std::move(entries));
+}
+
+}  // namespace
+
+PipelinedSchedule NaivePipelineSchedule(const graph::OpGraph& og,
+                                        const graph::MachineConfig& machine) {
+  PipelinedSchedule s;
+  s.iteration = SerialIteration(og);
+  s.procs = machine.total_procs();
+  s.rotation = s.procs > 1 ? 1 : 0;
+  s.initiation_interval = PipelineComposer::MinInitiationInterval(
+      s.iteration, s.procs, s.rotation);
+  return s;
+}
+
+PipelinedSchedule SingleProcessorSchedule(const graph::OpGraph& og,
+                                          const graph::MachineConfig& machine) {
+  PipelinedSchedule s;
+  s.iteration = SerialIteration(og);
+  s.procs = machine.total_procs();
+  s.rotation = 0;
+  s.initiation_interval = PipelineComposer::MinInitiationInterval(
+      s.iteration, s.procs, 0);
+  return s;
+}
+
+}  // namespace ss::sched

@@ -1,0 +1,27 @@
+// Naive schedule builders — the comparison points of paper Fig. 4.
+//
+// * NaivePipelineSchedule (Fig. 4b): the whole iteration runs serially on one
+//   processor; successive timestamps rotate across processors. High
+//   throughput (no idle time), but latency is the full serialized iteration.
+// * SingleProcessorSchedule: everything on processor 0, no rotation — the
+//   degenerate uniprocessor case of paper §1.
+#pragma once
+
+#include "graph/cost_model.hpp"
+#include "graph/machine.hpp"
+#include "graph/op_graph.hpp"
+#include "sched/pipeline.hpp"
+#include "sched/schedule.hpp"
+
+namespace ss::sched {
+
+/// Runs each iteration serially on one processor (ops in topological order)
+/// and rotates iterations round-robin across the machine: II ~= latency / P.
+PipelinedSchedule NaivePipelineSchedule(const graph::OpGraph& og,
+                                        const graph::MachineConfig& machine);
+
+/// Runs everything on processor 0 with no pipelining: II == latency.
+PipelinedSchedule SingleProcessorSchedule(const graph::OpGraph& og,
+                                          const graph::MachineConfig& machine);
+
+}  // namespace ss::sched

@@ -1,0 +1,57 @@
+#include "sched/occupancy.hpp"
+
+#include <algorithm>
+
+namespace ss::sched {
+
+OccupancyReport AnalyzeOccupancy(const graph::TaskGraph& graph,
+                                 const graph::OpGraph& og,
+                                 const PipelinedSchedule& schedule,
+                                 const std::vector<bool>& history_tasks) {
+  OccupancyReport report;
+  const Tick ii = std::max<Tick>(1, schedule.initiation_interval);
+
+  auto task_exit_end = [&](TaskId t) {
+    return schedule.iteration.EntryFor(og.TaskExit(t)).end();
+  };
+
+  for (std::size_t c = 0; c < graph.channel_count(); ++c) {
+    const ChannelId cid(static_cast<ChannelId::underlying_type>(c));
+    ChannelOccupancy occ;
+    occ.channel = cid;
+    occ.name = graph.channel(cid).name;
+
+    const TaskId producer = graph.producer(cid);
+    const auto& consumers = graph.consumers(cid);
+    if (!producer.valid() || consumers.empty()) {
+      // Application outputs: lifetime is up to the external reader.
+      occ.lifetime = 0;
+      occ.max_items = 0;
+      report.channels.push_back(occ);
+      continue;
+    }
+
+    const Tick put_at = task_exit_end(producer);
+    Tick released_at = put_at;
+    bool history = false;
+    for (TaskId consumer : consumers) {
+      released_at = std::max(released_at, task_exit_end(consumer));
+      if (consumer.index() < history_tasks.size() &&
+          history_tasks[consumer.index()]) {
+        history = true;
+      }
+    }
+    occ.lifetime = released_at - put_at;
+    // An item stays live while any of the overlapping iterations still
+    // needs it; a history consumer pins one additional timestamp.
+    occ.max_items = static_cast<std::size_t>(occ.lifetime / ii) + 1 +
+                    (history ? 1 : 0);
+    report.total_items += occ.max_items;
+    report.required_capacity =
+        std::max(report.required_capacity, occ.max_items);
+    report.channels.push_back(occ);
+  }
+  return report;
+}
+
+}  // namespace ss::sched

@@ -1,0 +1,51 @@
+// Channel-occupancy analysis of pipelined schedules.
+//
+// Paper §3.3: "a fixed schedule determines the number of items in each
+// channel", "by focusing on minimizing latency, we minimize the time for
+// which a piece of data is live — reduced space requirement". This module
+// computes that determination: for each channel, the lifetime of one item
+// under the schedule and the maximal number of simultaneously-live items in
+// pipelined steady state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "graph/op_graph.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace ss::sched {
+
+struct ChannelOccupancy {
+  ChannelId channel;
+  std::string name;
+  /// Time from the producer's put (exit-op end) to the last consumer's
+  /// release (exit-op end) within one iteration.
+  Tick lifetime = 0;
+  /// Max simultaneously-live items at steady state: floor(lifetime/II) + 1.
+  /// Channels without consumers in the graph report 0 (application outputs
+  /// are retained until an external reader consumes them).
+  std::size_t max_items = 0;
+};
+
+struct OccupancyReport {
+  std::vector<ChannelOccupancy> channels;
+  /// Sum of max_items across channels — the schedule's buffer footprint in
+  /// items.
+  std::size_t total_items = 0;
+  /// Largest single-channel bound (the capacity a uniform channel bound
+  /// must satisfy for the schedule to run without blocking).
+  std::size_t required_capacity = 0;
+};
+
+/// Computes the per-channel occupancy bound of `schedule`. `history_tasks`
+/// marks tasks that also read timestamp ts-1 (their channels keep one extra
+/// item alive).
+OccupancyReport AnalyzeOccupancy(const graph::TaskGraph& graph,
+                                 const graph::OpGraph& og,
+                                 const PipelinedSchedule& schedule,
+                                 const std::vector<bool>& history_tasks = {});
+
+}  // namespace ss::sched

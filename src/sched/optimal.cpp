@@ -1,0 +1,474 @@
+#include "sched/optimal.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace ss::sched {
+
+namespace {
+
+using graph::CommModel;
+using graph::MachineConfig;
+using graph::OpGraph;
+
+/// Branch-and-bound searcher over op orders x processor assignments for one
+/// expanded op graph. Finds all (capped) schedules with the minimal makespan,
+/// sharing a best-so-far across variant combinations.
+class BnbSearcher {
+ public:
+  BnbSearcher(const OpGraph& og, const CommModel& comm,
+              const MachineConfig& machine, const OptimalOptions& options,
+              OptimalResult* result)
+      : og_(og),
+        comm_(comm),
+        machine_(machine),
+        options_(options),
+        result_(result),
+        n_(static_cast<int>(og.op_count())),
+        procs_(machine.total_procs()),
+        tail_(og.TailLengths()) {
+    pred_remaining_.resize(n_);
+    scheduled_.assign(n_, false);
+    proc_of_.assign(n_, ProcId::Invalid());
+    start_of_.assign(n_, 0);
+    finish_of_.assign(n_, 0);
+    proc_free_.assign(static_cast<std::size_t>(procs_), 0);
+    for (int i = 0; i < n_; ++i) {
+      pred_remaining_[i] = static_cast<int>(og.preds(i).size());
+      remaining_work_ += og.op(i).cost;
+    }
+  }
+
+  void Run() { Dfs(0, 0, 0, -1); }
+
+ private:
+  struct Placement {
+    int op;
+    ProcId proc;
+    Tick start;
+  };
+
+  Tick EarliestStart(int op, ProcId proc) const {
+    Tick est = proc_free_[proc.index()];
+    for (int p : og_.preds(op)) {
+      Tick ready = finish_of_[p];
+      if (proc_of_[p] != proc) {
+        ready += comm_.Cost(og_.EdgeBytes(p, op),
+                            machine_.SameNode(proc_of_[p], proc));
+      }
+      est = std::max(est, ready);
+    }
+    return est;
+  }
+
+  /// Lower bound on the final makespan of any completion of this partial
+  /// schedule: current makespan, remaining-critical-path, and remaining-work
+  /// bounds.
+  Tick LowerBound(Tick cur_makespan) const {
+    Tick lb = cur_makespan;
+    // Remaining work bound: all unscheduled work must fit after proc_free.
+    Tick free_sum = 0;
+    for (Tick f : proc_free_) free_sum += f;
+    Tick work_lb =
+        (free_sum + remaining_work_ + static_cast<Tick>(procs_) - 1) /
+        static_cast<Tick>(procs_);
+    lb = std::max(lb, work_lb);
+    // Path bound: comm-free earliest start of each unscheduled op plus its
+    // comm-free tail.
+    // est_lb is computed in op-id order, which is topological.
+    Tick path_lb = 0;
+    thread_local std::vector<Tick> est_lb;
+    est_lb.assign(static_cast<std::size_t>(n_), 0);
+    for (int i = 0; i < n_; ++i) {
+      if (scheduled_[i]) {
+        est_lb[i] = finish_of_[i];
+        continue;
+      }
+      Tick est = 0;
+      for (int p : og_.preds(i)) est = std::max(est, est_lb[p]);
+      est_lb[i] = est + og_.op(i).cost;
+      path_lb = std::max(path_lb, est + tail_[static_cast<std::size_t>(i)]);
+    }
+    return std::max(lb, path_lb);
+  }
+
+  IterationSchedule CurrentSchedule() const {
+    std::vector<ScheduleEntry> entries;
+    entries.reserve(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      entries.push_back(ScheduleEntry{i, proc_of_[i], start_of_[i],
+                                      og_.op(i).cost});
+    }
+    return IterationSchedule(og_.variants(), std::move(entries));
+  }
+
+  void RecordComplete(Tick makespan) {
+    ++result_->complete_schedules;
+    if (makespan > best_) return;
+    if (bound_mode_) {
+      // Throughput mode: the bound is fixed; compose every feasible
+      // schedule and keep the argmin initiation interval. The collection
+      // cap only limits what is *reported*, not what is considered.
+      IterationSchedule sched = CurrentSchedule();
+      result_->min_latency = result_->min_latency == 0
+                                 ? makespan
+                                 : std::min(result_->min_latency, makespan);
+      PipelinedSchedule composed = PipelineComposer::Compose(
+          sched, machine_.total_procs(), options_.pipeline);
+      if (!has_best_pipelined_ ||
+          composed.initiation_interval <
+              best_pipelined_.initiation_interval ||
+          (composed.initiation_interval ==
+               best_pipelined_.initiation_interval &&
+           composed.Latency() < best_pipelined_.Latency())) {
+        best_pipelined_ = composed;
+        has_best_pipelined_ = true;
+      }
+      if (static_cast<int>(result_->optimal.size()) <
+          options_.max_optimal_schedules) {
+        std::string key = sched.CanonicalKey();
+        if (seen_keys_.insert(key).second) {
+          result_->optimal.push_back(std::move(sched));
+        }
+      }
+      return;
+    }
+    if (makespan < best_) {
+      best_ = makespan;
+      result_->optimal.clear();
+      seen_keys_.clear();
+    }
+    result_->min_latency = best_;
+    if (static_cast<int>(result_->optimal.size()) >=
+        options_.max_optimal_schedules) {
+      return;
+    }
+    IterationSchedule sched = CurrentSchedule();
+    std::string key = sched.CanonicalKey();
+    if (seen_keys_.insert(key).second) {
+      result_->optimal.push_back(std::move(sched));
+    }
+  }
+
+  void Dfs(int scheduled_count, Tick cur_makespan, Tick last_start,
+           int last_op) {
+    if (++result_->nodes_explored > options_.max_nodes) {
+      result_->budget_exhausted = true;
+      return;
+    }
+    if (scheduled_count == n_) {
+      RecordComplete(cur_makespan);
+      return;
+    }
+    if (LowerBound(cur_makespan) > best_) return;
+
+    // Collect ready ops, deduplicating interchangeable ones (identical cost,
+    // predecessors and successors — e.g. chunks of the same task).
+    thread_local std::vector<int> ready;
+    ready.clear();
+    for (int i = 0; i < n_; ++i) {
+      if (!scheduled_[i] && pred_remaining_[i] == 0) ready.push_back(i);
+    }
+    thread_local std::vector<int> branch_ops;
+    branch_ops.clear();
+    for (int i : ready) {
+      bool duplicate = false;
+      for (int j : branch_ops) {
+        if (og_.op(i).cost == og_.op(j).cost && og_.preds(i) == og_.preds(j) &&
+            og_.succs(i) == og_.succs(j)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) branch_ops.push_back(i);
+    }
+
+    // Snapshot because thread_local buffers are reused across recursion.
+    const std::vector<int> branch_ops_copy = branch_ops;
+    for (int op : branch_ops_copy) {
+      // Candidate processors, deduplicated by (node, free time): two idle
+      // processors on the same node are interchangeable.
+      thread_local std::vector<ProcId> procs;
+      procs.clear();
+      for (int p = 0; p < procs_; ++p) {
+        ProcId pid(p);
+        bool duplicate = false;
+        for (ProcId q : procs) {
+          if (proc_free_[q.index()] == proc_free_[pid.index()] &&
+              machine_.SameNode(q, pid)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) procs.push_back(pid);
+      }
+      const std::vector<ProcId> procs_copy = procs;
+      for (ProcId p : procs_copy) {
+        const Tick est = EarliestStart(op, p);
+        // Canonical generation order: every greedy schedule is generated
+        // exactly once, in non-decreasing (start, op id) order. Op ids are
+        // topological, so a predecessor always sorts before its successors
+        // even at equal start times. Placements that would start before the
+        // previous placement belong to (and are explored in) a different
+        // branch ordering.
+        if (est < last_start || (est == last_start && op < last_op)) {
+          continue;
+        }
+        const Tick finish = est + og_.op(op).cost;
+        // Place.
+        scheduled_[op] = true;
+        proc_of_[op] = p;
+        start_of_[op] = est;
+        finish_of_[op] = finish;
+        const Tick saved_free = proc_free_[p.index()];
+        proc_free_[p.index()] = finish;
+        remaining_work_ -= og_.op(op).cost;
+        for (int s : og_.succs(op)) --pred_remaining_[s];
+
+        Dfs(scheduled_count + 1, std::max(cur_makespan, finish), est, op);
+
+        // Undo.
+        for (int s : og_.succs(op)) ++pred_remaining_[s];
+        remaining_work_ += og_.op(op).cost;
+        proc_free_[p.index()] = saved_free;
+        scheduled_[op] = false;
+        proc_of_[op] = ProcId::Invalid();
+        if (result_->budget_exhausted) return;
+      }
+    }
+  }
+
+ public:
+  /// Shares the best-so-far makespan across variant combinations.
+  void SeedBest(Tick best) { best_ = best; }
+  Tick best() const { return best_; }
+
+  /// Enables throughput mode: collect every schedule with makespan <= bound
+  /// and track the one whose pipelined form has the smallest interval.
+  void SetLatencyBound(Tick bound) {
+    bound_mode_ = true;
+    best_ = bound;
+  }
+  bool has_best_pipelined() const { return has_best_pipelined_; }
+  const PipelinedSchedule& best_pipelined() const { return best_pipelined_; }
+
+ private:
+  const OpGraph& og_;
+  const CommModel& comm_;
+  const MachineConfig& machine_;
+  const OptimalOptions& options_;
+  OptimalResult* result_;
+
+  const int n_;
+  const int procs_;
+  const std::vector<Tick> tail_;
+
+  std::vector<int> pred_remaining_;
+  std::vector<bool> scheduled_;
+  std::vector<ProcId> proc_of_;
+  std::vector<Tick> start_of_;
+  std::vector<Tick> finish_of_;
+  std::vector<Tick> proc_free_;
+  Tick remaining_work_ = 0;
+  Tick best_ = kTickInfinity;
+  bool bound_mode_ = false;
+  PipelinedSchedule best_pipelined_;
+  bool has_best_pipelined_ = false;
+  std::set<std::string> seen_keys_;
+};
+
+}  // namespace
+
+OptimalScheduler::OptimalScheduler(const graph::TaskGraph& graph,
+                                   const graph::CostModel& costs,
+                                   graph::CommModel comm,
+                                   graph::MachineConfig machine)
+    : graph_(graph), costs_(costs), comm_(comm), machine_(machine) {}
+
+Expected<OptimalResult> OptimalScheduler::ScheduleWithVariants(
+    RegimeId regime, const std::vector<VariantId>& variants,
+    const OptimalOptions& options) const {
+  SS_RETURN_IF_ERROR(graph_.Validate());
+  SS_RETURN_IF_ERROR(costs_.Validate(graph_.task_count()));
+  OptimalResult result;
+  result.variant_combinations = 1;
+  OpGraph og = OpGraph::Expand(graph_, costs_, regime, variants);
+  BnbSearcher searcher(og, comm_, machine_, options, &result);
+  searcher.Run();
+  if (result.optimal.empty()) {
+    return Status(InternalError("search produced no schedule"));
+  }
+  result.best = PipelineComposer::Compose(result.optimal.front(),
+                                          machine_.total_procs(),
+                                          options.pipeline);
+  for (std::size_t i = 1; i < result.optimal.size(); ++i) {
+    PipelinedSchedule cand = PipelineComposer::Compose(
+        result.optimal[i], machine_.total_procs(), options.pipeline);
+    if (cand.initiation_interval < result.best.initiation_interval) {
+      result.best = cand;
+    }
+  }
+  return result;
+}
+
+Expected<OptimalResult> OptimalScheduler::Schedule(
+    RegimeId regime, const OptimalOptions& options) const {
+  SS_RETURN_IF_ERROR(graph_.Validate());
+  SS_RETURN_IF_ERROR(costs_.Validate(graph_.task_count()));
+
+  const std::size_t ntasks = graph_.task_count();
+  std::vector<std::size_t> variant_counts(ntasks);
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    variant_counts[t] =
+        costs_.Get(regime, TaskId(static_cast<TaskId::underlying_type>(t)))
+            .variant_count();
+  }
+
+  OptimalResult result;
+  // Odometer over the cartesian product of per-task variants. Each
+  // combination shares the global best makespan so later combinations are
+  // pruned against earlier ones (step 1 and 2 of Fig. 6 run together).
+  std::vector<VariantId> combo(ntasks, VariantId(0));
+  Tick global_best = kTickInfinity;
+  for (;;) {
+    ++result.variant_combinations;
+    OpGraph og = OpGraph::Expand(graph_, costs_, regime, combo);
+    OptimalResult sub;
+    // The node budget is global across variant combinations: the searcher
+    // continues the running count.
+    sub.nodes_explored = result.nodes_explored;
+    BnbSearcher searcher(og, comm_, machine_, options, &sub);
+    searcher.SeedBest(global_best);
+    // Keep already-collected schedules only if this combo cannot beat them;
+    // simplest correct approach: searcher collects into `sub`, then merge.
+    searcher.Run();
+    result.nodes_explored = sub.nodes_explored;
+    result.complete_schedules += sub.complete_schedules;
+    result.budget_exhausted |= sub.budget_exhausted;
+    if (result.budget_exhausted) break;
+    if (!sub.optimal.empty()) {
+      const Tick combo_best = sub.min_latency;
+      if (combo_best < global_best) {
+        global_best = combo_best;
+        result.min_latency = combo_best;
+        result.optimal = std::move(sub.optimal);
+      } else if (combo_best == global_best) {
+        for (auto& s : sub.optimal) {
+          if (static_cast<int>(result.optimal.size()) >=
+              options.max_optimal_schedules) {
+            break;
+          }
+          result.optimal.push_back(std::move(s));
+        }
+      }
+    }
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < ntasks) {
+      auto next = combo[pos].value() + 1;
+      if (static_cast<std::size_t>(next) < variant_counts[pos]) {
+        combo[pos] = VariantId(next);
+        break;
+      }
+      combo[pos] = VariantId(0);
+      ++pos;
+    }
+    if (pos == ntasks) break;
+  }
+
+  if (result.optimal.empty()) {
+    return Status(InternalError(
+        "no schedule found (budget exhausted before any completion)"));
+  }
+
+  // Step 3: choose the member of S whose pipelined form has the highest
+  // steady-state throughput.
+  result.best = PipelineComposer::Compose(
+      result.optimal.front(), machine_.total_procs(), options.pipeline);
+  for (std::size_t i = 1; i < result.optimal.size(); ++i) {
+    PipelinedSchedule cand = PipelineComposer::Compose(
+        result.optimal[i], machine_.total_procs(), options.pipeline);
+    if (cand.initiation_interval < result.best.initiation_interval) {
+      result.best = cand;
+    }
+  }
+  return result;
+}
+
+Expected<OptimalResult> OptimalScheduler::ScheduleForThroughput(
+    RegimeId regime, Tick latency_bound,
+    const OptimalOptions& options) const {
+  SS_RETURN_IF_ERROR(graph_.Validate());
+  SS_RETURN_IF_ERROR(costs_.Validate(graph_.task_count()));
+  if (latency_bound <= 0) {
+    return Status(InvalidArgumentError("latency bound must be positive"));
+  }
+
+  const std::size_t ntasks = graph_.task_count();
+  std::vector<std::size_t> variant_counts(ntasks);
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    variant_counts[t] =
+        costs_.Get(regime, TaskId(static_cast<TaskId::underlying_type>(t)))
+            .variant_count();
+  }
+
+  OptimalResult result;
+  bool have_best = false;
+  std::vector<VariantId> combo(ntasks, VariantId(0));
+  for (;;) {
+    ++result.variant_combinations;
+    OpGraph og = OpGraph::Expand(graph_, costs_, regime, combo);
+    // Cheap feasibility screen: the comm-free critical path must fit.
+    if (og.CriticalPath() <= latency_bound) {
+      OptimalResult sub;
+      sub.nodes_explored = result.nodes_explored;  // shared global budget
+      BnbSearcher searcher(og, comm_, machine_, options, &sub);
+      searcher.SetLatencyBound(latency_bound);
+      searcher.Run();
+      result.nodes_explored = sub.nodes_explored;
+      result.complete_schedules += sub.complete_schedules;
+      result.budget_exhausted |= sub.budget_exhausted;
+      if (sub.min_latency > 0) {
+        result.min_latency = result.min_latency == 0
+                                 ? sub.min_latency
+                                 : std::min(result.min_latency,
+                                            sub.min_latency);
+      }
+      if (searcher.has_best_pipelined()) {
+        const auto& cand = searcher.best_pipelined();
+        if (!have_best || cand.initiation_interval <
+                              result.best.initiation_interval) {
+          result.best = cand;
+          have_best = true;
+        }
+        for (auto& s : sub.optimal) {
+          if (static_cast<int>(result.optimal.size()) >=
+              options.max_optimal_schedules) {
+            break;
+          }
+          result.optimal.push_back(std::move(s));
+        }
+      }
+    }
+    std::size_t pos = 0;
+    while (pos < ntasks) {
+      auto next = combo[pos].value() + 1;
+      if (static_cast<std::size_t>(next) < variant_counts[pos]) {
+        combo[pos] = VariantId(next);
+        break;
+      }
+      combo[pos] = VariantId(0);
+      ++pos;
+    }
+    if (pos == ntasks) break;
+  }
+
+  if (!have_best) {
+    return Status(NotFoundError(
+        "no schedule meets the latency bound " + FormatTick(latency_bound)));
+  }
+  return result;
+}
+
+}  // namespace ss::sched

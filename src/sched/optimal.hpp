@@ -1,0 +1,97 @@
+// The paper's off-line optimal scheduler (Fig. 6).
+//
+// Input:  the application task graph, execution times for each task
+//         *including its data-parallel variants* (per regime), communication
+//         times within and across nodes, and the machine shape.
+// Output: (1) the minimal latency L for a single iteration,
+//         (2) the set S of single-iteration schedules with latency L,
+//         (3) the multi-iteration schedule built from a member of S with the
+//             highest steady-state throughput.
+//
+// The paper argues exhaustive evaluation is affordable because the graphs
+// are tiny and the schedule runs for months; we implement the search as a
+// branch-and-bound over (data-parallel variant selection) x (op order) x
+// (processor assignment), with three soundness-preserving reductions:
+//   * processor symmetry: interchangeable processors (same node, same free
+//     time) are branched once;
+//   * ready-op symmetry: interchangeable ready ops (chunks of the same task)
+//     are branched once;
+//   * lower-bound pruning on remaining critical path and remaining work.
+// One documented restriction: ops are placed at the earliest feasible time
+// on the chosen processor (no deliberate idle insertion). With communication
+// delays this can in principle exclude an optimal schedule; for the
+// application class's graph shapes it does not, and the paper's hand
+// schedules are all of this form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/time.hpp"
+#include "graph/cost_model.hpp"
+#include "graph/machine.hpp"
+#include "graph/op_graph.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/pipeline.hpp"
+#include "sched/schedule.hpp"
+
+namespace ss::sched {
+
+struct OptimalOptions {
+  /// Cap on how many latency-optimal iteration schedules are retained in S.
+  int max_optimal_schedules = 32;
+  /// Branch-and-bound node budget across all variant combinations.
+  std::uint64_t max_nodes = 20'000'000;
+  /// Pipelining options for step 3.
+  PipelineOptions pipeline;
+};
+
+struct OptimalResult {
+  /// Step 1: minimal single-iteration latency (in throughput mode: the
+  /// minimal latency encountered within the bound).
+  Tick min_latency = 0;
+  /// Step 2: latency-optimal iteration schedules (deduplicated, capped).
+  std::vector<IterationSchedule> optimal;
+  /// Step 3: the best software-pipelined schedule from the set above.
+  PipelinedSchedule best;
+  /// Diagnostics.
+  std::uint64_t nodes_explored = 0;
+  std::uint64_t complete_schedules = 0;
+  std::uint64_t variant_combinations = 0;
+  bool budget_exhausted = false;
+};
+
+class OptimalScheduler {
+ public:
+  OptimalScheduler(const graph::TaskGraph& graph,
+                   const graph::CostModel& costs, graph::CommModel comm,
+                   graph::MachineConfig machine);
+
+  /// Runs the Fig. 6 algorithm for one regime.
+  Expected<OptimalResult> Schedule(RegimeId regime,
+                                   const OptimalOptions& options = {}) const;
+
+  /// Finds the minimal-makespan schedule for a *fixed* variant selection
+  /// (used by ablations and tests).
+  Expected<OptimalResult> ScheduleWithVariants(
+      RegimeId regime, const std::vector<VariantId>& variants,
+      const OptimalOptions& options = {}) const;
+
+  /// Throughput mode: maximizes steady-state throughput (minimal pipelined
+  /// initiation interval) over all schedules whose single-iteration latency
+  /// is at most `latency_bound`. With bound = the regime's minimal latency
+  /// this reduces to Fig. 6; looser bounds trade latency for throughput
+  /// (the frontier the related work of [13] studies).
+  Expected<OptimalResult> ScheduleForThroughput(
+      RegimeId regime, Tick latency_bound,
+      const OptimalOptions& options = {}) const;
+
+ private:
+  const graph::TaskGraph& graph_;
+  const graph::CostModel& costs_;
+  graph::CommModel comm_;
+  graph::MachineConfig machine_;
+};
+
+}  // namespace ss::sched

@@ -1,0 +1,61 @@
+#include "sched/pipeline.hpp"
+
+#include <algorithm>
+
+namespace ss::sched {
+
+Tick PipelineComposer::MinInitiationInterval(const IterationSchedule& iter,
+                                             int procs, int rotation) {
+  SS_CHECK(procs > 0);
+  SS_CHECK(rotation >= 0 && rotation < procs);
+  const auto& entries = iter.entries();
+  const Tick latency = iter.Latency();
+  if (entries.empty() || latency == 0) return 1;
+
+  // For iterations k and k+d, entry b of the later iteration lands on the
+  // same processor as entry a of the earlier one iff
+  //   (b.proc + d*rotation) mod procs == a.proc.
+  // We require the later instance to start no earlier than the earlier one
+  // ends: b.start + d*II >= a.end, i.e. II >= ceil((a.end - b.start) / d).
+  // Constraints vanish once d*II >= latency (the later iteration starts
+  // after the earlier finished entirely), so we grow d until that holds.
+  Tick ii = 1;
+  for (std::int64_t d = 1;; ++d) {
+    if (d * ii >= latency) break;
+    const int shift =
+        static_cast<int>((static_cast<std::int64_t>(rotation) * d) % procs);
+    for (const auto& b : entries) {
+      const int target = (b.proc.value() + shift) % procs;
+      for (const auto& a : entries) {
+        if (a.proc.value() != target) continue;
+        if (a.end() > b.start) {
+          const Tick need = (a.end() - b.start + d - 1) / d;  // ceil
+          ii = std::max(ii, need);
+        }
+      }
+    }
+  }
+  return ii;
+}
+
+PipelinedSchedule PipelineComposer::Compose(IterationSchedule iter, int procs,
+                                            const PipelineOptions& options) {
+  PipelinedSchedule best;
+  best.procs = procs;
+  best.iteration = std::move(iter);
+  best.rotation = 0;
+  best.initiation_interval =
+      MinInitiationInterval(best.iteration, procs, 0);
+  if (options.allow_rotation) {
+    for (int r = 1; r < procs; ++r) {
+      Tick ii = MinInitiationInterval(best.iteration, procs, r);
+      if (ii < best.initiation_interval) {
+        best.initiation_interval = ii;
+        best.rotation = r;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ss::sched

@@ -1,0 +1,35 @@
+// Software-pipelining composer (paper §3.3).
+//
+// Given a latency-minimal single-iteration schedule, successive timestamps
+// are launched every `initiation_interval` ticks with the processor
+// assignment rotated by `rotation` processors (Fig. 5a's wrap-around). The
+// composer computes, for each candidate rotation, the minimal initiation
+// interval at which no two iterations ever contend for a processor, and
+// picks the rotation with the highest steady-state throughput.
+#pragma once
+
+#include "core/time.hpp"
+#include "sched/schedule.hpp"
+
+namespace ss::sched {
+
+struct PipelineOptions {
+  /// When false only rotation 0 (fixed processor assignment) is considered.
+  bool allow_rotation = true;
+};
+
+class PipelineComposer {
+ public:
+  /// Minimal II >= 1 such that iteration k's entries (shifted k*II in time,
+  /// rotated k*rotation in processor space, mod `procs`) never overlap with
+  /// any other iteration's entries on a processor.
+  static Tick MinInitiationInterval(const IterationSchedule& iter, int procs,
+                                    int rotation);
+
+  /// Tries every rotation in [0, procs) (or only 0 when rotation is
+  /// disallowed) and returns the pipelined schedule with minimal II.
+  static PipelinedSchedule Compose(IterationSchedule iter, int procs,
+                                   const PipelineOptions& options = {});
+};
+
+}  // namespace ss::sched

@@ -1,0 +1,72 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ss::sim {
+
+RunMetrics ComputeMetrics(const std::vector<FrameRecord>& frames,
+                          std::size_t warmup) {
+  RunMetrics m;
+  m.frames_digitized = frames.size();
+
+  std::vector<const FrameRecord*> completed;
+  for (const auto& f : frames) {
+    if (f.completed()) {
+      completed.push_back(&f);
+    } else if (f.digitized_at == kNoTick) {
+      ++m.frames_dropped;
+    }
+  }
+  // Frames digitized but never completed at run end are neither dropped nor
+  // completed; they simply ran out of simulation time.
+  m.frames_completed = completed.size();
+  if (m.frames_digitized > 0) {
+    m.drop_fraction = static_cast<double>(m.frames_dropped) /
+                      static_cast<double>(m.frames_digitized);
+  }
+  if (completed.empty()) return m;
+
+  std::sort(completed.begin(), completed.end(),
+            [](const FrameRecord* a, const FrameRecord* b) {
+              return a->completed_at < b->completed_at;
+            });
+  m.elapsed = completed.back()->completed_at;
+
+  const std::size_t skip = std::min(warmup, completed.size() - 1);
+  std::vector<double> latencies;
+  std::vector<double> gaps;
+  for (std::size_t i = skip; i < completed.size(); ++i) {
+    latencies.push_back(ticks::ToSeconds(completed[i]->Latency()));
+    if (i > skip) {
+      gaps.push_back(ticks::ToSeconds(completed[i]->completed_at -
+                                      completed[i - 1]->completed_at));
+    }
+  }
+  m.latency_seconds = Summarize(std::move(latencies));
+  m.interarrival_seconds = Summarize(std::move(gaps));
+  m.uniformity_cov = m.interarrival_seconds.cov;
+
+  const Tick span = completed.back()->completed_at -
+                    completed[skip]->digitized_at;
+  if (span > 0) {
+    m.throughput_per_sec =
+        static_cast<double>(completed.size() - skip) / ticks::ToSeconds(span);
+  }
+  return m;
+}
+
+std::string RunMetrics::ToString() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "frames: digitized=" << frames_digitized
+     << " completed=" << frames_completed << " dropped=" << frames_dropped
+     << "\nlatency(s): mean=" << latency_seconds.mean
+     << " min=" << latency_seconds.min << " max=" << latency_seconds.max
+     << "\nthroughput: " << throughput_per_sec
+     << " frames/s, uniformity CoV=" << uniformity_cov;
+  return os.str();
+}
+
+}  // namespace ss::sim

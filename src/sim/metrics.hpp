@@ -1,0 +1,48 @@
+// Per-frame records and run-level performance metrics.
+//
+// Latency follows the paper's definition: the time from digitizing a frame
+// to completion of its processing (all sink tasks done). Throughput is the
+// inverse of the inter-arrival time of consecutive results. Uniformity is
+// measured as the coefficient of variation of completion inter-arrival
+// times, plus the fraction of frames skipped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/stats.hpp"
+#include "core/time.hpp"
+
+namespace ss::sim {
+
+struct FrameRecord {
+  Timestamp ts = kNoTimestamp;
+  Tick digitized_at = kNoTick;
+  Tick completed_at = kNoTick;
+
+  bool completed() const { return completed_at != kNoTick; }
+  Tick Latency() const { return completed_at - digitized_at; }
+};
+
+struct RunMetrics {
+  std::size_t frames_digitized = 0;
+  std::size_t frames_completed = 0;
+  std::size_t frames_dropped = 0;
+
+  Summary latency_seconds;          // per-frame latency
+  Summary interarrival_seconds;     // between consecutive completions
+  double throughput_per_sec = 0;    // completed / elapsed
+  double uniformity_cov = 0;        // CoV of inter-arrival times (lower = more uniform)
+  double drop_fraction = 0;
+  Tick elapsed = 0;
+
+  std::string ToString() const;
+};
+
+/// Reduces frame records to run metrics. `warmup` leading completed frames
+/// are excluded from latency/inter-arrival statistics (pipeline fill).
+RunMetrics ComputeMetrics(const std::vector<FrameRecord>& frames,
+                          std::size_t warmup = 0);
+
+}  // namespace ss::sim

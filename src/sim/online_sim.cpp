@@ -1,0 +1,254 @@
+#include "sim/online_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace ss::sim {
+
+OnlineSimulator::OnlineSimulator(const graph::OpGraph& og,
+                                 graph::MachineConfig machine,
+                                 OnlineSimOptions options)
+    : og_(og), machine_(machine), options_(std::move(options)) {
+  const int n = static_cast<int>(og_.op_count());
+  threads_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_[static_cast<std::size_t>(i)].op = i;
+    threads_[static_cast<std::size_t>(i)].is_source = og_.preds(i).empty();
+  }
+  edges_.reserve(og_.edges().size());
+  for (const auto& e : og_.edges()) {
+    EdgeQueue q;
+    q.producer = e.from;
+    q.consumer = e.to;
+    edges_.push_back(std::move(q));
+    const int idx = static_cast<int>(edges_.size() - 1);
+    threads_[static_cast<std::size_t>(e.from)].out_edges.push_back(idx);
+    threads_[static_cast<std::size_t>(e.to)].in_edges.push_back(idx);
+  }
+  for (const auto& t : threads_) {
+    if (t.out_edges.empty()) ++sink_count_;
+  }
+  SS_CHECK_MSG(sink_count_ > 0, "op graph has no sink ops");
+  running_.assign(static_cast<std::size_t>(machine_.total_procs()), -1);
+  slice_start_.assign(running_.size(), 0);
+  slice_len_.assign(running_.size(), 0);
+}
+
+bool OnlineSimulator::HasOutSpace(const Thread& t) const {
+  for (int e : t.out_edges) {
+    if (edges_[static_cast<std::size_t>(e)].items.size() >=
+        options_.queue_capacity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OnlineSimulator::CompleteSink(Timestamp ts, Tick now) {
+  const auto idx = static_cast<std::size_t>(ts);
+  if (idx >= sinks_remaining_.size()) return;
+  if (--sinks_remaining_[idx] == 0) {
+    frame_records_[idx].completed_at = now;
+  }
+}
+
+bool OnlineSimulator::TryEmitOutputs(int tid, Tick now) {
+  Thread& t = threads_[static_cast<std::size_t>(tid)];
+  if (!HasOutSpace(t)) return false;
+  for (int e : t.out_edges) {
+    edges_[static_cast<std::size_t>(e)].items.push_back(t.cur_ts);
+  }
+  const Timestamp done_ts = t.cur_ts;
+  t.state = ThreadState::kIdle;
+  t.cur_ts = kNoTimestamp;
+  if (t.out_edges.empty()) CompleteSink(done_ts, now);
+  // New input may wake each consumer.
+  for (int e : t.out_edges) {
+    const int consumer = edges_[static_cast<std::size_t>(e)].consumer;
+    if (threads_[static_cast<std::size_t>(consumer)].state ==
+        ThreadState::kIdle) {
+      TryStartNext(consumer, now);
+    }
+  }
+  return true;
+}
+
+bool OnlineSimulator::TryStartNext(int tid, Tick now) {
+  Thread& t = threads_[static_cast<std::size_t>(tid)];
+  if (t.is_source || t.state != ThreadState::kIdle || t.in_edges.empty() ||
+      t.starting) {
+    return false;
+  }
+  t.starting = true;
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{t.starting};
+  // Align the input fronts onto a common timestamp. All edges carry the
+  // same accepted-frame sequence, so fronts agree whenever all are
+  // non-empty; the loop discards any stale stragglers defensively.
+  for (;;) {
+    Timestamp ts_max = kNoTimestamp;
+    for (int e : t.in_edges) {
+      const auto& q = edges_[static_cast<std::size_t>(e)].items;
+      if (q.empty()) return false;
+      ts_max = std::max(ts_max, q.front());
+    }
+    bool aligned = true;
+    for (int e : t.in_edges) {
+      auto& eq = edges_[static_cast<std::size_t>(e)];
+      while (!eq.items.empty() && eq.items.front() < ts_max) {
+        eq.items.pop_front();
+        OnEdgeSpaceFreed(e, now);
+      }
+      if (eq.items.empty()) return false;
+      if (eq.items.front() != ts_max) aligned = false;  // front > ts_max
+    }
+    if (!aligned) continue;
+    for (int e : t.in_edges) {
+      edges_[static_cast<std::size_t>(e)].items.pop_front();
+    }
+    t.cur_ts = ts_max;
+    t.remaining = og_.op(t.op).cost;
+    t.state = ThreadState::kReady;
+    ready_.push_back(tid);
+    // Freed one slot per input edge; let blocked producers retry.
+    for (int e : t.in_edges) OnEdgeSpaceFreed(e, now);
+    return true;
+  }
+}
+
+void OnlineSimulator::OnEdgeSpaceFreed(int edge, Tick now) {
+  const int producer = edges_[static_cast<std::size_t>(edge)].producer;
+  Thread& p = threads_[static_cast<std::size_t>(producer)];
+  if (p.state != ThreadState::kBlockedOut) return;
+  // The producer finished computing long ago; its put completes now.
+  if (TryEmitOutputs(producer, now)) {
+    TryStartNext(producer, now);
+  }
+}
+
+OnlineSimResult OnlineSimulator::Run() {
+  frame_records_.assign(options_.frames, FrameRecord{});
+  sinks_remaining_.assign(options_.frames, sink_count_);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> pq;
+  for (std::size_t k = 0; k < options_.frames; ++k) {
+    pq.push(Event{static_cast<Tick>(k) * options_.digitizer_period,
+                  Event::kDigitize, static_cast<int>(k), event_seq_++});
+  }
+
+  // Identify the (single) source thread.
+  int source_tid = -1;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    if (threads_[i].is_source) {
+      SS_CHECK_MSG(source_tid < 0,
+                   "online simulator expects exactly one source op");
+      source_tid = static_cast<int>(i);
+    }
+  }
+  SS_CHECK(source_tid >= 0);
+
+  Tick now = 0;
+  const int procs = machine_.total_procs();
+
+  auto pick_ready = [&]() -> int {
+    if (options_.policy == OnlinePolicy::kRoundRobin) {
+      const int tid = ready_.front();
+      ready_.pop_front();
+      return tid;
+    }
+    // Oldest-frame-first: smallest current timestamp wins; FIFO among
+    // equals (deque order preserves arrival).
+    auto best = ready_.begin();
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+      if (threads_[static_cast<std::size_t>(*it)].cur_ts <
+          threads_[static_cast<std::size_t>(*best)].cur_ts) {
+        best = it;
+      }
+    }
+    const int tid = *best;
+    ready_.erase(best);
+    return tid;
+  };
+
+  auto dispatch_all = [&] {
+    for (int p = 0; p < procs && !ready_.empty(); ++p) {
+      if (running_[static_cast<std::size_t>(p)] != -1) continue;
+      const int tid = pick_ready();
+      Thread& t = threads_[static_cast<std::size_t>(tid)];
+      t.state = ThreadState::kRunning;
+      const Tick slice = std::min(options_.quantum, t.remaining);
+      running_[static_cast<std::size_t>(p)] = tid;
+      slice_start_[static_cast<std::size_t>(p)] = now;
+      slice_len_[static_cast<std::size_t>(p)] =
+          options_.context_switch + slice;
+      pq.push(Event{now + options_.context_switch + slice, Event::kSliceEnd,
+                    p, event_seq_++});
+    }
+  };
+
+  while (!pq.empty()) {
+    const Event ev = pq.top();
+    pq.pop();
+    if (ev.time > options_.max_sim_time) break;
+    now = ev.time;
+
+    if (ev.kind == Event::kDigitize) {
+      Thread& src = threads_[static_cast<std::size_t>(source_tid)];
+      const auto k = static_cast<std::size_t>(ev.arg);
+      if (src.state != ThreadState::kIdle || !HasOutSpace(src)) {
+        // Digitizer still busy or its channel is full: the frame is skipped
+        // (the non-uniformity the paper describes).
+        frame_records_[k].ts = static_cast<Timestamp>(ev.arg);
+      } else {
+        src.cur_ts = static_cast<Timestamp>(ev.arg);
+        src.remaining = og_.op(src.op).cost;
+        src.state = ThreadState::kReady;
+        ready_.push_back(source_tid);
+        frame_records_[k].ts = static_cast<Timestamp>(ev.arg);
+        frame_records_[k].digitized_at = now;
+      }
+    } else {  // kSliceEnd
+      const auto p = static_cast<std::size_t>(ev.arg);
+      const int tid = running_[p];
+      SS_CHECK_MSG(tid >= 0, "slice end on an idle processor");
+      Thread& t = threads_[static_cast<std::size_t>(tid)];
+      const Tick work = slice_len_[p] - options_.context_switch;
+      busy_accum_ += slice_len_[p];
+      if (options_.record_trace && work > 0) {
+        trace_.Add(TraceEvent{ProcId(static_cast<int>(p)),
+                              slice_start_[p] + options_.context_switch, now,
+                              og_.op(t.op).label, t.cur_ts});
+      }
+      running_[p] = -1;
+      t.remaining -= work;
+      if (t.remaining > 0) {
+        t.state = ThreadState::kReady;
+        ready_.push_back(tid);
+      } else {
+        if (TryEmitOutputs(tid, now)) {
+          TryStartNext(tid, now);
+        } else {
+          t.state = ThreadState::kBlockedOut;
+        }
+      }
+    }
+    dispatch_all();
+  }
+
+  OnlineSimResult result;
+  result.frames = frame_records_;
+  result.metrics = ComputeMetrics(frame_records_, options_.warmup);
+  result.trace = std::move(trace_);
+  result.end_time = now;
+  if (now > 0 && procs > 0) {
+    result.proc_utilization = static_cast<double>(busy_accum_) /
+                              (static_cast<double>(now) * procs);
+  }
+  return result;
+}
+
+}  // namespace ss::sim

@@ -1,0 +1,130 @@
+// Discrete-event simulation of a *general on-line scheduler* (the pthread
+// baseline of paper §3.2) executing the task graph.
+//
+// Model: every op of the expanded graph is a thread. A work-conserving
+// round-robin scheduler time-slices ready threads over the machine's
+// processors with quantum Q and a context-switch cost; a thread runs on at
+// most one processor at a time (the pthread restriction the paper calls
+// out). Threads communicate through bounded FIFO buffers (one per op-graph
+// edge, standing in for STM channel occupancy); a full buffer blocks the
+// producer and, at the digitizer, causes frame drops — exactly the
+// saturation behaviour the paper's tuning curve explores.
+//
+// The simulation is deterministic: FIFO queues, integer ticks, stable event
+// ordering.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/time.hpp"
+#include "graph/machine.hpp"
+#include "graph/op_graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace ss::sim {
+
+/// Ready-queue discipline of the modelled online scheduler.
+enum class OnlinePolicy {
+  /// Generic work-conserving round robin (the pthread model of §3.2).
+  kRoundRobin,
+  /// A frame-aware scheduler that always runs the thread working on the
+  /// oldest timestamp — the best an on-line scheduler could do without the
+  /// pre-computed schedule's global knowledge.
+  kOldestFrameFirst,
+};
+
+struct OnlineSimOptions {
+  OnlinePolicy policy = OnlinePolicy::kRoundRobin;
+  /// Round-robin time slice.
+  Tick quantum = ticks::FromMillis(10);
+  /// Cost charged to the processor at every dispatch.
+  Tick context_switch = ticks::FromMicros(50);
+  /// Capacity of each inter-op buffer (channel occupancy bound).
+  std::size_t queue_capacity = 8;
+  /// Digitizer firing period (the paper's primary tuning variable).
+  Tick digitizer_period = ticks::FromMillis(33);
+  /// Number of digitizer firings.
+  std::size_t frames = 64;
+  /// Hard stop for the simulation clock.
+  Tick max_sim_time = ticks::FromSeconds(3600);
+  /// Completed frames excluded from steady-state statistics.
+  std::size_t warmup = 2;
+  bool record_trace = false;
+};
+
+struct OnlineSimResult {
+  RunMetrics metrics;
+  Trace trace;
+  std::vector<FrameRecord> frames;
+  double proc_utilization = 0;
+  Tick end_time = 0;
+};
+
+class OnlineSimulator {
+ public:
+  OnlineSimulator(const graph::OpGraph& og, graph::MachineConfig machine,
+                  OnlineSimOptions options);
+
+  OnlineSimResult Run();
+
+ private:
+  enum class ThreadState { kIdle, kReady, kRunning, kBlockedOut };
+
+  struct Thread {
+    int op = -1;
+    ThreadState state = ThreadState::kIdle;
+    Timestamp cur_ts = kNoTimestamp;
+    Tick remaining = 0;
+    bool is_source = false;
+    bool starting = false;  // re-entrancy guard for TryStartNext
+    std::vector<int> in_edges;   // indexes into edges()
+    std::vector<int> out_edges;
+  };
+
+  struct EdgeQueue {
+    int producer = -1;  // thread index
+    int consumer = -1;
+    std::deque<Timestamp> items;
+  };
+
+  struct Event {
+    Tick time = 0;
+    enum Kind { kDigitize = 0, kSliceEnd = 1 } kind = kDigitize;
+    int arg = 0;      // frame index or processor
+    std::uint64_t seq = 0;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      if (kind != other.kind) return kind > other.kind;
+      return seq > other.seq;
+    }
+  };
+
+  bool HasOutSpace(const Thread& t) const;
+  bool TryEmitOutputs(int tid, Tick now);   // puts; false if blocked
+  bool TryStartNext(int tid, Tick now);     // aligns inputs, arms the thread
+  void OnEdgeSpaceFreed(int edge, Tick now);
+  void CompleteSink(Timestamp ts, Tick now);
+
+  const graph::OpGraph& og_;
+  graph::MachineConfig machine_;
+  OnlineSimOptions options_;
+
+  std::vector<Thread> threads_;
+  std::vector<EdgeQueue> edges_;
+  std::deque<int> ready_;                  // FIFO of thread indexes
+  std::vector<int> running_;               // thread index per proc, -1 free
+  std::vector<Tick> slice_start_;          // per proc
+  std::vector<Tick> slice_len_;            // per proc
+  std::vector<FrameRecord> frame_records_;
+  std::vector<int> sinks_remaining_;       // per frame ts
+  int sink_count_ = 0;
+  Trace trace_;
+  Tick busy_accum_ = 0;
+  std::uint64_t event_seq_ = 0;
+};
+
+}  // namespace ss::sim

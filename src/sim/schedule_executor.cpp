@@ -1,0 +1,40 @@
+#include "sim/schedule_executor.hpp"
+
+#include <algorithm>
+
+namespace ss::sim {
+
+ScheduleRunResult RunSchedule(const sched::PipelinedSchedule& schedule,
+                              const graph::OpGraph& og,
+                              const ScheduleRunOptions& options) {
+  ScheduleRunResult result;
+  const Tick interval =
+      std::max(schedule.initiation_interval, options.digitizer_period);
+  result.effective_interval = interval;
+
+  std::vector<FrameRecord> frames;
+  frames.reserve(options.frames);
+  for (std::size_t k = 0; k < options.frames; ++k) {
+    const Tick release = static_cast<Tick>(k) * interval;
+    FrameRecord rec;
+    rec.ts = static_cast<Timestamp>(k);
+    rec.digitized_at = release;
+    Tick complete = release;
+    for (const auto& e : schedule.iteration.entries()) {
+      const Tick start = release + e.start;
+      const Tick end = start + e.duration;
+      complete = std::max(complete, end);
+      if (options.record_trace) {
+        result.trace.Add(TraceEvent{
+            schedule.ProcFor(e, static_cast<std::int64_t>(k)), start, end,
+            og.op(e.op).label, rec.ts});
+      }
+    }
+    rec.completed_at = complete;
+    frames.push_back(rec);
+  }
+  result.metrics = ComputeMetrics(frames, options.warmup);
+  return result;
+}
+
+}  // namespace ss::sim

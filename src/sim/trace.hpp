@@ -1,0 +1,64 @@
+// Execution traces and ASCII Gantt rendering.
+//
+// Both the discrete-event simulator and the schedule replayer emit
+// TraceEvents; the Gantt renderer draws processor-versus-time charts in the
+// style of paper Figs. 4 and 5 (one column per processor, time flowing down,
+// frames distinguished by their timestamp suffix).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace ss::sim {
+
+struct TraceEvent {
+  ProcId proc;
+  Tick start = 0;
+  Tick end = 0;
+  std::string label;       // e.g. "T4.c1"
+  Timestamp frame = kNoTimestamp;
+};
+
+class Trace {
+ public:
+  void Add(TraceEvent event) { events_.push_back(std::move(event)); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Total busy time per processor.
+  Tick BusyTime(ProcId proc) const;
+  /// Last event end time.
+  Tick EndTime() const;
+  /// Events sorted by (start, proc).
+  std::vector<TraceEvent> Sorted() const;
+
+  /// CSV export (header + one row per event): proc,start_us,end_us,label,
+  /// frame. For plotting outside the ASCII Gantt.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+struct GanttOptions {
+  /// Virtual time represented by one output row.
+  Tick row_ticks = ticks::FromMillis(100);
+  /// Maximum number of rows rendered (chart is truncated beyond).
+  int max_rows = 80;
+  /// Width of one processor column in characters.
+  int col_width = 12;
+  /// Only render events within [from, to) (to = 0 means EndTime()).
+  Tick from = 0;
+  Tick to = 0;
+};
+
+/// Renders the trace as an ASCII Gantt chart: columns are processors, rows
+/// are time buckets, cells show "label#frame".
+std::string RenderGantt(const Trace& trace, int procs,
+                        const GanttOptions& options = {});
+
+}  // namespace ss::sim

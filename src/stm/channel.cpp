@@ -1,0 +1,316 @@
+#include "stm/channel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "core/time.hpp"
+
+namespace ss::stm {
+
+std::string TsQuery::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case TsQueryKind::kExact: os << "exact(" << ts << ")"; break;
+    case TsQueryKind::kNewest: os << "newest"; break;
+    case TsQueryKind::kOldest: os << "oldest"; break;
+    case TsQueryKind::kNewestUnseen: os << "newest_unseen"; break;
+    case TsQueryKind::kAfter: os << "after(" << ts << ")"; break;
+  }
+  return os.str();
+}
+
+Channel::Channel(ChannelId id, std::string name, ChannelOptions options)
+    : id_(id), name_(std::move(name)), options_(options) {}
+
+Channel::~Channel() { Shutdown(); }
+
+ConnId Channel::Attach(ConnDir dir) {
+  std::lock_guard lock(mu_);
+  ConnState cs;
+  cs.dir = dir;
+  cs.attached = true;
+  // A new input connection must not resurrect reclaimed timestamps: its
+  // frontier starts at the current GC frontier.
+  if (dir == ConnDir::kInput && gc_frontier_) cs.frontier = *gc_frontier_;
+  conns_.push_back(cs);
+  return ConnId(static_cast<ConnId::underlying_type>(conns_.size() - 1));
+}
+
+void Channel::Detach(ConnId conn) {
+  std::lock_guard lock(mu_);
+  if (!conn.valid() || conn.index() >= conns_.size()) return;
+  conns_[conn.index()].attached = false;
+  ReclaimLocked();
+  cv_space_.notify_all();
+}
+
+bool Channel::FullLocked() const {
+  return options_.capacity != 0 && items_.size() >= options_.capacity;
+}
+
+Timestamp Channel::MinInputFrontierLocked() const {
+  bool any_input = false;
+  Timestamp min_frontier = kTickInfinity;
+  for (const auto& cs : conns_) {
+    if (!cs.attached || cs.dir != ConnDir::kInput) continue;
+    any_input = true;
+    min_frontier = std::min(min_frontier, cs.frontier);
+  }
+  if (!any_input) return kNoTimestamp;  // nothing consumes -> nothing GC'd
+  return min_frontier;
+}
+
+void Channel::ReclaimLocked() {
+  const Timestamp frontier = MinInputFrontierLocked();
+  if (frontier == kNoTimestamp) return;
+  auto end = items_.upper_bound(frontier);
+  std::size_t n = 0;
+  for (auto it = items_.begin(); it != end; ++it) ++n;
+  if (n == 0) return;
+  auto last_reclaimed = std::prev(end)->first;
+  gc_frontier_ = gc_frontier_ ? std::max(*gc_frontier_, last_reclaimed)
+                              : last_reclaimed;
+  items_.erase(items_.begin(), end);
+  stats_.reclaimed += n;
+  stats_.occupancy = items_.size();
+}
+
+Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
+  std::unique_lock lock(mu_);
+  if (!conn.valid() || conn.index() >= conns_.size() ||
+      !conns_[conn.index()].attached) {
+    return InvalidArgumentError("put on invalid/detached connection");
+  }
+  if (conns_[conn.index()].dir != ConnDir::kOutput) {
+    return FailedPreconditionError("put on an input connection");
+  }
+  if (shutdown_) return CancelledError("channel '" + name_ + "' shut down");
+  if (gc_frontier_ && ts <= *gc_frontier_) {
+    return OutOfRangeError("timestamp " + std::to_string(ts) +
+                           " already garbage collected in channel '" +
+                           name_ + "' (frontier " +
+                           std::to_string(*gc_frontier_) + ")");
+  }
+  if (items_.count(ts) != 0) {
+    return AlreadyExistsError("duplicate timestamp in channel '" + name_ +
+                              "'");
+  }
+  if (FullLocked()) {
+    switch (mode) {
+      case PutMode::kNonBlocking:
+        return WouldBlockError("channel '" + name_ + "' full");
+      case PutMode::kDropOldest: {
+        // Reclaim the oldest item to make room.
+        auto it = items_.begin();
+        gc_frontier_ = gc_frontier_ ? std::max(*gc_frontier_, it->first)
+                                    : it->first;
+        items_.erase(it);
+        ++stats_.dropped;
+        if (gc_frontier_ && ts <= *gc_frontier_) {
+          return OutOfRangeError(
+              "timestamp older than item dropped to make room");
+        }
+        break;
+      }
+      case PutMode::kBlocking: {
+        ++stats_.blocked_puts;
+        cv_space_.wait(lock, [&] { return shutdown_ || !FullLocked(); });
+        if (shutdown_) {
+          return CancelledError("channel '" + name_ + "' shut down");
+        }
+        // Re-validate: GC may have advanced past ts while we slept.
+        if (gc_frontier_ && ts <= *gc_frontier_) {
+          return OutOfRangeError("timestamp garbage collected while blocked");
+        }
+        if (items_.count(ts) != 0) {
+          return AlreadyExistsError("duplicate timestamp in channel '" +
+                                    name_ + "'");
+        }
+        break;
+      }
+    }
+  }
+  items_.emplace(ts, std::move(payload));
+  ++stats_.puts;
+  stats_.occupancy = items_.size();
+  stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+  cv_items_.notify_all();
+  return OkStatus();
+}
+
+Expected<Item> Channel::FindLocked(ConnState& cs, const TsQuery& query,
+                                   TsNeighbors* neighbors) {
+  auto make_item = [&](std::map<Timestamp, Payload>::iterator it) {
+    cs.last_got = std::max(cs.last_got, it->first);
+    ++stats_.gets;
+    return Item{it->first, it->second};
+  };
+
+  switch (query.kind) {
+    case TsQueryKind::kExact: {
+      auto it = items_.find(query.ts);
+      if (it != items_.end()) return make_item(it);
+      if (neighbors) {
+        auto after = items_.upper_bound(query.ts);
+        if (after != items_.end()) neighbors->after = after->first;
+        if (after != items_.begin()) {
+          neighbors->before = std::prev(after)->first;
+        }
+      }
+      if (gc_frontier_ && query.ts <= *gc_frontier_) {
+        return OutOfRangeError("timestamp below GC frontier");
+      }
+      return NotFoundError("no item with requested timestamp");
+    }
+    case TsQueryKind::kNewest: {
+      if (items_.empty()) return NotFoundError("channel empty");
+      return make_item(std::prev(items_.end()));
+    }
+    case TsQueryKind::kOldest: {
+      if (items_.empty()) return NotFoundError("channel empty");
+      return make_item(items_.begin());
+    }
+    case TsQueryKind::kNewestUnseen: {
+      if (items_.empty()) return NotFoundError("channel empty");
+      auto it = std::prev(items_.end());
+      if (it->first <= cs.last_got) {
+        return NotFoundError("no item newer than last gotten");
+      }
+      return make_item(it);
+    }
+    case TsQueryKind::kAfter: {
+      auto it = items_.upper_bound(query.ts);
+      if (it == items_.end()) {
+        return NotFoundError("no item after requested timestamp");
+      }
+      return make_item(it);
+    }
+  }
+  return InternalError("unreachable query kind");
+}
+
+Expected<Item> Channel::Get(ConnId conn, TsQuery query, GetMode mode,
+                            TsNeighbors* neighbors) {
+  std::unique_lock lock(mu_);
+  if (!conn.valid() || conn.index() >= conns_.size() ||
+      !conns_[conn.index()].attached) {
+    return Status(
+        InvalidArgumentError("get on invalid/detached connection"));
+  }
+  ConnState& cs = conns_[conn.index()];
+  if (cs.dir != ConnDir::kInput) {
+    return Status(FailedPreconditionError("get on an output connection"));
+  }
+
+  for (;;) {
+    // Drain-after-shutdown: remaining items stay readable; only waiting for
+    // future items is cancelled.
+    auto result = FindLocked(cs, query, neighbors);
+    if (result.ok()) return result;
+    if (shutdown_) {
+      ++stats_.failed_gets;
+      return Status(CancelledError("channel '" + name_ + "' shut down"));
+    }
+    const StatusCode code = result.status().code();
+    // OutOfRange (GC'd past) can never succeed by waiting.
+    if (mode == GetMode::kNonBlocking || code != StatusCode::kNotFound) {
+      ++stats_.failed_gets;
+      return result;
+    }
+    ++stats_.blocked_gets;
+    cv_items_.wait(lock);
+  }
+}
+
+Expected<Item> Channel::GetFor(ConnId conn, TsQuery query, Tick timeout,
+                               TsNeighbors* neighbors) {
+  std::unique_lock lock(mu_);
+  if (!conn.valid() || conn.index() >= conns_.size() ||
+      !conns_[conn.index()].attached) {
+    return Status(InvalidArgumentError("get on invalid/detached connection"));
+  }
+  ConnState& cs = conns_[conn.index()];
+  if (cs.dir != ConnDir::kInput) {
+    return Status(FailedPreconditionError("get on an output connection"));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(timeout);
+  for (;;) {
+    auto result = FindLocked(cs, query, neighbors);
+    if (result.ok()) return result;
+    if (shutdown_) {
+      ++stats_.failed_gets;
+      return Status(CancelledError("channel '" + name_ + "' shut down"));
+    }
+    if (result.status().code() != StatusCode::kNotFound) {
+      ++stats_.failed_gets;
+      return result;
+    }
+    ++stats_.blocked_gets;
+    if (cv_items_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      ++stats_.failed_gets;
+      return Status(WouldBlockError("timed out waiting on channel '" +
+                                    name_ + "'"));
+    }
+  }
+}
+
+Status Channel::Consume(ConnId conn, Timestamp ts) {
+  std::lock_guard lock(mu_);
+  if (!conn.valid() || conn.index() >= conns_.size() ||
+      !conns_[conn.index()].attached) {
+    return InvalidArgumentError("consume on invalid/detached connection");
+  }
+  ConnState& cs = conns_[conn.index()];
+  if (cs.dir != ConnDir::kInput) {
+    return FailedPreconditionError("consume on an output connection");
+  }
+  cs.frontier = std::max(cs.frontier, ts);
+  ReclaimLocked();
+  cv_space_.notify_all();
+  return OkStatus();
+}
+
+void Channel::Shutdown() {
+  std::lock_guard lock(mu_);
+  shutdown_ = true;
+  cv_items_.notify_all();
+  cv_space_.notify_all();
+}
+
+bool Channel::shut_down() const {
+  std::lock_guard lock(mu_);
+  return shutdown_;
+}
+
+std::size_t Channel::Occupancy() const {
+  std::lock_guard lock(mu_);
+  return items_.size();
+}
+
+std::optional<Timestamp> Channel::OldestTs() const {
+  std::lock_guard lock(mu_);
+  if (items_.empty()) return std::nullopt;
+  return items_.begin()->first;
+}
+
+std::optional<Timestamp> Channel::NewestTs() const {
+  std::lock_guard lock(mu_);
+  if (items_.empty()) return std::nullopt;
+  return std::prev(items_.end())->first;
+}
+
+std::optional<Timestamp> Channel::GcFrontier() const {
+  std::lock_guard lock(mu_);
+  return gc_frontier_;
+}
+
+ChannelStats Channel::Stats() const {
+  std::lock_guard lock(mu_);
+  ChannelStats s = stats_;
+  s.occupancy = items_.size();
+  return s;
+}
+
+}  // namespace ss::stm

@@ -1,0 +1,176 @@
+// Space-Time Memory channel: a location-transparent, time-indexed collection
+// of items shared among producer and consumer threads (paper Figs. 7 and 8).
+//
+// Semantics reproduced from the Stampede STM described in the paper:
+//   * A channel holds at most one item per timestamp; items may be put in
+//     any order.
+//   * Threads access a channel through attached connections, each declared
+//     input (consumer) or output (producer).
+//   * Gets may name an exact timestamp or use wildcards (newest, oldest,
+//     newest-not-previously-gotten-over-this-connection).
+//   * A failed exact get reports the timestamps of neighbouring available
+//     items (the `ts_range` out-parameter of spd_channel_get_item).
+//   * Each input connection advances a consume frontier; items no input
+//     connection can still request are garbage collected. A fixed schedule
+//     therefore bounds channel occupancy (paper §3.3).
+//   * Optionally bounded capacity provides flow control: puts block, fail,
+//     or drop the oldest item.
+//
+// Thread safety: all public methods are safe to call concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "stm/item.hpp"
+#include "stm/ts_query.hpp"
+
+namespace ss::stm {
+
+enum class ConnDir { kInput, kOutput };
+
+enum class PutMode {
+  kNonBlocking,  // full channel -> kWouldBlock
+  kBlocking,     // full channel -> wait for space (or shutdown)
+  kDropOldest,   // full channel -> reclaim the oldest item, then insert
+};
+
+enum class GetMode {
+  kNonBlocking,  // no matching item -> kNotFound / kWouldBlock
+  kBlocking,     // no matching item -> wait for one (or shutdown)
+};
+
+/// Counters exposed for tests and benches.
+struct ChannelStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t failed_gets = 0;
+  std::uint64_t reclaimed = 0;      // items garbage-collected
+  std::uint64_t dropped = 0;        // items dropped by kDropOldest puts
+  std::uint64_t blocked_puts = 0;   // puts that had to wait
+  std::uint64_t blocked_gets = 0;   // gets that had to wait
+  std::size_t occupancy = 0;        // items currently held
+  std::size_t max_occupancy = 0;    // high-water mark
+};
+
+/// Channel construction options.
+struct ChannelOptions {
+  /// Maximum number of live items; 0 means unbounded.
+  std::size_t capacity = 0;
+};
+
+class Channel {
+ public:
+  Channel(ChannelId id, std::string name, ChannelOptions options = {});
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  ChannelId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return options_.capacity; }
+
+  /// Attaches a new connection. Input connections participate in garbage
+  /// collection; until an input connection consumes, its frontier holds all
+  /// items live.
+  ConnId Attach(ConnDir dir);
+
+  /// Detaches a connection; its consume frontier no longer pins items.
+  void Detach(ConnId conn);
+
+  /// Inserts an item with the given timestamp. Duplicate timestamps are
+  /// rejected with kAlreadyExists. A timestamp at or below the GC frontier
+  /// is rejected with kOutOfRange (it could never be gotten).
+  Status Put(ConnId conn, Timestamp ts, Payload payload,
+             PutMode mode = PutMode::kBlocking);
+
+  /// Typed convenience wrapper around Put.
+  template <typename T>
+  Status PutValue(ConnId conn, Timestamp ts, T value,
+                  PutMode mode = PutMode::kBlocking) {
+    return Put(conn, ts, Payload::Make<T>(std::move(value)), mode);
+  }
+
+  /// Retrieves an item per the query. On a failed exact get, *neighbors (if
+  /// non-null) receives the adjacent available timestamps.
+  Expected<Item> Get(ConnId conn, TsQuery query,
+                     GetMode mode = GetMode::kBlocking,
+                     TsNeighbors* neighbors = nullptr);
+
+  /// Blocking get with a deadline: waits up to `timeout` for a matching
+  /// item, then fails with kWouldBlock. Latency-critical consumers use this
+  /// to skip a late frame rather than stall the pipeline.
+  Expected<Item> GetFor(ConnId conn, TsQuery query, Tick timeout,
+                        TsNeighbors* neighbors = nullptr);
+
+  /// Typed convenience wrapper around Get.
+  template <typename T>
+  Expected<std::pair<Timestamp, std::shared_ptr<const T>>> GetValue(
+      ConnId conn, TsQuery query, GetMode mode = GetMode::kBlocking) {
+    auto item = Get(conn, query, mode);
+    if (!item.ok()) return item.status();
+    return std::pair<Timestamp, std::shared_ptr<const T>>(
+        item->ts, item->payload.As<T>());
+  }
+
+  /// Declares that this input connection will never again request items with
+  /// timestamp <= ts. Advances the connection's frontier monotonically; items
+  /// below the minimum frontier over attached input connections are
+  /// reclaimed and blocked producers are woken.
+  Status Consume(ConnId conn, Timestamp ts);
+
+  /// Wakes all blocked callers with kCancelled and rejects future puts and
+  /// blocking waits. Items already in the channel remain readable
+  /// (drain-after-shutdown), so results can be collected after a run.
+  void Shutdown();
+  bool shut_down() const;
+
+  // ---- Introspection ------------------------------------------------------
+  std::size_t Occupancy() const;
+  std::optional<Timestamp> OldestTs() const;
+  std::optional<Timestamp> NewestTs() const;
+  /// The highest timestamp reclaimed so far (GC frontier), if any.
+  std::optional<Timestamp> GcFrontier() const;
+  ChannelStats Stats() const;
+
+ private:
+  struct ConnState {
+    ConnDir dir = ConnDir::kInput;
+    bool attached = false;
+    /// Newest timestamp returned to this connection by any get.
+    Timestamp last_got = kNoTimestamp;
+    /// This connection has consumed everything at or below this timestamp.
+    Timestamp frontier = kNoTimestamp;
+  };
+
+  // All private helpers require mu_ held.
+  bool FullLocked() const;
+  void ReclaimLocked();
+  Timestamp MinInputFrontierLocked() const;
+  Expected<Item> FindLocked(ConnState& cs, const TsQuery& query,
+                            TsNeighbors* neighbors);
+
+  const ChannelId id_;
+  const std::string name_;
+  const ChannelOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_items_;  // signalled on put / shutdown
+  std::condition_variable cv_space_;  // signalled on reclaim / shutdown
+  std::map<Timestamp, Payload> items_;
+  std::vector<ConnState> conns_;
+  bool shutdown_ = false;
+  std::optional<Timestamp> gc_frontier_;
+  ChannelStats stats_;
+};
+
+}  // namespace ss::stm

@@ -1,0 +1,62 @@
+#include "stm/channel_table.hpp"
+
+namespace ss::stm {
+
+Expected<Channel*> ChannelTable::Create(const std::string& name,
+                                        ChannelOptions options,
+                                        NodeId home) {
+  std::lock_guard lock(mu_);
+  if (by_name_.count(name) != 0) {
+    return Status(AlreadyExistsError("channel '" + name + "' exists"));
+  }
+  auto id = ChannelId(static_cast<ChannelId::underlying_type>(
+      channels_.size()));
+  channels_.push_back(std::make_unique<Channel>(id, name, options));
+  homes_.push_back(home);
+  by_name_.emplace(name, id);
+  return channels_.back().get();
+}
+
+Expected<Channel*> ChannelTable::Find(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status(NotFoundError("no channel named '" + name + "'"));
+  }
+  return channels_[it->second.index()].get();
+}
+
+Channel* ChannelTable::Get(ChannelId id) const {
+  std::lock_guard lock(mu_);
+  if (!id.valid() || id.index() >= channels_.size()) return nullptr;
+  return channels_[id.index()].get();
+}
+
+NodeId ChannelTable::Home(ChannelId id) const {
+  std::lock_guard lock(mu_);
+  if (!id.valid() || id.index() >= homes_.size()) return NodeId::Invalid();
+  return homes_[id.index()];
+}
+
+std::size_t ChannelTable::size() const {
+  std::lock_guard lock(mu_);
+  return channels_.size();
+}
+
+void ChannelTable::ShutdownAll() {
+  std::lock_guard lock(mu_);
+  for (auto& ch : channels_) ch->Shutdown();
+}
+
+std::vector<std::pair<std::string, ChannelStats>> ChannelTable::AllStats()
+    const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, ChannelStats>> out;
+  out.reserve(channels_.size());
+  for (const auto& ch : channels_) {
+    out.emplace_back(ch->name(), ch->Stats());
+  }
+  return out;
+}
+
+}  // namespace ss::stm

@@ -1,0 +1,57 @@
+// Process-wide channel registry — the location-transparent naming layer.
+//
+// In the paper's Stampede system, channels are cluster-wide objects reachable
+// by name from any node; communication cost depends on placement but the API
+// does not. Here the "cluster" lives in one process, so the table provides
+// the naming/attach mechanism and records a placement (NodeId) per channel
+// that the cost models and the simulator consult.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "stm/channel.hpp"
+
+namespace ss::stm {
+
+class ChannelTable {
+ public:
+  ChannelTable() = default;
+  ChannelTable(const ChannelTable&) = delete;
+  ChannelTable& operator=(const ChannelTable&) = delete;
+
+  /// Creates a channel with a unique name. `home` records which cluster node
+  /// nominally owns the channel's storage (used only for cost accounting).
+  Expected<Channel*> Create(const std::string& name,
+                            ChannelOptions options = {},
+                            NodeId home = NodeId(0));
+
+  /// Looks up an existing channel by name.
+  Expected<Channel*> Find(const std::string& name) const;
+
+  /// Looks up by id (dense, in creation order).
+  Channel* Get(ChannelId id) const;
+
+  NodeId Home(ChannelId id) const;
+
+  std::size_t size() const;
+
+  /// Shuts down every channel (wakes all blocked threads).
+  void ShutdownAll();
+
+  /// Aggregate stats across all channels, keyed by channel name.
+  std::vector<std::pair<std::string, ChannelStats>> AllStats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<NodeId> homes_;
+  std::unordered_map<std::string, ChannelId> by_name_;
+};
+
+}  // namespace ss::stm

@@ -1,0 +1,114 @@
+// RAII connection handles and typed channel endpoints.
+//
+// Raw ConnIds require manual Detach and leave the GC pinned if forgotten;
+// these wrappers tie the attachment to scope and offer typed, ergonomic
+// put/get/consume for the common one-type-per-channel case.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "stm/channel.hpp"
+
+namespace ss::stm {
+
+/// Scoped connection: detaches on destruction. Movable, not copyable.
+class Connection {
+ public:
+  Connection() = default;
+  Connection(Channel* channel, ConnDir dir)
+      : channel_(channel), conn_(channel->Attach(dir)) {}
+
+  Connection(Connection&& other) noexcept
+      : channel_(std::exchange(other.channel_, nullptr)),
+        conn_(std::exchange(other.conn_, ConnId::Invalid())) {}
+  Connection& operator=(Connection&& other) noexcept {
+    if (this != &other) {
+      Release();
+      channel_ = std::exchange(other.channel_, nullptr);
+      conn_ = std::exchange(other.conn_, ConnId::Invalid());
+    }
+    return *this;
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  ~Connection() { Release(); }
+
+  bool valid() const { return channel_ != nullptr && conn_.valid(); }
+  Channel* channel() const { return channel_; }
+  ConnId id() const { return conn_; }
+
+  /// Detaches now (idempotent).
+  void Release() {
+    if (valid()) channel_->Detach(conn_);
+    channel_ = nullptr;
+    conn_ = ConnId::Invalid();
+  }
+
+ private:
+  Channel* channel_ = nullptr;
+  ConnId conn_;
+};
+
+/// Typed producer endpoint.
+template <typename T>
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Channel* channel)
+      : conn_(channel, ConnDir::kOutput) {}
+
+  Status Put(Timestamp ts, T value, PutMode mode = PutMode::kBlocking) {
+    SS_CHECK_MSG(conn_.valid(), "writer not attached");
+    return conn_.channel()->PutValue<T>(conn_.id(), ts, std::move(value),
+                                        mode);
+  }
+
+  bool valid() const { return conn_.valid(); }
+  void Release() { conn_.Release(); }
+
+ private:
+  Connection conn_;
+};
+
+/// Typed consumer endpoint with consume-frontier helpers.
+template <typename T>
+class Reader {
+ public:
+  Reader() = default;
+  explicit Reader(Channel* channel) : conn_(channel, ConnDir::kInput) {}
+
+  Expected<std::pair<Timestamp, std::shared_ptr<const T>>> Get(
+      TsQuery query, GetMode mode = GetMode::kBlocking) {
+    SS_CHECK_MSG(conn_.valid(), "reader not attached");
+    return conn_.channel()->GetValue<T>(conn_.id(), query, mode);
+  }
+
+  /// Gets the next item after the last one this reader got (in-order
+  /// streaming): equivalent to After(last-gotten).
+  Expected<std::pair<Timestamp, std::shared_ptr<const T>>> Next(
+      GetMode mode = GetMode::kBlocking) {
+    auto result = Get(TsQuery::After(last_), mode);
+    if (result.ok()) last_ = result->first;
+    return result;
+  }
+
+  Status Consume(Timestamp ts) {
+    SS_CHECK_MSG(conn_.valid(), "reader not attached");
+    return conn_.channel()->Consume(conn_.id(), ts);
+  }
+
+  /// Consumes everything this reader has gotten so far.
+  Status ConsumeGotten() { return Consume(last_); }
+
+  Timestamp last_gotten() const { return last_; }
+  bool valid() const { return conn_.valid(); }
+  void Release() { conn_.Release(); }
+
+ private:
+  Connection conn_;
+  Timestamp last_ = kNoTimestamp;
+};
+
+}  // namespace ss::stm

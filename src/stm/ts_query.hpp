@@ -1,0 +1,37 @@
+// Timestamp queries for channel gets.
+//
+// Mirrors the wildcard forms of `spd_channel_get_item` (paper Fig. 8): a get
+// may name a specific timestamp or request the newest/oldest item currently
+// in the channel, or the newest item this connection has not yet gotten.
+#pragma once
+
+#include <string>
+
+#include "core/ids.hpp"
+
+namespace ss::stm {
+
+enum class TsQueryKind {
+  kExact,          // the item with exactly this timestamp
+  kNewest,         // the newest item currently in the channel
+  kOldest,         // the oldest item currently in the channel
+  kNewestUnseen,   // newest item with ts > this connection's last-gotten ts
+  kAfter,          // oldest item with ts > the given timestamp
+};
+
+struct TsQuery {
+  TsQueryKind kind = TsQueryKind::kNewest;
+  Timestamp ts = kNoTimestamp;  // used by kExact / kAfter
+
+  static TsQuery Exact(Timestamp t) { return {TsQueryKind::kExact, t}; }
+  static TsQuery Newest() { return {TsQueryKind::kNewest, kNoTimestamp}; }
+  static TsQuery Oldest() { return {TsQueryKind::kOldest, kNoTimestamp}; }
+  static TsQuery NewestUnseen() {
+    return {TsQueryKind::kNewestUnseen, kNoTimestamp};
+  }
+  static TsQuery After(Timestamp t) { return {TsQueryKind::kAfter, t}; }
+
+  std::string ToString() const;
+};
+
+}  // namespace ss::stm

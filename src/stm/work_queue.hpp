@@ -1,0 +1,98 @@
+// Bounded MPMC work queue used by the splitter/worker/joiner harness.
+//
+// The paper's data-parallel mechanism (Fig. 9) pushes work chunks from the
+// splitter into a queue from which worker threads pull based on availability.
+// Unlike channels, the queue is not time-indexed: chunks for the same
+// timestamp coexist and ordering is FIFO.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/error.hpp"
+
+namespace ss::stm {
+
+template <typename T>
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Blocking push; returns kCancelled after Shutdown().
+  Status Push(T value) {
+    std::unique_lock lock(mu_);
+    cv_space_.wait(lock, [&] {
+      return shutdown_ || capacity_ == 0 || queue_.size() < capacity_;
+    });
+    if (shutdown_) return CancelledError("work queue shut down");
+    queue_.push_back(std::move(value));
+    cv_items_.notify_one();
+    return OkStatus();
+  }
+
+  /// Non-blocking push.
+  Status TryPush(T value) {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return CancelledError("work queue shut down");
+    if (capacity_ != 0 && queue_.size() >= capacity_) {
+      return WouldBlockError("work queue full");
+    }
+    queue_.push_back(std::move(value));
+    cv_items_.notify_one();
+    return OkStatus();
+  }
+
+  /// Blocking pop; empty optional after Shutdown() drains.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    cv_items_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // shutdown and drained
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return value;
+  }
+
+  /// Wakes all waiters; Pop drains remaining items then returns nullopt.
+  void Shutdown() {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  bool shut_down() const {
+    std::lock_guard lock(mu_);
+    return shutdown_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_items_;
+  std::condition_variable cv_space_;
+  std::deque<T> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace ss::stm

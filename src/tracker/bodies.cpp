@@ -1,0 +1,208 @@
+#include "tracker/bodies.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace ss::tracker {
+
+Status DigitizerBody::Process(const runtime::TaskInputs& in,
+                              runtime::TaskOutputs* out) {
+  const int num = state_ ? state_(in.ts) : 1;
+  Frame frame = SynthesizeFrame(params_, in.ts, num);
+  frame.num_targets = num;
+  out->items.push_back(stm::Payload::Make<Frame>(std::move(frame)));
+  return OkStatus();
+}
+
+Status HistogramBody::Process(const runtime::TaskInputs& in,
+                              runtime::TaskOutputs* out) {
+  auto frame = in.items.at(0).payload.As<Frame>();
+  out->items.push_back(
+      stm::Payload::Make<FrameHistogram>(ComputeHistogram(*frame)));
+  return OkStatus();
+}
+
+Status ChangeDetectionBody::Process(const runtime::TaskInputs& in,
+                                    runtime::TaskOutputs* out) {
+  auto frame = in.items.at(0).payload.As<Frame>();
+  const Frame* prev = nullptr;
+  std::shared_ptr<const Frame> prev_frame;
+  if (!in.prev_items.empty() && !in.prev_items[0].payload.empty()) {
+    prev_frame = in.prev_items[0].payload.As<Frame>();
+    prev = prev_frame.get();
+  }
+  out->items.push_back(
+      stm::Payload::Make<MotionMask>(ChangeDetect(*frame, prev, threshold_)));
+  return OkStatus();
+}
+
+int TargetDetectionBody::ActiveModels(const Frame& frame) const {
+  return std::min<int>(frame.num_targets,
+                       static_cast<int>(enrolled_->models.size()));
+}
+
+Status TargetDetectionBody::Process(const runtime::TaskInputs& in,
+                                    runtime::TaskOutputs* out) {
+  auto frame = in.items.at(0).payload.As<Frame>();
+  auto fh = in.items.at(1).payload.As<FrameHistogram>();
+  auto mask = in.items.at(2).payload.As<MotionMask>();
+  const int k = ActiveModels(*frame);
+
+  BackProjectionSet bp;
+  bp.width = frame->width;
+  bp.height = frame->height;
+  bp.ts = frame->ts;
+  for (int m = 0; m < k; ++m) {
+    const ColorModel& cm = enrolled_->models[static_cast<std::size_t>(m)];
+    const Histogram ratio =
+        PrepareRatioHistogram(cm.hist, fh->hist, params_.prep_passes);
+    std::vector<float> map(frame->PixelCount(), 0.f);
+    Backproject(*frame, *mask, ratio, 0, frame->height, params_.pixel_work,
+                map.data());
+    bp.model_ids.push_back(cm.id);
+    bp.maps.push_back(std::move(map));
+  }
+  out->items.push_back(stm::Payload::Make<BackProjectionSet>(std::move(bp)));
+  return OkStatus();
+}
+
+Status TargetDetectionBody::ProcessChunk(const runtime::TaskInputs& in,
+                                         int chunk, int nchunks,
+                                         stm::Payload* partial) {
+  auto frame = in.items.at(0).payload.As<Frame>();
+  auto fh = in.items.at(1).payload.As<FrameHistogram>();
+  auto mask = in.items.at(2).payload.As<MotionMask>();
+  const int k = ActiveModels(*frame);
+
+  const int fp = fp_.load();
+  const int mp = std::min(mp_.load(), std::max(k, 1));
+  if (fp * mp != nchunks) {
+    return InvalidArgumentError(
+        "decomposition fp*mp does not match chunk count");
+  }
+  const int region = chunk / mp;
+  const int group = chunk % mp;
+
+  ChunkResult result;
+  // Frame region: horizontal strips.
+  const int rows_per = (frame->height + fp - 1) / fp;
+  result.row_begin = std::min(region * rows_per, frame->height);
+  result.row_end = std::min(result.row_begin + rows_per, frame->height);
+  // Model group: contiguous ranges.
+  const int per_group = (k + mp - 1) / mp;
+  const int m_begin = std::min(group * per_group, k);
+  const int m_end = std::min(m_begin + per_group, k);
+
+  const int row_count = result.row_end - result.row_begin;
+  const std::size_t row_pixels =
+      static_cast<std::size_t>(row_count) * frame->width;
+  for (int m = m_begin; m < m_end; ++m) {
+    const ColorModel& cm = enrolled_->models[static_cast<std::size_t>(m)];
+    // Each chunk pays the model preparation — the per-chunk overhead that
+    // makes over-decomposition unprofitable (paper Table 1, 32-chunk row).
+    const Histogram ratio =
+        PrepareRatioHistogram(cm.hist, fh->hist, params_.prep_passes);
+    std::vector<float> rows(row_pixels, 0.f);
+    Backproject(*frame, *mask, ratio, result.row_begin, result.row_end,
+                params_.pixel_work, rows.data());
+    result.model_ids.push_back(cm.id);
+    result.rows.push_back(std::move(rows));
+  }
+  *partial = stm::Payload::Make<ChunkResult>(std::move(result));
+  return OkStatus();
+}
+
+Status TargetDetectionBody::Join(const runtime::TaskInputs& in,
+                                 std::vector<stm::Payload> partials,
+                                 runtime::TaskOutputs* out) {
+  auto frame = in.items.at(0).payload.As<Frame>();
+  const int k = ActiveModels(*frame);
+
+  BackProjectionSet bp;
+  bp.width = frame->width;
+  bp.height = frame->height;
+  bp.ts = frame->ts;
+  bp.model_ids.resize(static_cast<std::size_t>(k));
+  bp.maps.assign(static_cast<std::size_t>(k),
+                 std::vector<float>(frame->PixelCount(), 0.f));
+  for (int m = 0; m < k; ++m) bp.model_ids[static_cast<std::size_t>(m)] = m;
+
+  for (const auto& payload : partials) {
+    if (payload.empty()) {
+      return InternalError("missing chunk result in join");
+    }
+    auto chunk = payload.As<ChunkResult>();
+    const int row_count = chunk->row_end - chunk->row_begin;
+    for (std::size_t g = 0; g < chunk->model_ids.size(); ++g) {
+      const int m = chunk->model_ids[g];
+      if (m < 0 || m >= k) return InternalError("chunk model out of range");
+      auto& map = bp.maps[static_cast<std::size_t>(m)];
+      std::copy(chunk->rows[g].begin(),
+                chunk->rows[g].begin() +
+                    static_cast<std::ptrdiff_t>(row_count) * bp.width,
+                map.begin() +
+                    static_cast<std::ptrdiff_t>(chunk->row_begin) * bp.width);
+    }
+  }
+  out->items.push_back(stm::Payload::Make<BackProjectionSet>(std::move(bp)));
+  return OkStatus();
+}
+
+Status PeakDetectionBody::Process(const runtime::TaskInputs& in,
+                                  runtime::TaskOutputs* out) {
+  auto bp = in.items.at(0).payload.As<BackProjectionSet>();
+  DetectionSet det;
+  det.ts = bp->ts;
+  for (std::size_t m = 0; m < bp->maps.size(); ++m) {
+    det.detections.push_back(
+        FindPeak(bp->maps[m], bp->width, bp->height, bp->model_ids[m]));
+  }
+  out->items.push_back(stm::Payload::Make<DetectionSet>(std::move(det)));
+  return OkStatus();
+}
+
+Status BehaviorBody::Process(const runtime::TaskInputs& in,
+                             runtime::TaskOutputs* out) {
+  auto det = in.items.at(0).payload.As<DetectionSet>();
+  GazeTarget gaze;
+  gaze.ts = in.ts;
+  if (!det->detections.empty()) {
+    // Deterministic periodic glancing: the frame index selects who is
+    // looked at, dwelling `dwell_frames_` frames per person (stateless
+    // across frames, so concurrent timestamps stay safe).
+    const auto n = det->detections.size();
+    const auto slot = static_cast<std::size_t>(
+        (in.ts / std::max(1, dwell_frames_)) % static_cast<Timestamp>(n));
+    const Detection& d = det->detections[slot];
+    gaze.model_id = d.model_id;
+    gaze.x = d.x;
+    gaze.y = d.y;
+  }
+  out->items.push_back(stm::Payload::Make<GazeTarget>(gaze));
+  return OkStatus();
+}
+
+void InstallTrackerBodies(const TrackerGraph& tg, const TrackerParams& params,
+                          StateFn state, int max_models,
+                          runtime::Application* app) {
+  auto enrolled =
+      std::make_shared<const ModelSet>(MakeModelSet(params, max_models));
+  app->SetBody(tg.digitizer,
+               std::make_unique<DigitizerBody>(params, std::move(state)));
+  app->SetBody(tg.histogram, std::make_unique<HistogramBody>());
+  app->SetBody(tg.change_detection, std::make_unique<ChangeDetectionBody>());
+  app->SetBody(tg.target_detection,
+               std::make_unique<TargetDetectionBody>(params, enrolled));
+  app->SetBody(tg.peak_detection, std::make_unique<PeakDetectionBody>());
+}
+
+void InstallKioskBodies(const KioskGraph& kg, const TrackerParams& params,
+                        StateFn state, int max_models,
+                        runtime::Application* app) {
+  InstallTrackerBodies(kg.tracker, params, std::move(state), max_models,
+                       app);
+  app->SetBody(kg.behavior, std::make_unique<BehaviorBody>());
+}
+
+}  // namespace ss::tracker

@@ -1,0 +1,133 @@
+// TaskBody implementations binding the tracker kernels to the runtime.
+//
+// Bodies are stateless across frames (frame history flows through channels),
+// so the runtime may process different timestamps of the same task
+// concurrently — the property the paper's pipelined schedules exploit.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "runtime/app.hpp"
+#include "runtime/body.hpp"
+#include "tracker/graph_builder.hpp"
+#include "tracker/kernels.hpp"
+
+namespace ss::tracker {
+
+/// State signal: number of people in front of the kiosk at a timestamp.
+using StateFn = std::function<int(Timestamp)>;
+
+/// T1: synthesizes frames; `state` drives the planted target count.
+class DigitizerBody : public runtime::TaskBody {
+ public:
+  DigitizerBody(TrackerParams params, StateFn state)
+      : params_(params), state_(std::move(state)) {}
+
+  Status Process(const runtime::TaskInputs& in,
+                 runtime::TaskOutputs* out) override;
+
+ private:
+  TrackerParams params_;
+  StateFn state_;
+};
+
+/// T2: whole-frame color histogram.
+class HistogramBody : public runtime::TaskBody {
+ public:
+  Status Process(const runtime::TaskInputs& in,
+                 runtime::TaskOutputs* out) override;
+};
+
+/// T3: frame differencing; needs the previous frame via channel history.
+class ChangeDetectionBody : public runtime::TaskBody {
+ public:
+  explicit ChangeDetectionBody(int threshold = 24) : threshold_(threshold) {}
+
+  bool NeedsHistory() const override { return true; }
+  Status Process(const runtime::TaskInputs& in,
+                 runtime::TaskOutputs* out) override;
+
+ private:
+  int threshold_;
+};
+
+/// T4: histogram back-projection per model. Chunkable along frame regions
+/// (FP) and model subsets (MP); the active decomposition is configured with
+/// SetDecomposition and must satisfy fp*mp == nchunks at ProcessChunk time.
+/// Input order: [Frame, ColorModel(frame histogram), MotionMask].
+class TargetDetectionBody : public runtime::TaskBody {
+ public:
+  TargetDetectionBody(TrackerParams params, std::shared_ptr<const ModelSet>
+                                                enrolled)
+      : params_(params), enrolled_(std::move(enrolled)) {}
+
+  /// fp = frame partitions, mp = model partitions.
+  void SetDecomposition(int fp, int mp) {
+    fp_.store(fp);
+    mp_.store(mp);
+  }
+
+  int MaxChunks() const override { return 64; }
+  Status Process(const runtime::TaskInputs& in,
+                 runtime::TaskOutputs* out) override;
+  Status ProcessChunk(const runtime::TaskInputs& in, int chunk, int nchunks,
+                      stm::Payload* partial) override;
+  Status Join(const runtime::TaskInputs& in,
+              std::vector<stm::Payload> partials,
+              runtime::TaskOutputs* out) override;
+
+  /// Partial result for one (region, model-group) chunk.
+  struct ChunkResult {
+    int row_begin = 0;
+    int row_end = 0;
+    std::vector<int> model_ids;
+    /// rows [row_begin, row_end) x width, one map per model in the group.
+    std::vector<std::vector<float>> rows;
+  };
+
+ private:
+  /// Active models for a frame (first frame.num_targets enrolled models).
+  int ActiveModels(const Frame& frame) const;
+
+  TrackerParams params_;
+  std::shared_ptr<const ModelSet> enrolled_;
+  std::atomic<int> fp_{1};
+  std::atomic<int> mp_{1};
+};
+
+/// T5: per-model peak extraction.
+class PeakDetectionBody : public runtime::TaskBody {
+ public:
+  Status Process(const runtime::TaskInputs& in,
+                 runtime::TaskOutputs* out) override;
+};
+
+/// T6 (kiosk graph): DECface gaze behavior. Implements the paper's "natural
+/// gaze behavior during an interaction by periodically glancing in the
+/// direction of each of the current customers": a deterministic round-robin
+/// over the detected people, weighted towards the strongest detection.
+class BehaviorBody : public runtime::TaskBody {
+ public:
+  /// Glance at each person for `dwell_frames` consecutive frames.
+  explicit BehaviorBody(int dwell_frames = 4) : dwell_frames_(dwell_frames) {}
+
+  Status Process(const runtime::TaskInputs& in,
+                 runtime::TaskOutputs* out) override;
+
+ private:
+  int dwell_frames_;
+};
+
+/// Installs all five bodies on an application built from `tg`.
+void InstallTrackerBodies(const TrackerGraph& tg, const TrackerParams& params,
+                          StateFn state, int max_models,
+                          runtime::Application* app);
+
+/// Installs the six kiosk bodies (tracker + T6 behavior).
+void InstallKioskBodies(const KioskGraph& kg, const TrackerParams& params,
+                        StateFn state, int max_models,
+                        runtime::Application* app);
+
+}  // namespace ss::tracker

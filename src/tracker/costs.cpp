@@ -1,0 +1,214 @@
+#include "tracker/costs.hpp"
+
+#include <algorithm>
+
+#include "core/time.hpp"
+#include "runtime/body.hpp"
+#include "tracker/bodies.hpp"
+
+namespace ss::tracker {
+
+namespace {
+Tick Sec(const PaperCostParams& p, double seconds) {
+  return ticks::FromSeconds(seconds * p.scale);
+}
+}  // namespace
+
+Tick PaperT4SerialCost(const PaperCostParams& p, int models) {
+  return Sec(p, p.t4_base + p.t4_per_model * models);
+}
+
+graph::DpVariant PaperT4Variant(const PaperCostParams& p, int models, int fp,
+                                int mp) {
+  mp = std::min(mp, models);
+  graph::DpVariant v;
+  v.name = "FP=" + std::to_string(fp) + "xMP=" + std::to_string(mp);
+  v.chunks = fp * mp;
+  const double work = p.t4_base + p.t4_per_model * models;
+  const double models_per_chunk =
+      static_cast<double>(models) / static_cast<double>(mp);
+  const double chunk_seconds =
+      work / v.chunks + p.chunk_base_overhead +
+      p.chunk_model_overhead * models_per_chunk;
+  v.chunk_cost = Sec(p, chunk_seconds);
+  v.split_cost = Sec(p, p.split_cost);
+  v.join_cost = Sec(p, p.join_cost);
+  return v;
+}
+
+graph::CostModel PaperCostModel(const TrackerGraph& tg,
+                                const regime::RegimeSpace& space,
+                                const PaperCostParams& params) {
+  graph::CostModel cm;
+  for (RegimeId r : space.AllRegimes()) {
+    const int models = space.ToState(r);
+    cm.Set(r, tg.digitizer,
+           graph::TaskCost::Serial(Sec(params, params.t1_digitizer)));
+    cm.Set(r, tg.histogram,
+           graph::TaskCost::Serial(Sec(params, params.t2_histogram)));
+    cm.Set(r, tg.change_detection,
+           graph::TaskCost::Serial(Sec(params, params.t3_change_detect)));
+
+    graph::TaskCost t4 =
+        graph::TaskCost::Serial(PaperT4SerialCost(params, models));
+    // Variant set: frame partitions, model partitions, and the combination.
+    t4.AddVariant(PaperT4Variant(params, models, 2, 1));
+    t4.AddVariant(PaperT4Variant(params, models, 4, 1));
+    if (models > 1) {
+      t4.AddVariant(PaperT4Variant(params, models, 1, models));
+      t4.AddVariant(PaperT4Variant(params, models, 2, models));
+      t4.AddVariant(PaperT4Variant(params, models, 4, models));
+    }
+    cm.Set(r, tg.target_detection, std::move(t4));
+
+    cm.Set(r, tg.peak_detection,
+           graph::TaskCost::Serial(
+               Sec(params, params.t5_per_model * models)));
+  }
+  return cm;
+}
+
+graph::CostModel PaperKioskCostModel(const KioskGraph& kg,
+                                     const regime::RegimeSpace& space,
+                                     const PaperCostParams& params) {
+  graph::CostModel cm = PaperCostModel(kg.tracker, space, params);
+  for (RegimeId r : space.AllRegimes()) {
+    const int models = space.ToState(r);
+    cm.Set(r, kg.behavior,
+           graph::TaskCost::Serial(
+               Sec(params, params.t6_per_model * models)));
+  }
+  return cm;
+}
+
+namespace {
+
+/// Median-of-repetitions wall time of `fn` in ticks.
+template <typename Fn>
+Tick TimeIt(int repetitions, Fn&& fn) {
+  std::vector<Tick> times;
+  times.reserve(static_cast<std::size_t>(repetitions));
+  for (int i = 0; i < repetitions; ++i) {
+    Stopwatch sw;
+    fn();
+    times.push_back(sw.Elapsed());
+  }
+  std::sort(times.begin(), times.end());
+  return std::max<Tick>(1, times[times.size() / 2]);
+}
+
+}  // namespace
+
+graph::CostModel MeasureCostModel(const TrackerGraph& tg,
+                                  const regime::RegimeSpace& space,
+                                  const TrackerParams& params,
+                                  const MeasureOptions& options) {
+  graph::CostModel cm;
+  const int max_models = space.max_state();
+  auto enrolled =
+      std::make_shared<const ModelSet>(MakeModelSet(params, max_models));
+
+  for (RegimeId r : space.AllRegimes()) {
+    const int models = space.ToState(r);
+
+    // Representative inputs for this regime.
+    const Frame frame = [&] {
+      Frame f = SynthesizeFrame(params, /*ts=*/1, models);
+      f.num_targets = models;
+      return f;
+    }();
+    const Frame prev = [&] {
+      Frame f = SynthesizeFrame(params, /*ts=*/0, models);
+      f.num_targets = models;
+      return f;
+    }();
+    const FrameHistogram fh = ComputeHistogram(frame);
+    const MotionMask mask = ChangeDetect(frame, &prev);
+
+    const Tick t1 = TimeIt(options.repetitions, [&] {
+      Frame f = SynthesizeFrame(params, 2, models);
+      (void)f;
+    });
+    cm.Set(r, tg.digitizer, graph::TaskCost::Serial(t1));
+
+    const Tick t2 = TimeIt(options.repetitions,
+                           [&] { (void)ComputeHistogram(frame); });
+    cm.Set(r, tg.histogram, graph::TaskCost::Serial(t2));
+
+    const Tick t3 = TimeIt(options.repetitions,
+                           [&] { (void)ChangeDetect(frame, &prev); });
+    cm.Set(r, tg.change_detection, graph::TaskCost::Serial(t3));
+
+    // T4: serial plus chunk configurations. Chunk cost is measured as the
+    // worst chunk of the configuration (chunks are near-uniform).
+    TargetDetectionBody body(params, enrolled);
+    runtime::TaskInputs in;
+    in.ts = 1;
+    in.items = {
+        stm::Item{1, stm::Payload::Make<Frame>(frame)},
+        stm::Item{1, stm::Payload::Make<FrameHistogram>(fh)},
+        stm::Item{1, stm::Payload::Make<MotionMask>(mask)},
+    };
+    graph::TaskCost t4;
+    {
+      const Tick serial = TimeIt(options.repetitions, [&] {
+        runtime::TaskOutputs out;
+        SS_CHECK(body.Process(in, &out).ok());
+      });
+      t4 = graph::TaskCost::Serial(serial);
+    }
+    for (int fp : options.fp_options) {
+      for (int mp : {1, models}) {
+        if (fp == 1 && mp == 1) continue;
+        if (mp != 1 && models == 1) continue;
+        const int chunks = fp * std::min(mp, models);
+        body.SetDecomposition(fp, std::min(mp, models));
+        Tick worst_chunk = 1;
+        for (int c = 0; c < chunks; ++c) {
+          const Tick tc = TimeIt(options.repetitions, [&] {
+            stm::Payload partial;
+            SS_CHECK(body.ProcessChunk(in, c, chunks, &partial).ok());
+          });
+          worst_chunk = std::max(worst_chunk, tc);
+        }
+        // Split is bookkeeping; join assembles the maps — measure it.
+        std::vector<stm::Payload> partials;
+        for (int c = 0; c < chunks; ++c) {
+          stm::Payload partial;
+          SS_CHECK(body.ProcessChunk(in, c, chunks, &partial).ok());
+          partials.push_back(std::move(partial));
+        }
+        const Tick join = TimeIt(options.repetitions, [&] {
+          runtime::TaskOutputs out;
+          auto copy = partials;
+          SS_CHECK(body.Join(in, std::move(copy), &out).ok());
+        });
+        graph::DpVariant v;
+        v.name = "FP=" + std::to_string(fp) + "xMP=" +
+                 std::to_string(std::min(mp, models));
+        v.chunks = chunks;
+        v.chunk_cost = worst_chunk;
+        v.split_cost = 1;
+        v.join_cost = join;
+        t4.AddVariant(std::move(v));
+      }
+    }
+    cm.Set(r, tg.target_detection, std::move(t4));
+
+    // T5 on a real back-projection output.
+    runtime::TaskOutputs t4_out;
+    SS_CHECK(body.Process(in, &t4_out).ok());
+    runtime::TaskInputs t5_in;
+    t5_in.ts = 1;
+    t5_in.items = {stm::Item{1, t4_out.items.at(0)}};
+    PeakDetectionBody t5_body;
+    const Tick t5 = TimeIt(options.repetitions, [&] {
+      runtime::TaskOutputs out;
+      SS_CHECK(t5_body.Process(t5_in, &out).ok());
+    });
+    cm.Set(r, tg.peak_detection, graph::TaskCost::Serial(t5));
+  }
+  return cm;
+}
+
+}  // namespace ss::tracker

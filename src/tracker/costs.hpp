@@ -1,0 +1,73 @@
+// Cost models for the color tracker.
+//
+// Two sources:
+//   * PaperCostModel() — execution times calibrated to the paper's published
+//     measurements (Table 1 and the Fig. 3 latency range, AlphaServer 4100),
+//     used by the simulator benches so the reproduced tables/figures have
+//     the paper's shape.
+//   * MeasureCostModel() — times the real kernels on this machine and builds
+//     the same structure, used when scheduling real threaded runs. This is
+//     the off-line measurement pass the paper's Fig. 6 algorithm assumes.
+#pragma once
+
+#include "graph/cost_model.hpp"
+#include "regime/regime.hpp"
+#include "tracker/graph_builder.hpp"
+
+namespace ss::tracker {
+
+/// Calibration constants for the analytic (paper-shaped) model. Times in
+/// seconds; defaults reproduce Table 1 within a few percent.
+struct PaperCostParams {
+  double t1_digitizer = 0.005;
+  double t6_per_model = 0.015;   // DECface gaze behavior (kiosk graph only)
+  double t2_histogram = 0.300;
+  double t3_change_detect = 0.200;
+  double t4_base = 0.020;        // model-independent part of T4
+  double t4_per_model = 0.856;   // per-model back-projection
+  double t5_per_model = 0.050;   // per-model peak extraction
+  double chunk_base_overhead = 0.008;     // per chunk
+  double chunk_model_overhead = 0.030;    // per chunk per model in chunk
+  double split_cost = 0.015;
+  double join_cost = 0.010;
+  /// Time scale applied to everything (1.0 = paper seconds). Benches use
+  /// 1.0; tests shrink it to keep searches instant.
+  double scale = 1.0;
+};
+
+/// Serialized T4 work for `models` (no decomposition overheads).
+Tick PaperT4SerialCost(const PaperCostParams& p, int models);
+
+/// Cost of one T4 data-parallel configuration: `fp` frame partitions x
+/// `mp` model partitions over `models` models. Returns the DpVariant
+/// (chunks, per-chunk cost, split/join costs) the scheduler consumes.
+graph::DpVariant PaperT4Variant(const PaperCostParams& p, int models, int fp,
+                                int mp);
+
+/// Builds the full regime-indexed cost model for the tracker graph over the
+/// regime space (state = number of models). T4 gets variants
+/// {serial, FP=2, FP=4, MP=m, FP=2xMP=m, FP=4xMP=m} (dedup'd for m == 1).
+graph::CostModel PaperCostModel(const TrackerGraph& tg,
+                                const regime::RegimeSpace& space,
+                                const PaperCostParams& params = {});
+
+/// Costs for the extended kiosk graph (tracker + T6 behavior).
+graph::CostModel PaperKioskCostModel(const KioskGraph& kg,
+                                     const regime::RegimeSpace& space,
+                                     const PaperCostParams& params = {});
+
+/// Options for the measurement pass.
+struct MeasureOptions {
+  int repetitions = 3;
+  /// fp values probed for T4 variants (mp values are {1, models}).
+  std::vector<int> fp_options = {1, 2, 4};
+};
+
+/// Times the real kernels (T1..T5, plus T4 chunk configurations) for every
+/// regime in `space` and returns a cost model for this machine.
+graph::CostModel MeasureCostModel(const TrackerGraph& tg,
+                                  const regime::RegimeSpace& space,
+                                  const TrackerParams& params,
+                                  const MeasureOptions& options = {});
+
+}  // namespace ss::tracker

@@ -1,0 +1,58 @@
+#include "tracker/graph_builder.hpp"
+
+namespace ss::tracker {
+
+TrackerGraph BuildTrackerGraph(const TrackerParams& params, int max_models) {
+  TrackerGraph tg;
+  graph::TaskGraph& g = tg.graph;
+
+  tg.digitizer = g.AddTask("T1:Digitizer", /*is_source=*/true);
+  tg.histogram = g.AddTask("T2:Histogram");
+  tg.change_detection = g.AddTask("T3:ChangeDetect");
+  tg.target_detection = g.AddTask("T4:TargetDetect");
+  tg.peak_detection = g.AddTask("T5:PeakDetect");
+
+  const std::size_t pixels =
+      static_cast<std::size_t>(params.width) *
+      static_cast<std::size_t>(params.height);
+  tg.frame_ch = g.AddChannel("Frame", pixels * 3);
+  tg.color_model_ch = g.AddChannel("ColorModel", kHistSize * sizeof(float));
+  tg.motion_mask_ch = g.AddChannel("MotionMask", pixels);
+  tg.backproj_ch = g.AddChannel(
+      "BackProjections",
+      pixels * sizeof(float) * static_cast<std::size_t>(max_models));
+  tg.locations_ch = g.AddChannel(
+      "ModelLocations",
+      sizeof(Detection) * static_cast<std::size_t>(max_models));
+
+  g.SetProducer(tg.digitizer, tg.frame_ch);
+  g.AddConsumer(tg.histogram, tg.frame_ch);
+  g.AddConsumer(tg.change_detection, tg.frame_ch);
+
+  g.SetProducer(tg.histogram, tg.color_model_ch);
+  g.SetProducer(tg.change_detection, tg.motion_mask_ch);
+
+  // T4 input order contract: [Frame, ColorModel, MotionMask].
+  g.AddConsumer(tg.target_detection, tg.frame_ch);
+  g.AddConsumer(tg.target_detection, tg.color_model_ch);
+  g.AddConsumer(tg.target_detection, tg.motion_mask_ch);
+  g.SetProducer(tg.target_detection, tg.backproj_ch);
+
+  g.AddConsumer(tg.peak_detection, tg.backproj_ch);
+  g.SetProducer(tg.peak_detection, tg.locations_ch);
+
+  return tg;
+}
+
+KioskGraph BuildKioskGraph(const TrackerParams& params, int max_models) {
+  KioskGraph kg;
+  kg.tracker = BuildTrackerGraph(params, max_models);
+  graph::TaskGraph& g = kg.tracker.graph;
+  kg.behavior = g.AddTask("T6:DECface");
+  g.AddConsumer(kg.behavior, kg.tracker.locations_ch);
+  kg.gaze_ch = g.AddChannel("Gaze", 64);
+  g.SetProducer(kg.behavior, kg.gaze_ch);
+  return kg;
+}
+
+}  // namespace ss::tracker

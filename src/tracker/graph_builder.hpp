@@ -1,0 +1,48 @@
+// Builder for the color tracker task graph (paper Fig. 2) and its channels.
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "tracker/kernels.hpp"
+
+namespace ss::tracker {
+
+/// Task/channel handles into the built graph.
+struct TrackerGraph {
+  graph::TaskGraph graph;
+  TaskId digitizer;         // T1
+  TaskId histogram;         // T2 (paper Fig. 4 labels differ; Fig. 2 order)
+  TaskId change_detection;  // T3
+  TaskId target_detection;  // T4
+  TaskId peak_detection;    // T5
+  ChannelId frame_ch;        // "Frame"
+  ChannelId color_model_ch;  // "ColorModel" (frame histogram stream)
+  ChannelId motion_mask_ch;  // "MotionMask"
+  ChannelId backproj_ch;     // "BackProjections"
+  ChannelId locations_ch;    // "ModelLocations"
+};
+
+/// Builds the five-task graph:
+///   T1 Digitizer -> Frame -> {T2 Histogram, T3 ChangeDetection, T4}
+///   T2 -> ColorModel -> T4
+///   T3 -> MotionMask -> T4
+///   T4 TargetDetection -> BackProjections -> T5 PeakDetection
+///   T5 -> ModelLocations
+/// Input order contract for T4 bodies: [Frame, ColorModel, MotionMask].
+/// `params` sizes the channel item bytes for the communication model.
+TrackerGraph BuildTrackerGraph(const TrackerParams& params = {},
+                               int max_models = 8);
+
+/// The full kiosk graph: the tracker plus T6, the DECface behavior task
+/// that consumes the estimated model locations to drive the talking head's
+/// gaze (paper §1: "the estimated position of multiple users drives the
+/// behavior of an animated graphical face"). T6's cost is linear in the
+/// number of customers being glanced at.
+struct KioskGraph {
+  TrackerGraph tracker;
+  TaskId behavior;       // T6
+  ChannelId gaze_ch;     // "Gaze"
+};
+KioskGraph BuildKioskGraph(const TrackerParams& params = {},
+                           int max_models = 8);
+
+}  // namespace ss::tracker

@@ -1,0 +1,254 @@
+#include "tracker/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace ss::tracker {
+
+std::size_t MotionMask::CountActive() const {
+  std::size_t n = 0;
+  for (std::uint8_t v : mask) n += v != 0;
+  return n;
+}
+
+TargetPose PlantedPose(const TrackerParams& params, int model_id,
+                       Timestamp ts) {
+  // Deterministic drifting position: each model orbits its own anchor.
+  const int margin = params.target_size;
+  const int usable_w = params.width - 2 * margin;
+  const int usable_h = params.height - 2 * margin;
+  SS_CHECK_MSG(usable_w > 0 && usable_h > 0, "frame too small for targets");
+  const double phase =
+      0.07 * static_cast<double>(ts) + 1.7 * static_cast<double>(model_id);
+  const double ax =
+      0.5 + 0.45 * std::sin(phase + 0.9 * static_cast<double>(model_id));
+  const double ay =
+      0.5 + 0.45 * std::cos(0.8 * phase + 0.5 * static_cast<double>(model_id));
+  TargetPose pose;
+  pose.x = margin + static_cast<int>(ax * (usable_w - 1));
+  pose.y = margin + static_cast<int>(ay * (usable_h - 1));
+  return pose;
+}
+
+void ModelColor(int model_id, std::uint8_t* r, std::uint8_t* g,
+                std::uint8_t* b) {
+  // Saturated, well-separated hues: walk the hue circle in golden-angle
+  // steps so any number of models stays distinguishable at 8x8x8 bins.
+  const double hue = std::fmod(0.381966 * static_cast<double>(model_id), 1.0);
+  const double h6 = hue * 6.0;
+  const int sector = static_cast<int>(h6) % 6;
+  const double frac = h6 - std::floor(h6);
+  const auto hi = static_cast<std::uint8_t>(255);
+  const auto lo = static_cast<std::uint8_t>(16);
+  const auto up = static_cast<std::uint8_t>(16 + frac * 223);
+  const auto dn = static_cast<std::uint8_t>(239 - frac * 223);
+  switch (sector) {
+    case 0: *r = hi; *g = up; *b = lo; break;
+    case 1: *r = dn; *g = hi; *b = lo; break;
+    case 2: *r = lo; *g = hi; *b = up; break;
+    case 3: *r = lo; *g = dn; *b = hi; break;
+    case 4: *r = up; *g = lo; *b = hi; break;
+    default: *r = hi; *g = lo; *b = dn; break;
+  }
+}
+
+Frame SynthesizeFrame(const TrackerParams& params, Timestamp ts,
+                      int num_models) {
+  Frame frame;
+  frame.width = params.width;
+  frame.height = params.height;
+  frame.ts = ts;
+  frame.pixels.assign(frame.PixelCount() * 3, 0);
+
+  Rng rng(params.seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(
+                                                     ts + 1)));
+  // Textured gray background with mild noise.
+  for (std::size_t i = 0; i < frame.PixelCount(); ++i) {
+    const auto base = static_cast<std::uint8_t>(
+        96 + (i % 17) + rng.NextBelow(24));
+    frame.pixels[3 * i + 0] = base;
+    frame.pixels[3 * i + 1] = base;
+    frame.pixels[3 * i + 2] = base;
+  }
+  // Planted targets.
+  for (int m = 0; m < num_models; ++m) {
+    std::uint8_t r, g, b;
+    ModelColor(m, &r, &g, &b);
+    const TargetPose pose = PlantedPose(params, m, ts);
+    const int half = params.target_size / 2;
+    for (int dy = -half; dy < half; ++dy) {
+      for (int dx = -half; dx < half; ++dx) {
+        const int x = std::clamp(pose.x + dx, 0, frame.width - 1);
+        const int y = std::clamp(pose.y + dy, 0, frame.height - 1);
+        std::uint8_t* px = frame.MutablePixel(x, y);
+        // Slight per-pixel jitter so the target is not one histogram bin.
+        px[0] = static_cast<std::uint8_t>(
+            std::clamp<int>(r + static_cast<int>(rng.NextBelow(17)) - 8, 0,
+                            255));
+        px[1] = static_cast<std::uint8_t>(
+            std::clamp<int>(g + static_cast<int>(rng.NextBelow(17)) - 8, 0,
+                            255));
+        px[2] = static_cast<std::uint8_t>(
+            std::clamp<int>(b + static_cast<int>(rng.NextBelow(17)) - 8, 0,
+                            255));
+      }
+    }
+  }
+  return frame;
+}
+
+ModelSet MakeModelSet(const TrackerParams& params, int num_models) {
+  ModelSet set;
+  set.models.resize(static_cast<std::size_t>(num_models));
+  // Enroll each model from a reference patch of its pure color (with the
+  // same jitter distribution the synthesizer uses).
+  for (int m = 0; m < num_models; ++m) {
+    ColorModel& cm = set.models[static_cast<std::size_t>(m)];
+    cm.id = m;
+    cm.hist.fill(0.f);
+    std::uint8_t r, g, b;
+    ModelColor(m, &r, &g, &b);
+    Rng rng(params.seed ^ (0xA5A5A5A5u + static_cast<std::uint64_t>(m)));
+    const int samples = 4096;
+    for (int i = 0; i < samples; ++i) {
+      const int rr = std::clamp<int>(
+          r + static_cast<int>(rng.NextBelow(17)) - 8, 0, 255);
+      const int gg = std::clamp<int>(
+          g + static_cast<int>(rng.NextBelow(17)) - 8, 0, 255);
+      const int bb = std::clamp<int>(
+          b + static_cast<int>(rng.NextBelow(17)) - 8, 0, 255);
+      cm.hist[HistBin(static_cast<std::uint8_t>(rr),
+                      static_cast<std::uint8_t>(gg),
+                      static_cast<std::uint8_t>(bb))] += 1.f;
+    }
+    for (float& v : cm.hist) v /= samples;
+  }
+  return set;
+}
+
+FrameHistogram ComputeHistogram(const Frame& frame) {
+  FrameHistogram out;
+  out.ts = frame.ts;
+  out.hist.fill(0.f);
+  for (std::size_t i = 0; i < frame.PixelCount(); ++i) {
+    out.hist[HistBin(frame.pixels[3 * i], frame.pixels[3 * i + 1],
+                     frame.pixels[3 * i + 2])] += 1.f;
+  }
+  const auto n = static_cast<float>(frame.PixelCount());
+  for (float& v : out.hist) v /= n;
+  return out;
+}
+
+MotionMask ChangeDetect(const Frame& frame, const Frame* prev,
+                        int threshold) {
+  MotionMask out;
+  out.width = frame.width;
+  out.height = frame.height;
+  out.ts = frame.ts;
+  out.mask.assign(frame.PixelCount(), 1);
+  if (prev == nullptr || prev->pixels.size() != frame.pixels.size()) {
+    return out;  // first frame: everything counts as moving
+  }
+  for (std::size_t i = 0; i < frame.PixelCount(); ++i) {
+    const int dr = static_cast<int>(frame.pixels[3 * i]) -
+                   static_cast<int>(prev->pixels[3 * i]);
+    const int dg = static_cast<int>(frame.pixels[3 * i + 1]) -
+                   static_cast<int>(prev->pixels[3 * i + 1]);
+    const int db = static_cast<int>(frame.pixels[3 * i + 2]) -
+                   static_cast<int>(prev->pixels[3 * i + 2]);
+    const int dist = std::abs(dr) + std::abs(dg) + std::abs(db);
+    out.mask[i] = dist > threshold ? 1 : 0;
+  }
+  return out;
+}
+
+Histogram PrepareRatioHistogram(const Histogram& model,
+                                const Histogram& frame_hist,
+                                int prep_passes) {
+  Histogram ratio;
+  for (int i = 0; i < kHistSize; ++i) {
+    const float denom = frame_hist[static_cast<std::size_t>(i)];
+    ratio[static_cast<std::size_t>(i)] =
+        denom > 1e-7f
+            ? std::min(model[static_cast<std::size_t>(i)] / denom, 64.f)
+            : 0.f;
+  }
+  // Smoothing along the flattened bin axis; repeated passes model the
+  // model-preparation overhead each data-parallel chunk pays.
+  Histogram tmp;
+  for (int pass = 0; pass < prep_passes; ++pass) {
+    for (int i = 0; i < kHistSize; ++i) {
+      const float left = ratio[static_cast<std::size_t>(
+          std::max(i - 1, 0))];
+      const float right = ratio[static_cast<std::size_t>(
+          std::min(i + 1, kHistSize - 1))];
+      float v = 0.5f * ratio[static_cast<std::size_t>(i)] +
+                0.25f * (left + right);
+      // Flush near-zero bins: repeated smoothing otherwise drives values
+      // into the denormal range, where FP arithmetic is pathologically slow
+      // and would distort per-chunk cost measurements.
+      tmp[static_cast<std::size_t>(i)] = v < 1e-12f ? 0.f : v;
+    }
+    ratio = tmp;
+  }
+  return ratio;
+}
+
+void Backproject(const Frame& frame, const MotionMask& mask,
+                 const Histogram& ratio, int row_begin, int row_end,
+                 int pixel_work, float* out) {
+  SS_CHECK(row_begin >= 0 && row_end <= frame.height);
+  for (int y = row_begin; y < row_end; ++y) {
+    for (int x = 0; x < frame.width; ++x) {
+      const std::size_t i =
+          static_cast<std::size_t>(y) * frame.width + x;
+      const std::size_t o =
+          static_cast<std::size_t>(y - row_begin) * frame.width + x;
+      if (!mask.mask[i]) {
+        out[o] = 0.f;
+        continue;
+      }
+      const std::uint8_t* px = frame.Pixel(x, y);
+      float v = ratio[static_cast<std::size_t>(
+          HistBin(px[0], px[1], px[2]))];
+      // Calibrated extra per-pixel work (keeps the kernel compute-bound the
+      // way the Alpha-era tracker was relative to its memory system).
+      for (int w = 1; w < pixel_work; ++w) {
+        v = v + 0.25f * (ratio[static_cast<std::size_t>(
+                             (HistBin(px[0], px[1], px[2]) + w) %
+                             kHistSize)] -
+                         v) *
+                    0.5f;
+      }
+      out[o] = v;
+    }
+  }
+}
+
+Detection FindPeak(const std::vector<float>& map, int width, int height,
+                   int model_id) {
+  Detection best;
+  best.model_id = model_id;
+  best.score = -1.f;
+  // 3x3 box response; single pass, small constant per pixel.
+  for (int y = 1; y + 1 < height; ++y) {
+    for (int x = 1; x + 1 < width; ++x) {
+      float sum = 0.f;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const float* row =
+            &map[static_cast<std::size_t>(y + dy) * width + (x - 1)];
+        sum += row[0] + row[1] + row[2];
+      }
+      if (sum > best.score) {
+        best.score = sum;
+        best.x = x;
+        best.y = y;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ss::tracker

@@ -1,0 +1,78 @@
+// Compute kernels of the color tracker.
+//
+// These are real computations (not sleeps): histogram back-projection per
+// Swain & Ballard color indexing, frame differencing, and peak extraction.
+// Their cost scaling matches the paper's observations — T1/T2/T3 independent
+// of the number of models, T4 and T5 linear in it with very different
+// constants — which is what makes the scheduling problem regime-dependent.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "tracker/types.hpp"
+
+namespace ss::tracker {
+
+struct TrackerParams {
+  int width = 160;
+  int height = 120;
+  /// Smoothing passes when preparing a model's ratio histogram; this is the
+  /// per-chunk, per-model overhead that penalizes over-decomposition.
+  int prep_passes = 24;
+  /// Extra per-pixel back-projection work multiplier (cost calibration).
+  int pixel_work = 4;
+  /// Size of a planted target (square side in pixels).
+  int target_size = 16;
+  std::uint64_t seed = 42;
+};
+
+/// Ground truth: where model `id` is planted in frame `ts`.
+struct TargetPose {
+  int x = 0;
+  int y = 0;
+};
+TargetPose PlantedPose(const TrackerParams& params, int model_id,
+                       Timestamp ts);
+
+/// The distinct dominant color assigned to model `id`.
+void ModelColor(int model_id, std::uint8_t* r, std::uint8_t* g,
+                std::uint8_t* b);
+
+/// T1: synthesizes the frame for `ts` with `num_models` planted targets over
+/// textured background noise. Deterministic in (params.seed, ts).
+Frame SynthesizeFrame(const TrackerParams& params, Timestamp ts,
+                      int num_models);
+
+/// Builds the enrolled color models for `num_models` people.
+ModelSet MakeModelSet(const TrackerParams& params, int num_models);
+
+/// T2: normalized color histogram of the whole frame.
+FrameHistogram ComputeHistogram(const Frame& frame);
+
+/// T3: frame differencing against the previous frame; pixels whose RGB
+/// distance exceeds `threshold` are marked moving. A null `prev` marks
+/// everything moving (first frame).
+MotionMask ChangeDetect(const Frame& frame, const Frame* prev,
+                        int threshold = 24);
+
+/// Ratio histogram for back-projection: model / frame, smoothed
+/// `prep_passes` times. This is the per-model preparation every chunk pays.
+Histogram PrepareRatioHistogram(const Histogram& model,
+                                const Histogram& frame_hist, int prep_passes);
+
+/// T4 (inner kernel): back-projects `ratio` over the pixel rows
+/// [row_begin, row_end) of `frame`, masked by `mask`, writing row-relative
+/// results into `out[(y - row_begin)*width + x]`. `pixel_work` scales the
+/// per-pixel cost.
+void Backproject(const Frame& frame, const MotionMask& mask,
+                 const Histogram& ratio, int row_begin, int row_end,
+                 int pixel_work, float* out);
+
+/// T5 (inner kernel): peak of one back-projection map with a box-filter
+/// smoothing pass (this is what makes T5 linear in models with a small
+/// constant).
+Detection FindPeak(const std::vector<float>& map, int width, int height,
+                   int model_id);
+
+}  // namespace ss::tracker

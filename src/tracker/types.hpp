@@ -1,0 +1,111 @@
+// Data types flowing through the color tracker's channels (paper Fig. 2).
+//
+// Frames are synthetic RGB images with planted targets; the channels carry
+// frames, histograms, motion masks, per-model back-projections and detected
+// model locations. Everything is a plain value type so payloads are cheap to
+// share through STM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace ss::tracker {
+
+/// 8x8x8 RGB color histogram (the paper's color models follow Swain &
+/// Ballard's color indexing).
+inline constexpr int kHistBins = 8;
+inline constexpr int kHistSize = kHistBins * kHistBins * kHistBins;
+
+using Histogram = std::array<float, kHistSize>;
+
+/// Bin index of an RGB pixel.
+inline int HistBin(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  const int rb = r >> 5, gb = g >> 5, bb = b >> 5;
+  return (rb * kHistBins + gb) * kHistBins + bb;
+}
+
+struct Frame {
+  int width = 0;
+  int height = 0;
+  Timestamp ts = kNoTimestamp;
+  /// Number of people present when the frame was captured — the observable
+  /// application state driving constrained dynamism (detected downstream).
+  int num_targets = 0;
+  /// Interleaved RGB, 3 bytes per pixel.
+  std::vector<std::uint8_t> pixels;
+
+  std::size_t PixelCount() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+  const std::uint8_t* Pixel(int x, int y) const {
+    return &pixels[3 * (static_cast<std::size_t>(y) * width + x)];
+  }
+  std::uint8_t* MutablePixel(int x, int y) {
+    return &pixels[3 * (static_cast<std::size_t>(y) * width + x)];
+  }
+};
+
+/// One tracked person's color model plus where the synthesizer planted them
+/// (ground truth for tests).
+struct ColorModel {
+  int id = 0;
+  Histogram hist{};
+};
+
+/// The enrolled models active for a timestamp.
+struct ModelSet {
+  std::vector<ColorModel> models;
+};
+
+/// Histogram of a whole frame (T2's output).
+struct FrameHistogram {
+  Timestamp ts = kNoTimestamp;
+  Histogram hist{};
+};
+
+/// Binary motion mask (T3's output), 1 byte per pixel.
+struct MotionMask {
+  int width = 0;
+  int height = 0;
+  Timestamp ts = kNoTimestamp;
+  std::vector<std::uint8_t> mask;
+
+  std::size_t CountActive() const;
+};
+
+/// Per-model back-projection maps (T4's output).
+struct BackProjectionSet {
+  int width = 0;
+  int height = 0;
+  Timestamp ts = kNoTimestamp;
+  std::vector<int> model_ids;
+  /// maps[m][y*width+x] — likelihood that pixel belongs to model m.
+  std::vector<std::vector<float>> maps;
+};
+
+/// Detected location of one model (T5's output).
+struct Detection {
+  int model_id = 0;
+  int x = 0;
+  int y = 0;
+  float score = 0;
+};
+
+struct DetectionSet {
+  Timestamp ts = kNoTimestamp;
+  std::vector<Detection> detections;
+};
+
+/// DECface gaze decision (T6's output in the kiosk graph): which tracked
+/// person the talking head looks at, and where.
+struct GazeTarget {
+  Timestamp ts = kNoTimestamp;
+  int model_id = -1;  // -1: idle gaze (nobody present)
+  int x = 0;
+  int y = 0;
+};
+
+}  // namespace ss::tracker

@@ -1,0 +1,101 @@
+// End-to-end tests of the `ssched` CLI: invoked as a subprocess against the
+// demo problem, the shipped example file, and error paths.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs a command, capturing stdout+stderr.
+CliResult RunCommand(const std::string& command) {
+  CliResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  while (std::size_t n = fread(buffer.data(), 1, buffer.size(), pipe)) {
+    result.output.append(buffer.data(), n);
+    if (n < buffer.size()) break;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Locates the ssched binary relative to the ctest working directory.
+std::string FindSsched() {
+  for (const char* path : {"tools/ssched", "./ssched", "../tools/ssched",
+                           "build/tools/ssched"}) {
+    if (FILE* f = fopen(path, "r")) {
+      fclose(f);
+      return path;
+    }
+  }
+  return "";
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    binary_ = FindSsched();
+    if (binary_.empty()) {
+      GTEST_SKIP() << "ssched binary not found from test cwd";
+    }
+  }
+  std::string binary_;
+};
+
+TEST_F(CliTest, DemoModeProducesSchedule) {
+  auto result = RunCommand(binary_ + " --demo --frames 2");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("optimal schedule"), std::string::npos);
+  EXPECT_NE(result.output.find("pipelined:"), std::string::npos);
+  EXPECT_NE(result.output.find("channel occupancy"), std::string::npos);
+  EXPECT_NE(result.output.find("T4"), std::string::npos);
+}
+
+TEST_F(CliTest, HeuristicModeRuns) {
+  auto result = RunCommand(binary_ + " --demo --heuristic --frames 2");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("heuristic"), std::string::npos);
+}
+
+TEST_F(CliTest, ThroughputBoundMode) {
+  auto result =
+      RunCommand(binary_ + " --demo --throughput-bound 4s --frames 2");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("throughput mode"), std::string::npos);
+}
+
+TEST_F(CliTest, InfeasibleThroughputBoundFails) {
+  auto result =
+      RunCommand(binary_ + " --demo --throughput-bound 1us --frames 2");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFileReportsError) {
+  auto result = RunCommand(binary_ + " /nonexistent.ssg");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, NoArgumentsShowsUsage) {
+  auto result = RunCommand(binary_);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, BadRegimeRejected) {
+  auto result = RunCommand(binary_ + " --demo --regime 99");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("out of range"), std::string::npos);
+}
+
+}  // namespace

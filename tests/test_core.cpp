@@ -1,0 +1,292 @@
+// Unit tests for the core utilities: time, ids, status/expected, rng,
+// stats, and table formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "core/ascii_table.hpp"
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/time.hpp"
+
+namespace ss {
+namespace {
+
+// ---- time -------------------------------------------------------------------
+
+TEST(TimeTest, TickConversions) {
+  EXPECT_EQ(ticks::FromSeconds(1.5), 1'500'000);
+  EXPECT_EQ(ticks::FromMillis(33), 33'000);
+  EXPECT_EQ(ticks::FromMicros(7), 7);
+  EXPECT_DOUBLE_EQ(ticks::ToSeconds(2'500'000), 2.5);
+  EXPECT_DOUBLE_EQ(ticks::ToMillis(1'500), 1.5);
+}
+
+TEST(TimeTest, FormatTick) {
+  EXPECT_EQ(FormatTick(kNoTick), "-");
+  EXPECT_EQ(FormatTick(500), "500us");
+  EXPECT_EQ(FormatTick(ticks::FromMillis(12.5)), "12.50ms");
+  EXPECT_EQ(FormatTick(ticks::FromSeconds(3.214)), "3.214s");
+}
+
+TEST(TimeTest, FormatNegativeTick) {
+  EXPECT_EQ(FormatTick(-500), "-500us");
+}
+
+TEST(TimeTest, StopwatchMonotone) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  EXPECT_GE(sw.Elapsed(), 0);
+}
+
+// ---- ids --------------------------------------------------------------------
+
+TEST(IdsTest, DefaultIsInvalid) {
+  TaskId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, TaskId::Invalid());
+}
+
+TEST(IdsTest, ValueAndIndex) {
+  TaskId id(3);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 3);
+  EXPECT_EQ(id.index(), 3u);
+}
+
+TEST(IdsTest, Ordering) {
+  EXPECT_LT(ProcId(1), ProcId(2));
+  EXPECT_EQ(ProcId(2), ProcId(2));
+  EXPECT_NE(ProcId(1), ProcId(2));
+}
+
+TEST(IdsTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<TaskId, ChannelId>);
+  static_assert(!std::is_same_v<ProcId, NodeId>);
+}
+
+TEST(IdsTest, Hashable) {
+  std::unordered_set<TaskId> set;
+  set.insert(TaskId(1));
+  set.insert(TaskId(2));
+  set.insert(TaskId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// ---- error ------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_TRUE(e.status().ok());
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> e(InvalidArgumentError("bad"));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExpectedTest, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(7));
+  ASSERT_TRUE(e.ok());
+  std::unique_ptr<int> v = std::move(e).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// ---- rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, ExponentialMeanApproximate) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, GaussianMomentsApproximate) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.NextGaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.Add(i);
+    all.Add(i);
+  }
+  for (int i = 50; i < 120; ++i) {
+    b.Add(i * 0.5);
+    all.Add(i * 0.5);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, CovZeroMean) {
+  RunningStats s;
+  s.Add(-1);
+  s.Add(1);
+  EXPECT_EQ(s.cov(), 0.0);  // mean 0 guards division
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 25.0);
+}
+
+TEST(SummarizeTest, Basic) {
+  Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_GT(s.cov, 0.0);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+// ---- ascii table -------------------------------------------------------------
+
+TEST(AsciiTableTest, RendersAlignedColumns) {
+  AsciiTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1.5"});
+  t.AddRow({"b", "12.25"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("12.25"), std::string::npos);
+  // Header separator line of dashes present.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(AsciiTableTest, EmptyRendersEmpty) {
+  AsciiTable t;
+  EXPECT_EQ(t.Render(), "");
+}
+
+TEST(AsciiTableTest, RuleBetweenRows) {
+  AsciiTable t;
+  t.AddRow({"a"});
+  t.AddRule();
+  t.AddRow({"b"});
+  std::string out = t.Render();
+  auto a = out.find("a");
+  auto dash = out.find('-', a);
+  auto b = out.find("b", a);
+  EXPECT_LT(a, dash);
+  EXPECT_LT(dash, b);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,218 @@
+// Failure injection: the runtime must fail loudly and cleanly — no hangs,
+// no partial results passed off as complete — when bodies error, channels
+// shut down mid-run, or runs exceed their time budget.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "graph/op_graph.hpp"
+#include "runtime/app.hpp"
+#include "runtime/free_runner.hpp"
+#include "runtime/scheduled_runner.hpp"
+#include "runtime/splitjoin.hpp"
+#include "sched/optimal.hpp"
+#include "tracker/bodies.hpp"
+#include "tracker/costs.hpp"
+#include "tracker/graph_builder.hpp"
+
+namespace ss::runtime {
+namespace {
+
+tracker::TrackerParams SmallParams() {
+  tracker::TrackerParams p;
+  p.width = 64;
+  p.height = 48;
+  p.target_size = 10;
+  return p;
+}
+
+/// A body that fails on a chosen timestamp.
+class FaultyBody : public TaskBody {
+ public:
+  FaultyBody(std::unique_ptr<TaskBody> inner, Timestamp fail_at)
+      : inner_(std::move(inner)), fail_at_(fail_at) {}
+
+  bool NeedsHistory() const override { return inner_->NeedsHistory(); }
+
+  Status Process(const TaskInputs& in, TaskOutputs* out) override {
+    if (in.ts == fail_at_) {
+      return InternalError("injected failure at ts=" +
+                           std::to_string(in.ts));
+    }
+    return inner_->Process(in, out);
+  }
+
+ private:
+  std::unique_ptr<TaskBody> inner_;
+  Timestamp fail_at_;
+};
+
+TEST(FailureTest, ScheduledRunnerReportsBodyError) {
+  tracker::TrackerParams params = SmallParams();
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+  regime::RegimeSpace space(2, 2);
+  tracker::MeasureOptions mo;
+  mo.repetitions = 1;
+  mo.fp_options = {1};
+  graph::CostModel costs = tracker::MeasureCostModel(tg, space, params, mo);
+
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, params, [](Timestamp) { return 2; }, 4,
+                                &app);
+  // Wrap the histogram body so frame 3 fails.
+  app.SetBody(tg.histogram, std::make_unique<FaultyBody>(
+                                std::make_unique<tracker::HistogramBody>(),
+                                3));
+  ASSERT_TRUE(app.Materialize().ok());
+
+  sched::OptimalScheduler scheduler(tg.graph, costs, graph::CommModel(),
+                                    graph::MachineConfig::SingleNode(4));
+  std::vector<VariantId> serial(tg.graph.task_count(), VariantId(0));
+  auto sched_result = scheduler.ScheduleWithVariants(RegimeId(0), serial);
+  ASSERT_TRUE(sched_result.ok());
+  graph::OpGraph og =
+      graph::OpGraph::Expand(tg.graph, costs, RegimeId(0), serial);
+
+  ScheduledRunOptions opts;
+  opts.frames = 8;
+  ScheduledRunner runner(app, og, sched_result->best, opts);
+  auto result = runner.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("injected failure"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(FailureTest, FreeRunnerSurvivesDigitizerFailure) {
+  // A failing digitizer frame is dropped; the rest of the run completes.
+  tracker::TrackerParams params = SmallParams();
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, params, [](Timestamp) { return 1; }, 4,
+                                &app);
+  app.SetBody(tg.digitizer,
+              std::make_unique<FaultyBody>(
+                  std::make_unique<tracker::DigitizerBody>(
+                      params, [](Timestamp) { return 1; }),
+                  2));
+  ASSERT_TRUE(app.Materialize().ok());
+
+  FreeRunOptions opts;
+  opts.frames = 6;
+  FreeRunner runner(app, opts);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->timed_out);
+  EXPECT_EQ(result->metrics.frames_dropped, 1u);
+  EXPECT_EQ(result->metrics.frames_completed, 5u);
+}
+
+TEST(FailureTest, FreeRunnerTimesOutWhenWorkerDies) {
+  // A failing mid-pipeline body terminates its thread; the runner must hit
+  // its timeout rather than hang, and report timed_out.
+  tracker::TrackerParams params = SmallParams();
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, params, [](Timestamp) { return 1; }, 4,
+                                &app);
+  app.SetBody(tg.peak_detection,
+              std::make_unique<FaultyBody>(
+                  std::make_unique<tracker::PeakDetectionBody>(), 1));
+  ASSERT_TRUE(app.Materialize().ok());
+
+  FreeRunOptions opts;
+  opts.frames = 4;
+  opts.timeout = ticks::FromMillis(500);
+  FreeRunner runner(app, opts);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->timed_out);
+  EXPECT_LT(result->metrics.frames_completed, 4u);
+}
+
+TEST(FailureTest, SplitJoinWorkerFailurePropagatesAndJoins) {
+  tracker::TrackerParams params = SmallParams();
+  auto enrolled = std::make_shared<const tracker::ModelSet>(
+      tracker::MakeModelSet(params, 4));
+  tracker::TargetDetectionBody body(params, enrolled);
+
+  class FailingChunkBody : public TaskBody {
+   public:
+    explicit FailingChunkBody(tracker::TargetDetectionBody* inner)
+        : inner_(inner) {}
+    Status Process(const TaskInputs& in, TaskOutputs* out) override {
+      return inner_->Process(in, out);
+    }
+    Status ProcessChunk(const TaskInputs& in, int chunk, int nchunks,
+                        stm::Payload* partial) override {
+      if (in.ts == 1 && chunk == 1) {
+        return InternalError("chunk blew up");
+      }
+      return inner_->ProcessChunk(in, chunk, nchunks, partial);
+    }
+    Status Join(const TaskInputs& in, std::vector<stm::Payload> partials,
+                TaskOutputs* out) override {
+      return inner_->Join(in, std::move(partials), out);
+    }
+
+   private:
+    tracker::TargetDetectionBody* inner_;
+  };
+
+  body.SetDecomposition(2, 1);
+  FailingChunkBody faulty(&body);
+  DecompositionTable table;
+  table.Set(RegimeId(0), Decomposition{2, 0});
+  SplitJoinHarness harness(&faulty, table, SplitJoinOptions{2, 8});
+  Status s = harness.Run(
+      4,
+      [&](Timestamp ts) -> Expected<TaskInputs> {
+        tracker::Frame f = tracker::SynthesizeFrame(params, ts, 2);
+        f.num_targets = 2;
+        tracker::FrameHistogram fh = tracker::ComputeHistogram(f);
+        tracker::MotionMask mask = tracker::ChangeDetect(f, nullptr);
+        TaskInputs in;
+        in.ts = ts;
+        in.items = {
+            stm::Item{ts, stm::Payload::Make<tracker::Frame>(std::move(f))},
+            stm::Item{ts, stm::Payload::Make<tracker::FrameHistogram>(
+                              std::move(fh))},
+            stm::Item{ts, stm::Payload::Make<tracker::MotionMask>(
+                              std::move(mask))},
+        };
+        return in;
+      },
+      [](Timestamp, TaskOutputs) {}, [](Timestamp) { return RegimeId(0); });
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("chunk blew up"), std::string::npos);
+}
+
+TEST(FailureTest, ShutdownDuringFreeRunWakesEverything) {
+  tracker::TrackerParams params = SmallParams();
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, params, [](Timestamp) { return 1; }, 4,
+                                &app);
+  ASSERT_TRUE(app.Materialize().ok());
+
+  FreeRunOptions opts;
+  opts.frames = 1000;  // far more than we let run
+  opts.digitizer_period = ticks::FromMillis(5);
+  opts.timeout = ticks::FromSeconds(30);
+  std::atomic<bool> done{false};
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    app.ShutdownChannels();
+    done.store(true);
+  });
+  FreeRunner runner(app, opts);
+  auto result = runner.Run();  // must return promptly after shutdown
+  killer.join();
+  EXPECT_TRUE(done.load());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->metrics.frames_completed, 1000u);
+}
+
+}  // namespace
+}  // namespace ss::runtime

@@ -1,0 +1,280 @@
+// Tests for the task graph, machine model, cost models and op-graph
+// expansion.
+#include <gtest/gtest.h>
+
+#include "graph/cost_model.hpp"
+#include "graph/machine.hpp"
+#include "graph/op_graph.hpp"
+#include "graph/task_graph.hpp"
+#include "tracker/graph_builder.hpp"
+
+namespace ss::graph {
+namespace {
+
+constexpr RegimeId kR0 = RegimeId(0);
+
+// ---- machine -----------------------------------------------------------------
+
+TEST(MachineTest, SingleNode) {
+  MachineConfig m = MachineConfig::SingleNode(4);
+  EXPECT_EQ(m.total_procs(), 4);
+  EXPECT_EQ(m.NodeOfProc(ProcId(3)), NodeId(0));
+  EXPECT_TRUE(m.SameNode(ProcId(0), ProcId(3)));
+}
+
+TEST(MachineTest, Cluster) {
+  MachineConfig m = MachineConfig::Cluster(4, 4);  // the paper's platform
+  EXPECT_EQ(m.total_procs(), 16);
+  EXPECT_EQ(m.NodeOfProc(ProcId(0)), NodeId(0));
+  EXPECT_EQ(m.NodeOfProc(ProcId(7)), NodeId(1));
+  EXPECT_FALSE(m.SameNode(ProcId(3), ProcId(4)));
+  EXPECT_EQ(m.FirstProcOf(NodeId(2)), ProcId(8));
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+// ---- comm model ---------------------------------------------------------------
+
+TEST(CommModelTest, IntraVsInter) {
+  CommModel comm;
+  comm.intra_latency = 1;
+  comm.intra_bytes_per_us = 1000;
+  comm.inter_latency = 50;
+  comm.inter_bytes_per_us = 100;
+  EXPECT_EQ(comm.Cost(10000, /*same_node=*/true), 1 + 10);
+  EXPECT_EQ(comm.Cost(10000, /*same_node=*/false), 50 + 100);
+}
+
+TEST(CommModelTest, FreeModelIsZero) {
+  CommModel comm = CommModel::Free();
+  EXPECT_EQ(comm.Cost(1 << 20, true), 0);
+  EXPECT_EQ(comm.Cost(1 << 20, false), 0);
+}
+
+// ---- task graph ----------------------------------------------------------------
+
+class GraphFixture : public ::testing::Test {
+ protected:
+  GraphFixture() {
+    src_ = g_.AddTask("src", true);
+    mid_ = g_.AddTask("mid");
+    sink_ = g_.AddTask("sink");
+    c0_ = g_.AddChannel("c0", 100);
+    c1_ = g_.AddChannel("c1", 200);
+    g_.SetProducer(src_, c0_);
+    g_.AddConsumer(mid_, c0_);
+    g_.SetProducer(mid_, c1_);
+    g_.AddConsumer(sink_, c1_);
+  }
+  TaskGraph g_;
+  TaskId src_, mid_, sink_;
+  ChannelId c0_, c1_;
+};
+
+TEST_F(GraphFixture, Lookups) {
+  EXPECT_EQ(g_.task_count(), 3u);
+  EXPECT_EQ(g_.channel_count(), 2u);
+  EXPECT_EQ(g_.FindTask("mid"), mid_);
+  EXPECT_EQ(g_.FindChannel("c1"), c1_);
+  EXPECT_FALSE(g_.FindTask("nope").valid());
+  EXPECT_FALSE(g_.FindChannel("nope").valid());
+}
+
+TEST_F(GraphFixture, ProducersAndConsumers) {
+  EXPECT_EQ(g_.producer(c0_), src_);
+  ASSERT_EQ(g_.consumers(c0_).size(), 1u);
+  EXPECT_EQ(g_.consumers(c0_)[0], mid_);
+  EXPECT_EQ(g_.outputs(src_).size(), 1u);
+  EXPECT_EQ(g_.inputs(mid_).size(), 1u);
+}
+
+TEST_F(GraphFixture, PredsAndSuccs) {
+  EXPECT_TRUE(g_.Predecessors(src_).empty());
+  ASSERT_EQ(g_.Successors(src_).size(), 1u);
+  EXPECT_EQ(g_.Successors(src_)[0], mid_);
+  ASSERT_EQ(g_.Predecessors(sink_).size(), 1u);
+  EXPECT_EQ(g_.Predecessors(sink_)[0], mid_);
+}
+
+TEST_F(GraphFixture, ChannelsBetween) {
+  auto between = g_.ChannelsBetween(src_, mid_);
+  ASSERT_EQ(between.size(), 1u);
+  EXPECT_EQ(between[0], c0_);
+  EXPECT_TRUE(g_.ChannelsBetween(src_, sink_).empty());
+}
+
+TEST_F(GraphFixture, TopologicalOrder) {
+  auto order = g_.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order->size(), 3u);
+  EXPECT_EQ((*order)[0], src_);
+  EXPECT_EQ((*order)[1], mid_);
+  EXPECT_EQ((*order)[2], sink_);
+  EXPECT_TRUE(g_.IsDag());
+}
+
+TEST_F(GraphFixture, SourcesAndSinks) {
+  ASSERT_EQ(g_.SourceTasks().size(), 1u);
+  EXPECT_EQ(g_.SourceTasks()[0], src_);
+  ASSERT_EQ(g_.SinkTasks().size(), 1u);
+  EXPECT_EQ(g_.SinkTasks()[0], sink_);
+}
+
+TEST_F(GraphFixture, ValidatePasses) { EXPECT_TRUE(g_.Validate().ok()); }
+
+TEST_F(GraphFixture, RenderingsMentionEveryTask) {
+  const std::string dot = g_.ToDot();
+  const std::string text = g_.ToText();
+  for (const char* name : {"src", "mid", "sink"}) {
+    EXPECT_NE(dot.find(name), std::string::npos);
+    EXPECT_NE(text.find(name), std::string::npos);
+  }
+}
+
+TEST(GraphValidationTest, CycleDetected) {
+  TaskGraph g;
+  TaskId a = g.AddTask("a", true);
+  TaskId b = g.AddTask("b");
+  ChannelId ab = g.AddChannel("ab", 0);
+  ChannelId ba = g.AddChannel("ba", 0);
+  g.SetProducer(a, ab);
+  g.AddConsumer(b, ab);
+  g.SetProducer(b, ba);
+  g.AddConsumer(a, ba);
+  EXPECT_FALSE(g.IsDag());
+  EXPECT_FALSE(g.Validate().ok());
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+}
+
+TEST(GraphValidationTest, ChannelWithoutProducerFails) {
+  TaskGraph g;
+  TaskId a = g.AddTask("a", true);
+  ChannelId c = g.AddChannel("c", 0);
+  g.AddConsumer(a, c);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphValidationTest, NonSourceWithoutInputsFails) {
+  TaskGraph g;
+  g.AddTask("floating");  // not a source, no inputs
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphValidationTest, EmptyGraphFails) {
+  TaskGraph g;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+// ---- cost model -----------------------------------------------------------------
+
+TEST(CostModelTest, SetAndGet) {
+  CostModel cm;
+  cm.Set(kR0, TaskId(0), TaskCost::Serial(100));
+  ASSERT_TRUE(cm.Has(kR0, TaskId(0)));
+  EXPECT_EQ(cm.Get(kR0, TaskId(0)).serial_cost(), 100);
+  EXPECT_FALSE(cm.Has(kR0, TaskId(1)));
+  EXPECT_FALSE(cm.Has(RegimeId(1), TaskId(0)));
+}
+
+TEST(CostModelTest, ValidateChecksDensity) {
+  CostModel cm;
+  cm.Set(kR0, TaskId(0), TaskCost::Serial(100));
+  EXPECT_TRUE(cm.Validate(1).ok());
+  EXPECT_FALSE(cm.Validate(2).ok());
+}
+
+TEST(CostModelTest, VariantAccounting) {
+  DpVariant v{"x4", 4, 100, 5, 7};
+  EXPECT_EQ(v.SerializedCost(), 5 + 400 + 7);
+  EXPECT_EQ(v.CriticalPathCost(), 5 + 100 + 7);
+  TaskCost tc = TaskCost::Serial(400);
+  tc.AddVariant(v);
+  EXPECT_EQ(tc.variant_count(), 2u);
+  EXPECT_EQ(tc.variant(VariantId(1)).chunks, 4);
+}
+
+// ---- op graph -------------------------------------------------------------------
+
+TEST(OpGraphTest, SerialExpansionIsOneOpPerTask) {
+  TaskGraph g;
+  TaskId a = g.AddTask("a", true);
+  TaskId b = g.AddTask("b");
+  ChannelId c = g.AddChannel("c", 64);
+  g.SetProducer(a, c);
+  g.AddConsumer(b, c);
+  CostModel cm;
+  cm.Set(kR0, a, TaskCost::Serial(10));
+  cm.Set(kR0, b, TaskCost::Serial(20));
+
+  OpGraph og = OpGraph::Expand(g, cm, kR0, {VariantId(0), VariantId(0)});
+  EXPECT_EQ(og.op_count(), 2u);
+  EXPECT_EQ(og.TotalWork(), 30);
+  EXPECT_EQ(og.CriticalPath(), 30);
+  EXPECT_EQ(og.EdgeBytes(0, 1), 64u);
+  EXPECT_EQ(og.TaskEntry(a), og.TaskExit(a));
+}
+
+TEST(OpGraphTest, ChunkedExpansionAddsSplitJoin) {
+  TaskGraph g;
+  TaskId a = g.AddTask("a", true);
+  TaskId b = g.AddTask("b");
+  ChannelId c = g.AddChannel("c", 100);
+  g.SetProducer(a, c);
+  g.AddConsumer(b, c);
+  CostModel cm;
+  cm.Set(kR0, a, TaskCost::Serial(10));
+  TaskCost bc = TaskCost::Serial(400);
+  bc.AddVariant(DpVariant{"x4", 4, 100, 5, 7});
+  cm.Set(kR0, b, bc);
+
+  OpGraph og = OpGraph::Expand(g, cm, kR0, {VariantId(0), VariantId(1)});
+  // a + split + 4 chunks + join = 7 ops.
+  EXPECT_EQ(og.op_count(), 7u);
+  EXPECT_EQ(og.TotalWork(), 10 + 5 + 400 + 7);
+  EXPECT_EQ(og.CriticalPath(), 10 + 5 + 100 + 7);
+  // Split and join sandwich the chunks.
+  const int entry = og.TaskEntry(b);
+  const int exit = og.TaskExit(b);
+  EXPECT_EQ(og.op(entry).kind, OpKind::kSplit);
+  EXPECT_EQ(og.op(exit).kind, OpKind::kJoin);
+  EXPECT_EQ(og.succs(entry).size(), 4u);
+  EXPECT_EQ(og.preds(exit).size(), 4u);
+  // The cross-task edge lands on the split op.
+  EXPECT_EQ(og.EdgeBytes(og.TaskExit(a), entry), 100u);
+}
+
+TEST(OpGraphTest, TailLengthsDecreaseDownstream) {
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph();
+  CostModel cm;
+  for (std::size_t t = 0; t < tg.graph.task_count(); ++t) {
+    cm.Set(kR0, TaskId(static_cast<TaskId::underlying_type>(t)),
+           TaskCost::Serial(100));
+  }
+  std::vector<VariantId> variants(tg.graph.task_count(), VariantId(0));
+  OpGraph og = OpGraph::Expand(tg.graph, cm, kR0, variants);
+  auto tails = og.TailLengths();
+  // The source's tail is the whole critical path.
+  EXPECT_EQ(tails[static_cast<std::size_t>(og.TaskEntry(tg.digitizer))],
+            og.CriticalPath());
+  // A sink's tail is its own cost.
+  EXPECT_EQ(tails[static_cast<std::size_t>(og.TaskExit(tg.peak_detection))],
+            100);
+}
+
+TEST(OpGraphTest, TrackerGraphShape) {
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph();
+  EXPECT_TRUE(tg.graph.Validate().ok());
+  EXPECT_EQ(tg.graph.task_count(), 5u);
+  EXPECT_EQ(tg.graph.channel_count(), 5u);
+  // T4 consumes three channels in the documented order.
+  const auto& inputs = tg.graph.inputs(tg.target_detection);
+  ASSERT_EQ(inputs.size(), 3u);
+  EXPECT_EQ(inputs[0], tg.frame_ch);
+  EXPECT_EQ(inputs[1], tg.color_model_ch);
+  EXPECT_EQ(inputs[2], tg.motion_mask_ch);
+  // T2 and T3 are parallel siblings (the paper's task parallelism).
+  auto succs = tg.graph.Successors(tg.digitizer);
+  EXPECT_EQ(succs.size(), 3u);  // histogram, change detection, T4
+}
+
+}  // namespace
+}  // namespace ss::graph

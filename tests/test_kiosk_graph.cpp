@@ -1,0 +1,199 @@
+// Tests for the extended kiosk graph (tracker + T6 DECface behavior):
+// structure, costs, and schedulability of the six-task graph.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "regime/regime.hpp"
+#include "regime/schedule_table.hpp"
+#include "runtime/regime_runner.hpp"
+#include "sched/optimal.hpp"
+#include "stm/channel.hpp"
+#include "tracker/bodies.hpp"
+#include "tracker/costs.hpp"
+#include "tracker/graph_builder.hpp"
+
+namespace ss::tracker {
+namespace {
+
+TEST(KioskGraphTest, StructureExtendsTracker) {
+  KioskGraph kg = BuildKioskGraph();
+  EXPECT_TRUE(kg.tracker.graph.Validate().ok());
+  EXPECT_EQ(kg.tracker.graph.task_count(), 6u);
+  EXPECT_EQ(kg.tracker.graph.channel_count(), 6u);
+  // T6 consumes model locations; the gaze channel ends the graph.
+  const auto& consumers =
+      kg.tracker.graph.consumers(kg.tracker.locations_ch);
+  ASSERT_EQ(consumers.size(), 1u);
+  EXPECT_EQ(consumers[0], kg.behavior);
+  auto sinks = kg.tracker.graph.SinkTasks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0], kg.behavior);
+}
+
+TEST(KioskGraphTest, CostsCoverT6) {
+  KioskGraph kg = BuildKioskGraph();
+  regime::RegimeSpace space(1, 8);
+  graph::CostModel cm = PaperKioskCostModel(kg, space);
+  EXPECT_TRUE(cm.Validate(kg.tracker.graph.task_count()).ok());
+  // T6 is linear in models.
+  const Tick c1 = cm.Get(space.FromState(1), kg.behavior).serial_cost();
+  const Tick c8 = cm.Get(space.FromState(8), kg.behavior).serial_cost();
+  EXPECT_EQ(c8, 8 * c1);
+}
+
+TEST(KioskGraphTest, SixTaskGraphSchedulesTractably) {
+  KioskGraph kg = BuildKioskGraph();
+  regime::RegimeSpace space(1, 8);
+  PaperCostParams pcp;
+  pcp.scale = 0.001;
+  graph::CostModel cm = PaperKioskCostModel(kg, space, pcp);
+  sched::OptimalScheduler scheduler(kg.tracker.graph, cm,
+                                    graph::CommModel(),
+                                    graph::MachineConfig::SingleNode(4));
+  for (RegimeId r : space.AllRegimes()) {
+    auto result = scheduler.Schedule(r);
+    ASSERT_TRUE(result.ok()) << r.value();
+    EXPECT_FALSE(result->budget_exhausted) << r.value();
+    EXPECT_GT(result->min_latency, 0);
+  }
+}
+
+TEST(KioskGraphTest, BehaviorLengthensLatencyByItsCost) {
+  // Adding T6 to the critical path lengthens the minimal latency by exactly
+  // T6's cost (it serially follows the previous sink T5).
+  TrackerGraph tg = BuildTrackerGraph();
+  KioskGraph kg = BuildKioskGraph();
+  regime::RegimeSpace space(8, 8);
+  PaperCostParams pcp;
+  pcp.scale = 0.001;
+  graph::CostModel tracker_costs = PaperCostModel(tg, space, pcp);
+  graph::CostModel kiosk_costs = PaperKioskCostModel(kg, space, pcp);
+
+  sched::OptimalScheduler a(tg.graph, tracker_costs, graph::CommModel(),
+                            graph::MachineConfig::SingleNode(4));
+  sched::OptimalScheduler b(kg.tracker.graph, kiosk_costs,
+                            graph::CommModel(),
+                            graph::MachineConfig::SingleNode(4));
+  auto ra = a.Schedule(RegimeId(0));
+  auto rb = b.Schedule(RegimeId(0));
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  const Tick t6 =
+      kiosk_costs.Get(RegimeId(0), kg.behavior).serial_cost();
+  EXPECT_EQ(rb->min_latency, ra->min_latency + t6);
+}
+
+TEST(KioskGraphTest, ScheduleTableWorksOnKioskGraph) {
+  KioskGraph kg = BuildKioskGraph();
+  regime::RegimeSpace space(1, 4);
+  PaperCostParams pcp;
+  pcp.scale = 0.001;
+  graph::CostModel cm = PaperKioskCostModel(kg, space, pcp);
+  auto table = regime::ScheduleTable::Precompute(
+      space, kg.tracker.graph, cm, graph::CommModel(),
+      graph::MachineConfig::SingleNode(4));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), 4u);
+}
+
+TEST(KioskGraphTest, BehaviorBodyGlancesAtEachCustomer) {
+  BehaviorBody body(/*dwell_frames=*/2);
+  DetectionSet det;
+  det.detections = {{0, 10, 10, 1.f}, {1, 50, 50, 2.f}, {2, 90, 90, 3.f}};
+  std::set<int> glanced;
+  for (Timestamp ts = 0; ts < 12; ++ts) {
+    runtime::TaskInputs in;
+    in.ts = ts;
+    det.ts = ts;
+    in.items = {stm::Item{ts, stm::Payload::Make<DetectionSet>(det)}};
+    runtime::TaskOutputs out;
+    ASSERT_TRUE(body.Process(in, &out).ok());
+    auto gaze = out.items.at(0).As<GazeTarget>();
+    EXPECT_GE(gaze->model_id, 0);
+    glanced.insert(gaze->model_id);
+  }
+  // Over 12 frames at dwell 2, all three customers were glanced at.
+  EXPECT_EQ(glanced.size(), 3u);
+}
+
+TEST(KioskGraphTest, BehaviorBodyIdleWhenAlone) {
+  BehaviorBody body;
+  DetectionSet det;
+  det.ts = 0;
+  runtime::TaskInputs in;
+  in.ts = 0;
+  in.items = {stm::Item{0, stm::Payload::Make<DetectionSet>(det)}};
+  runtime::TaskOutputs out;
+  ASSERT_TRUE(body.Process(in, &out).ok());
+  EXPECT_EQ(out.items.at(0).As<GazeTarget>()->model_id, -1);
+}
+
+TEST(KioskGraphTest, LiveKioskRunsWithRegimeSwitching) {
+  // The full six-task kiosk, real threads, measured costs, a state change
+  // mid-run: gazes must land for every frame.
+  TrackerParams params;
+  params.width = 64;
+  params.height = 48;
+  params.target_size = 10;
+  KioskGraph kg = BuildKioskGraph(params, 4);
+  regime::RegimeSpace space(1, 3);
+  MeasureOptions mo;
+  mo.repetitions = 1;
+  mo.fp_options = {1, 2};
+  // Tracker task ids are shared between the tracker and kiosk graphs, so
+  // the measured tracker costs slot straight in; T6 is measured trivially.
+  graph::CostModel costs =
+      MeasureCostModel(kg.tracker, space, params, mo);
+  for (RegimeId r : space.AllRegimes()) {
+    costs.Set(r, kg.behavior, graph::TaskCost::Serial(50));
+  }
+  auto table = regime::ScheduleTable::Precompute(
+      space, kg.tracker.graph, costs, graph::CommModel(),
+      graph::MachineConfig::SingleNode(4));
+  ASSERT_TRUE(table.ok());
+
+  auto state = [](Timestamp ts) { return ts < 5 ? 1 : 3; };
+  runtime::Application app(kg.tracker.graph);
+  InstallKioskBodies(kg, params, state, 4, &app);
+  ASSERT_TRUE(app.Materialize().ok());
+
+  auto reconfigure = [&](RegimeId r, const regime::TableEntry& entry) {
+    const auto& variant =
+        costs.Get(r, kg.tracker.target_detection)
+            .variant(entry.schedule.iteration
+                         .variants()[kg.tracker.target_detection.index()]);
+    int fp = 1, mp = 1;
+    auto* body = dynamic_cast<TargetDetectionBody*>(
+        app.body(kg.tracker.target_detection));
+    if (std::sscanf(variant.name.c_str(), "FP=%dxMP=%d", &fp, &mp) == 2) {
+      body->SetDecomposition(fp, mp);
+    } else {
+      body->SetDecomposition(1, 1);
+    }
+  };
+
+  runtime::RegimeRunnerOptions opts;
+  opts.frames = 10;
+  runtime::RegimeSwitchingRunner runner(app, space, *table, state,
+                                        reconfigure, opts);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->metrics.frames_completed, 10u);
+  ASSERT_EQ(result->switches.size(), 1u);
+
+  // Every frame produced a gaze decision pointing at a real person.
+  stm::Channel* gaze_ch = app.channel(kg.gaze_ch);
+  ConnId conn = gaze_ch->Attach(stm::ConnDir::kInput);
+  for (Timestamp ts = 0; ts < 10; ++ts) {
+    auto item = gaze_ch->Get(conn, stm::TsQuery::Exact(ts),
+                             stm::GetMode::kNonBlocking);
+    ASSERT_TRUE(item.ok()) << "frame " << ts;
+    auto gaze = item->payload.As<GazeTarget>();
+    EXPECT_GE(gaze->model_id, 0) << "frame " << ts;
+    EXPECT_LT(gaze->model_id, state(ts)) << "frame " << ts;
+  }
+}
+
+}  // namespace
+}  // namespace ss::tracker

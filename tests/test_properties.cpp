@@ -1,0 +1,254 @@
+// Property-based tests over randomized inputs:
+//  * random layered DAGs: the exhaustive scheduler never loses to the list
+//    heuristic, always meets its lower bounds, and its schedules validate;
+//  * pipeline composition: the computed initiation interval is collision-
+//    free under brute-force expansion, and II-1 always collides (minimality
+//    within the rotation);
+//  * occupancy analysis: predicted channel bounds hold in the deterministic
+//    replay and in the real scheduled runner.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "graph/op_graph.hpp"
+#include "graph/synthetic.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/naive.hpp"
+#include "sched/occupancy.hpp"
+#include "sched/optimal.hpp"
+#include "sched/pipeline.hpp"
+#include "sim/schedule_executor.hpp"
+
+namespace ss {
+namespace {
+
+using graph::CommModel;
+using graph::CostModel;
+using graph::MachineConfig;
+using graph::OpGraph;
+using graph::TaskCost;
+using graph::TaskGraph;
+using sched::IterationSchedule;
+using sched::PipelineComposer;
+using sched::ScheduleEntry;
+
+constexpr RegimeId kR0 = RegimeId(0);
+
+class RandomDagProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagProperty, OptimalSoundAndDominant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  graph::SyntheticOptions gen;
+  gen.layers = 2 + static_cast<int>(rng.NextBelow(2));
+  graph::SyntheticProblem dag = [&] {
+    switch (GetParam() % 3) {
+      case 0: return graph::MakeChain(rng, 3 + gen.layers, gen);
+      case 1: return graph::MakeForkJoin(
+          rng, 2 + static_cast<int>(rng.NextBelow(3)), gen);
+      default: return graph::MakeLayered(rng, gen);
+    }
+  }();
+  ASSERT_TRUE(dag.graph.Validate().ok()) << dag.family;
+
+  const MachineConfig machine =
+      MachineConfig::SingleNode(2 + static_cast<int>(rng.NextBelow(3)));
+  CommModel comm;
+  comm.intra_latency = static_cast<Tick>(rng.NextBelow(20));
+
+  sched::OptimalScheduler optimal(dag.graph, dag.costs, comm, machine);
+  sched::OptimalOptions opts;
+  opts.max_nodes = 5'000'000;
+  auto result = optimal.Schedule(kR0, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  if (result->budget_exhausted) GTEST_SKIP() << "search budget hit";
+
+  // Property 1: never worse than the heuristic.
+  sched::ListScheduler list(comm, machine);
+  auto heuristic = list.ScheduleBestVariant(dag.graph, dag.costs, kR0);
+  ASSERT_TRUE(heuristic.ok());
+  EXPECT_LE(result->min_latency, heuristic->Latency());
+
+  // Property 2: meets lower bounds for the chosen variant expansion.
+  OpGraph og = OpGraph::Expand(dag.graph, dag.costs, kR0,
+                               result->best.iteration.variants());
+  EXPECT_GE(result->min_latency, og.CriticalPath());
+  EXPECT_GE(result->min_latency,
+            (og.TotalWork() + machine.total_procs() - 1) /
+                machine.total_procs());
+
+  // Property 3: every collected schedule validates and has the minimal
+  // latency.
+  for (const auto& s : result->optimal) {
+    OpGraph sog = OpGraph::Expand(dag.graph, dag.costs, kR0, s.variants());
+    EXPECT_TRUE(s.Validate(sog, machine, comm).ok());
+    EXPECT_EQ(s.Latency(), result->min_latency);
+  }
+
+  // Property 4: the pipelined composition is collision-free (checked by
+  // the brute-force expander below) and its replay is uniform.
+  sim::ScheduleRunOptions run;
+  run.frames = 6;
+  auto replay = sim::RunSchedule(result->best, og, run);
+  EXPECT_NEAR(replay.metrics.uniformity_cov, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty, ::testing::Range(0, 24));
+
+// ---- pipeline minimality ---------------------------------------------------------
+
+/// Brute-force check: does replaying `iter` with (ii, rotation) produce any
+/// processor overlap within `horizon` iterations?
+bool HasCollision(const IterationSchedule& iter, int procs, int rotation,
+                  Tick ii, int horizon) {
+  struct Busy {
+    int proc;
+    Tick start;
+    Tick end;
+  };
+  std::vector<Busy> intervals;
+  for (int k = 0; k < horizon; ++k) {
+    for (const auto& e : iter.entries()) {
+      const int proc = (e.proc.value() + k * rotation) % procs;
+      const Tick start = e.start + static_cast<Tick>(k) * ii;
+      intervals.push_back({proc, start, start + e.duration});
+    }
+  }
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    for (std::size_t j = i + 1; j < intervals.size(); ++j) {
+      if (intervals[i].proc != intervals[j].proc) continue;
+      if (intervals[i].start < intervals[j].end &&
+          intervals[j].start < intervals[i].end) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+class PipelineMinimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineMinimality, IntervalIsCollisionFreeAndTight) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  // Random iteration schedule: ops placed back-to-back on random procs.
+  const int procs = 2 + static_cast<int>(rng.NextBelow(3));
+  const int ops = 3 + static_cast<int>(rng.NextBelow(5));
+  std::vector<Tick> proc_free(static_cast<std::size_t>(procs), 0);
+  std::vector<ScheduleEntry> entries;
+  for (int i = 0; i < ops; ++i) {
+    const int p = static_cast<int>(rng.NextBelow(procs));
+    const Tick dur = static_cast<Tick>(rng.NextInRange(5, 60));
+    entries.push_back(ScheduleEntry{i, ProcId(p), proc_free[p], dur});
+    proc_free[p] += dur +
+                    static_cast<Tick>(rng.NextBelow(2) ? 0 : 7);  // gaps too
+  }
+  IterationSchedule iter({}, std::move(entries));
+
+  for (int rotation = 0; rotation < procs; ++rotation) {
+    const Tick ii =
+        PipelineComposer::MinInitiationInterval(iter, procs, rotation);
+    const int horizon =
+        static_cast<int>(iter.Latency() / std::max<Tick>(1, ii)) + procs + 2;
+    EXPECT_FALSE(HasCollision(iter, procs, rotation, ii, horizon))
+        << "rotation " << rotation << " ii " << ii;
+    if (ii > 1) {
+      EXPECT_TRUE(HasCollision(iter, procs, rotation, ii - 1, horizon))
+          << "rotation " << rotation << " ii " << ii
+          << " is not minimal";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineMinimality, ::testing::Range(0, 20));
+
+// ---- occupancy --------------------------------------------------------------------
+
+TEST(OccupancyTest, BoundHoldsInReplay) {
+  // Chain src -> a -> b with a slow downstream: items accumulate exactly as
+  // predicted.
+  TaskGraph g;
+  CostModel costs;
+  TaskId src = g.AddTask("src", true);
+  TaskId a = g.AddTask("a");
+  TaskId b = g.AddTask("b");
+  ChannelId c0 = g.AddChannel("c0", 100);
+  ChannelId c1 = g.AddChannel("c1", 100);
+  g.SetProducer(src, c0);
+  g.AddConsumer(a, c0);
+  g.SetProducer(a, c1);
+  g.AddConsumer(b, c1);
+  costs.Set(kR0, src, TaskCost::Serial(10));
+  costs.Set(kR0, a, TaskCost::Serial(100));
+  costs.Set(kR0, b, TaskCost::Serial(100));
+
+  const MachineConfig machine = MachineConfig::SingleNode(3);
+  sched::OptimalScheduler sched(g, costs, CommModel::Free(), machine);
+  auto result = sched.Schedule(kR0);
+  ASSERT_TRUE(result.ok());
+  OpGraph og =
+      OpGraph::Expand(g, costs, kR0, result->best.iteration.variants());
+  auto report = sched::AnalyzeOccupancy(g, og, result->best);
+  ASSERT_EQ(report.channels.size(), 2u);
+  // Lifetime of c0: from src end to a end; at least one item; bounded by
+  // overlap depth.
+  for (const auto& ch : report.channels) {
+    EXPECT_GE(ch.max_items, 1u);
+    EXPECT_LE(ch.max_items, 4u);
+  }
+  EXPECT_EQ(report.required_capacity,
+            std::max(report.channels[0].max_items,
+                     report.channels[1].max_items));
+}
+
+TEST(OccupancyTest, FasterScheduleNeedsFewerItems) {
+  // The same graph pipelined naively (big lifetime) vs optimally.
+  TaskGraph g;
+  CostModel costs;
+  TaskId src = g.AddTask("src", true);
+  TaskId a = g.AddTask("a");
+  TaskId b = g.AddTask("b");
+  ChannelId c0 = g.AddChannel("c0", 100);
+  ChannelId c1 = g.AddChannel("c1", 100);
+  g.SetProducer(src, c0);
+  g.AddConsumer(a, c0);
+  g.SetProducer(a, c1);
+  g.AddConsumer(b, c1);
+  costs.Set(kR0, src, TaskCost::Serial(10));
+  TaskCost ac = TaskCost::Serial(400);
+  ac.AddVariant(graph::DpVariant{"x4", 4, 100, 2, 2});
+  costs.Set(kR0, a, std::move(ac));
+  costs.Set(kR0, b, TaskCost::Serial(50));
+
+  const MachineConfig machine = MachineConfig::SingleNode(4);
+  std::vector<VariantId> serial(g.task_count(), VariantId(0));
+  OpGraph og_serial = OpGraph::Expand(g, costs, kR0, serial);
+  auto naive = sched::NaivePipelineSchedule(og_serial, machine);
+  auto naive_report = sched::AnalyzeOccupancy(g, og_serial, naive);
+
+  sched::OptimalScheduler sched(g, costs, CommModel::Free(), machine);
+  auto result = sched.Schedule(kR0);
+  ASSERT_TRUE(result.ok());
+  OpGraph og =
+      OpGraph::Expand(g, costs, kR0, result->best.iteration.variants());
+  auto opt_report = sched::AnalyzeOccupancy(g, og, result->best);
+
+  EXPECT_LT(result->min_latency, naive.Latency());
+  EXPECT_LE(opt_report.total_items, naive_report.total_items);
+}
+
+TEST(OccupancyTest, OutputChannelsReportZero) {
+  TaskGraph g;
+  CostModel costs;
+  TaskId src = g.AddTask("src", true);
+  ChannelId out = g.AddChannel("out", 100);
+  g.SetProducer(src, out);
+  costs.Set(kR0, src, TaskCost::Serial(10));
+  std::vector<VariantId> serial(g.task_count(), VariantId(0));
+  OpGraph og = OpGraph::Expand(g, costs, kR0, serial);
+  auto naive = sched::SingleProcessorSchedule(og,
+                                              MachineConfig::SingleNode(1));
+  auto report = sched::AnalyzeOccupancy(g, og, naive);
+  ASSERT_EQ(report.channels.size(), 1u);
+  EXPECT_EQ(report.channels[0].max_items, 0u);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,202 @@
+// Tests for constrained dynamism: regime space, detection, arrival
+// timelines, the pre-computed schedule table, and the regime manager's
+// amortization behaviour (paper §2, §3.4).
+#include <gtest/gtest.h>
+
+#include "regime/arrivals.hpp"
+#include "regime/manager.hpp"
+#include "regime/regime.hpp"
+#include "regime/schedule_table.hpp"
+#include "tracker/costs.hpp"
+#include "tracker/graph_builder.hpp"
+
+namespace ss::regime {
+namespace {
+
+// ---- regime space ---------------------------------------------------------------
+
+TEST(RegimeSpaceTest, MappingAndClamping) {
+  RegimeSpace space(1, 5);
+  EXPECT_EQ(space.size(), 5u);
+  EXPECT_EQ(space.FromState(1), RegimeId(0));
+  EXPECT_EQ(space.FromState(5), RegimeId(4));
+  EXPECT_EQ(space.FromState(0), RegimeId(0));    // clamped
+  EXPECT_EQ(space.FromState(100), RegimeId(4));  // clamped
+  EXPECT_EQ(space.ToState(RegimeId(2)), 3);
+  EXPECT_EQ(space.Name(RegimeId(0)), "state=1");
+  EXPECT_EQ(space.AllRegimes().size(), 5u);
+}
+
+TEST(RegimeDetectorTest, ReportsOnlyChanges) {
+  RegimeSpace space(1, 8);
+  RegimeDetector detector(space, 2);
+  EXPECT_EQ(detector.current(), space.FromState(2));
+  EXPECT_FALSE(detector.Observe(2).valid());   // no change
+  RegimeId next = detector.Observe(5);
+  EXPECT_TRUE(next.valid());
+  EXPECT_EQ(next, space.FromState(5));
+  EXPECT_FALSE(detector.Observe(5).valid());
+}
+
+// ---- timelines -------------------------------------------------------------------
+
+TEST(StateTimelineTest, StepFunction) {
+  StateTimeline tl(1, {{100, 3}, {200, 2}});
+  EXPECT_EQ(tl.At(0), 1);
+  EXPECT_EQ(tl.At(99), 1);
+  EXPECT_EQ(tl.At(100), 3);
+  EXPECT_EQ(tl.At(150), 3);
+  EXPECT_EQ(tl.At(500), 2);
+  EXPECT_EQ(tl.ChangesBefore(150), 1u);
+  EXPECT_EQ(tl.ChangesBefore(1000), 2u);
+}
+
+TEST(StateTimelineTest, BirthDeathDeterministicPerSeed) {
+  Rng a(5), b(5);
+  auto t1 = StateTimeline::BirthDeath(a, ticks::FromSeconds(600),
+                                      ticks::FromSeconds(30),
+                                      ticks::FromSeconds(60), 1, 1, 8);
+  auto t2 = StateTimeline::BirthDeath(b, ticks::FromSeconds(600),
+                                      ticks::FromSeconds(30),
+                                      ticks::FromSeconds(60), 1, 1, 8);
+  EXPECT_EQ(t1.changes().size(), t2.changes().size());
+  for (std::size_t i = 0; i < t1.changes().size(); ++i) {
+    EXPECT_EQ(t1.changes()[i].at, t2.changes()[i].at);
+    EXPECT_EQ(t1.changes()[i].state, t2.changes()[i].state);
+  }
+}
+
+TEST(StateTimelineTest, BirthDeathStaysInRange) {
+  Rng rng(7);
+  auto tl = StateTimeline::BirthDeath(rng, ticks::FromSeconds(3600),
+                                      ticks::FromSeconds(10),
+                                      ticks::FromSeconds(40), 1, 1, 8);
+  for (const auto& c : tl.changes()) {
+    EXPECT_GE(c.state, 1);
+    EXPECT_LE(c.state, 8);
+  }
+  // A busy hour sees plenty of changes (constrained, not static).
+  EXPECT_GT(tl.changes().size(), 10u);
+}
+
+// ---- schedule table + manager -----------------------------------------------------
+
+class TableFixture : public ::testing::Test {
+ protected:
+  TableFixture() : space_(1, 4) {
+    tg_ = tracker::BuildTrackerGraph();
+    tracker::PaperCostParams pcp;
+    pcp.scale = 0.01;
+    costs_ = tracker::PaperCostModel(tg_, space_, pcp);
+    auto table = ScheduleTable::Precompute(space_, tg_.graph, costs_,
+                                           graph::CommModel(),
+                                           graph::MachineConfig::SingleNode(4));
+    SS_CHECK(table.ok());
+    table_ = std::make_unique<ScheduleTable>(std::move(*table));
+  }
+
+  RegimeSpace space_;
+  tracker::TrackerGraph tg_;
+  graph::CostModel costs_;
+  std::unique_ptr<ScheduleTable> table_;
+};
+
+TEST_F(TableFixture, OneEntryPerRegime) {
+  EXPECT_EQ(table_->size(), space_.size());
+  for (RegimeId r : space_.AllRegimes()) {
+    const TableEntry& e = table_->Get(r);
+    EXPECT_GT(e.min_latency, 0);
+    EXPECT_GT(e.schedule.initiation_interval, 0);
+    ASSERT_NE(e.op_graph, nullptr);
+    // The stored op graph matches the schedule's entry count.
+    EXPECT_EQ(e.op_graph->op_count(), e.schedule.iteration.entries().size());
+  }
+}
+
+TEST_F(TableFixture, LatencyGrowsWithModels) {
+  Tick prev = 0;
+  for (RegimeId r : space_.AllRegimes()) {
+    EXPECT_GE(table_->Get(r).min_latency, prev);
+    prev = table_->Get(r).min_latency;
+  }
+  EXPECT_GT(table_->Get(space_.FromState(4)).min_latency,
+            table_->Get(space_.FromState(1)).min_latency);
+}
+
+TEST_F(TableFixture, ManagerReplaySteadyState) {
+  RegimeManager manager(space_, *table_);
+  // No state changes: every frame sees the regime's optimal latency and no
+  // transition overhead.
+  StateTimeline still(2, {});
+  RegimeRunOptions opts;
+  opts.horizon = ticks::FromSeconds(60);
+  auto result = manager.Replay(still, opts);
+  EXPECT_TRUE(result.transitions.empty());
+  EXPECT_EQ(result.transition_overhead, 0);
+  const Tick expected = table_->Get(space_.FromState(2)).schedule.Latency();
+  EXPECT_NEAR(result.metrics.latency_seconds.mean,
+              ticks::ToSeconds(expected), 1e-9);
+}
+
+TEST_F(TableFixture, ManagerReplayCountsTransitions) {
+  RegimeManager manager(space_, *table_);
+  StateTimeline tl(1, {{ticks::FromSeconds(20), 3},
+                       {ticks::FromSeconds(40), 2}});
+  RegimeRunOptions opts;
+  opts.horizon = ticks::FromSeconds(60);
+  auto result = manager.Replay(tl, opts);
+  EXPECT_EQ(result.transitions.size(), 2u);
+  EXPECT_GT(result.transition_overhead, 0);
+  EXPECT_EQ(result.transitions[0].from, space_.FromState(1));
+  EXPECT_EQ(result.transitions[0].to, space_.FromState(3));
+}
+
+TEST_F(TableFixture, InfrequentChangesAmortize) {
+  // The paper's amortization claim: with changes every ~30 s the switching
+  // overhead is a negligible fraction of the run.
+  RegimeManager manager(space_, *table_);
+  Rng rng(11);
+  auto tl = StateTimeline::BirthDeath(rng, ticks::FromSeconds(600),
+                                      ticks::FromSeconds(30),
+                                      ticks::FromSeconds(60), 1, 1, 4);
+  RegimeRunOptions opts;
+  opts.horizon = ticks::FromSeconds(600);
+  auto result = manager.Replay(tl, opts);
+  EXPECT_GT(result.transitions.size(), 0u);
+  EXPECT_LT(result.overhead_fraction, 0.05);
+}
+
+TEST_F(TableFixture, FrequentChangesHurtMore) {
+  RegimeManager manager(space_, *table_);
+  Rng slow_rng(3), fast_rng(3);
+  auto slow = StateTimeline::BirthDeath(slow_rng, ticks::FromSeconds(300),
+                                        ticks::FromSeconds(60),
+                                        ticks::FromSeconds(90), 1, 1, 4);
+  auto fast = StateTimeline::BirthDeath(fast_rng, ticks::FromSeconds(300),
+                                        ticks::FromSeconds(2),
+                                        ticks::FromSeconds(3), 1, 1, 4);
+  RegimeRunOptions opts;
+  opts.horizon = ticks::FromSeconds(300);
+  auto slow_result = manager.Replay(slow, opts);
+  auto fast_result = manager.Replay(fast, opts);
+  EXPECT_GT(fast_result.transitions.size(), slow_result.transitions.size());
+  EXPECT_GT(fast_result.overhead_fraction, slow_result.overhead_fraction);
+}
+
+TEST_F(TableFixture, PerRegimeLatencyMatchesTableDuringRun) {
+  RegimeManager manager(space_, *table_);
+  StateTimeline tl(1, {{ticks::FromSeconds(30), 4}});
+  RegimeRunOptions opts;
+  opts.horizon = ticks::FromSeconds(60);
+  auto result = manager.Replay(tl, opts);
+  const Tick lat1 = table_->Get(space_.FromState(1)).schedule.Latency();
+  const Tick lat4 = table_->Get(space_.FromState(4)).schedule.Latency();
+  // Every frame's latency equals one of the two regimes' optima.
+  for (const auto& f : result.frames) {
+    const Tick lat = f.Latency();
+    EXPECT_TRUE(lat == lat1 || lat == lat4) << "frame " << f.ts;
+  }
+}
+
+}  // namespace
+}  // namespace ss::regime

@@ -1,0 +1,416 @@
+// Tests for the real threaded runtime: application materialization, the
+// free-running (pthread) runner, the schedule-driven runner, and the
+// splitter/worker/joiner harness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "graph/op_graph.hpp"
+#include "regime/regime.hpp"
+#include "runtime/app.hpp"
+#include "runtime/free_runner.hpp"
+#include "runtime/scheduled_runner.hpp"
+#include "runtime/splitjoin.hpp"
+#include "sched/optimal.hpp"
+#include "tracker/bodies.hpp"
+#include "tracker/costs.hpp"
+#include "tracker/graph_builder.hpp"
+
+namespace ss::runtime {
+namespace {
+
+tracker::TrackerParams SmallParams() {
+  tracker::TrackerParams p;
+  p.width = 64;
+  p.height = 48;
+  p.target_size = 10;
+  return p;
+}
+
+// ---- application ----------------------------------------------------------------
+
+TEST(ApplicationTest, MaterializeCreatesChannels) {
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(SmallParams());
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, SmallParams(),
+                                [](Timestamp) { return 1; }, 8, &app);
+  ASSERT_TRUE(app.Materialize().ok());
+  EXPECT_EQ(app.channels().size(), tg.graph.channel_count());
+  EXPECT_NE(app.channel(tg.frame_ch), nullptr);
+  // Output channel without consumers is unbounded; internal ones bounded.
+  EXPECT_EQ(app.channel(tg.locations_ch)->capacity(), 0u);
+  EXPECT_GT(app.channel(tg.frame_ch)->capacity(), 0u);
+}
+
+TEST(ApplicationTest, MaterializeFailsWithoutBodies) {
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(SmallParams());
+  Application app(tg.graph);
+  EXPECT_FALSE(app.Materialize().ok());
+}
+
+TEST(ApplicationTest, DoubleMaterializeFails) {
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(SmallParams());
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, SmallParams(),
+                                [](Timestamp) { return 1; }, 8, &app);
+  ASSERT_TRUE(app.Materialize().ok());
+  EXPECT_FALSE(app.Materialize().ok());
+}
+
+// ---- free runner ------------------------------------------------------------------
+
+TEST(FreeRunnerTest, CompletesFramesEndToEnd) {
+  tracker::TrackerParams params = SmallParams();
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, params, [](Timestamp) { return 2; }, 8,
+                                &app);
+  ASSERT_TRUE(app.Materialize().ok());
+
+  FreeRunOptions opts;
+  opts.frames = 12;
+  opts.digitizer_period = 0;  // flat out
+  FreeRunner runner(app, opts);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->timed_out);
+  EXPECT_GT(result->metrics.frames_completed, 0u);
+  EXPECT_EQ(result->metrics.frames_completed + result->metrics.frames_dropped,
+            12u);
+}
+
+TEST(FreeRunnerTest, ResultsLandInOutputChannel) {
+  tracker::TrackerParams params = SmallParams();
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, params, [](Timestamp) { return 1; }, 8,
+                                &app);
+  ASSERT_TRUE(app.Materialize().ok());
+
+  FreeRunOptions opts;
+  opts.frames = 6;
+  FreeRunner runner(app, opts);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok());
+  // ModelLocations holds one DetectionSet per completed frame (no consumer
+  // task, so nothing is garbage collected).
+  EXPECT_EQ(app.channel(tg.locations_ch)->Stats().puts,
+            result->metrics.frames_completed);
+}
+
+TEST(FreeRunnerTest, SlowDigitizerNeverDrops) {
+  tracker::TrackerParams params = SmallParams();
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, params, [](Timestamp) { return 1; }, 8,
+                                &app);
+  ASSERT_TRUE(app.Materialize().ok());
+
+  FreeRunOptions opts;
+  opts.frames = 5;
+  opts.digitizer_period = ticks::FromMillis(30);
+  FreeRunner runner(app, opts);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metrics.frames_dropped, 0u);
+  EXPECT_EQ(result->metrics.frames_completed, 5u);
+}
+
+TEST(FreeRunnerTest, BoundedChannelsBoundOccupancy) {
+  tracker::TrackerParams params = SmallParams();
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+  AppOptions app_opts;
+  app_opts.channel_capacity = 4;
+  Application app(tg.graph, app_opts);
+  tracker::InstallTrackerBodies(tg, params, [](Timestamp) { return 2; }, 8,
+                                &app);
+  ASSERT_TRUE(app.Materialize().ok());
+
+  FreeRunOptions opts;
+  opts.frames = 16;
+  FreeRunner runner(app, opts);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(app.channel(tg.frame_ch)->Stats().max_occupancy, 4u);
+}
+
+TEST(FreeRunnerTest, DataParallelTaskMatchesSerialResults) {
+  // The same run with T4 serial vs T4 decomposed through a chunk pool must
+  // produce identical detections (the Fig. 9 subgraph "exactly duplicates
+  // the original task's behavior").
+  tracker::TrackerParams params = SmallParams();
+  const int models = 3;
+
+  auto run_once = [&](int chunks, int fp, int mp) {
+    tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+    auto app = std::make_unique<Application>(tg.graph);
+    tracker::InstallTrackerBodies(tg, params,
+                                  [](Timestamp) { return models; }, 8,
+                                  app.get());
+    SS_CHECK(app->Materialize().ok());
+    if (chunks > 1) {
+      auto* body = dynamic_cast<tracker::TargetDetectionBody*>(
+          app->body(tg.target_detection));
+      body->SetDecomposition(fp, mp);
+    }
+    FreeRunOptions opts;
+    opts.frames = 6;
+    opts.digitizer_period = ticks::FromMillis(5);
+    if (chunks > 1) opts.data_parallel[tg.target_detection] = chunks;
+    FreeRunner runner(*app, opts);
+    auto result = runner.Run();
+    SS_CHECK(result.ok());
+    SS_CHECK(result->metrics.frames_completed == 6);
+
+    // Collect detections per frame.
+    stm::Channel* locations = app->channel(tg.locations_ch);
+    ConnId conn = locations->Attach(stm::ConnDir::kInput);
+    std::vector<std::vector<tracker::Detection>> all;
+    for (Timestamp ts = 0; ts < 6; ++ts) {
+      auto item = locations->Get(conn, stm::TsQuery::Exact(ts),
+                                 stm::GetMode::kNonBlocking);
+      SS_CHECK(item.ok());
+      all.push_back(item->payload.As<tracker::DetectionSet>()->detections);
+    }
+    return all;
+  };
+
+  auto serial = run_once(1, 1, 1);
+  auto parallel = run_once(6, 2, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t f = 0; f < serial.size(); ++f) {
+    ASSERT_EQ(serial[f].size(), parallel[f].size()) << "frame " << f;
+    for (std::size_t m = 0; m < serial[f].size(); ++m) {
+      EXPECT_EQ(serial[f][m].x, parallel[f][m].x) << f << "/" << m;
+      EXPECT_EQ(serial[f][m].y, parallel[f][m].y) << f << "/" << m;
+      EXPECT_EQ(serial[f][m].model_id, parallel[f][m].model_id);
+    }
+  }
+}
+
+TEST(ChunkPoolTest, ErrorFromChunkPropagates) {
+  class Exploding : public TaskBody {
+   public:
+    Status Process(const TaskInputs&, TaskOutputs*) override {
+      return OkStatus();
+    }
+    Status ProcessChunk(const TaskInputs&, int chunk, int,
+                        stm::Payload* partial) override {
+      if (chunk == 2) return InternalError("chunk 2 exploded");
+      *partial = stm::Payload::Make<int>(chunk);
+      return OkStatus();
+    }
+    Status Join(const TaskInputs&, std::vector<stm::Payload>,
+                TaskOutputs*) override {
+      return OkStatus();
+    }
+  };
+  Exploding body;
+  ChunkPool pool(&body, 2);
+  TaskInputs in;
+  in.ts = 0;
+  TaskOutputs out;
+  Status s = pool.RunOne(in, 4, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("chunk 2 exploded"), std::string::npos);
+  // The pool survives the failure and can run again.
+  class Fine : public TaskBody {
+   public:
+    Status Process(const TaskInputs&, TaskOutputs*) override {
+      return OkStatus();
+    }
+  };
+  Fine fine;
+  EXPECT_TRUE(pool.RunOne(in, 1, &out).ok());  // serial path
+}
+
+// ---- scheduled runner ---------------------------------------------------------------
+
+TEST(ScheduledRunnerTest, ExecutesOptimalScheduleEndToEnd) {
+  tracker::TrackerParams params = SmallParams();
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph(params);
+  const int models = 4;
+
+  // Costs measured from the real kernels so the schedule matches reality.
+  regime::RegimeSpace space(models, models);
+  tracker::MeasureOptions mo;
+  mo.repetitions = 1;
+  mo.fp_options = {1, 2};
+  graph::CostModel costs =
+      tracker::MeasureCostModel(tg, space, params, mo);
+
+  const graph::MachineConfig machine = graph::MachineConfig::SingleNode(4);
+  sched::OptimalScheduler scheduler(tg.graph, costs, graph::CommModel(),
+                                    machine);
+  auto sched_result = scheduler.Schedule(RegimeId(0));
+  ASSERT_TRUE(sched_result.ok());
+
+  graph::OpGraph og = graph::OpGraph::Expand(
+      tg.graph, costs, RegimeId(0), sched_result->best.iteration.variants());
+
+  Application app(tg.graph);
+  tracker::InstallTrackerBodies(tg, params,
+                                [](Timestamp) { return models; }, 8, &app);
+  ASSERT_TRUE(app.Materialize().ok());
+
+  // The scheduled runner needs the body decomposition to match the chosen
+  // T4 variant.
+  int t4_chunks = 1;
+  for (std::size_t i = 0; i < og.op_count(); ++i) {
+    const auto& op = og.op(static_cast<int>(i));
+    if (op.task == tg.target_detection &&
+        op.kind == graph::OpKind::kChunk) {
+      t4_chunks = std::max(t4_chunks, op.chunk_index + 1);
+    }
+  }
+  if (t4_chunks > 1) {
+    auto* body = dynamic_cast<tracker::TargetDetectionBody*>(
+        app.body(tg.target_detection));
+    ASSERT_NE(body, nullptr);
+    // The variant name records FP/MP; chunks = fp*mp with mp<=models.
+    const auto& variant =
+        costs.Get(RegimeId(0), tg.target_detection)
+            .variant(sched_result->best.iteration
+                         .variants()[tg.target_detection.index()]);
+    int fp = 1, mp = 1;
+    if (sscanf(variant.name.c_str(), "FP=%dxMP=%d", &fp, &mp) == 2) {
+      body->SetDecomposition(fp, mp);
+    } else {
+      body->SetDecomposition(t4_chunks, 1);
+    }
+  }
+
+  ScheduledRunOptions opts;
+  opts.frames = 8;
+  ScheduledRunner runner(app, og, sched_result->best, opts);
+  auto run = runner.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->metrics.frames_completed, 8u);
+  EXPECT_EQ(run->metrics.frames_dropped, 0u);
+  // Detections land for every frame.
+  EXPECT_EQ(app.channel(tg.locations_ch)->Stats().puts, 8u);
+}
+
+// ---- split/join harness ----------------------------------------------------------------
+
+class SplitJoinFixture : public ::testing::Test {
+ protected:
+  SplitJoinFixture()
+      : params_(SmallParams()),
+        enrolled_(std::make_shared<const tracker::ModelSet>(
+            tracker::MakeModelSet(params_, 8))),
+        body_(params_, enrolled_) {}
+
+  TaskInputs MakeInputs(Timestamp ts, int models) {
+    tracker::Frame f = tracker::SynthesizeFrame(params_, ts, models);
+    f.num_targets = models;
+    tracker::FrameHistogram fh = tracker::ComputeHistogram(f);
+    tracker::MotionMask mask = tracker::ChangeDetect(f, nullptr);
+    TaskInputs in;
+    in.ts = ts;
+    in.items = {
+        stm::Item{ts, stm::Payload::Make<tracker::Frame>(std::move(f))},
+        stm::Item{ts, stm::Payload::Make<tracker::FrameHistogram>(
+                          std::move(fh))},
+        stm::Item{ts,
+                  stm::Payload::Make<tracker::MotionMask>(std::move(mask))},
+    };
+    return in;
+  }
+
+  tracker::TrackerParams params_;
+  std::shared_ptr<const tracker::ModelSet> enrolled_;
+  tracker::TargetDetectionBody body_;
+};
+
+TEST_F(SplitJoinFixture, ProcessesAllFramesInOrderedOutput) {
+  const int models = 4;
+  body_.SetDecomposition(2, 2);
+  DecompositionTable table;
+  table.Set(RegimeId(0), Decomposition{4, 0});
+
+  std::mutex mu;
+  std::map<Timestamp, std::size_t> outputs;
+  SplitJoinHarness harness(&body_, table, SplitJoinOptions{4, 16});
+  Status s = harness.Run(
+      6,
+      [&](Timestamp ts) -> Expected<TaskInputs> {
+        return MakeInputs(ts, models);
+      },
+      [&](Timestamp ts, TaskOutputs out) {
+        auto bp = out.items.at(0).As<tracker::BackProjectionSet>();
+        std::lock_guard lock(mu);
+        outputs[ts] = bp->maps.size();
+      },
+      [](Timestamp) { return RegimeId(0); });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(outputs.size(), 6u);
+  for (const auto& [ts, maps] : outputs) {
+    EXPECT_EQ(maps, static_cast<std::size_t>(models)) << "ts " << ts;
+  }
+  EXPECT_EQ(harness.stats().items_processed, 6u);
+  EXPECT_EQ(harness.stats().chunks_processed, 6u * 4u);
+}
+
+TEST_F(SplitJoinFixture, SerialDecompositionUsesProcessPath) {
+  DecompositionTable table;
+  table.Set(RegimeId(0), Decomposition{1, 0});
+  std::atomic<int> outputs{0};
+  SplitJoinHarness harness(&body_, table, SplitJoinOptions{2, 8});
+  Status s = harness.Run(
+      3,
+      [&](Timestamp ts) -> Expected<TaskInputs> { return MakeInputs(ts, 2); },
+      [&](Timestamp, TaskOutputs) { outputs.fetch_add(1); },
+      [](Timestamp) { return RegimeId(0); });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(outputs.load(), 3);
+}
+
+TEST_F(SplitJoinFixture, StateChangeSwitchesDecomposition) {
+  // Constrained dynamism through the table: state 0 -> serial, state 1 ->
+  // 4 chunks; the harness switches per frame.
+  body_.SetDecomposition(2, 2);
+  DecompositionTable table;
+  table.Set(RegimeId(0), Decomposition{1, 0});
+  table.Set(RegimeId(1), Decomposition{4, 0});
+  SplitJoinHarness harness(&body_, table, SplitJoinOptions{4, 16});
+  std::atomic<int> outputs{0};
+  Status s = harness.Run(
+      8,
+      [&](Timestamp ts) -> Expected<TaskInputs> { return MakeInputs(ts, 4); },
+      [&](Timestamp, TaskOutputs) { outputs.fetch_add(1); },
+      [](Timestamp ts) { return RegimeId(ts < 4 ? 0 : 1); });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(outputs.load(), 8);
+  // 4 serial frames (1 chunk each) + 4 decomposed frames (4 chunks each).
+  EXPECT_EQ(harness.stats().chunks_processed, 4u * 1 + 4u * 4);
+}
+
+TEST_F(SplitJoinFixture, InputFailurePropagates) {
+  DecompositionTable table;
+  table.Set(RegimeId(0), Decomposition{2, 0});
+  body_.SetDecomposition(2, 1);
+  SplitJoinHarness harness(&body_, table, SplitJoinOptions{2, 8});
+  Status s = harness.Run(
+      4,
+      [&](Timestamp ts) -> Expected<TaskInputs> {
+        if (ts == 2) return Status(InternalError("camera unplugged"));
+        return MakeInputs(ts, 2);
+      },
+      [](Timestamp, TaskOutputs) {}, [](Timestamp) { return RegimeId(0); });
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("camera unplugged"), std::string::npos);
+}
+
+TEST(DecompositionTableTest, SetAndGet) {
+  DecompositionTable table;
+  table.Set(RegimeId(0), Decomposition{1, 10});
+  table.Set(RegimeId(3), Decomposition{8, 30});
+  EXPECT_EQ(table.Get(RegimeId(0)).chunks, 1);
+  EXPECT_EQ(table.Get(RegimeId(3)).chunks, 8);
+  EXPECT_EQ(table.Get(RegimeId(3)).tag, 30);
+  EXPECT_EQ(table.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ss::runtime

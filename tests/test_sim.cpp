@@ -1,0 +1,351 @@
+// Tests for the simulator stack: traces/Gantt, metrics, the deterministic
+// schedule replayer, and the online ("pthread") scheduler model.
+#include <gtest/gtest.h>
+
+#include "graph/op_graph.hpp"
+#include "regime/regime.hpp"
+#include "sched/naive.hpp"
+#include "sched/optimal.hpp"
+#include "sim/metrics.hpp"
+#include "sim/online_sim.hpp"
+#include "sim/schedule_executor.hpp"
+#include "sim/trace.hpp"
+#include "tracker/costs.hpp"
+#include "tracker/graph_builder.hpp"
+
+namespace ss::sim {
+namespace {
+
+using graph::CommModel;
+using graph::CostModel;
+using graph::MachineConfig;
+using graph::OpGraph;
+using graph::TaskCost;
+using graph::TaskGraph;
+
+constexpr RegimeId kR0 = RegimeId(0);
+
+// ---- trace -------------------------------------------------------------------
+
+TEST(TraceTest, BusyAndEnd) {
+  Trace t;
+  t.Add({ProcId(0), 0, 100, "a", 0});
+  t.Add({ProcId(0), 150, 200, "b", 1});
+  t.Add({ProcId(1), 0, 50, "c", 0});
+  EXPECT_EQ(t.BusyTime(ProcId(0)), 150);
+  EXPECT_EQ(t.BusyTime(ProcId(1)), 50);
+  EXPECT_EQ(t.EndTime(), 200);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(TraceTest, GanttRendersLabels) {
+  Trace t;
+  t.Add({ProcId(0), 0, ticks::FromMillis(200), "T2", 0});
+  t.Add({ProcId(1), 0, ticks::FromMillis(100), "T3", 0});
+  GanttOptions opts;
+  opts.row_ticks = ticks::FromMillis(100);
+  std::string chart = RenderGantt(t, 2, opts);
+  EXPECT_NE(chart.find("T2#0"), std::string::npos);
+  EXPECT_NE(chart.find("T3#0"), std::string::npos);
+  EXPECT_NE(chart.find("P0"), std::string::npos);
+  EXPECT_NE(chart.find("P1"), std::string::npos);
+}
+
+TEST(TraceTest, GanttEmptyTrace) {
+  Trace t;
+  EXPECT_EQ(RenderGantt(t, 2), "(empty trace)\n");
+}
+
+TEST(TraceTest, GanttTruncatesRows) {
+  Trace t;
+  t.Add({ProcId(0), 0, ticks::FromSeconds(100), "long", 0});
+  GanttOptions opts;
+  opts.row_ticks = ticks::FromMillis(100);
+  opts.max_rows = 10;
+  std::string chart = RenderGantt(t, 1, opts);
+  EXPECT_NE(chart.find("more rows"), std::string::npos);
+}
+
+TEST(TraceTest, CsvExport) {
+  Trace t;
+  t.Add({ProcId(1), 100, 200, "T2", 5});
+  t.Add({ProcId(0), 0, 50, "T1", kNoTimestamp});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("proc,start_us,end_us,label,frame"),
+            std::string::npos);
+  // Sorted by start: T1 row first, empty frame field.
+  EXPECT_NE(csv.find("0,0,50,T1,\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,100,200,T2,5\n"), std::string::npos);
+}
+
+// ---- metrics ------------------------------------------------------------------
+
+TEST(MetricsTest, LatencyAndThroughput) {
+  std::vector<FrameRecord> frames;
+  for (int i = 0; i < 10; ++i) {
+    FrameRecord f;
+    f.ts = i;
+    f.digitized_at = i * 1'000'000;
+    f.completed_at = f.digitized_at + 2'000'000;
+    frames.push_back(f);
+  }
+  RunMetrics m = ComputeMetrics(frames, /*warmup=*/0);
+  EXPECT_EQ(m.frames_completed, 10u);
+  EXPECT_NEAR(m.latency_seconds.mean, 2.0, 1e-9);
+  EXPECT_NEAR(m.interarrival_seconds.mean, 1.0, 1e-9);
+  EXPECT_NEAR(m.uniformity_cov, 0.0, 1e-9);  // perfectly uniform
+  EXPECT_GT(m.throughput_per_sec, 0.8);
+}
+
+TEST(MetricsTest, DropsCounted) {
+  std::vector<FrameRecord> frames(4);
+  frames[0] = {0, 0, 1'000'000};
+  frames[1] = {1, kNoTick, kNoTick};  // dropped
+  frames[2] = {2, 2'000'000, 3'000'000};
+  frames[3] = {3, kNoTick, kNoTick};  // dropped
+  RunMetrics m = ComputeMetrics(frames, 0);
+  EXPECT_EQ(m.frames_completed, 2u);
+  EXPECT_EQ(m.frames_dropped, 2u);
+  EXPECT_DOUBLE_EQ(m.drop_fraction, 0.5);
+}
+
+TEST(MetricsTest, WarmupExcluded) {
+  std::vector<FrameRecord> frames;
+  // First completed frame has an atypical latency (pipeline fill).
+  frames.push_back({0, 0, 500'000});
+  for (int i = 1; i < 5; ++i) {
+    frames.push_back({i, i * 1'000'000, i * 1'000'000 + 1'000'000});
+  }
+  RunMetrics without = ComputeMetrics(frames, 0);
+  EXPECT_NEAR(without.latency_seconds.mean, 0.9, 1e-9);
+  RunMetrics with_warmup = ComputeMetrics(frames, 1);
+  EXPECT_NEAR(with_warmup.latency_seconds.mean, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, EmptyInput) {
+  RunMetrics m = ComputeMetrics({}, 0);
+  EXPECT_EQ(m.frames_completed, 0u);
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+// ---- schedule replay -------------------------------------------------------------
+
+class ReplayFixture : public ::testing::Test {
+ protected:
+  ReplayFixture() {
+    tg_ = tracker::BuildTrackerGraph();
+    space_ = std::make_unique<regime::RegimeSpace>(8, 8);
+    tracker::PaperCostParams pcp;
+    pcp.scale = 0.01;
+    costs_ = tracker::PaperCostModel(tg_, *space_, pcp);
+  }
+
+  tracker::TrackerGraph tg_;
+  std::unique_ptr<regime::RegimeSpace> space_;
+  CostModel costs_;
+};
+
+TEST_F(ReplayFixture, OptimalScheduleReplayMatchesLatency) {
+  sched::OptimalScheduler sched(tg_.graph, costs_, CommModel(),
+                                MachineConfig::SingleNode(4));
+  auto result = sched.Schedule(kR0);
+  ASSERT_TRUE(result.ok());
+  OpGraph og = OpGraph::Expand(tg_.graph, costs_, kR0,
+                               result->best.iteration.variants());
+  ScheduleRunOptions opts;
+  opts.frames = 16;
+  auto run = RunSchedule(result->best, og, opts);
+  // The replayed latency is exactly the iteration latency for every frame.
+  EXPECT_NEAR(run.metrics.latency_seconds.mean,
+              ticks::ToSeconds(result->min_latency), 1e-9);
+  EXPECT_NEAR(run.metrics.latency_seconds.min,
+              run.metrics.latency_seconds.max, 1e-9);
+  // Perfect uniformity by construction.
+  EXPECT_NEAR(run.metrics.uniformity_cov, 0.0, 1e-9);
+  EXPECT_FALSE(run.trace.empty());
+}
+
+TEST_F(ReplayFixture, DigitizerPeriodStretchesInterval) {
+  sched::OptimalScheduler sched(tg_.graph, costs_, CommModel(),
+                                MachineConfig::SingleNode(4));
+  auto result = sched.Schedule(kR0);
+  ASSERT_TRUE(result.ok());
+  OpGraph og = OpGraph::Expand(tg_.graph, costs_, kR0,
+                               result->best.iteration.variants());
+  ScheduleRunOptions opts;
+  opts.frames = 8;
+  opts.digitizer_period = result->best.initiation_interval * 3;
+  auto run = RunSchedule(result->best, og, opts);
+  EXPECT_EQ(run.effective_interval, opts.digitizer_period);
+  EXPECT_NEAR(run.metrics.interarrival_seconds.mean,
+              ticks::ToSeconds(opts.digitizer_period), 1e-6);
+}
+
+// ---- online simulator --------------------------------------------------------------
+
+class OnlineFixture : public ::testing::Test {
+ protected:
+  OnlineFixture() {
+    tg_ = tracker::BuildTrackerGraph();
+    space_ = std::make_unique<regime::RegimeSpace>(8, 8);
+    tracker::PaperCostParams pcp;
+    pcp.scale = 0.01;  // hundredths of the paper's seconds, fast sims
+    costs_ = tracker::PaperCostModel(tg_, *space_, pcp);
+  }
+
+  OpGraph SerialOpGraph() {
+    std::vector<VariantId> v(tg_.graph.task_count(), VariantId(0));
+    return OpGraph::Expand(tg_.graph, costs_, kR0, v);
+  }
+
+  tracker::TrackerGraph tg_;
+  std::unique_ptr<regime::RegimeSpace> space_;
+  CostModel costs_;
+};
+
+TEST_F(OnlineFixture, CompletesAllFramesWhenUnderloaded) {
+  OpGraph og = SerialOpGraph();
+  OnlineSimOptions opts;
+  // Slow digitizer: every frame fully drains before the next.
+  opts.digitizer_period = og.TotalWork() * 2;
+  opts.frames = 10;
+  opts.quantum = ticks::FromMillis(10);
+  OnlineSimulator sim(og, MachineConfig::SingleNode(4), opts);
+  auto result = sim.Run();
+  EXPECT_EQ(result.metrics.frames_completed, 10u);
+  EXPECT_EQ(result.metrics.frames_dropped, 0u);
+}
+
+TEST_F(OnlineFixture, LatencyAtLeastCriticalPath) {
+  OpGraph og = SerialOpGraph();
+  OnlineSimOptions opts;
+  opts.digitizer_period = og.TotalWork() * 2;
+  opts.frames = 8;
+  OnlineSimulator sim(og, MachineConfig::SingleNode(4), opts);
+  auto result = sim.Run();
+  ASSERT_GT(result.metrics.frames_completed, 0u);
+  EXPECT_GE(result.metrics.latency_seconds.min,
+            ticks::ToSeconds(og.CriticalPath()) - 1e-9);
+}
+
+TEST_F(OnlineFixture, SaturationDropsFramesAndRaisesLatency) {
+  OpGraph og = SerialOpGraph();
+  OnlineSimOptions fast;
+  fast.digitizer_period = ticks::FromMillis(33);  // NTSC-speed firing
+  fast.frames = 60;
+  OnlineSimulator sim_fast(og, MachineConfig::SingleNode(4), fast);
+  auto saturated = sim_fast.Run();
+
+  OnlineSimOptions slow = fast;
+  slow.digitizer_period = og.TotalWork() * 2;
+  OnlineSimulator sim_slow(og, MachineConfig::SingleNode(4), slow);
+  auto relaxed = sim_slow.Run();
+
+  EXPECT_GT(saturated.metrics.frames_dropped, 0u);
+  EXPECT_EQ(relaxed.metrics.frames_dropped, 0u);
+  ASSERT_GT(saturated.metrics.frames_completed, 2u);
+  // Backlog raises latency versus the relaxed run (the paper's tuning-curve
+  // left edge versus right edge).
+  EXPECT_GT(saturated.metrics.latency_seconds.mean,
+            relaxed.metrics.latency_seconds.mean * 1.2);
+  // But saturation yields higher throughput.
+  EXPECT_GT(saturated.metrics.throughput_per_sec,
+            relaxed.metrics.throughput_per_sec);
+}
+
+TEST_F(OnlineFixture, DataParallelVariantKeepsWorkersBusy) {
+  // Expand T4 with its MP=models variant and check the simulation still
+  // conserves frames and uses more processors.
+  const auto& t4cost = costs_.Get(kR0, tg_.target_detection);
+  int mp_variant = -1;
+  for (std::size_t v = 0; v < t4cost.variant_count(); ++v) {
+    if (t4cost.variant(VariantId(static_cast<int>(v))).chunks == 8) {
+      mp_variant = static_cast<int>(v);
+      break;
+    }
+  }
+  ASSERT_GE(mp_variant, 0) << "expected an 8-chunk variant at 8 models";
+  std::vector<VariantId> variants(tg_.graph.task_count(), VariantId(0));
+  variants[tg_.target_detection.index()] = VariantId(mp_variant);
+  OpGraph og = OpGraph::Expand(tg_.graph, costs_, kR0, variants);
+
+  OnlineSimOptions opts;
+  opts.digitizer_period = og.TotalWork();
+  opts.frames = 8;
+  opts.record_trace = true;
+  OnlineSimulator sim(og, MachineConfig::SingleNode(4), opts);
+  auto result = sim.Run();
+  EXPECT_EQ(result.metrics.frames_completed, 8u);
+  // All four processors saw work.
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_GT(result.trace.BusyTime(ProcId(p)), 0) << "proc " << p;
+  }
+}
+
+TEST_F(OnlineFixture, DeterministicAcrossRuns) {
+  OpGraph og = SerialOpGraph();
+  OnlineSimOptions opts;
+  opts.digitizer_period = ticks::FromMillis(100);
+  opts.frames = 20;
+  OnlineSimulator a(og, MachineConfig::SingleNode(4), opts);
+  OnlineSimulator b(og, MachineConfig::SingleNode(4), opts);
+  auto ra = a.Run();
+  auto rb = b.Run();
+  EXPECT_EQ(ra.metrics.frames_completed, rb.metrics.frames_completed);
+  EXPECT_EQ(ra.end_time, rb.end_time);
+  EXPECT_DOUBLE_EQ(ra.metrics.latency_seconds.mean,
+                   rb.metrics.latency_seconds.mean);
+}
+
+TEST_F(OnlineFixture, UtilizationBounded) {
+  OpGraph og = SerialOpGraph();
+  OnlineSimOptions opts;
+  opts.digitizer_period = ticks::FromMillis(50);
+  opts.frames = 20;
+  OnlineSimulator sim(og, MachineConfig::SingleNode(4), opts);
+  auto result = sim.Run();
+  EXPECT_GT(result.proc_utilization, 0.0);
+  EXPECT_LE(result.proc_utilization, 1.0 + 1e-9);
+}
+
+TEST_F(OnlineFixture, OldestFirstPolicyImprovesLatencyUnderLoad) {
+  OpGraph og = SerialOpGraph();
+  OnlineSimOptions base;
+  base.digitizer_period = ticks::FromMillis(200);  // saturating
+  base.frames = 40;
+  base.queue_capacity = 3;
+  OnlineSimOptions rr = base;
+  rr.policy = OnlinePolicy::kRoundRobin;
+  OnlineSimOptions off = base;
+  off.policy = OnlinePolicy::kOldestFrameFirst;
+  OnlineSimulator sim_rr(og, MachineConfig::SingleNode(4), rr);
+  OnlineSimulator sim_off(og, MachineConfig::SingleNode(4), off);
+  auto r_rr = sim_rr.Run();
+  auto r_off = sim_off.Run();
+  ASSERT_GT(r_rr.metrics.frames_completed, 2u);
+  ASSERT_GT(r_off.metrics.frames_completed, 2u);
+  // Frame-aware dispatch never hurts mean latency in this model.
+  EXPECT_LE(r_off.metrics.latency_seconds.mean,
+            r_rr.metrics.latency_seconds.mean + 1e-9);
+}
+
+TEST_F(OnlineFixture, QuantumSlicingPreservesWork) {
+  // Tiny quantum forces many slices; total busy time must still equal the
+  // executed work (plus context switches).
+  OpGraph og = SerialOpGraph();
+  OnlineSimOptions opts;
+  opts.digitizer_period = og.TotalWork() * 2;
+  opts.frames = 4;
+  opts.quantum = ticks::FromMillis(1);
+  opts.context_switch = 0;
+  opts.record_trace = true;
+  OnlineSimulator sim(og, MachineConfig::SingleNode(2), opts);
+  auto result = sim.Run();
+  EXPECT_EQ(result.metrics.frames_completed, 4u);
+  Tick busy = 0;
+  for (int p = 0; p < 2; ++p) busy += result.trace.BusyTime(ProcId(p));
+  EXPECT_EQ(busy, og.TotalWork() * 4);
+}
+
+}  // namespace
+}  // namespace ss::sim

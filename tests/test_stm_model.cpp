@@ -1,0 +1,211 @@
+// Model-based property test for Space-Time Memory.
+//
+// A simple reference model (ordered map + per-connection frontiers,
+// sequential semantics) is driven with the same randomized operation
+// sequence as the real Channel; every observable result must agree. This
+// catches semantic drift that example-based tests miss.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "stm/channel.hpp"
+
+namespace ss::stm {
+namespace {
+
+/// Sequential reference implementation of the channel semantics.
+class ModelChannel {
+ public:
+  explicit ModelChannel(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Conn {
+    ConnDir dir;
+    bool attached = true;
+    Timestamp last_got = kNoTimestamp;
+    Timestamp frontier = kNoTimestamp;
+  };
+
+  int Attach(ConnDir dir) {
+    Conn c{dir};
+    if (dir == ConnDir::kInput && gc_frontier_) c.frontier = *gc_frontier_;
+    conns_.push_back(c);
+    return static_cast<int>(conns_.size() - 1);
+  }
+
+  void Detach(int conn) {
+    conns_[static_cast<std::size_t>(conn)].attached = false;
+    Reclaim();
+  }
+
+  StatusCode Put(int conn, Timestamp ts, int value) {
+    const Conn& c = conns_[static_cast<std::size_t>(conn)];
+    if (!c.attached) return StatusCode::kInvalidArgument;
+    if (c.dir != ConnDir::kOutput) return StatusCode::kFailedPrecondition;
+    if (gc_frontier_ && ts <= *gc_frontier_) return StatusCode::kOutOfRange;
+    if (items_.count(ts)) return StatusCode::kAlreadyExists;
+    if (capacity_ != 0 && items_.size() >= capacity_) {
+      return StatusCode::kWouldBlock;
+    }
+    items_[ts] = value;
+    return StatusCode::kOk;
+  }
+
+  /// Returns (code, ts, value).
+  std::tuple<StatusCode, Timestamp, int> Get(int conn, const TsQuery& q) {
+    Conn& c = conns_[static_cast<std::size_t>(conn)];
+    if (!c.attached) return {StatusCode::kInvalidArgument, 0, 0};
+    if (c.dir != ConnDir::kInput) {
+      return {StatusCode::kFailedPrecondition, 0, 0};
+    }
+    std::map<Timestamp, int>::iterator it = items_.end();
+    switch (q.kind) {
+      case TsQueryKind::kExact:
+        it = items_.find(q.ts);
+        if (it == items_.end()) {
+          if (gc_frontier_ && q.ts <= *gc_frontier_) {
+            return {StatusCode::kOutOfRange, 0, 0};
+          }
+          return {StatusCode::kNotFound, 0, 0};
+        }
+        break;
+      case TsQueryKind::kNewest:
+        if (items_.empty()) return {StatusCode::kNotFound, 0, 0};
+        it = std::prev(items_.end());
+        break;
+      case TsQueryKind::kOldest:
+        if (items_.empty()) return {StatusCode::kNotFound, 0, 0};
+        it = items_.begin();
+        break;
+      case TsQueryKind::kNewestUnseen:
+        if (items_.empty()) return {StatusCode::kNotFound, 0, 0};
+        it = std::prev(items_.end());
+        if (it->first <= c.last_got) return {StatusCode::kNotFound, 0, 0};
+        break;
+      case TsQueryKind::kAfter:
+        it = items_.upper_bound(q.ts);
+        if (it == items_.end()) return {StatusCode::kNotFound, 0, 0};
+        break;
+    }
+    c.last_got = std::max(c.last_got, it->first);
+    return {StatusCode::kOk, it->first, it->second};
+  }
+
+  StatusCode Consume(int conn, Timestamp ts) {
+    Conn& c = conns_[static_cast<std::size_t>(conn)];
+    if (!c.attached) return StatusCode::kInvalidArgument;
+    if (c.dir != ConnDir::kInput) return StatusCode::kFailedPrecondition;
+    c.frontier = std::max(c.frontier, ts);
+    Reclaim();
+    return StatusCode::kOk;
+  }
+
+  std::size_t Occupancy() const { return items_.size(); }
+  std::optional<Timestamp> GcFrontier() const { return gc_frontier_; }
+
+ private:
+  void Reclaim() {
+    bool any_input = false;
+    Timestamp min_frontier = kTickInfinity;
+    for (const auto& c : conns_) {
+      if (!c.attached || c.dir != ConnDir::kInput) continue;
+      any_input = true;
+      min_frontier = std::min(min_frontier, c.frontier);
+    }
+    if (!any_input) return;
+    auto end = items_.upper_bound(min_frontier);
+    if (end == items_.begin()) return;
+    gc_frontier_ = gc_frontier_
+                       ? std::max(*gc_frontier_, std::prev(end)->first)
+                       : std::prev(end)->first;
+    items_.erase(items_.begin(), end);
+  }
+
+  std::size_t capacity_;
+  std::map<Timestamp, int> items_;
+  std::vector<Conn> conns_;
+  std::optional<Timestamp> gc_frontier_;
+};
+
+class StmModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StmModelProperty, RealChannelAgreesWithModel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 3);
+  const std::size_t capacity = rng.NextBelow(2) ? 0 : 4 + rng.NextBelow(8);
+  Channel real(ChannelId(0), "model-test", ChannelOptions{capacity});
+  ModelChannel model(capacity);
+
+  // A fixed population of connections (some attached later, some detached
+  // mid-run).
+  std::vector<ConnId> real_conns;
+  std::vector<int> model_conns;
+  std::vector<ConnDir> dirs;
+  auto attach = [&](ConnDir dir) {
+    real_conns.push_back(real.Attach(dir));
+    model_conns.push_back(model.Attach(dir));
+    dirs.push_back(dir);
+  };
+  attach(ConnDir::kOutput);
+  attach(ConnDir::kInput);
+  attach(ConnDir::kInput);
+
+  for (int step = 0; step < 800; ++step) {
+    const auto op = rng.NextBelow(100);
+    const auto pick = rng.NextBelow(real_conns.size());
+    const ConnId rc = real_conns[pick];
+    const int mc = model_conns[pick];
+    const auto ts = static_cast<Timestamp>(rng.NextBelow(40));
+
+    if (op < 40) {  // put
+      const int value = static_cast<int>(rng.NextBelow(1000));
+      Status s = real.Put(rc, ts, Payload::Make<int>(value),
+                          PutMode::kNonBlocking);
+      StatusCode m = model.Put(mc, ts, value);
+      ASSERT_EQ(s.code(), m) << "put ts=" << ts << " step " << step;
+    } else if (op < 75) {  // get (random query kind)
+      TsQuery q;
+      switch (rng.NextBelow(5)) {
+        case 0: q = TsQuery::Exact(ts); break;
+        case 1: q = TsQuery::Newest(); break;
+        case 2: q = TsQuery::Oldest(); break;
+        case 3: q = TsQuery::NewestUnseen(); break;
+        default: q = TsQuery::After(ts); break;
+      }
+      auto r = real.Get(rc, q, GetMode::kNonBlocking);
+      auto [mcode, mts, mvalue] = model.Get(mc, q);
+      ASSERT_EQ(r.status().code(), mcode)
+          << "get " << q.ToString() << " step " << step;
+      if (r.ok()) {
+        EXPECT_EQ(r->ts, mts) << "step " << step;
+        EXPECT_EQ(*r->payload.As<int>(), mvalue) << "step " << step;
+      }
+    } else if (op < 90) {  // consume
+      Status s = real.Consume(rc, ts);
+      StatusCode m = model.Consume(mc, ts);
+      ASSERT_EQ(s.code(), m) << "consume step " << step;
+    } else if (op < 94 && real_conns.size() < 6) {  // attach
+      attach(rng.NextBelow(2) ? ConnDir::kInput : ConnDir::kOutput);
+    } else if (op < 97 && real_conns.size() > 2) {  // detach
+      real.Detach(rc);
+      model.Detach(mc);
+    }
+
+    // Observable state agrees after every step.
+    ASSERT_EQ(real.Occupancy(), model.Occupancy()) << "step " << step;
+    ASSERT_EQ(real.GcFrontier().has_value(),
+              model.GcFrontier().has_value())
+        << "step " << step;
+    if (real.GcFrontier()) {
+      ASSERT_EQ(*real.GcFrontier(), *model.GcFrontier())
+          << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StmModelProperty, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace ss::stm

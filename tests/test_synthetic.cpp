@@ -1,0 +1,89 @@
+// Tests for the synthetic problem generators.
+#include <gtest/gtest.h>
+
+#include "graph/synthetic.hpp"
+
+namespace ss::graph {
+namespace {
+
+constexpr RegimeId kR0 = RegimeId(0);
+
+TEST(SyntheticTest, ChainShape) {
+  Rng rng(1);
+  SyntheticProblem p = MakeChain(rng, 5);
+  EXPECT_TRUE(p.graph.Validate().ok());
+  EXPECT_EQ(p.graph.task_count(), 5u);
+  EXPECT_EQ(p.graph.channel_count(), 4u);
+  EXPECT_EQ(p.graph.SourceTasks().size(), 1u);
+  EXPECT_EQ(p.graph.SinkTasks().size(), 1u);
+  EXPECT_TRUE(p.costs.Validate(p.graph.task_count()).ok());
+  EXPECT_EQ(p.family, "chain");
+}
+
+TEST(SyntheticTest, ForkJoinShape) {
+  Rng rng(2);
+  SyntheticProblem p = MakeForkJoin(rng, 4);
+  EXPECT_TRUE(p.graph.Validate().ok());
+  EXPECT_EQ(p.graph.task_count(), 6u);  // src + 4 branches + sink
+  TaskId src = p.graph.FindTask("src");
+  EXPECT_EQ(p.graph.Successors(src).size(), 4u);
+  TaskId sink = p.graph.FindTask("sink");
+  EXPECT_EQ(p.graph.Predecessors(sink).size(), 4u);
+  EXPECT_TRUE(p.costs.Validate(p.graph.task_count()).ok());
+}
+
+TEST(SyntheticTest, LayeredValidatesAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Rng rng(seed);
+    SyntheticOptions opts;
+    opts.layers = 2 + static_cast<int>(seed % 3);
+    SyntheticProblem p = MakeLayered(rng, opts);
+    ASSERT_TRUE(p.graph.Validate().ok()) << "seed " << seed;
+    ASSERT_TRUE(p.costs.Validate(p.graph.task_count()).ok())
+        << "seed " << seed;
+    EXPECT_EQ(p.graph.SourceTasks().size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  SyntheticProblem pa = MakeLayered(a);
+  SyntheticProblem pb = MakeLayered(b);
+  ASSERT_EQ(pa.graph.task_count(), pb.graph.task_count());
+  ASSERT_EQ(pa.graph.channel_count(), pb.graph.channel_count());
+  for (std::size_t t = 0; t < pa.graph.task_count(); ++t) {
+    const TaskId tid(static_cast<TaskId::underlying_type>(t));
+    EXPECT_EQ(pa.costs.Get(kR0, tid).serial_cost(),
+              pb.costs.Get(kR0, tid).serial_cost());
+  }
+}
+
+TEST(SyntheticTest, CostsWithinConfiguredRange) {
+  Rng rng(7);
+  SyntheticOptions opts;
+  opts.min_cost = 100;
+  opts.max_cost = 200;
+  opts.variant_percent = 0;
+  SyntheticProblem p = MakeChain(rng, 8, opts);
+  for (std::size_t t = 0; t < p.graph.task_count(); ++t) {
+    const TaskId tid(static_cast<TaskId::underlying_type>(t));
+    const Tick cost = p.costs.Get(kR0, tid).serial_cost();
+    EXPECT_GE(cost, 100);
+    EXPECT_LE(cost, 200);
+    EXPECT_EQ(p.costs.Get(kR0, tid).variant_count(), 1u);
+  }
+}
+
+TEST(SyntheticTest, VariantPercentRespected) {
+  Rng rng(9);
+  SyntheticOptions opts;
+  opts.variant_percent = 100;
+  SyntheticProblem p = MakeChain(rng, 10, opts);
+  for (std::size_t t = 0; t < p.graph.task_count(); ++t) {
+    const TaskId tid(static_cast<TaskId::underlying_type>(t));
+    EXPECT_GE(p.costs.Get(kR0, tid).variant_count(), 2u) << t;
+  }
+}
+
+}  // namespace
+}  // namespace ss::graph

@@ -1,0 +1,213 @@
+// ssched — command-line schedule explorer.
+//
+// Reads a scheduling problem (.ssg text format, see graph/graph_io.hpp),
+// runs the paper's Fig. 6 optimal scheduler (or the list heuristic), and
+// prints the schedule, its pipelined form, a Gantt chart and the channel
+// occupancy analysis.
+//
+//   ssched <file.ssg> [--regime N] [--heuristic] [--frames N]
+//          [--no-rotation] [--gantt-ms N] [--dot]
+//   ssched --demo   # built-in color tracker problem, regime = 8 models
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "graph/graph_io.hpp"
+#include "graph/op_graph.hpp"
+#include "regime/regime.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/occupancy.hpp"
+#include "sched/optimal.hpp"
+#include "sched/pipeline.hpp"
+#include "sim/schedule_executor.hpp"
+#include "sim/trace.hpp"
+#include "tracker/costs.hpp"
+#include "tracker/graph_builder.hpp"
+
+using namespace ss;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <file.ssg> [options]\n"
+      "       %s --demo [options]\n"
+      "options:\n"
+      "  --regime N     schedule regime N (default 0)\n"
+      "  --heuristic    use the critical-path list scheduler instead of\n"
+      "                 the exhaustive optimal search\n"
+      "  --frames N     frames to replay for the Gantt chart (default 6)\n"
+      "  --no-rotation  disallow processor rotation when pipelining\n"
+      "  --gantt-ms N   Gantt row granularity in milliseconds (default\n"
+      "                 latency/24)\n"
+      "  --throughput-bound T   maximize throughput subject to latency <= T\n"
+      "                 (time with unit suffix, e.g. 150ms) instead of\n"
+      "                 minimizing latency\n"
+      "  --dot          also print the task graph in Graphviz dot format\n",
+      argv0, argv0);
+  return 2;
+}
+
+graph::ProblemSpec DemoProblem() {
+  graph::ProblemSpec spec;
+  tracker::TrackerGraph tg = tracker::BuildTrackerGraph();
+  regime::RegimeSpace space(1, 8);
+  spec.costs = tracker::PaperCostModel(tg, space);
+  spec.graph = std::move(tg.graph);
+  spec.machine = graph::MachineConfig::SingleNode(4);
+  spec.regime_count = space.size();
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool demo = false;
+  bool heuristic = false;
+  bool dot = false;
+  bool allow_rotation = true;
+  int regime_index = 0;
+  std::size_t frames = 6;
+  double gantt_ms = 0;
+  std::string throughput_bound;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--heuristic") {
+      heuristic = true;
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--no-rotation") {
+      allow_rotation = false;
+    } else if (arg == "--regime") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      regime_index = std::atoi(v);
+    } else if (arg == "--frames") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      frames = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--gantt-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      gantt_ms = std::atof(v);
+    } else if (arg == "--throughput-bound") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      throughput_bound = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      path = arg;
+    }
+  }
+  if (!demo && path.empty()) return Usage(argv[0]);
+
+  graph::ProblemSpec spec;
+  if (demo) {
+    spec = DemoProblem();
+    if (regime_index == 0) regime_index = 7;  // 8 models
+  } else {
+    auto loaded = graph::LoadProblemFile(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    spec = std::move(*loaded);
+  }
+  if (regime_index < 0 ||
+      static_cast<std::size_t>(regime_index) >= spec.regime_count) {
+    std::fprintf(stderr, "error: regime %d out of range (0..%zu)\n",
+                 regime_index, spec.regime_count - 1);
+    return 1;
+  }
+  const RegimeId regime(regime_index);
+
+  std::printf("problem: %zu tasks, %zu channels, %zu regime(s), %s\n\n",
+              spec.graph.task_count(), spec.graph.channel_count(),
+              spec.regime_count, spec.machine.ToString().c_str());
+  std::printf("%s\n", spec.graph.ToText().c_str());
+  if (dot) std::printf("%s\n", spec.graph.ToDot().c_str());
+
+  sched::PipelinedSchedule schedule;
+  if (heuristic) {
+    sched::ListScheduler list(spec.comm, spec.machine);
+    auto iter = list.ScheduleBestVariant(spec.graph, spec.costs, regime);
+    if (!iter.ok()) {
+      std::fprintf(stderr, "error: %s\n", iter.status().ToString().c_str());
+      return 1;
+    }
+    sched::PipelineOptions popts;
+    popts.allow_rotation = allow_rotation;
+    schedule = sched::PipelineComposer::Compose(
+        *iter, spec.machine.total_procs(), popts);
+    std::printf("list-scheduler result (heuristic, not optimal):\n");
+  } else {
+    sched::OptimalScheduler scheduler(spec.graph, spec.costs, spec.comm,
+                                      spec.machine);
+    sched::OptimalOptions opts;
+    opts.pipeline.allow_rotation = allow_rotation;
+    Stopwatch sw;
+    Expected<sched::OptimalResult> result = [&] {
+      if (throughput_bound.empty()) return scheduler.Schedule(regime, opts);
+      auto bound = graph::ParseTickValue(throughput_bound);
+      if (!bound.ok()) return Expected<sched::OptimalResult>(bound.status());
+      std::printf("throughput mode: maximizing throughput with latency <= "
+                  "%s\n", FormatTick(*bound).c_str());
+      return scheduler.ScheduleForThroughput(regime, *bound, opts);
+    }();
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("optimal schedule (regime %d): searched %llu nodes over "
+                "%llu variant combos in %.1f ms%s\n",
+                regime_index,
+                static_cast<unsigned long long>(result->nodes_explored),
+                static_cast<unsigned long long>(
+                    result->variant_combinations),
+                1e3 * sw.ElapsedSeconds(),
+                result->budget_exhausted ? "  [budget exhausted]" : "");
+    std::printf("latency-optimal schedules: %zu\n", result->optimal.size());
+    schedule = std::move(result->best);
+  }
+
+  graph::OpGraph og = graph::OpGraph::Expand(
+      spec.graph, spec.costs, regime, schedule.iteration.variants());
+  std::printf("\n%s\n", schedule.iteration.ToString(og).c_str());
+  std::printf("pipelined: %s\n\n", schedule.ToString().c_str());
+
+  auto occupancy = sched::AnalyzeOccupancy(spec.graph, og, schedule);
+  std::printf("channel occupancy (max live items): ");
+  for (std::size_t c = 0; c < occupancy.channels.size(); ++c) {
+    if (c) std::printf(", ");
+    std::printf("%s=%zu", occupancy.channels[c].name.c_str(),
+                occupancy.channels[c].max_items);
+  }
+  std::printf("  (required capacity %zu)\n\n",
+              occupancy.required_capacity);
+
+  sim::ScheduleRunOptions run;
+  run.frames = frames;
+  auto replay = sim::RunSchedule(schedule, og, run);
+  sim::GanttOptions gantt;
+  gantt.row_ticks =
+      gantt_ms > 0
+          ? ticks::FromMillis(gantt_ms)
+          : std::max<Tick>(1, schedule.iteration.Latency() / 24);
+  gantt.max_rows = 60;
+  std::printf("%s\n",
+              RenderGantt(replay.trace, spec.machine.total_procs(), gantt)
+                  .c_str());
+  std::printf("replay: %s\n", replay.metrics.ToString().c_str());
+  return 0;
+}
