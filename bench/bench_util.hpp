@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/cost_model.hpp"
 #include "graph/machine.hpp"
@@ -34,5 +36,91 @@ inline void PrintHeader(const std::string& title) {
 inline void PrintNote(const std::string& note) {
   std::printf("note: %s\n", note.c_str());
 }
+
+/// Machine-readable sidecar for bench results. Collects one record per
+/// measurement and, if `--json <file>` was on the command line, writes them
+/// as a JSON array of {"name", "median_ms", "p95_ms"} objects so CI or
+/// notebooks can diff runs without scraping the console tables.
+class JsonReport {
+ public:
+  /// Scans argv for `--json <file>`; an empty path disables emission.
+  /// The flag (and operand) are left in argv — benches that forward argv to
+  /// another harness should strip them with `StripJsonFlag`.
+  static std::string PathFromArgs(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") return argv[i + 1];
+    }
+    return {};
+  }
+
+  /// Removes `--json <file>` from argv in place and returns the new argc.
+  /// Useful before handing argv to google-benchmark, which rejects flags it
+  /// does not know.
+  static int StripJsonFlag(int argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+        ++i;  // skip the operand too
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    return out;
+  }
+
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& name, double median_ms, double p95_ms) {
+    records_.push_back({name, median_ms, p95_ms});
+  }
+
+  /// Writes the collected records; returns false (with a stderr note) if
+  /// the file cannot be opened. No-op when disabled.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot open %s for writing\n",
+                   path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"median_ms\": %.6f, "
+                   "\"p95_ms\": %.6f}%s\n",
+                   Escaped(r.name).c_str(), r.median_ms, r.p95_ms,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu bench records to %s\n", records_.size(),
+                path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double median_ms;
+    double p95_ms;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 }  // namespace ss::bench

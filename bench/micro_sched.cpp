@@ -3,6 +3,7 @@
 // pipeline composition, and online-simulation speed.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "graph/op_graph.hpp"
 #include "graph/synthetic.hpp"
 #include "regime/regime.hpp"
@@ -149,7 +150,38 @@ void BM_ScheduleTablePrecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleTablePrecompute)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that also forwards each run's per-iteration real time
+/// into a JsonReport. google-benchmark reports one aggregate per benchmark
+/// here (no repetitions configured), so median == p95 == that measurement.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(bench::JsonReport* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const double ms = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e3;
+      json_->Add(run.benchmark_name(), ms, ms);
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::JsonReport* json_;
+};
+
 }  // namespace
 }  // namespace ss
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ss::bench::JsonReport json(ss::bench::JsonReport::PathFromArgs(argc, argv));
+  argc = ss::bench::JsonReport::StripJsonFlag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ss::JsonCapturingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.Write();
+  return 0;
+}

@@ -11,14 +11,21 @@
 //   4. detect the drift against the cost model;
 //   5. re-measure and re-schedule; confirm the drift clears.
 //
+// Scheduling goes through the in-process ScheduleService: the deployed
+// schedule is a synchronous Solve, and the post-drift reschedule is
+// submitted asynchronously so the solver overlaps with the verification
+// run instead of stalling it.
+//
 //   ./build/examples/cost_drift
 #include <cstdio>
+#include <memory>
 
 #include "graph/op_graph.hpp"
 #include "runtime/app.hpp"
 #include "runtime/free_runner.hpp"
 #include "runtime/timing.hpp"
 #include "sched/optimal.hpp"
+#include "service/schedule_service.hpp"
 #include "tracker/bodies.hpp"
 #include "tracker/costs.hpp"
 #include "tracker/graph_builder.hpp"
@@ -66,6 +73,17 @@ std::vector<runtime::TaskTimingCollector::Drift> RunAndCheck(
   return drift;
 }
 
+/// Wraps a tracker graph + measured costs as a service request.
+std::shared_ptr<const graph::ProblemSpec> MakeProblem(
+    const tracker::TrackerGraph& tg, graph::CostModel costs) {
+  auto spec = std::make_shared<graph::ProblemSpec>();
+  spec->graph = tg.graph;
+  spec->costs = std::move(costs);
+  spec->machine = graph::MachineConfig::SingleNode(4);
+  spec->regime_count = 1;
+  return spec;
+}
+
 }  // namespace
 
 int main() {
@@ -80,12 +98,17 @@ int main() {
   tracker::MeasureOptions mo;
   mo.repetitions = 3;
   graph::CostModel costs = tracker::MeasureCostModel(tg, space, params, mo);
-  sched::OptimalScheduler scheduler(tg.graph, costs, graph::CommModel(),
-                                    graph::MachineConfig::SingleNode(4));
-  auto schedule = scheduler.Schedule(RegimeId(0));
+
+  service::ServiceOptions service_options;
+  service_options.workers = 2;
+  service::ScheduleService service(service_options);
+
+  service::SolveRequest deploy_request;
+  deploy_request.problem = MakeProblem(tg, costs);
+  auto schedule = service.Solve(deploy_request);
   SS_CHECK(schedule.ok());
   std::printf("deployed schedule: %s\n\n",
-              schedule->best.ToString().c_str());
+              (*schedule)->schedule.ToString().c_str());
 
   // 2. Normal operation: no drift expected.
   auto calm = RunAndCheck(tg, params, costs, people, "deployment week 1");
@@ -99,18 +122,25 @@ int main() {
   auto drifted =
       RunAndCheck(big_tg, upgraded, costs, people, "after camera upgrade");
 
-  // 4. React: re-measure and re-schedule.
+  // 4. React: re-measure, then hand the reschedule to the service
+  //    asynchronously — the deployment keeps running (and re-verifying)
+  //    while the branch-and-bound search happens on a service worker.
   graph::CostModel new_costs =
       tracker::MeasureCostModel(big_tg, space, upgraded, mo);
-  sched::OptimalScheduler rescheduler(big_tg.graph, new_costs,
-                                      graph::CommModel(),
-                                      graph::MachineConfig::SingleNode(4));
-  auto new_schedule = rescheduler.Schedule(RegimeId(0));
-  SS_CHECK(new_schedule.ok());
-  std::printf("re-computed schedule: %s\n\n",
-              new_schedule->best.ToString().c_str());
+  service::SolveRequest reschedule_request;
+  reschedule_request.problem = MakeProblem(big_tg, new_costs);
+  auto pending = service.SubmitAsync(reschedule_request);
+  SS_CHECK(pending.ok());
+
   auto cleared = RunAndCheck(big_tg, upgraded, new_costs, people,
                              "after recalibration");
+
+  auto new_schedule = pending->get();
+  SS_CHECK(new_schedule.ok());
+  std::printf("re-computed schedule (async, solver ran %s of wall time "
+              "during the verification run): %s\n\n",
+              FormatTick((*new_schedule)->stats.wall_ticks).c_str(),
+              (*new_schedule)->schedule.ToString().c_str());
 
   std::printf("summary: week-1 drifted tasks %zu, post-upgrade %zu, "
               "post-recalibration %zu\n",

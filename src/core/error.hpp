@@ -23,6 +23,7 @@ enum class StatusCode {
   kInvalidArgument,
   kFailedPrecondition,
   kCancelled,       // channel/runtime shut down
+  kDeadlineExceeded,  // request missed its deadline (service backpressure)
   kInternal,
 };
 
@@ -69,6 +70,9 @@ inline Status FailedPreconditionError(std::string msg) {
 }
 inline Status CancelledError(std::string msg) {
   return Status(StatusCode::kCancelled, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));

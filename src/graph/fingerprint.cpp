@@ -1,0 +1,230 @@
+#include "graph/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+namespace ss::graph {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit permutation.
+constexpr std::uint64_t Scramble(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Two independently-seeded 64-bit lanes absorbing a word stream. All input
+/// is fed as integer words, so the result does not depend on host byte order
+/// or struct layout.
+class Hasher {
+ public:
+  Hasher() = default;
+  Hasher(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  void Word(std::uint64_t w) {
+    hi_ = Scramble(hi_ ^ w);
+    lo_ = Scramble(lo_ + (w ^ 0xA5A5A5A5A5A5A5A5ULL));
+  }
+  void Signed(std::int64_t v) { Word(static_cast<std::uint64_t>(v)); }
+  void Real(double d) { Word(std::bit_cast<std::uint64_t>(d)); }
+  void Str(const std::string& s) {
+    Word(s.size());
+    std::uint64_t packed = 0;
+    int n = 0;
+    for (char c : s) {
+      packed |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+                << (8 * n);
+      if (++n == 8) {
+        Word(packed);
+        packed = 0;
+        n = 0;
+      }
+    }
+    if (n) Word(packed);
+  }
+
+  std::uint64_t hi() const { return hi_; }
+  std::uint64_t lo() const { return lo_; }
+
+ private:
+  std::uint64_t hi_ = 0x5CEDC0DE00000001ULL;
+  std::uint64_t lo_ = 0x5CEDC0DE00000002ULL;
+};
+
+// Section tags keep adjacent sections from sliding into one another.
+enum : std::uint64_t {
+  kTagMachine = 1,
+  kTagComm,
+  kTagShape,
+  kTagTask,
+  kTagChannel,
+  kTagCosts,
+};
+
+/// Canonical task order: topological depth (longest task-level path from a
+/// source), ties broken by name. Independent of declaration order. Cyclic
+/// (invalid) graphs fall back to pure name order so the fingerprint is still
+/// defined.
+std::vector<TaskId> CanonicalTaskOrder(const TaskGraph& graph) {
+  const std::size_t n = graph.task_count();
+  std::vector<TaskId> order;
+  order.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    order.push_back(TaskId(static_cast<TaskId::underlying_type>(t)));
+  }
+  std::vector<std::int64_t> depth(n, 0);
+  if (auto topo = graph.TopologicalOrder(); topo.ok()) {
+    for (TaskId t : *topo) {
+      for (TaskId p : graph.Predecessors(t)) {
+        depth[t.index()] = std::max(depth[t.index()], depth[p.index()] + 1);
+      }
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    if (depth[a.index()] != depth[b.index()]) {
+      return depth[a.index()] < depth[b.index()];
+    }
+    return graph.task(a).name < graph.task(b).name;
+  });
+  return order;
+}
+
+/// Variant shape used for order-normalization; the cosmetic variant name is
+/// deliberately excluded from the fingerprint.
+bool VariantKeyLess(const DpVariant& a, const DpVariant& b) {
+  if (a.chunks != b.chunks) return a.chunks < b.chunks;
+  if (a.chunk_cost != b.chunk_cost) return a.chunk_cost < b.chunk_cost;
+  if (a.split_cost != b.split_cost) return a.split_cost < b.split_cost;
+  return a.join_cost < b.join_cost;
+}
+
+void HashVariant(Hasher& h, const DpVariant& v) {
+  h.Signed(v.chunks);
+  h.Signed(v.chunk_cost);
+  h.Signed(v.split_cost);
+  h.Signed(v.join_cost);
+}
+
+}  // namespace
+
+Fingerprint::Fingerprint(const ProblemSpec& spec) {
+  Hasher h;
+
+  h.Word(kTagMachine);
+  h.Signed(spec.machine.nodes);
+  h.Signed(spec.machine.procs_per_node);
+
+  h.Word(kTagComm);
+  h.Signed(spec.comm.intra_latency);
+  h.Real(spec.comm.intra_bytes_per_us);
+  h.Signed(spec.comm.inter_latency);
+  h.Real(spec.comm.inter_bytes_per_us);
+
+  h.Word(kTagShape);
+  h.Word(spec.regime_count);
+  h.Word(spec.graph.task_count());
+  h.Word(spec.graph.channel_count());
+
+  const std::vector<TaskId> task_order = CanonicalTaskOrder(spec.graph);
+  for (TaskId t : task_order) {
+    h.Word(kTagTask);
+    h.Str(spec.graph.task(t).name);
+    h.Word(spec.graph.task(t).is_source ? 1 : 0);
+  }
+
+  std::vector<ChannelId> channel_order;
+  channel_order.reserve(spec.graph.channel_count());
+  for (std::size_t c = 0; c < spec.graph.channel_count(); ++c) {
+    channel_order.push_back(
+        ChannelId(static_cast<ChannelId::underlying_type>(c)));
+  }
+  std::sort(channel_order.begin(), channel_order.end(),
+            [&](ChannelId a, ChannelId b) {
+              return spec.graph.channel(a).name < spec.graph.channel(b).name;
+            });
+  for (ChannelId c : channel_order) {
+    h.Word(kTagChannel);
+    h.Str(spec.graph.channel(c).name);
+    h.Word(spec.graph.channel(c).item_bytes);
+    const TaskId producer = spec.graph.producer(c);
+    h.Str(producer.valid() ? spec.graph.task(producer).name : std::string());
+    std::vector<std::string> consumers;
+    for (TaskId t : spec.graph.consumers(c)) {
+      consumers.push_back(spec.graph.task(t).name);
+    }
+    std::sort(consumers.begin(), consumers.end());
+    h.Word(consumers.size());
+    for (const std::string& name : consumers) h.Str(name);
+  }
+
+  h.Word(kTagCosts);
+  for (std::size_t r = 0; r < spec.regime_count; ++r) {
+    const RegimeId rid(static_cast<RegimeId::underlying_type>(r));
+    for (TaskId t : task_order) {
+      const bool has =
+          r < spec.costs.regime_count() && spec.costs.Has(rid, t);
+      h.Word(has ? 1 : 0);
+      if (!has) continue;
+      const TaskCost& tc = spec.costs.Get(rid, t);
+      h.Word(tc.variant_count());
+      // Variant 0 (the serial execution) is positional; the alternatives are
+      // order-normalized by shape.
+      HashVariant(h, tc.variants.at(0));
+      std::vector<const DpVariant*> rest;
+      for (std::size_t v = 1; v < tc.variant_count(); ++v) {
+        rest.push_back(&tc.variants[v]);
+      }
+      std::sort(rest.begin(), rest.end(),
+                [](const DpVariant* a, const DpVariant* b) {
+                  return VariantKeyLess(*a, *b);
+                });
+      for (const DpVariant* v : rest) HashVariant(h, *v);
+    }
+  }
+
+  hi_ = h.hi();
+  lo_ = h.lo();
+}
+
+Fingerprint Fingerprint::Extended(
+    std::initializer_list<std::uint64_t> words) const {
+  Hasher h(hi_, lo_);
+  for (std::uint64_t w : words) h.Word(w);
+  return Fingerprint(h.hi(), h.lo());
+}
+
+std::string Fingerprint::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kDigits[(hi_ >> (4 * i)) & 0xF];
+    out[31 - i] = kDigits[(lo_ >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+Expected<Fingerprint> Fingerprint::FromHex(const std::string& hex) {
+  if (hex.size() != 32) {
+    return Status(InvalidArgumentError("fingerprint hex must be 32 chars"));
+  }
+  std::uint64_t words[2] = {0, 0};
+  for (int i = 0; i < 32; ++i) {
+    const char c = hex[static_cast<std::size_t>(i)];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return Status(InvalidArgumentError("bad fingerprint hex digit"));
+    }
+    words[i / 16] = (words[i / 16] << 4) | digit;
+  }
+  return Fingerprint(words[0], words[1]);
+}
+
+}  // namespace ss::graph

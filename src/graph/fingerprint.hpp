@@ -1,0 +1,64 @@
+// Canonical problem fingerprinting.
+//
+// A Fingerprint is a stable 128-bit hash of a scheduling problem computed
+// from a *canonicalized* form: tasks in topological order (ties broken by
+// name), channels sorted by name, data-parallel variants sorted by shape.
+// Two ProblemSpecs that differ only in declaration order therefore map to
+// the same fingerprint, and the value is identical across process runs and
+// machines (the hash is pure integer arithmetic over field values — no
+// pointers, no iteration over unordered containers, no byte-order reads).
+//
+// The scheduler-as-a-service layer (src/service) keys its schedule cache on
+// fingerprints: isomorphic requests coalesce onto one cache entry. Note the
+// cached artifact is expressed in the op/variant ids of the first-solved
+// instance; isomorphic requests receive a schedule identical up to task
+// renaming (same latency, initiation interval, and structure).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "core/error.hpp"
+#include "graph/graph_io.hpp"
+
+namespace ss::graph {
+
+class Fingerprint {
+ public:
+  constexpr Fingerprint() = default;
+  constexpr Fingerprint(std::uint64_t hi, std::uint64_t lo)
+      : hi_(hi), lo_(lo) {}
+
+  /// Canonical fingerprint of a whole problem (graph + costs + machine +
+  /// comm + regime count). See file comment for the canonicalization.
+  explicit Fingerprint(const ProblemSpec& spec);
+
+  constexpr std::uint64_t hi() const { return hi_; }
+  constexpr std::uint64_t lo() const { return lo_; }
+  constexpr bool IsZero() const { return hi_ == 0 && lo_ == 0; }
+
+  /// Derives a new fingerprint by folding extra words into this one (used by
+  /// the service to extend a problem fingerprint with regime index and
+  /// scheduler options, forming a full request key).
+  Fingerprint Extended(std::initializer_list<std::uint64_t> words) const;
+
+  /// 32 lowercase hex characters (hi then lo).
+  std::string ToHex() const;
+  static Expected<Fingerprint> FromHex(const std::string& hex);
+
+  friend constexpr auto operator<=>(const Fingerprint&,
+                                    const Fingerprint&) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.hi() ^ (fp.lo() * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+}  // namespace ss::graph

@@ -25,6 +25,12 @@ Expected<ScheduleTable> ScheduleTable::Precompute(
   return table;
 }
 
+ScheduleTable ScheduleTable::FromEntries(std::vector<TableEntry> entries) {
+  ScheduleTable table;
+  table.entries_ = std::move(entries);
+  return table;
+}
+
 const TableEntry& ScheduleTable::Get(RegimeId regime) const {
   SS_CHECK_MSG(regime.valid() && regime.index() < entries_.size(),
                "regime outside schedule table");

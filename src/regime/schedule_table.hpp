@@ -37,6 +37,11 @@ class ScheduleTable {
       const graph::MachineConfig& machine,
       const sched::OptimalOptions& options = {});
 
+  /// Assembles a table from externally-solved entries (indexed by regime).
+  /// Used by the service-backed parallel builder
+  /// (service::PrecomputeTableParallel), which solves regimes concurrently.
+  static ScheduleTable FromEntries(std::vector<TableEntry> entries);
+
   const TableEntry& Get(RegimeId regime) const;
   std::size_t size() const { return entries_.size(); }
 

@@ -291,6 +291,7 @@ Expected<OptimalResult> OptimalScheduler::ScheduleWithVariants(
     const OptimalOptions& options) const {
   SS_RETURN_IF_ERROR(graph_.Validate());
   SS_RETURN_IF_ERROR(costs_.Validate(graph_.task_count()));
+  const Stopwatch solve_timer;
   OptimalResult result;
   result.variant_combinations = 1;
   OpGraph og = OpGraph::Expand(graph_, costs_, regime, variants);
@@ -309,6 +310,7 @@ Expected<OptimalResult> OptimalScheduler::ScheduleWithVariants(
       result.best = cand;
     }
   }
+  result.solve_wall_ticks = solve_timer.Elapsed();
   return result;
 }
 
@@ -325,6 +327,7 @@ Expected<OptimalResult> OptimalScheduler::Schedule(
             .variant_count();
   }
 
+  const Stopwatch solve_timer;
   OptimalResult result;
   // Odometer over the cartesian product of per-task variants. Each
   // combination shares the global best makespan so later combinations are
@@ -393,6 +396,7 @@ Expected<OptimalResult> OptimalScheduler::Schedule(
       result.best = cand;
     }
   }
+  result.solve_wall_ticks = solve_timer.Elapsed();
   return result;
 }
 
@@ -413,6 +417,7 @@ Expected<OptimalResult> OptimalScheduler::ScheduleForThroughput(
             .variant_count();
   }
 
+  const Stopwatch solve_timer;
   OptimalResult result;
   bool have_best = false;
   std::vector<VariantId> combo(ntasks, VariantId(0));
@@ -468,6 +473,7 @@ Expected<OptimalResult> OptimalScheduler::ScheduleForThroughput(
     return Status(NotFoundError(
         "no schedule meets the latency bound " + FormatTick(latency_bound)));
   }
+  result.solve_wall_ticks = solve_timer.Elapsed();
   return result;
 }
 

@@ -47,6 +47,17 @@ struct OptimalOptions {
   PipelineOptions pipeline;
 };
 
+/// Compact solver diagnostics, carried alongside cached / service results
+/// so hit-path consumers can still report what the original solve cost.
+struct SolveStats {
+  std::uint64_t nodes_explored = 0;
+  std::uint64_t complete_schedules = 0;
+  std::uint64_t variant_combinations = 0;
+  bool budget_exhausted = false;
+  /// Wall-clock duration of the solve, in ticks (microseconds).
+  Tick wall_ticks = 0;
+};
+
 struct OptimalResult {
   /// Step 1: minimal single-iteration latency (in throughput mode: the
   /// minimal latency encountered within the bound).
@@ -60,6 +71,14 @@ struct OptimalResult {
   std::uint64_t complete_schedules = 0;
   std::uint64_t variant_combinations = 0;
   bool budget_exhausted = false;
+  /// Wall-clock duration of the solve call that produced this result.
+  Tick solve_wall_ticks = 0;
+
+  SolveStats Stats() const {
+    return SolveStats{nodes_explored, complete_schedules,
+                      variant_combinations, budget_exhausted,
+                      solve_wall_ticks};
+  }
 };
 
 class OptimalScheduler {

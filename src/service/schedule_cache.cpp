@@ -1,0 +1,269 @@
+#include "service/schedule_cache.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace ss::service {
+
+ScheduleCache::ScheduleCache(std::size_t capacity, int shards) {
+  SS_CHECK_MSG(shards > 0, "cache needs at least one shard");
+  const auto nshards = static_cast<std::size_t>(shards);
+  per_shard_capacity_ =
+      std::max<std::size_t>(1, (capacity + nshards - 1) / nshards);
+  shards_ = std::vector<Shard>(nshards);
+}
+
+std::shared_ptr<const CachedSolve> ScheduleCache::Lookup(
+    const graph::Fingerprint& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return *it->second;
+}
+
+void ScheduleCache::Insert(std::shared_ptr<const CachedSolve> value) {
+  SS_CHECK(value != nullptr);
+  Shard& shard = ShardFor(value->key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(value->key);
+  if (it != shard.index.end()) {
+    *it->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(std::move(value));
+  shard.index.emplace(shard.lru.front()->key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back()->key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CacheStats ScheduleCache::Stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.entries = size();
+  return stats;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+void ScheduleCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+Status ScheduleCache::Save(const std::string& path) const {
+  std::ostringstream os;
+  os << "sscache 1\n";
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& entry : shard.lru) {
+      const sched::PipelinedSchedule& ps = entry->schedule;
+      os << "entry key=" << entry->key.ToHex()
+         << " min_latency=" << entry->min_latency
+         << " ii=" << ps.initiation_interval << " rotation=" << ps.rotation
+         << " procs=" << ps.procs << " nodes=" << entry->stats.nodes_explored
+         << " complete=" << entry->stats.complete_schedules
+         << " combos=" << entry->stats.variant_combinations
+         << " budget=" << (entry->stats.budget_exhausted ? 1 : 0)
+         << " wall=" << entry->stats.wall_ticks << "\n";
+      os << "variants";
+      for (VariantId v : ps.iteration.variants()) os << " " << v.value();
+      os << "\n";
+      for (const sched::ScheduleEntry& e : ps.iteration.entries()) {
+        os << "op " << e.op << " " << e.proc.value() << " " << e.start << " "
+           << e.duration << "\n";
+      }
+      os << "occ total=" << entry->occupancy.total_items
+         << " cap=" << entry->occupancy.required_capacity << "\n";
+      for (const sched::ChannelOccupancy& c : entry->occupancy.channels) {
+        os << "chan " << c.channel.value() << " " << c.name << " "
+           << c.lifetime << " " << c.max_items << "\n";
+      }
+      os << "end\n";
+    }
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return InternalError("cannot write cache snapshot '" + path + "'");
+  }
+  file << os.str();
+  return file.good() ? OkStatus()
+                     : InternalError("short write to '" + path + "'");
+}
+
+namespace {
+
+/// Parses "key=value" tokens of an `entry`/`occ` line into a map.
+Status ParseKeyValues(std::istringstream& line,
+                      std::unordered_map<std::string, std::string>* out) {
+  std::string token;
+  while (line >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("expected key=value in snapshot, got '" +
+                                  token + "'");
+    }
+    (*out)[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return OkStatus();
+}
+
+Expected<std::int64_t> SnapshotInt(
+    const std::unordered_map<std::string, std::string>& kv,
+    const std::string& key) {
+  auto it = kv.find(key);
+  if (it == kv.end()) {
+    return Status(InvalidArgumentError("snapshot missing field '" + key +
+                                       "'"));
+  }
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return Status(
+        InvalidArgumentError("bad snapshot number '" + it->second + "'"));
+  }
+}
+
+}  // namespace
+
+Status ScheduleCache::Load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open cache snapshot '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(file, line) || line.rfind("sscache 1", 0) != 0) {
+    return InvalidArgumentError("'" + path + "' is not a v1 cache snapshot");
+  }
+
+  std::shared_ptr<CachedSolve> pending;
+  Tick pending_ii = 0;
+  int pending_rotation = 0;
+  int pending_procs = 0;
+  std::vector<VariantId> variants;
+  std::vector<sched::ScheduleEntry> entries;
+
+  while (std::getline(file, line)) {
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    if (kind == "entry") {
+      if (pending) {
+        return InvalidArgumentError("snapshot entry without 'end'");
+      }
+      std::unordered_map<std::string, std::string> kv;
+      SS_RETURN_IF_ERROR(ParseKeyValues(ls, &kv));
+      auto key_it = kv.find("key");
+      if (key_it == kv.end()) {
+        return InvalidArgumentError("snapshot entry missing key");
+      }
+      auto key = graph::Fingerprint::FromHex(key_it->second);
+      if (!key.ok()) return key.status();
+      pending = std::make_shared<CachedSolve>();
+      pending->key = *key;
+      auto req = [&](const char* name) { return SnapshotInt(kv, name); };
+      auto min_latency = req("min_latency");
+      auto ii = req("ii");
+      auto rotation = req("rotation");
+      auto procs = req("procs");
+      auto nodes = req("nodes");
+      auto complete = req("complete");
+      auto combos = req("combos");
+      auto budget = req("budget");
+      auto wall = req("wall");
+      for (const auto* v :
+           {&min_latency, &ii, &rotation, &procs, &nodes, &complete, &combos,
+            &budget, &wall}) {
+        if (!v->ok()) return v->status();
+      }
+      pending->min_latency = *min_latency;
+      pending_ii = *ii;
+      pending_rotation = static_cast<int>(*rotation);
+      pending_procs = static_cast<int>(*procs);
+      pending->stats.nodes_explored = static_cast<std::uint64_t>(*nodes);
+      pending->stats.complete_schedules =
+          static_cast<std::uint64_t>(*complete);
+      pending->stats.variant_combinations =
+          static_cast<std::uint64_t>(*combos);
+      pending->stats.budget_exhausted = *budget != 0;
+      pending->stats.wall_ticks = *wall;
+      variants.clear();
+      entries.clear();
+    } else if (kind == "variants") {
+      if (!pending) return InvalidArgumentError("variants outside entry");
+      int v = 0;
+      while (ls >> v) variants.push_back(VariantId(v));
+    } else if (kind == "op") {
+      if (!pending) return InvalidArgumentError("op outside entry");
+      sched::ScheduleEntry e;
+      int proc = 0;
+      if (!(ls >> e.op >> proc >> e.start >> e.duration)) {
+        return InvalidArgumentError("bad op line in snapshot");
+      }
+      e.proc = ProcId(proc);
+      entries.push_back(e);
+    } else if (kind == "occ") {
+      if (!pending) return InvalidArgumentError("occ outside entry");
+      std::unordered_map<std::string, std::string> kv;
+      SS_RETURN_IF_ERROR(ParseKeyValues(ls, &kv));
+      auto total = SnapshotInt(kv, "total");
+      auto cap = SnapshotInt(kv, "cap");
+      if (!total.ok()) return total.status();
+      if (!cap.ok()) return cap.status();
+      pending->occupancy.total_items = static_cast<std::size_t>(*total);
+      pending->occupancy.required_capacity = static_cast<std::size_t>(*cap);
+    } else if (kind == "chan") {
+      if (!pending) return InvalidArgumentError("chan outside entry");
+      sched::ChannelOccupancy c;
+      int id = 0;
+      std::size_t max_items = 0;
+      if (!(ls >> id >> c.name >> c.lifetime >> max_items)) {
+        return InvalidArgumentError("bad chan line in snapshot");
+      }
+      c.channel = ChannelId(id);
+      c.max_items = max_items;
+      pending->occupancy.channels.push_back(std::move(c));
+    } else if (kind == "end") {
+      if (!pending) return InvalidArgumentError("end outside entry");
+      pending->schedule.iteration =
+          sched::IterationSchedule(variants, entries);
+      pending->schedule.initiation_interval = pending_ii;
+      pending->schedule.rotation = pending_rotation;
+      pending->schedule.procs = pending_procs;
+      Insert(std::move(pending));
+      pending = nullptr;
+    } else {
+      return InvalidArgumentError("unknown snapshot line '" + kind + "'");
+    }
+  }
+  if (pending) {
+    return InvalidArgumentError("truncated snapshot (missing 'end')");
+  }
+  return OkStatus();
+}
+
+}  // namespace ss::service

@@ -1,0 +1,248 @@
+#include "service/schedule_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/ascii_table.hpp"
+#include "graph/op_graph.hpp"
+#include "sched/occupancy.hpp"
+
+namespace ss::service {
+
+std::string ServiceStats::ToTable() const {
+  AsciiTable table;
+  table.SetHeader({"metric", "value"});
+  auto row = [&](const char* name, std::uint64_t v) {
+    table.AddRow({name, std::to_string(v)});
+  };
+  row("requests", requests);
+  row("cache hits", cache_hits);
+  row("coalesced (single-flight)", coalesced);
+  row("solver invocations", solves);
+  row("solver failures", solve_failures);
+  row("deadline exceeded", deadline_exceeded);
+  row("queue rejected", queue_rejected);
+  row("cancelled", cancelled);
+  table.AddRow({"hit rate", FormatDouble(HitRate(), 3)});
+  table.AddRow({"solver wall time", FormatTick(solve_ticks)});
+  table.AddRule();
+  row("cache entries", cache.entries);
+  row("cache insertions", cache.insertions);
+  row("cache evictions", cache.evictions);
+  return table.Render();
+}
+
+ScheduleService::ScheduleService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  SS_CHECK_MSG(options_.workers >= 0, "negative worker count");
+  SS_CHECK_MSG(options_.queue_capacity > 0, "queue capacity must be > 0");
+  if (!options_.snapshot_path.empty()) {
+    // A missing snapshot just means a cold start; anything else (corrupt
+    // file) is a real problem and aborts construction loudly.
+    Status loaded = cache_.Load(options_.snapshot_path);
+    SS_CHECK_MSG(loaded.ok() || loaded.code() == StatusCode::kNotFound,
+                 loaded.ToString().c_str());
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ScheduleService::~ScheduleService() { Shutdown(); }
+
+graph::Fingerprint ScheduleService::RequestKey(const SolveRequest& request) {
+  SS_CHECK(request.problem != nullptr);
+  const sched::OptimalOptions& o = request.options;
+  return graph::Fingerprint(*request.problem)
+      .Extended({static_cast<std::uint64_t>(request.regime.value()),
+                 static_cast<std::uint64_t>(o.max_optimal_schedules),
+                 o.max_nodes,
+                 o.pipeline.allow_rotation ? 1ULL : 0ULL});
+}
+
+Expected<SolveFuture> ScheduleService::SubmitAsync(SolveRequest request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!request.problem) {
+    return Status(InvalidArgumentError("request has no problem"));
+  }
+  const graph::Fingerprint key = RequestKey(request);
+
+  if (auto hit = cache_.Lookup(key)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<Expected<SolveResult>> ready;
+    ready.set_value(Expected<SolveResult>(std::move(hit)));
+    return ready.get_future().share();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status(CancelledError("schedule service is shut down"));
+  }
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    queue_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status(WouldBlockError(
+        "schedule service queue full (" +
+        std::to_string(options_.queue_capacity) + " pending); retry later"));
+  }
+  Job job;
+  job.key = key;
+  job.request = std::move(request);
+  job.promise = std::make_shared<std::promise<Expected<SolveResult>>>();
+  SolveFuture future = job.promise->get_future().share();
+  inflight_.emplace(key, future);
+  queue_.push_back(std::move(job));
+  work_available_.notify_one();
+  return future;
+}
+
+Expected<SolveResult> ScheduleService::Solve(SolveRequest request) {
+  const Tick deadline = request.deadline;
+  auto submitted = SubmitAsync(std::move(request));
+  if (!submitted.ok()) return submitted.status();
+  SolveFuture future = *submitted;
+  if (deadline != kTickInfinity) {
+    const Tick remaining = deadline - WallNow();
+    if (future.wait_for(std::chrono::microseconds(
+            std::max<Tick>(0, remaining))) != std::future_status::ready) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      return Status(DeadlineExceededError(
+          "solve still running at the request deadline (the result will "
+          "warm the cache when it completes)"));
+    }
+  }
+  return future.get();
+}
+
+Expected<SolveResult> ScheduleService::RunSolve(const graph::Fingerprint& key,
+                                               const SolveRequest& request) {
+  const graph::ProblemSpec& spec = *request.problem;
+  if (!request.regime.valid() ||
+      request.regime.index() >= spec.regime_count) {
+    return Status(InvalidArgumentError(
+        "regime " + std::to_string(request.regime.value()) +
+        " outside the problem's " + std::to_string(spec.regime_count) +
+        " regime(s)"));
+  }
+  sched::OptimalScheduler scheduler(spec.graph, spec.costs, spec.comm,
+                                    spec.machine);
+  auto result = scheduler.Schedule(request.regime, request.options);
+  if (!result.ok()) return result.status();
+
+  auto solved = std::make_shared<CachedSolve>();
+  solved->key = key;
+  solved->schedule = std::move(result->best);
+  solved->min_latency = result->min_latency;
+  solved->stats = result->Stats();
+  const graph::OpGraph og = graph::OpGraph::Expand(
+      spec.graph, spec.costs, request.regime,
+      solved->schedule.iteration.variants());
+  solved->occupancy = sched::AnalyzeOccupancy(spec.graph, og,
+                                              solved->schedule);
+  return Expected<SolveResult>(std::move(solved));
+}
+
+void ScheduleService::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    if (job.request.deadline != kTickInfinity &&
+        WallNow() > job.request.deadline) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      FinishJob(job, Status(DeadlineExceededError(
+                         "request expired while queued")));
+      continue;
+    }
+
+    // Second-chance lookup: the key may have been solved and published
+    // between this job's submission and now (e.g. the single-flight entry
+    // for an earlier identical request was retired just before submission,
+    // or a snapshot load raced ahead). Without it the service could solve
+    // the same fingerprint twice.
+    if (auto hit = cache_.Lookup(job.key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      FinishJob(job, Expected<SolveResult>(std::move(hit)));
+      continue;
+    }
+
+    solves_.fetch_add(1, std::memory_order_relaxed);
+    Expected<SolveResult> result = RunSolve(job.key, job.request);
+    if (result.ok()) {
+      solve_ticks_.fetch_add((*result)->stats.wall_ticks,
+                             std::memory_order_relaxed);
+      cache_.Insert(*result);
+    } else {
+      solve_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    FinishJob(job, std::move(result));
+  }
+}
+
+void ScheduleService::FinishJob(const Job& job,
+                                Expected<SolveResult> result) {
+  job.promise->set_value(std::move(result));
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(job.key);
+}
+
+ServiceStats ScheduleService::Stats() const {
+  ServiceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.solves = solves_.load(std::memory_order_relaxed);
+  stats.solve_failures = solve_failures_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.queue_rejected = queue_rejected_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.solve_ticks = solve_ticks_.load(std::memory_order_relaxed);
+  stats.cache = cache_.Stats();
+  return stats;
+}
+
+void ScheduleService::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    workers.swap(workers_);
+    work_available_.notify_all();
+  }
+  for (std::thread& t : workers) t.join();
+
+  std::deque<Job> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+    inflight_.clear();
+  }
+  for (Job& job : leftovers) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    job.promise->set_value(
+        Status(CancelledError("service shut down before the solve ran")));
+  }
+
+  if (!options_.snapshot_path.empty() && !snapshot_saved_.exchange(true)) {
+    Status saved = cache_.Save(options_.snapshot_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "warning: %s\n", saved.ToString().c_str());
+    }
+  }
+}
+
+}  // namespace ss::service

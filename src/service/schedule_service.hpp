@@ -1,0 +1,157 @@
+// Scheduler-as-a-service: a thread-pool front end over the Fig. 6 optimal
+// scheduler with a fingerprint-keyed schedule cache.
+//
+// The service accepts synchronous and asynchronous Solve requests with
+// per-request deadlines. Requests are keyed by the canonical fingerprint of
+// (problem, regime, scheduler options):
+//
+//   * cache hit      -> the stored schedule is returned immediately;
+//   * in-flight hit  -> the request coalesces onto the running solve
+//                       (single-flight: N concurrent identical requests cost
+//                       one solver invocation);
+//   * otherwise      -> the request is queued for a worker thread.
+//
+// Backpressure is typed, not fatal: a full request queue rejects with
+// kWouldBlock, a request whose deadline passes before a worker picks it up
+// (or before the sync caller's wait expires) fails with kDeadlineExceeded,
+// and shutdown drains the queue with kCancelled. Counters for every path
+// are exported via ServiceStats.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/time.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/graph_io.hpp"
+#include "sched/optimal.hpp"
+#include "service/schedule_cache.hpp"
+
+namespace ss::service {
+
+struct ServiceOptions {
+  /// Worker threads. 0 is a valid (paused) configuration: requests queue up
+  /// but are only resolved by cache hits — used by tests and for staged
+  /// startup.
+  int workers = 2;
+  /// Bounded request-queue depth; submissions beyond it are rejected with
+  /// kWouldBlock (backpressure).
+  std::size_t queue_capacity = 64;
+  std::size_t cache_capacity = 256;
+  int cache_shards = 8;
+  /// When non-empty, a cache snapshot is loaded from this path on
+  /// construction (if present) and saved back on Shutdown(), so a restarted
+  /// service starts warm.
+  std::string snapshot_path;
+};
+
+struct SolveRequest {
+  std::shared_ptr<const graph::ProblemSpec> problem;
+  RegimeId regime{0};
+  sched::OptimalOptions options;
+  /// Absolute deadline in WallNow() ticks; kTickInfinity = none. A request
+  /// still queued past its deadline fails with kDeadlineExceeded.
+  Tick deadline = kTickInfinity;
+};
+
+using SolveResult = std::shared_ptr<const CachedSolve>;
+using SolveFuture = std::shared_future<Expected<SolveResult>>;
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t solve_failures = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t queue_rejected = 0;
+  std::uint64_t cancelled = 0;
+  /// Total wall time spent inside the optimal scheduler.
+  Tick solve_ticks = 0;
+  CacheStats cache;
+
+  double HitRate() const {
+    const double looked = static_cast<double>(requests);
+    return looked > 0
+               ? static_cast<double>(cache_hits + coalesced) / looked
+               : 0.0;
+  }
+  std::string ToTable() const;
+};
+
+class ScheduleService {
+ public:
+  explicit ScheduleService(ServiceOptions options = {});
+  ~ScheduleService();
+
+  ScheduleService(const ScheduleService&) = delete;
+  ScheduleService& operator=(const ScheduleService&) = delete;
+
+  /// Full request key: the problem's canonical fingerprint extended with
+  /// regime and the scheduler options that shape the result.
+  static graph::Fingerprint RequestKey(const SolveRequest& request);
+
+  /// Enqueues a solve. Returns a future that yields the cached solve (or a
+  /// typed error); returns immediately-failed status for backpressure
+  /// (kWouldBlock when the queue is full) and after Shutdown (kCancelled).
+  Expected<SolveFuture> SubmitAsync(SolveRequest request);
+
+  /// Synchronous solve: SubmitAsync + wait. Honors request.deadline while
+  /// waiting: if the deadline passes first the caller gets
+  /// kDeadlineExceeded (the solve keeps running and still warms the cache).
+  Expected<SolveResult> Solve(SolveRequest request);
+
+  ServiceStats Stats() const;
+  ScheduleCache& cache() { return cache_; }
+
+  /// Stops workers, fails queued requests with kCancelled, saves the
+  /// snapshot when configured. Idempotent; called by the destructor.
+  void Shutdown();
+
+ private:
+  struct Job {
+    graph::Fingerprint key;
+    SolveRequest request;
+    std::shared_ptr<std::promise<Expected<SolveResult>>> promise;
+  };
+
+  void WorkerLoop();
+  void FinishJob(const Job& job, Expected<SolveResult> result);
+  static Expected<SolveResult> RunSolve(const graph::Fingerprint& key,
+                                        const SolveRequest& request);
+
+  ServiceOptions options_;
+  ScheduleCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<Job> queue_;
+  /// Single-flight registry: key -> future of the queued/running solve.
+  std::unordered_map<graph::Fingerprint, SolveFuture,
+                     graph::FingerprintHash>
+      inflight_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> snapshot_saved_{false};
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> solve_failures_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> queue_rejected_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<Tick> solve_ticks_{0};
+};
+
+}  // namespace ss::service

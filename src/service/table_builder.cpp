@@ -1,0 +1,53 @@
+#include "service/table_builder.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "graph/op_graph.hpp"
+
+namespace ss::service {
+
+Expected<regime::ScheduleTable> PrecomputeTableParallel(
+    ScheduleService& service, const regime::RegimeSpace& space,
+    std::shared_ptr<const graph::ProblemSpec> problem,
+    const sched::OptimalOptions& options) {
+  if (!problem) {
+    return Status(InvalidArgumentError("table build has no problem"));
+  }
+  if (problem->regime_count < space.size()) {
+    return Status(InvalidArgumentError(
+        "problem has " + std::to_string(problem->regime_count) +
+        " regime(s), schedule table needs " + std::to_string(space.size())));
+  }
+
+  std::vector<SolveFuture> futures;
+  futures.reserve(space.size());
+  for (RegimeId r : space.AllRegimes()) {
+    SolveRequest request;
+    request.problem = problem;
+    request.regime = r;
+    request.options = options;
+    auto submitted = service.SubmitAsync(std::move(request));
+    if (!submitted.ok()) return submitted.status();
+    futures.push_back(std::move(*submitted));
+  }
+
+  std::vector<regime::TableEntry> entries;
+  entries.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    Expected<SolveResult> solved = futures[i].get();
+    if (!solved.ok()) return solved.status();
+    const RegimeId r(static_cast<RegimeId::underlying_type>(i));
+    regime::TableEntry entry;
+    entry.schedule = (*solved)->schedule;
+    entry.min_latency = (*solved)->min_latency;
+    entry.nodes_explored = (*solved)->stats.nodes_explored;
+    entry.op_graph = std::make_unique<graph::OpGraph>(graph::OpGraph::Expand(
+        problem->graph, problem->costs, r,
+        entry.schedule.iteration.variants()));
+    entries.push_back(std::move(entry));
+  }
+  return regime::ScheduleTable::FromEntries(std::move(entries));
+}
+
+}  // namespace ss::service

@@ -1,0 +1,31 @@
+// Regime-table construction through the schedule service.
+//
+// ScheduleTable::Precompute solves every regime serially; routing the same
+// work through ScheduleService solves regimes on the worker pool instead —
+// an immediate multi-core speedup for the off-line table build — and leaves
+// every per-regime schedule in the service cache, so a later table rebuild
+// (or any ad-hoc request for one of the regimes) is a lookup.
+#pragma once
+
+#include <memory>
+
+#include "core/error.hpp"
+#include "graph/graph_io.hpp"
+#include "regime/regime.hpp"
+#include "regime/schedule_table.hpp"
+#include "sched/optimal.hpp"
+#include "service/schedule_service.hpp"
+
+namespace ss::service {
+
+/// Builds the regime -> schedule table by submitting one async request per
+/// regime and collecting the futures. `problem->regime_count` must cover
+/// `space.size()`. Requests inherit the service's cache, so warm regimes
+/// cost a lookup; the rest solve concurrently on the worker pool.
+Expected<regime::ScheduleTable> PrecomputeTableParallel(
+    ScheduleService& service,
+    const regime::RegimeSpace& space,
+    std::shared_ptr<const graph::ProblemSpec> problem,
+    const sched::OptimalOptions& options = {});
+
+}  // namespace ss::service

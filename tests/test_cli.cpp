@@ -98,4 +98,57 @@ TEST_F(CliTest, BadRegimeRejected) {
   EXPECT_NE(result.output.find("out of range"), std::string::npos);
 }
 
+TEST_F(CliTest, UnknownFlagShowsUsage) {
+  auto result = RunCommand(binary_ + " --demo --bogus-flag");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown option '--bogus-flag'"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFlagOperandShowsUsage) {
+  auto result = RunCommand(binary_ + " --demo --regime");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+
+  auto frames = RunCommand(binary_ + " --demo --frames");
+  EXPECT_EQ(frames.exit_code, 2);
+  EXPECT_NE(frames.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, NonNumericOperandShowsUsage) {
+  auto result = RunCommand(binary_ + " --demo --regime banana");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("expects an integer"), std::string::npos);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+
+  auto gantt = RunCommand(binary_ + " --demo --gantt-ms 1.5x");
+  EXPECT_EQ(gantt.exit_code, 2);
+  EXPECT_NE(gantt.output.find("expects a number"), std::string::npos);
+}
+
+TEST_F(CliTest, SecondPositionalOperandRejected) {
+  auto result = RunCommand(binary_ + " a.ssg b.ssg");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("more than one input file"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, NonPositiveServeBenchRejected) {
+  auto result = RunCommand(binary_ + " --demo --serve-bench 0");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("positive"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeBenchReportsServiceStats) {
+  auto result = RunCommand(binary_ + " --demo --serve-bench 2");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("serve-bench: 2 clients"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("req/s"), std::string::npos);
+  EXPECT_NE(result.output.find("solver invocations"), std::string::npos);
+  EXPECT_NE(result.output.find("0 failed"), std::string::npos);
+}
+
 }  // namespace

@@ -2,7 +2,10 @@
 // parsing, error reporting with line numbers, and round-tripping.
 #include <gtest/gtest.h>
 
+#include "core/rng.hpp"
+#include "graph/fingerprint.hpp"
 #include "graph/graph_io.hpp"
+#include "graph/synthetic.hpp"
 #include "sched/optimal.hpp"
 
 namespace ss::graph {
@@ -146,6 +149,54 @@ TEST(FormatProblemTest, RoundTrips) {
   ASSERT_TRUE(ra.ok());
   ASSERT_TRUE(rb.ok());
   EXPECT_EQ(ra->min_latency, rb->min_latency);
+}
+
+TEST(FormatProblemTest, RoundTripIsFingerprintIdentical) {
+  // Write(Read(spec)) must describe the same canonical problem: the
+  // fingerprint (which the schedule cache keys on) has to survive the trip
+  // exactly, or on-disk snapshots would go stale after a reformat.
+  auto check = [](const ProblemSpec& spec, const std::string& label) {
+    const Fingerprint before(spec);
+    auto reparsed = ParseProblem(FormatProblem(spec));
+    ASSERT_TRUE(reparsed.ok())
+        << label << ": " << reparsed.status().ToString();
+    EXPECT_EQ(before, Fingerprint(*reparsed))
+        << label << ": " << before.ToHex() << " vs "
+        << Fingerprint(*reparsed).ToHex();
+  };
+
+  auto inline_spec = ParseProblem(kValidProblem);
+  ASSERT_TRUE(inline_spec.ok());
+  check(*inline_spec, "kValidProblem");
+
+  // Every .ssg file the repository ships (ctest may run from the build
+  // directory or its parent).
+  bool found_example = false;
+  for (const char* path :
+       {"examples/data/video_pipeline.ssg",
+        "../examples/data/video_pipeline.ssg",
+        "../../examples/data/video_pipeline.ssg"}) {
+    auto spec = LoadProblemFile(path);
+    if (!spec.ok()) continue;
+    found_example = true;
+    check(*spec, path);
+  }
+  EXPECT_TRUE(found_example)
+      << "examples/data/video_pipeline.ssg not reachable from test cwd";
+
+  // Synthetic families: chains, fork-joins, layered DAGs across seeds.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed * 7919);
+    for (SyntheticProblem p :
+         {MakeChain(rng, 4), MakeForkJoin(rng, 3), MakeLayered(rng)}) {
+      ProblemSpec spec;
+      spec.graph = std::move(p.graph);
+      spec.costs = std::move(p.costs);
+      spec.machine = MachineConfig::SingleNode(4);
+      spec.regime_count = 1;
+      check(spec, p.family + " seed " + std::to_string(seed));
+    }
+  }
 }
 
 TEST(LoadProblemFileTest, MissingFileFails) {

@@ -8,9 +8,15 @@
 //   ssched <file.ssg> [--regime N] [--heuristic] [--frames N]
 //          [--no-rotation] [--gantt-ms N] [--dot]
 //   ssched --demo   # built-in color tracker problem, regime = 8 models
+//   ssched --demo --serve-bench 8   # hammer the schedule service
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "graph/graph_io.hpp"
 #include "graph/op_graph.hpp"
@@ -19,6 +25,8 @@
 #include "sched/occupancy.hpp"
 #include "sched/optimal.hpp"
 #include "sched/pipeline.hpp"
+#include "service/schedule_cache.hpp"
+#include "service/schedule_service.hpp"
 #include "sim/schedule_executor.hpp"
 #include "sim/trace.hpp"
 #include "tracker/costs.hpp"
@@ -44,9 +52,105 @@ int Usage(const char* argv0) {
       "  --throughput-bound T   maximize throughput subject to latency <= T\n"
       "                 (time with unit suffix, e.g. 150ms) instead of\n"
       "                 minimizing latency\n"
-      "  --dot          also print the task graph in Graphviz dot format\n",
+      "  --dot          also print the task graph in Graphviz dot format\n"
+      "  --serve-bench N  skip the schedule printout and instead run N\n"
+      "                 client threads through the in-process schedule\n"
+      "                 service (mixed regimes), printing throughput and\n"
+      "                 the service counters; with a .ssg input the warm\n"
+      "                 cache is snapshotted next to the file\n",
       argv0, argv0);
   return 2;
+}
+
+/// Strict integer operand parser: the whole string must be a base-10
+/// integer. Returns false (caller prints usage, exit 2) otherwise.
+bool ParseIntArg(const char* flag, const char* text, int* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (*end != '\0') {
+    std::fprintf(stderr, "error: %s expects an integer, got '%s'\n", flag,
+                 text);
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseDoubleArg(const char* flag, const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (*end != '\0') {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag,
+                 text);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// `--serve-bench N` implementation: N client threads, each issuing sync
+/// Solves over all regimes of the problem, against one shared service.
+/// Exercises the cache, single-flight coalescing, and the worker pool the
+/// same way a long-lived scheduling daemon would be used.
+int ServeBench(graph::ProblemSpec spec, const std::string& snapshot_source,
+               int clients) {
+  constexpr int kRequestsPerClient = 64;
+  auto problem =
+      std::make_shared<const graph::ProblemSpec>(std::move(spec));
+
+  service::ServiceOptions options;
+  options.workers = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency() / 2));
+  options.queue_capacity = static_cast<std::size_t>(clients) * 4 + 16;
+  if (!snapshot_source.empty()) {
+    options.snapshot_path =
+        service::ScheduleCache::SnapshotPathFor(snapshot_source);
+  }
+  service::ScheduleService service(options);
+
+  std::printf("serve-bench: %d clients x %d requests over %zu regime(s), "
+              "%d workers\n",
+              clients, kRequestsPerClient, problem->regime_count,
+              options.workers);
+
+  std::atomic<std::uint64_t> failures{0};
+  const Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        service::SolveRequest request;
+        request.problem = problem;
+        request.regime = RegimeId(static_cast<int>(
+            static_cast<std::size_t>(c + i) % problem->regime_count));
+        auto result = service.Solve(request);
+        if (!result.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "request failed: %s\n",
+                       result.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = wall.ElapsedSeconds();
+  service.Shutdown();  // also writes the snapshot, if configured
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(clients) * kRequestsPerClient;
+  std::printf("\n%llu requests in %.3f s  (%.0f req/s, %llu failed)\n\n",
+              static_cast<unsigned long long>(total), seconds,
+              seconds > 0 ? static_cast<double>(total) / seconds : 0.0,
+              static_cast<unsigned long long>(failures.load()));
+  std::printf("%s", service.Stats().ToTable().c_str());
+  if (!options.snapshot_path.empty()) {
+    std::printf("\nwarm cache snapshot: %s\n",
+                options.snapshot_path.c_str());
+  }
+  return failures.load() == 0 ? 0 : 1;
 }
 
 graph::ProblemSpec DemoProblem() {
@@ -69,7 +173,8 @@ int main(int argc, char** argv) {
   bool dot = false;
   bool allow_rotation = true;
   int regime_index = 0;
-  std::size_t frames = 6;
+  int frames_arg = 6;
+  int serve_bench = 0;
   double gantt_ms = 0;
   std::string throughput_bound;
 
@@ -87,28 +192,41 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-rotation") {
       allow_rotation = false;
     } else if (arg == "--regime") {
-      const char* v = next();
-      if (!v) return Usage(argv[0]);
-      regime_index = std::atoi(v);
+      if (!ParseIntArg("--regime", next(), &regime_index)) {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--frames") {
-      const char* v = next();
-      if (!v) return Usage(argv[0]);
-      frames = static_cast<std::size_t>(std::atoi(v));
+      if (!ParseIntArg("--frames", next(), &frames_arg) || frames_arg < 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--serve-bench") {
+      if (!ParseIntArg("--serve-bench", next(), &serve_bench) ||
+          serve_bench <= 0) {
+        std::fprintf(stderr,
+                     "error: --serve-bench expects a positive count\n");
+        return Usage(argv[0]);
+      }
     } else if (arg == "--gantt-ms") {
-      const char* v = next();
-      if (!v) return Usage(argv[0]);
-      gantt_ms = std::atof(v);
+      if (!ParseDoubleArg("--gantt-ms", next(), &gantt_ms)) {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--throughput-bound") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       throughput_bound = v;
     } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    } else if (!path.empty()) {
+      std::fprintf(stderr, "error: more than one input file ('%s', '%s')\n",
+                   path.c_str(), arg.c_str());
       return Usage(argv[0]);
     } else {
       path = arg;
     }
   }
   if (!demo && path.empty()) return Usage(argv[0]);
+  const std::size_t frames = static_cast<std::size_t>(frames_arg);
 
   graph::ProblemSpec spec;
   if (demo) {
@@ -123,6 +241,7 @@ int main(int argc, char** argv) {
     }
     spec = std::move(*loaded);
   }
+  if (serve_bench > 0) return ServeBench(std::move(spec), path, serve_bench);
   if (regime_index < 0 ||
       static_cast<std::size_t>(regime_index) >= spec.regime_count) {
     std::fprintf(stderr, "error: regime %d out of range (0..%zu)\n",
