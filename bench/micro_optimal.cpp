@@ -1,0 +1,154 @@
+// Microbenchmark of the parallel branch-and-bound solver: serial vs 2/4/8
+// threads on a small synthetic DAG, a medium synthetic DAG whose search
+// tree runs to ~400k nodes, and the paper's kiosk graph with its full
+// variant odometer.
+//
+// The acceptance target for the parallel solver is a >=2x median speedup at
+// 4 threads on the medium problem (only meaningful on a multi-core host;
+// single-core CI runners will report ~1x). Results are bit-identical across
+// thread counts, so the speedup is free of quality tradeoffs. Pass
+// `--json <file>` to record machine-readable results for
+// tools/bench_compare.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/ascii_table.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/time.hpp"
+#include "graph/synthetic.hpp"
+#include "sched/optimal.hpp"
+
+namespace ss {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+double TicksToMs(Tick t) { return static_cast<double>(t) / 1000.0; }
+
+/// Times `body()` `samples` times and returns per-call milliseconds.
+template <typename Fn>
+Summary Measure(int samples, Fn&& body) {
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const Stopwatch watch;
+    body();
+    ms.push_back(TicksToMs(watch.Elapsed()));
+  }
+  return Summarize(std::move(ms));
+}
+
+struct Case {
+  std::string name;
+  graph::TaskGraph graph;
+  graph::CostModel costs;
+  graph::CommModel comm;
+  graph::MachineConfig machine = graph::MachineConfig::SingleNode(3);
+  RegimeId regime{0};
+  int samples = 5;
+};
+
+Case SmallSynthetic() {
+  Case c;
+  c.name = "small";
+  Rng rng(11);
+  graph::SyntheticOptions gen;
+  gen.layers = 2;
+  gen.max_width = 2;
+  gen.max_chunks = 3;
+  graph::SyntheticProblem dag = graph::MakeLayered(rng, gen);
+  c.graph = std::move(dag.graph);
+  c.costs = std::move(dag.costs);
+  c.comm.intra_latency = 5;
+  c.machine = graph::MachineConfig::SingleNode(2);
+  c.samples = 20;
+  return c;
+}
+
+/// The medium case drives the speedup claim: with 40us link latency the
+/// comm-free lower bounds prune late, so the search tree is wide enough
+/// (~400k nodes) for the subtree fan-out to matter.
+Case MediumSynthetic() {
+  Case c;
+  c.name = "medium";
+  Rng rng(23);
+  graph::SyntheticOptions gen;
+  gen.layers = 5;
+  gen.max_width = 3;
+  graph::SyntheticProblem dag = graph::MakeLayered(rng, gen);
+  c.graph = std::move(dag.graph);
+  c.costs = std::move(dag.costs);
+  c.comm.intra_latency = 40;
+  c.comm.intra_bytes_per_us = 50;
+  c.samples = 5;
+  return c;
+}
+
+Case Kiosk(const bench::PaperSetup& setup) {
+  Case c;
+  c.name = "kiosk_r8";
+  c.graph = setup.tg.graph;
+  c.costs = setup.costs;
+  c.comm = setup.comm;
+  c.machine = setup.machine;
+  // The heaviest regime (8 tracked models): the full variant odometer.
+  c.regime = setup.space.FromState(8);
+  c.samples = 10;
+  return c;
+}
+
+int Run(int argc, char** argv) {
+  bench::JsonReport json(bench::JsonReport::PathFromArgs(argc, argv));
+  bench::PaperSetup setup;
+
+  std::vector<Case> cases;
+  cases.push_back(SmallSynthetic());
+  cases.push_back(MediumSynthetic());
+  cases.push_back(Kiosk(setup));
+
+  bench::PrintHeader("optimal solver: serial vs parallel branch-and-bound");
+
+  for (const Case& c : cases) {
+    sched::OptimalScheduler sched(c.graph, c.costs, c.comm, c.machine);
+    AsciiTable table;
+    table.SetHeader({"threads", "median (ms)", "p95 (ms)", "speedup"});
+    double serial_median = 0.0;
+    double speedup_4t = 0.0;
+    std::uint64_t nodes = 0;
+    for (int threads : kThreadCounts) {
+      sched::OptimalOptions opts;
+      opts.solver_threads = threads;
+      const Summary s = Measure(c.samples, [&] {
+        auto result = sched.Schedule(c.regime, opts);
+        SS_CHECK(result.ok());
+        nodes = result->nodes_explored;
+      });
+      if (threads == 1) serial_median = s.median;
+      const double speedup =
+          s.median > 0.0 ? serial_median / s.median : 0.0;
+      if (threads == 4) speedup_4t = speedup;
+      table.AddRow({std::to_string(threads), FormatDouble(s.median, 3),
+                    FormatDouble(s.p95, 3), FormatDouble(speedup, 2) + "x"});
+      json.Add("optimal_" + c.name + "_t" + std::to_string(threads),
+               s.median, s.p95);
+    }
+    std::printf("case %s (%zu ops, %llu nodes explored):\n%s",
+                c.name.c_str(), c.graph.task_count(),
+                static_cast<unsigned long long>(nodes),
+                table.Render().c_str());
+    json.Add("optimal_" + c.name + "_speedup_4t_x", speedup_4t, speedup_4t);
+  }
+  bench::PrintNote(
+      "acceptance: medium-case 4-thread speedup >= 2x on a 4+ core host");
+
+  json.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ss
+
+int main(int argc, char** argv) { return ss::Run(argc, argv); }

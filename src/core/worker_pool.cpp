@@ -1,0 +1,106 @@
+#include "core/worker_pool.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace ss {
+
+WorkerPool::WorkerPool(int threads) {
+  SS_CHECK_MSG(threads >= 0, "negative worker-pool thread count");
+  thread_total_ = static_cast<std::size_t>(threads);
+  slots_.reserve(thread_total_ + 1);
+  for (std::size_t i = 0; i < thread_total_ + 1; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  threads_.reserve(thread_total_);
+  for (std::size_t i = 0; i < thread_total_; ++i) {
+    threads_.emplace_back([this, i] { ThreadLoop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Submit(std::function<void()> task) {
+  const std::size_t slot =
+      next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(slots_[slot]->mu);
+    slots_[slot]->q.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  work_cv_.notify_one();
+  idle_cv_.notify_one();  // a Wait()ing caller can help with this task
+}
+
+bool WorkerPool::PopTask(std::size_t home, std::function<void()>* out) {
+  const std::size_t n = slots_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Slot& slot = *slots_[(home + k) % n];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.q.empty()) continue;
+    *out = std::move(slot.q.front());
+    slot.q.pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool WorkerPool::RunOneTask(std::size_t home) {
+  std::function<void()> task;
+  if (!PopTask(home, &task)) return false;
+  task();
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void WorkerPool::ThreadLoop(std::size_t index) {
+  for (;;) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+void WorkerPool::Wait() {
+  const std::size_t home = slots_.size() - 1;
+  for (;;) {
+    if (pending_.load(std::memory_order_acquire) == 0) return;
+    if (RunOneTask(home)) continue;
+    // Everything left is running on workers; wait for completion (with a
+    // timeout so a wakeup lost between the load and the wait cannot hang).
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return pending_.load(std::memory_order_acquire) == 0 ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && threads_.empty()) {
+      // Already shut down; fall through only to drain stragglers.
+    }
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  // Workers drain the queue before exiting, but a 0-thread pool (or a task
+  // submitted during join) can leave work behind: run it here.
+  while (RunOneTask(slots_.size() - 1)) {
+  }
+}
+
+}  // namespace ss

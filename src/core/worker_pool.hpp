@@ -1,0 +1,82 @@
+// A small work-stealing thread pool shared by the concurrent subsystems.
+//
+// Extracted from the schedule service's worker loop so the same pool can run
+// both service jobs (one task per queued solve request) and the parallel
+// branch-and-bound solver (one task per search subtree). Tasks are pushed
+// round-robin onto per-slot deques; an idle worker first drains its own slot,
+// then steals from the others, so a burst of uneven subtree tasks balances
+// itself without a global lock on the hot path.
+//
+// Two waiting disciplines are supported:
+//   * Wait()      — the calling thread *participates*: it runs queued tasks
+//                   until every submitted task has finished. A pool built
+//                   with `threads = 0` therefore degrades to plain serial
+//                   execution on the caller, which is exactly what the
+//                   solver's single-threaded mode uses.
+//   * Shutdown()  — stops the workers, then drains any still-queued tasks on
+//                   the calling thread. Tasks must therefore be safe to run
+//                   in "cancel" mode after their owner flipped a shutdown
+//                   flag (the schedule service fails them with kCancelled).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ss {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads` worker threads (0 is valid: tasks queue up and only
+  /// run inside Wait() or Shutdown() on the calling thread).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Runs tasks on the calling thread until all submitted tasks completed.
+  void Wait();
+
+  /// Joins the workers (they finish everything queued first), then drains
+  /// any remaining tasks on the calling thread. Idempotent; called by the
+  /// destructor.
+  void Shutdown();
+
+  int thread_count() const { return static_cast<int>(thread_total_); }
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  bool PopTask(std::size_t home, std::function<void()>* out);
+  /// Pops and runs one task (own slot first, then steals). Returns false if
+  /// every deque was empty.
+  bool RunOneTask(std::size_t home);
+  void ThreadLoop(std::size_t index);
+
+  std::vector<std::unique_ptr<Slot>> slots_;  // one per thread + submitter
+  std::size_t thread_total_ = 0;
+  std::atomic<std::size_t> next_slot_{0};
+  std::atomic<std::int64_t> queued_{0};   // tasks sitting in deques
+  std::atomic<std::int64_t> pending_{0};  // queued + currently running
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queued_ > 0 or stop
+  std::condition_variable idle_cv_;  // Wait(): pending_ hit 0 or new work
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ss

@@ -18,11 +18,41 @@ void OpGraph::AddEdge(int from, int to, std::size_t bytes) {
   edges_.push_back(OpEdge{from, to, bytes});
   succs_[static_cast<std::size_t>(from)].push_back(to);
   preds_[static_cast<std::size_t>(to)].push_back(from);
+  pred_bytes_[static_cast<std::size_t>(to)].push_back(bytes);
+}
+
+ExpandPlan::ExpandPlan(const TaskGraph& graph) : graph_(&graph) {
+  auto order = graph.TopologicalOrder();
+  SS_CHECK_MSG(order.ok(), "op expansion requires an acyclic task graph");
+  order_ = std::move(*order);
+  in_bytes_.assign(graph.task_count(), 0);
+  cross_.resize(graph.task_count());
+  for (TaskId t : order_) {
+    std::size_t in = 0;
+    for (ChannelId ch : graph.inputs(t)) {
+      in += graph.channel(ch).item_bytes;
+    }
+    in_bytes_[t.index()] = in;
+    for (TaskId s : graph.Successors(t)) {
+      std::size_t bytes = 0;
+      for (ChannelId ch : graph.ChannelsBetween(t, s)) {
+        bytes += graph.channel(ch).item_bytes;
+      }
+      cross_[t.index()].push_back(CrossEdge{s.index(), bytes});
+    }
+  }
 }
 
 OpGraph OpGraph::Expand(const TaskGraph& graph, const CostModel& costs,
                         RegimeId regime,
                         const std::vector<VariantId>& variants) {
+  return Expand(ExpandPlan(graph), costs, regime, variants);
+}
+
+OpGraph OpGraph::Expand(const ExpandPlan& plan, const CostModel& costs,
+                        RegimeId regime,
+                        const std::vector<VariantId>& variants) {
+  const TaskGraph& graph = plan.graph();
   SS_CHECK_MSG(variants.size() == graph.task_count(),
                "one variant per task required");
   OpGraph og;
@@ -30,20 +60,18 @@ OpGraph OpGraph::Expand(const TaskGraph& graph, const CostModel& costs,
   og.entry_.assign(graph.task_count(), -1);
   og.exit_.assign(graph.task_count(), -1);
 
-  auto order = graph.TopologicalOrder();
-  SS_CHECK_MSG(order.ok(), "op expansion requires an acyclic task graph");
-
   auto new_op = [&](TaskId t, OpKind kind, int chunk, Tick cost,
                     std::string label) {
     og.ops_.push_back(Op{t, kind, chunk, cost, std::move(label)});
     og.preds_.emplace_back();
+    og.pred_bytes_.emplace_back();
     og.succs_.emplace_back();
     return static_cast<int>(og.ops_.size() - 1);
   };
 
   // Create the ops task by task in topological order so the op id order is
   // itself topological.
-  for (TaskId t : *order) {
+  for (TaskId t : plan.order_) {
     const TaskCost& tc = costs.Get(regime, t);
     const VariantId vid = variants[t.index()];
     SS_CHECK_MSG(vid.valid() && vid.index() < tc.variant_count(),
@@ -51,11 +79,7 @@ OpGraph OpGraph::Expand(const TaskGraph& graph, const CostModel& costs,
     const DpVariant& v = tc.variant(vid);
     const std::string& tname = graph.task(t).name;
 
-    // Total input bytes for this task (used for intra-task edge weights).
-    std::size_t in_bytes = 0;
-    for (ChannelId ch : graph.inputs(t)) {
-      in_bytes += graph.channel(ch).item_bytes;
-    }
+    const std::size_t in_bytes = plan.in_bytes_[t.index()];
 
     if (v.chunks <= 1 && v.split_cost == 0 && v.join_cost == 0) {
       int id = new_op(t, OpKind::kWhole, 0, v.chunk_cost, tname);
@@ -85,13 +109,10 @@ OpGraph OpGraph::Expand(const TaskGraph& graph, const CostModel& costs,
 
   // Cross-task edges: exit(producer) -> entry(consumer), weighted by the sum
   // of the item sizes of the channels between them.
-  for (TaskId t : *order) {
-    for (TaskId s : graph.Successors(t)) {
-      std::size_t bytes = 0;
-      for (ChannelId ch : graph.ChannelsBetween(t, s)) {
-        bytes += graph.channel(ch).item_bytes;
-      }
-      og.AddEdge(og.exit_[t.index()], og.entry_[s.index()], bytes);
+  for (TaskId t : plan.order_) {
+    for (const ExpandPlan::CrossEdge& e : plan.cross_[t.index()]) {
+      og.AddEdge(og.exit_[t.index()], og.entry_[e.to_task],
+                 e.bytes);
     }
   }
 

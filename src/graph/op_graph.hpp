@@ -40,11 +40,46 @@ struct OpEdge {
   std::size_t bytes = 0;
 };
 
+class OpGraph;
+
+/// Variant-independent expansion work, hoisted out of the per-combination
+/// loop: topological task order (with acyclicity validated once), per-task
+/// input byte totals, and the cross-task edges with their channel byte sums.
+/// `OpGraph::Expand(plan, ...)` then only re-derives the variant-dependent
+/// parts (ops, costs, intra-task split/join edges) — the odometer over
+/// variant combinations in the optimal scheduler re-expands thousands of
+/// times from one plan.
+class ExpandPlan {
+ public:
+  explicit ExpandPlan(const TaskGraph& graph);
+
+  const TaskGraph& graph() const { return *graph_; }
+
+ private:
+  friend class OpGraph;
+
+  struct CrossEdge {
+    std::size_t to_task;  // task index of the consumer
+    std::size_t bytes;    // summed over the channels between the two tasks
+  };
+
+  const TaskGraph* graph_;
+  std::vector<TaskId> order_;               // topological
+  std::vector<std::size_t> in_bytes_;       // by task index
+  std::vector<std::vector<CrossEdge>> cross_;  // by task index, in order
+};
+
 class OpGraph {
  public:
   /// Expands `graph` using `variants[t]` (a VariantId into the task's
   /// TaskCost) for each task, with costs drawn from `costs` at `regime`.
   static OpGraph Expand(const TaskGraph& graph, const CostModel& costs,
+                        RegimeId regime,
+                        const std::vector<VariantId>& variants);
+
+  /// Same expansion from a prebuilt plan; use when expanding the same task
+  /// graph under many variant selections.
+  static OpGraph Expand(const ExpandPlan& plan, const CostModel& costs,
                         RegimeId regime,
                         const std::vector<VariantId>& variants);
 
@@ -58,6 +93,12 @@ class OpGraph {
   }
   const std::vector<int>& succs(int i) const {
     return succs_.at(static_cast<std::size_t>(i));
+  }
+  /// Bytes entering op `i`, aligned with `preds(i)`: `pred_bytes(i)[k]` is
+  /// the payload of the edge preds(i)[k] -> i. Constant-time hot-path
+  /// alternative to `EdgeBytes`.
+  const std::vector<std::size_t>& pred_bytes(int i) const {
+    return pred_bytes_.at(static_cast<std::size_t>(i));
   }
   /// Bytes on the edge from -> to (0 if absent).
   std::size_t EdgeBytes(int from, int to) const;
@@ -89,6 +130,7 @@ class OpGraph {
   std::vector<Op> ops_;
   std::vector<OpEdge> edges_;
   std::vector<std::vector<int>> preds_;
+  std::vector<std::vector<std::size_t>> pred_bytes_;
   std::vector<std::vector<int>> succs_;
   std::vector<int> entry_;  // by task index
   std::vector<int> exit_;   // by task index

@@ -1,268 +1,485 @@
 #include "sched/optimal.hpp"
 
 #include <algorithm>
-#include <set>
-#include <string>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/worker_pool.hpp"
 
 namespace ss::sched {
 
 namespace {
 
 using graph::CommModel;
+using graph::ExpandPlan;
 using graph::MachineConfig;
 using graph::OpGraph;
 
-/// Branch-and-bound searcher over op orders x processor assignments for one
-/// expanded op graph. Finds all (capped) schedules with the minimal makespan,
-/// sharing a best-so-far across variant combinations.
-class BnbSearcher {
+/// Overall number of subtree tasks the automatic split aims for, spread
+/// across the variant combinations. A fixed constant — never derived from
+/// the thread count — so the decomposition (and with it the reported
+/// schedule set) is identical for every `solver_threads` value, while still
+/// leaving plenty of tasks for work stealing to balance.
+constexpr int kAutoSplitTasks = 96;
+
+/// State shared by every search task of one solver invocation: the global
+/// incumbent and the global node budget.
+struct SearchShared {
+  /// Best complete makespan found anywhere so far; only ever decreases.
+  /// Fixed at the latency bound in throughput mode.
+  std::atomic<Tick> best{kTickInfinity};
+  /// Nodes still available for reservation (see NodeBudget).
+  std::atomic<std::int64_t> budget_remaining{0};
+  /// Nodes actually visited, across all threads. Never exceeds max_nodes.
+  std::atomic<std::uint64_t> nodes_consumed{0};
+  std::atomic<bool> budget_exhausted{false};
+  std::atomic<std::uint64_t> complete_schedules{0};
+  bool bound_mode = false;
+
+  void OfferBest(Tick makespan) {
+    Tick cur = best.load(std::memory_order_relaxed);
+    while (makespan < cur &&
+           !best.compare_exchange_weak(cur, makespan,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Per-searcher view of the shared node budget. Reserves chunks from the
+/// shared pool so the hot path pays one local decrement per node; unused
+/// reservation is returned on destruction, so `nodes_consumed` counts only
+/// nodes actually visited and the global cap is exact.
+class NodeBudget {
  public:
-  BnbSearcher(const OpGraph& og, const CommModel& comm,
-              const MachineConfig& machine, const OptimalOptions& options,
-              OptimalResult* result)
-      : og_(og),
-        comm_(comm),
-        machine_(machine),
-        options_(options),
-        result_(result),
-        n_(static_cast<int>(og.op_count())),
-        procs_(machine.total_procs()),
-        tail_(og.TailLengths()) {
-    pred_remaining_.resize(n_);
-    scheduled_.assign(n_, false);
-    proc_of_.assign(n_, ProcId::Invalid());
-    start_of_.assign(n_, 0);
-    finish_of_.assign(n_, 0);
-    proc_free_.assign(static_cast<std::size_t>(procs_), 0);
-    for (int i = 0; i < n_; ++i) {
-      pred_remaining_[i] = static_cast<int>(og.preds(i).size());
-      remaining_work_ += og.op(i).cost;
+  explicit NodeBudget(SearchShared* shared) : shared_(shared) {}
+  ~NodeBudget() { Flush(); }
+
+  NodeBudget(const NodeBudget&) = delete;
+  NodeBudget& operator=(const NodeBudget&) = delete;
+
+  /// Accounts for visiting one node. False when the budget is exhausted.
+  bool Consume() {
+    if (local_ == 0 && !Refill()) return false;
+    --local_;
+    ++used_;
+    return true;
+  }
+
+  void Flush() {
+    if (local_ > 0) {
+      shared_->budget_remaining.fetch_add(local_, std::memory_order_relaxed);
+      local_ = 0;
+    }
+    if (used_ > 0) {
+      shared_->nodes_consumed.fetch_add(
+          static_cast<std::uint64_t>(used_), std::memory_order_relaxed);
+      used_ = 0;
     }
   }
 
-  void Run() { Dfs(0, 0, 0, -1); }
+ private:
+  static constexpr std::int64_t kChunk = 1024;
+
+  bool Refill() {
+    std::int64_t avail =
+        shared_->budget_remaining.load(std::memory_order_relaxed);
+    while (avail > 0) {
+      const std::int64_t take = std::min(avail, kChunk);
+      if (shared_->budget_remaining.compare_exchange_weak(
+              avail, avail - take, std::memory_order_relaxed)) {
+        local_ = take;
+        return true;
+      }
+    }
+    shared_->budget_exhausted.store(true, std::memory_order_relaxed);
+    return false;
+  }
+
+  SearchShared* shared_;
+  std::int64_t local_ = 0;
+  std::int64_t used_ = 0;
+};
+
+/// Immutable per-variant-combination context: the expanded op graph plus
+/// everything derivable from it alone. Built once per combination and
+/// shared read-only by all of its subtree tasks.
+struct ComboContext {
+  OpGraph og;
+  /// Comm-free tail lengths, for the path lower bound.
+  std::vector<Tick> tail;
+  /// Ready-op symmetry classes: eq_class[i] is the smallest op with the
+  /// same cost, predecessors and successors as i (e.g. chunks of one task).
+  /// Members of a class become ready together and are interchangeable, so
+  /// the search branches on one representative per class.
+  std::vector<int> eq_class;
+  Tick total_work = 0;
+
+  explicit ComboContext(OpGraph g)
+      : og(std::move(g)), tail(og.TailLengths()) {
+    const int n = static_cast<int>(og.op_count());
+    eq_class.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      total_work += og.op(i).cost;
+      eq_class[static_cast<std::size_t>(i)] = i;
+      for (int j = 0; j < i; ++j) {
+        if (og.op(i).cost == og.op(j).cost && og.preds(i) == og.preds(j) &&
+            og.succs(i) == og.succs(j)) {
+          eq_class[static_cast<std::size_t>(i)] = j;
+          break;
+        }
+      }
+    }
+  }
+};
+
+/// One independent unit of search: a fixed placement prefix (chosen during
+/// frontier enumeration) within one variant combination.
+struct SubtreeTask {
+  std::size_t combo = 0;
+  std::vector<std::pair<int, ProcId>> prefix;
+};
+
+struct TaskCandidate {
+  Tick makespan = 0;
+  std::uint64_t hash = 0;
+  IterationSchedule sched;
+};
+
+/// Everything a subtree task reports back. Each task writes only its own
+/// slot; the merge after the barrier walks the slots in fixed task order.
+struct TaskResult {
+  /// Latency mode: the makespan of this task's retained candidates.
+  /// Throughput mode: the minimal latency among in-bound completions.
+  Tick best_makespan = kTickInfinity;
+  std::vector<TaskCandidate> candidates;
+  /// Throughput mode: this task's best pipelined schedule.
+  bool has_pipelined = false;
+  PipelinedSchedule pipelined;
+};
+
+/// Branch-and-bound searcher over op orders x processor assignments for one
+/// expanded op graph. One instance per subtree task (construction is a few
+/// O(n) vectors): immutable inputs come from the shared ComboContext, all
+/// mutable search state is private to the instance, so tasks run without
+/// locks and the only cross-thread traffic is the incumbent and the budget.
+class BnbSearcher {
+ public:
+  BnbSearcher(const ComboContext& ctx, const CommModel& comm,
+              const MachineConfig& machine, const OptimalOptions& options,
+              SearchShared* shared)
+      : ctx_(ctx),
+        og_(ctx.og),
+        comm_(comm),
+        machine_(machine),
+        options_(options),
+        shared_(shared),
+        budget_(shared),
+        n_(static_cast<int>(ctx.og.op_count())),
+        procs_(machine.total_procs()) {
+    pred_remaining_.resize(static_cast<std::size_t>(n_));
+    scheduled_.assign(static_cast<std::size_t>(n_), false);
+    proc_of_.assign(static_cast<std::size_t>(n_), ProcId::Invalid());
+    start_of_.assign(static_cast<std::size_t>(n_), 0);
+    finish_of_.assign(static_cast<std::size_t>(n_), 0);
+    msf_.assign(static_cast<std::size_t>(n_), 0);
+    proc_free_.assign(static_cast<std::size_t>(procs_), 0);
+    for (int i = 0; i < n_; ++i) {
+      pred_remaining_[static_cast<std::size_t>(i)] =
+          static_cast<int>(og_.preds(i).size());
+    }
+    remaining_work_ = ctx.total_work;
+    frames_.resize(static_cast<std::size_t>(n_) + 1);
+    class_seen_.assign(static_cast<std::size_t>(n_), 0);
+    msf_undo_.reserve(og_.edges().size());
+  }
+
+  /// Runs one subtree task: replays its prefix, searches the subtree below
+  /// it, and reports into `result`.
+  void RunTask(const SubtreeTask& task, TaskResult* result) {
+    result_ = result;
+    Tick cur_makespan = 0;
+    Tick last_start = 0;
+    int last_op = -1;
+    for (const auto& [op, proc] : task.prefix) {
+      const Tick est = EarliestStart(op, proc);
+      const Tick finish = est + og_.op(op).cost;
+      Place(op, proc, est, finish);
+      cur_makespan = std::max(cur_makespan, finish);
+      last_start = est;
+      last_op = op;
+    }
+    Dfs(static_cast<int>(task.prefix.size()), cur_makespan, last_start,
+        last_op);
+  }
+
+  /// Frontier enumeration: replays `prefix`, reports whether it is already
+  /// a complete schedule and otherwise the canonical child placements, then
+  /// undoes the replay. Returns false once the node budget is exhausted.
+  bool ExpandPrefix(const std::vector<std::pair<int, ProcId>>& prefix,
+                    bool* complete,
+                    std::vector<std::pair<int, ProcId>>* children) {
+    if (!budget_.Consume()) return false;
+    Tick last_start = 0;
+    int last_op = -1;
+    expand_saved_.clear();
+    for (const auto& [op, proc] : prefix) {
+      const Tick est = EarliestStart(op, proc);
+      expand_saved_.push_back(proc_free_[proc.index()]);
+      Place(op, proc, est, est + og_.op(op).cost);
+      last_start = est;
+      last_op = op;
+    }
+    *complete = static_cast<int>(prefix.size()) == n_;
+    if (!*complete) {
+      Frame& frame = frames_[0];
+      CollectCandidates(&frame, last_start, last_op);
+      children->clear();
+      for (const Candidate& c : frame.cands) {
+        children->emplace_back(c.op, c.proc);
+      }
+    }
+    for (std::size_t k = prefix.size(); k-- > 0;) {
+      Unplace(prefix[k].first, prefix[k].second, expand_saved_[k]);
+    }
+    return true;
+  }
 
  private:
-  struct Placement {
+  struct Candidate {
     int op;
     ProcId proc;
-    Tick start;
+    Tick est;
+  };
+  /// Per-depth candidate buffer: recursion only touches deeper frames, so
+  /// a frame stays valid across its whole sibling loop — this is what
+  /// removes the per-node branch_ops/procs vector copies.
+  struct Frame {
+    std::vector<Candidate> cands;
+    std::vector<ProcId> procs;
   };
 
   Tick EarliestStart(int op, ProcId proc) const {
     Tick est = proc_free_[proc.index()];
-    for (int p : og_.preds(op)) {
-      Tick ready = finish_of_[p];
-      if (proc_of_[p] != proc) {
-        ready += comm_.Cost(og_.EdgeBytes(p, op),
-                            machine_.SameNode(proc_of_[p], proc));
+    const auto& preds = og_.preds(op);
+    const auto& bytes = og_.pred_bytes(op);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      const int p = preds[k];
+      Tick ready = finish_of_[static_cast<std::size_t>(p)];
+      if (proc_of_[static_cast<std::size_t>(p)] != proc) {
+        ready += comm_.Cost(
+            bytes[k], machine_.SameNode(proc_of_[static_cast<std::size_t>(p)],
+                                        proc));
       }
       est = std::max(est, ready);
     }
     return est;
   }
 
-  /// Lower bound on the final makespan of any completion of this partial
-  /// schedule: current makespan, remaining-critical-path, and remaining-work
-  /// bounds.
+  void Place(int op, ProcId proc, Tick est, Tick finish) {
+    const auto o = static_cast<std::size_t>(op);
+    scheduled_[o] = true;
+    proc_of_[o] = proc;
+    start_of_[o] = est;
+    finish_of_[o] = finish;
+    free_sum_ += finish - proc_free_[proc.index()];
+    proc_free_[proc.index()] = finish;
+    remaining_work_ -= og_.op(op).cost;
+    for (int s : og_.succs(op)) {
+      const auto si = static_cast<std::size_t>(s);
+      --pred_remaining_[si];
+      msf_undo_.push_back(msf_[si]);
+      msf_[si] = std::max(msf_[si], finish);
+    }
+  }
+
+  void Unplace(int op, ProcId proc, Tick saved_free) {
+    const auto& succs = og_.succs(op);
+    for (std::size_t k = succs.size(); k-- > 0;) {
+      const auto si = static_cast<std::size_t>(succs[k]);
+      msf_[si] = msf_undo_.back();
+      msf_undo_.pop_back();
+      ++pred_remaining_[si];
+    }
+    remaining_work_ += og_.op(op).cost;
+    free_sum_ += saved_free - proc_free_[proc.index()];
+    proc_free_[proc.index()] = saved_free;
+    scheduled_[static_cast<std::size_t>(op)] = false;
+    proc_of_[static_cast<std::size_t>(op)] = ProcId::Invalid();
+  }
+
+  /// Lower bound on the makespan of any completion of the current partial
+  /// schedule: current makespan, remaining-work bound, and the path bound
+  /// msf[i] + tail[i] over unscheduled ops, where msf[i] is the max finish
+  /// time of i's *scheduled* predecessors. All ingredients are maintained
+  /// incrementally by Place()/Unplace(), so one O(n) scan replaces the old
+  /// O(V+E) per-node propagation. The msf-based path bound equals the
+  /// propagated one: follow the argmax predecessor chain of the maximizing
+  /// op; each unscheduled hop only grows est+tail, so the maximum is
+  /// attained at an op whose binding predecessor is scheduled (or absent).
   Tick LowerBound(Tick cur_makespan) const {
-    Tick lb = cur_makespan;
-    // Remaining work bound: all unscheduled work must fit after proc_free.
-    Tick free_sum = 0;
-    for (Tick f : proc_free_) free_sum += f;
-    Tick work_lb =
-        (free_sum + remaining_work_ + static_cast<Tick>(procs_) - 1) /
-        static_cast<Tick>(procs_);
-    lb = std::max(lb, work_lb);
-    // Path bound: comm-free earliest start of each unscheduled op plus its
-    // comm-free tail.
-    // est_lb is computed in op-id order, which is topological.
-    Tick path_lb = 0;
-    thread_local std::vector<Tick> est_lb;
-    est_lb.assign(static_cast<std::size_t>(n_), 0);
+    Tick lb = std::max(
+        cur_makespan,
+        (free_sum_ + remaining_work_ + static_cast<Tick>(procs_) - 1) /
+            static_cast<Tick>(procs_));
     for (int i = 0; i < n_; ++i) {
-      if (scheduled_[i]) {
-        est_lb[i] = finish_of_[i];
-        continue;
-      }
-      Tick est = 0;
-      for (int p : og_.preds(i)) est = std::max(est, est_lb[p]);
-      est_lb[i] = est + og_.op(i).cost;
-      path_lb = std::max(path_lb, est + tail_[static_cast<std::size_t>(i)]);
+      const auto ii = static_cast<std::size_t>(i);
+      if (!scheduled_[ii]) lb = std::max(lb, msf_[ii] + ctx_.tail[ii]);
     }
-    return std::max(lb, path_lb);
+    return lb;
   }
 
-  IterationSchedule CurrentSchedule() const {
-    std::vector<ScheduleEntry> entries;
-    entries.reserve(static_cast<std::size_t>(n_));
-    for (int i = 0; i < n_; ++i) {
-      entries.push_back(ScheduleEntry{i, proc_of_[i], start_of_[i],
-                                      og_.op(i).cost});
-    }
-    return IterationSchedule(og_.variants(), std::move(entries));
-  }
-
-  void RecordComplete(Tick makespan) {
-    ++result_->complete_schedules;
-    if (makespan > best_) return;
-    if (bound_mode_) {
-      // Throughput mode: the bound is fixed; compose every feasible
-      // schedule and keep the argmin initiation interval. The collection
-      // cap only limits what is *reported*, not what is considered.
-      IterationSchedule sched = CurrentSchedule();
-      result_->min_latency = result_->min_latency == 0
-                                 ? makespan
-                                 : std::min(result_->min_latency, makespan);
-      PipelinedSchedule composed = PipelineComposer::Compose(
-          sched, machine_.total_procs(), options_.pipeline);
-      if (!has_best_pipelined_ ||
-          composed.initiation_interval <
-              best_pipelined_.initiation_interval ||
-          (composed.initiation_interval ==
-               best_pipelined_.initiation_interval &&
-           composed.Latency() < best_pipelined_.Latency())) {
-        best_pipelined_ = composed;
-        has_best_pipelined_ = true;
-      }
-      if (static_cast<int>(result_->optimal.size()) <
-          options_.max_optimal_schedules) {
-        std::string key = sched.CanonicalKey();
-        if (seen_keys_.insert(key).second) {
-          result_->optimal.push_back(std::move(sched));
-        }
-      }
-      return;
-    }
-    if (makespan < best_) {
-      best_ = makespan;
-      result_->optimal.clear();
-      seen_keys_.clear();
-    }
-    result_->min_latency = best_;
-    if (static_cast<int>(result_->optimal.size()) >=
-        options_.max_optimal_schedules) {
-      return;
-    }
-    IterationSchedule sched = CurrentSchedule();
-    std::string key = sched.CanonicalKey();
-    if (seen_keys_.insert(key).second) {
-      result_->optimal.push_back(std::move(sched));
-    }
-  }
-
-  void Dfs(int scheduled_count, Tick cur_makespan, Tick last_start,
-           int last_op) {
-    if (++result_->nodes_explored > options_.max_nodes) {
-      result_->budget_exhausted = true;
-      return;
-    }
-    if (scheduled_count == n_) {
-      RecordComplete(cur_makespan);
-      return;
-    }
-    if (LowerBound(cur_makespan) > best_) return;
-
-    // Collect ready ops, deduplicating interchangeable ones (identical cost,
-    // predecessors and successors — e.g. chunks of the same task).
-    thread_local std::vector<int> ready;
-    ready.clear();
-    for (int i = 0; i < n_; ++i) {
-      if (!scheduled_[i] && pred_remaining_[i] == 0) ready.push_back(i);
-    }
-    thread_local std::vector<int> branch_ops;
-    branch_ops.clear();
-    for (int i : ready) {
+  /// Candidate processors, deduplicated by (node, free time): two idle
+  /// processors on the same node are interchangeable. Depends only on
+  /// proc_free_, so one list serves every ready op at this node.
+  void CollectProcs(std::vector<ProcId>* out) const {
+    out->clear();
+    for (int p = 0; p < procs_; ++p) {
+      ProcId pid(p);
       bool duplicate = false;
-      for (int j : branch_ops) {
-        if (og_.op(i).cost == og_.op(j).cost && og_.preds(i) == og_.preds(j) &&
-            og_.succs(i) == og_.succs(j)) {
+      for (ProcId q : *out) {
+        if (proc_free_[q.index()] == proc_free_[pid.index()] &&
+            machine_.SameNode(q, pid)) {
           duplicate = true;
           break;
         }
       }
-      if (!duplicate) branch_ops.push_back(i);
+      if (!duplicate) out->push_back(pid);
     }
+  }
 
-    // Snapshot because thread_local buffers are reused across recursion.
-    const std::vector<int> branch_ops_copy = branch_ops;
-    for (int op : branch_ops_copy) {
-      // Candidate processors, deduplicated by (node, free time): two idle
-      // processors on the same node are interchangeable.
-      thread_local std::vector<ProcId> procs;
-      procs.clear();
-      for (int p = 0; p < procs_; ++p) {
-        ProcId pid(p);
-        bool duplicate = false;
-        for (ProcId q : procs) {
-          if (proc_free_[q.index()] == proc_free_[pid.index()] &&
-              machine_.SameNode(q, pid)) {
-            duplicate = true;
-            break;
-          }
-        }
-        if (!duplicate) procs.push_back(pid);
-      }
-      const std::vector<ProcId> procs_copy = procs;
-      for (ProcId p : procs_copy) {
-        const Tick est = EarliestStart(op, p);
+  void CollectCandidates(Frame* frame, Tick last_start, int last_op) {
+    frame->cands.clear();
+    CollectProcs(&frame->procs);
+    ++class_stamp_;
+    for (int i = 0; i < n_; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      if (scheduled_[ii] || pred_remaining_[ii] != 0) continue;
+      // Ready-op symmetry: branch one representative per precomputed class.
+      // The stamp marks classes already seen at this node; class members
+      // share predecessors, so they are always ready together and the
+      // smallest-id member is the representative that branches.
+      const auto cls = static_cast<std::size_t>(ctx_.eq_class[ii]);
+      if (class_seen_[cls] == class_stamp_) continue;
+      class_seen_[cls] = class_stamp_;
+      for (ProcId p : frame->procs) {
+        const Tick est = EarliestStart(i, p);
         // Canonical generation order: every greedy schedule is generated
         // exactly once, in non-decreasing (start, op id) order. Op ids are
         // topological, so a predecessor always sorts before its successors
         // even at equal start times. Placements that would start before the
         // previous placement belong to (and are explored in) a different
         // branch ordering.
-        if (est < last_start || (est == last_start && op < last_op)) {
-          continue;
-        }
-        const Tick finish = est + og_.op(op).cost;
-        // Place.
-        scheduled_[op] = true;
-        proc_of_[op] = p;
-        start_of_[op] = est;
-        finish_of_[op] = finish;
-        const Tick saved_free = proc_free_[p.index()];
-        proc_free_[p.index()] = finish;
-        remaining_work_ -= og_.op(op).cost;
-        for (int s : og_.succs(op)) --pred_remaining_[s];
-
-        Dfs(scheduled_count + 1, std::max(cur_makespan, finish), est, op);
-
-        // Undo.
-        for (int s : og_.succs(op)) ++pred_remaining_[s];
-        remaining_work_ += og_.op(op).cost;
-        proc_free_[p.index()] = saved_free;
-        scheduled_[op] = false;
-        proc_of_[op] = ProcId::Invalid();
-        if (result_->budget_exhausted) return;
+        if (est < last_start || (est == last_start && i < last_op)) continue;
+        frame->cands.push_back(Candidate{i, p, est});
       }
     }
   }
 
- public:
-  /// Shares the best-so-far makespan across variant combinations.
-  void SeedBest(Tick best) { best_ = best; }
-  Tick best() const { return best_; }
-
-  /// Enables throughput mode: collect every schedule with makespan <= bound
-  /// and track the one whose pipelined form has the smallest interval.
-  void SetLatencyBound(Tick bound) {
-    bound_mode_ = true;
-    best_ = bound;
+  IterationSchedule CurrentSchedule() const {
+    std::vector<ScheduleEntry> entries;
+    entries.reserve(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      entries.push_back(
+          ScheduleEntry{i, proc_of_[ii], start_of_[ii], og_.op(i).cost});
+    }
+    return IterationSchedule(og_.variants(), std::move(entries));
   }
-  bool has_best_pipelined() const { return has_best_pipelined_; }
-  const PipelinedSchedule& best_pipelined() const { return best_pipelined_; }
 
- private:
+  void RecordComplete(Tick makespan) {
+    shared_->complete_schedules.fetch_add(1, std::memory_order_relaxed);
+    if (makespan > shared_->best.load(std::memory_order_relaxed)) return;
+    if (shared_->bound_mode) {
+      // Throughput mode: the bound is fixed; compose every feasible
+      // schedule and keep the argmin by the canonical throughput order.
+      // The collection cap only limits what is *reported*, not considered.
+      result_->best_makespan = std::min(result_->best_makespan, makespan);
+      IterationSchedule sched = CurrentSchedule();
+      PipelinedSchedule composed = PipelineComposer::Compose(
+          sched, machine_.total_procs(), options_.pipeline);
+      if (!result_->has_pipelined ||
+          PipelineComposer::BetterThroughput(composed, result_->pipelined)) {
+        result_->pipelined = std::move(composed);
+        result_->has_pipelined = true;
+      }
+      if (static_cast<int>(result_->candidates.size()) <
+          options_.max_optimal_schedules) {
+        const std::uint64_t hash = sched.CanonicalHash();
+        if (seen_hashes_.insert(hash).second) {
+          result_->candidates.push_back(
+              TaskCandidate{makespan, hash, std::move(sched)});
+        }
+      }
+      return;
+    }
+    // Latency mode. The incumbent filter above is a timing-dependent
+    // shortcut, but a harmless one: every completion at the global minimum
+    // always passes it (the incumbent can never drop below the minimum),
+    // and the merge discards everything else. The candidate list holds only
+    // completions at this task's current best, so globally-minimal ones can
+    // never be crowded out of the cap by stale entries — any strictly
+    // better completion clears the list first.
+    shared_->OfferBest(makespan);
+    if (makespan < local_best_) {
+      local_best_ = makespan;
+      result_->best_makespan = makespan;
+      result_->candidates.clear();
+      seen_hashes_.clear();
+    }
+    if (static_cast<int>(result_->candidates.size()) >=
+        options_.max_optimal_schedules) {
+      return;
+    }
+    IterationSchedule sched = CurrentSchedule();
+    const std::uint64_t hash = sched.CanonicalHash();
+    if (seen_hashes_.insert(hash).second) {
+      result_->candidates.push_back(
+          TaskCandidate{makespan, hash, std::move(sched)});
+    }
+  }
+
+  void Dfs(int depth, Tick cur_makespan, Tick last_start, int last_op) {
+    if (!budget_.Consume()) {
+      stopped_ = true;
+      return;
+    }
+    if (depth == n_) {
+      RecordComplete(cur_makespan);
+      return;
+    }
+    if (LowerBound(cur_makespan) >
+        shared_->best.load(std::memory_order_relaxed)) {
+      return;
+    }
+    Frame& frame = frames_[static_cast<std::size_t>(depth)];
+    CollectCandidates(&frame, last_start, last_op);
+    for (std::size_t k = 0; k < frame.cands.size(); ++k) {
+      const Candidate c = frame.cands[k];
+      const Tick finish = c.est + og_.op(c.op).cost;
+      const Tick saved_free = proc_free_[c.proc.index()];
+      Place(c.op, c.proc, c.est, finish);
+      Dfs(depth + 1, std::max(cur_makespan, finish), c.est, c.op);
+      Unplace(c.op, c.proc, saved_free);
+      if (stopped_) return;
+    }
+  }
+
+  const ComboContext& ctx_;
   const OpGraph& og_;
   const CommModel& comm_;
   const MachineConfig& machine_;
   const OptimalOptions& options_;
-  OptimalResult* result_;
+  SearchShared* shared_;
+  NodeBudget budget_;
+  TaskResult* result_ = nullptr;
 
   const int n_;
   const int procs_;
-  const std::vector<Tick> tail_;
 
   std::vector<int> pred_remaining_;
   std::vector<bool> scheduled_;
@@ -270,13 +487,272 @@ class BnbSearcher {
   std::vector<Tick> start_of_;
   std::vector<Tick> finish_of_;
   std::vector<Tick> proc_free_;
+  /// Max finish time over *scheduled* predecessors, per op.
+  std::vector<Tick> msf_;
+  /// Saved msf_ values of successors, restored in reverse by Unplace().
+  std::vector<Tick> msf_undo_;
   Tick remaining_work_ = 0;
-  Tick best_ = kTickInfinity;
-  bool bound_mode_ = false;
-  PipelinedSchedule best_pipelined_;
-  bool has_best_pipelined_ = false;
-  std::set<std::string> seen_keys_;
+  Tick free_sum_ = 0;
+
+  std::vector<Frame> frames_;
+  std::vector<std::uint64_t> class_seen_;
+  std::uint64_t class_stamp_ = 0;
+  std::vector<Tick> expand_saved_;
+
+  Tick local_best_ = kTickInfinity;
+  std::unordered_set<std::uint64_t> seen_hashes_;
+  bool stopped_ = false;
 };
+
+/// Splits one combination's canonical search tree into subtree tasks.
+///
+/// Expands the tree level by level — in the same canonical candidate order
+/// the DFS uses, so the emitted task order matches DFS visitation order —
+/// until a level holds at least `target` prefixes, or exactly `split_depth`
+/// levels when that option is positive. Prefixes that complete or die
+/// before the split level become their own (tiny or empty) tasks. The
+/// policy depends only on the problem and the options, never on the thread
+/// count.
+void SplitCombo(BnbSearcher& searcher, std::size_t combo_index, int target,
+                int split_depth, std::vector<SubtreeTask>* tasks) {
+  std::vector<std::vector<std::pair<int, ProcId>>> frontier(1);
+  std::vector<std::pair<int, ProcId>> children;
+  int depth = 0;
+  while (!frontier.empty()) {
+    const bool deep_enough =
+        split_depth > 0 ? depth >= split_depth
+                        : static_cast<int>(frontier.size()) >= target;
+    if (deep_enough) break;
+    std::vector<std::vector<std::pair<int, ProcId>>> next;
+    next.reserve(frontier.size() * 2);
+    for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
+      auto& prefix = frontier[idx];
+      bool complete = false;
+      if (!searcher.ExpandPrefix(prefix, &complete, &children)) {
+        // Budget exhausted mid-enumeration: emit everything still pending
+        // unchanged; workers observe the exhausted budget and stop fast.
+        for (std::size_t r = idx; r < frontier.size(); ++r) {
+          tasks->push_back(SubtreeTask{combo_index, std::move(frontier[r])});
+        }
+        for (auto& p : next) {
+          tasks->push_back(SubtreeTask{combo_index, std::move(p)});
+        }
+        return;
+      }
+      if (complete) {
+        tasks->push_back(SubtreeTask{combo_index, std::move(prefix)});
+        continue;
+      }
+      for (const auto& child : children) {
+        auto extended = prefix;
+        extended.push_back(child);
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  for (auto& prefix : frontier) {
+    tasks->push_back(SubtreeTask{combo_index, std::move(prefix)});
+  }
+}
+
+/// Odometer over the cartesian product of per-task variants, first task
+/// varying fastest (the order the serial solver used).
+std::vector<std::vector<VariantId>> EnumerateCombos(
+    const graph::TaskGraph& graph, const graph::CostModel& costs,
+    RegimeId regime) {
+  const std::size_t ntasks = graph.task_count();
+  std::vector<std::size_t> variant_counts(ntasks);
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    variant_counts[t] =
+        costs.Get(regime, TaskId(static_cast<TaskId::underlying_type>(t)))
+            .variant_count();
+  }
+  std::vector<std::vector<VariantId>> combos;
+  std::vector<VariantId> combo(ntasks, VariantId(0));
+  for (;;) {
+    combos.push_back(combo);
+    std::size_t pos = 0;
+    while (pos < ntasks) {
+      auto next = combo[pos].value() + 1;
+      if (static_cast<std::size_t>(next) < variant_counts[pos]) {
+        combo[pos] = VariantId(next);
+        break;
+      }
+      combo[pos] = VariantId(0);
+      ++pos;
+    }
+    if (pos == ntasks) break;
+  }
+  return combos;
+}
+
+/// The whole Fig. 6 search: expand every combination, decompose into
+/// subtree tasks, run them (in parallel when solver_threads > 1), and merge
+/// in fixed task order. Latency mode minimizes makespan; bound mode
+/// (throughput) collects everything within `latency_bound` and keeps the
+/// best pipelined schedule.
+Expected<OptimalResult> RunSearch(
+    const graph::TaskGraph& graph, const graph::CostModel& costs,
+    const CommModel& comm, const MachineConfig& machine,
+    const OptimalOptions& options, RegimeId regime,
+    const std::vector<std::vector<VariantId>>& combos, bool bound_mode,
+    Tick latency_bound) {
+  const Stopwatch solve_timer;
+  OptimalResult result;
+  result.variant_combinations = combos.size();
+
+  SearchShared shared;
+  shared.bound_mode = bound_mode;
+  shared.best.store(bound_mode ? latency_bound : kTickInfinity,
+                    std::memory_order_relaxed);
+  shared.budget_remaining.store(
+      static_cast<std::int64_t>(std::min<std::uint64_t>(
+          options.max_nodes,
+          static_cast<std::uint64_t>(
+              std::numeric_limits<std::int64_t>::max()))),
+      std::memory_order_relaxed);
+
+  // Expand every combination once. The invariant part of the expansion
+  // (topo order, input bytes, cross-task edges) is hoisted into the plan;
+  // each combination only recomputes the variant-dependent ops and costs.
+  const ExpandPlan plan(graph);
+  std::vector<std::unique_ptr<ComboContext>> contexts;
+  contexts.reserve(combos.size());
+  std::size_t live = 0;
+  for (const auto& combo : combos) {
+    OpGraph og = OpGraph::Expand(plan, costs, regime, combo);
+    // Throughput-mode feasibility screen: no schedule of this combination
+    // can meet the bound if even the comm-free critical path exceeds it.
+    if (bound_mode && og.CriticalPath() > latency_bound) {
+      contexts.push_back(nullptr);
+      continue;
+    }
+    contexts.push_back(std::make_unique<ComboContext>(std::move(og)));
+    ++live;
+  }
+
+  // Decompose each combination's search into subtree tasks, spreading the
+  // fixed overall task target across the live combinations.
+  std::vector<SubtreeTask> tasks;
+  if (live > 0) {
+    const int target = std::max<int>(
+        1, static_cast<int>((kAutoSplitTasks + live - 1) / live));
+    for (std::size_t ci = 0; ci < contexts.size(); ++ci) {
+      if (!contexts[ci]) continue;
+      BnbSearcher searcher(*contexts[ci], comm, machine, options, &shared);
+      SplitCombo(searcher, ci, target, options.split_depth, &tasks);
+    }
+  }
+
+  // Run every task; each writes only its own result slot. The submitting
+  // thread participates via Wait(), and the shared incumbent lets pruning
+  // progress in any task benefit all others.
+  std::vector<TaskResult> task_results(tasks.size());
+  auto run_task = [&](std::size_t idx) {
+    BnbSearcher searcher(*contexts[tasks[idx].combo], comm, machine, options,
+                         &shared);
+    searcher.RunTask(tasks[idx], &task_results[idx]);
+  };
+  int threads = options.solver_threads;
+  if (threads <= 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads == 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i);
+  } else {
+    WorkerPool pool(threads - 1);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      pool.Submit([&run_task, i] { run_task(i); });
+    }
+    pool.Wait();
+  }
+
+  result.nodes_explored =
+      shared.nodes_consumed.load(std::memory_order_relaxed);
+  result.complete_schedules =
+      shared.complete_schedules.load(std::memory_order_relaxed);
+  result.budget_exhausted =
+      shared.budget_exhausted.load(std::memory_order_relaxed);
+
+  Tick min_latency = kTickInfinity;
+  for (const auto& tr : task_results) {
+    min_latency = std::min(min_latency, tr.best_makespan);
+  }
+
+  if (bound_mode) {
+    bool have_best = false;
+    for (const auto& tr : task_results) {
+      if (!tr.has_pipelined) continue;
+      if (!have_best ||
+          PipelineComposer::BetterThroughput(tr.pipelined, result.best)) {
+        result.best = tr.pipelined;
+      }
+      have_best = true;
+    }
+    if (!have_best) {
+      return Status(NotFoundError("no schedule meets the latency bound " +
+                                  FormatTick(latency_bound)));
+    }
+    result.min_latency = min_latency == kTickInfinity ? 0 : min_latency;
+    std::unordered_set<std::uint64_t> seen;
+    for (auto& tr : task_results) {
+      for (auto& cand : tr.candidates) {
+        if (static_cast<int>(result.optimal.size()) >=
+            options.max_optimal_schedules) {
+          break;
+        }
+        if (seen.insert(cand.hash).second) {
+          result.optimal.push_back(std::move(cand.sched));
+        }
+      }
+    }
+    result.solve_wall_ticks = solve_timer.Elapsed();
+    return result;
+  }
+
+  // Latency mode. The merged set is every task's candidates at the global
+  // minimum, walked in fixed task order — independent of how the tasks were
+  // interleaved across threads (see docs/solver.md for the argument).
+  if (min_latency == kTickInfinity) {
+    return Status(InternalError(
+        "no schedule found (budget exhausted before any completion)"));
+  }
+  result.min_latency = min_latency;
+  std::unordered_set<std::uint64_t> seen;
+  for (auto& tr : task_results) {
+    if (tr.best_makespan != min_latency) continue;
+    for (auto& cand : tr.candidates) {
+      if (cand.makespan != min_latency) continue;
+      if (static_cast<int>(result.optimal.size()) >=
+          options.max_optimal_schedules) {
+        break;
+      }
+      if (seen.insert(cand.hash).second) {
+        result.optimal.push_back(std::move(cand.sched));
+      }
+    }
+  }
+  if (result.optimal.empty()) {
+    return Status(InternalError("search produced no schedule"));
+  }
+
+  // Step 3: the member of S whose pipelined form has the best throughput,
+  // by the same canonical order the parallel merge uses.
+  bool have_best = false;
+  for (const auto& sched : result.optimal) {
+    PipelinedSchedule cand = PipelineComposer::Compose(
+        sched, machine.total_procs(), options.pipeline);
+    if (!have_best ||
+        PipelineComposer::BetterThroughput(cand, result.best)) {
+      result.best = std::move(cand);
+    }
+    have_best = true;
+  }
+  result.solve_wall_ticks = solve_timer.Elapsed();
+  return result;
+}
 
 }  // namespace
 
@@ -291,113 +767,17 @@ Expected<OptimalResult> OptimalScheduler::ScheduleWithVariants(
     const OptimalOptions& options) const {
   SS_RETURN_IF_ERROR(graph_.Validate());
   SS_RETURN_IF_ERROR(costs_.Validate(graph_.task_count()));
-  const Stopwatch solve_timer;
-  OptimalResult result;
-  result.variant_combinations = 1;
-  OpGraph og = OpGraph::Expand(graph_, costs_, regime, variants);
-  BnbSearcher searcher(og, comm_, machine_, options, &result);
-  searcher.Run();
-  if (result.optimal.empty()) {
-    return Status(InternalError("search produced no schedule"));
-  }
-  result.best = PipelineComposer::Compose(result.optimal.front(),
-                                          machine_.total_procs(),
-                                          options.pipeline);
-  for (std::size_t i = 1; i < result.optimal.size(); ++i) {
-    PipelinedSchedule cand = PipelineComposer::Compose(
-        result.optimal[i], machine_.total_procs(), options.pipeline);
-    if (cand.initiation_interval < result.best.initiation_interval) {
-      result.best = cand;
-    }
-  }
-  result.solve_wall_ticks = solve_timer.Elapsed();
-  return result;
+  return RunSearch(graph_, costs_, comm_, machine_, options, regime,
+                   {variants}, /*bound_mode=*/false, /*latency_bound=*/0);
 }
 
 Expected<OptimalResult> OptimalScheduler::Schedule(
     RegimeId regime, const OptimalOptions& options) const {
   SS_RETURN_IF_ERROR(graph_.Validate());
   SS_RETURN_IF_ERROR(costs_.Validate(graph_.task_count()));
-
-  const std::size_t ntasks = graph_.task_count();
-  std::vector<std::size_t> variant_counts(ntasks);
-  for (std::size_t t = 0; t < ntasks; ++t) {
-    variant_counts[t] =
-        costs_.Get(regime, TaskId(static_cast<TaskId::underlying_type>(t)))
-            .variant_count();
-  }
-
-  const Stopwatch solve_timer;
-  OptimalResult result;
-  // Odometer over the cartesian product of per-task variants. Each
-  // combination shares the global best makespan so later combinations are
-  // pruned against earlier ones (step 1 and 2 of Fig. 6 run together).
-  std::vector<VariantId> combo(ntasks, VariantId(0));
-  Tick global_best = kTickInfinity;
-  for (;;) {
-    ++result.variant_combinations;
-    OpGraph og = OpGraph::Expand(graph_, costs_, regime, combo);
-    OptimalResult sub;
-    // The node budget is global across variant combinations: the searcher
-    // continues the running count.
-    sub.nodes_explored = result.nodes_explored;
-    BnbSearcher searcher(og, comm_, machine_, options, &sub);
-    searcher.SeedBest(global_best);
-    // Keep already-collected schedules only if this combo cannot beat them;
-    // simplest correct approach: searcher collects into `sub`, then merge.
-    searcher.Run();
-    result.nodes_explored = sub.nodes_explored;
-    result.complete_schedules += sub.complete_schedules;
-    result.budget_exhausted |= sub.budget_exhausted;
-    if (result.budget_exhausted) break;
-    if (!sub.optimal.empty()) {
-      const Tick combo_best = sub.min_latency;
-      if (combo_best < global_best) {
-        global_best = combo_best;
-        result.min_latency = combo_best;
-        result.optimal = std::move(sub.optimal);
-      } else if (combo_best == global_best) {
-        for (auto& s : sub.optimal) {
-          if (static_cast<int>(result.optimal.size()) >=
-              options.max_optimal_schedules) {
-            break;
-          }
-          result.optimal.push_back(std::move(s));
-        }
-      }
-    }
-    // Advance the odometer.
-    std::size_t pos = 0;
-    while (pos < ntasks) {
-      auto next = combo[pos].value() + 1;
-      if (static_cast<std::size_t>(next) < variant_counts[pos]) {
-        combo[pos] = VariantId(next);
-        break;
-      }
-      combo[pos] = VariantId(0);
-      ++pos;
-    }
-    if (pos == ntasks) break;
-  }
-
-  if (result.optimal.empty()) {
-    return Status(InternalError(
-        "no schedule found (budget exhausted before any completion)"));
-  }
-
-  // Step 3: choose the member of S whose pipelined form has the highest
-  // steady-state throughput.
-  result.best = PipelineComposer::Compose(
-      result.optimal.front(), machine_.total_procs(), options.pipeline);
-  for (std::size_t i = 1; i < result.optimal.size(); ++i) {
-    PipelinedSchedule cand = PipelineComposer::Compose(
-        result.optimal[i], machine_.total_procs(), options.pipeline);
-    if (cand.initiation_interval < result.best.initiation_interval) {
-      result.best = cand;
-    }
-  }
-  result.solve_wall_ticks = solve_timer.Elapsed();
-  return result;
+  return RunSearch(graph_, costs_, comm_, machine_, options, regime,
+                   EnumerateCombos(graph_, costs_, regime),
+                   /*bound_mode=*/false, /*latency_bound=*/0);
 }
 
 Expected<OptimalResult> OptimalScheduler::ScheduleForThroughput(
@@ -408,73 +788,9 @@ Expected<OptimalResult> OptimalScheduler::ScheduleForThroughput(
   if (latency_bound <= 0) {
     return Status(InvalidArgumentError("latency bound must be positive"));
   }
-
-  const std::size_t ntasks = graph_.task_count();
-  std::vector<std::size_t> variant_counts(ntasks);
-  for (std::size_t t = 0; t < ntasks; ++t) {
-    variant_counts[t] =
-        costs_.Get(regime, TaskId(static_cast<TaskId::underlying_type>(t)))
-            .variant_count();
-  }
-
-  const Stopwatch solve_timer;
-  OptimalResult result;
-  bool have_best = false;
-  std::vector<VariantId> combo(ntasks, VariantId(0));
-  for (;;) {
-    ++result.variant_combinations;
-    OpGraph og = OpGraph::Expand(graph_, costs_, regime, combo);
-    // Cheap feasibility screen: the comm-free critical path must fit.
-    if (og.CriticalPath() <= latency_bound) {
-      OptimalResult sub;
-      sub.nodes_explored = result.nodes_explored;  // shared global budget
-      BnbSearcher searcher(og, comm_, machine_, options, &sub);
-      searcher.SetLatencyBound(latency_bound);
-      searcher.Run();
-      result.nodes_explored = sub.nodes_explored;
-      result.complete_schedules += sub.complete_schedules;
-      result.budget_exhausted |= sub.budget_exhausted;
-      if (sub.min_latency > 0) {
-        result.min_latency = result.min_latency == 0
-                                 ? sub.min_latency
-                                 : std::min(result.min_latency,
-                                            sub.min_latency);
-      }
-      if (searcher.has_best_pipelined()) {
-        const auto& cand = searcher.best_pipelined();
-        if (!have_best || cand.initiation_interval <
-                              result.best.initiation_interval) {
-          result.best = cand;
-          have_best = true;
-        }
-        for (auto& s : sub.optimal) {
-          if (static_cast<int>(result.optimal.size()) >=
-              options.max_optimal_schedules) {
-            break;
-          }
-          result.optimal.push_back(std::move(s));
-        }
-      }
-    }
-    std::size_t pos = 0;
-    while (pos < ntasks) {
-      auto next = combo[pos].value() + 1;
-      if (static_cast<std::size_t>(next) < variant_counts[pos]) {
-        combo[pos] = VariantId(next);
-        break;
-      }
-      combo[pos] = VariantId(0);
-      ++pos;
-    }
-    if (pos == ntasks) break;
-  }
-
-  if (!have_best) {
-    return Status(NotFoundError(
-        "no schedule meets the latency bound " + FormatTick(latency_bound)));
-  }
-  result.solve_wall_ticks = solve_timer.Elapsed();
-  return result;
+  return RunSearch(graph_, costs_, comm_, machine_, options, regime,
+                   EnumerateCombos(graph_, costs_, regime),
+                   /*bound_mode=*/true, latency_bound);
 }
 
 }  // namespace ss::sched

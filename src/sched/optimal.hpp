@@ -17,6 +17,11 @@
 //   * ready-op symmetry: interchangeable ready ops (chunks of the same task)
 //     are branched once;
 //   * lower-bound pruning on remaining critical path and remaining work.
+// The search runs on `solver_threads` threads: the tree is split at a
+// shallow depth into independent subtree tasks that share the incumbent
+// makespan through an atomic, and the decomposition never depends on the
+// thread count, so results are bit-identical from 1 to N threads (see
+// docs/solver.md for the argument).
 // One documented restriction: ops are placed at the earliest feasible time
 // on the chosen processor (no deliberate idle insertion). With communication
 // delays this can in principle exclude an optimal schedule; for the
@@ -41,8 +46,24 @@ namespace ss::sched {
 struct OptimalOptions {
   /// Cap on how many latency-optimal iteration schedules are retained in S.
   int max_optimal_schedules = 32;
-  /// Branch-and-bound node budget across all variant combinations.
+  /// Branch-and-bound node budget across all variant combinations. The cap
+  /// is global: with multiple solver threads the workers draw chunks from a
+  /// shared pool, so the total node count never exceeds it.
   std::uint64_t max_nodes = 20'000'000;
+  /// Threads used for the branch-and-bound search. 1 = serial (default);
+  /// 0 = one per hardware thread. The search decomposition is independent
+  /// of this value, so min_latency, the reported schedule set and the best
+  /// pipelined schedule are identical for every thread count (as long as
+  /// the node budget is not exhausted — an exhausted search stops at a
+  /// timing-dependent frontier).
+  int solver_threads = 1;
+  /// Depth at which the search tree is split into independent subtree
+  /// tasks. 0 = automatic (split until roughly a hundred subtrees exist
+  /// across all variant combinations). Values > 0 force an exact split
+  /// depth; this changes the task granularity and — because the reported
+  /// set is capped — may change *which* equally-optimal schedules are
+  /// reported, so it participates in cache keys.
+  int split_depth = 0;
   /// Pipelining options for step 3.
   PipelineOptions pipeline;
 };

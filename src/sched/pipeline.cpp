@@ -38,6 +38,15 @@ Tick PipelineComposer::MinInitiationInterval(const IterationSchedule& iter,
   return ii;
 }
 
+bool PipelineComposer::BetterThroughput(const PipelinedSchedule& a,
+                                        const PipelinedSchedule& b) {
+  if (a.initiation_interval != b.initiation_interval) {
+    return a.initiation_interval < b.initiation_interval;
+  }
+  if (a.Latency() != b.Latency()) return a.Latency() < b.Latency();
+  return a.iteration.CanonicalKey() < b.iteration.CanonicalKey();
+}
+
 PipelinedSchedule PipelineComposer::Compose(IterationSchedule iter, int procs,
                                             const PipelineOptions& options) {
   PipelinedSchedule best;

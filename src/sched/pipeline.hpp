@@ -30,6 +30,15 @@ class PipelineComposer {
   /// disallowed) and returns the pipelined schedule with minimal II.
   static PipelinedSchedule Compose(IterationSchedule iter, int procs,
                                    const PipelineOptions& options = {});
+
+  /// Canonical "a has strictly better steady-state throughput than b"
+  /// order: initiation interval, then iteration latency, then the
+  /// iteration's canonical key. Total and data-dependent only, so every
+  /// argmin over a set of pipelined schedules — in particular the parallel
+  /// solver's cross-subtree merge — picks the same winner regardless of
+  /// the order candidates were produced in.
+  static bool BetterThroughput(const PipelinedSchedule& a,
+                               const PipelinedSchedule& b);
 };
 
 }  // namespace ss::sched

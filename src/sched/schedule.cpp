@@ -118,6 +118,28 @@ std::string IterationSchedule::CanonicalKey() const {
   return os.str();
 }
 
+std::uint64_t IterationSchedule::CanonicalHash() const {
+  // FNV-1a over the canonical tuple stream: variants, then (proc, start)
+  // in op-id order — the same data CanonicalKey() serializes.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (VariantId v : variants_) mix(static_cast<std::uint64_t>(v.value()));
+  std::vector<const ScheduleEntry*> by_op(entries_.size(), nullptr);
+  for (const auto& e : entries_) {
+    by_op.at(static_cast<std::size_t>(e.op)) = &e;
+  }
+  for (const ScheduleEntry* e : by_op) {
+    mix(static_cast<std::uint64_t>(e->proc.value()));
+    mix(static_cast<std::uint64_t>(e->start));
+  }
+  return h;
+}
+
 std::string IterationSchedule::ToString(const graph::OpGraph& og) const {
   std::ostringstream os;
   os << "iteration latency " << FormatTick(latency_) << "\n";

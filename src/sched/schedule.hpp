@@ -8,6 +8,7 @@
 // (the wrap-around of paper Fig. 5a).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,13 @@ class IterationSchedule {
 
   /// Deterministic canonical string (for deduplicating equal schedules).
   std::string CanonicalKey() const;
+
+  /// 64-bit hash of the same canonical form. The branch-and-bound searcher
+  /// dedups on this instead of the string: no allocation, no ordered-set
+  /// compares. Equal schedules always hash equal; a collision (~2^-64 per
+  /// pair) can only drop a duplicate-looking schedule from the reported
+  /// set, never affect the computed minimum latency.
+  std::uint64_t CanonicalHash() const;
 
   /// Human-readable listing.
   std::string ToString(const graph::OpGraph& og) const;

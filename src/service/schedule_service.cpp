@@ -45,10 +45,10 @@ ScheduleService::ScheduleService(ServiceOptions options)
     SS_CHECK_MSG(loaded.ok() || loaded.code() == StatusCode::kNotFound,
                  loaded.ToString().c_str());
   }
-  workers_.reserve(static_cast<std::size_t>(options_.workers));
-  for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+  // workers == 0 keeps the pool threadless: accepted jobs sit in its deques
+  // and only surface during Shutdown(), where they fail with kCancelled —
+  // the "paused" configuration the tests rely on.
+  pool_ = std::make_unique<WorkerPool>(options_.workers);
 }
 
 ScheduleService::~ScheduleService() { Shutdown(); }
@@ -56,11 +56,16 @@ ScheduleService::~ScheduleService() { Shutdown(); }
 graph::Fingerprint ScheduleService::RequestKey(const SolveRequest& request) {
   SS_CHECK(request.problem != nullptr);
   const sched::OptimalOptions& o = request.options;
+  // solver_threads is deliberately absent: the parallel search is
+  // deterministic across thread counts, so results are interchangeable.
+  // split_depth is present because it changes the task decomposition and
+  // with it which equally-optimal schedules survive the reporting cap.
   return graph::Fingerprint(*request.problem)
       .Extended({static_cast<std::uint64_t>(request.regime.value()),
                  static_cast<std::uint64_t>(o.max_optimal_schedules),
                  o.max_nodes,
-                 o.pipeline.allow_rotation ? 1ULL : 0ULL});
+                 o.pipeline.allow_rotation ? 1ULL : 0ULL,
+                 static_cast<std::uint64_t>(o.split_depth)});
 }
 
 Expected<SolveFuture> ScheduleService::SubmitAsync(SolveRequest request) {
@@ -85,7 +90,7 @@ Expected<SolveFuture> ScheduleService::SubmitAsync(SolveRequest request) {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
-  if (queue_.size() >= options_.queue_capacity) {
+  if (queued_jobs_ >= options_.queue_capacity) {
     queue_rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status(WouldBlockError(
         "schedule service queue full (" +
@@ -97,8 +102,9 @@ Expected<SolveFuture> ScheduleService::SubmitAsync(SolveRequest request) {
   job.promise = std::make_shared<std::promise<Expected<SolveResult>>>();
   SolveFuture future = job.promise->get_future().share();
   inflight_.emplace(key, future);
-  queue_.push_back(std::move(job));
-  work_available_.notify_one();
+  ++queued_jobs_;
+  pool_->Submit(
+      [this, job = std::move(job)]() mutable { RunJob(std::move(job)); });
   return future;
 }
 
@@ -121,7 +127,8 @@ Expected<SolveResult> ScheduleService::Solve(SolveRequest request) {
 }
 
 Expected<SolveResult> ScheduleService::RunSolve(const graph::Fingerprint& key,
-                                               const SolveRequest& request) {
+                                               const SolveRequest& request,
+                                               int default_solver_threads) {
   const graph::ProblemSpec& spec = *request.problem;
   if (!request.regime.valid() ||
       request.regime.index() >= spec.regime_count) {
@@ -130,9 +137,13 @@ Expected<SolveResult> ScheduleService::RunSolve(const graph::Fingerprint& key,
         " outside the problem's " + std::to_string(spec.regime_count) +
         " regime(s)"));
   }
+  sched::OptimalOptions effective = request.options;
+  if (effective.solver_threads == 1 && default_solver_threads != 1) {
+    effective.solver_threads = default_solver_threads;
+  }
   sched::OptimalScheduler scheduler(spec.graph, spec.costs, spec.comm,
                                     spec.machine);
-  auto result = scheduler.Schedule(request.regime, request.options);
+  auto result = scheduler.Schedule(request.regime, effective);
   if (!result.ok()) return result.status();
 
   auto solved = std::make_shared<CachedSolve>();
@@ -148,48 +159,53 @@ Expected<SolveResult> ScheduleService::RunSolve(const graph::Fingerprint& key,
   return Expected<SolveResult>(std::move(solved));
 }
 
-void ScheduleService::WorkerLoop() {
-  for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
-    }
-
-    if (job.request.deadline != kTickInfinity &&
-        WallNow() > job.request.deadline) {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-      FinishJob(job, Status(DeadlineExceededError(
-                         "request expired while queued")));
-      continue;
-    }
-
-    // Second-chance lookup: the key may have been solved and published
-    // between this job's submission and now (e.g. the single-flight entry
-    // for an earlier identical request was retired just before submission,
-    // or a snapshot load raced ahead). Without it the service could solve
-    // the same fingerprint twice.
-    if (auto hit = cache_.Lookup(job.key)) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      FinishJob(job, Expected<SolveResult>(std::move(hit)));
-      continue;
-    }
-
-    solves_.fetch_add(1, std::memory_order_relaxed);
-    Expected<SolveResult> result = RunSolve(job.key, job.request);
-    if (result.ok()) {
-      solve_ticks_.fetch_add((*result)->stats.wall_ticks,
-                             std::memory_order_relaxed);
-      cache_.Insert(*result);
-    } else {
-      solve_failures_.fetch_add(1, std::memory_order_relaxed);
-    }
-    FinishJob(job, std::move(result));
+void ScheduleService::RunJob(Job job) {
+  bool cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SS_CHECK(queued_jobs_ > 0);
+    --queued_jobs_;
+    // The pool drains still-queued tasks on the caller during Shutdown();
+    // those must fail, not solve.
+    cancelled = shutdown_;
   }
+  if (cancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    FinishJob(job, Status(CancelledError(
+                       "service shut down before the solve ran")));
+    return;
+  }
+
+  if (job.request.deadline != kTickInfinity &&
+      WallNow() > job.request.deadline) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    FinishJob(job,
+              Status(DeadlineExceededError("request expired while queued")));
+    return;
+  }
+
+  // Second-chance lookup: the key may have been solved and published
+  // between this job's submission and now (e.g. the single-flight entry
+  // for an earlier identical request was retired just before submission,
+  // or a snapshot load raced ahead). Without it the service could solve
+  // the same fingerprint twice.
+  if (auto hit = cache_.Lookup(job.key)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    FinishJob(job, Expected<SolveResult>(std::move(hit)));
+    return;
+  }
+
+  solves_.fetch_add(1, std::memory_order_relaxed);
+  Expected<SolveResult> result =
+      RunSolve(job.key, job.request, options_.solver_threads);
+  if (result.ok()) {
+    solve_ticks_.fetch_add((*result)->stats.wall_ticks,
+                           std::memory_order_relaxed);
+    cache_.Insert(*result);
+  } else {
+    solve_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  FinishJob(job, std::move(result));
 }
 
 void ScheduleService::FinishJob(const Job& job,
@@ -216,25 +232,17 @@ ServiceStats ScheduleService::Stats() const {
 }
 
 void ScheduleService::Shutdown() {
-  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
-    workers.swap(workers_);
-    work_available_.notify_all();
   }
-  for (std::thread& t : workers) t.join();
-
-  std::deque<Job> leftovers;
+  // Running jobs finish normally; every job still queued in the pool runs
+  // in cancel mode (RunJob observes shutdown_) either on a worker or, for
+  // a threadless pool, right here on the caller.
+  pool_->Shutdown();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    leftovers.swap(queue_);
     inflight_.clear();
-  }
-  for (Job& job : leftovers) {
-    cancelled_.fetch_add(1, std::memory_order_relaxed);
-    job.promise->set_value(
-        Status(CancelledError("service shut down before the solve ran")));
   }
 
   if (!options_.snapshot_path.empty() && !snapshot_saved_.exchange(true)) {

@@ -16,21 +16,22 @@
 // (or before the sync caller's wait expires) fails with kDeadlineExceeded,
 // and shutdown drains the queue with kCancelled. Counters for every path
 // are exported via ServiceStats.
+//
+// Execution rides on the shared ss::WorkerPool (core/worker_pool.hpp): each
+// accepted request becomes one pool task, and the same pool primitive runs
+// the parallel branch-and-bound subtrees inside each solve.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
-#include <vector>
 
 #include "core/error.hpp"
 #include "core/time.hpp"
+#include "core/worker_pool.hpp"
 #include "graph/fingerprint.hpp"
 #include "graph/graph_io.hpp"
 #include "sched/optimal.hpp"
@@ -48,6 +49,12 @@ struct ServiceOptions {
   std::size_t queue_capacity = 64;
   std::size_t cache_capacity = 256;
   int cache_shards = 8;
+  /// Default branch-and-bound thread count applied to every solve whose
+  /// request left OptimalOptions::solver_threads at 1 (a request that asks
+  /// for a specific count explicitly keeps it). Thread count never changes
+  /// solver results, so it is excluded from the request key and safe to
+  /// vary per deployment.
+  int solver_threads = 1;
   /// When non-empty, a cache snapshot is loaded from this path on
   /// construction (if present) and saved back on Shutdown(), so a restarted
   /// service starts warm.
@@ -124,23 +131,26 @@ class ScheduleService {
     std::shared_ptr<std::promise<Expected<SolveResult>>> promise;
   };
 
-  void WorkerLoop();
+  /// Body of one pool task: cancellation / deadline / second-chance-cache
+  /// checks, then the solve.
+  void RunJob(Job job);
   void FinishJob(const Job& job, Expected<SolveResult> result);
   static Expected<SolveResult> RunSolve(const graph::Fingerprint& key,
-                                        const SolveRequest& request);
+                                        const SolveRequest& request,
+                                        int default_solver_threads);
 
   ServiceOptions options_;
   ScheduleCache cache_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<Job> queue_;
   /// Single-flight registry: key -> future of the queued/running solve.
   std::unordered_map<graph::Fingerprint, SolveFuture,
                      graph::FingerprintHash>
       inflight_;
   bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  /// Accepted jobs not yet picked up by a pool thread; bounds the queue.
+  std::size_t queued_jobs_ = 0;
+  std::unique_ptr<WorkerPool> pool_;
   std::atomic<bool> snapshot_saved_{false};
 
   std::atomic<std::uint64_t> requests_{0};

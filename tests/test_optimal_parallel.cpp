@@ -1,0 +1,252 @@
+// Tests for the parallel branch-and-bound solver: bit-identical results
+// across thread counts (the determinism contract of docs/solver.md), a
+// globally respected node budget, and schedule validity under parallel
+// search. The whole suite also runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/machine.hpp"
+#include "graph/op_graph.hpp"
+#include "graph/synthetic.hpp"
+#include "regime/regime.hpp"
+#include "sched/optimal.hpp"
+#include "tracker/costs.hpp"
+#include "tracker/graph_builder.hpp"
+
+namespace ss {
+namespace {
+
+using graph::CommModel;
+using graph::MachineConfig;
+using sched::OptimalOptions;
+using sched::OptimalResult;
+using sched::OptimalScheduler;
+
+constexpr RegimeId kR0 = RegimeId(0);
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+/// Everything about a result that the determinism contract pins down:
+/// min latency, the full reported set, and the chosen pipelined schedule.
+struct ResultSignature {
+  Tick min_latency = 0;
+  std::vector<std::string> optimal_keys;  // in reported order
+  Tick best_ii = 0;
+  int best_rotation = 0;
+  std::string best_key;
+
+  explicit ResultSignature(const OptimalResult& r)
+      : min_latency(r.min_latency),
+        best_ii(r.best.initiation_interval),
+        best_rotation(r.best.rotation),
+        best_key(r.best.iteration.CanonicalKey()) {
+    for (const auto& s : r.optimal) optimal_keys.push_back(s.CanonicalKey());
+  }
+
+  bool operator==(const ResultSignature& o) const {
+    return min_latency == o.min_latency && optimal_keys == o.optimal_keys &&
+           best_ii == o.best_ii && best_rotation == o.best_rotation &&
+           best_key == o.best_key;
+  }
+};
+
+/// Small enough that every search completes well within the node budget:
+/// determinism across thread counts is only guaranteed for non-exhausted
+/// searches, and an exhausted one would make the test flaky by design.
+graph::SyntheticProblem LayeredProblem(std::uint64_t seed) {
+  Rng rng(seed);
+  graph::SyntheticOptions gen;
+  gen.layers = 2;
+  gen.max_width = 2;
+  gen.max_chunks = 3;
+  return graph::MakeLayered(rng, gen);
+}
+
+TEST(ParallelOptimalTest, LatencyModeIdenticalAcrossThreadCounts) {
+  for (std::uint64_t seed : {11u, 42u, 97u}) {
+    graph::SyntheticProblem dag = LayeredProblem(seed);
+    ASSERT_TRUE(dag.graph.Validate().ok());
+    CommModel comm;
+    comm.intra_latency = 5;
+    OptimalScheduler sched(dag.graph, dag.costs, comm,
+                           MachineConfig::SingleNode(2));
+
+    std::vector<ResultSignature> signatures;
+    for (int threads : kThreadCounts) {
+      OptimalOptions opts;
+      opts.solver_threads = threads;
+      auto result = sched.Schedule(kR0, opts);
+      ASSERT_TRUE(result.ok())
+          << "seed " << seed << " threads " << threads << ": "
+          << result.status().ToString();
+      ASSERT_FALSE(result->budget_exhausted);
+      signatures.emplace_back(*result);
+    }
+    for (std::size_t i = 1; i < signatures.size(); ++i) {
+      EXPECT_TRUE(signatures[i] == signatures[0])
+          << "seed " << seed << ": thread count " << kThreadCounts[i]
+          << " produced a different result than 1 thread";
+    }
+  }
+}
+
+TEST(ParallelOptimalTest, ThroughputModeIdenticalAcrossThreadCounts) {
+  graph::SyntheticProblem dag = LayeredProblem(7);
+  ASSERT_TRUE(dag.graph.Validate().ok());
+  OptimalScheduler sched(dag.graph, dag.costs, CommModel(),
+                         MachineConfig::SingleNode(2));
+  auto baseline = sched.Schedule(kR0);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_FALSE(baseline->budget_exhausted);
+  const Tick bound = baseline->min_latency + baseline->min_latency / 2;
+
+  std::vector<ResultSignature> signatures;
+  for (int threads : kThreadCounts) {
+    OptimalOptions opts;
+    opts.solver_threads = threads;
+    auto result = sched.ScheduleForThroughput(kR0, bound, opts);
+    ASSERT_TRUE(result.ok())
+        << "threads " << threads << ": " << result.status().ToString();
+    ASSERT_FALSE(result->budget_exhausted);
+    EXPECT_LE(result->best.Latency(), bound);
+    signatures.emplace_back(*result);
+  }
+  for (std::size_t i = 1; i < signatures.size(); ++i) {
+    EXPECT_TRUE(signatures[i] == signatures[0])
+        << "thread count " << kThreadCounts[i]
+        << " produced a different throughput-mode result than 1 thread";
+  }
+}
+
+TEST(ParallelOptimalTest, KioskGraphIdenticalAcrossThreadCounts) {
+  tracker::KioskGraph kg = tracker::BuildKioskGraph();
+  regime::RegimeSpace space(1, 8);
+  tracker::PaperCostParams pcp;
+  pcp.scale = 0.001;
+  graph::CostModel cm = tracker::PaperKioskCostModel(kg, space, pcp);
+  OptimalScheduler sched(kg.tracker.graph, cm, CommModel(),
+                         MachineConfig::SingleNode(4));
+  // The heaviest regime (8 models): the full variant odometer.
+  const RegimeId regime = space.FromState(8);
+
+  std::vector<ResultSignature> signatures;
+  for (int threads : kThreadCounts) {
+    OptimalOptions opts;
+    opts.solver_threads = threads;
+    auto result = sched.Schedule(regime, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_FALSE(result->budget_exhausted);
+    signatures.emplace_back(*result);
+  }
+  for (std::size_t i = 1; i < signatures.size(); ++i) {
+    EXPECT_TRUE(signatures[i] == signatures[0])
+        << "thread count " << kThreadCounts[i] << " diverged on the kiosk";
+  }
+}
+
+TEST(ParallelOptimalTest, ForcedSplitDepthStaysDeterministic) {
+  graph::SyntheticProblem dag = LayeredProblem(23);
+  ASSERT_TRUE(dag.graph.Validate().ok());
+  OptimalScheduler sched(dag.graph, dag.costs, CommModel(),
+                         MachineConfig::SingleNode(2));
+  for (int split_depth : {1, 2, 3}) {
+    std::vector<ResultSignature> signatures;
+    for (int threads : {1, 4}) {
+      OptimalOptions opts;
+      opts.solver_threads = threads;
+      opts.split_depth = split_depth;
+      auto result = sched.Schedule(kR0, opts);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      signatures.emplace_back(*result);
+    }
+    EXPECT_TRUE(signatures[1] == signatures[0])
+        << "split depth " << split_depth << " diverged across threads";
+  }
+}
+
+TEST(ParallelOptimalTest, ParallelSchedulesValidate) {
+  graph::SyntheticProblem dag = LayeredProblem(5);
+  ASSERT_TRUE(dag.graph.Validate().ok());
+  CommModel comm;
+  comm.intra_latency = 3;
+  const MachineConfig machine = MachineConfig::SingleNode(3);
+  OptimalScheduler sched(dag.graph, dag.costs, comm, machine);
+  OptimalOptions opts;
+  opts.solver_threads = 4;
+  auto result = sched.Schedule(kR0, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->optimal.size(), 1u);
+  std::set<std::string> keys;
+  for (const auto& s : result->optimal) {
+    EXPECT_EQ(s.Latency(), result->min_latency);
+    EXPECT_TRUE(keys.insert(s.CanonicalKey()).second) << "duplicate reported";
+    graph::OpGraph og = graph::OpGraph::Expand(dag.graph, dag.costs, kR0,
+                                               s.variants());
+    EXPECT_TRUE(s.Validate(og, machine, comm).ok());
+  }
+}
+
+TEST(ParallelOptimalTest, NodeBudgetIsRespectedGloballyAcrossWorkers) {
+  // A graph whose full search needs far more nodes than the budget. The
+  // nonzero communication latency matters: the lower bounds are comm-free,
+  // so real makespans exceed them and pruning bites late — forcing a wide
+  // search even on a modest graph.
+  Rng rng(23);
+  graph::SyntheticOptions gen;
+  gen.layers = 5;
+  gen.max_width = 3;
+  graph::SyntheticProblem dag = graph::MakeLayered(rng, gen);
+  ASSERT_TRUE(dag.graph.Validate().ok());
+  CommModel comm;
+  comm.intra_latency = 40;
+  comm.intra_bytes_per_us = 50;
+  OptimalScheduler sched(dag.graph, dag.costs, comm,
+                         MachineConfig::SingleNode(3));
+
+  OptimalOptions unbounded;
+  auto full = sched.Schedule(kR0, unbounded);
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(full->budget_exhausted);
+  ASSERT_GT(full->nodes_explored, 4000u) << "problem too small to exhaust";
+
+  for (int threads : {1, 8}) {
+    OptimalOptions opts;
+    opts.solver_threads = threads;
+    opts.max_nodes = full->nodes_explored / 2;
+    auto result = sched.Schedule(kR0, opts);
+    // The budget may or may not leave a complete schedule; both outcomes
+    // must respect the global cap.
+    if (result.ok()) {
+      EXPECT_TRUE(result->budget_exhausted);
+      EXPECT_LE(result->nodes_explored, opts.max_nodes) << threads;
+      // Whatever was found within the budget is a real schedule, so it can
+      // never beat the true optimum.
+      EXPECT_GE(result->min_latency, full->min_latency);
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+    }
+  }
+}
+
+TEST(ParallelOptimalTest, ZeroThreadsMeansHardwareConcurrency) {
+  // solver_threads = 0 resolves to the hardware thread count; results must
+  // still match the serial run exactly.
+  graph::SyntheticProblem dag = LayeredProblem(3);
+  ASSERT_TRUE(dag.graph.Validate().ok());
+  OptimalScheduler sched(dag.graph, dag.costs, CommModel(),
+                         MachineConfig::SingleNode(2));
+  OptimalOptions serial;
+  auto base = sched.Schedule(kR0, serial);
+  ASSERT_TRUE(base.ok());
+  OptimalOptions autodetect;
+  autodetect.solver_threads = 0;
+  auto result = sched.Schedule(kR0, autodetect);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ResultSignature(*result) == ResultSignature(*base));
+}
+
+}  // namespace
+}  // namespace ss

@@ -52,6 +52,9 @@ int Usage(const char* argv0) {
       "  --throughput-bound T   maximize throughput subject to latency <= T\n"
       "                 (time with unit suffix, e.g. 150ms) instead of\n"
       "                 minimizing latency\n"
+      "  --solver-threads N  threads for the branch-and-bound search\n"
+      "                 (default 1; 0 = one per hardware thread; results\n"
+      "                 are identical for every thread count)\n"
       "  --dot          also print the task graph in Graphviz dot format\n"
       "  --serve-bench N  skip the schedule printout and instead run N\n"
       "                 client threads through the in-process schedule\n"
@@ -95,7 +98,7 @@ bool ParseDoubleArg(const char* flag, const char* text, double* out) {
 /// Exercises the cache, single-flight coalescing, and the worker pool the
 /// same way a long-lived scheduling daemon would be used.
 int ServeBench(graph::ProblemSpec spec, const std::string& snapshot_source,
-               int clients) {
+               int clients, int solver_threads) {
   constexpr int kRequestsPerClient = 64;
   auto problem =
       std::make_shared<const graph::ProblemSpec>(std::move(spec));
@@ -104,6 +107,7 @@ int ServeBench(graph::ProblemSpec spec, const std::string& snapshot_source,
   options.workers = static_cast<int>(
       std::max(2u, std::thread::hardware_concurrency() / 2));
   options.queue_capacity = static_cast<std::size_t>(clients) * 4 + 16;
+  options.solver_threads = solver_threads;
   if (!snapshot_source.empty()) {
     options.snapshot_path =
         service::ScheduleCache::SnapshotPathFor(snapshot_source);
@@ -175,6 +179,7 @@ int main(int argc, char** argv) {
   int regime_index = 0;
   int frames_arg = 6;
   int serve_bench = 0;
+  int solver_threads = 1;
   double gantt_ms = 0;
   std::string throughput_bound;
 
@@ -204,6 +209,13 @@ int main(int argc, char** argv) {
           serve_bench <= 0) {
         std::fprintf(stderr,
                      "error: --serve-bench expects a positive count\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--solver-threads") {
+      if (!ParseIntArg("--solver-threads", next(), &solver_threads) ||
+          solver_threads < 0) {
+        std::fprintf(stderr,
+                     "error: --solver-threads expects a count >= 0\n");
         return Usage(argv[0]);
       }
     } else if (arg == "--gantt-ms") {
@@ -241,7 +253,9 @@ int main(int argc, char** argv) {
     }
     spec = std::move(*loaded);
   }
-  if (serve_bench > 0) return ServeBench(std::move(spec), path, serve_bench);
+  if (serve_bench > 0) {
+    return ServeBench(std::move(spec), path, serve_bench, solver_threads);
+  }
   if (regime_index < 0 ||
       static_cast<std::size_t>(regime_index) >= spec.regime_count) {
     std::fprintf(stderr, "error: regime %d out of range (0..%zu)\n",
@@ -274,6 +288,7 @@ int main(int argc, char** argv) {
                                       spec.machine);
     sched::OptimalOptions opts;
     opts.pipeline.allow_rotation = allow_rotation;
+    opts.solver_threads = solver_threads;
     Stopwatch sw;
     Expected<sched::OptimalResult> result = [&] {
       if (throughput_bound.empty()) return scheduler.Schedule(regime, opts);
