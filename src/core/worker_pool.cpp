@@ -30,7 +30,13 @@ void WorkerPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(slots_[slot]->mu);
     slots_[slot]->q.push_back(std::move(task));
   }
-  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Publish under mu_: workers evaluate their wait predicate holding mu_,
+    // so the increment cannot interleave inside a predicate-check-to-block
+    // window and the notify below can never be lost.
+    std::lock_guard<std::mutex> lock(mu_);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
   work_cv_.notify_one();
   idle_cv_.notify_one();  // a Wait()ing caller can help with this task
 }

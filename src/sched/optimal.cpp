@@ -1,9 +1,11 @@
 #include "sched/optimal.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -26,6 +28,20 @@ using graph::OpGraph;
 /// schedule set) is identical for every `solver_threads` value, while still
 /// leaving plenty of tasks for work stealing to balance.
 constexpr int kAutoSplitTasks = 96;
+
+/// Process-wide pool backing every solve's runner tasks, sized to the
+/// hardware. Shared so concurrent solves (e.g. on schedule-service workers)
+/// reuse one bounded set of threads instead of each spawning and joining a
+/// fresh `solver_threads - 1`-thread pool per request; per-solve parallelism
+/// is still capped by the number of runner tasks a solve submits.
+WorkerPool& SolverPool() {
+  // At least one worker even on a single-core host, so `solver_threads > 1`
+  // always exercises the cross-thread path (the determinism tests rely on
+  // that, and the old per-solve pool behaved the same way there).
+  static WorkerPool pool(
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  return pool;
+}
 
 /// State shared by every search task of one solver invocation: the global
 /// incumbent and the global node budget.
@@ -142,6 +158,9 @@ struct ComboContext {
 struct SubtreeTask {
   std::size_t combo = 0;
   std::vector<std::pair<int, ProcId>> prefix;
+  /// True when frontier enumeration already charged this (complete) prefix
+  /// to the node budget, so the task's root visit must not charge it again.
+  bool prefix_counted = false;
 };
 
 struct TaskCandidate {
@@ -214,7 +233,7 @@ class BnbSearcher {
       last_op = op;
     }
     Dfs(static_cast<int>(task.prefix.size()), cur_makespan, last_start,
-        last_op);
+        last_op, /*charge=*/!task.prefix_counted);
   }
 
   /// Frontier enumeration: replays `prefix`, reports whether it is already
@@ -443,8 +462,9 @@ class BnbSearcher {
     }
   }
 
-  void Dfs(int depth, Tick cur_makespan, Tick last_start, int last_op) {
-    if (!budget_.Consume()) {
+  void Dfs(int depth, Tick cur_makespan, Tick last_start, int last_op,
+           bool charge = true) {
+    if (charge && !budget_.Consume()) {
       stopped_ = true;
       return;
     }
@@ -540,7 +560,8 @@ void SplitCombo(BnbSearcher& searcher, std::size_t combo_index, int target,
         return;
       }
       if (complete) {
-        tasks->push_back(SubtreeTask{combo_index, std::move(prefix)});
+        tasks->push_back(SubtreeTask{combo_index, std::move(prefix),
+                                     /*prefix_counted=*/true});
         continue;
       }
       for (const auto& child : children) {
@@ -646,27 +667,53 @@ Expected<OptimalResult> RunSearch(
     }
   }
 
-  // Run every task; each writes only its own result slot. The submitting
-  // thread participates via Wait(), and the shared incumbent lets pruning
-  // progress in any task benefit all others.
+  // Run every task; each writes only its own result slot, and the shared
+  // incumbent lets pruning progress in any task benefit all others. Tasks
+  // are claimed through an atomic index by the calling thread plus up to
+  // `threads - 1` runner tasks on the shared process-wide pool — so a solve
+  // never spawns threads of its own, and concurrent solves divide the
+  // hardware instead of oversubscribing it.
   std::vector<TaskResult> task_results(tasks.size());
   auto run_task = [&](std::size_t idx) {
     BnbSearcher searcher(*contexts[tasks[idx].combo], comm, machine, options,
                          &shared);
     searcher.RunTask(tasks[idx], &task_results[idx]);
   };
-  int threads = options.solver_threads;
-  if (threads <= 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  if (threads == 1) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i);
-  } else {
-    WorkerPool pool(threads - 1);
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      pool.Submit([&run_task, i] { run_task(i); });
+  std::atomic<std::size_t> next_task{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t idx =
+          next_task.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= tasks.size()) return;
+      run_task(idx);
     }
-    pool.Wait();
+  };
+  int threads = options.solver_threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  if (threads <= 1) {  // serial; kSolverThreadsUnset lands here too
+    drain();
+  } else {
+    WorkerPool& pool = SolverPool();
+    // Runners beyond the pool's workers could never execute (nobody calls
+    // Wait() on the shared pool), so cap by its size.
+    const int runners =
+        std::min({threads - 1, pool.thread_count(),
+                  static_cast<int>(tasks.size())});
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    int live_runners = runners;
+    for (int r = 0; r < runners; ++r) {
+      pool.Submit([&] {
+        drain();
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--live_runners == 0) done_cv.notify_all();
+      });
+    }
+    drain();
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return live_runners == 0; });
   }
 
   result.nodes_explored =

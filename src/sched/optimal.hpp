@@ -43,6 +43,11 @@
 
 namespace ss::sched {
 
+/// Sentinel for OptimalOptions::solver_threads: no explicit thread-count
+/// request. Direct scheduler calls treat it as serial; the schedule service
+/// substitutes its deployment default (ServiceOptions::solver_threads).
+inline constexpr int kSolverThreadsUnset = -1;
+
 struct OptimalOptions {
   /// Cap on how many latency-optimal iteration schedules are retained in S.
   int max_optimal_schedules = 32;
@@ -50,13 +55,16 @@ struct OptimalOptions {
   /// is global: with multiple solver threads the workers draw chunks from a
   /// shared pool, so the total node count never exceeds it.
   std::uint64_t max_nodes = 20'000'000;
-  /// Threads used for the branch-and-bound search. 1 = serial (default);
-  /// 0 = one per hardware thread. The search decomposition is independent
-  /// of this value, so min_latency, the reported schedule set and the best
-  /// pipelined schedule are identical for every thread count (as long as
-  /// the node budget is not exhausted — an exhausted search stops at a
-  /// timing-dependent frontier).
-  int solver_threads = 1;
+  /// Threads used for the branch-and-bound search. kSolverThreadsUnset
+  /// (the default) = no explicit choice: direct calls run serial, and the
+  /// schedule service substitutes ServiceOptions::solver_threads. 1 = serial
+  /// requested explicitly (the service honors it); 0 = one per hardware
+  /// thread. The search decomposition is independent of this value, so
+  /// min_latency, the reported schedule set and the best pipelined schedule
+  /// are identical for every thread count (as long as the node budget is
+  /// not exhausted — an exhausted search stops at a timing-dependent
+  /// frontier).
+  int solver_threads = kSolverThreadsUnset;
   /// Depth at which the search tree is split into independent subtree
   /// tasks. 0 = automatic (split until roughly a hundred subtrees exist
   /// across all variant combinations). Values > 0 force an exact split

@@ -138,7 +138,7 @@ Expected<SolveResult> ScheduleService::RunSolve(const graph::Fingerprint& key,
         " regime(s)"));
   }
   sched::OptimalOptions effective = request.options;
-  if (effective.solver_threads == 1 && default_solver_threads != 1) {
+  if (effective.solver_threads == sched::kSolverThreadsUnset) {
     effective.solver_threads = default_solver_threads;
   }
   sched::OptimalScheduler scheduler(spec.graph, spec.costs, spec.comm,

@@ -50,10 +50,11 @@ struct ServiceOptions {
   std::size_t cache_capacity = 256;
   int cache_shards = 8;
   /// Default branch-and-bound thread count applied to every solve whose
-  /// request left OptimalOptions::solver_threads at 1 (a request that asks
-  /// for a specific count explicitly keeps it). Thread count never changes
-  /// solver results, so it is excluded from the request key and safe to
-  /// vary per deployment.
+  /// request left OptimalOptions::solver_threads at its unset sentinel
+  /// (sched::kSolverThreadsUnset); a request that asks for a specific count
+  /// — including an explicit 1 for serial — keeps it. Thread count never
+  /// changes solver results, so it is excluded from the request key and
+  /// safe to vary per deployment.
   int solver_threads = 1;
   /// When non-empty, a cache snapshot is loaded from this path on
   /// construction (if present) and saved back on Shutdown(), so a restarted

@@ -2,6 +2,9 @@
 // stats, and table formatting.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <set>
 #include <unordered_set>
 
@@ -11,6 +14,7 @@
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/time.hpp"
+#include "core/worker_pool.hpp"
 
 namespace ss {
 namespace {
@@ -286,6 +290,32 @@ TEST(AsciiTableTest, RuleBetweenRows) {
 TEST(FormatDoubleTest, Precision) {
   EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
   EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+// ---- worker pool -------------------------------------------------------------
+
+TEST(WorkerPoolTest, SubmitWithoutWaitRunsEveryTask) {
+  // Lost-wakeup regression: the schedule service submits tasks and blocks on
+  // a future without ever calling Wait(), so a notify that slips into a
+  // worker's predicate-check-to-block window must not strand a queued task.
+  // Many short rounds against freshly idle workers maximize exposure of
+  // that window; a stranded task shows up as a timeout here.
+  constexpr int kRounds = 200;
+  constexpr int kTasks = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> ran{0};
+    std::promise<void> all_done;
+    auto done = all_done.get_future();
+    WorkerPool pool(2);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.Submit([&] {
+        if (ran.fetch_add(1) + 1 == kTasks) all_done.set_value();
+      });
+    }
+    ASSERT_EQ(done.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "round " << round << ": a submitted task never ran";
+  }
 }
 
 }  // namespace

@@ -27,7 +27,9 @@ using sched::OptimalResult;
 using sched::OptimalScheduler;
 
 constexpr RegimeId kR0 = RegimeId(0);
-constexpr int kThreadCounts[] = {1, 2, 4, 8};
+// kSolverThreadsUnset rides along: the unset default must behave exactly
+// like an explicit serial run.
+constexpr int kThreadCounts[] = {sched::kSolverThreadsUnset, 1, 2, 4, 8};
 
 /// Everything about a result that the determinism contract pins down:
 /// min latency, the full reported set, and the chosen pipelined schedule.
@@ -228,6 +230,39 @@ TEST(ParallelOptimalTest, NodeBudgetIsRespectedGloballyAcrossWorkers) {
     } else {
       EXPECT_EQ(result.status().code(), StatusCode::kInternal);
     }
+  }
+}
+
+TEST(ParallelOptimalTest, CompletePrefixesChargeTheBudgetOnce) {
+  // A 3-op chain on one processor has exactly one schedule, and the search
+  // visits each of its 4 prefixes (empty through complete) exactly once —
+  // so nodes_explored must be exactly 4. In particular, the complete prefix
+  // discovered during frontier enumeration must not be charged to the node
+  // budget a second time when its subtree task replays it.
+  graph::TaskGraph g;
+  const TaskId a = g.AddTask("a", true);
+  const TaskId b = g.AddTask("b");
+  const TaskId c = g.AddTask("c");
+  const ChannelId ab = g.AddChannel("ab", 0);
+  const ChannelId bc = g.AddChannel("bc", 0);
+  g.SetProducer(a, ab);
+  g.AddConsumer(b, ab);
+  g.SetProducer(b, bc);
+  g.AddConsumer(c, bc);
+  ASSERT_TRUE(g.Validate().ok());
+  graph::CostModel costs;
+  costs.Set(kR0, a, graph::TaskCost::Serial(30));
+  costs.Set(kR0, b, graph::TaskCost::Serial(40));
+  costs.Set(kR0, c, graph::TaskCost::Serial(50));
+  OptimalScheduler sched(g, costs, CommModel(),
+                         MachineConfig::SingleNode(1));
+  for (int threads : {1, 4}) {
+    OptimalOptions opts;
+    opts.solver_threads = threads;
+    auto result = sched.Schedule(kR0, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->min_latency, 120);
+    EXPECT_EQ(result->nodes_explored, 4u) << "threads " << threads;
   }
 }
 
