@@ -6,17 +6,17 @@
 //   1. The calibrated analytic model (paper-scale seconds) — this is the
 //      cost model the scheduler consumes, evaluated exactly as a 4-worker
 //      harness would run it.
-//   2. A real threaded measurement: the splitter/worker/joiner harness
-//      (paper Fig. 9) runs the actual back-projection kernels with 4 worker
-//      threads on this machine (frame scaled down from the Alpha-era
-//      sizes; shape, not absolute seconds, is the comparison).
+//   2. Measured kernel costs: the real back-projection kernels are timed
+//      on this machine (frame scaled down from the Alpha-era sizes) and a
+//      4-worker elapsed time is evaluated exactly as the harness would
+//      schedule the chunks; shape, not absolute seconds, is the
+//      comparison.
 #include <cstdio>
 #include <map>
 
 #include "bench_util.hpp"
 #include "core/ascii_table.hpp"
 #include "core/time.hpp"
-#include "runtime/splitjoin.hpp"
 #include "tracker/bodies.hpp"
 
 namespace ss {
@@ -33,49 +33,6 @@ double AnalyticSeconds(const tracker::PaperCostParams& p, int models, int fp,
   return ticks::ToSeconds(v.split_cost + static_cast<Tick>(rounds) *
                                              v.chunk_cost +
                           v.join_cost);
-}
-
-/// Measures seconds/frame of the real harness for one configuration.
-double MeasuredSeconds(const tracker::TrackerParams& params,
-                       tracker::TargetDetectionBody& body, int models, int fp,
-                       int mp, int frames) {
-  const int mp_eff = std::min(mp, models);
-  body.SetDecomposition(fp, mp_eff);
-  runtime::DecompositionTable table;
-  table.Set(RegimeId(0), runtime::Decomposition{fp * mp_eff, 0});
-  runtime::SplitJoinHarness harness(&body, table,
-                                    runtime::SplitJoinOptions{4, 64});
-
-  // Pre-build inputs so synthesis cost stays out of the measurement.
-  std::vector<runtime::TaskInputs> inputs;
-  for (int k = 0; k < frames; ++k) {
-    tracker::Frame f = tracker::SynthesizeFrame(params, k, models);
-    f.num_targets = models;
-    tracker::FrameHistogram fh = tracker::ComputeHistogram(f);
-    tracker::MotionMask mask = tracker::ChangeDetect(f, nullptr);
-    runtime::TaskInputs in;
-    in.ts = k;
-    in.items = {
-        stm::Item{k, stm::Payload::Make<tracker::Frame>(std::move(f))},
-        stm::Item{k, stm::Payload::Make<tracker::FrameHistogram>(
-                         std::move(fh))},
-        stm::Item{k,
-                  stm::Payload::Make<tracker::MotionMask>(std::move(mask))},
-    };
-    inputs.push_back(std::move(in));
-  }
-
-  Stopwatch sw;
-  Status s = harness.Run(
-      static_cast<std::size_t>(frames),
-      [&](Timestamp ts) -> Expected<runtime::TaskInputs> {
-        return inputs[static_cast<std::size_t>(ts)];
-      },
-      [](Timestamp, runtime::TaskOutputs) {}, [](Timestamp) {
-        return RegimeId(0);
-      });
-  SS_CHECK_MSG(s.ok(), "harness run failed");
-  return sw.ElapsedSeconds() / frames;
 }
 
 void PrintTable(const std::string& title,

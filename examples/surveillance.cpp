@@ -30,8 +30,8 @@ constexpr int kRegimes = 6;
 int Activity(int state) { return state / 3; }          // 0 or 1
 int Cameras(int state) { return 2 << (state % 3); }    // 2, 4, 8
 
-graph::CostModel BuildCosts(const graph::TaskGraph& g, TaskId decode,
-                            TaskId detect, TaskId reid, TaskId alert) {
+graph::CostModel BuildCosts(TaskId decode, TaskId detect, TaskId reid,
+                            TaskId alert) {
   graph::CostModel costs;
   for (int s = 0; s < kRegimes; ++s) {
     const RegimeId r(s);
@@ -83,7 +83,7 @@ int main() {
   std::printf("surveillance pipeline:\n%s\n", g.ToText().c_str());
 
   regime::RegimeSpace space(0, kRegimes - 1);
-  graph::CostModel costs = BuildCosts(g, decode, detect, reid, alert);
+  graph::CostModel costs = BuildCosts(decode, detect, reid, alert);
   const graph::MachineConfig machine = graph::MachineConfig::SingleNode(4);
 
   auto table = regime::ScheduleTable::Precompute(space, g, costs,

@@ -13,6 +13,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCorruptArtifact: return "CORRUPT_ARTIFACT";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

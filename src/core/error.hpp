@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kCancelled,       // channel/runtime shut down
   kDeadlineExceeded,  // request missed its deadline (service backpressure)
+  kCorruptArtifact,   // stored schedule artifact failed static verification
   kInternal,
 };
 
@@ -73,6 +74,9 @@ inline Status CancelledError(std::string msg) {
 }
 inline Status DeadlineExceededError(std::string msg) {
   return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status CorruptArtifactError(std::string msg) {
+  return Status(StatusCode::kCorruptArtifact, std::move(msg));
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
@@ -136,10 +140,10 @@ namespace internal {
   } while (0)
 
 /// Propagate a non-OK Status from an expression returning Status.
-#define SS_RETURN_IF_ERROR(expr)            \
-  do {                                      \
-    ::ss::Status ss_status__ = (expr);      \
-    if (!ss_status__.ok()) return ss_status__; \
+#define SS_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::ss::Status ss_status_impl = (expr);          \
+    if (!ss_status_impl.ok()) return ss_status_impl; \
   } while (0)
 
 }  // namespace ss

@@ -8,16 +8,16 @@
 // Format (line-based, '#' comments, key=value tokens):
 //
 //   machine nodes=1 procs_per_node=4
-//   comm intra_latency=20us intra_bandwidth=4000 \
-//        inter_latency=30us inter_bandwidth=100      # bandwidth: bytes/us
+//   comm intra_latency=20us intra_bandwidth=4000 inter_latency=30us
+//        inter_bandwidth=100   # one line in a real file; bandwidth: bytes/us
 //   task digitizer source
 //   task detect
 //   channel frames bytes=57600 producer=digitizer consumers=detect
 //   regimes 2
 //   cost regime=0 task=digitizer serial=5ms
 //   cost regime=0 task=detect serial=876ms
-//   variant regime=0 task=detect name=FP=4 chunks=4 chunk=224ms \
-//           split=15ms join=10ms
+//   variant regime=0 task=detect name=FP=4 chunks=4 chunk=224ms
+//           split=15ms join=10ms   # one line in a real file
 //
 // Times accept suffixes us/ms/s (default microseconds).
 #pragma once

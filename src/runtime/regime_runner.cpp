@@ -46,12 +46,13 @@ Expected<RegimeRunResult> RegimeSwitchingRunner::Run() {
     // Segment records are relative to the segment start; re-base them onto
     // the whole run (latencies are shift-invariant, completion order and
     // inter-arrival across segments become consistent).
-    for (auto f : seg_result->frames) {
+    for (const auto& frame : seg_result->frames) {
+      auto f = frame;
       if (f.digitized_at != kNoTick) {
         f.digitized_at += seg_offset;
         if (f.completed_at != kNoTick) f.completed_at += seg_offset;
       }
-      result.frames.push_back(f);
+      result.frames.push_back(std::move(f));
     }
 
     ts = end;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "verify/verifier.hpp"
+
 namespace ss::service {
 
 ScheduleCache::ScheduleCache(std::size_t capacity, int shards) {
@@ -48,12 +50,34 @@ void ScheduleCache::Insert(std::shared_ptr<const CachedSolve> value) {
   }
 }
 
+bool ScheduleCache::Erase(const graph::Fingerprint& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<std::shared_ptr<const CachedSolve>> ScheduleCache::Entries()
+    const {
+  std::vector<std::shared_ptr<const CachedSolve>> out;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.lru.begin(), shard.lru.end());
+  }
+  return out;
+}
+
 CacheStats ScheduleCache::Stats() const {
   CacheStats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   stats.entries = size();
   return stats;
 }
@@ -77,12 +101,13 @@ void ScheduleCache::Clear() {
 
 Status ScheduleCache::Save(const std::string& path) const {
   std::ostringstream os;
-  os << "sscache 1\n";
+  os << "sscache 2\n";
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& entry : shard.lru) {
       const sched::PipelinedSchedule& ps = entry->schedule;
       os << "entry key=" << entry->key.ToHex()
+         << " regime=" << entry->regime.value()
          << " min_latency=" << entry->min_latency
          << " ii=" << ps.initiation_interval << " rotation=" << ps.rotation
          << " procs=" << ps.procs << " nodes=" << entry->stats.nodes_explored
@@ -156,10 +181,12 @@ Status ScheduleCache::Load(const std::string& path) {
     return NotFoundError("cannot open cache snapshot '" + path + "'");
   }
   std::string line;
-  if (!std::getline(file, line) || line.rfind("sscache 1", 0) != 0) {
-    return InvalidArgumentError("'" + path + "' is not a v1 cache snapshot");
+  if (!std::getline(file, line) || (line != "sscache 1" && line != "sscache 2")) {
+    return InvalidArgumentError("'" + path + "' is not a cache snapshot");
   }
+  const bool has_regime = line == "sscache 2";
 
+  std::vector<std::shared_ptr<CachedSolve>> parsed;
   std::shared_ptr<CachedSolve> pending;
   Tick pending_ii = 0;
   int pending_rotation = 0;
@@ -199,6 +226,11 @@ Status ScheduleCache::Load(const std::string& path) {
            {&min_latency, &ii, &rotation, &procs, &nodes, &complete, &combos,
             &budget, &wall}) {
         if (!v->ok()) return v->status();
+      }
+      if (has_regime) {
+        auto regime = req("regime");
+        if (!regime.ok()) return regime.status();
+        pending->regime = RegimeId(static_cast<RegimeId::underlying_type>(*regime));
       }
       pending->min_latency = *min_latency;
       pending_ii = *ii;
@@ -254,7 +286,7 @@ Status ScheduleCache::Load(const std::string& path) {
       pending->schedule.initiation_interval = pending_ii;
       pending->schedule.rotation = pending_rotation;
       pending->schedule.procs = pending_procs;
-      Insert(std::move(pending));
+      parsed.push_back(std::move(pending));
       pending = nullptr;
     } else {
       return InvalidArgumentError("unknown snapshot line '" + kind + "'");
@@ -262,6 +294,24 @@ Status ScheduleCache::Load(const std::string& path) {
   }
   if (pending) {
     return InvalidArgumentError("truncated snapshot (missing 'end')");
+  }
+
+  // Verify before publishing anything: one corrupt entry rejects the whole
+  // snapshot and leaves the cache untouched (the service falls back to a
+  // cold start). Spec-level legality can only be checked against a problem
+  // spec, so restored entries stay unverified until first served.
+  for (const auto& entry : parsed) {
+    verify::VerifyReport report =
+        verify::ScheduleVerifier::VerifyStructure(entry->schedule);
+    if (!report.ok()) {
+      Status status = report.ToStatus();
+      return CorruptArtifactError("snapshot entry " + entry->key.ToHex() +
+                                  ": " + status.message());
+    }
+  }
+  for (auto& entry : parsed) {
+    entry->verified.store(false, std::memory_order_relaxed);
+    Insert(std::move(entry));
   }
   return OkStatus();
 }

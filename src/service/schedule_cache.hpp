@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/ids.hpp"
 #include "core/time.hpp"
 #include "graph/fingerprint.hpp"
 #include "sched/occupancy.hpp"
@@ -38,6 +39,14 @@ struct CachedSolve {
   sched::OccupancyReport occupancy;
   Tick min_latency = 0;
   sched::SolveStats stats;
+  /// Regime the solve was computed for. Needed to re-verify the artifact
+  /// against a problem spec (the fingerprint key is one-way). Invalid for
+  /// entries restored from pre-v2 snapshots.
+  RegimeId regime = RegimeId::Invalid();
+  /// False for entries restored from a snapshot until they pass full
+  /// verification against the requesting problem spec (the service verifies
+  /// on first serve); freshly solved entries are born verified.
+  mutable std::atomic<bool> verified{true};
 };
 
 struct CacheStats {
@@ -45,6 +54,7 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
   std::size_t entries = 0;
 };
 
@@ -65,6 +75,14 @@ class ScheduleCache {
   /// over budget. Re-inserting an existing key replaces the value.
   void Insert(std::shared_ptr<const CachedSolve> value);
 
+  /// Drops the entry for `key` (e.g. after it failed verification). Returns
+  /// true when an entry was removed; counts towards `invalidations`.
+  bool Erase(const graph::Fingerprint& key);
+
+  /// All cached entries, MRU-first per shard (no LRU refresh). Used by the
+  /// `ssched verify` subcommand to audit a snapshot.
+  std::vector<std::shared_ptr<const CachedSolve>> Entries() const;
+
   CacheStats Stats() const;
   std::size_t size() const;
   void Clear();
@@ -73,6 +91,12 @@ class ScheduleCache {
   // A snapshot is a text file holding every cached entry (schedules are
   // exact integer-tick data, so the round-trip is lossless). Load() merges
   // entries into the cache without touching hit/miss counters.
+  //
+  // Load() parses the whole file first and runs every restored schedule
+  // through verify::ScheduleVerifier::VerifyStructure; a structurally
+  // corrupt entry fails the load with kCorruptArtifact and leaves the cache
+  // untouched. Restored entries are marked unverified — the service runs
+  // the full spec-level verification before first serving them.
 
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
@@ -107,6 +131,7 @@ class ScheduleCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
 };
 
 }  // namespace ss::service

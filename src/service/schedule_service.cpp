@@ -7,6 +7,7 @@
 #include "core/ascii_table.hpp"
 #include "graph/op_graph.hpp"
 #include "sched/occupancy.hpp"
+#include "verify/verifier.hpp"
 
 namespace ss::service {
 
@@ -24,12 +25,14 @@ std::string ServiceStats::ToTable() const {
   row("deadline exceeded", deadline_exceeded);
   row("queue rejected", queue_rejected);
   row("cancelled", cancelled);
+  row("corrupt artifacts rejected", corrupt_rejected);
   table.AddRow({"hit rate", FormatDouble(HitRate(), 3)});
   table.AddRow({"solver wall time", FormatTick(solve_ticks)});
   table.AddRule();
   row("cache entries", cache.entries);
   row("cache insertions", cache.insertions);
   row("cache evictions", cache.evictions);
+  row("cache invalidations", cache.invalidations);
   return table.Render();
 }
 
@@ -39,11 +42,17 @@ ScheduleService::ScheduleService(ServiceOptions options)
   SS_CHECK_MSG(options_.workers >= 0, "negative worker count");
   SS_CHECK_MSG(options_.queue_capacity > 0, "queue capacity must be > 0");
   if (!options_.snapshot_path.empty()) {
-    // A missing snapshot just means a cold start; anything else (corrupt
-    // file) is a real problem and aborts construction loudly.
+    // A missing snapshot just means a cold start. A corrupt or unreadable
+    // one must not take the service down either: warn and start cold — the
+    // cache is a performance artifact, never the source of truth.
     Status loaded = cache_.Load(options_.snapshot_path);
-    SS_CHECK_MSG(loaded.ok() || loaded.code() == StatusCode::kNotFound,
-                 loaded.ToString().c_str());
+    if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+      std::fprintf(stderr,
+                   "warning: ignoring cache snapshot '%s': %s\n",
+                   options_.snapshot_path.c_str(),
+                   loaded.ToString().c_str());
+      cache_.Clear();
+    }
   }
   // workers == 0 keeps the pool threadless: accepted jobs sit in its deques
   // and only surface during Shutdown(), where they fail with kCancelled —
@@ -76,6 +85,8 @@ Expected<SolveFuture> ScheduleService::SubmitAsync(SolveRequest request) {
   const graph::Fingerprint key = RequestKey(request);
 
   if (auto hit = cache_.Lookup(key)) {
+    Status usable = VerifyHit(key, request, hit);
+    if (!usable.ok()) return usable;
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     std::promise<Expected<SolveResult>> ready;
     ready.set_value(Expected<SolveResult>(std::move(hit)));
@@ -148,6 +159,7 @@ Expected<SolveResult> ScheduleService::RunSolve(const graph::Fingerprint& key,
 
   auto solved = std::make_shared<CachedSolve>();
   solved->key = key;
+  solved->regime = request.regime;
   solved->schedule = std::move(result->best);
   solved->min_latency = result->min_latency;
   solved->stats = result->Stats();
@@ -157,6 +169,25 @@ Expected<SolveResult> ScheduleService::RunSolve(const graph::Fingerprint& key,
   solved->occupancy = sched::AnalyzeOccupancy(spec.graph, og,
                                               solved->schedule);
   return Expected<SolveResult>(std::move(solved));
+}
+
+Status ScheduleService::VerifyHit(const graph::Fingerprint& key,
+                                  const SolveRequest& request,
+                                  const SolveResult& hit) {
+  if (hit->verified.load(std::memory_order_acquire)) return OkStatus();
+  verify::ScheduleVerifier verifier(*request.problem, request.regime);
+  verify::VerifyReport report = verifier.VerifyArtifact(
+      hit->schedule, hit->min_latency, &hit->occupancy);
+  if (report.ok()) {
+    hit->verified.store(true, std::memory_order_release);
+    return OkStatus();
+  }
+  cache_.Erase(key);
+  corrupt_rejected_.fetch_add(1, std::memory_order_relaxed);
+  Status status = report.ToStatus();
+  std::fprintf(stderr, "warning: rejecting cached schedule %s: %s\n",
+               key.ToHex().c_str(), status.ToString().c_str());
+  return status;
 }
 
 void ScheduleService::RunJob(Job job) {
@@ -190,9 +221,13 @@ void ScheduleService::RunJob(Job job) {
   // or a snapshot load raced ahead). Without it the service could solve
   // the same fingerprint twice.
   if (auto hit = cache_.Lookup(job.key)) {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    FinishJob(job, Expected<SolveResult>(std::move(hit)));
-    return;
+    // A hit that fails verification was evicted by VerifyHit; fall through
+    // to the solve, which re-derives a correct artifact for this key.
+    if (VerifyHit(job.key, job.request, hit).ok()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      FinishJob(job, Expected<SolveResult>(std::move(hit)));
+      return;
+    }
   }
 
   solves_.fetch_add(1, std::memory_order_relaxed);
@@ -226,6 +261,8 @@ ServiceStats ScheduleService::Stats() const {
       deadline_exceeded_.load(std::memory_order_relaxed);
   stats.queue_rejected = queue_rejected_.load(std::memory_order_relaxed);
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.corrupt_rejected =
+      corrupt_rejected_.load(std::memory_order_relaxed);
   stats.solve_ticks = solve_ticks_.load(std::memory_order_relaxed);
   stats.cache = cache_.Stats();
   return stats;

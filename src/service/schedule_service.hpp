@@ -83,6 +83,9 @@ struct ServiceStats {
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t queue_rejected = 0;
   std::uint64_t cancelled = 0;
+  /// Cached artifacts (snapshot-restored) that failed verification at serve
+  /// time and were evicted instead of served.
+  std::uint64_t corrupt_rejected = 0;
   /// Total wall time spent inside the optimal scheduler.
   Tick solve_ticks = 0;
   CacheStats cache;
@@ -132,6 +135,14 @@ class ScheduleService {
     std::shared_ptr<std::promise<Expected<SolveResult>>> promise;
   };
 
+  /// Gate for serving a cache hit: entries restored from a snapshot are
+  /// statically verified against the requesting problem spec before first
+  /// use (freshly solved entries are born verified and skip this). A hit
+  /// that fails is evicted and the request fails with kCorruptArtifact — a
+  /// retry re-solves from scratch.
+  Status VerifyHit(const graph::Fingerprint& key, const SolveRequest& request,
+                   const SolveResult& hit);
+
   /// Body of one pool task: cancellation / deadline / second-chance-cache
   /// checks, then the solve.
   void RunJob(Job job);
@@ -162,6 +173,7 @@ class ScheduleService {
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> queue_rejected_{0};
   std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> corrupt_rejected_{0};
   std::atomic<Tick> solve_ticks_{0};
 };
 

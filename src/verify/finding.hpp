@@ -1,0 +1,99 @@
+// Structured diagnostics emitted by the static schedule verifier.
+//
+// A Finding names the check that fired, a severity, and a locus (op,
+// processor, tick) when one applies; a VerifyReport aggregates findings and
+// renders them for humans (ascii_table) or converts them into the typed
+// kCorruptArtifact error the schedule service propagates for artifacts that
+// fail verification.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace ss::verify {
+
+enum class Severity {
+  kError,    // the artifact is illegal / corrupt; must not be served
+  kWarning,  // legal but suspicious (e.g. a non-minimal initiation interval)
+};
+
+std::string_view SeverityName(Severity severity);
+
+/// The individual checks of the verifier (docs/verify.md documents each).
+enum class Check {
+  kCoverage,           // every op scheduled exactly once, op ids in range
+  kProcRange,          // processor exists in the machine / pipeline modulus
+  kDuration,           // entry duration == op cost under the chosen variant
+  kStartTime,          // start times are non-negative
+  kOverlap,            // intra-iteration processor exclusivity
+  kPrecedence,         // dependence edges honored, communication charged
+  kVariants,           // variant vector consistent with the problem spec
+  kMakespan,           // recomputed makespan == reported Latency()
+  kPipelineShape,      // ii >= 1, rotation in [0, procs), procs sane
+  kPipelineCollision,  // two iterations contend for a processor
+  kPipelineSlack,      // initiation interval is not minimal (II-1 is legal)
+  kChannelCapacity,    // pipelined in-flight items exceed a channel bound
+  kLowerBound,         // latency beats a lower bound (impossible => corrupt)
+  kArtifact,           // stored artifact metadata contradicts the schedule
+};
+
+std::string_view CheckName(Check check);
+
+struct Finding {
+  Severity severity = Severity::kError;
+  Check check = Check::kCoverage;
+  /// Locus, when one applies. `op` is an op-graph op id; invalid proc /
+  /// kNoTick mean "not applicable".
+  int op = -1;
+  ProcId proc;
+  Tick tick = kNoTick;
+  std::string message;
+
+  /// One-line rendering: "ERROR precedence op=3 proc=P1 t=250us: ...".
+  std::string ToString() const;
+};
+
+/// Aggregated result of a verification pass.
+class VerifyReport {
+ public:
+  void Add(Finding finding);
+
+  /// Convenience constructors for the common cases.
+  void AddError(Check check, std::string message, int op = -1,
+                ProcId proc = ProcId::Invalid(), Tick tick = kNoTick);
+  void AddWarning(Check check, std::string message, int op = -1,
+                  ProcId proc = ProcId::Invalid(), Tick tick = kNoTick);
+
+  void Merge(const VerifyReport& other);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return findings_.size() - errors_; }
+
+  /// No errors (warnings allowed): the artifact may be served.
+  bool ok() const { return errors_ == 0; }
+  /// No findings at all.
+  bool clean() const { return findings_.empty(); }
+
+  /// True when some finding fired for `check`.
+  bool Has(Check check) const;
+
+  /// Tabular rendering of all findings (empty string when clean).
+  std::string ToTable() const;
+
+  /// OkStatus() when ok(); otherwise a kCorruptArtifact error summarizing
+  /// the first error and the total count.
+  Status ToStatus() const;
+
+ private:
+  std::vector<Finding> findings_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace ss::verify

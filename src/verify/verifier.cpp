@@ -1,0 +1,670 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "stm/channel_table.hpp"
+
+namespace ss::verify {
+
+using graph::OpGraph;
+using sched::IterationSchedule;
+using sched::PipelinedSchedule;
+using sched::ScheduleEntry;
+
+namespace {
+
+// Floor/ceil division for signed ticks with positive divisors (the hazard
+// window arithmetic below produces negative numerators).
+Tick FloorDiv(Tick a, Tick b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+Tick CeilDiv(Tick a, Tick b) { return FloorDiv(a + b - 1, b); }
+
+bool ProcInRange(const ScheduleEntry& e, int procs) {
+  return e.proc.valid() && e.proc.value() < procs;
+}
+
+/// Smallest iteration distance d >= 1 at which an op on `from` lands on
+/// `target` under the rotation, or -1 when no distance aligns them. The
+/// shift pattern cycles with period procs/gcd(rotation, procs), so probing
+/// d = 1..procs is exhaustive.
+std::int64_t FirstAlignedDistance(int from, int target, int rotation,
+                                  int procs) {
+  std::int64_t p = from;
+  for (int d = 1; d <= procs; ++d) {
+    p = (p + rotation) % procs;
+    if (p == target) return d;
+  }
+  return -1;
+}
+
+/// Does replaying the iteration every `ii` ticks leave some instance of a
+/// later iteration starting before a same-processor instance of an earlier
+/// one has finished? This is the (one-sided) conflict criterion the whole
+/// pipeline layer schedules by; it is implied by any physical overlap, and
+/// it is monotone: once an interval is conflict-free, every larger one is.
+bool ConflictAt(const std::vector<ScheduleEntry>& entries, int procs,
+                int rotation, Tick ii) {
+  for (const ScheduleEntry& a : entries) {    // instance of iteration k
+    if (!ProcInRange(a, procs)) continue;
+    for (const ScheduleEntry& b : entries) {  // instance of iteration k+d
+      if (!ProcInRange(b, procs)) continue;
+      const Tick diff = a.end() - b.start;
+      if (diff <= 0) continue;  // b starts after a ends even at distance 0
+      const std::int64_t d = FirstAlignedDistance(
+          b.proc.value(), a.proc.value(), rotation, procs);
+      // Larger aligned distances only push b further right, so the first
+      // one is the only candidate.
+      if (d > 0 && static_cast<Tick>(d) * ii < diff) return true;
+    }
+  }
+  return false;
+}
+
+/// First physical cross-iteration processor overlap, if any. For every
+/// ordered entry pair (a at iteration k, b at iteration k+d) the distances
+/// at which their busy intervals can intersect form a window of width
+/// ~(dur_a + dur_b)/ii; enumerating that window for every pair covers every
+/// inter-iteration distance exactly once — the full hazard window, not a
+/// sampled horizon.
+std::optional<Finding> FirstCollision(
+    const std::vector<ScheduleEntry>& entries, int procs, int rotation,
+    Tick ii) {
+  if (procs <= 0 || ii <= 0 || rotation < 0 || rotation >= procs) {
+    return std::nullopt;  // shape errors are reported separately
+  }
+  for (const ScheduleEntry& a : entries) {
+    if (!ProcInRange(a, procs) || a.duration <= 0) continue;
+    for (const ScheduleEntry& b : entries) {
+      if (!ProcInRange(b, procs) || b.duration <= 0) continue;
+      // Overlap at distance d needs  b.start + d*ii < a.end  and
+      // a.start < b.end + d*ii.
+      Tick dlo = FloorDiv(a.start - b.end(), ii) + 1;
+      if (dlo < 1) dlo = 1;
+      const Tick dhi = CeilDiv(a.end() - b.start, ii) - 1;
+      for (Tick d = dlo; d <= dhi; ++d) {
+        if ((b.proc.value() + d * rotation) % procs != a.proc.value()) {
+          continue;
+        }
+        Finding f;
+        f.severity = Severity::kError;
+        f.check = Check::kPipelineCollision;
+        f.op = b.op;
+        f.proc = a.proc;
+        f.tick = std::max(a.start, b.start + d * ii);
+        f.message = "op " + std::to_string(b.op) + " of iteration k+" +
+                    std::to_string(d) + " overlaps op " +
+                    std::to_string(a.op) +
+                    " of iteration k on the same processor (II " +
+                    FormatTick(ii) + ", rotation " +
+                    std::to_string(rotation) + ")";
+        return f;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Tick ScheduleVerifier::MinConflictFreeInterval(const IterationSchedule& iter,
+                                               int procs, int rotation) {
+  const Tick latency = iter.Latency();
+  if (iter.entries().empty() || latency <= 0) return 1;
+  Tick lo = 1;
+  Tick hi = latency;  // at ii = latency, d*ii >= latency >= any diff
+  while (lo < hi) {
+    const Tick mid = lo + (hi - lo) / 2;
+    if (ConflictAt(iter.entries(), procs, rotation, mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+/// Intra-iteration processor-exclusivity scan shared by the spec-full and
+/// structural passes. `procs` bounds which entries are considered (others
+/// are reported by the range checks). Zero-duration entries occupy no
+/// processor time — solvers legitimately co-locate zero-cost split/join ops
+/// with real work — so only positive-length intervals contend.
+void CheckIntraOverlap(const std::vector<ScheduleEntry>& entries, int procs,
+                       VerifyReport* report) {
+  std::vector<const ScheduleEntry*> sorted;
+  sorted.reserve(entries.size());
+  for (const ScheduleEntry& e : entries) {
+    if (e.duration > 0 && ProcInRange(e, procs)) sorted.push_back(&e);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScheduleEntry* a, const ScheduleEntry* b) {
+              if (a->proc != b->proc) return a->proc < b->proc;
+              return a->start < b->start;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const ScheduleEntry& prev = *sorted[i - 1];
+    const ScheduleEntry& cur = *sorted[i];
+    if (cur.proc == prev.proc && cur.start < prev.end()) {
+      report->AddError(Check::kOverlap,
+                       "op " + std::to_string(cur.op) + " overlaps op " +
+                           std::to_string(prev.op) + " within the iteration",
+                       cur.op, cur.proc, cur.start);
+    }
+  }
+}
+
+}  // namespace
+
+std::unordered_map<std::string, std::size_t> ChannelCapacities(
+    const stm::ChannelTable& table) {
+  std::unordered_map<std::string, std::size_t> out;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const stm::Channel* ch =
+        table.Get(ChannelId(static_cast<ChannelId::underlying_type>(i)));
+    if (ch != nullptr && ch->capacity() > 0) {
+      out[ch->name()] = ch->capacity();
+    }
+  }
+  return out;
+}
+
+ScheduleVerifier::ScheduleVerifier(const graph::ProblemSpec& spec,
+                                   RegimeId regime, VerifyOptions options)
+    : spec_(&spec),
+      plan_(spec.graph),
+      regime_(regime),
+      options_(std::move(options)) {}
+
+std::optional<OpGraph> ScheduleVerifier::ExpandChecked(
+    const IterationSchedule& iter, VerifyReport* report) const {
+  if (!regime_.valid() || regime_.index() >= spec_->regime_count) {
+    report->AddError(Check::kVariants,
+                     "regime " + std::to_string(regime_.value()) +
+                         " outside the problem's " +
+                         std::to_string(spec_->regime_count) + " regime(s)");
+    return std::nullopt;
+  }
+  const std::vector<VariantId>& variants = iter.variants();
+  const std::size_t tasks = spec_->graph.task_count();
+  if (variants.size() != tasks) {
+    report->AddError(Check::kVariants,
+                     "variant vector has " +
+                         std::to_string(variants.size()) + " entries for " +
+                         std::to_string(tasks) + " tasks");
+    return std::nullopt;
+  }
+  bool usable = true;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    const TaskId task(static_cast<TaskId::underlying_type>(t));
+    if (!spec_->costs.Has(regime_, task)) {
+      report->AddError(Check::kVariants,
+                       "task '" + spec_->graph.task(task).name +
+                           "' has no cost entry in regime " +
+                           std::to_string(regime_.value()));
+      usable = false;
+      continue;
+    }
+    const VariantId v = variants[t];
+    const std::size_t count =
+        spec_->costs.Get(regime_, task).variant_count();
+    if (!v.valid() || v.index() >= count) {
+      report->AddError(Check::kVariants,
+                       "task '" + spec_->graph.task(task).name +
+                           "' selects variant " + std::to_string(v.value()) +
+                           " of " + std::to_string(count));
+      usable = false;
+    }
+  }
+  if (!usable) return std::nullopt;
+  return OpGraph::Expand(plan_, spec_->costs, regime_, variants);
+}
+
+void ScheduleVerifier::CheckIteration(const IterationSchedule& iter,
+                                      const OpGraph& og,
+                                      VerifyReport* report) const {
+  const std::vector<ScheduleEntry>& entries = iter.entries();
+  const std::size_t n = og.op_count();
+  const int machine_procs = spec_->machine.total_procs();
+
+  if (entries.size() != n) {
+    report->AddError(Check::kCoverage,
+                     "schedule has " + std::to_string(entries.size()) +
+                         " entries for " + std::to_string(n) + " ops");
+  }
+  std::vector<int> seen(n, 0);
+  std::vector<const ScheduleEntry*> by_op(n, nullptr);
+  for (const ScheduleEntry& e : entries) {
+    if (e.op < 0 || static_cast<std::size_t>(e.op) >= n) {
+      report->AddError(Check::kCoverage,
+                       "entry references op " + std::to_string(e.op) +
+                           " outside the op graph",
+                       e.op, e.proc, e.start);
+      continue;
+    }
+    const auto op_index = static_cast<std::size_t>(e.op);
+    if (++seen[op_index] > 1) {
+      report->AddError(Check::kCoverage,
+                       "op '" + og.op(e.op).label + "' scheduled " +
+                           std::to_string(seen[op_index]) + " times",
+                       e.op);
+    } else {
+      by_op[op_index] = &e;
+    }
+    if (!e.proc.valid() || e.proc.value() >= machine_procs) {
+      report->AddError(Check::kProcRange,
+                       "op '" + og.op(e.op).label + "' placed on P" +
+                           std::to_string(e.proc.value()) +
+                           " of a machine with " +
+                           std::to_string(machine_procs) + " processors",
+                       e.op, ProcId::Invalid(), e.start);
+    }
+    if (e.duration != og.op(e.op).cost) {
+      report->AddError(Check::kDuration,
+                       "op '" + og.op(e.op).label + "' has duration " +
+                           FormatTick(e.duration) + " but costs " +
+                           FormatTick(og.op(e.op).cost) +
+                           " under the chosen variant",
+                       e.op, e.proc, e.start);
+    }
+    if (e.start < 0) {
+      report->AddError(Check::kStartTime,
+                       "op '" + og.op(e.op).label +
+                           "' starts at a negative time",
+                       e.op, e.proc, e.start);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seen[i] == 0) {
+      report->AddError(Check::kCoverage,
+                       "op '" + og.op(static_cast<int>(i)).label +
+                           "' is never scheduled",
+                       static_cast<int>(i));
+    }
+  }
+
+  CheckIntraOverlap(entries, machine_procs, report);
+
+  // Precedence with communication charged per the problem's comm model.
+  for (const graph::OpEdge& edge : og.edges()) {
+    const ScheduleEntry* from = by_op[static_cast<std::size_t>(edge.from)];
+    const ScheduleEntry* to = by_op[static_cast<std::size_t>(edge.to)];
+    if (from == nullptr || to == nullptr) continue;  // coverage errored
+    if (!ProcInRange(*from, machine_procs) ||
+        !ProcInRange(*to, machine_procs)) {
+      continue;  // proc-range errored; SameNode needs valid processors
+    }
+    Tick ready = from->end();
+    if (from->proc != to->proc) {
+      ready += spec_->comm.Cost(
+          edge.bytes, spec_->machine.SameNode(from->proc, to->proc));
+    }
+    if (to->start < ready) {
+      report->AddError(
+          Check::kPrecedence,
+          "op '" + og.op(edge.to).label + "' starts at " +
+              FormatTick(to->start) + " but its input from '" +
+              og.op(edge.from).label + "' is ready at " + FormatTick(ready) +
+              (from->proc != to->proc ? " (communication charged)" : ""),
+          edge.to, to->proc, to->start);
+    }
+  }
+
+  Tick makespan = 0;
+  for (const ScheduleEntry& e : entries) {
+    makespan = std::max(makespan, e.end());
+  }
+  if (makespan != iter.Latency()) {
+    report->AddError(Check::kMakespan,
+                     "recomputed makespan " + FormatTick(makespan) +
+                         " != reported latency " + FormatTick(iter.Latency()),
+                     -1, ProcId::Invalid(), makespan);
+  }
+}
+
+void ScheduleVerifier::CheckLowerBounds(const IterationSchedule& iter,
+                                        const OpGraph& og,
+                                        VerifyReport* report) const {
+  // A latency below a lower bound is impossible for any legal schedule:
+  // even a schedule with precedence or overlap defects cannot legitimately
+  // beat the critical path, so the bounds stay on for those and act as a
+  // redundant corruption signal. They are only meaningless when ops are
+  // missing or durations don't match the cost model.
+  if (report->Has(Check::kCoverage) || report->Has(Check::kDuration)) {
+    return;
+  }
+  const std::size_t n = og.op_count();
+
+  // Communication-free critical path, recomputed with our own Kahn pass.
+  std::vector<Tick> longest(n, 0);  // longest cost-chain ending before op i
+  std::vector<int> indegree(n, 0);
+  std::deque<int> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    indegree[i] = static_cast<int>(og.preds(static_cast<int>(i)).size());
+    if (indegree[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  Tick critical_path = 0;
+  Tick total_work = 0;
+  while (!ready.empty()) {
+    const int u = ready.front();
+    ready.pop_front();
+    const Tick finish = longest[static_cast<std::size_t>(u)] + og.op(u).cost;
+    critical_path = std::max(critical_path, finish);
+    total_work += og.op(u).cost;
+    for (int v : og.succs(u)) {
+      auto& in = longest[static_cast<std::size_t>(v)];
+      in = std::max(in, finish);
+      if (--indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+  }
+
+  if (iter.Latency() < critical_path) {
+    report->AddError(Check::kLowerBound,
+                     "latency " + FormatTick(iter.Latency()) +
+                         " beats the critical-path lower bound " +
+                         FormatTick(critical_path) +
+                         " — impossible, the artifact is corrupt");
+  }
+  const int procs = spec_->machine.total_procs();
+  const Tick work_bound = (total_work + procs - 1) / procs;
+  if (iter.Latency() < work_bound) {
+    report->AddError(Check::kLowerBound,
+                     "latency " + FormatTick(iter.Latency()) +
+                         " beats the work/processor lower bound " +
+                         FormatTick(work_bound) +
+                         " — impossible, the artifact is corrupt");
+  }
+}
+
+VerifyReport ScheduleVerifier::VerifyIteration(
+    const IterationSchedule& iter) const {
+  VerifyReport report;
+  if (auto og = ExpandChecked(iter, &report)) {
+    CheckIteration(iter, *og, &report);
+    CheckLowerBounds(iter, *og, &report);
+  }
+  return report;
+}
+
+void ScheduleVerifier::CheckPipeline(const PipelinedSchedule& s,
+                                     VerifyReport* report) const {
+  if (s.procs <= 0) {
+    report->AddError(Check::kPipelineShape,
+                     "pipeline has a non-positive processor modulus " +
+                         std::to_string(s.procs));
+    return;
+  }
+  bool shape_ok = true;
+  if (s.procs > spec_->machine.total_procs()) {
+    report->AddError(Check::kPipelineShape,
+                     "pipeline rotates over " + std::to_string(s.procs) +
+                         " processors but the machine has " +
+                         std::to_string(spec_->machine.total_procs()));
+    shape_ok = false;
+  }
+  if (s.rotation < 0 || s.rotation >= s.procs) {
+    report->AddError(Check::kPipelineShape,
+                     "rotation " + std::to_string(s.rotation) +
+                         " outside [0, " + std::to_string(s.procs) + ")");
+    shape_ok = false;
+  }
+  if (s.initiation_interval < 1) {
+    report->AddError(Check::kPipelineShape,
+                     "initiation interval " +
+                         FormatTick(s.initiation_interval) + " below 1");
+    shape_ok = false;
+  }
+  for (const ScheduleEntry& e : s.iteration.entries()) {
+    if (e.proc.valid() && e.proc.value() >= s.procs) {
+      report->AddError(Check::kProcRange,
+                       "op " + std::to_string(e.op) + " on P" +
+                           std::to_string(e.proc.value()) +
+                           " outside the rotation modulus " +
+                           std::to_string(s.procs),
+                       e.op, ProcId::Invalid(), e.start);
+      shape_ok = false;
+    }
+  }
+  if (!shape_ok || s.iteration.entries().empty()) return;
+
+  if (auto collision = FirstCollision(s.iteration.entries(), s.procs,
+                                      s.rotation, s.initiation_interval)) {
+    report->Add(std::move(*collision));
+  }
+  const Tick min_ii =
+      MinConflictFreeInterval(s.iteration, s.procs, s.rotation);
+  if (s.initiation_interval < min_ii) {
+    report->AddError(Check::kPipelineCollision,
+                     "initiation interval " +
+                         FormatTick(s.initiation_interval) +
+                         " is below the minimal conflict-free interval " +
+                         FormatTick(min_ii) + " for rotation " +
+                         std::to_string(s.rotation) +
+                         ": a later iteration starts before an earlier one "
+                         "releases the processor");
+  } else if (options_.check_ii_minimal && s.initiation_interval > min_ii) {
+    report->AddWarning(Check::kPipelineSlack,
+                       "initiation interval " +
+                           FormatTick(s.initiation_interval) +
+                           " is not minimal for rotation " +
+                           std::to_string(s.rotation) + ": " +
+                           FormatTick(min_ii) + " is already conflict-free");
+  }
+}
+
+std::vector<std::size_t> ScheduleVerifier::CheckChannels(
+    const PipelinedSchedule& s, const OpGraph& og,
+    VerifyReport* report) const {
+  const graph::TaskGraph& g = spec_->graph;
+  std::vector<std::size_t> items(g.channel_count(), 0);
+
+  std::vector<const ScheduleEntry*> by_op(og.op_count(), nullptr);
+  for (const ScheduleEntry& e : s.iteration.entries()) {
+    if (e.op < 0 || static_cast<std::size_t>(e.op) >= og.op_count()) {
+      return {};  // coverage already errored; no reliable exit ops
+    }
+    by_op[static_cast<std::size_t>(e.op)] = &e;
+  }
+  const Tick ii = std::max<Tick>(1, s.initiation_interval);
+
+  for (std::size_t c = 0; c < g.channel_count(); ++c) {
+    const ChannelId cid(static_cast<ChannelId::underlying_type>(c));
+    const TaskId producer = g.producer(cid);
+    const auto& consumers = g.consumers(cid);
+    if (!producer.valid() || consumers.empty()) continue;  // graph output
+
+    const ScheduleEntry* put = by_op[static_cast<std::size_t>(
+        og.TaskExit(producer))];
+    if (put == nullptr) return {};
+    Tick released = put->end();
+    bool complete = true;
+    for (TaskId consumer : consumers) {
+      const ScheduleEntry* done = by_op[static_cast<std::size_t>(
+          og.TaskExit(consumer))];
+      if (done == nullptr) {
+        complete = false;
+        break;
+      }
+      released = std::max(released, done->end());
+    }
+    if (!complete) return {};
+    const Tick lifetime = released - put->end();
+    items[c] = static_cast<std::size_t>(lifetime / ii) + 1;
+
+    std::size_t capacity = options_.uniform_channel_capacity;
+    const std::string& name = g.channel(cid).name;
+    if (auto it = options_.channel_capacity.find(name);
+        it != options_.channel_capacity.end()) {
+      capacity = it->second;
+    }
+    if (capacity > 0 && items[c] > capacity) {
+      report->AddError(
+          Check::kChannelCapacity,
+          "steady state keeps " + std::to_string(items[c]) +
+              " items live in channel '" + name + "' but its capacity is " +
+              std::to_string(capacity) +
+              " — the producer would block (buffer-deadlock risk)");
+    }
+  }
+  return items;
+}
+
+VerifyReport ScheduleVerifier::Verify(const PipelinedSchedule& s) const {
+  VerifyReport report;
+  std::optional<OpGraph> og = ExpandChecked(s.iteration, &report);
+  if (og) {
+    CheckIteration(s.iteration, *og, &report);
+    CheckLowerBounds(s.iteration, *og, &report);
+  }
+  CheckPipeline(s, &report);
+  if (og && report.ok()) {
+    CheckChannels(s, *og, &report);
+  }
+  return report;
+}
+
+VerifyReport ScheduleVerifier::VerifyArtifact(
+    const PipelinedSchedule& schedule, Tick reported_min_latency,
+    const sched::OccupancyReport* reported_occupancy) const {
+  VerifyReport report = Verify(schedule);
+  // Cached artifacts are latency-mode solves, for which the served schedule
+  // attains the reported minimum exactly.
+  if (reported_min_latency != schedule.iteration.Latency()) {
+    report.AddError(Check::kArtifact,
+                    "artifact reports min latency " +
+                        FormatTick(reported_min_latency) +
+                        " but ships a schedule with latency " +
+                        FormatTick(schedule.iteration.Latency()));
+  }
+  if (reported_occupancy != nullptr && report.ok()) {
+    VerifyReport scratch;  // capacity findings already raised by Verify()
+    std::optional<OpGraph> og = ExpandChecked(schedule.iteration, &scratch);
+    const std::vector<std::size_t> items =
+        og ? CheckChannels(schedule, *og, &scratch)
+           : std::vector<std::size_t>{};
+    if (reported_occupancy->channels.size() !=
+        spec_->graph.channel_count()) {
+      report.AddError(Check::kArtifact,
+                      "artifact stores occupancy for " +
+                          std::to_string(reported_occupancy->channels.size()) +
+                          " channels; the problem has " +
+                          std::to_string(spec_->graph.channel_count()));
+    } else if (!items.empty()) {
+      std::size_t total = 0;
+      std::size_t required = 0;
+      for (const sched::ChannelOccupancy& occ :
+           reported_occupancy->channels) {
+        if (!occ.channel.valid() || occ.channel.index() >= items.size()) {
+          report.AddError(Check::kArtifact,
+                          "stored occupancy names unknown channel " +
+                              std::to_string(occ.channel.value()));
+          continue;
+        }
+        const std::size_t recomputed = items[occ.channel.index()];
+        if (occ.max_items != recomputed) {
+          report.AddError(Check::kArtifact,
+                          "stored occupancy for channel '" + occ.name +
+                              "' claims " + std::to_string(occ.max_items) +
+                              " live items; recomputed " +
+                              std::to_string(recomputed));
+        }
+        total += occ.max_items;
+        required = std::max(required, occ.max_items);
+      }
+      if (reported_occupancy->total_items != total ||
+          reported_occupancy->required_capacity != required) {
+        report.AddError(Check::kArtifact,
+                        "stored occupancy totals are inconsistent with "
+                        "their per-channel bounds");
+      }
+    }
+  }
+  return report;
+}
+
+VerifyReport ScheduleVerifier::VerifyStructure(const PipelinedSchedule& s) {
+  VerifyReport report;
+  if (s.procs <= 0) {
+    report.AddError(Check::kPipelineShape,
+                    "pipeline has a non-positive processor modulus " +
+                        std::to_string(s.procs));
+    return report;
+  }
+  bool shape_ok = true;
+  if (s.rotation < 0 || s.rotation >= s.procs) {
+    report.AddError(Check::kPipelineShape,
+                    "rotation " + std::to_string(s.rotation) +
+                        " outside [0, " + std::to_string(s.procs) + ")");
+    shape_ok = false;
+  }
+  if (s.initiation_interval < 1) {
+    report.AddError(Check::kPipelineShape,
+                    "initiation interval " +
+                        FormatTick(s.initiation_interval) + " below 1");
+    shape_ok = false;
+  }
+
+  const std::vector<ScheduleEntry>& entries = s.iteration.entries();
+  std::unordered_map<int, int> seen;
+  Tick makespan = 0;
+  for (const ScheduleEntry& e : entries) {
+    if (e.op < 0) {
+      report.AddError(Check::kCoverage,
+                      "entry references negative op id " +
+                          std::to_string(e.op),
+                      e.op, e.proc, e.start);
+    } else if (++seen[e.op] > 1) {
+      report.AddError(Check::kCoverage,
+                      "op " + std::to_string(e.op) + " scheduled " +
+                          std::to_string(seen[e.op]) + " times",
+                      e.op);
+    }
+    if (!e.proc.valid() || e.proc.value() >= s.procs) {
+      report.AddError(Check::kProcRange,
+                      "op " + std::to_string(e.op) + " on P" +
+                          std::to_string(e.proc.value()) +
+                          " outside the rotation modulus " +
+                          std::to_string(s.procs),
+                      e.op, ProcId::Invalid(), e.start);
+      shape_ok = false;
+    }
+    if (e.start < 0) {
+      report.AddError(Check::kStartTime,
+                      "op " + std::to_string(e.op) +
+                          " starts at a negative time",
+                      e.op, e.proc, e.start);
+    }
+    if (e.duration < 0) {
+      report.AddError(Check::kDuration,
+                      "op " + std::to_string(e.op) +
+                          " has a negative duration",
+                      e.op, e.proc, e.start);
+    }
+    makespan = std::max(makespan, e.end());
+  }
+  if (makespan != s.iteration.Latency()) {
+    report.AddError(Check::kMakespan,
+                    "recomputed makespan " + FormatTick(makespan) +
+                        " != reported latency " +
+                        FormatTick(s.iteration.Latency()));
+  }
+
+  CheckIntraOverlap(entries, s.procs, &report);
+  if (shape_ok) {
+    if (auto collision = FirstCollision(entries, s.procs, s.rotation,
+                                        s.initiation_interval)) {
+      report.Add(std::move(*collision));
+    }
+  }
+  return report;
+}
+
+bool ScheduleVerifier::HasCollision(const IterationSchedule& iter, int procs,
+                                    int rotation, Tick ii) {
+  return FirstCollision(iter.entries(), procs, rotation, ii).has_value();
+}
+
+}  // namespace ss::verify

@@ -1,0 +1,138 @@
+// Independent static schedule verifier.
+//
+// The branch-and-bound solver, the pipeline composer and the schedule cache
+// all assert properties of the schedules they produce; this module
+// re-derives and cross-checks those properties from the problem spec alone,
+// sharing none of the producing code's search state (docs/verify.md):
+//
+//   1. single-iteration legality — op coverage, processor exclusivity,
+//      precedence with communication charged per CommModel/MachineConfig,
+//      durations matching the chosen data-parallel variants, recomputed
+//      makespan == reported Latency();
+//   2. pipeline legality — no two iterations of the (II, rotation) replay
+//      ever collide on a processor, proven over the full hazard window
+//      (every inter-iteration distance d with d*II < latency — beyond it no
+//      overlap is geometrically possible — so the check is exhaustive, not
+//      sampled), and II is minimal (II-1 must produce a collision);
+//   3. STM feasibility — the pipelined in-flight item count per channel,
+//      bounded against configured channel capacities (buffer-deadlock risk);
+//   4. optimality spot-check — the schedule's latency must not beat the
+//      communication-free critical path or the work/processor bound;
+//      beating a lower bound is impossible and means the artifact is
+//      corrupt.
+//
+// Verification never aborts on malformed input: every defect becomes a
+// Finding (src/verify/finding.hpp) so corrupt cache entries are reported,
+// not crashed on.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/op_graph.hpp"
+#include "sched/occupancy.hpp"
+#include "sched/schedule.hpp"
+#include "verify/finding.hpp"
+
+namespace ss::stm {
+class ChannelTable;
+}  // namespace ss::stm
+
+namespace ss::verify {
+
+struct VerifyOptions {
+  /// Emit a kPipelineSlack warning when II-1 would also be collision-free
+  /// (the reported initiation interval is not minimal for its rotation).
+  bool check_ii_minimal = true;
+  /// Uniform per-channel in-flight bound (0 = unbounded): a schedule whose
+  /// steady state keeps more items live on any channel fails STM
+  /// feasibility.
+  std::size_t uniform_channel_capacity = 0;
+  /// Per-channel bounds by channel name; overrides the uniform bound.
+  /// 0 = unbounded.
+  std::unordered_map<std::string, std::size_t> channel_capacity;
+};
+
+/// Capacity bounds of every bounded channel in `table`, keyed by name —
+/// assign to VerifyOptions::channel_capacity to verify a schedule against a
+/// live STM configuration.
+std::unordered_map<std::string, std::size_t> ChannelCapacities(
+    const stm::ChannelTable& table);
+
+class ScheduleVerifier {
+ public:
+  /// `spec` must outlive the verifier. The (variant-independent) expansion
+  /// plan is built once, so one verifier can cheaply check many artifacts
+  /// of the same problem.
+  ScheduleVerifier(const graph::ProblemSpec& spec, RegimeId regime,
+                   VerifyOptions options = {});
+
+  /// Checks 1 and 4 for a bare iteration schedule.
+  VerifyReport VerifyIteration(const sched::IterationSchedule& iter) const;
+
+  /// All checks for a pipelined schedule.
+  VerifyReport Verify(const sched::PipelinedSchedule& schedule) const;
+
+  /// Verify() plus cross-checks of the stored artifact metadata: the
+  /// reported minimal latency must equal the schedule's recomputed latency
+  /// (and respect the lower bounds), and a stored occupancy report, when
+  /// given, must match the independently recomputed per-channel bounds.
+  VerifyReport VerifyArtifact(
+      const sched::PipelinedSchedule& schedule, Tick reported_min_latency,
+      const sched::OccupancyReport* reported_occupancy = nullptr) const;
+
+  /// Spec-free structural legality of a pipelined schedule: sane
+  /// (II, rotation, procs), unique non-negative ops, processors within the
+  /// rotation modulus, no intra-iteration overlap, no cross-iteration
+  /// collision. This is what snapshot loading runs before a problem spec is
+  /// available.
+  static VerifyReport VerifyStructure(const sched::PipelinedSchedule& s);
+
+  /// True when replaying `iter` every `ii` ticks rotated by `rotation`
+  /// (mod `procs`) makes two iterations contend for a processor. Exhaustive
+  /// over the hazard window. Entries with processors outside [0, procs) are
+  /// ignored (they are reported by the range checks instead).
+  static bool HasCollision(const sched::IterationSchedule& iter, int procs,
+                           int rotation, Tick ii);
+
+  /// Smallest initiation interval at which no instance of a later iteration
+  /// starts before a same-processor instance of an earlier iteration ends —
+  /// found by binary search over a monotone conflict predicate, an
+  /// independent derivation of PipelineComposer::MinInitiationInterval.
+  static Tick MinConflictFreeInterval(const sched::IterationSchedule& iter,
+                                      int procs, int rotation);
+
+ private:
+  /// Validates the variant vector against the cost model and expands the op
+  /// graph from the shared plan; on failure reports kVariants and returns
+  /// nullopt (graph-dependent checks are skipped).
+  std::optional<graph::OpGraph> ExpandChecked(
+      const sched::IterationSchedule& iter, VerifyReport* report) const;
+
+  void CheckIteration(const sched::IterationSchedule& iter,
+                      const graph::OpGraph& og, VerifyReport* report) const;
+  void CheckLowerBounds(const sched::IterationSchedule& iter,
+                        const graph::OpGraph& og, VerifyReport* report) const;
+  void CheckPipeline(const sched::PipelinedSchedule& s,
+                     VerifyReport* report) const;
+
+  /// Independently recomputed per-channel steady-state in-flight items
+  /// (0 for channels without consumers), enforcing capacity bounds as it
+  /// goes. Empty when the exit ops are not uniquely schedulable.
+  std::vector<std::size_t> CheckChannels(const sched::PipelinedSchedule& s,
+                                         const graph::OpGraph& og,
+                                         VerifyReport* report) const;
+
+  const graph::ProblemSpec* spec_;
+  graph::ExpandPlan plan_;
+  RegimeId regime_;
+  VerifyOptions options_;
+};
+
+}  // namespace ss::verify

@@ -4,6 +4,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -149,6 +151,73 @@ TEST_F(CliTest, ServeBenchReportsServiceStats) {
   EXPECT_NE(result.output.find("req/s"), std::string::npos);
   EXPECT_NE(result.output.find("solver invocations"), std::string::npos);
   EXPECT_NE(result.output.find("0 failed"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifySubcommandAuditsSnapshots) {
+  // Build a snapshot by serving a tiny problem, then audit it.
+  const std::string problem_path = "test_cli_verify.ssg";
+  const std::string snapshot_path = problem_path + ".sscache";
+  {
+    std::ofstream spec(problem_path);
+    spec << "machine nodes=1 procs_per_node=2\n"
+         << "comm intra_latency=5us intra_bandwidth=4000"
+         << " inter_latency=30us inter_bandwidth=100\n"
+         << "task src source\n"
+         << "task sink\n"
+         << "channel c bytes=100 producer=src consumers=sink\n"
+         << "regimes 1\n"
+         << "cost regime=0 task=src serial=10us\n"
+         << "cost regime=0 task=sink serial=20us\n";
+  }
+  auto bench = RunCommand(binary_ + " " + problem_path + " --serve-bench 1");
+  ASSERT_EQ(bench.exit_code, 0) << bench.output;
+
+  auto clean = RunCommand(binary_ + " verify " + problem_path + " " +
+                          snapshot_path);
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+  EXPECT_NE(clean.output.find("verified"), std::string::npos);
+
+  // Structurally corrupt the snapshot: pile every op onto proc 0 at t=0.
+  // The verifier must reject it and the audit must exit nonzero.
+  {
+    std::ifstream in(snapshot_path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream rewritten;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("op ", 0) == 0) {
+        long long op = 0, proc = 0, start = 0, duration = 0;
+        std::istringstream ls(line.substr(3));
+        ls >> op >> proc >> start >> duration;
+        rewritten << "op " << op << " 0 0 " << duration << "\n";
+      } else {
+        rewritten << line << "\n";
+      }
+    }
+    in.close();
+    std::ofstream out(snapshot_path, std::ios::trunc);
+    out << rewritten.str();
+  }
+  auto corrupt = RunCommand(binary_ + " verify " + problem_path + " " +
+                            snapshot_path);
+  EXPECT_NE(corrupt.exit_code, 0);
+  EXPECT_NE(corrupt.output.find("CORRUPT_ARTIFACT"), std::string::npos)
+      << corrupt.output;
+
+  std::remove(problem_path.c_str());
+  std::remove(snapshot_path.c_str());
+}
+
+TEST_F(CliTest, VerifySubcommandUsageErrors) {
+  auto missing = RunCommand(binary_ + " verify only_one_arg");
+  EXPECT_NE(missing.exit_code, 0);
+  EXPECT_NE(missing.output.find("verify needs a problem file"),
+            std::string::npos);
+
+  auto nofile =
+      RunCommand(binary_ + " verify /nonexistent.ssg /nonexistent.sscache");
+  EXPECT_NE(nofile.exit_code, 0);
+  EXPECT_NE(nofile.output.find("error"), std::string::npos);
 }
 
 }  // namespace

@@ -124,7 +124,9 @@ INSTANTIATE_TEST_SUITE_P(
                  "cost regime=0 task=a serial=1ms\n"
                  "cost regime=0 task=b serial=1ms\n",
                  "cycle"}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& param_info) {
+      return std::string(param_info.param.name);
+    });
 
 TEST(FormatProblemTest, RoundTrips) {
   auto spec = ParseProblem(kValidProblem);

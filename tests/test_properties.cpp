@@ -17,6 +17,7 @@
 #include "sched/optimal.hpp"
 #include "sched/pipeline.hpp"
 #include "sim/schedule_executor.hpp"
+#include "verify/verifier.hpp"
 
 namespace ss {
 namespace {
@@ -83,7 +84,30 @@ TEST_P(RandomDagProperty, OptimalSoundAndDominant) {
     EXPECT_EQ(s.Latency(), result->min_latency);
   }
 
-  // Property 4: the pipelined composition is collision-free (checked by
+  // Property 4: the independent static verifier (which shares no code with
+  // the solver's legality bookkeeping) agrees: the solver's artifact is
+  // clean, every collected iteration verifies, and so does the heuristic
+  // composition.
+  graph::ProblemSpec spec;
+  spec.graph = dag.graph;
+  spec.costs = dag.costs;
+  spec.machine = machine;
+  spec.comm = comm;
+  spec.regime_count = 1;
+  const verify::ScheduleVerifier verifier(spec, kR0);
+  const auto artifact_report =
+      verifier.VerifyArtifact(result->best, result->min_latency);
+  EXPECT_TRUE(artifact_report.clean()) << artifact_report.ToTable();
+  for (const auto& s : result->optimal) {
+    EXPECT_TRUE(verifier.VerifyIteration(s).ok())
+        << verifier.VerifyIteration(s).ToTable();
+  }
+  const auto composed =
+      PipelineComposer::Compose(*heuristic, machine.total_procs());
+  EXPECT_TRUE(verifier.Verify(composed).ok())
+      << verifier.Verify(composed).ToTable();
+
+  // Property 5: the pipelined composition is collision-free (checked by
   // the brute-force expander below) and its replay is uniform.
   sim::ScheduleRunOptions run;
   run.frames = 6;
@@ -153,6 +177,23 @@ TEST_P(PipelineMinimality, IntervalIsCollisionFreeAndTight) {
       EXPECT_TRUE(HasCollision(iter, procs, rotation, ii - 1, horizon))
           << "rotation " << rotation << " ii " << ii
           << " is not minimal";
+    }
+
+    // The static verifier re-derives the same minimal interval through a
+    // different algorithm (binary search over a pairwise congruence
+    // predicate instead of replay), and its window-based collision test
+    // agrees with the brute-force expansion around the minimum.
+    EXPECT_EQ(verify::ScheduleVerifier::MinConflictFreeInterval(iter, procs,
+                                                                rotation),
+              ii)
+        << "rotation " << rotation;
+    for (const Tick probe : {ii - 1, ii, ii + 1}) {
+      if (probe < 1) continue;
+      EXPECT_EQ(
+          verify::ScheduleVerifier::HasCollision(iter, procs, rotation,
+                                                 probe),
+          HasCollision(iter, procs, rotation, probe, horizon))
+          << "rotation " << rotation << " probe ii " << probe;
     }
   }
 }

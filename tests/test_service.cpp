@@ -6,7 +6,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -364,6 +367,114 @@ TEST(ScheduleCacheTest, SnapshotRoundTripPreservesEntries) {
   ScheduleCache bad(8, 2);
   EXPECT_EQ(bad.Load("/nonexistent/snapshot").code(),
             StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+/// Rewrites every snapshot line through `edit`; lines `edit` leaves alone
+/// pass through untouched.
+template <typename Edit>
+void TamperSnapshot(const std::string& path, Edit edit) {
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    edit(&line);
+    out << line << "\n";
+  }
+  in.close();
+  std::ofstream rewrite(path, std::ios::trunc);
+  rewrite << out.str();
+}
+
+TEST(ScheduleCacheTest, LoadRejectsStructurallyCorruptSnapshot) {
+  const std::string path = "test_cache_corrupt.sscache";
+  std::remove(path.c_str());
+  {
+    ScheduleService service(Opts(1, 64, path));
+    SolveRequest request;
+    request.problem = MakeProblem(3);
+    ASSERT_TRUE(service.Solve(request).ok());
+    service.Shutdown();
+  }
+  // Pile every op onto processor 0 at t=0: an unmistakable overlap that the
+  // spec-free structural pass must catch at load time.
+  TamperSnapshot(path, [](std::string* line) {
+    if (line->rfind("op ", 0) != 0) return;
+    long long op = 0, proc = 0, start = 0, duration = 0;
+    std::istringstream ls(line->substr(3));
+    ls >> op >> proc >> start >> duration;
+    std::ostringstream rewritten;
+    rewritten << "op " << op << " 0 0 " << duration;
+    *line = rewritten.str();
+  });
+
+  ScheduleCache cache(8, 2);
+  const Status status = cache.Load(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruptArtifact);
+  EXPECT_EQ(cache.size(), 0u) << "a corrupt snapshot must not half-load";
+
+  // The service survives the same snapshot: it warns, cold-starts, and
+  // re-solves rather than serving (or crashing on) the corrupt artifact.
+  ScheduleService service(Opts(1, 64, path));
+  EXPECT_EQ(service.cache().size(), 0u);
+  SolveRequest request;
+  request.problem = MakeProblem(3);
+  auto result = service.Solve(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(service.Stats().solves, 1u);
+  service.Shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleServiceTest, ServeTimeVerificationRejectsSubtleCorruption) {
+  const std::string path = "test_service_subtle.sscache";
+  std::remove(path.c_str());
+  auto problem = MakeProblem(5);
+  Tick honest_latency = 0;
+  {
+    ScheduleService service(Opts(1, 64, path));
+    SolveRequest request;
+    request.problem = problem;
+    auto result = service.Solve(request);
+    ASSERT_TRUE(result.ok());
+    honest_latency = (*result)->min_latency;
+    service.Shutdown();
+  }
+  // Inflate the recorded minimal latency by one tick. The snapshot stays
+  // structurally legal (entries untouched) so load accepts it; only the
+  // spec-aware serve-time cross-check can see the metadata no longer
+  // matches the schedule it describes.
+  TamperSnapshot(path, [honest_latency](std::string* line) {
+    if (line->rfind("entry ", 0) != 0) return;
+    const std::string needle =
+        " min_latency=" + std::to_string(honest_latency);
+    const auto pos = line->find(needle);
+    ASSERT_NE(pos, std::string::npos) << *line;
+    line->replace(pos, needle.size(),
+                  " min_latency=" + std::to_string(honest_latency + 1));
+  });
+
+  ScheduleService service(Opts(1, 64, path));
+  ASSERT_EQ(service.cache().size(), 1u);
+  SolveRequest request;
+  request.problem = problem;
+
+  auto rejected = service.Solve(request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kCorruptArtifact);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.corrupt_rejected, 1u);
+  EXPECT_EQ(service.cache().Stats().invalidations, 1u);
+  EXPECT_EQ(service.cache().size(), 0u) << "corrupt entry must be evicted";
+
+  // With the corrupt entry gone the next request re-solves honestly.
+  auto resolved = service.Solve(request);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ((*resolved)->min_latency, honest_latency);
+  EXPECT_EQ(service.Stats().solves, 1u);
+  service.Shutdown();
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,380 @@
+// Unit tests for the independent static schedule verifier (src/verify):
+// each check fires on a handcrafted violation and stays quiet on legal
+// schedules, findings carry their locus, and the report converts into the
+// typed kCorruptArtifact status.
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.hpp"
+#include "sched/occupancy.hpp"
+#include "sched/pipeline.hpp"
+#include "stm/channel_table.hpp"
+#include "verify/verifier.hpp"
+
+namespace ss {
+namespace {
+
+using graph::MachineConfig;
+using graph::TaskCost;
+using sched::IterationSchedule;
+using sched::PipelinedSchedule;
+using sched::ScheduleEntry;
+using verify::Check;
+using verify::ScheduleVerifier;
+using verify::VerifyReport;
+
+constexpr RegimeId kR0 = RegimeId(0);
+
+/// src -> mid -> sink chain; mid has a 2-chunk data-parallel variant; a
+/// nonzero communication latency so cross-processor edges are charged.
+graph::ProblemSpec ChainSpec() {
+  graph::ProblemSpec spec;
+  const TaskId src = spec.graph.AddTask("src", true);
+  const TaskId mid = spec.graph.AddTask("mid");
+  const TaskId sink = spec.graph.AddTask("sink");
+  const ChannelId c0 = spec.graph.AddChannel("frames", 1000);
+  const ChannelId c1 = spec.graph.AddChannel("feats", 1000);
+  spec.graph.SetProducer(src, c0);
+  spec.graph.AddConsumer(mid, c0);
+  spec.graph.SetProducer(mid, c1);
+  spec.graph.AddConsumer(sink, c1);
+  spec.costs.Set(kR0, src, TaskCost::Serial(10));
+  TaskCost mc = TaskCost::Serial(100);
+  mc.AddVariant(graph::DpVariant{"x2", 2, 40, 5, 5});
+  spec.costs.Set(kR0, mid, std::move(mc));
+  spec.costs.Set(kR0, sink, TaskCost::Serial(20));
+  spec.machine = MachineConfig::SingleNode(2);
+  spec.comm.intra_latency = 7;
+  spec.regime_count = 1;
+  return spec;
+}
+
+std::vector<VariantId> Serial3() { return {VariantId(0), VariantId(0),
+                                           VariantId(0)}; }
+
+/// The canonical legal serial schedule for ChainSpec on one processor:
+/// src [0,10) -> mid [10,110) -> sink [110,130), all on P0.
+IterationSchedule LegalIteration() {
+  return IterationSchedule(Serial3(),
+                           {ScheduleEntry{0, ProcId(0), 0, 10},
+                            ScheduleEntry{1, ProcId(0), 10, 100},
+                            ScheduleEntry{2, ProcId(0), 110, 20}});
+}
+
+PipelinedSchedule LegalPipeline() {
+  PipelinedSchedule ps;
+  ps.iteration = LegalIteration();
+  ps.initiation_interval = 130;
+  ps.rotation = 0;
+  ps.procs = 2;
+  return ps;
+}
+
+TEST(VerifyIterationTest, LegalScheduleIsClean) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  VerifyReport report = verifier.VerifyIteration(LegalIteration());
+  EXPECT_TRUE(report.clean()) << report.ToTable();
+}
+
+TEST(VerifyIterationTest, CatchesPrecedenceAndCommCharge) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  // mid hops to P1 but starts right at src's end — the cross-processor
+  // communication charge for the 1000-byte channel is dropped.
+  IterationSchedule iter(Serial3(),
+                         {ScheduleEntry{0, ProcId(0), 0, 10},
+                          ScheduleEntry{1, ProcId(1), 10, 100},
+                          ScheduleEntry{2, ProcId(1), 110, 20}});
+  VerifyReport report = verifier.VerifyIteration(iter);
+  EXPECT_TRUE(report.Has(Check::kPrecedence)) << report.ToTable();
+  EXPECT_FALSE(report.ok());
+  // The same placement is legal once the charge is paid.
+  const Tick charge = spec.comm.Cost(1000, true);
+  IterationSchedule paid(Serial3(),
+                         {ScheduleEntry{0, ProcId(0), 0, 10},
+                          ScheduleEntry{1, ProcId(1), 10 + charge, 100},
+                          ScheduleEntry{2, ProcId(1), 110 + charge, 20}});
+  EXPECT_TRUE(verifier.VerifyIteration(paid).clean());
+}
+
+TEST(VerifyIterationTest, CatchesProcessorOverlap) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  IterationSchedule iter(Serial3(),
+                         {ScheduleEntry{0, ProcId(0), 0, 10},
+                          ScheduleEntry{1, ProcId(0), 10, 100},
+                          ScheduleEntry{2, ProcId(0), 50, 20}});
+  VerifyReport report = verifier.VerifyIteration(iter);
+  EXPECT_TRUE(report.Has(Check::kOverlap)) << report.ToTable();
+}
+
+TEST(VerifyIterationTest, CatchesDurationMismatch) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  IterationSchedule iter(Serial3(),
+                         {ScheduleEntry{0, ProcId(0), 0, 10},
+                          ScheduleEntry{1, ProcId(0), 10, 90},
+                          ScheduleEntry{2, ProcId(0), 110, 20}});
+  VerifyReport report = verifier.VerifyIteration(iter);
+  EXPECT_TRUE(report.Has(Check::kDuration)) << report.ToTable();
+}
+
+TEST(VerifyIterationTest, CatchesVariantDefects) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  // Variant id out of range for mid (it has 2 variants).
+  IterationSchedule bad_id({VariantId(0), VariantId(5), VariantId(0)},
+                           LegalIteration().entries());
+  EXPECT_TRUE(verifier.VerifyIteration(bad_id).Has(Check::kVariants));
+  // Wrong vector length.
+  IterationSchedule short_vec({VariantId(0)}, LegalIteration().entries());
+  EXPECT_TRUE(verifier.VerifyIteration(short_vec).Has(Check::kVariants));
+  // Regime outside the problem.
+  ScheduleVerifier wrong_regime(spec, RegimeId(3));
+  EXPECT_TRUE(
+      wrong_regime.VerifyIteration(LegalIteration()).Has(Check::kVariants));
+}
+
+TEST(VerifyIterationTest, CatchesProcOutOfRangeAndNegativeStart) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  IterationSchedule bad_proc(Serial3(),
+                             {ScheduleEntry{0, ProcId(5), 0, 10},
+                              ScheduleEntry{1, ProcId(0), 10, 100},
+                              ScheduleEntry{2, ProcId(0), 110, 20}});
+  EXPECT_TRUE(verifier.VerifyIteration(bad_proc).Has(Check::kProcRange));
+
+  IterationSchedule negative(Serial3(),
+                             {ScheduleEntry{0, ProcId(0), -5, 10},
+                              ScheduleEntry{1, ProcId(0), 10, 100},
+                              ScheduleEntry{2, ProcId(0), 110, 20}});
+  EXPECT_TRUE(verifier.VerifyIteration(negative).Has(Check::kStartTime));
+}
+
+TEST(VerifyIterationTest, CatchesMissingAndDuplicateOps) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  IterationSchedule missing(Serial3(),
+                            {ScheduleEntry{0, ProcId(0), 0, 10},
+                             ScheduleEntry{1, ProcId(0), 10, 100}});
+  EXPECT_TRUE(verifier.VerifyIteration(missing).Has(Check::kCoverage));
+
+  IterationSchedule dup(Serial3(),
+                        {ScheduleEntry{0, ProcId(0), 0, 10},
+                         ScheduleEntry{1, ProcId(0), 10, 100},
+                         ScheduleEntry{2, ProcId(1), 110, 20},
+                         ScheduleEntry{2, ProcId(0), 110, 20}});
+  EXPECT_TRUE(verifier.VerifyIteration(dup).Has(Check::kCoverage));
+}
+
+TEST(VerifyIterationTest, LowerBoundFlagsImpossiblyFastSchedule) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  // All three ops start immediately: coverage and durations are intact, but
+  // the 100-tick makespan beats the 130-tick critical path — impossible for
+  // any legal schedule, so the artifact is corrupt (it also violates
+  // precedence, which is how it got that fast).
+  IterationSchedule compressed(Serial3(),
+                               {ScheduleEntry{0, ProcId(0), 0, 10},
+                                ScheduleEntry{1, ProcId(1), 0, 100},
+                                ScheduleEntry{2, ProcId(0), 10, 20}});
+  VerifyReport report = verifier.VerifyIteration(compressed);
+  EXPECT_TRUE(report.Has(Check::kLowerBound)) << report.ToTable();
+  EXPECT_TRUE(report.Has(Check::kPrecedence));
+}
+
+// ---- pipeline checks -------------------------------------------------------
+
+TEST(VerifyPipelineTest, LegalPipelineIsClean) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  VerifyReport report = verifier.Verify(LegalPipeline());
+  EXPECT_TRUE(report.clean()) << report.ToTable();
+}
+
+TEST(VerifyPipelineTest, ShrunkIntervalCollides) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  PipelinedSchedule ps = LegalPipeline();
+  ps.initiation_interval -= 1;
+  VerifyReport report = verifier.Verify(ps);
+  EXPECT_TRUE(report.Has(Check::kPipelineCollision)) << report.ToTable();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifyPipelineTest, GrownIntervalWarnsSlack) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  PipelinedSchedule ps = LegalPipeline();
+  ps.initiation_interval += 37;
+  VerifyReport report = verifier.Verify(ps);
+  EXPECT_TRUE(report.Has(Check::kPipelineSlack)) << report.ToTable();
+  EXPECT_TRUE(report.ok());  // slack is a warning: legal, just not minimal
+  // And the warning is suppressible.
+  verify::VerifyOptions options;
+  options.check_ii_minimal = false;
+  ScheduleVerifier lax(spec, kR0, options);
+  EXPECT_TRUE(lax.Verify(ps).clean());
+}
+
+TEST(VerifyPipelineTest, ShapeDefects) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  PipelinedSchedule ps = LegalPipeline();
+  ps.rotation = 5;
+  EXPECT_TRUE(verifier.Verify(ps).Has(Check::kPipelineShape));
+  ps = LegalPipeline();
+  ps.procs = 3;  // machine only has 2
+  EXPECT_TRUE(verifier.Verify(ps).Has(Check::kPipelineShape));
+  ps = LegalPipeline();
+  ps.initiation_interval = 0;
+  EXPECT_TRUE(verifier.Verify(ps).Has(Check::kPipelineShape));
+  ps = LegalPipeline();
+  ps.procs = 1;  // entries on P0 only, still legal; modulus 1 forces ii
+  ps.rotation = 0;
+  EXPECT_TRUE(verifier.Verify(ps).clean());
+}
+
+TEST(VerifyPipelineTest, MinConflictFreeIntervalMatchesComposer) {
+  const IterationSchedule iter = LegalIteration();
+  for (int procs = 1; procs <= 3; ++procs) {
+    for (int rotation = 0; rotation < procs; ++rotation) {
+      EXPECT_EQ(
+          ScheduleVerifier::MinConflictFreeInterval(iter, procs, rotation),
+          sched::PipelineComposer::MinInitiationInterval(iter, procs,
+                                                         rotation))
+          << "procs " << procs << " rotation " << rotation;
+    }
+  }
+}
+
+TEST(VerifyPipelineTest, RotationSpreadsIterationsAcrossProcs) {
+  // With rotation 1 over 2 procs a same-proc clash only happens at even
+  // iteration distances, so the minimal interval is half the latency.
+  const IterationSchedule iter = LegalIteration();
+  EXPECT_EQ(ScheduleVerifier::MinConflictFreeInterval(iter, 2, 1), 65);
+  EXPECT_FALSE(ScheduleVerifier::HasCollision(iter, 2, 1, 65));
+  EXPECT_TRUE(ScheduleVerifier::HasCollision(iter, 2, 1, 64));
+}
+
+// ---- channel capacity ------------------------------------------------------
+
+TEST(VerifyChannelTest, BoundsInFlightItemsAgainstCapacity) {
+  const auto spec = ChainSpec();
+  // Rotation 1 with ii=65 keeps two frames in flight on channel "frames"
+  // (lifetime 100 spans two initiations).
+  PipelinedSchedule ps;
+  ps.iteration = LegalIteration();
+  ps.initiation_interval = 65;
+  ps.rotation = 1;
+  ps.procs = 2;
+  ScheduleVerifier unbounded(spec, kR0);
+  EXPECT_TRUE(unbounded.Verify(ps).clean()) << unbounded.Verify(ps).ToTable();
+
+  verify::VerifyOptions options;
+  options.uniform_channel_capacity = 1;
+  ScheduleVerifier bounded(spec, kR0, options);
+  VerifyReport report = bounded.Verify(ps);
+  EXPECT_TRUE(report.Has(Check::kChannelCapacity)) << report.ToTable();
+
+  // A per-channel override relaxes the bound for the hot channel only.
+  options.channel_capacity["frames"] = 2;
+  ScheduleVerifier relaxed(spec, kR0, options);
+  EXPECT_TRUE(relaxed.Verify(ps).clean());
+}
+
+TEST(VerifyChannelTest, ChannelCapacitiesReadsTable) {
+  stm::ChannelTable table;
+  stm::ChannelOptions bounded;
+  bounded.capacity = 3;
+  ASSERT_TRUE(table.Create("frames", bounded).ok());
+  ASSERT_TRUE(table.Create("feats").ok());  // unbounded
+  auto caps = verify::ChannelCapacities(table);
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_EQ(caps.at("frames"), 3u);
+}
+
+// ---- artifact cross-checks -------------------------------------------------
+
+TEST(VerifyArtifactTest, CrossChecksReportedLatencyAndOccupancy) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  const PipelinedSchedule ps = LegalPipeline();
+  graph::OpGraph og = graph::OpGraph::Expand(spec.graph, spec.costs, kR0,
+                                             ps.iteration.variants());
+  const sched::OccupancyReport occupancy =
+      sched::AnalyzeOccupancy(spec.graph, og, ps);
+
+  EXPECT_TRUE(verifier.VerifyArtifact(ps, 130, &occupancy).clean());
+
+  // Tampered minimal latency.
+  EXPECT_TRUE(verifier.VerifyArtifact(ps, 120, &occupancy)
+                  .Has(Check::kArtifact));
+
+  // Tampered per-channel bound.
+  sched::OccupancyReport tampered = occupancy;
+  tampered.channels.at(0).max_items += 1;
+  tampered.total_items += 1;
+  EXPECT_TRUE(
+      verifier.VerifyArtifact(ps, 130, &tampered).Has(Check::kArtifact));
+
+  // Inconsistent totals.
+  sched::OccupancyReport bad_total = occupancy;
+  bad_total.total_items += 5;
+  EXPECT_TRUE(
+      verifier.VerifyArtifact(ps, 130, &bad_total).Has(Check::kArtifact));
+}
+
+// ---- structural (spec-free) pass ------------------------------------------
+
+TEST(VerifyStructureTest, AcceptsLegalAndFlagsDefects) {
+  EXPECT_TRUE(ScheduleVerifier::VerifyStructure(LegalPipeline()).clean());
+
+  PipelinedSchedule ps = LegalPipeline();
+  ps.iteration = IterationSchedule(Serial3(),
+                                   {ScheduleEntry{0, ProcId(0), 0, 10},
+                                    ScheduleEntry{1, ProcId(0), 5, 100},
+                                    ScheduleEntry{2, ProcId(0), 110, 20}});
+  EXPECT_TRUE(ScheduleVerifier::VerifyStructure(ps).Has(Check::kOverlap));
+
+  ps = LegalPipeline();
+  ps.rotation = -1;
+  EXPECT_TRUE(
+      ScheduleVerifier::VerifyStructure(ps).Has(Check::kPipelineShape));
+
+  ps = LegalPipeline();
+  ps.procs = 1;  // entries on P0 fit, but ii 130 == latency stays legal
+  EXPECT_TRUE(ScheduleVerifier::VerifyStructure(ps).clean());
+  ps.initiation_interval = 129;
+  EXPECT_TRUE(ScheduleVerifier::VerifyStructure(ps)
+                  .Has(Check::kPipelineCollision));
+}
+
+// ---- findings & status -----------------------------------------------------
+
+TEST(VerifyReportTest, RendersAndConvertsToTypedStatus) {
+  const auto spec = ChainSpec();
+  ScheduleVerifier verifier(spec, kR0);
+  PipelinedSchedule ps = LegalPipeline();
+  ps.initiation_interval = 1;
+  VerifyReport report = verifier.Verify(ps);
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.error_count(), 1u);
+  EXPECT_NE(report.ToTable().find("pipeline-collision"), std::string::npos);
+  const Status status = report.ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kCorruptArtifact);
+  EXPECT_NE(status.ToString().find("CORRUPT_ARTIFACT"), std::string::npos);
+
+  EXPECT_TRUE(VerifyReport().ToStatus().ok());
+
+  verify::Finding f;
+  f.check = Check::kPrecedence;
+  f.op = 3;
+  f.proc = ProcId(1);
+  f.tick = 250;
+  f.message = "late";
+  EXPECT_EQ(f.ToString(), "ERROR precedence op=3 proc=P1 t=250us: late");
+}
+
+}  // namespace
+}  // namespace ss

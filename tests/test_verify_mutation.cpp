@@ -1,0 +1,299 @@
+// Mutation tests for the static schedule verifier: known-good solver
+// outputs are perturbed one defect at a time (shifted starts, swapped
+// processors, dropped communication charges, shrunk initiation intervals,
+// tampered rotations, ...) and the verifier must flag every mutant with the
+// matching check while passing the unmutated originals. Each mutation class
+// tracks how often it was exercised and caught; the suite demands a 100%
+// catch rate and at least one exercise per class across the seed sweep.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/op_graph.hpp"
+#include "graph/synthetic.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/optimal.hpp"
+#include "sched/pipeline.hpp"
+#include "verify/verifier.hpp"
+
+namespace ss {
+namespace {
+
+using graph::CommModel;
+using graph::MachineConfig;
+using graph::OpGraph;
+using sched::IterationSchedule;
+using sched::PipelineComposer;
+using sched::PipelinedSchedule;
+using sched::ScheduleEntry;
+using verify::Check;
+using verify::ScheduleVerifier;
+using verify::VerifyReport;
+
+constexpr RegimeId kR0 = RegimeId(0);
+
+/// Per-class exercised/caught accounting. A class that is exercised but not
+/// caught is a verifier escape; a class never exercised across the sweep
+/// means the mutation generator lost coverage.
+struct Tally {
+  int exercised = 0;
+  int caught = 0;
+};
+
+PipelinedSchedule WithEntries(const PipelinedSchedule& s,
+                              std::vector<ScheduleEntry> entries) {
+  PipelinedSchedule m = s;
+  m.iteration = IterationSchedule(s.iteration.variants(), std::move(entries));
+  return m;
+}
+
+/// Runs one mutant through the verifier and records whether `expected`
+/// fired. Every mutant must be an error (ok() == false) unless
+/// `warning_only`.
+void Score(const ScheduleVerifier& verifier, const PipelinedSchedule& mutant,
+           Check expected, bool warning_only, Tally* tally,
+           const char* what) {
+  tally->exercised += 1;
+  const VerifyReport report = verifier.Verify(mutant);
+  const bool flagged = report.Has(expected);
+  if (flagged) tally->caught += 1;
+  EXPECT_TRUE(flagged) << what << ": expected finding did not fire\n"
+                       << report.ToTable();
+  if (warning_only) {
+    EXPECT_TRUE(report.ok()) << what << ": should stay serveable\n"
+                             << report.ToTable();
+  } else {
+    EXPECT_FALSE(report.ok()) << what << ": mutant not rejected";
+  }
+}
+
+class MutationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationSweep, VerifierCatchesEveryMutantClass) {
+  std::map<std::string, Tally> tally;
+  int solved = 0;
+
+  for (int seed = 0; seed < 12; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 6151 +
+            static_cast<std::uint64_t>(GetParam()) + 101);
+    graph::SyntheticOptions gen;
+    gen.layers = 2 + static_cast<int>(rng.NextBelow(2));
+    graph::SyntheticProblem dag = [&] {
+      switch (seed % 3) {
+        case 0: return graph::MakeChain(rng, 3 + gen.layers, gen);
+        case 1: return graph::MakeForkJoin(
+            rng, 2 + static_cast<int>(rng.NextBelow(3)), gen);
+        default: return graph::MakeLayered(rng, gen);
+      }
+    }();
+    ASSERT_TRUE(dag.graph.Validate().ok()) << dag.family;
+
+    const MachineConfig machine =
+        MachineConfig::SingleNode(2 + static_cast<int>(rng.NextBelow(3)));
+    CommModel comm;
+    comm.intra_latency = 17;  // nonzero so dropped charges are observable
+
+    sched::OptimalScheduler optimal(dag.graph, dag.costs, comm, machine);
+    sched::OptimalOptions opts;
+    opts.max_nodes = 5'000'000;
+    auto result = optimal.Schedule(kR0, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (result->budget_exhausted) continue;
+    solved += 1;
+
+    graph::ProblemSpec spec;
+    spec.graph = dag.graph;
+    spec.costs = dag.costs;
+    spec.machine = machine;
+    spec.comm = comm;
+    spec.regime_count = 1;
+    ScheduleVerifier verifier(spec, kR0);
+
+    const PipelinedSchedule& good = result->best;
+    const std::vector<ScheduleEntry> entries = good.iteration.entries();
+    const OpGraph og = OpGraph::Expand(dag.graph, dag.costs, kR0,
+                                       good.iteration.variants());
+
+    // The unmutated solver output must verify clean, including its stored
+    // minimal latency; a list-scheduler composition must also pass.
+    ASSERT_TRUE(
+        verifier.VerifyArtifact(good, result->min_latency).clean())
+        << verifier.VerifyArtifact(good, result->min_latency).ToTable();
+    auto heuristic =
+        sched::ListScheduler(comm, machine)
+            .ScheduleBestVariant(dag.graph, dag.costs, kR0);
+    ASSERT_TRUE(heuristic.ok());
+    const PipelinedSchedule composed = PipelineComposer::Compose(
+        *heuristic, machine.total_procs());
+    EXPECT_TRUE(verifier.Verify(composed).ok())
+        << verifier.Verify(composed).ToTable();
+
+    std::vector<const ScheduleEntry*> by_op(og.op_count(), nullptr);
+    for (const auto& e : entries) by_op[static_cast<std::size_t>(e.op)] = &e;
+
+    // Class 1: start-shift — a consumer starts alongside its producer.
+    for (const auto& edge : og.edges()) {
+      const ScheduleEntry* from = by_op[static_cast<std::size_t>(edge.from)];
+      if (from->duration <= 0) continue;
+      auto mutated = entries;
+      for (auto& e : mutated) {
+        if (e.op == edge.to) e.start = from->start;
+      }
+      Score(verifier, WithEntries(good, std::move(mutated)),
+            Check::kPrecedence, false, &tally["start-shift"],
+            "start-shift");
+      break;
+    }
+
+    // Class 2: proc-collide — move an op onto a processor that is busy.
+    for (const auto& a : entries) {
+      if (a.duration <= 0) continue;
+      for (const auto& b : entries) {
+        if (b.op == a.op || b.proc == a.proc) continue;
+        auto mutated = entries;
+        for (auto& e : mutated) {
+          if (e.op == b.op) {
+            e.proc = a.proc;
+            e.start = a.start;
+            e.duration = a.duration > 0 ? a.duration : e.duration;
+          }
+        }
+        Score(verifier, WithEntries(good, std::move(mutated)),
+              Check::kOverlap, false, &tally["proc-collide"],
+              "proc-collide");
+        goto collide_done;
+      }
+    }
+  collide_done:
+
+    // Class 3: comm-drop — schedule a cross-processor consumer as if the
+    // communication were free.
+    for (const auto& edge : og.edges()) {
+      const ScheduleEntry* from = by_op[static_cast<std::size_t>(edge.from)];
+      const ScheduleEntry* to = by_op[static_cast<std::size_t>(edge.to)];
+      if (from->proc == to->proc) continue;
+      const Tick charge = comm.Cost(
+          edge.bytes, machine.SameNode(from->proc, to->proc));
+      if (charge <= 0 || to->start < from->end() + charge) continue;
+      auto mutated = entries;
+      for (auto& e : mutated) {
+        if (e.op == edge.to) e.start = from->end();
+      }
+      // Collapsing the charge may also create an overlap; the precedence
+      // check must fire regardless.
+      auto mutant = WithEntries(good, std::move(mutated));
+      Score(verifier, mutant, Check::kPrecedence, false,
+            &tally["comm-drop"], "comm-drop");
+      break;
+    }
+
+    // Class 4: ii-shrink — report a faster pipeline than legal.
+    if (good.initiation_interval > 1) {
+      PipelinedSchedule m = good;
+      m.initiation_interval -= 1;
+      Score(verifier, m, Check::kPipelineCollision, false,
+            &tally["ii-shrink"], "ii-shrink");
+    }
+
+    // Class 5: ii-grow — legal but not minimal; must warn, stay serveable.
+    {
+      PipelinedSchedule m = good;
+      m.initiation_interval += 1;
+      Score(verifier, m, Check::kPipelineSlack, true, &tally["ii-grow"],
+            "ii-grow");
+    }
+
+    // Class 6: rotation-tamper — replay under a different rotation. Only a
+    // mutant whose new minimal interval exceeds the recorded II is
+    // guaranteed to collide (oracle: the composer's own derivation).
+    if (good.procs > 1) {
+      PipelinedSchedule m = good;
+      m.rotation = (m.rotation + 1) % m.procs;
+      const Tick min_ii = PipelineComposer::MinInitiationInterval(
+          m.iteration, m.procs, m.rotation);
+      if (min_ii > m.initiation_interval) {
+        Score(verifier, m, Check::kPipelineCollision, false,
+              &tally["rotation-tamper"], "rotation-tamper");
+      }
+    }
+
+    // Class 7: duration-tamper — an entry claims the wrong variant cost.
+    for (const auto& a : entries) {
+      auto mutated = entries;
+      for (auto& e : mutated) {
+        if (e.op == a.op) e.duration += 3;
+      }
+      Score(verifier, WithEntries(good, std::move(mutated)),
+            Check::kDuration, false, &tally["duration-tamper"],
+            "duration-tamper");
+      break;
+    }
+
+    // Class 8: proc-range — an entry escapes the rotation modulus.
+    {
+      auto mutated = entries;
+      mutated.front().proc = ProcId(good.procs);
+      Score(verifier, WithEntries(good, std::move(mutated)),
+            Check::kProcRange, false, &tally["proc-range"], "proc-range");
+    }
+
+    // Class 9: entry-drop — an op vanishes from the schedule.
+    {
+      auto mutated = entries;
+      mutated.pop_back();
+      Score(verifier, WithEntries(good, std::move(mutated)),
+            Check::kCoverage, false, &tally["entry-drop"], "entry-drop");
+    }
+
+    // Class 10: variant-tamper — the variant vector points outside the
+    // cost model.
+    {
+      std::vector<VariantId> variants = good.iteration.variants();
+      const TaskId t0 = TaskId(0);
+      variants[0] = VariantId(static_cast<int>(
+          dag.costs.Get(kR0, t0).variant_count()));
+      PipelinedSchedule m = good;
+      m.iteration = IterationSchedule(std::move(variants),
+                                      good.iteration.entries());
+      Score(verifier, m, Check::kVariants, false, &tally["variant-tamper"],
+            "variant-tamper");
+    }
+
+    // Class 11: metadata-tamper — stored minimal latency disagrees with
+    // the schedule (the VerifyArtifact cross-check, not Verify).
+    {
+      tally["metadata-tamper"].exercised += 1;
+      const VerifyReport report =
+          verifier.VerifyArtifact(good, result->min_latency + 1);
+      if (report.Has(Check::kArtifact)) tally["metadata-tamper"].caught += 1;
+      EXPECT_TRUE(report.Has(Check::kArtifact)) << report.ToTable();
+      EXPECT_FALSE(report.ok());
+    }
+  }
+
+  if (solved == 0) GTEST_SKIP() << "every seed hit the search budget";
+
+  // 100% catch rate on every class, and every class exercised at least
+  // once (>= 5 classes required by the oracle contract; we track 11).
+  std::size_t exercised_classes = 0;
+  for (const auto& [name, t] : tally) {
+    if (t.exercised > 0) exercised_classes += 1;
+    EXPECT_EQ(t.caught, t.exercised) << "verifier escape in class " << name;
+  }
+  EXPECT_GE(exercised_classes, 5u);
+  EXPECT_GT(tally["ii-grow"].exercised, 0);
+  EXPECT_GT(tally["duration-tamper"].exercised, 0);
+  EXPECT_GT(tally["proc-range"].exercised, 0);
+  EXPECT_GT(tally["entry-drop"].exercised, 0);
+  EXPECT_GT(tally["variant-tamper"].exercised, 0);
+  EXPECT_GT(tally["metadata-tamper"].exercised, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep, ::testing::Range(0, 2));
+
+}  // namespace
+}  // namespace ss

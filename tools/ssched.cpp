@@ -9,6 +9,8 @@
 //          [--no-rotation] [--gantt-ms N] [--dot]
 //   ssched --demo   # built-in color tracker problem, regime = 8 models
 //   ssched --demo --serve-bench 8   # hammer the schedule service
+//   ssched verify <file.ssg> <file.sscache>   # audit a cache snapshot
+//                                             # with the static verifier
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +29,7 @@
 #include "sched/pipeline.hpp"
 #include "service/schedule_cache.hpp"
 #include "service/schedule_service.hpp"
+#include "verify/verifier.hpp"
 #include "sim/schedule_executor.hpp"
 #include "sim/trace.hpp"
 #include "tracker/costs.hpp"
@@ -41,6 +44,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s <file.ssg> [options]\n"
       "       %s --demo [options]\n"
+      "       ssched verify <file.ssg> <file.sscache> [--regime N]\n"
+      "                     [--capacity N]   # audit snapshot artifacts\n"
       "options:\n"
       "  --regime N     schedule regime N (default 0)\n"
       "  --heuristic    use the critical-path list scheduler instead of\n"
@@ -157,6 +162,100 @@ int ServeBench(graph::ProblemSpec spec, const std::string& snapshot_source,
   return failures.load() == 0 ? 0 : 1;
 }
 
+/// `ssched verify` implementation: load a problem spec and a cache
+/// snapshot, then run every stored artifact through the independent static
+/// verifier (src/verify). Exit 0 only when every artifact verifies with no
+/// errors. The snapshot's fingerprint keys are one-way, so the spec an
+/// entry was solved for cannot be recovered from the key — each entry is
+/// checked against the given problem, using its stored regime unless
+/// --regime overrides it.
+int VerifyCommand(int argc, char** argv) {
+  std::vector<std::string> paths;
+  int regime_override = -1;
+  int capacity = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--regime") {
+      if (!ParseIntArg("--regime", next(), &regime_override) ||
+          regime_override < 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--capacity") {
+      if (!ParseIntArg("--capacity", next(), &capacity) || capacity < 0) {
+        std::fprintf(stderr,
+                     "error: --capacity expects a bound >= 0 (0 = none)\n");
+        return Usage(argv[0]);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "error: verify needs a problem file and a snapshot\n");
+    return Usage(argv[0]);
+  }
+
+  auto loaded = graph::LoadProblemFile(paths[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const graph::ProblemSpec spec = std::move(*loaded);
+
+  service::ScheduleCache cache(/*capacity=*/1 << 20);
+  Status snapshot = cache.Load(paths[1]);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "error: %s\n", snapshot.ToString().c_str());
+    return 1;
+  }
+  const auto entries = cache.Entries();
+  std::printf("%s: %zu artifact(s)\n", paths[1].c_str(), entries.size());
+
+  verify::VerifyOptions vopts;
+  vopts.uniform_channel_capacity = static_cast<std::size_t>(capacity);
+  std::size_t failed = 0;
+  for (const auto& entry : entries) {
+    const RegimeId regime =
+        regime_override >= 0 ? RegimeId(regime_override) : entry->regime;
+    std::printf("\nartifact %s  regime %d  latency %s  II %s  rotation %d\n",
+                entry->key.ToHex().c_str(), regime.value(),
+                FormatTick(entry->schedule.iteration.Latency()).c_str(),
+                FormatTick(entry->schedule.initiation_interval).c_str(),
+                entry->schedule.rotation);
+    if (!regime.valid() ||
+        static_cast<std::size_t>(regime.index()) >= spec.regime_count) {
+      std::printf("  ERROR: regime %d not in the problem's %zu regime(s) "
+                  "(pre-v2 snapshot? pass --regime)\n",
+                  regime.value(), spec.regime_count);
+      ++failed;
+      continue;
+    }
+    verify::ScheduleVerifier verifier(spec, regime, vopts);
+    verify::VerifyReport report = verifier.VerifyArtifact(
+        entry->schedule, entry->min_latency, &entry->occupancy);
+    if (report.clean()) {
+      std::printf("  verified clean\n");
+    } else {
+      std::printf("%s", report.ToTable().c_str());
+    }
+    if (!report.ok()) ++failed;
+  }
+  if (failed > 0) {
+    std::printf("\n%zu of %zu artifact(s) FAILED verification\n", failed,
+                entries.size());
+    return 1;
+  }
+  std::printf("\nall %zu artifact(s) verified\n", entries.size());
+  return 0;
+}
+
 graph::ProblemSpec DemoProblem() {
   graph::ProblemSpec spec;
   tracker::TrackerGraph tg = tracker::BuildTrackerGraph();
@@ -171,6 +270,9 @@ graph::ProblemSpec DemoProblem() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
+    return VerifyCommand(argc - 1, argv + 1);
+  }
   std::string path;
   bool demo = false;
   bool heuristic = false;
