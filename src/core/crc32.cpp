@@ -1,0 +1,33 @@
+#include "core/crc32.hpp"
+
+#include <array>
+
+namespace ss {
+namespace {
+
+// Table for the reflected IEEE polynomial 0xEDB88320, built once at startup.
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t state, const void* data,
+                          std::size_t len) {
+  static const std::array<std::uint32_t, 256> kTable = BuildTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state = kTable[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace ss

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial), used to seal cache snapshot files so a
+// torn write is detected at load time instead of being half-parsed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ss {
+
+/// Incremental CRC-32 update. Start from `Crc32Init()`, feed bytes, then
+/// finalize with `Crc32Final()`.
+std::uint32_t Crc32Update(std::uint32_t state, const void* data,
+                          std::size_t len);
+
+inline constexpr std::uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+inline constexpr std::uint32_t Crc32Final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte string.
+inline std::uint32_t Crc32(std::string_view bytes) {
+  return Crc32Final(Crc32Update(Crc32Init(), bytes.data(), bytes.size()));
+}
+
+}  // namespace ss

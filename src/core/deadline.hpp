@@ -1,0 +1,76 @@
+// Monotonic-clock deadline helper.
+//
+// Every subsystem that waits for real time (runtime completion loops, the
+// schedule service, the solver watchdog) used to hand-roll its own
+// wall-clock arithmetic, some of it with polling loops. Deadline centralises
+// the idiom: construct one from a relative timeout or an absolute WallNow()
+// tick, then ask `expired()` / `remaining()` or block a condition variable
+// with `WaitUntil`. All arithmetic is on the steady clock, so deadlines are
+// immune to wall-clock adjustments.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/time.hpp"
+
+namespace ss {
+
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  static Deadline Infinite() { return Deadline(kTickInfinity); }
+
+  /// Expires `timeout` ticks from now. Non-positive timeouts are already
+  /// expired; kTickInfinity and beyond never expire.
+  static Deadline After(Tick timeout) {
+    if (timeout >= kTickInfinity) return Infinite();
+    return Deadline(WallNow() + timeout);
+  }
+
+  /// Expires at the absolute WallNow() tick `at` (kTickInfinity = never).
+  static Deadline AtWall(Tick at) { return Deadline(at); }
+
+  bool infinite() const { return at_ >= kTickInfinity; }
+  bool expired() const { return !infinite() && WallNow() >= at_; }
+
+  /// Absolute expiry in WallNow() ticks (kTickInfinity when infinite).
+  Tick at() const { return at_; }
+
+  /// Ticks until expiry, clamped to >= 0. kTickInfinity when infinite.
+  Tick remaining() const {
+    if (infinite()) return kTickInfinity;
+    const Tick left = at_ - WallNow();
+    return left > 0 ? left : 0;
+  }
+
+  /// The expiry as a steady_clock time_point, for wait_until. Infinite
+  /// deadlines map to a far-future point (~292 years out), which the wait
+  /// loops below never actually reach because their predicates fire first.
+  std::chrono::steady_clock::time_point time_point() const {
+    using namespace std::chrono;
+    if (infinite()) return steady_clock::time_point::max();
+    return steady_clock::time_point(microseconds(at_));
+  }
+
+  /// Blocks until `pred()` is true or the deadline expires. Returns the
+  /// final value of `pred()`, i.e. false means a timeout. Never spins: the
+  /// wait is a single wait_until per wakeup.
+  template <typename Pred>
+  bool WaitUntil(std::condition_variable& cv,
+                 std::unique_lock<std::mutex>& lock, Pred pred) const {
+    if (infinite()) {
+      cv.wait(lock, pred);
+      return true;
+    }
+    return cv.wait_until(lock, time_point(), pred);
+  }
+
+ private:
+  explicit Deadline(Tick at) : at_(at) {}
+
+  Tick at_;
+};
+
+}  // namespace ss

@@ -25,6 +25,7 @@ enum class StatusCode {
   kCancelled,       // channel/runtime shut down
   kDeadlineExceeded,  // request missed its deadline (service backpressure)
   kCorruptArtifact,   // stored schedule artifact failed static verification
+  kSnapshotIoError,   // cache snapshot could not be written/renamed durably
   kInternal,
 };
 
@@ -77,6 +78,9 @@ inline Status DeadlineExceededError(std::string msg) {
 }
 inline Status CorruptArtifactError(std::string msg) {
   return Status(StatusCode::kCorruptArtifact, std::move(msg));
+}
+inline Status SnapshotIoError(std::string msg) {
+  return Status(StatusCode::kSnapshotIoError, std::move(msg));
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));

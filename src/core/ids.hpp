@@ -44,6 +44,7 @@ struct NodeIdTag {};
 struct RegimeIdTag {};
 struct ConnIdTag {};
 struct VariantIdTag {};
+struct HealthIdTag {};
 
 /// A task (node) in the application task graph.
 using TaskId = StrongId<TaskIdTag>;
@@ -59,6 +60,8 @@ using RegimeId = StrongId<RegimeIdTag>;
 using ConnId = StrongId<ConnIdTag>;
 /// A data-parallel variant of a task within its cost model.
 using VariantId = StrongId<VariantIdTag>;
+/// A canonical machine-health mode (which degraded machine we schedule for).
+using HealthId = StrongId<HealthIdTag>;
 
 /// Logical timestamp of an item flowing through the graph (frame number).
 using Timestamp = std::int64_t;

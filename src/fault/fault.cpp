@@ -1,0 +1,239 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ss::fault {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kProcFailStop: return "proc-fail-stop";
+    case FaultKind::kNodeFailStop: return "node-fail-stop";
+    case FaultKind::kTransientSlowdown: return "transient-slowdown";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream out;
+  out << fault::ToString(kind) << " at " << FormatTick(at);
+  switch (kind) {
+    case FaultKind::kProcFailStop:
+      out << " proc " << proc.value();
+      break;
+    case FaultKind::kNodeFailStop:
+      out << " node " << node.value();
+      break;
+    case FaultKind::kTransientSlowdown:
+      out << " proc " << proc.value() << " x" << factor << " for "
+          << FormatTick(duration);
+      break;
+  }
+  return out.str();
+}
+
+int MachineHealth::surviving_procs() const {
+  int up = 0;
+  for (const bool a : alive_) up += a ? 1 : 0;
+  return up;
+}
+
+int MachineHealth::SurvivorsOnNode(const graph::MachineConfig& machine,
+                                   NodeId n) const {
+  const ProcId first = machine.FirstProcOf(n);
+  int up = 0;
+  for (int i = 0; i < machine.procs_per_node; ++i) {
+    if (alive(ProcId(first.value() + i))) ++up;
+  }
+  return up;
+}
+
+int MachineHealth::FailedNodes(const graph::MachineConfig& machine) const {
+  int down = 0;
+  for (int n = 0; n < machine.nodes; ++n) {
+    if (SurvivorsOnNode(machine, NodeId(n)) == 0) ++down;
+  }
+  return down;
+}
+
+int MachineHealth::MaxProcsDownOnSurvivingNode(
+    const graph::MachineConfig& machine) const {
+  int worst = 0;
+  for (int n = 0; n < machine.nodes; ++n) {
+    const int up = SurvivorsOnNode(machine, NodeId(n));
+    if (up == 0) continue;  // fully-down nodes are counted as node failures
+    worst = std::max(worst, machine.procs_per_node - up);
+  }
+  return worst;
+}
+
+std::string MachineHealth::ToString() const {
+  std::string out;
+  out.reserve(alive_.size());
+  for (const bool a : alive_) out.push_back(a ? '+' : 'x');
+  return out;
+}
+
+Expected<FaultPlan> FaultPlan::Create(std::vector<FaultEvent> events,
+                                      const graph::MachineConfig& machine) {
+  for (const FaultEvent& e : events) {
+    if (e.at < 0) {
+      return InvalidArgumentError("fault event before t=0: " + e.ToString());
+    }
+    switch (e.kind) {
+      case FaultKind::kProcFailStop:
+      case FaultKind::kTransientSlowdown:
+        if (!e.proc.valid() || e.proc.value() >= machine.total_procs()) {
+          return InvalidArgumentError("fault targets processor out of range: " +
+                                      e.ToString());
+        }
+        break;
+      case FaultKind::kNodeFailStop:
+        if (!e.node.valid() || e.node.value() >= machine.nodes) {
+          return InvalidArgumentError("fault targets node out of range: " +
+                                      e.ToString());
+        }
+        break;
+    }
+    if (e.kind == FaultKind::kTransientSlowdown &&
+        (e.duration <= 0 || e.factor < 1.0)) {
+      return InvalidArgumentError(
+          "transient slowdown needs duration > 0 and factor >= 1: " +
+          e.ToString());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  plan.machine_ = machine;
+  return plan;
+}
+
+MachineHealth FaultPlan::HealthAt(Tick t) const {
+  MachineHealth health = MachineHealth::AllUp(machine_);
+  for (const FaultEvent& e : events_) {
+    if (e.at > t) break;
+    if (e.kind == FaultKind::kProcFailStop) {
+      health.FailProc(e.proc);
+    } else if (e.kind == FaultKind::kNodeFailStop) {
+      health.FailNode(machine_, e.node);
+    }
+  }
+  return health;
+}
+
+double FaultPlan::SlowdownAt(ProcId p, Tick t) const {
+  double factor = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.at > t) break;
+    if (e.kind == FaultKind::kTransientSlowdown && e.proc == p &&
+        t < e.at + e.duration) {
+      factor *= e.factor;
+    }
+  }
+  return factor;
+}
+
+bool FaultPlan::ProcDeadAt(ProcId p, Tick t) const {
+  for (const FaultEvent& e : events_) {
+    if (e.at > t) break;
+    if (e.kind == FaultKind::kProcFailStop && e.proc == p) return true;
+    if (e.kind == FaultKind::kNodeFailStop &&
+        machine_.NodeOfProc(p) == e.node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+HealthSpace::HealthSpace(const graph::MachineConfig& machine,
+                         int max_proc_failures, int max_node_failures)
+    : machine_(machine),
+      max_proc_failures_(
+          std::clamp(max_proc_failures, 0, machine.procs_per_node - 1)),
+      max_node_failures_(std::clamp(max_node_failures, 0, machine.nodes - 1)) {
+}
+
+std::size_t HealthSpace::size() const {
+  return static_cast<std::size_t>(max_node_failures_ + 1) *
+         static_cast<std::size_t>(max_proc_failures_ + 1);
+}
+
+int HealthSpace::NodesDownOf(HealthId h) const {
+  SS_CHECK(h.valid() && h.index() < size());
+  return h.value() / (max_proc_failures_ + 1);
+}
+
+int HealthSpace::ProcsDownOf(HealthId h) const {
+  SS_CHECK(h.valid() && h.index() < size());
+  return h.value() % (max_proc_failures_ + 1);
+}
+
+HealthId HealthSpace::FromHealth(const MachineHealth& health) const {
+  SS_CHECK_MSG(health.surviving_procs() > 0,
+               "no processor survives; no degraded mode can run");
+  const int nodes_down =
+      std::min(health.FailedNodes(machine_), max_node_failures_);
+  const int procs_down = std::min(health.MaxProcsDownOnSurvivingNode(machine_),
+                                  max_proc_failures_);
+  return HealthId(nodes_down * (max_proc_failures_ + 1) + procs_down);
+}
+
+graph::MachineConfig HealthSpace::ConfigOf(HealthId h) const {
+  return graph::MachineConfig::Cluster(machine_.nodes - NodesDownOf(h),
+                                       machine_.procs_per_node -
+                                           ProcsDownOf(h));
+}
+
+ProcId HealthSpace::MapToSurvivor(HealthId h, ProcId degraded_proc,
+                                  const MachineHealth& health) const {
+  const graph::MachineConfig degraded = ConfigOf(h);
+  SS_CHECK(degraded_proc.valid() &&
+           degraded_proc.value() < degraded.total_procs());
+  const int want_node = degraded_proc.value() / degraded.procs_per_node;
+  const int want_slot = degraded_proc.value() % degraded.procs_per_node;
+  // Walk surviving nodes in order; the want_node-th one hosts this proc.
+  int seen_nodes = 0;
+  for (int n = 0; n < machine_.nodes; ++n) {
+    const int up = health.SurvivorsOnNode(machine_, NodeId(n));
+    if (up < degraded.procs_per_node) continue;  // too weak to count
+    if (seen_nodes++ != want_node) continue;
+    // The want_slot-th survivor within the node.
+    const ProcId first = machine_.FirstProcOf(NodeId(n));
+    int seen_procs = 0;
+    for (int i = 0; i < machine_.procs_per_node; ++i) {
+      const ProcId p(first.value() + i);
+      if (!health.alive(p)) continue;
+      if (seen_procs++ == want_slot) return p;
+    }
+  }
+  SS_CHECK_MSG(false, "degraded mode does not embed into surviving machine");
+  return ProcId::Invalid();
+}
+
+std::string HealthSpace::Name(HealthId h) const {
+  const int nd = NodesDownOf(h);
+  const int pd = ProcsDownOf(h);
+  if (nd == 0 && pd == 0) return "full";
+  std::string out;
+  if (nd > 0) out += std::to_string(nd) + " node(s) down";
+  if (pd > 0) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(pd) + " proc(s) down per node";
+  }
+  return out;
+}
+
+std::vector<HealthId> HealthSpace::AllModes() const {
+  std::vector<HealthId> modes;
+  modes.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    modes.push_back(HealthId(static_cast<int>(i)));
+  }
+  return modes;
+}
+
+}  // namespace ss::fault

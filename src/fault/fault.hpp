@@ -1,0 +1,201 @@
+// Fault model: timed machine faults and the health states they induce.
+//
+// The paper's constrained-dynamism argument (§3.4: a small number of
+// detectable states, infrequent changes, precompute a schedule per state and
+// switch tables) applies to *machine* state just as well as to application
+// state. A processor or node failing is a detectable, infrequent event that
+// moves the machine among a small set of degraded configurations. This
+// header defines the vocabulary shared by the simulator, the degraded
+// schedule tables and the service:
+//
+//  - FaultEvent / FaultPlan: a validated, time-sorted script of faults to
+//    inject into a run (fail-stop processors or nodes, transient slowdowns).
+//  - MachineHealth: which processors are currently alive.
+//  - HealthSpace: the canonical set of degraded machine modes we precompute
+//    schedules for, and the conservative mapping from an arbitrary
+//    MachineHealth onto one of those modes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "graph/machine.hpp"
+
+namespace ss::fault {
+
+enum class FaultKind {
+  kProcFailStop,       // processor dies at `at`, never comes back
+  kNodeFailStop,       // every processor of a node dies at `at`
+  kTransientSlowdown,  // processor runs `factor`x slower in [at, at+duration)
+};
+
+const char* ToString(FaultKind kind);
+
+struct FaultEvent {
+  Tick at = 0;
+  FaultKind kind = FaultKind::kProcFailStop;
+  ProcId proc;       // kProcFailStop / kTransientSlowdown
+  NodeId node;       // kNodeFailStop
+  Tick duration = 0; // kTransientSlowdown: window length
+  double factor = 1.0;  // kTransientSlowdown: work takes `factor`x longer
+
+  static FaultEvent ProcFailStop(Tick at, ProcId proc) {
+    FaultEvent e;
+    e.at = at;
+    e.kind = FaultKind::kProcFailStop;
+    e.proc = proc;
+    return e;
+  }
+  static FaultEvent NodeFailStop(Tick at, NodeId node) {
+    FaultEvent e;
+    e.at = at;
+    e.kind = FaultKind::kNodeFailStop;
+    e.node = node;
+    return e;
+  }
+  static FaultEvent TransientSlowdown(Tick at, ProcId proc, Tick duration,
+                                      double factor) {
+    FaultEvent e;
+    e.at = at;
+    e.kind = FaultKind::kTransientSlowdown;
+    e.proc = proc;
+    e.duration = duration;
+    e.factor = factor;
+    return e;
+  }
+
+  bool fail_stop() const { return kind != FaultKind::kTransientSlowdown; }
+  std::string ToString() const;
+};
+
+/// Which processors of a machine are currently alive.
+class MachineHealth {
+ public:
+  MachineHealth() = default;
+
+  static MachineHealth AllUp(const graph::MachineConfig& machine) {
+    MachineHealth h;
+    h.alive_.assign(static_cast<std::size_t>(machine.total_procs()), true);
+    return h;
+  }
+
+  void FailProc(ProcId p) {
+    SS_CHECK(p.valid() && p.index() < alive_.size());
+    alive_[p.index()] = false;
+  }
+  void FailNode(const graph::MachineConfig& machine, NodeId n) {
+    const ProcId first = machine.FirstProcOf(n);
+    for (int i = 0; i < machine.procs_per_node; ++i) {
+      FailProc(ProcId(first.value() + i));
+    }
+  }
+
+  bool alive(ProcId p) const {
+    return p.valid() && p.index() < alive_.size() && alive_[p.index()];
+  }
+  int total_procs() const { return static_cast<int>(alive_.size()); }
+  int surviving_procs() const;
+  /// Alive processors on `n` (0 when the node is fully down).
+  int SurvivorsOnNode(const graph::MachineConfig& machine, NodeId n) const;
+  /// Nodes with no surviving processor at all.
+  int FailedNodes(const graph::MachineConfig& machine) const;
+  /// Max processors down on any node that still has a survivor (0 if every
+  /// node is either pristine or fully down).
+  int MaxProcsDownOnSurvivingNode(const graph::MachineConfig& machine) const;
+
+  bool any_failed() const { return surviving_procs() < total_procs(); }
+  std::string ToString() const;
+
+ private:
+  std::vector<bool> alive_;
+};
+
+/// A validated, time-sorted script of faults for one run against one machine.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Validates every event against `machine` (ids in range, sane slowdown
+  /// parameters, non-negative times) and sorts by injection time, keeping
+  /// the given order for simultaneous events.
+  static Expected<FaultPlan> Create(std::vector<FaultEvent> events,
+                                    const graph::MachineConfig& machine);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  const graph::MachineConfig& machine() const { return machine_; }
+
+  /// Health after applying every fail-stop event with `event.at <= t`.
+  MachineHealth HealthAt(Tick t) const;
+
+  /// Combined slowdown factor on `p` at instant `t` (>= 1.0; overlapping
+  /// windows multiply). Fail-stops are not reflected here.
+  double SlowdownAt(ProcId p, Tick t) const;
+
+  /// True if some fail-stop event targets `p` (directly or via its node)
+  /// at or before `t`.
+  bool ProcDeadAt(ProcId p, Tick t) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  graph::MachineConfig machine_;
+};
+
+/// The canonical degraded machine modes we precompute schedules for.
+///
+/// Exhaustively tabulating every alive-bitmap is exponential; instead we
+/// tabulate the cross product of (fully-failed nodes: 0..max_node_failures)
+/// x (processors down per surviving node: 0..max_proc_failures) and map any
+/// concrete MachineHealth onto the weakest mode that is a sub-machine of the
+/// real survivors — the same clamping trick RegimeSpace uses for
+/// out-of-range application states. The degraded mode is itself a uniform
+/// MachineConfig, so schedulers and the verifier work on it unchanged.
+class HealthSpace {
+ public:
+  /// Modes for `machine` tolerating up to `max_proc_failures` dead
+  /// processors per node and `max_node_failures` whole-node losses. Both
+  /// are clamped so at least one processor always survives.
+  HealthSpace(const graph::MachineConfig& machine, int max_proc_failures,
+              int max_node_failures = 0);
+
+  std::size_t size() const;
+  const graph::MachineConfig& machine() const { return machine_; }
+  int max_proc_failures() const { return max_proc_failures_; }
+  int max_node_failures() const { return max_node_failures_; }
+
+  /// HealthId 0: the full machine, no failures.
+  static HealthId FullHealth() { return HealthId(0); }
+
+  /// Maps concrete health onto the canonical mode: failed nodes and the
+  /// worst per-node processor loss, each clamped to the modelled maxima.
+  /// Dies (SS_CHECK) if no processor survives at all — there is no schedule
+  /// for an empty machine.
+  HealthId FromHealth(const MachineHealth& health) const;
+
+  /// The uniform machine the mode schedules for.
+  graph::MachineConfig ConfigOf(HealthId h) const;
+
+  /// Remaps a processor of ConfigOf(h) onto an alive processor of the real
+  /// machine under `health`. The mapping packs surviving nodes (and the
+  /// survivors within each node) densely, so intra-/inter-node locality of
+  /// the degraded schedule is preserved on the survivors.
+  ProcId MapToSurvivor(HealthId h, ProcId degraded_proc,
+                       const MachineHealth& health) const;
+
+  std::string Name(HealthId h) const;
+  std::vector<HealthId> AllModes() const;
+
+ private:
+  int NodesDownOf(HealthId h) const;
+  int ProcsDownOf(HealthId h) const;
+
+  graph::MachineConfig machine_;
+  int max_proc_failures_;
+  int max_node_failures_;
+};
+
+}  // namespace ss::fault

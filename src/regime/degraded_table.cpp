@@ -1,0 +1,94 @@
+#include "regime/degraded_table.hpp"
+
+#include <utility>
+
+#include "sched/list_scheduler.hpp"
+#include "sched/pipeline.hpp"
+#include "verify/verifier.hpp"
+
+namespace ss::regime {
+
+Expected<DegradedScheduleTable> DegradedScheduleTable::Precompute(
+    const RegimeSpace& space, const fault::HealthSpace& health,
+    const graph::ProblemSpec& spec, const DegradedTableOptions& options) {
+  DegradedScheduleTable table(health);
+  table.regimes_ = space.size();
+  table.entries_.reserve(health.size() * space.size());
+
+  for (HealthId h : health.AllModes()) {
+    // The degraded mode is a plain uniform machine; every tool downstream
+    // (solver, list scheduler, verifier) sees an ordinary problem.
+    graph::ProblemSpec degraded = spec;
+    degraded.machine = health.ConfigOf(h);
+    const sched::OptimalScheduler scheduler(degraded.graph, degraded.costs,
+                                            degraded.comm, degraded.machine);
+    const sched::ListScheduler fallback(degraded.comm, degraded.machine);
+
+    for (RegimeId r : space.AllRegimes()) {
+      DegradedEntry entry;
+      entry.machine = degraded.machine;
+
+      auto result = scheduler.Schedule(r, options.solver);
+      if (result.ok() && !result->budget_exhausted) {
+        entry.schedule = std::move(result->best);
+        entry.min_latency = result->min_latency;
+        entry.nodes_explored = result->nodes_explored;
+        entry.quality = sched::ScheduleQuality::kOptimal;
+      } else if (options.allow_heuristic_fallback) {
+        // Exhausted or failed search: a legal-but-unproven schedule beats
+        // no schedule when the machine underneath just shrank.
+        auto iter =
+            fallback.ScheduleBestVariant(degraded.graph, degraded.costs, r);
+        if (!iter.ok()) return iter.status();
+        entry.min_latency = iter->Latency();
+        entry.schedule = sched::PipelineComposer::Compose(
+            std::move(*iter), degraded.machine.total_procs(),
+            options.solver.pipeline);
+        entry.quality = sched::ScheduleQuality::kHeuristic;
+      } else if (!result.ok()) {
+        return result.status();
+      } else {
+        return Status(InternalError(
+            "solver budget exhausted for degraded mode '" + health.Name(h) +
+            "' and heuristic fallback is disabled"));
+      }
+
+      entry.op_graph = std::make_unique<graph::OpGraph>(
+          graph::OpGraph::Expand(degraded.graph, degraded.costs, r,
+                                 entry.schedule.iteration.variants()));
+
+      if (options.verify_entries) {
+        const verify::ScheduleVerifier verifier(degraded, r);
+        const verify::VerifyReport report = verifier.Verify(entry.schedule);
+        if (!report.ok()) {
+          return Status(InternalError(
+              "degraded schedule for regime " + space.Name(r) + ", mode '" +
+              health.Name(h) + "' failed verification: " +
+              report.ToStatus().message()));
+        }
+      }
+
+      table.entries_.push_back(std::move(entry));
+    }
+  }
+  return table;
+}
+
+const DegradedEntry& DegradedScheduleTable::Get(RegimeId regime,
+                                                HealthId health) const {
+  SS_CHECK_MSG(regime.valid() && regime.index() < regimes_,
+               "regime outside degraded schedule table");
+  SS_CHECK_MSG(health.valid() && health.index() < health_space_.size(),
+               "health mode outside degraded schedule table");
+  return entries_[health.index() * regimes_ + regime.index()];
+}
+
+std::size_t DegradedScheduleTable::heuristic_entries() const {
+  std::size_t n = 0;
+  for (const DegradedEntry& e : entries_) {
+    if (e.quality == sched::ScheduleQuality::kHeuristic) ++n;
+  }
+  return n;
+}
+
+}  // namespace ss::regime

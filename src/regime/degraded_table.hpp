@@ -1,0 +1,74 @@
+// Degraded-machine schedule tables: the paper's table-switch mechanism
+// (§3.4) applied to hardware state.
+//
+// A processor or node failing is exactly the kind of dynamism the paper
+// calls constrained — a small number of detectable states with infrequent
+// changes — so we precompute one schedule per (application regime x machine
+// health mode) and make failure recovery a table lookup, just like an
+// application state change. Health modes are uniform MachineConfigs
+// (fault::HealthSpace), so the optimal scheduler, the list scheduler and
+// the static verifier all work on them unchanged.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+#include "fault/fault.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/op_graph.hpp"
+#include "regime/regime.hpp"
+#include "sched/optimal.hpp"
+#include "sched/schedule.hpp"
+
+namespace ss::regime {
+
+struct DegradedEntry {
+  sched::PipelinedSchedule schedule;
+  std::unique_ptr<graph::OpGraph> op_graph;
+  /// The machine the schedule was computed (and verified) against.
+  graph::MachineConfig machine;
+  Tick min_latency = 0;
+  std::uint64_t nodes_explored = 0;
+  sched::ScheduleQuality quality = sched::ScheduleQuality::kOptimal;
+};
+
+struct DegradedTableOptions {
+  sched::OptimalOptions solver;
+  /// When the exact solver fails or exhausts its budget on a mode, fall
+  /// back to the list scheduler instead of failing the whole table. The
+  /// entry is tagged ScheduleQuality::kHeuristic.
+  bool allow_heuristic_fallback = true;
+  /// Run every entry through verify::ScheduleVerifier against its degraded
+  /// machine before publishing the table.
+  bool verify_entries = true;
+};
+
+/// Schedules indexed by (regime, health mode). Precomputed off-line; at run
+/// time a failure is a lookup, the same way a regime change is.
+class DegradedScheduleTable {
+ public:
+  static Expected<DegradedScheduleTable> Precompute(
+      const RegimeSpace& space, const fault::HealthSpace& health,
+      const graph::ProblemSpec& spec, const DegradedTableOptions& options = {});
+
+  const DegradedEntry& Get(RegimeId regime, HealthId health) const;
+
+  const fault::HealthSpace& health_space() const { return health_space_; }
+  std::size_t regimes() const { return regimes_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entries produced by the heuristic fallback rather than the exact
+  /// solver.
+  std::size_t heuristic_entries() const;
+
+ private:
+  explicit DegradedScheduleTable(fault::HealthSpace health)
+      : health_space_(std::move(health)) {}
+
+  std::vector<DegradedEntry> entries_;  // [health * regimes_ + regime]
+  fault::HealthSpace health_space_;
+  std::size_t regimes_ = 0;
+};
+
+}  // namespace ss::regime

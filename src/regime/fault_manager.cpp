@@ -1,0 +1,128 @@
+#include "regime/fault_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss::regime {
+
+namespace {
+
+/// Worst slowdown any processor of the machine suffers at instant `t`.
+/// Conservative: the pipelined schedule rotates over every processor, so a
+/// slowed processor stretches the frame's critical path.
+double MaxSlowdownAt(const fault::FaultPlan& faults, Tick t) {
+  double factor = 1.0;
+  for (int p = 0; p < faults.machine().total_procs(); ++p) {
+    factor = std::max(factor, faults.SlowdownAt(ProcId(p), t));
+  }
+  return factor;
+}
+
+}  // namespace
+
+FaultRunResult FaultTolerantManager::Replay(
+    const StateTimeline& timeline, const fault::FaultPlan& faults,
+    const FaultRunOptions& options) const {
+  SS_CHECK_MSG(faults.machine().total_procs() ==
+                   table_.health_space().machine().total_procs(),
+               "fault plan and degraded table disagree on the machine");
+
+  FaultRunResult result;
+  RegimeDetector detector(space_, timeline.initial());
+  RegimeId active = detector.current();
+
+  const fault::HealthSpace& health_space = table_.health_space();
+  fault::MachineHealth health =
+      fault::MachineHealth::AllUp(faults.machine());
+  HealthId active_health = fault::HealthSpace::FullHealth();
+
+  // Fail-stop script, already time-sorted by FaultPlan::Create.
+  std::vector<const fault::FaultEvent*> pending;
+  for (const fault::FaultEvent& e : faults.events()) {
+    if (e.fail_stop()) pending.push_back(&e);
+  }
+  std::size_t next_fault = 0;
+
+  Tick now = 0;
+  Timestamp ts = 0;
+  while (now < options.horizon) {
+    // Handle every fault whose detection has fired by now. The failure
+    // destroyed the frames in flight at injection time and everything
+    // released during the blind window; recovery is a table lookup, the
+    // same mechanism as a regime switch.
+    while (next_fault < pending.size() &&
+           pending[next_fault]->at + options.fault_detection_latency <= now) {
+      const fault::FaultEvent& e = *pending[next_fault++];
+      if (e.kind == fault::FaultKind::kProcFailStop) {
+        health.FailProc(e.proc);
+      } else {
+        health.FailNode(faults.machine(), e.node);
+      }
+      RecoveryRecord rec;
+      rec.at = e.at;
+      rec.kind = e.kind;
+      rec.detected_at = e.at + options.fault_detection_latency;
+      rec.from_health = active_health;
+      for (sim::FrameRecord& f : result.frames) {
+        if (f.completed() && f.completed_at > e.at) {
+          f.completed_at = kNoTick;
+          ++rec.frames_lost;
+        }
+      }
+      active_health = health_space.FromHealth(health);
+      rec.to_health = active_health;
+      rec.resumed_at = now + options.lookup_cost;
+      rec.recovery_latency = rec.resumed_at - e.at;
+      now = rec.resumed_at;
+      result.transition_overhead += options.lookup_cost;
+      result.frames_lost_to_faults += rec.frames_lost;
+      result.recoveries.push_back(rec);
+    }
+    if (now >= options.horizon) break;
+
+    // Application regime changes, observed at frame boundaries as in
+    // RegimeManager::Replay.
+    const int state = timeline.At(now);
+    const RegimeId changed = detector.Observe(state);
+    if (changed.valid() && changed != active) {
+      TransitionRecord tr;
+      tr.at = now;
+      tr.from = active;
+      tr.to = changed;
+      tr.overhead = options.lookup_cost;
+      if (options.drain_on_switch) {
+        tr.overhead += table_.Get(active, active_health).schedule.Latency();
+      }
+      now += tr.overhead;
+      result.transition_overhead += tr.overhead;
+      result.transitions.push_back(tr);
+      active = changed;
+      if (now >= options.horizon) break;
+    }
+
+    const DegradedEntry& entry = table_.Get(active, active_health);
+    Tick latency = entry.schedule.Latency();
+    const double factor = MaxSlowdownAt(faults, now);
+    if (factor > 1.0) {
+      latency = static_cast<Tick>(
+          std::ceil(static_cast<double>(latency) * factor));
+    }
+    sim::FrameRecord rec;
+    rec.ts = ts++;
+    rec.digitized_at = now;
+    rec.completed_at = now + latency;
+    result.frames.push_back(rec);
+    now += std::max<Tick>(1, entry.schedule.initiation_interval);
+  }
+
+  result.metrics = sim::ComputeMetrics(result.frames, options.warmup);
+  result.final_health = active_health;
+  if (options.horizon > 0) {
+    result.overhead_fraction =
+        static_cast<double>(result.transition_overhead) /
+        static_cast<double>(options.horizon);
+  }
+  return result;
+}
+
+}  // namespace ss::regime

@@ -1,0 +1,78 @@
+// Run-time manager for machine faults: detect -> degraded-table lookup ->
+// resume on the survivors.
+//
+// Mirrors RegimeManager::Replay, with a second detectable dimension: besides
+// application regime changes, the replay consumes a fault::FaultPlan. A
+// fail-stop destroys the frames in flight (the pre-computed pipeline has no
+// online rescue path), stays invisible for a detection latency (heartbeat
+// period) during which newly released frames are lost too, and is then
+// handled exactly like a regime change — look up the (regime, health) entry
+// and release the next frame under the degraded schedule. Recovery latency
+// and frames lost are reported per fault, which is what bench/fault_recovery
+// measures against its bound.
+#pragma once
+
+#include <vector>
+
+#include "core/time.hpp"
+#include "fault/fault.hpp"
+#include "regime/arrivals.hpp"
+#include "regime/degraded_table.hpp"
+#include "regime/manager.hpp"
+#include "regime/regime.hpp"
+#include "sim/metrics.hpp"
+
+namespace ss::regime {
+
+struct FaultRunOptions : RegimeRunOptions {
+  /// Time from a fail-stop to its detection (heartbeat / liveness probe
+  /// period). Frames released in the blind window are lost.
+  Tick fault_detection_latency = ticks::FromMillis(5);
+};
+
+/// One fail-stop fault, as recovered from.
+struct RecoveryRecord {
+  Tick at = 0;               // injection time
+  fault::FaultKind kind = fault::FaultKind::kProcFailStop;
+  Tick detected_at = 0;      // at + fault_detection_latency
+  Tick resumed_at = 0;       // first instant the degraded schedule runs
+  Tick recovery_latency = 0; // resumed_at - at
+  std::size_t frames_lost = 0;
+  HealthId from_health;
+  HealthId to_health;
+};
+
+struct FaultRunResult {
+  sim::RunMetrics metrics;
+  std::vector<sim::FrameRecord> frames;
+  std::vector<TransitionRecord> transitions;  // regime switches
+  std::vector<RecoveryRecord> recoveries;     // health switches
+  Tick transition_overhead = 0;  // regime switches + fault recoveries
+  double overhead_fraction = 0;
+  std::size_t frames_lost_to_faults = 0;
+  HealthId final_health;
+};
+
+class FaultTolerantManager {
+ public:
+  FaultTolerantManager(const RegimeSpace& space,
+                       const DegradedScheduleTable& table)
+      : space_(space), table_(table) {}
+
+  /// Deterministically replays a state timeline and a fault plan against
+  /// the degraded table. Transient slowdowns inflate the latency of frames
+  /// digitized inside their window; fail-stops lose the frames in flight
+  /// plus those released before detection, then switch tables.
+  FaultRunResult Replay(const StateTimeline& timeline,
+                        const fault::FaultPlan& faults,
+                        const FaultRunOptions& options = {}) const;
+
+  const RegimeSpace& space() const { return space_; }
+  const DegradedScheduleTable& table() const { return table_; }
+
+ private:
+  const RegimeSpace& space_;
+  const DegradedScheduleTable& table_;
+};
+
+}  // namespace ss::regime

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/deadline.hpp"
 #include "core/log.hpp"
 #include "runtime/splitjoin.hpp"
 #include "stm/channel.hpp"
@@ -21,7 +22,16 @@ struct RunState {
   std::vector<sim::FrameRecord> frames;
   std::vector<int> sinks_remaining;  // per frame
   std::size_t accounted = 0;         // completed + dropped
+  /// A worker thread exited on a body failure: the frame budget can never
+  /// complete, so the completion wait gives up immediately.
+  bool worker_died = false;
   Tick start_wall = 0;
+
+  void MarkWorkerDead() {
+    std::lock_guard lock(mu);
+    worker_died = true;
+    cv.notify_all();
+  }
 
   void MarkDigitized(Timestamp ts, Tick now) {
     std::lock_guard lock(mu);
@@ -44,6 +54,17 @@ struct RunState {
       ++accounted;
       cv.notify_all();
     }
+  }
+};
+
+/// Pokes the completion wait when a thread exits for any reason, so the run
+/// loop can re-check its exit conditions (external shutdown in particular)
+/// without polling.
+struct ExitNotifier {
+  RunState& state;
+  ~ExitNotifier() {
+    std::lock_guard lock(state.mu);
+    state.cv.notify_all();
   }
 };
 
@@ -87,11 +108,14 @@ Expected<FreeRunResult> FreeRunner::Run() {
     }
   }
 
+  const Deadline run_deadline = Deadline::After(options_.timeout);
+
   std::vector<std::thread> threads;
   threads.reserve(g.task_count());
 
   // --- Digitizer thread ----------------------------------------------------
   threads.emplace_back([&, source] {
+    ExitNotifier notify{state};
     const auto t = source.index();
     TaskBody* body = app_.body(source);
     const Tick base = WallNow();
@@ -156,6 +180,7 @@ Expected<FreeRunResult> FreeRunner::Run() {
       dp_chunks = std::max(1, it->second);
     }
     threads.emplace_back([&, t, tid, is_sink, dp_chunks] {
+      ExitNotifier notify{state};
       TaskBody* body = app_.body(tid);
       const bool history = body->NeedsHistory();
       // Data-parallel tasks keep a persistent chunk-worker pool for the
@@ -198,7 +223,7 @@ Expected<FreeRunResult> FreeRunner::Run() {
 
         TaskOutputs out;
         Stopwatch body_timer;
-        Status s = pool ? pool->RunOne(in, dp_chunks, &out)
+        Status s = pool ? pool->RunOne(in, dp_chunks, &out, run_deadline)
                         : body->Process(in, &out);
         if (options_.timing != nullptr) {
           options_.timing->Record(tid, TaskTimingCollector::Kind::kSerial,
@@ -206,6 +231,7 @@ Expected<FreeRunResult> FreeRunner::Run() {
         }
         if (!s.ok()) {
           SS_LOG_WARN << "task body failed: " << s.ToString();
+          state.MarkWorkerDead();
           return;
         }
         SS_CHECK_MSG(out.items.size() == out_ch[t].size(),
@@ -229,23 +255,24 @@ Expected<FreeRunResult> FreeRunner::Run() {
   }
 
   // --- Wait for completion ---------------------------------------------------
-  // Also watch for an external ShutdownChannels() (checked via the first
-  // channel), which ends the run early without being a timeout in itself.
+  // Every event that can end the run notifies state.cv — frame completion
+  // and drops through Mark*, worker death through MarkWorkerDead, and an
+  // external ShutdownChannels() indirectly (it unblocks every thread, whose
+  // exit pokes the cv) — so a single deadline-bounded wait suffices; there
+  // is no polling interval.
   bool timed_out = false;
   {
     stm::Channel* probe =
         g.channel_count() > 0 ? app_.channel(ChannelId(0)) : nullptr;
-    const Tick deadline = WallNow() + options_.timeout;
     std::unique_lock lock(state.mu);
-    for (;;) {
-      if (state.accounted >= options_.frames) break;
-      if (probe != nullptr && probe->shut_down()) break;
-      if (WallNow() >= deadline) {
-        timed_out = true;
-        break;
-      }
-      state.cv.wait_for(lock, std::chrono::milliseconds(20));
-    }
+    const bool done = run_deadline.WaitUntil(state.cv, lock, [&] {
+      return state.accounted >= options_.frames || state.worker_died ||
+             (probe != nullptr && probe->shut_down());
+    });
+    // A dead worker can never finish the frame budget: report the run as
+    // timed out right away instead of sleeping out the remaining budget.
+    timed_out = !done ||
+                (state.worker_died && state.accounted < options_.frames);
   }
   app_.ShutdownChannels();
   for (auto& th : threads) th.join();

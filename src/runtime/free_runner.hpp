@@ -44,6 +44,10 @@ struct FreeRunOptions {
 struct FreeRunResult {
   sim::RunMetrics metrics;
   std::vector<sim::FrameRecord> frames;
+  /// True when the run ended short of its frame budget: the timeout
+  /// expired, or a worker thread died on a body failure (reported
+  /// immediately — a dead worker can never complete the budget, so the
+  /// runner does not sleep out the remaining timeout).
   bool timed_out = false;
 };
 

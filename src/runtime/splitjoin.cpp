@@ -203,10 +203,13 @@ ChunkPool::ChunkPool(TaskBody* body, int workers)
 
 ChunkPool::~ChunkPool() {
   queue_.Shutdown();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
-Status ChunkPool::RunOne(const TaskInputs& in, int chunks, TaskOutputs* out) {
+Status ChunkPool::RunOne(const TaskInputs& in, int chunks, TaskOutputs* out,
+                         Deadline deadline) {
   if (chunks <= 1) return body_->Process(in, out);
   {
     std::lock_guard lock(mu_);
@@ -221,7 +224,20 @@ Status ChunkPool::RunOne(const TaskInputs& in, int chunks, TaskOutputs* out) {
   std::vector<stm::Payload> partials;
   {
     std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return outstanding_ == 0; });
+    const bool drained =
+        deadline.WaitUntil(cv_, lock, [&] { return outstanding_ == 0; });
+    if (!drained) {
+      lock.unlock();
+      // Chunks still in flight (or queued) reference `in`; shutting the
+      // queue down and joining the workers guarantees nothing touches the
+      // caller's inputs after we return.
+      queue_.Shutdown();
+      for (auto& w : workers_) {
+        if (w.joinable()) w.join();
+      }
+      return DeadlineExceededError(
+          "chunk pool missed its deadline; pool stopped");
+    }
     SS_RETURN_IF_ERROR(first_error_);
     partials = std::move(partials_);
   }

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "core/error.hpp"
 #include "core/ids.hpp"
 #include "runtime/body.hpp"
@@ -122,7 +123,15 @@ class ChunkPool {
 
   /// Splits `in` into `chunks` pieces, runs them on the pool, joins into
   /// `out`. Serial path (chunks == 1) calls Process directly.
-  Status RunOne(const TaskInputs& in, int chunks, TaskOutputs* out);
+  ///
+  /// When `deadline` expires before every chunk completes, the pool is
+  /// stopped (queue shut down, workers joined — in-flight chunks reference
+  /// the caller's `in`, so the join is what makes the early return memory
+  /// safe) and kDeadlineExceeded is returned; the pool is unusable
+  /// afterwards. A body wedged inside ProcessChunk still blocks the join —
+  /// cooperative cancellation is the body's job.
+  Status RunOne(const TaskInputs& in, int chunks, TaskOutputs* out,
+                Deadline deadline = Deadline::Infinite());
 
  private:
   struct Job {

@@ -55,6 +55,9 @@ struct SearchShared {
   std::atomic<std::uint64_t> nodes_consumed{0};
   std::atomic<bool> budget_exhausted{false};
   std::atomic<std::uint64_t> complete_schedules{0};
+  std::atomic<bool> cancelled{false};
+  /// External cancellation request (OptimalOptions::cancel), or null.
+  const std::atomic<bool>* cancel = nullptr;
   bool bound_mode = false;
 
   void OfferBest(Tick makespan) {
@@ -102,6 +105,15 @@ class NodeBudget {
   static constexpr std::int64_t kChunk = 1024;
 
   bool Refill() {
+    // Cancellation is polled here so the hot path stays a local decrement;
+    // a cancelled search stops within one chunk per worker. A cancelled
+    // result is incomplete, so it is flagged budget_exhausted as well.
+    if (shared_->cancel != nullptr &&
+        shared_->cancel->load(std::memory_order_relaxed)) {
+      shared_->cancelled.store(true, std::memory_order_relaxed);
+      shared_->budget_exhausted.store(true, std::memory_order_relaxed);
+      return false;
+    }
     std::int64_t avail =
         shared_->budget_remaining.load(std::memory_order_relaxed);
     while (avail > 0) {
@@ -625,6 +637,7 @@ Expected<OptimalResult> RunSearch(
   result.variant_combinations = combos.size();
 
   SearchShared shared;
+  shared.cancel = options.cancel;
   shared.bound_mode = bound_mode;
   shared.best.store(bound_mode ? latency_bound : kTickInfinity,
                     std::memory_order_relaxed);
@@ -722,6 +735,7 @@ Expected<OptimalResult> RunSearch(
       shared.complete_schedules.load(std::memory_order_relaxed);
   result.budget_exhausted =
       shared.budget_exhausted.load(std::memory_order_relaxed);
+  result.cancelled = shared.cancelled.load(std::memory_order_relaxed);
 
   Tick min_latency = kTickInfinity;
   for (const auto& tr : task_results) {
@@ -763,6 +777,10 @@ Expected<OptimalResult> RunSearch(
   // minimum, walked in fixed task order — independent of how the tasks were
   // interleaved across threads (see docs/solver.md for the argument).
   if (min_latency == kTickInfinity) {
+    if (result.cancelled) {
+      return Status(
+          CancelledError("solve cancelled before any complete schedule"));
+    }
     return Status(InternalError(
         "no schedule found (budget exhausted before any completion)"));
   }

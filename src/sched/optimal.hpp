@@ -29,6 +29,7 @@
 // schedules are all of this form.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -74,6 +75,12 @@ struct OptimalOptions {
   int split_depth = 0;
   /// Pipelining options for step 3.
   PipelineOptions pipeline;
+  /// Optional cooperative cancellation flag (not owned; may be set from any
+  /// thread). The search polls it at node-budget refills (every ~1024 nodes
+  /// per worker) and winds down, returning the best result found so far with
+  /// `cancelled` set, or an error if nothing completed yet. Runtime-only:
+  /// does not participate in cache keys.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Compact solver diagnostics, carried alongside cached / service results
@@ -83,6 +90,7 @@ struct SolveStats {
   std::uint64_t complete_schedules = 0;
   std::uint64_t variant_combinations = 0;
   bool budget_exhausted = false;
+  bool cancelled = false;
   /// Wall-clock duration of the solve, in ticks (microseconds).
   Tick wall_ticks = 0;
 };
@@ -100,12 +108,15 @@ struct OptimalResult {
   std::uint64_t complete_schedules = 0;
   std::uint64_t variant_combinations = 0;
   bool budget_exhausted = false;
+  /// The search was cut short by OptimalOptions::cancel; the result is the
+  /// best found up to that point and carries no optimality guarantee.
+  bool cancelled = false;
   /// Wall-clock duration of the solve call that produced this result.
   Tick solve_wall_ticks = 0;
 
   SolveStats Stats() const {
     return SolveStats{nodes_explored, complete_schedules,
-                      variant_combinations, budget_exhausted,
+                      variant_combinations, budget_exhausted, cancelled,
                       solve_wall_ticks};
   }
 };

@@ -20,6 +20,16 @@
 
 namespace ss::sched {
 
+/// Provenance of a schedule: proven-optimal (full Fig. 6 search) or a
+/// heuristic stand-in (list scheduler, or a search cut short by a deadline).
+/// Heuristic schedules are still verified-legal; they just carry no
+/// optimality guarantee.
+enum class ScheduleQuality { kOptimal = 0, kHeuristic = 1 };
+
+inline const char* ToString(ScheduleQuality q) {
+  return q == ScheduleQuality::kOptimal ? "optimal" : "heuristic";
+}
+
 struct ScheduleEntry {
   int op = -1;
   ProcId proc;

@@ -1,9 +1,18 @@
 #include "service/schedule_cache.hpp"
 
-#include <algorithm>
-#include <fstream>
-#include <sstream>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string_view>
+
+#include "core/crc32.hpp"
 #include "verify/verifier.hpp"
 
 namespace ss::service {
@@ -99,15 +108,73 @@ void ScheduleCache::Clear() {
   }
 }
 
+namespace {
+
+/// Writes `body` to `path` durably: process-unique temp file, full write,
+/// fsync, atomic rename, best-effort directory fsync. A crash at any point
+/// leaves either the old file or the new one.
+Status WriteFileAtomic(const std::string& path, const std::string& body) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return SnapshotIoError("cannot create '" + tmp +
+                           "': " + std::strerror(errno));
+  }
+  auto fail = [&](const std::string& what) {
+    const int saved_errno = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return SnapshotIoError(what + " '" + tmp +
+                           "': " + std::strerror(saved_errno));
+  };
+  const char* data = body.data();
+  std::size_t left = body.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write failed for");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) return fail("fsync failed for");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return SnapshotIoError("close failed for '" + tmp +
+                           "': " + std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved_errno = errno;
+    ::unlink(tmp.c_str());
+    return SnapshotIoError("cannot rename '" + tmp + "' to '" + path +
+                           "': " + std::strerror(saved_errno));
+  }
+  // Persist the rename itself. Failure here only risks the *old* file
+  // reappearing after a power loss, so it is not an error.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 Status ScheduleCache::Save(const std::string& path) const {
   std::ostringstream os;
-  os << "sscache 2\n";
+  os << "sscache 3\n";
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& entry : shard.lru) {
       const sched::PipelinedSchedule& ps = entry->schedule;
       os << "entry key=" << entry->key.ToHex()
          << " regime=" << entry->regime.value()
+         << " quality=" << static_cast<int>(entry->quality)
          << " min_latency=" << entry->min_latency
          << " ii=" << ps.initiation_interval << " rotation=" << ps.rotation
          << " procs=" << ps.procs << " nodes=" << entry->stats.nodes_explored
@@ -131,13 +198,13 @@ Status ScheduleCache::Save(const std::string& path) const {
       os << "end\n";
     }
   }
-  std::ofstream file(path, std::ios::trunc);
-  if (!file) {
-    return InternalError("cannot write cache snapshot '" + path + "'");
-  }
-  file << os.str();
-  return file.good() ? OkStatus()
-                     : InternalError("short write to '" + path + "'");
+  // Seal the body with a CRC-32 footer so Load() can tell a torn file from
+  // a complete one without parsing it.
+  std::string body = os.str();
+  char footer[24];
+  std::snprintf(footer, sizeof(footer), "crc %08x\n", Crc32(body));
+  body += footer;
+  return WriteFileAtomic(path, body);
 }
 
 namespace {
@@ -176,15 +243,50 @@ Expected<std::int64_t> SnapshotInt(
 }  // namespace
 
 Status ScheduleCache::Load(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
     return NotFoundError("cannot open cache snapshot '" + path + "'");
   }
+  std::string content((std::istreambuf_iterator<char>(stream)),
+                      std::istreambuf_iterator<char>());
+  stream.close();
+
+  std::istringstream file(content);
   std::string line;
-  if (!std::getline(file, line) || (line != "sscache 1" && line != "sscache 2")) {
+  if (!std::getline(file, line) ||
+      (line != "sscache 1" && line != "sscache 2" && line != "sscache 3")) {
     return InvalidArgumentError("'" + path + "' is not a cache snapshot");
   }
-  const bool has_regime = line == "sscache 2";
+  const bool has_regime = line != "sscache 1";
+  const bool has_crc = line == "sscache 3";
+
+  if (has_crc) {
+    // The last line must be the CRC-32 footer over everything before it.
+    const auto footer_pos = content.rfind("crc ");
+    if (footer_pos == std::string::npos ||
+        (footer_pos != 0 && content[footer_pos - 1] != '\n')) {
+      return CorruptArtifactError("'" + path +
+                                  "' is missing its checksum footer "
+                                  "(torn write?)");
+    }
+    unsigned long stored = 0;
+    try {
+      stored = std::stoul(content.substr(footer_pos + 4), nullptr, 16);
+    } catch (...) {
+      return CorruptArtifactError("'" + path + "' has a malformed checksum "
+                                  "footer");
+    }
+    const std::uint32_t actual =
+        Crc32(std::string_view(content).substr(0, footer_pos));
+    if (static_cast<std::uint32_t>(stored) != actual) {
+      return CorruptArtifactError("'" + path +
+                                  "' checksum mismatch (torn or tampered "
+                                  "snapshot)");
+    }
+    content.resize(footer_pos);
+    file.str(content);
+    std::getline(file, line);  // re-skip the header
+  }
 
   std::vector<std::shared_ptr<CachedSolve>> parsed;
   std::shared_ptr<CachedSolve> pending;
@@ -231,6 +333,13 @@ Status ScheduleCache::Load(const std::string& path) {
         auto regime = req("regime");
         if (!regime.ok()) return regime.status();
         pending->regime = RegimeId(static_cast<RegimeId::underlying_type>(*regime));
+      }
+      // Optional (v3+); pre-quality snapshots hold optimal solves only.
+      if (kv.count("quality") != 0) {
+        auto quality = req("quality");
+        if (!quality.ok()) return quality.status();
+        pending->quality = *quality == 0 ? sched::ScheduleQuality::kOptimal
+                                         : sched::ScheduleQuality::kHeuristic;
       }
       pending->min_latency = *min_latency;
       pending_ii = *ii;

@@ -43,6 +43,9 @@ struct CachedSolve {
   /// against a problem spec (the fingerprint key is one-way). Invalid for
   /// entries restored from pre-v2 snapshots.
   RegimeId regime = RegimeId::Invalid();
+  /// Provenance: proven-optimal solve, or a heuristic stand-in produced by
+  /// the service's graceful-degradation path.
+  sched::ScheduleQuality quality = sched::ScheduleQuality::kOptimal;
   /// False for entries restored from a snapshot until they pass full
   /// verification against the requesting problem spec (the service verifies
   /// on first serve); freshly solved entries are born verified.
@@ -92,11 +95,20 @@ class ScheduleCache {
   // exact integer-tick data, so the round-trip is lossless). Load() merges
   // entries into the cache without touching hit/miss counters.
   //
-  // Load() parses the whole file first and runs every restored schedule
-  // through verify::ScheduleVerifier::VerifyStructure; a structurally
-  // corrupt entry fails the load with kCorruptArtifact and leaves the cache
-  // untouched. Restored entries are marked unverified — the service runs
-  // the full spec-level verification before first serving them.
+  // Save() is crash-safe: the snapshot (format "sscache 3", sealed with a
+  // CRC-32 footer) is written to a process-unique temp file, fsync'd, and
+  // atomically renamed over `path` — a kill at any instant leaves either
+  // the previous complete snapshot or the new one, never a torn file. I/O
+  // failures surface as typed kSnapshotIoError.
+  //
+  // Load() parses the whole file first — checking the CRC footer on v3
+  // snapshots (a mismatch is a torn or tampered file and fails with
+  // kCorruptArtifact) — and runs every restored schedule through
+  // verify::ScheduleVerifier::VerifyStructure; a structurally corrupt entry
+  // fails the load with kCorruptArtifact and leaves the cache untouched.
+  // Restored entries are marked unverified — the service runs the full
+  // spec-level verification before first serving them. Footer-less v1/v2
+  // snapshots are still accepted.
 
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "core/ascii_table.hpp"
 #include "graph/op_graph.hpp"
+#include "sched/list_scheduler.hpp"
 #include "sched/occupancy.hpp"
+#include "sched/pipeline.hpp"
 #include "verify/verifier.hpp"
 
 namespace ss::service {
@@ -26,6 +29,10 @@ std::string ServiceStats::ToTable() const {
   row("queue rejected", queue_rejected);
   row("cancelled", cancelled);
   row("corrupt artifacts rejected", corrupt_rejected);
+  row("degraded (heuristic) serves", degraded);
+  row("solve retries", retried);
+  row("watchdog cancellations", watchdog_cancellations);
+  row("snapshot I/O errors", snapshot_io_errors);
   table.AddRow({"hit rate", FormatDouble(HitRate(), 3)});
   table.AddRow({"solver wall time", FormatTick(solve_ticks)});
   table.AddRule();
@@ -120,38 +127,51 @@ Expected<SolveFuture> ScheduleService::SubmitAsync(SolveRequest request) {
 }
 
 Expected<SolveResult> ScheduleService::Solve(SolveRequest request) {
-  const Tick deadline = request.deadline;
+  const Deadline deadline = Deadline::AtWall(request.deadline);
   auto submitted = SubmitAsync(std::move(request));
   if (!submitted.ok()) return submitted.status();
   SolveFuture future = *submitted;
-  if (deadline != kTickInfinity) {
-    const Tick remaining = deadline - WallNow();
-    if (future.wait_for(std::chrono::microseconds(
-            std::max<Tick>(0, remaining))) != std::future_status::ready) {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-      return Status(DeadlineExceededError(
-          "solve still running at the request deadline (the result will "
-          "warm the cache when it completes)"));
-    }
+  if (!deadline.infinite() &&
+      future.wait_until(deadline.time_point()) != std::future_status::ready) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return Status(DeadlineExceededError(
+        "solve still running at the request deadline (the result will "
+        "warm the cache when it completes)"));
   }
   return future.get();
 }
 
+namespace {
+
+Status ValidateRegime(const graph::ProblemSpec& spec, RegimeId regime) {
+  if (!regime.valid() || regime.index() >= spec.regime_count) {
+    return InvalidArgumentError(
+        "regime " + std::to_string(regime.value()) +
+        " outside the problem's " + std::to_string(spec.regime_count) +
+        " regime(s)");
+  }
+  return OkStatus();
+}
+
+/// Only kInternal reads as transient (a wedged subtree, an injected blip);
+/// invalid arguments, budget exhaustion and cancellations are final.
+bool RetryableSolveFailure(const Status& status) {
+  return status.code() == StatusCode::kInternal;
+}
+
+}  // namespace
+
 Expected<SolveResult> ScheduleService::RunSolve(const graph::Fingerprint& key,
                                                const SolveRequest& request,
-                                               int default_solver_threads) {
+                                               int default_solver_threads,
+                                               const std::atomic<bool>* cancel) {
   const graph::ProblemSpec& spec = *request.problem;
-  if (!request.regime.valid() ||
-      request.regime.index() >= spec.regime_count) {
-    return Status(InvalidArgumentError(
-        "regime " + std::to_string(request.regime.value()) +
-        " outside the problem's " + std::to_string(spec.regime_count) +
-        " regime(s)"));
-  }
+  SS_RETURN_IF_ERROR(ValidateRegime(spec, request.regime));
   sched::OptimalOptions effective = request.options;
   if (effective.solver_threads == sched::kSolverThreadsUnset) {
     effective.solver_threads = default_solver_threads;
   }
+  if (cancel != nullptr) effective.cancel = cancel;
   sched::OptimalScheduler scheduler(spec.graph, spec.costs, spec.comm,
                                     spec.machine);
   auto result = scheduler.Schedule(request.regime, effective);
@@ -163,12 +183,110 @@ Expected<SolveResult> ScheduleService::RunSolve(const graph::Fingerprint& key,
   solved->schedule = std::move(result->best);
   solved->min_latency = result->min_latency;
   solved->stats = result->Stats();
+  // A cancelled search that still produced a schedule hands out its best
+  // incumbent: legal, but no longer proven optimal.
+  solved->quality = result->cancelled ? sched::ScheduleQuality::kHeuristic
+                                      : sched::ScheduleQuality::kOptimal;
   const graph::OpGraph og = graph::OpGraph::Expand(
       spec.graph, spec.costs, request.regime,
       solved->schedule.iteration.variants());
   solved->occupancy = sched::AnalyzeOccupancy(spec.graph, og,
                                               solved->schedule);
   return Expected<SolveResult>(std::move(solved));
+}
+
+Expected<SolveResult> ScheduleService::RunDegraded(
+    const graph::Fingerprint& key, const SolveRequest& request) {
+  const graph::ProblemSpec& spec = *request.problem;
+  SS_RETURN_IF_ERROR(ValidateRegime(spec, request.regime));
+  const sched::ListScheduler fallback(spec.comm, spec.machine);
+  auto iter =
+      fallback.ScheduleBestVariant(spec.graph, spec.costs, request.regime);
+  if (!iter.ok()) return iter.status();
+
+  auto solved = std::make_shared<CachedSolve>();
+  solved->key = key;
+  solved->regime = request.regime;
+  solved->min_latency = iter->Latency();
+  solved->schedule = sched::PipelineComposer::Compose(
+      std::move(*iter), spec.machine.total_procs(),
+      request.options.pipeline);
+  solved->quality = sched::ScheduleQuality::kHeuristic;
+  const graph::OpGraph og = graph::OpGraph::Expand(
+      spec.graph, spec.costs, request.regime,
+      solved->schedule.iteration.variants());
+  solved->occupancy = sched::AnalyzeOccupancy(spec.graph, og,
+                                              solved->schedule);
+  return Expected<SolveResult>(std::move(solved));
+}
+
+Expected<SolveResult> ScheduleService::SolveWithResilience(const Job& job) {
+  // Cancel point: the earlier of the per-solve watchdog budget and, for
+  // degradable requests, the deadline minus the margin needed to still
+  // compute the fallback in time.
+  std::atomic<bool> cancel{false};
+  Tick cancel_at = kTickInfinity;
+  if (options_.solver_watchdog != kTickInfinity) {
+    cancel_at = WallNow() + options_.solver_watchdog;
+  }
+  const Tick deadline = job.request.deadline;
+  if (job.request.allow_degraded && deadline != kTickInfinity) {
+    cancel_at = std::min(
+        cancel_at, std::max<Tick>(0, deadline - options_.degraded_margin));
+  }
+  const bool watched = cancel_at != kTickInfinity;
+
+  auto run_attempt = [&](int attempt) -> Expected<SolveResult> {
+    std::uint64_t id = 0;
+    if (watched) id = ArmWatchdog(cancel_at, &cancel);
+    Expected<SolveResult> r = [&]() -> Expected<SolveResult> {
+      if (options_.solve_fault_injector) {
+        Status injected = options_.solve_fault_injector(job.key, attempt);
+        if (!injected.ok()) return Expected<SolveResult>(injected);
+      }
+      return RunSolve(job.key, job.request, options_.solver_threads,
+                      watched ? &cancel : nullptr);
+    }();
+    if (watched) DisarmWatchdog(id);
+    return r;
+  };
+
+  int attempt = 0;
+  Expected<SolveResult> result = run_attempt(attempt);
+  while (!result.ok() && RetryableSolveFailure(result.status()) &&
+         attempt < options_.max_solve_retries &&
+         !cancel.load(std::memory_order_acquire)) {
+    // Exponential backoff with deterministic key-derived jitter. Never
+    // sleep past the cancel point or the deadline: a retry that cannot
+    // finish is worse than surfacing the failure (or degrading) now.
+    Tick backoff = options_.retry_backoff << std::min(attempt, 20);
+    const std::uint64_t salt =
+        graph::FingerprintHash{}(job.key) +
+        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt + 1);
+    backoff += static_cast<Tick>(
+        salt % static_cast<std::uint64_t>(backoff + 1));
+    const Tick wake = WallNow() + backoff;
+    if (wake >= cancel_at) break;
+    if (deadline != kTickInfinity && wake >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    ++attempt;
+    retried_.fetch_add(1, std::memory_order_relaxed);
+    result = run_attempt(attempt);
+  }
+
+  if (!job.request.allow_degraded) return result;
+  if (result.ok()) {
+    // Watchdog-cancelled search with an incumbent: already a (quality-
+    // tagged) degraded answer.
+    if ((*result)->quality == sched::ScheduleQuality::kHeuristic) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+  Expected<SolveResult> heuristic = RunDegraded(job.key, job.request);
+  if (!heuristic.ok()) return result;  // the original error says more
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  return heuristic;
 }
 
 Status ScheduleService::VerifyHit(const graph::Fingerprint& key,
@@ -209,6 +327,17 @@ void ScheduleService::RunJob(Job job) {
 
   if (job.request.deadline != kTickInfinity &&
       WallNow() > job.request.deadline) {
+    if (job.request.allow_degraded) {
+      // Graceful degradation: the deadline has already passed, so skip the
+      // optimal solver entirely and answer with the fast heuristic, tagged
+      // with its quality.
+      auto heuristic = RunDegraded(job.key, job.request);
+      if (heuristic.ok()) {
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        FinishJob(job, std::move(heuristic));
+        return;
+      }
+    }
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
     FinishJob(job,
               Status(DeadlineExceededError("request expired while queued")));
@@ -231,12 +360,15 @@ void ScheduleService::RunJob(Job job) {
   }
 
   solves_.fetch_add(1, std::memory_order_relaxed);
-  Expected<SolveResult> result =
-      RunSolve(job.key, job.request, options_.solver_threads);
+  Expected<SolveResult> result = SolveWithResilience(job);
   if (result.ok()) {
     solve_ticks_.fetch_add((*result)->stats.wall_ticks,
                            std::memory_order_relaxed);
-    cache_.Insert(*result);
+    // Heuristic results are served but never cached: a later request with a
+    // generous deadline must still trigger the optimal solve.
+    if ((*result)->quality == sched::ScheduleQuality::kOptimal) {
+      cache_.Insert(*result);
+    }
   } else {
     solve_failures_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -263,6 +395,12 @@ ServiceStats ScheduleService::Stats() const {
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.corrupt_rejected =
       corrupt_rejected_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.retried = retried_.load(std::memory_order_relaxed);
+  stats.watchdog_cancellations =
+      watchdog_cancellations_.load(std::memory_order_relaxed);
+  stats.snapshot_io_errors =
+      snapshot_io_errors_.load(std::memory_order_relaxed);
   stats.solve_ticks = solve_ticks_.load(std::memory_order_relaxed);
   stats.cache = cache_.Stats();
   return stats;
@@ -281,13 +419,74 @@ void ScheduleService::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     inflight_.clear();
   }
+  // All solves have drained (pool shutdown joins the workers), so no one
+  // still needs a cancel flag flipped.
+  StopWatchdog();
 
   if (!options_.snapshot_path.empty() && !snapshot_saved_.exchange(true)) {
     Status saved = cache_.Save(options_.snapshot_path);
     if (!saved.ok()) {
+      if (saved.code() == StatusCode::kSnapshotIoError) {
+        snapshot_io_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
       std::fprintf(stderr, "warning: %s\n", saved.ToString().c_str());
     }
   }
+}
+
+std::uint64_t ScheduleService::ArmWatchdog(Tick cancel_at,
+                                           std::atomic<bool>* cancel) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  if (!watch_stop_ && !watchdog_.joinable()) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
+  const std::uint64_t id = ++next_watch_id_;
+  watched_.emplace(id, Watched{cancel_at, cancel});
+  watch_cv_.notify_one();
+  return id;
+}
+
+void ScheduleService::DisarmWatchdog(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  watched_.erase(id);
+}
+
+void ScheduleService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  while (!watch_stop_) {
+    Tick next = kTickInfinity;
+    for (const auto& [id, w] : watched_) {
+      next = std::min(next, w.cancel_at);
+    }
+    const Deadline deadline = Deadline::AtWall(next);
+    if (!deadline.expired()) {
+      // Woken by a new registration, stop, or the earliest cancel point;
+      // either way re-derive the registry state from scratch.
+      watch_cv_.wait_until(lock, deadline.time_point());
+      continue;
+    }
+    const Tick now = WallNow();
+    for (auto it = watched_.begin(); it != watched_.end();) {
+      if (it->second.cancel_at <= now) {
+        it->second.cancel->store(true, std::memory_order_release);
+        watchdog_cancellations_.fetch_add(1, std::memory_order_relaxed);
+        it = watched_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ScheduleService::StopWatchdog() {
+  std::thread reaped;
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = true;
+    reaped = std::move(watchdog_);
+    watch_cv_.notify_all();
+  }
+  if (reaped.joinable()) reaped.join();
 }
 
 }  // namespace ss::service

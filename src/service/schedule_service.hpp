@@ -23,12 +23,16 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
+#include "core/deadline.hpp"
 #include "core/error.hpp"
 #include "core/time.hpp"
 #include "core/worker_pool.hpp"
@@ -60,6 +64,26 @@ struct ServiceOptions {
   /// construction (if present) and saved back on Shutdown(), so a restarted
   /// service starts warm.
   std::string snapshot_path;
+  /// Per-invocation solver budget: a branch-and-bound solve still running
+  /// this many ticks after it starts is cooperatively cancelled via
+  /// OptimalOptions::cancel (the search keeps its best incumbent, which is
+  /// served tagged kHeuristic). kTickInfinity disables the watchdog.
+  Tick solver_watchdog = kTickInfinity;
+  /// Transient solve failures (kInternal) are retried up to this many extra
+  /// attempts before the error is surfaced.
+  int max_solve_retries = 2;
+  /// Base backoff before the first retry; doubles per attempt, plus a
+  /// deterministic jitter derived from the request key so identical
+  /// fingerprints racing across replicas do not retry in lockstep.
+  Tick retry_backoff = ticks::FromMillis(1);
+  /// Safety margin subtracted from a degradable request's deadline when
+  /// arming the watchdog, reserving time to compute the heuristic fallback
+  /// before the caller's wait expires.
+  Tick degraded_margin = ticks::FromMillis(2);
+  /// Test hook: called before every solve attempt (attempt numbers start at
+  /// 0); a non-OK status is treated as that attempt's solve failure. Used to
+  /// fault-inject the retry and degradation paths deterministically.
+  std::function<Status(const graph::Fingerprint&, int)> solve_fault_injector;
 };
 
 struct SolveRequest {
@@ -69,6 +93,12 @@ struct SolveRequest {
   /// Absolute deadline in WallNow() ticks; kTickInfinity = none. A request
   /// still queued past its deadline fails with kDeadlineExceeded.
   Tick deadline = kTickInfinity;
+  /// Graceful degradation: when true, a request that cannot get an optimal
+  /// schedule in time (deadline pressure, watchdog cancellation, solver
+  /// failure) is answered with a fast list-scheduler result tagged
+  /// ScheduleQuality::kHeuristic instead of an error. Degraded results are
+  /// never cached, so a later unhurried request still gets the optimum.
+  bool allow_degraded = false;
 };
 
 using SolveResult = std::shared_ptr<const CachedSolve>;
@@ -86,6 +116,15 @@ struct ServiceStats {
   /// Cached artifacts (snapshot-restored) that failed verification at serve
   /// time and were evicted instead of served.
   std::uint64_t corrupt_rejected = 0;
+  /// Requests answered with a heuristic (quality-tagged) schedule by the
+  /// graceful-degradation path.
+  std::uint64_t degraded = 0;
+  /// Solve attempts re-run after a transient failure.
+  std::uint64_t retried = 0;
+  /// Solves cooperatively cancelled by the watchdog (budget or deadline).
+  std::uint64_t watchdog_cancellations = 0;
+  /// Snapshot saves that failed with an I/O error.
+  std::uint64_t snapshot_io_errors = 0;
   /// Total wall time spent inside the optimal scheduler.
   Tick solve_ticks = 0;
   CacheStats cache;
@@ -149,7 +188,24 @@ class ScheduleService {
   void FinishJob(const Job& job, Expected<SolveResult> result);
   static Expected<SolveResult> RunSolve(const graph::Fingerprint& key,
                                         const SolveRequest& request,
-                                        int default_solver_threads);
+                                        int default_solver_threads,
+                                        const std::atomic<bool>* cancel);
+
+  /// One solve with the full resilience stack: watchdog arming, bounded
+  /// retry with backoff, and — for degradable requests — the heuristic
+  /// fallback.
+  Expected<SolveResult> SolveWithResilience(const Job& job);
+
+  /// Heuristic fallback: list-schedule + pipeline, tagged kHeuristic.
+  static Expected<SolveResult> RunDegraded(const graph::Fingerprint& key,
+                                           const SolveRequest& request);
+
+  // Watchdog: a lazily started thread that flips the cancel flag of any
+  // registered solve whose cancel point has passed.
+  std::uint64_t ArmWatchdog(Tick cancel_at, std::atomic<bool>* cancel);
+  void DisarmWatchdog(std::uint64_t id);
+  void WatchdogLoop();
+  void StopWatchdog();
 
   ServiceOptions options_;
   ScheduleCache cache_;
@@ -165,6 +221,17 @@ class ScheduleService {
   std::unique_ptr<WorkerPool> pool_;
   std::atomic<bool> snapshot_saved_{false};
 
+  struct Watched {
+    Tick cancel_at;
+    std::atomic<bool>* cancel;
+  };
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  std::unordered_map<std::uint64_t, Watched> watched_;
+  std::uint64_t next_watch_id_ = 0;
+  std::thread watchdog_;
+  bool watch_stop_ = false;
+
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
@@ -174,6 +241,10 @@ class ScheduleService {
   std::atomic<std::uint64_t> queue_rejected_{0};
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> corrupt_rejected_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> watchdog_cancellations_{0};
+  std::atomic<std::uint64_t> snapshot_io_errors_{0};
   std::atomic<Tick> solve_ticks_{0};
 };
 

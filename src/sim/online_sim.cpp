@@ -1,6 +1,7 @@
 #include "sim/online_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "core/error.hpp"
@@ -34,6 +35,45 @@ OnlineSimulator::OnlineSimulator(const graph::OpGraph& og,
   running_.assign(static_cast<std::size_t>(machine_.total_procs()), -1);
   slice_start_.assign(running_.size(), 0);
   slice_len_.assign(running_.size(), 0);
+  slice_work_.assign(running_.size(), 0);
+  slice_epoch_.assign(running_.size(), 0);
+  proc_dead_.assign(running_.size(), false);
+  slow_until_.assign(running_.size(), 0);
+  slow_factor_.assign(running_.size(), 1.0);
+  if (options_.faults != nullptr) {
+    SS_CHECK_MSG(
+        options_.faults->machine().total_procs() == machine_.total_procs(),
+        "fault plan was validated against a different machine");
+  }
+}
+
+void OnlineSimulator::MarkFrameLost(Timestamp ts) {
+  if (ts == kNoTimestamp) return;
+  const auto idx = static_cast<std::size_t>(ts);
+  if (idx >= frame_records_.size()) return;
+  if (frame_records_[idx].completed() || frame_lost_[idx]) return;
+  frame_lost_[idx] = true;
+  ++frames_lost_to_faults_;
+}
+
+void OnlineSimulator::KillProc(ProcId p, Tick now) {
+  const auto pi = p.index();
+  if (proc_dead_[pi]) return;
+  proc_dead_[pi] = true;
+  ++procs_failed_;
+  const int tid = running_[pi];
+  if (tid < 0) return;
+  // The in-flight slice and the frame state held by its thread die with the
+  // processor; the thread itself restarts from the next frame elsewhere.
+  busy_accum_ += now - slice_start_[pi];
+  running_[pi] = -1;
+  ++slice_epoch_[pi];
+  Thread& t = threads_[static_cast<std::size_t>(tid)];
+  MarkFrameLost(t.cur_ts);
+  t.state = ThreadState::kIdle;
+  t.cur_ts = kNoTimestamp;
+  t.remaining = 0;
+  TryStartNext(tid, now);
 }
 
 bool OnlineSimulator::HasOutSpace(const Thread& t) const {
@@ -132,12 +172,20 @@ void OnlineSimulator::OnEdgeSpaceFreed(int edge, Tick now) {
 
 OnlineSimResult OnlineSimulator::Run() {
   frame_records_.assign(options_.frames, FrameRecord{});
+  frame_lost_.assign(options_.frames, false);
   sinks_remaining_.assign(options_.frames, sink_count_);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> pq;
   for (std::size_t k = 0; k < options_.frames; ++k) {
     pq.push(Event{static_cast<Tick>(k) * options_.digitizer_period,
                   Event::kDigitize, static_cast<int>(k), event_seq_++});
+  }
+  if (options_.faults != nullptr) {
+    const auto& fault_events = options_.faults->events();
+    for (std::size_t i = 0; i < fault_events.size(); ++i) {
+      pq.push(Event{fault_events[i].at, Event::kFault, static_cast<int>(i),
+                    event_seq_++});
+    }
   }
 
   // Identify the (single) source thread.
@@ -176,17 +224,26 @@ OnlineSimResult OnlineSimulator::Run() {
 
   auto dispatch_all = [&] {
     for (int p = 0; p < procs && !ready_.empty(); ++p) {
-      if (running_[static_cast<std::size_t>(p)] != -1) continue;
+      const auto pi = static_cast<std::size_t>(p);
+      if (proc_dead_[pi] || running_[pi] != -1) continue;
       const int tid = pick_ready();
       Thread& t = threads_[static_cast<std::size_t>(tid)];
       t.state = ThreadState::kRunning;
       const Tick slice = std::min(options_.quantum, t.remaining);
-      running_[static_cast<std::size_t>(p)] = tid;
-      slice_start_[static_cast<std::size_t>(p)] = now;
-      slice_len_[static_cast<std::size_t>(p)] =
-          options_.context_switch + slice;
-      pq.push(Event{now + options_.context_switch + slice, Event::kSliceEnd,
-                    p, event_seq_++});
+      // A slowdown window stretches the wall time of the slice while the
+      // same amount of work is credited. A slice dispatched inside the
+      // window is inflated as a whole, even if the window ends mid-slice.
+      Tick wall = slice;
+      if (now < slow_until_[pi] && slow_factor_[pi] > 1.0) {
+        wall = static_cast<Tick>(
+            std::ceil(static_cast<double>(slice) * slow_factor_[pi]));
+      }
+      running_[pi] = tid;
+      slice_start_[pi] = now;
+      slice_len_[pi] = options_.context_switch + wall;
+      slice_work_[pi] = slice;
+      pq.push(Event{now + options_.context_switch + wall, Event::kSliceEnd, p,
+                    event_seq_++, slice_epoch_[pi]});
     }
   };
 
@@ -211,12 +268,38 @@ OnlineSimResult OnlineSimulator::Run() {
         frame_records_[k].ts = static_cast<Timestamp>(ev.arg);
         frame_records_[k].digitized_at = now;
       }
+    } else if (ev.kind == Event::kFault) {
+      const fault::FaultEvent& fe =
+          options_.faults->events()[static_cast<std::size_t>(ev.arg)];
+      switch (fe.kind) {
+        case fault::FaultKind::kProcFailStop:
+          KillProc(fe.proc, now);
+          break;
+        case fault::FaultKind::kNodeFailStop: {
+          const ProcId first = machine_.FirstProcOf(fe.node);
+          for (int i = 0; i < machine_.procs_per_node; ++i) {
+            KillProc(ProcId(first.value() + i), now);
+          }
+          break;
+        }
+        case fault::FaultKind::kTransientSlowdown: {
+          const auto pi = fe.proc.index();
+          slow_until_[pi] = std::max(slow_until_[pi], fe.at + fe.duration);
+          slow_factor_[pi] = std::max(slow_factor_[pi], fe.factor);
+          break;
+        }
+      }
     } else {  // kSliceEnd
       const auto p = static_cast<std::size_t>(ev.arg);
+      if (ev.epoch != slice_epoch_[p]) {
+        // The processor fail-stopped mid-slice; this completion never
+        // happened.
+        continue;
+      }
       const int tid = running_[p];
       SS_CHECK_MSG(tid >= 0, "slice end on an idle processor");
       Thread& t = threads_[static_cast<std::size_t>(tid)];
-      const Tick work = slice_len_[p] - options_.context_switch;
+      const Tick work = slice_work_[p];
       busy_accum_ += slice_len_[p];
       if (options_.record_trace && work > 0) {
         trace_.Add(TraceEvent{ProcId(static_cast<int>(p)),
@@ -244,6 +327,8 @@ OnlineSimResult OnlineSimulator::Run() {
   result.metrics = ComputeMetrics(frame_records_, options_.warmup);
   result.trace = std::move(trace_);
   result.end_time = now;
+  result.frames_lost_to_faults = frames_lost_to_faults_;
+  result.procs_failed = procs_failed_;
   if (now > 0 && procs > 0) {
     result.proc_utilization = static_cast<double>(busy_accum_) /
                               (static_cast<double>(now) * procs);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/time.hpp"
+#include "fault/fault.hpp"
 #include "graph/machine.hpp"
 #include "graph/op_graph.hpp"
 #include "sim/metrics.hpp"
@@ -53,6 +54,12 @@ struct OnlineSimOptions {
   /// Completed frames excluded from steady-state statistics.
   std::size_t warmup = 2;
   bool record_trace = false;
+  /// Optional fault script to inject (not owned; must outlive the run).
+  /// Fail-stops permanently disable a processor and destroy the work in
+  /// flight on it — the victim thread restarts from the next frame on the
+  /// survivors, the interrupted frame is lost. Transient slowdowns stretch
+  /// the wall time of slices dispatched inside their window.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 struct OnlineSimResult {
@@ -61,6 +68,9 @@ struct OnlineSimResult {
   std::vector<FrameRecord> frames;
   double proc_utilization = 0;
   Tick end_time = 0;
+  /// Frames whose in-flight work was destroyed by a fail-stop.
+  std::size_t frames_lost_to_faults = 0;
+  int procs_failed = 0;
 };
 
 class OnlineSimulator {
@@ -90,11 +100,14 @@ class OnlineSimulator {
     std::deque<Timestamp> items;
   };
 
+  // At equal times: digitize, then slice completions, then faults — a slice
+  // ending exactly when its processor dies still counts as finished work.
   struct Event {
     Tick time = 0;
-    enum Kind { kDigitize = 0, kSliceEnd = 1 } kind = kDigitize;
-    int arg = 0;      // frame index or processor
+    enum Kind { kDigitize = 0, kSliceEnd = 1, kFault = 2 } kind = kDigitize;
+    int arg = 0;      // frame index, processor, or fault-plan index
     std::uint64_t seq = 0;
+    std::uint64_t epoch = 0;  // kSliceEnd: stale after the proc fail-stops
 
     bool operator>(const Event& other) const {
       if (time != other.time) return time > other.time;
@@ -108,6 +121,8 @@ class OnlineSimulator {
   bool TryStartNext(int tid, Tick now);     // aligns inputs, arms the thread
   void OnEdgeSpaceFreed(int edge, Tick now);
   void CompleteSink(Timestamp ts, Tick now);
+  void KillProc(ProcId p, Tick now);
+  void MarkFrameLost(Timestamp ts);
 
   const graph::OpGraph& og_;
   graph::MachineConfig machine_;
@@ -118,7 +133,15 @@ class OnlineSimulator {
   std::deque<int> ready_;                  // FIFO of thread indexes
   std::vector<int> running_;               // thread index per proc, -1 free
   std::vector<Tick> slice_start_;          // per proc
-  std::vector<Tick> slice_len_;            // per proc
+  std::vector<Tick> slice_len_;            // per proc, wall time incl. switch
+  std::vector<Tick> slice_work_;           // per proc, work credited
+  std::vector<std::uint64_t> slice_epoch_; // per proc, bumped on fail-stop
+  std::vector<bool> proc_dead_;            // per proc
+  std::vector<Tick> slow_until_;           // per proc, slowdown window end
+  std::vector<double> slow_factor_;        // per proc
+  std::vector<bool> frame_lost_;           // per frame, lost to a fail-stop
+  std::size_t frames_lost_to_faults_ = 0;
+  int procs_failed_ = 0;
   std::vector<FrameRecord> frame_records_;
   std::vector<int> sinks_remaining_;       // per frame ts
   int sink_count_ = 0;

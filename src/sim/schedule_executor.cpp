@@ -1,6 +1,7 @@
 #include "sim/schedule_executor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ss::sim {
 
@@ -20,20 +21,39 @@ ScheduleRunResult RunSchedule(const sched::PipelinedSchedule& schedule,
     rec.ts = static_cast<Timestamp>(k);
     rec.digitized_at = release;
     Tick complete = release;
+    bool lost = false;
     for (const auto& e : schedule.iteration.entries()) {
+      const ProcId proc = schedule.ProcFor(e, static_cast<std::int64_t>(k));
       const Tick start = release + e.start;
-      const Tick end = start + e.duration;
+      Tick end = start + e.duration;
+      if (options.faults != nullptr) {
+        const double factor = options.faults->SlowdownAt(proc, start);
+        if (factor > 1.0) {
+          end = start + static_cast<Tick>(std::ceil(
+                            static_cast<double>(e.duration) * factor));
+        }
+        // Dying exactly at `end` still counts as finished work (matching
+        // the online simulator's event ordering).
+        if (options.faults->ProcDeadAt(proc, end - 1)) {
+          lost = true;
+          break;
+        }
+      }
       complete = std::max(complete, end);
       if (options.record_trace) {
-        result.trace.Add(TraceEvent{
-            schedule.ProcFor(e, static_cast<std::int64_t>(k)), start, end,
-            og.op(e.op).label, rec.ts});
+        result.trace.Add(TraceEvent{proc, start, end, og.op(e.op).label,
+                                    rec.ts});
       }
     }
-    rec.completed_at = complete;
+    if (lost) {
+      ++result.frames_lost_to_faults;
+    } else {
+      rec.completed_at = complete;
+    }
     frames.push_back(rec);
   }
   result.metrics = ComputeMetrics(frames, options.warmup);
+  result.frames = std::move(frames);
   return result;
 }
 

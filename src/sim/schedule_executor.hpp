@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "core/time.hpp"
+#include "fault/fault.hpp"
 #include "graph/op_graph.hpp"
 #include "sched/schedule.hpp"
 #include "sim/metrics.hpp"
@@ -25,12 +26,22 @@ struct ScheduleRunOptions {
   Tick digitizer_period = 0;
   std::size_t warmup = 2;
   bool record_trace = true;
+  /// Optional fault script (not owned; must outlive the run). An iteration
+  /// that places work on a processor that fail-stops before the entry
+  /// finishes loses its frame — the pre-computed schedule has no online
+  /// rescue path; recovery is the table switch modelled one level up by
+  /// regime::FaultTolerantManager. Transient slowdowns inflate the affected
+  /// entries' completion (offsets of later entries are kept, so the
+  /// inflation is visible in latency, not in a re-timed schedule).
+  const fault::FaultPlan* faults = nullptr;
 };
 
 struct ScheduleRunResult {
   RunMetrics metrics;
   Trace trace;
+  std::vector<FrameRecord> frames;
   Tick effective_interval = 0;
+  std::size_t frames_lost_to_faults = 0;
 };
 
 /// Replays `schedule` (entries expanded per iteration with rotation) over

@@ -4,11 +4,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <unordered_set>
 
 #include "core/ascii_table.hpp"
+#include "core/deadline.hpp"
 #include "core/error.hpp"
 #include "core/ids.hpp"
 #include "core/rng.hpp"
@@ -316,6 +320,62 @@ TEST(WorkerPoolTest, SubmitWithoutWaitRunsEveryTask) {
               std::future_status::ready)
         << "round " << round << ": a submitted task never ran";
   }
+}
+
+// ---- deadline ----------------------------------------------------------------
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  const Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), kTickInfinity);
+  EXPECT_TRUE(Deadline::After(kTickInfinity).infinite());
+  EXPECT_TRUE(Deadline::AtWall(kTickInfinity).infinite());
+}
+
+TEST(DeadlineTest, ExpiryAndClampedRemaining) {
+  const Deadline past = Deadline::After(0);
+  EXPECT_TRUE(past.expired());
+  EXPECT_EQ(past.remaining(), 0);
+  EXPECT_TRUE(Deadline::After(-ticks::FromSeconds(1)).expired());
+
+  const Deadline soon = Deadline::After(ticks::FromSeconds(60));
+  EXPECT_FALSE(soon.infinite());
+  EXPECT_FALSE(soon.expired());
+  EXPECT_GT(soon.remaining(), 0);
+  EXPECT_LE(soon.remaining(), ticks::FromSeconds(60));
+}
+
+TEST(DeadlineTest, AtWallMatchesWallNow) {
+  const Tick now = WallNow();
+  EXPECT_TRUE(Deadline::AtWall(now - 1).expired());
+  const Deadline later = Deadline::AtWall(now + ticks::FromSeconds(60));
+  EXPECT_FALSE(later.expired());
+  EXPECT_EQ(later.at(), now + ticks::FromSeconds(60));
+}
+
+TEST(DeadlineTest, WaitUntilTimesOutThenSeesPredicate) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool flag = false;
+  {
+    // Expired deadline + false predicate: reports the timeout immediately.
+    std::unique_lock lock(mu);
+    EXPECT_FALSE(Deadline::After(ticks::FromMillis(2))
+                     .WaitUntil(cv, lock, [&] { return flag; }));
+  }
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::lock_guard lock(mu);
+    flag = true;
+    cv.notify_all();
+  });
+  {
+    std::unique_lock lock(mu);
+    EXPECT_TRUE(Deadline::After(ticks::FromSeconds(30))
+                    .WaitUntil(cv, lock, [&] { return flag; }));
+  }
+  setter.join();
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/crc32.hpp"
 #include "graph/fingerprint.hpp"
 #include "graph/graph_io.hpp"
 #include "regime/regime.hpp"
@@ -371,7 +372,10 @@ TEST(ScheduleCacheTest, SnapshotRoundTripPreservesEntries) {
 }
 
 /// Rewrites every snapshot line through `edit`; lines `edit` leaves alone
-/// pass through untouched.
+/// pass through untouched. Re-seals the CRC footer afterwards so the
+/// tampering survives the load-time checksum — these tests target the
+/// *parsing* and *verification* layers behind it (the checksum itself is
+/// covered by SnapshotCrashSafetyTest in test_fault).
 template <typename Edit>
 void TamperSnapshot(const std::string& path, Edit edit) {
   std::ifstream in(path);
@@ -379,12 +383,17 @@ void TamperSnapshot(const std::string& path, Edit edit) {
   std::ostringstream out;
   std::string line;
   while (std::getline(in, line)) {
+    if (line.rfind("crc ", 0) == 0) continue;  // re-sealed below
     edit(&line);
     out << line << "\n";
   }
   in.close();
+  std::string body = out.str();
+  char footer[24];
+  std::snprintf(footer, sizeof(footer), "crc %08x\n", Crc32(body));
+  body += footer;
   std::ofstream rewrite(path, std::ios::trunc);
-  rewrite << out.str();
+  rewrite << body;
 }
 
 TEST(ScheduleCacheTest, LoadRejectsStructurallyCorruptSnapshot) {
