@@ -4,12 +4,14 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 
 #include "core/deadline.hpp"
 #include "core/log.hpp"
 #include "runtime/splitjoin.hpp"
 #include "stm/channel.hpp"
+#include "stm/gather.hpp"
 
 namespace ss::runtime {
 
@@ -200,25 +202,22 @@ Expected<FreeRunResult> FreeRunner::Run() {
         TaskInputs in;
         in.ts = ts;
         in.items.push_back(*head);
-        bool cancelled = false;
-        for (std::size_t i = 1; i < in_ch[t].size(); ++i) {
-          auto item = in_ch[t][i]->Get(in_conn[t][i],
-                                       stm::TsQuery::Exact(ts),
-                                       stm::GetMode::kBlocking);
-          if (!item.ok()) {
-            cancelled = true;
-            break;
-          }
-          in.items.push_back(*item);
-        }
-        if (cancelled) return;
         if (history) {
-          for (std::size_t i = 0; i < in_ch[t].size(); ++i) {
-            auto prev = in_ch[t][i]->Get(in_conn[t][i],
-                                         stm::TsQuery::Exact(ts - 1),
-                                         stm::GetMode::kNonBlocking);
-            in.prev_items.push_back(prev.ok() ? *prev : stm::Item{});
-          }
+          // The head channel's previous frame (already gotten or pinned by
+          // our own frontier, so a non-blocking read is exact).
+          auto prev = in_ch[t][0]->Get(in_conn[t][0],
+                                       stm::TsQuery::Exact(ts - 1),
+                                       stm::GetMode::kNonBlocking);
+          in.prev_items.push_back(prev.ok() ? *prev : stm::Item{});
+        }
+        if (in_ch[t].size() > 1) {
+          // Remaining channels: one batched get each for the frame's item
+          // plus (best-effort) its predecessor.
+          Status gathered = stm::GatherFrameInputs(
+              std::span(in_ch[t]).subspan(1),
+              std::span(in_conn[t]).subspan(1), ts, history,
+              stm::GetMode::kBlocking, &in.items, &in.prev_items);
+          if (!gathered.ok()) return;  // shutdown
         }
 
         TaskOutputs out;

@@ -9,6 +9,7 @@
 
 #include "core/log.hpp"
 #include "stm/channel.hpp"
+#include "stm/gather.hpp"
 
 namespace ss::runtime {
 
@@ -151,27 +152,16 @@ Expected<ScheduledRunResult> ScheduledRunner::Run() {
   }
 
   // Gather inputs for a task at a frame (channels already hold the items
-  // because the producer's exit op completed).
+  // because the producer's exit op completed), one batched get per channel.
   auto gather_inputs = [&](TaskId tid, Timestamp ts,
                            TaskInputs* in) -> Status {
     const auto t = tid.index();
     in->ts = ts;
-    for (std::size_t i = 0; i < in_ch[t].size(); ++i) {
-      auto item = in_ch[t][i]->Get(in_conn[t][i], stm::TsQuery::Exact(ts),
-                                   stm::GetMode::kNonBlocking);
-      if (!item.ok()) {
-        return InternalError("scheduled input missing: " +
-                             item.status().ToString());
-      }
-      in->items.push_back(*item);
-    }
-    if (app_.body(tid)->NeedsHistory()) {
-      for (std::size_t i = 0; i < in_ch[t].size(); ++i) {
-        auto prev = in_ch[t][i]->Get(in_conn[t][i],
-                                     stm::TsQuery::Exact(ts - 1),
-                                     stm::GetMode::kNonBlocking);
-        in->prev_items.push_back(prev.ok() ? *prev : stm::Item{});
-      }
+    Status s = stm::GatherFrameInputs(
+        in_ch[t], in_conn[t], ts, app_.body(tid)->NeedsHistory(),
+        stm::GetMode::kNonBlocking, &in->items, &in->prev_items);
+    if (!s.ok()) {
+      return InternalError("scheduled input missing: " + s.ToString());
     }
     return OkStatus();
   };

@@ -155,9 +155,13 @@ Status SplitJoinHarness::Run(std::size_t frames, const InputFn& input,
     const Decomposition d = table_.Get(state(ts));
     auto shared = std::make_shared<const TaskInputs>(std::move(*in));
     if (!controller.Push(Control{ts, d.chunks, shared}).ok()) break;
+    // All of a frame's chunks enter the queue under one lock acquisition.
+    std::vector<Chunk> chunks;
+    chunks.reserve(static_cast<std::size_t>(d.chunks));
     for (int c = 0; c < d.chunks; ++c) {
-      if (!work.Push(Chunk{ts, c, d.chunks, shared}).ok()) break;
+      chunks.push_back(Chunk{ts, c, d.chunks, shared});
     }
+    (void)work.PushBatch(std::move(chunks));
     ++stats_.items_processed;
   }
 
@@ -218,9 +222,12 @@ Status ChunkPool::RunOne(const TaskInputs& in, int chunks, TaskOutputs* out,
     outstanding_ = chunks;
     first_error_ = OkStatus();
   }
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(chunks));
   for (int cidx = 0; cidx < chunks; ++cidx) {
-    SS_RETURN_IF_ERROR(queue_.Push(Job{&in, cidx, chunks}));
+    jobs.push_back(Job{&in, cidx, chunks});
   }
+  SS_RETURN_IF_ERROR(queue_.PushBatch(std::move(jobs)));
   std::vector<stm::Payload> partials;
   {
     std::unique_lock lock(mu_);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "core/time.hpp"
 
@@ -20,10 +22,42 @@ std::string TsQuery::ToString() const {
   return os.str();
 }
 
+namespace {
+
+bool ResolveRingStorage(const ChannelOptions& options) {
+  switch (options.storage) {
+    case StorageMode::kMap:
+      return false;
+    case StorageMode::kRing:
+      SS_CHECK_MSG(options.capacity > 0, "ring storage needs a capacity");
+      return true;
+    case StorageMode::kAuto:
+      return options.capacity > 0 &&
+             options.capacity <= kRingAutoMaxCapacity;
+  }
+  return false;
+}
+
+}  // namespace
+
 Channel::Channel(ChannelId id, std::string name, ChannelOptions options)
-    : id_(id), name_(std::move(name)), options_(options) {}
+    : id_(id),
+      name_(std::move(name)),
+      options_(options),
+      ring_storage_(ResolveRingStorage(options)) {
+  if (ring_storage_) store_.InitRing(options_.capacity);
+}
 
 Channel::~Channel() { Shutdown(); }
+
+std::unique_lock<std::mutex> Channel::AcquireLock() const {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock.lock();
+    ++stats_.contended_lock_waits;
+  }
+  return lock;
+}
 
 ConnId Channel::Attach(ConnDir dir) {
   std::lock_guard lock(mu_);
@@ -34,50 +68,83 @@ ConnId Channel::Attach(ConnDir dir) {
   // frontier starts at the current GC frontier.
   if (dir == ConnDir::kInput && gc_frontier_) cs.frontier = *gc_frontier_;
   conns_.push_back(cs);
+  if (dir == ConnDir::kInput) {
+    ++attached_inputs_;
+    min_input_frontier_ = attached_inputs_ == 1
+                              ? cs.frontier
+                              : std::min(min_input_frontier_, cs.frontier);
+  }
   return ConnId(static_cast<ConnId::underlying_type>(conns_.size() - 1));
 }
 
 void Channel::Detach(ConnId conn) {
   std::lock_guard lock(mu_);
   if (!conn.valid() || conn.index() >= conns_.size()) return;
-  conns_[conn.index()].attached = false;
-  ReclaimLocked();
-  cv_space_.notify_all();
+  ConnState& cs = conns_[conn.index()];
+  if (cs.attached) {
+    cs.attached = false;
+    if (cs.dir == ConnDir::kInput) {
+      --attached_inputs_;
+      if (attached_inputs_ > 0 && cs.frontier == min_input_frontier_) {
+        RecomputeMinFrontierLocked();
+      }
+    }
+  }
+  // Reclaim runs even on a redundant detach: an item put below the minimum
+  // frontier while the GC frontier was still unset is collectable here,
+  // exactly as with a full frontier scan.
+  if (ReclaimLocked() > 0) WakeSpaceLocked();
 }
 
 bool Channel::FullLocked() const {
-  return options_.capacity != 0 && items_.size() >= options_.capacity;
+  return options_.capacity != 0 && store_.size() >= options_.capacity;
 }
 
 Timestamp Channel::MinInputFrontierLocked() const {
-  bool any_input = false;
-  Timestamp min_frontier = kTickInfinity;
+  // Nothing consumes -> nothing GC'd.
+  return attached_inputs_ == 0 ? kNoTimestamp : min_input_frontier_;
+}
+
+void Channel::RecomputeMinFrontierLocked() {
+  Timestamp min_frontier = std::numeric_limits<Timestamp>::max();
   for (const auto& cs : conns_) {
     if (!cs.attached || cs.dir != ConnDir::kInput) continue;
-    any_input = true;
     min_frontier = std::min(min_frontier, cs.frontier);
   }
-  if (!any_input) return kNoTimestamp;  // nothing consumes -> nothing GC'd
-  return min_frontier;
+  min_input_frontier_ = min_frontier;
 }
 
-void Channel::ReclaimLocked() {
+std::size_t Channel::ReclaimLocked() {
   const Timestamp frontier = MinInputFrontierLocked();
-  if (frontier == kNoTimestamp) return;
-  auto end = items_.upper_bound(frontier);
-  std::size_t n = 0;
-  for (auto it = items_.begin(); it != end; ++it) ++n;
-  if (n == 0) return;
-  auto last_reclaimed = std::prev(end)->first;
-  gc_frontier_ = gc_frontier_ ? std::max(*gc_frontier_, last_reclaimed)
-                              : last_reclaimed;
-  items_.erase(items_.begin(), end);
-  stats_.reclaimed += n;
-  stats_.occupancy = items_.size();
+  if (frontier == kNoTimestamp) return 0;
+  const auto r = store_.ReclaimUpTo(frontier);
+  if (r.removed == 0) return 0;
+  gc_frontier_ =
+      gc_frontier_ ? std::max(*gc_frontier_, r.last) : r.last;
+  stats_.reclaimed += r.removed;
+  stats_.occupancy = store_.size();
+  return r.removed;
 }
 
-Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
-  std::unique_lock lock(mu_);
+void Channel::WakeGettersLocked() {
+  if (waiting_getters_ > 0) {
+    cv_items_.notify_all();
+    ++stats_.notifies_sent;
+  } else {
+    ++stats_.notifies_suppressed;
+  }
+}
+
+void Channel::WakeSpaceLocked() {
+  if (waiting_putters_ > 0) {
+    cv_space_.notify_all();
+    ++stats_.notifies_sent;
+  } else {
+    ++stats_.notifies_suppressed;
+  }
+}
+
+Status Channel::ValidatePutLocked(const ConnId& conn) const {
   if (!conn.valid() || conn.index() >= conns_.size() ||
       !conns_[conn.index()].attached) {
     return InvalidArgumentError("put on invalid/detached connection");
@@ -85,6 +152,11 @@ Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
   if (conns_[conn.index()].dir != ConnDir::kOutput) {
     return FailedPreconditionError("put on an input connection");
   }
+  return OkStatus();
+}
+
+Status Channel::PutOneLocked(std::unique_lock<std::mutex>& lock, Timestamp ts,
+                             Payload payload, PutMode mode) {
   if (shutdown_) return CancelledError("channel '" + name_ + "' shut down");
   if (gc_frontier_ && ts <= *gc_frontier_) {
     return OutOfRangeError("timestamp " + std::to_string(ts) +
@@ -92,7 +164,7 @@ Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
                            name_ + "' (frontier " +
                            std::to_string(*gc_frontier_) + ")");
   }
-  if (items_.count(ts) != 0) {
+  if (store_.Contains(ts)) {
     return AlreadyExistsError("duplicate timestamp in channel '" + name_ +
                               "'");
   }
@@ -102,12 +174,12 @@ Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
         return WouldBlockError("channel '" + name_ + "' full");
       case PutMode::kDropOldest: {
         // Reclaim the oldest item to make room.
-        auto it = items_.begin();
-        gc_frontier_ = gc_frontier_ ? std::max(*gc_frontier_, it->first)
-                                    : it->first;
-        items_.erase(it);
+        const Timestamp dropped_ts = store_.PopOldest();
+        gc_frontier_ = gc_frontier_ ? std::max(*gc_frontier_, dropped_ts)
+                                    : dropped_ts;
         ++stats_.dropped;
-        if (gc_frontier_ && ts <= *gc_frontier_) {
+        stats_.occupancy = store_.size();
+        if (ts <= *gc_frontier_) {
           return OutOfRangeError(
               "timestamp older than item dropped to make room");
         }
@@ -115,7 +187,9 @@ Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
       }
       case PutMode::kBlocking: {
         ++stats_.blocked_puts;
+        ++waiting_putters_;
         cv_space_.wait(lock, [&] { return shutdown_ || !FullLocked(); });
+        --waiting_putters_;
         if (shutdown_) {
           return CancelledError("channel '" + name_ + "' shut down");
         }
@@ -123,7 +197,7 @@ Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
         if (gc_frontier_ && ts <= *gc_frontier_) {
           return OutOfRangeError("timestamp garbage collected while blocked");
         }
-        if (items_.count(ts) != 0) {
+        if (store_.Contains(ts)) {
           return AlreadyExistsError("duplicate timestamp in channel '" +
                                     name_ + "'");
         }
@@ -131,32 +205,50 @@ Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
       }
     }
   }
-  items_.emplace(ts, std::move(payload));
+  store_.Insert(ts, std::move(payload));
   ++stats_.puts;
-  stats_.occupancy = items_.size();
-  stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
-  cv_items_.notify_all();
+  stats_.occupancy = store_.size();
+  stats_.max_occupancy = std::max(stats_.max_occupancy, store_.size());
   return OkStatus();
+}
+
+Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
+  auto lock = AcquireLock();
+  SS_RETURN_IF_ERROR(ValidatePutLocked(conn));
+  Status status = PutOneLocked(lock, ts, std::move(payload), mode);
+  if (status.ok()) WakeGettersLocked();
+  return status;
+}
+
+Status Channel::PutBatch(ConnId conn, std::vector<Item> items, PutMode mode) {
+  auto lock = AcquireLock();
+  SS_RETURN_IF_ERROR(ValidatePutLocked(conn));
+  ++stats_.batch_puts;
+  Status status = OkStatus();
+  bool inserted = false;
+  for (Item& item : items) {
+    status = PutOneLocked(lock, item.ts, std::move(item.payload), mode);
+    if (!status.ok()) break;
+    inserted = true;
+  }
+  if (inserted) WakeGettersLocked();
+  return status;
 }
 
 Expected<Item> Channel::FindLocked(ConnState& cs, const TsQuery& query,
                                    TsNeighbors* neighbors) {
-  auto make_item = [&](std::map<Timestamp, Payload>::iterator it) {
-    cs.last_got = std::max(cs.last_got, it->first);
+  auto make_item = [&](const detail::ItemStore::Ref& ref) {
+    cs.last_got = std::max(cs.last_got, ref.ts);
     ++stats_.gets;
-    return Item{it->first, it->second};
+    return Item{ref.ts, *ref.payload};
   };
 
   switch (query.kind) {
     case TsQueryKind::kExact: {
-      auto it = items_.find(query.ts);
-      if (it != items_.end()) return make_item(it);
+      if (auto ref = store_.Find(query.ts)) return make_item(*ref);
       if (neighbors) {
-        auto after = items_.upper_bound(query.ts);
-        if (after != items_.end()) neighbors->after = after->first;
-        if (after != items_.begin()) {
-          neighbors->before = std::prev(after)->first;
-        }
+        if (auto after = store_.After(query.ts)) neighbors->after = after->ts;
+        neighbors->before = store_.Before(query.ts);
       }
       if (gc_frontier_ && query.ts <= *gc_frontier_) {
         return OutOfRangeError("timestamp below GC frontier");
@@ -164,27 +256,24 @@ Expected<Item> Channel::FindLocked(ConnState& cs, const TsQuery& query,
       return NotFoundError("no item with requested timestamp");
     }
     case TsQueryKind::kNewest: {
-      if (items_.empty()) return NotFoundError("channel empty");
-      return make_item(std::prev(items_.end()));
+      if (auto ref = store_.Newest()) return make_item(*ref);
+      return NotFoundError("channel empty");
     }
     case TsQueryKind::kOldest: {
-      if (items_.empty()) return NotFoundError("channel empty");
-      return make_item(items_.begin());
+      if (auto ref = store_.Oldest()) return make_item(*ref);
+      return NotFoundError("channel empty");
     }
     case TsQueryKind::kNewestUnseen: {
-      if (items_.empty()) return NotFoundError("channel empty");
-      auto it = std::prev(items_.end());
-      if (it->first <= cs.last_got) {
+      auto ref = store_.Newest();
+      if (!ref) return NotFoundError("channel empty");
+      if (ref->ts <= cs.last_got) {
         return NotFoundError("no item newer than last gotten");
       }
-      return make_item(it);
+      return make_item(*ref);
     }
     case TsQueryKind::kAfter: {
-      auto it = items_.upper_bound(query.ts);
-      if (it == items_.end()) {
-        return NotFoundError("no item after requested timestamp");
-      }
-      return make_item(it);
+      if (auto ref = store_.After(query.ts)) return make_item(*ref);
+      return NotFoundError("no item after requested timestamp");
     }
   }
   return InternalError("unreachable query kind");
@@ -192,21 +281,23 @@ Expected<Item> Channel::FindLocked(ConnState& cs, const TsQuery& query,
 
 Expected<Item> Channel::Get(ConnId conn, TsQuery query, GetMode mode,
                             TsNeighbors* neighbors) {
-  std::unique_lock lock(mu_);
+  auto lock = AcquireLock();
   if (!conn.valid() || conn.index() >= conns_.size() ||
       !conns_[conn.index()].attached) {
     return Status(
         InvalidArgumentError("get on invalid/detached connection"));
   }
-  ConnState& cs = conns_[conn.index()];
-  if (cs.dir != ConnDir::kInput) {
+  if (conns_[conn.index()].dir != ConnDir::kInput) {
     return Status(FailedPreconditionError("get on an output connection"));
   }
-
+  // conns_ may grow (reallocate) while a blocking wait releases the lock, so
+  // the ConnState is re-resolved by index, never held by reference across a
+  // wait.
+  const std::size_t idx = conn.index();
   for (;;) {
     // Drain-after-shutdown: remaining items stay readable; only waiting for
     // future items is cancelled.
-    auto result = FindLocked(cs, query, neighbors);
+    auto result = FindLocked(conns_[idx], query, neighbors);
     if (result.ok()) return result;
     if (shutdown_) {
       ++stats_.failed_gets;
@@ -219,25 +310,80 @@ Expected<Item> Channel::Get(ConnId conn, TsQuery query, GetMode mode,
       return result;
     }
     ++stats_.blocked_gets;
+    ++waiting_getters_;
     cv_items_.wait(lock);
+    --waiting_getters_;
   }
+}
+
+Expected<std::vector<Item>> Channel::GetBatch(
+    ConnId conn, const std::vector<BatchGet>& queries, GetMode mode) {
+  auto lock = AcquireLock();
+  if (!conn.valid() || conn.index() >= conns_.size() ||
+      !conns_[conn.index()].attached) {
+    return Status(
+        InvalidArgumentError("get on invalid/detached connection"));
+  }
+  if (conns_[conn.index()].dir != ConnDir::kInput) {
+    return Status(FailedPreconditionError("get on an output connection"));
+  }
+  ++stats_.batch_gets;
+  const std::size_t idx = conn.index();
+  std::vector<Item> out;
+  out.reserve(queries.size());
+  for (const BatchGet& q : queries) {
+    if (!q.required) {
+      // Best-effort entry: a miss yields an empty Item, never an error and
+      // never a wait.
+      auto result = FindLocked(conns_[idx], q.query, nullptr);
+      if (result.ok()) {
+        out.push_back(*std::move(result));
+      } else {
+        ++stats_.failed_gets;
+        out.emplace_back();
+      }
+      continue;
+    }
+    // Required entries follow Get semantics exactly, including blocking.
+    for (;;) {
+      auto result = FindLocked(conns_[idx], q.query, nullptr);
+      if (result.ok()) {
+        out.push_back(*std::move(result));
+        break;
+      }
+      if (shutdown_) {
+        ++stats_.failed_gets;
+        return Status(CancelledError("channel '" + name_ + "' shut down"));
+      }
+      const StatusCode code = result.status().code();
+      if (mode == GetMode::kNonBlocking || code != StatusCode::kNotFound) {
+        ++stats_.failed_gets;
+        return result.status();
+      }
+      ++stats_.blocked_gets;
+      ++waiting_getters_;
+      cv_items_.wait(lock);
+      --waiting_getters_;
+    }
+  }
+  return out;
 }
 
 Expected<Item> Channel::GetFor(ConnId conn, TsQuery query, Tick timeout,
                                TsNeighbors* neighbors) {
-  std::unique_lock lock(mu_);
+  auto lock = AcquireLock();
   if (!conn.valid() || conn.index() >= conns_.size() ||
       !conns_[conn.index()].attached) {
     return Status(InvalidArgumentError("get on invalid/detached connection"));
   }
-  ConnState& cs = conns_[conn.index()];
-  if (cs.dir != ConnDir::kInput) {
+  if (conns_[conn.index()].dir != ConnDir::kInput) {
     return Status(FailedPreconditionError("get on an output connection"));
   }
+  const std::size_t idx = conn.index();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::microseconds(timeout);
   for (;;) {
-    auto result = FindLocked(cs, query, neighbors);
+    auto result = FindLocked(conns_[idx], query, neighbors);
     if (result.ok()) return result;
     if (shutdown_) {
       ++stats_.failed_gets;
@@ -248,7 +394,10 @@ Expected<Item> Channel::GetFor(ConnId conn, TsQuery query, Tick timeout,
       return result;
     }
     ++stats_.blocked_gets;
-    if (cv_items_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    ++waiting_getters_;
+    const auto wait_result = cv_items_.wait_until(lock, deadline);
+    --waiting_getters_;
+    if (wait_result == std::cv_status::timeout) {
       ++stats_.failed_gets;
       return Status(WouldBlockError("timed out waiting on channel '" +
                                     name_ + "'"));
@@ -257,7 +406,7 @@ Expected<Item> Channel::GetFor(ConnId conn, TsQuery query, Tick timeout,
 }
 
 Status Channel::Consume(ConnId conn, Timestamp ts) {
-  std::lock_guard lock(mu_);
+  auto lock = AcquireLock();
   if (!conn.valid() || conn.index() >= conns_.size() ||
       !conns_[conn.index()].attached) {
     return InvalidArgumentError("consume on invalid/detached connection");
@@ -266,9 +415,13 @@ Status Channel::Consume(ConnId conn, Timestamp ts) {
   if (cs.dir != ConnDir::kInput) {
     return FailedPreconditionError("consume on an output connection");
   }
+  const Timestamp old_frontier = cs.frontier;
   cs.frontier = std::max(cs.frontier, ts);
-  ReclaimLocked();
-  cv_space_.notify_all();
+  // The cached minimum only moves when its holder advances.
+  if (cs.frontier != old_frontier && old_frontier == min_input_frontier_) {
+    RecomputeMinFrontierLocked();
+  }
+  if (ReclaimLocked() > 0) WakeSpaceLocked();
   return OkStatus();
 }
 
@@ -286,19 +439,21 @@ bool Channel::shut_down() const {
 
 std::size_t Channel::Occupancy() const {
   std::lock_guard lock(mu_);
-  return items_.size();
+  return store_.size();
 }
 
 std::optional<Timestamp> Channel::OldestTs() const {
   std::lock_guard lock(mu_);
-  if (items_.empty()) return std::nullopt;
-  return items_.begin()->first;
+  auto ref = store_.Oldest();
+  if (!ref) return std::nullopt;
+  return ref->ts;
 }
 
 std::optional<Timestamp> Channel::NewestTs() const {
   std::lock_guard lock(mu_);
-  if (items_.empty()) return std::nullopt;
-  return std::prev(items_.end())->first;
+  auto ref = store_.Newest();
+  if (!ref) return std::nullopt;
+  return ref->ts;
 }
 
 std::optional<Timestamp> Channel::GcFrontier() const {
@@ -307,9 +462,12 @@ std::optional<Timestamp> Channel::GcFrontier() const {
 }
 
 ChannelStats Channel::Stats() const {
+  // One lock acquisition: the snapshot is internally consistent, so
+  // cross-counter invariants (puts == reclaimed + dropped + occupancy) hold
+  // even while producers and consumers are running.
   std::lock_guard lock(mu_);
   ChannelStats s = stats_;
-  s.occupancy = items_.size();
+  s.occupancy = store_.size();
   return s;
 }
 

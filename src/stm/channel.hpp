@@ -16,12 +16,19 @@
 //   * Optionally bounded capacity provides flow control: puts block, fail,
 //     or drop the oldest item.
 //
+// Data plane (docs/stm.md has the full design note):
+//   * Bounded channels default to ring storage — a preallocated sorted
+//     circular window with O(1) in-order puts and allocation-free GC.
+//   * The minimum input frontier is cached, so Consume does not rescan
+//     connections; wakeups are suppressed when nobody waits.
+//   * PutBatch/GetBatch move several items per lock acquisition; a
+//     per-channel PayloadPool recycles payload buffers.
+//
 // Thread safety: all public methods are safe to call concurrently.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -31,6 +38,8 @@
 #include "core/ids.hpp"
 #include "core/time.hpp"
 #include "stm/item.hpp"
+#include "stm/item_store.hpp"
+#include "stm/pool.hpp"
 #include "stm/ts_query.hpp"
 
 namespace ss::stm {
@@ -48,7 +57,20 @@ enum class GetMode {
   kBlocking,     // no matching item -> wait for one (or shutdown)
 };
 
-/// Counters exposed for tests and benches.
+/// Item storage backing a channel (see stm/item_store.hpp).
+enum class StorageMode {
+  kAuto,  // ring when bounded with capacity <= kRingAutoMaxCapacity
+  kMap,   // ordered map (required for unbounded channels)
+  kRing,  // sorted circular window (requires a capacity)
+};
+
+/// Largest capacity at which kAuto picks ring storage. Beyond this the O(n)
+/// worst case of an out-of-order insert outweighs the tree it replaces.
+inline constexpr std::size_t kRingAutoMaxCapacity = 4096;
+
+/// Counters exposed for tests and benches. Snapshots returned by Stats()
+/// are taken under one lock acquisition, so cross-counter invariants hold
+/// on every snapshot: puts == reclaimed + dropped + occupancy.
 struct ChannelStats {
   std::uint64_t puts = 0;
   std::uint64_t gets = 0;
@@ -57,6 +79,14 @@ struct ChannelStats {
   std::uint64_t dropped = 0;        // items dropped by kDropOldest puts
   std::uint64_t blocked_puts = 0;   // puts that had to wait
   std::uint64_t blocked_gets = 0;   // gets that had to wait
+  std::uint64_t batch_puts = 0;     // PutBatch calls
+  std::uint64_t batch_gets = 0;     // GetBatch calls
+  /// Lock acquisitions on the put/get/consume paths that found the lock
+  /// held and had to wait. The observability hook for contention
+  /// regressions: near zero on a well-scheduled pipeline.
+  std::uint64_t contended_lock_waits = 0;
+  std::uint64_t notifies_sent = 0;        // state changes that woke waiters
+  std::uint64_t notifies_suppressed = 0;  // state changes with no waiters
   std::size_t occupancy = 0;        // items currently held
   std::size_t max_occupancy = 0;    // high-water mark
 };
@@ -65,6 +95,17 @@ struct ChannelStats {
 struct ChannelOptions {
   /// Maximum number of live items; 0 means unbounded.
   std::size_t capacity = 0;
+  /// Storage selection; kAuto resolves from capacity. kRing requires a
+  /// non-zero capacity.
+  StorageMode storage = StorageMode::kAuto;
+};
+
+/// One entry of a GetBatch request.
+struct BatchGet {
+  TsQuery query;
+  /// Optional entries yield an empty Item on a miss instead of failing the
+  /// batch (used for best-effort history reads).
+  bool required = true;
 };
 
 class Channel {
@@ -78,6 +119,15 @@ class Channel {
   ChannelId id() const { return id_; }
   const std::string& name() const { return name_; }
   std::size_t capacity() const { return options_.capacity; }
+  /// The resolved storage mode (kMap or kRing, never kAuto).
+  StorageMode storage_mode() const {
+    return ring_storage_ ? StorageMode::kRing : StorageMode::kMap;
+  }
+
+  /// Per-channel payload slab: producers that route allocations through
+  /// this pool recycle buffers freed by garbage collection, so the
+  /// steady-state frame loop allocates nothing.
+  PayloadPool& pool() { return pool_; }
 
   /// Attaches a new connection. Input connections participate in garbage
   /// collection; until an input connection consumes, its frontier holds all
@@ -93,6 +143,12 @@ class Channel {
   Status Put(ConnId conn, Timestamp ts, Payload payload,
              PutMode mode = PutMode::kBlocking);
 
+  /// Inserts several items under one lock acquisition, in order, with the
+  /// same per-item semantics as Put. Stops at the first failure (earlier
+  /// items stay inserted, as with sequential Puts); waiters are woken once.
+  Status PutBatch(ConnId conn, std::vector<Item> items,
+                  PutMode mode = PutMode::kBlocking);
+
   /// Typed convenience wrapper around Put.
   template <typename T>
   Status PutValue(ConnId conn, Timestamp ts, T value,
@@ -100,11 +156,29 @@ class Channel {
     return Put(conn, ts, Payload::Make<T>(std::move(value)), mode);
   }
 
+  /// Like PutValue but drawing the payload buffer from the channel's pool.
+  template <typename T>
+  Status PutValuePooled(ConnId conn, Timestamp ts, T value,
+                        PutMode mode = PutMode::kBlocking) {
+    return Put(conn, ts, pool_.Make<T>(std::move(value)), mode);
+  }
+
   /// Retrieves an item per the query. On a failed exact get, *neighbors (if
   /// non-null) receives the adjacent available timestamps.
   Expected<Item> Get(ConnId conn, TsQuery query,
                      GetMode mode = GetMode::kBlocking,
                      TsNeighbors* neighbors = nullptr);
+
+  /// Resolves several queries under one lock acquisition, in order, with
+  /// the same per-query semantics as sequential Gets (kBlocking waits for
+  /// each required query in turn, releasing the lock while waiting). A miss
+  /// on an entry with required == false yields an empty Item (ts ==
+  /// kNoTimestamp) instead of failing the batch. On failure the batch
+  /// returns the offending query's status; earlier side effects (last-got
+  /// advancement) stand, exactly as with sequential Gets.
+  Expected<std::vector<Item>> GetBatch(ConnId conn,
+                                       const std::vector<BatchGet>& queries,
+                                       GetMode mode = GetMode::kBlocking);
 
   /// Blocking get with a deadline: waits up to `timeout` for a matching
   /// item, then fails with kWouldBlock. Latency-critical consumers use this
@@ -152,25 +226,46 @@ class Channel {
     Timestamp frontier = kNoTimestamp;
   };
 
+  /// Locks mu_, counting acquisitions that had to wait.
+  std::unique_lock<std::mutex> AcquireLock() const;
+
   // All private helpers require mu_ held.
   bool FullLocked() const;
-  void ReclaimLocked();
+  /// Reclaims items below the cached minimum input frontier; returns the
+  /// number removed (callers wake blocked producers when non-zero).
+  std::size_t ReclaimLocked();
   Timestamp MinInputFrontierLocked() const;
+  void RecomputeMinFrontierLocked();
+  Status ValidatePutLocked(const ConnId& conn) const;
+  Status PutOneLocked(std::unique_lock<std::mutex>& lock, Timestamp ts,
+                      Payload payload, PutMode mode);
   Expected<Item> FindLocked(ConnState& cs, const TsQuery& query,
                             TsNeighbors* neighbors);
+  void WakeGettersLocked();
+  void WakeSpaceLocked();
 
   const ChannelId id_;
   const std::string name_;
   const ChannelOptions options_;
+  const bool ring_storage_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_items_;  // signalled on put / shutdown
   std::condition_variable cv_space_;  // signalled on reclaim / shutdown
-  std::map<Timestamp, Payload> items_;
+  detail::ItemStore store_;
   std::vector<ConnState> conns_;
+  /// Cached count of attached input connections and the minimum of their
+  /// frontiers, so Consume/Put need no scan over conns_.
+  std::size_t attached_inputs_ = 0;
+  Timestamp min_input_frontier_ = kNoTimestamp;
+  /// Waiter counts let producers/consumers skip the notify syscall when
+  /// nobody is blocked (the steady-state case under a feasible schedule).
+  int waiting_getters_ = 0;
+  int waiting_putters_ = 0;
   bool shutdown_ = false;
   std::optional<Timestamp> gc_frontier_;
-  ChannelStats stats_;
+  mutable ChannelStats stats_;
+  PayloadPool pool_;
 };
 
 }  // namespace ss::stm

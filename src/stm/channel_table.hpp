@@ -5,12 +5,19 @@
 // does not. Here the "cluster" lives in one process, so the table provides
 // the naming/attach mechanism and records a placement (NodeId) per channel
 // that the cost models and the simulator consult.
+//
+// The table is reader-biased: creation happens during pipeline setup, while
+// lookups happen on every frame from every thread. Lookups take shared locks
+// only, and name resolution is sharded so concurrent Find calls on different
+// channels do not contend on one mutex.
 #pragma once
 
+#include <array>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/error.hpp"
@@ -48,10 +55,22 @@ class ChannelTable {
   std::vector<std::pair<std::string, ChannelStats>> AllStats() const;
 
  private:
-  mutable std::mutex mu_;
+  static constexpr std::size_t kNameShards = 8;
+
+  struct NameShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, ChannelId> by_name;
+  };
+
+  NameShard& ShardFor(const std::string& name) const {
+    return shards_[std::hash<std::string>{}(name) % kNameShards];
+  }
+
+  // Lock order: name shard before table (Create holds both).
+  mutable std::shared_mutex table_mu_;  // guards channels_ and homes_
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<NodeId> homes_;
-  std::unordered_map<std::string, ChannelId> by_name_;
+  mutable std::array<NameShard, kNameShards> shards_;
 };
 
 }  // namespace ss::stm

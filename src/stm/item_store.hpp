@@ -1,0 +1,239 @@
+// Timestamp-indexed item storage for a channel, in two modes.
+//
+// The paper's §3.3 observation — a fixed schedule bounds channel occupancy —
+// means a capacity-bounded channel never holds more than `capacity` live
+// items. For that case a preallocated circular array sorted by timestamp
+// ("ring" mode) replaces the red-black tree: exact gets binary-search a
+// contiguous window (O(log capacity), cache-friendly, no node allocations),
+// newest/oldest are O(1), the common in-order put is an O(1) append, and
+// garbage collection pops a prefix without touching the heap. Unbounded
+// channels keep the ordered map ("map" mode).
+//
+// Both modes implement identical observable semantics: one item per
+// timestamp, ordered iteration, prefix reclaim. The Channel decides the mode
+// at construction (see ChannelOptions::storage) and never switches.
+//
+// Not thread-safe; the owning Channel serializes access under its lock.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "stm/item.hpp"
+
+namespace ss::stm::detail {
+
+class ItemStore {
+ public:
+  /// A borrowed view of a stored item; valid until the next mutation.
+  struct Ref {
+    Timestamp ts;
+    const Payload* payload;
+  };
+
+  struct ReclaimResult {
+    std::size_t removed = 0;
+    Timestamp last = kNoTimestamp;  // highest timestamp removed
+  };
+
+  ItemStore() = default;
+
+  /// Switches to ring mode with a fixed slot count. Must be called before
+  /// any insert and at most once.
+  void InitRing(std::size_t capacity) {
+    SS_CHECK_MSG(capacity > 0, "ring storage needs a capacity");
+    SS_CHECK_MSG(slots_.empty() && map_.empty(), "InitRing on a used store");
+    ring_ = true;
+    slots_.resize(capacity);
+  }
+
+  bool ring() const { return ring_; }
+
+  std::size_t size() const { return ring_ ? count_ : map_.size(); }
+  bool empty() const { return size() == 0; }
+
+  bool Contains(Timestamp ts) const {
+    if (!ring_) return map_.count(ts) != 0;
+    const std::size_t pos = LowerBound(ts);
+    return pos < count_ && SlotAt(pos).ts == ts;
+  }
+
+  std::optional<Ref> Find(Timestamp ts) const {
+    if (!ring_) {
+      auto it = map_.find(ts);
+      if (it == map_.end()) return std::nullopt;
+      return Ref{it->first, &it->second};
+    }
+    const std::size_t pos = LowerBound(ts);
+    if (pos >= count_ || SlotAt(pos).ts != ts) return std::nullopt;
+    return Ref{ts, &SlotAt(pos).payload};
+  }
+
+  std::optional<Ref> Oldest() const {
+    if (empty()) return std::nullopt;
+    if (!ring_) {
+      auto it = map_.begin();
+      return Ref{it->first, &it->second};
+    }
+    const Slot& s = SlotAt(0);
+    return Ref{s.ts, &s.payload};
+  }
+
+  std::optional<Ref> Newest() const {
+    if (empty()) return std::nullopt;
+    if (!ring_) {
+      auto it = std::prev(map_.end());
+      return Ref{it->first, &it->second};
+    }
+    const Slot& s = SlotAt(count_ - 1);
+    return Ref{s.ts, &s.payload};
+  }
+
+  /// Oldest item with timestamp strictly greater than `ts`.
+  std::optional<Ref> After(Timestamp ts) const {
+    if (!ring_) {
+      auto it = map_.upper_bound(ts);
+      if (it == map_.end()) return std::nullopt;
+      return Ref{it->first, &it->second};
+    }
+    const std::size_t pos = UpperBound(ts);
+    if (pos >= count_) return std::nullopt;
+    const Slot& s = SlotAt(pos);
+    return Ref{s.ts, &s.payload};
+  }
+
+  /// Newest timestamp strictly less than `ts` (for TsNeighbors::before).
+  std::optional<Timestamp> Before(Timestamp ts) const {
+    if (!ring_) {
+      auto it = map_.lower_bound(ts);
+      if (it == map_.begin()) return std::nullopt;
+      return std::prev(it)->first;
+    }
+    const std::size_t pos = LowerBound(ts);
+    if (pos == 0) return std::nullopt;
+    return SlotAt(pos - 1).ts;
+  }
+
+  /// Inserts a new item. Preconditions: !Contains(ts); in ring mode the
+  /// store is not full (the Channel enforces capacity before inserting).
+  void Insert(Timestamp ts, Payload payload) {
+    if (!ring_) {
+      map_.emplace(ts, std::move(payload));
+      return;
+    }
+    SS_CHECK_MSG(count_ < slots_.size(), "ring insert into a full store");
+    const std::size_t pos = LowerBound(ts);
+    // Shift (pos, count_] right by one slot; in-order streaming hits the
+    // pos == count_ fast path and shifts nothing.
+    for (std::size_t i = count_; i > pos; --i) {
+      SlotAt(i) = std::move(SlotAt(i - 1));
+    }
+    SlotAt(pos) = Slot{ts, std::move(payload)};
+    ++count_;
+  }
+
+  /// Removes the oldest item and returns its timestamp. Precondition:
+  /// !empty().
+  Timestamp PopOldest() {
+    if (!ring_) {
+      auto it = map_.begin();
+      const Timestamp ts = it->first;
+      map_.erase(it);
+      return ts;
+    }
+    Slot& s = slots_[head_];
+    const Timestamp ts = s.ts;
+    s.payload = Payload();  // release the buffer now, not on overwrite
+    head_ = Next(head_);
+    --count_;
+    return ts;
+  }
+
+  /// Removes every item with timestamp <= `frontier`.
+  ReclaimResult ReclaimUpTo(Timestamp frontier) {
+    ReclaimResult r;
+    if (!ring_) {
+      auto end = map_.upper_bound(frontier);
+      for (auto it = map_.begin(); it != end; ++it) {
+        ++r.removed;
+        r.last = it->first;
+      }
+      map_.erase(map_.begin(), end);
+      return r;
+    }
+    const std::size_t n = UpperBound(frontier);
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& s = slots_[head_];
+      r.last = s.ts;
+      s.payload = Payload();
+      head_ = Next(head_);
+      --count_;
+    }
+    r.removed = n;
+    return r;
+  }
+
+ private:
+  struct Slot {
+    Timestamp ts = kNoTimestamp;
+    Payload payload;
+  };
+
+  std::size_t Next(std::size_t i) const {
+    return i + 1 == slots_.size() ? 0 : i + 1;
+  }
+
+  const Slot& SlotAt(std::size_t logical) const {
+    std::size_t i = head_ + logical;
+    if (i >= slots_.size()) i -= slots_.size();
+    return slots_[i];
+  }
+  Slot& SlotAt(std::size_t logical) {
+    std::size_t i = head_ + logical;
+    if (i >= slots_.size()) i -= slots_.size();
+    return slots_[i];
+  }
+
+  /// First logical position whose timestamp is >= ts (ring mode).
+  std::size_t LowerBound(Timestamp ts) const {
+    std::size_t lo = 0;
+    std::size_t hi = count_;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (SlotAt(mid).ts < ts) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// First logical position whose timestamp is > ts (ring mode).
+  std::size_t UpperBound(Timestamp ts) const {
+    std::size_t lo = 0;
+    std::size_t hi = count_;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (SlotAt(mid).ts <= ts) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  bool ring_ = false;
+  std::map<Timestamp, Payload> map_;   // map mode
+  std::vector<Slot> slots_;            // ring mode, sorted circular window
+  std::size_t head_ = 0;               // ring index of the oldest item
+  std::size_t count_ = 0;              // live items in ring mode
+};
+
+}  // namespace ss::stm::detail

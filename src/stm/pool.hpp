@@ -1,0 +1,159 @@
+// Recycling allocator for steady-state payload traffic.
+//
+// A pipeline in its steady state creates one payload per edge per frame and
+// frees it a bounded number of frames later (§3.3: a fixed schedule bounds
+// channel occupancy). That makes the allocation pattern periodic: after
+// warm-up, every buffer the pipeline needs has already been freed by an
+// earlier frame. PayloadPool exploits this with per-size-class free lists:
+// `Make<T>` places T into a recycled buffer and hands out a shared_ptr whose
+// control block is pooled too, so a warmed-up frame loop performs zero heap
+// allocations (asserted by tests/test_stm_pool.cpp with a counting
+// operator new).
+//
+// Payloads may outlive the pool object: buffers are owned by a shared core
+// that dies with the last payload. Thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "stm/item.hpp"
+
+namespace ss::stm {
+
+class PayloadPool {
+ public:
+  struct Stats {
+    std::uint64_t allocations = 0;  // buffers obtained from the heap
+    std::uint64_t reuses = 0;       // buffers served from a free list
+    std::size_t free_buffers = 0;   // buffers currently parked in the pool
+  };
+
+  PayloadPool() : core_(std::make_shared<Core>()) {}
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  /// Constructs T from `value` in a pooled buffer and wraps it as a Payload.
+  /// Equivalent to Payload::Make<T> except that the buffer and the shared
+  /// control block come from (and return to) this pool's free lists.
+  template <typename T>
+  Payload Make(T value) {
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned payload types cannot be pooled");
+    void* buf = core_->Acquire(sizeof(T));
+    T* obj = new (buf) T(std::move(value));
+    // The deleter runs ~T and parks the buffer; the custom allocator pools
+    // the shared_ptr control block so the steady state allocates nothing.
+    std::shared_ptr<T> sp(obj, Deleter<T>{core_}, Alloc<T>{core_});
+    return Payload::Wrap(std::shared_ptr<const void>(sp, sp.get()),
+                         sizeof(T));
+  }
+
+  Stats stats() const { return core_->GetStats(); }
+
+ private:
+  // Buffers are rounded up to power-of-two size classes so payload objects
+  // and control blocks recycle independently instead of evicting each other.
+  static constexpr std::size_t kMinSlab = 64;
+  static constexpr int kBuckets = 21;  // 64 B .. 64 MiB
+
+  struct Core {
+    std::mutex mu;
+    std::vector<void*> buckets[kBuckets];
+    std::uint64_t allocations = 0;
+    std::uint64_t reuses = 0;
+
+    ~Core() {
+      for (auto& bucket : buckets) {
+        for (void* p : bucket) ::operator delete(p);
+      }
+    }
+
+    static int BucketFor(std::size_t n) {
+      std::size_t cap = kMinSlab;
+      for (int b = 0; b < kBuckets; ++b) {
+        if (cap >= n) return b;
+        cap <<= 1;
+      }
+      return -1;  // larger than the biggest size class: unpooled
+    }
+
+    void* Acquire(std::size_t n) {
+      const int b = BucketFor(n);
+      if (b >= 0) {
+        std::lock_guard lock(mu);
+        auto& bucket = buckets[b];
+        if (!bucket.empty()) {
+          void* p = bucket.back();
+          bucket.pop_back();
+          ++reuses;
+          return p;
+        }
+        ++allocations;
+      }
+      return ::operator new(b >= 0 ? (kMinSlab << b) : n);
+    }
+
+    void Release(void* p, std::size_t n) {
+      const int b = BucketFor(n);
+      if (b < 0) {
+        ::operator delete(p);
+        return;
+      }
+      std::lock_guard lock(mu);
+      buckets[b].push_back(p);
+    }
+
+    Stats GetStats() {
+      std::lock_guard lock(mu);
+      Stats s;
+      s.allocations = allocations;
+      s.reuses = reuses;
+      for (const auto& bucket : buckets) s.free_buffers += bucket.size();
+      return s;
+    }
+  };
+
+  template <typename T>
+  struct Deleter {
+    std::shared_ptr<Core> core;
+    void operator()(T* p) const noexcept {
+      p->~T();
+      core->Release(p, sizeof(T));
+    }
+  };
+
+  template <typename T>
+  struct Alloc {
+    using value_type = T;
+    std::shared_ptr<Core> core;
+
+    explicit Alloc(std::shared_ptr<Core> c) : core(std::move(c)) {}
+    template <typename U>
+    Alloc(const Alloc<U>& other) : core(other.core) {}  // NOLINT(implicit)
+
+    T* allocate(std::size_t n) {
+      return static_cast<T*>(core->Acquire(n * sizeof(T)));
+    }
+    void deallocate(T* p, std::size_t n) { core->Release(p, n * sizeof(T)); }
+
+    template <typename U>
+    bool operator==(const Alloc<U>& other) const {
+      return core == other.core;
+    }
+  };
+
+  std::shared_ptr<Core> core_;
+};
+
+template <typename T>
+Payload Payload::MakePooled(PayloadPool& pool, T value) {
+  return pool.Make<T>(std::move(value));
+}
+
+}  // namespace ss::stm

@@ -10,6 +10,8 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/error.hpp"
 
@@ -32,6 +34,23 @@ class WorkQueue {
     if (shutdown_) return CancelledError("work queue shut down");
     queue_.push_back(std::move(value));
     cv_items_.notify_one();
+    return OkStatus();
+  }
+
+  /// Pushes several chunks under one lock acquisition instead of one per
+  /// chunk (the splitter emits a whole frame's chunks at once). Semantics
+  /// match sequential Pushes: space is awaited per item, and on shutdown the
+  /// already-pushed prefix stays queued and kCancelled is returned.
+  Status PushBatch(std::vector<T> values) {
+    std::unique_lock lock(mu_);
+    for (T& value : values) {
+      cv_space_.wait(lock, [&] {
+        return shutdown_ || capacity_ == 0 || queue_.size() < capacity_;
+      });
+      if (shutdown_) return CancelledError("work queue shut down");
+      queue_.push_back(std::move(value));
+      cv_items_.notify_one();
+    }
     return OkStatus();
   }
 

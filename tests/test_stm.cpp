@@ -405,6 +405,272 @@ TEST(ChannelTableTest, ShutdownAllWakesWaiters) {
   EXPECT_EQ(item.status().code(), StatusCode::kCancelled);
 }
 
+// ---- storage modes ---------------------------------------------------------------
+
+TEST(StorageModeTest, AutoResolvesFromCapacity) {
+  Channel unbounded(ChannelId(0), "u");
+  EXPECT_EQ(unbounded.storage_mode(), StorageMode::kMap);
+  Channel small(ChannelId(1), "s", ChannelOptions{8});
+  EXPECT_EQ(small.storage_mode(), StorageMode::kRing);
+  Channel big(ChannelId(2), "b",
+              ChannelOptions{kRingAutoMaxCapacity + 1});
+  EXPECT_EQ(big.storage_mode(), StorageMode::kMap);
+  Channel forced(ChannelId(3), "f", ChannelOptions{8, StorageMode::kMap});
+  EXPECT_EQ(forced.storage_mode(), StorageMode::kMap);
+}
+
+/// ChannelFixture's semantics, over ring storage.
+class RingChannelFixture : public ::testing::Test {
+ protected:
+  RingChannelFixture()
+      : ch_(ChannelId(0), "ring",
+            ChannelOptions{8, StorageMode::kRing}) {
+    in_ = ch_.Attach(ConnDir::kInput);
+    out_ = ch_.Attach(ConnDir::kOutput);
+  }
+
+  Status PutInt(Timestamp ts, int value,
+                PutMode mode = PutMode::kNonBlocking) {
+    return ch_.Put(out_, ts, Payload::Make<int>(value), mode);
+  }
+
+  Expected<int> GetInt(TsQuery q, GetMode mode = GetMode::kNonBlocking) {
+    auto item = ch_.Get(in_, q, mode);
+    if (!item.ok()) return item.status();
+    return *item->payload.As<int>();
+  }
+
+  Channel ch_;
+  ConnId in_;
+  ConnId out_;
+};
+
+TEST_F(RingChannelFixture, OutOfOrderPutsStaySorted) {
+  ASSERT_TRUE(PutInt(7, 70).ok());
+  ASSERT_TRUE(PutInt(3, 30).ok());
+  ASSERT_TRUE(PutInt(5, 50).ok());
+  EXPECT_EQ(*GetInt(TsQuery::Oldest()), 30);
+  EXPECT_EQ(*GetInt(TsQuery::Newest()), 70);
+  EXPECT_EQ(*GetInt(TsQuery::Exact(5)), 50);
+  EXPECT_EQ(GetInt(TsQuery::Exact(4)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RingChannelFixture, NeighborsReportedOnExactMiss) {
+  ASSERT_TRUE(PutInt(2, 20).ok());
+  ASSERT_TRUE(PutInt(8, 80).ok());
+  TsNeighbors nb;
+  auto item = ch_.Get(in_, TsQuery::Exact(5), GetMode::kNonBlocking, &nb);
+  EXPECT_FALSE(item.ok());
+  ASSERT_TRUE(nb.before.has_value());
+  ASSERT_TRUE(nb.after.has_value());
+  EXPECT_EQ(*nb.before, 2);
+  EXPECT_EQ(*nb.after, 8);
+}
+
+TEST_F(RingChannelFixture, GcAndWrapAroundPreserveOrder) {
+  for (Timestamp t = 0; t < 8; ++t) ASSERT_TRUE(PutInt(t, 0).ok());
+  ASSERT_TRUE(ch_.Consume(in_, 3).ok());
+  EXPECT_EQ(ch_.Occupancy(), 4u);
+  // These inserts wrap the circular window past its physical end.
+  for (Timestamp t = 8; t < 12; ++t) {
+    ASSERT_TRUE(PutInt(t, static_cast<int>(t)).ok());
+  }
+  EXPECT_EQ(ch_.Occupancy(), 8u);
+  EXPECT_EQ(*ch_.OldestTs(), 4);
+  EXPECT_EQ(*ch_.NewestTs(), 11);
+  EXPECT_EQ(*GetInt(TsQuery::Exact(9)), 9);
+  auto after = ch_.Get(in_, TsQuery::After(7), GetMode::kNonBlocking);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->ts, 8);
+}
+
+TEST_F(RingChannelFixture, FullRingRejectsAndDropsLikeMapMode) {
+  for (Timestamp t = 0; t < 8; ++t) ASSERT_TRUE(PutInt(t, 0).ok());
+  EXPECT_EQ(PutInt(8, 0).code(), StatusCode::kWouldBlock);
+  ASSERT_TRUE(PutInt(8, 0, PutMode::kDropOldest).ok());
+  EXPECT_EQ(*ch_.OldestTs(), 1);
+  EXPECT_EQ(ch_.Stats().dropped, 1u);
+  // A stale insert below the drop frontier is rejected even with room.
+  ASSERT_TRUE(ch_.Consume(in_, 5).ok());
+  EXPECT_EQ(PutInt(0, 0, PutMode::kDropOldest).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(RingChannelFixture, DuplicateTimestampRejected) {
+  ASSERT_TRUE(PutInt(1, 10).ok());
+  EXPECT_EQ(PutInt(1, 11).code(), StatusCode::kAlreadyExists);
+}
+
+// ---- batched puts and gets -------------------------------------------------------
+
+TEST(ChannelBatchTest, PutBatchInsertsAllUnderOneCall) {
+  Channel ch(ChannelId(0), "b");
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+  std::vector<Item> items;
+  for (Timestamp t = 0; t < 5; ++t) {
+    items.push_back(Item{t, Payload::Make<int>(static_cast<int>(t) * 10)});
+  }
+  ASSERT_TRUE(ch.PutBatch(out, std::move(items)).ok());
+  EXPECT_EQ(ch.Occupancy(), 5u);
+  auto stats = ch.Stats();
+  EXPECT_EQ(stats.batch_puts, 1u);
+  EXPECT_EQ(stats.puts, 5u);
+  for (Timestamp t = 0; t < 5; ++t) {
+    auto item = ch.Get(in, TsQuery::Exact(t), GetMode::kNonBlocking);
+    ASSERT_TRUE(item.ok());
+    EXPECT_EQ(*item->payload.As<int>(), static_cast<int>(t) * 10);
+  }
+}
+
+TEST(ChannelBatchTest, PutBatchStopsAtFirstFailureKeepingPrefix) {
+  Channel ch(ChannelId(0), "b");
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ASSERT_TRUE(ch.Put(out, 2, Payload::Make<int>(0)).ok());
+  std::vector<Item> items;
+  for (Timestamp t = 0; t < 4; ++t) {
+    items.push_back(Item{t, Payload::Make<int>(0)});
+  }
+  EXPECT_EQ(ch.PutBatch(out, std::move(items)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(ch.Occupancy(), 3u);  // pre-existing 2 plus the 0,1 prefix
+  EXPECT_EQ(*ch.NewestTs(), 2);   // 3 was never inserted
+}
+
+TEST(ChannelBatchTest, GetBatchMixesRequiredAndOptional) {
+  Channel ch(ChannelId(0), "b");
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+  ASSERT_TRUE(ch.Put(out, 5, Payload::Make<int>(55)).ok());
+  auto got = ch.GetBatch(in,
+                         {BatchGet{TsQuery::Exact(5), true},
+                          BatchGet{TsQuery::Exact(4), false}},
+                         GetMode::kNonBlocking);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ((*got)[0].ts, 5);
+  EXPECT_EQ(*(*got)[0].payload.As<int>(), 55);
+  EXPECT_EQ((*got)[1].ts, kNoTimestamp);  // optional miss -> empty item
+  EXPECT_TRUE((*got)[1].payload.empty());
+  auto stats = ch.Stats();
+  EXPECT_EQ(stats.batch_gets, 1u);
+  EXPECT_EQ(stats.failed_gets, 1u);
+}
+
+TEST(ChannelBatchTest, GetBatchRequiredMissFailsNonBlocking) {
+  Channel ch(ChannelId(0), "b");
+  (void)ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+  auto got = ch.GetBatch(in, {BatchGet{TsQuery::Exact(1), true}},
+                         GetMode::kNonBlocking);
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ChannelBatchTest, GetBatchBlocksPerRequiredQuery) {
+  Channel ch(ChannelId(0), "b");
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(ch.Put(out, 1, Payload::Make<int>(10)).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(ch.Put(out, 2, Payload::Make<int>(20)).ok());
+  });
+  auto got = ch.GetBatch(in,
+                         {BatchGet{TsQuery::Exact(1), true},
+                          BatchGet{TsQuery::Exact(2), true}},
+                         GetMode::kBlocking);
+  producer.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*(*got)[0].payload.As<int>(), 10);
+  EXPECT_EQ(*(*got)[1].payload.As<int>(), 20);
+}
+
+TEST(ChannelBatchTest, GetBatchOnOutputConnectionFails) {
+  Channel ch(ChannelId(0), "b");
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  auto got = ch.GetBatch(out, {BatchGet{TsQuery::Newest(), true}},
+                         GetMode::kNonBlocking);
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- pooled payloads -------------------------------------------------------------
+
+TEST(ChannelPoolTest, PutValuePooledRoundTrips) {
+  Channel ch(ChannelId(0), "p", ChannelOptions{8});
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+  ASSERT_TRUE(ch.PutValuePooled<int>(out, 1, 42).ok());
+  auto item = ch.Get(in, TsQuery::Exact(1), GetMode::kNonBlocking);
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(*item->payload.As<int>(), 42);
+  EXPECT_GE(ch.pool().stats().allocations, 1u);
+}
+
+TEST(ChannelPoolTest, PoolRecyclesReclaimedBuffers) {
+  Channel ch(ChannelId(0), "p", ChannelOptions{4});
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+  for (Timestamp t = 0; t < 64; ++t) {
+    ASSERT_TRUE(ch.PutValuePooled<int>(out, t, static_cast<int>(t)).ok());
+    auto item = ch.Get(in, TsQuery::Exact(t), GetMode::kNonBlocking);
+    ASSERT_TRUE(item.ok());
+    ASSERT_TRUE(ch.Consume(in, t).ok());
+  }
+  auto stats = ch.pool().stats();
+  EXPECT_GT(stats.reuses, 0u);
+  // Steady state: the working set of buffers is bounded, not 64 deep.
+  EXPECT_LT(stats.allocations, 16u);
+}
+
+TEST(ChannelPoolTest, PayloadOutlivesPool) {
+  Payload escaped;
+  {
+    PayloadPool pool;
+    escaped = Payload::MakePooled<int>(pool, 7);
+  }
+  EXPECT_EQ(*escaped.As<int>(), 7);
+}
+
+// ---- wakeup discipline and stats -------------------------------------------------
+
+TEST(ChannelStatsTest, NotifySuppressedWithoutWaiters) {
+  Channel ch(ChannelId(0), "w");
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  (void)ch.Attach(ConnDir::kInput);
+  ASSERT_TRUE(ch.Put(out, 1, Payload::Make<int>(1)).ok());
+  auto stats = ch.Stats();
+  EXPECT_EQ(stats.notifies_sent, 0u);
+  EXPECT_GE(stats.notifies_suppressed, 1u);
+}
+
+TEST(ChannelStatsTest, NotifySentWhenGetterWaits) {
+  Channel ch(ChannelId(0), "w");
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+  std::thread getter([&] {
+    auto item = ch.Get(in, TsQuery::Exact(1), GetMode::kBlocking);
+    ASSERT_TRUE(item.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(ch.Put(out, 1, Payload::Make<int>(1)).ok());
+  getter.join();
+  EXPECT_GE(ch.Stats().notifies_sent, 1u);
+}
+
+TEST(ChannelStatsTest, SnapshotInvariantHoldsAfterMixedTraffic) {
+  Channel ch(ChannelId(0), "inv", ChannelOptions{4});
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+  for (Timestamp t = 0; t < 32; ++t) {
+    (void)ch.Put(out, t, Payload::Make<int>(0), PutMode::kDropOldest);
+    if (t % 3 == 0) (void)ch.Consume(in, t - 2);
+  }
+  auto s = ch.Stats();
+  EXPECT_EQ(s.puts, s.reclaimed + s.dropped + s.occupancy);
+}
+
 // ---- work queue ------------------------------------------------------------------
 
 TEST(WorkQueueTest, FifoOrder) {
@@ -433,6 +699,36 @@ TEST(WorkQueueTest, ShutdownDrainsThenEnds) {
   EXPECT_EQ(*q.Pop(), 7);          // drains existing item
   EXPECT_FALSE(q.Pop().has_value());  // then reports end
   EXPECT_EQ(q.Push(8).code(), StatusCode::kCancelled);
+}
+
+TEST(WorkQueueTest, PushBatchKeepsFifoOrder) {
+  WorkQueue<int> q;
+  ASSERT_TRUE(q.PushBatch({1, 2, 3}).ok());
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_EQ(*q.Pop(), 3);
+}
+
+TEST(WorkQueueTest, PushBatchBlocksForSpacePerItem) {
+  WorkQueue<int> q(2);
+  std::thread consumer([&] {
+    for (int i = 0; i < 6; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      auto v = q.Pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i);
+    }
+  });
+  ASSERT_TRUE(q.PushBatch({0, 1, 2, 3, 4, 5}).ok());
+  consumer.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(WorkQueueTest, PushBatchAfterShutdownCancelled) {
+  WorkQueue<int> q;
+  q.Shutdown();
+  EXPECT_EQ(q.PushBatch({1, 2}).code(), StatusCode::kCancelled);
+  EXPECT_EQ(q.size(), 0u);
 }
 
 TEST(WorkQueueTest, ManyProducersManyConsumers) {

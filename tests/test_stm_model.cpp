@@ -9,6 +9,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <tuple>
 
 #include "core/rng.hpp"
 #include "core/time.hpp"
@@ -130,12 +131,22 @@ class ModelChannel {
   std::optional<Timestamp> gc_frontier_;
 };
 
-class StmModelProperty : public ::testing::TestWithParam<int> {};
+// Each seed runs twice: once against map storage and once against ring
+// storage (forcing a capacity when the seed drew an unbounded channel), so
+// both data-plane backends are held to the same sequential semantics.
+class StmModelProperty
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
 
 TEST_P(StmModelProperty, RealChannelAgreesWithModel) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 3);
-  const std::size_t capacity = rng.NextBelow(2) ? 0 : 4 + rng.NextBelow(8);
-  Channel real(ChannelId(0), "model-test", ChannelOptions{capacity});
+  const auto [seed, force_ring] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 2654435761u + 3);
+  std::size_t capacity = rng.NextBelow(2) ? 0 : 4 + rng.NextBelow(8);
+  if (force_ring && capacity == 0) capacity = 4 + rng.NextBelow(8);
+  const ChannelOptions options{
+      capacity, force_ring ? StorageMode::kRing : StorageMode::kMap};
+  Channel real(ChannelId(0), "model-test", options);
+  ASSERT_EQ(real.storage_mode(),
+            force_ring ? StorageMode::kRing : StorageMode::kMap);
   ModelChannel model(capacity);
 
   // A fixed population of connections (some attached later, some detached
@@ -205,7 +216,9 @@ TEST_P(StmModelProperty, RealChannelAgreesWithModel) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, StmModelProperty, ::testing::Range(0, 16));
+INSTANTIATE_TEST_SUITE_P(Seeds, StmModelProperty,
+                         ::testing::Combine(::testing::Range(0, 16),
+                                            ::testing::Bool()));
 
 }  // namespace
 }  // namespace ss::stm

@@ -1,0 +1,107 @@
+// Steady-state allocation audit for the pooled payload path.
+//
+// The PR 5 data-plane claim is concrete: once warmed up, a frame loop that
+// produces payloads through the channel's PayloadPool, gets them, and
+// consumes them performs ZERO heap allocations — the ring store is
+// preallocated, reclaim releases buffers back to the pool, and the pool
+// recycles both payload buffers and shared_ptr control blocks. This test
+// replaces the global operator new with a counting version and asserts the
+// count does not move across 1000 steady-state frames.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "stm/channel.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace ss::stm {
+namespace {
+
+/// A stand-in for one digitized frame's worth of payload.
+struct Frame {
+  std::array<std::uint8_t, 256> bytes{};
+  Timestamp ts = kNoTimestamp;
+};
+
+TEST(StmPoolTest, PooledSteadyStateAllocatesNothing) {
+  Channel ch(ChannelId(0), "pooled",
+             ChannelOptions{8, StorageMode::kRing});
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+
+  auto run_frame = [&](Timestamp t) {
+    Frame f;
+    f.ts = t;
+    ASSERT_TRUE(
+        ch.PutValuePooled<Frame>(out, t, f, PutMode::kNonBlocking).ok());
+    auto item = ch.Get(in, TsQuery::Exact(t), GetMode::kNonBlocking);
+    ASSERT_TRUE(item.ok());
+    ASSERT_EQ(item->payload.As<Frame>()->ts, t);
+    ASSERT_TRUE(ch.Consume(in, t).ok());
+  };
+
+  // Warm-up: populates the pool's free lists (payload buffers and
+  // shared_ptr control blocks) and grows its internal vectors to their
+  // steady-state footprint.
+  for (Timestamp t = 0; t < 32; ++t) run_frame(t);
+
+  const std::uint64_t before = g_heap_allocations.load();
+  for (Timestamp t = 32; t < 1032; ++t) run_frame(t);
+  const std::uint64_t after = g_heap_allocations.load();
+
+  EXPECT_EQ(after - before, 0u)
+      << "pooled steady-state frames must not touch the heap";
+  EXPECT_GT(ch.pool().stats().reuses, 0u);
+}
+
+TEST(StmPoolTest, UnpooledPathStillAllocates) {
+  // Control: the same loop through Payload::Make does hit the heap, so the
+  // zero above is evidence of pooling, not of a broken counter.
+  Channel ch(ChannelId(0), "unpooled",
+             ChannelOptions{8, StorageMode::kRing});
+  ConnId out = ch.Attach(ConnDir::kOutput);
+  ConnId in = ch.Attach(ConnDir::kInput);
+  const std::uint64_t before = g_heap_allocations.load();
+  for (Timestamp t = 0; t < 100; ++t) {
+    Frame f;
+    f.ts = t;
+    ASSERT_TRUE(ch.PutValue<Frame>(out, t, f, PutMode::kNonBlocking).ok());
+    ASSERT_TRUE(ch.Get(in, TsQuery::Exact(t), GetMode::kNonBlocking).ok());
+    ASSERT_TRUE(ch.Consume(in, t).ok());
+  }
+  EXPECT_GT(g_heap_allocations.load() - before, 0u);
+}
+
+}  // namespace
+}  // namespace ss::stm
