@@ -1,0 +1,571 @@
+// Load generator for the multi-tenant schedule server (src/net).
+//
+// Hammers a server over real TCP connections with thousands of interleaved
+// solve / lookup requests across hundreds of distinct problem fingerprints
+// and mixed tenant weights, then reports client-observed p50/p99 round-trip
+// latency, throughput, cache-hit rate, and weighted-fairness deviation.
+//
+// Three phases:
+//
+//   seed      every shared problem solved once (cold solver path) — this
+//             populates the cache and the distinct-fingerprint set;
+//   mixed     tenants * connections worker threads interleave cache-hit
+//             solves and lookups over the shared problems;
+//   fairness  every tenant floods its lane with *unique* problems (all
+//             cache misses) through several parallel connections, keeping
+//             the weighted-deficit-round-robin dispatcher saturated; the
+//             per-tenant dispatched deltas between two stats snapshots
+//             (taken while every lane is still backlogged) are compared
+//             against the configured weights.
+//
+// By default the server is self-hosted in-process on an ephemeral port
+// (tenant t0 weight 4, t1 weight 2, the rest weight 1); pass
+// `--connect host:port` to aim at an external `ssched --serve` instance
+// (expected shares then come from the weights the server reports).
+//
+// The run FAILS (exit 1) unless: every request succeeds, the server counts
+// zero protocol errors, >= 1000 requests cross >= 100 fingerprints and
+// >= 8 tenants, and no tenant's achieved share of solver dispatches
+// deviates from its configured weight share by more than the tolerance
+// (default 20%). `--json <file>` writes the bench records consumed by
+// tools/bench_compare (committed baseline: bench/BENCH_net.json).
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/time.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/synthetic.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/schedule_service.hpp"
+#include "tenant/tenant.hpp"
+#include "tenant/tenant_service.hpp"
+
+namespace ss {
+namespace {
+
+struct LoadgenOptions {
+  int tenants = 8;
+  int connections_per_tenant = 4;
+  /// Distinct shared problems (the fingerprint universe of the mixed
+  /// phase); the fairness phase adds tenants * fairness_solves more.
+  int shared_problems = 120;
+  /// Interleaved solve/lookup requests in the mixed phase.
+  int mixed_requests = 800;
+  /// Unique (cache-missing) solves per tenant in the fairness phase.
+  int fairness_solves = 48;
+  double fairness_tolerance = 0.20;
+  std::string connect_host;  // empty = self-host in-process
+  int connect_port = 0;
+  std::string json_path;
+};
+
+std::string TenantName(int i) { return "t" + std::to_string(i); }
+
+double TenantWeight(int i) {
+  if (i == 0) return 4.0;
+  if (i == 1) return 2.0;
+  return 1.0;
+}
+
+/// Deterministic distinct problem: family and shape keyed by `salt`, costs
+/// from the salted rng. Small shapes on a 2-proc node keep one optimal
+/// solve in the low milliseconds so the loadgen measures the service, not
+/// one giant search.
+std::string MakeProblemText(std::uint64_t salt) {
+  Rng rng(0x10adC0DEULL * 2654435761ULL + salt);
+  graph::SyntheticOptions opts;
+  opts.max_width = 3;
+  opts.layers = 2;
+  graph::SyntheticProblem made;
+  switch (salt % 3) {
+    case 0:
+      made = graph::MakeChain(rng, 4 + static_cast<int>(salt % 4), opts);
+      break;
+    case 1:
+      made = graph::MakeForkJoin(rng, 2 + static_cast<int>(salt % 3), opts);
+      break;
+    default:
+      made = graph::MakeLayered(rng, opts);
+      break;
+  }
+  graph::ProblemSpec spec;
+  spec.graph = std::move(made.graph);
+  spec.costs = std::move(made.costs);
+  spec.machine = graph::MachineConfig::SingleNode(2);
+  spec.regime_count = 1;
+  return graph::FormatProblem(spec);
+}
+
+/// Shared mutable state the worker threads report into.
+struct Collector {
+  std::mutex mu;
+  std::vector<double> cold_ms;
+  std::vector<double> hit_ms;
+  std::vector<double> lookup_ms;
+  std::set<std::string> fingerprints;
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+
+  void RecordLatency(std::vector<double> Collector::*bucket, double ms) {
+    std::lock_guard<std::mutex> lock(mu);
+    (this->*bucket).push_back(ms);
+  }
+  void RecordFingerprint(const std::string& hex) {
+    std::lock_guard<std::mutex> lock(mu);
+    fingerprints.insert(hex);
+  }
+  void Fail(const char* phase, const Status& status) {
+    failures.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "FAIL [%s]: %s\n", phase,
+                 status.ToString().c_str());
+  }
+};
+
+net::SolveRequestMsg SolveMsg(const std::string& tenant,
+                              const std::string& problem_text) {
+  net::SolveRequestMsg msg;
+  msg.tenant = tenant;
+  msg.problem_text = problem_text;
+  msg.regime = 0;
+  return msg;
+}
+
+double MsSince(Tick start) { return ticks::ToMillis(WallNow() - start); }
+
+/// Per-tenant dispatched counts keyed by name, plus reported weights.
+struct DispatchSnapshot {
+  std::vector<std::string> names;
+  std::vector<double> weights;
+  std::vector<std::uint64_t> dispatched;
+};
+
+Expected<DispatchSnapshot> SnapshotDispatch(net::Client& client) {
+  auto stats = client.Stats();
+  if (!stats.ok()) return stats.status();
+  DispatchSnapshot snap;
+  for (const auto& tenant : stats->tenants) {
+    snap.names.push_back(tenant.name);
+    snap.weights.push_back(tenant.weight);
+    snap.dispatched.push_back(tenant.dispatched);
+  }
+  return snap;
+}
+
+int Run(const LoadgenOptions& options) {
+  bench::PrintHeader("net loadgen: multi-tenant schedule server over TCP");
+
+  // ---- Server (self-hosted unless --connect) -----------------------------
+  std::unique_ptr<service::ScheduleService> service;
+  std::unique_ptr<tenant::TenantScheduler> tenant_front;
+  std::unique_ptr<net::Server> server;
+  std::string host = options.connect_host;
+  int port = options.connect_port;
+  if (host.empty()) {
+    service::ServiceOptions sopts;
+    sopts.workers = 4;
+    sopts.queue_capacity = 4096;
+    sopts.cache_capacity = 4096;
+    service = std::make_unique<service::ScheduleService>(sopts);
+    tenant::TenantSchedulerOptions topts;
+    topts.dispatch_threads = 2;
+    tenant_front =
+        std::make_unique<tenant::TenantScheduler>(service.get(), topts);
+    for (int t = 0; t < options.tenants; ++t) {
+      tenant::TenantConfig config;
+      config.name = TenantName(t);
+      config.weight = TenantWeight(t);
+      config.queue_capacity = 256;
+      Status registered = tenant_front->RegisterTenant(std::move(config));
+      SS_CHECK(registered.ok());
+    }
+    net::ServerOptions nopts;
+    nopts.port = 0;  // ephemeral
+    server = std::make_unique<net::Server>(nopts, service.get(),
+                                           tenant_front.get());
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    host = server->host();
+    port = server->port();
+    std::printf("self-hosted server on %s:%d (4 workers, 2 dispatchers)\n",
+                host.c_str(), port);
+  } else {
+    std::printf("external server %s:%d\n", host.c_str(), port);
+  }
+
+  auto connect = [&](net::Client& client) -> Status {
+    return client.Connect(host, port);
+  };
+
+  Collector collect;
+  const Stopwatch wall;
+
+  // ---- Phase 1: seed — every shared problem solved once (cold) -----------
+  std::vector<std::string> shared_texts;
+  shared_texts.reserve(static_cast<std::size_t>(options.shared_problems));
+  for (int p = 0; p < options.shared_problems; ++p) {
+    shared_texts.push_back(MakeProblemText(static_cast<std::uint64_t>(p)));
+  }
+  {
+    const int seed_threads = options.tenants;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < seed_threads; ++w) {
+      threads.emplace_back([&, w] {
+        net::Client client;
+        if (Status s = connect(client); !s.ok()) {
+          collect.Fail("seed/connect", s);
+          return;
+        }
+        for (int p = w; p < options.shared_problems; p += seed_threads) {
+          const Tick start = WallNow();
+          auto resp =
+              client.Solve(SolveMsg(TenantName(w), shared_texts[
+                  static_cast<std::size_t>(p)]));
+          collect.requests.fetch_add(1, std::memory_order_relaxed);
+          if (!resp.ok()) {
+            collect.Fail("seed/solve", resp.status());
+            continue;
+          }
+          collect.RecordLatency(&Collector::cold_ms, MsSince(start));
+          collect.RecordFingerprint(resp->summary.fingerprint_hex);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  std::printf("seeded %d shared problems (%zu distinct fingerprints)\n",
+              options.shared_problems, collect.fingerprints.size());
+
+  // ---- Phase 2: mixed — interleaved hit-solves and lookups ---------------
+  {
+    const int workers = options.tenants * options.connections_per_tenant;
+    const int per_worker =
+        (options.mixed_requests + workers - 1) / workers;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        const std::string tenant = TenantName(w % options.tenants);
+        Rng rng(0xF00D + static_cast<std::uint64_t>(w));
+        net::Client client;
+        if (Status s = connect(client); !s.ok()) {
+          collect.Fail("mixed/connect", s);
+          return;
+        }
+        for (int i = 0; i < per_worker; ++i) {
+          const auto& text = shared_texts[static_cast<std::size_t>(
+              rng.NextBelow(shared_texts.size()))];
+          const Tick start = WallNow();
+          collect.requests.fetch_add(1, std::memory_order_relaxed);
+          if (rng.NextBelow(2) == 0) {
+            auto resp = client.Solve(SolveMsg(tenant, text));
+            if (!resp.ok()) {
+              collect.Fail("mixed/solve", resp.status());
+              continue;
+            }
+            if (resp->cache_hit) {
+              collect.cache_hits.fetch_add(1, std::memory_order_relaxed);
+            }
+            collect.RecordLatency(&Collector::hit_ms, MsSince(start));
+            collect.RecordFingerprint(resp->summary.fingerprint_hex);
+          } else {
+            net::LookupRequestMsg msg;
+            msg.tenant = tenant;
+            msg.problem_text = text;
+            auto resp = client.Lookup(msg);
+            if (!resp.ok()) {
+              collect.Fail("mixed/lookup", resp.status());
+              continue;
+            }
+            if (resp->found) {
+              collect.cache_hits.fetch_add(1, std::memory_order_relaxed);
+              collect.RecordFingerprint(resp->summary.fingerprint_hex);
+            }
+            collect.RecordLatency(&Collector::lookup_ms, MsSince(start));
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  std::printf("mixed phase done (%llu requests so far)\n",
+              static_cast<unsigned long long>(collect.requests.load()));
+
+  // ---- Phase 3: fairness under saturation --------------------------------
+  // Unique problems per tenant keep every lane backlogged; the dispatched
+  // deltas between `before` and the snapshot taken the moment the FIRST
+  // tenant finishes (all lanes still saturated until then) measure each
+  // tenant's achieved share of the solver.
+  net::Client stats_client;
+  if (Status s = connect(stats_client); !s.ok()) {
+    collect.Fail("fairness/connect", s);
+    return 1;
+  }
+  auto before = SnapshotDispatch(stats_client);
+  if (!before.ok()) {
+    collect.Fail("fairness/stats", before.status());
+    return 1;
+  }
+  DispatchSnapshot at_first_finish;
+  std::atomic<bool> first_done{false};
+  std::mutex stats_mu;
+  {
+    std::vector<std::unique_ptr<std::atomic<int>>> remaining;
+    for (int t = 0; t < options.tenants; ++t) {
+      remaining.push_back(std::make_unique<std::atomic<int>>(
+          options.fairness_solves));
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < options.tenants; ++t) {
+      for (int c = 0; c < options.connections_per_tenant; ++c) {
+        threads.emplace_back([&, t, c] {
+          const std::string tenant = TenantName(t);
+          net::Client client;
+          if (Status s = connect(client); !s.ok()) {
+            collect.Fail("fairness/connect", s);
+            return;
+          }
+          const int base = options.fairness_solves * (t + 1);
+          for (int i = c; i < options.fairness_solves;
+               i += options.connections_per_tenant) {
+            // Salt disjoint from the shared universe and per-tenant.
+            const std::uint64_t salt =
+                0x100000ULL + static_cast<std::uint64_t>(base + i) +
+                static_cast<std::uint64_t>(t) * 0x10000ULL;
+            auto resp = client.Solve(
+                SolveMsg(tenant, MakeProblemText(salt)));
+            collect.requests.fetch_add(1, std::memory_order_relaxed);
+            if (!resp.ok()) {
+              collect.Fail("fairness/solve", resp.status());
+              continue;
+            }
+            collect.RecordFingerprint(resp->summary.fingerprint_hex);
+            if (remaining[static_cast<std::size_t>(t)]->fetch_sub(1) == 1 &&
+                !first_done.exchange(true)) {
+              // This tenant drained first; grab the saturated-window
+              // snapshot while every other lane is still backlogged.
+              std::lock_guard<std::mutex> lock(stats_mu);
+              auto snap = SnapshotDispatch(stats_client);
+              if (snap.ok()) {
+                at_first_finish = std::move(*snap);
+              } else {
+                collect.Fail("fairness/stats", snap.status());
+              }
+            }
+          }
+        });
+      }
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // Achieved vs configured share, over tenants seen in both snapshots.
+  double fairness_deviation = 1.0;
+  if (!at_first_finish.names.empty()) {
+    std::vector<double> weights;
+    std::vector<double> deltas;
+    double weight_sum = 0.0;
+    double delta_sum = 0.0;
+    for (std::size_t i = 0; i < at_first_finish.names.size(); ++i) {
+      for (std::size_t j = 0; j < before->names.size(); ++j) {
+        if (before->names[j] != at_first_finish.names[i]) continue;
+        const double delta = static_cast<double>(
+            at_first_finish.dispatched[i] - before->dispatched[j]);
+        weights.push_back(at_first_finish.weights[i]);
+        deltas.push_back(delta);
+        weight_sum += at_first_finish.weights[i];
+        delta_sum += delta;
+        break;
+      }
+    }
+    if (delta_sum > 0 && weight_sum > 0) {
+      fairness_deviation = 0.0;
+      std::printf("\nfairness (dispatched deltas in the saturated "
+                  "window):\n");
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double expected = weights[i] / weight_sum;
+        const double achieved = deltas[i] / delta_sum;
+        const double dev = std::abs(achieved - expected) / expected;
+        fairness_deviation = std::max(fairness_deviation, dev);
+        std::printf("  %-6s weight %.1f  expected %5.1f%%  achieved "
+                    "%5.1f%%  (dev %4.1f%%)\n",
+                    at_first_finish.names[i].c_str(), weights[i],
+                    100 * expected, 100 * achieved, 100 * dev);
+      }
+    }
+  }
+
+  const double wall_s = wall.ElapsedSeconds();
+
+  // ---- Final stats + gates ----------------------------------------------
+  auto final_stats = stats_client.Stats();
+  std::uint64_t server_protocol_errors = 0;
+  if (final_stats.ok()) {
+    server_protocol_errors = final_stats->protocol_errors;
+  } else {
+    collect.Fail("final/stats", final_stats.status());
+  }
+
+  if (server != nullptr) {
+    server->Stop();
+    tenant_front->Shutdown();
+    service->Shutdown();
+  }
+
+  const std::uint64_t total = collect.requests.load();
+  const std::uint64_t failures = collect.failures.load();
+  const double throughput =
+      wall_s > 0 ? static_cast<double>(total) / wall_s : 0.0;
+  const std::uint64_t lookups =
+      static_cast<std::uint64_t>(collect.lookup_ms.size());
+  const std::uint64_t hit_eligible =
+      static_cast<std::uint64_t>(collect.hit_ms.size()) + lookups;
+  const double hit_rate =
+      hit_eligible > 0 ? static_cast<double>(collect.cache_hits.load()) /
+                             static_cast<double>(hit_eligible)
+                       : 0.0;
+
+  const Summary cold = Summarize(collect.cold_ms);
+  const Summary hit = Summarize(collect.hit_ms);
+  const Summary lookup = Summarize(collect.lookup_ms);
+
+  std::printf("\n%llu requests in %.2f s  (%.0f req/s), %zu distinct "
+              "fingerprints, %d tenants\n",
+              static_cast<unsigned long long>(total), wall_s, throughput,
+              collect.fingerprints.size(), options.tenants);
+  std::printf("rtt solve (cold): p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+              cold.median, cold.p95, cold.p99);
+  std::printf("rtt solve (hit):  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+              hit.median, hit.p95, hit.p99);
+  std::printf("rtt lookup:       p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+              lookup.median, lookup.p95, lookup.p99);
+  std::printf("mixed-phase cache hit rate: %.3f\n", hit_rate);
+  std::printf("max fairness deviation: %.1f%% (tolerance %.0f%%)\n",
+              100 * fairness_deviation, 100 * options.fairness_tolerance);
+
+  bool ok = true;
+  auto gate = [&ok](bool pass, const std::string& what) {
+    std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", what.c_str());
+    if (!pass) ok = false;
+  };
+  std::printf("\ngates:\n");
+  gate(failures == 0, "zero failed requests (" +
+                          std::to_string(failures) + " failed)");
+  gate(server_protocol_errors == 0,
+       "zero server protocol errors (" +
+           std::to_string(server_protocol_errors) + ")");
+  gate(total >= 1000,
+       ">= 1000 requests (" + std::to_string(total) + ")");
+  gate(collect.fingerprints.size() >= 100,
+       ">= 100 distinct fingerprints (" +
+           std::to_string(collect.fingerprints.size()) + ")");
+  gate(options.tenants >= 8,
+       ">= 8 tenants (" + std::to_string(options.tenants) + ")");
+  gate(fairness_deviation <= options.fairness_tolerance,
+       "fairness deviation within tolerance");
+
+  bench::JsonReport json(options.json_path);
+  json.Add("net_rtt_solve_cold", cold.median, cold.p95);
+  json.Add("net_rtt_solve_hit", hit.median, hit.p95);
+  json.Add("net_rtt_lookup", lookup.median, lookup.p95);
+  json.Add("net_throughput_kreq_s_x", throughput / 1000.0,
+           throughput / 1000.0);
+  json.Add("net_cache_hit_rate_x", hit_rate, hit_rate);
+  json.Add("net_fairness_dev", fairness_deviation, fairness_deviation);
+  json.Write();
+
+  return ok ? 0 : 1;
+}
+
+bool ParseInt(const char* flag, const char* text, int* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (*end != '\0') {
+    std::fprintf(stderr, "error: %s expects an integer, got '%s'\n", flag,
+                 text);
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+}  // namespace ss
+
+int main(int argc, char** argv) {
+  ss::LoadgenOptions options;
+  options.json_path = ss::bench::JsonReport::PathFromArgs(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--json") {
+      next();  // consumed by PathFromArgs
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      const std::string addr = v;
+      const std::size_t colon = addr.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "error: --connect expects host:port\n");
+        return 2;
+      }
+      options.connect_host = addr.substr(0, colon);
+      if (!ss::ParseInt("--connect", addr.c_str() + colon + 1,
+                        &options.connect_port)) {
+        return 2;
+      }
+    } else if (arg == "--tenants") {
+      if (!ss::ParseInt("--tenants", next(), &options.tenants) ||
+          options.tenants <= 0) {
+        return 2;
+      }
+    } else if (arg == "--conns") {
+      if (!ss::ParseInt("--conns", next(),
+                        &options.connections_per_tenant) ||
+          options.connections_per_tenant <= 0) {
+        return 2;
+      }
+    } else if (arg == "--problems") {
+      if (!ss::ParseInt("--problems", next(), &options.shared_problems) ||
+          options.shared_problems <= 0) {
+        return 2;
+      }
+    } else if (arg == "--mixed") {
+      if (!ss::ParseInt("--mixed", next(), &options.mixed_requests) ||
+          options.mixed_requests < 0) {
+        return 2;
+      }
+    } else if (arg == "--fairness-solves") {
+      if (!ss::ParseInt("--fairness-solves", next(),
+                        &options.fairness_solves) ||
+          options.fairness_solves <= 0) {
+        return 2;
+      }
+    } else if (arg == "--tolerance") {
+      int pct = 0;
+      if (!ss::ParseInt("--tolerance", next(), &pct) || pct <= 0) return 2;
+      options.fairness_tolerance = pct / 100.0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  return ss::Run(options);
+}

@@ -15,6 +15,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kCorruptArtifact: return "CORRUPT_ARTIFACT";
     case StatusCode::kSnapshotIoError: return "SNAPSHOT_IO_ERROR";
+    case StatusCode::kAdmissionRejected: return "ADMISSION_REJECTED";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

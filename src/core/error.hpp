@@ -26,6 +26,7 @@ enum class StatusCode {
   kDeadlineExceeded,  // request missed its deadline (service backpressure)
   kCorruptArtifact,   // stored schedule artifact failed static verification
   kSnapshotIoError,   // cache snapshot could not be written/renamed durably
+  kAdmissionRejected,  // tenant rate limit / admission control refused entry
   kInternal,
 };
 
@@ -81,6 +82,9 @@ inline Status CorruptArtifactError(std::string msg) {
 }
 inline Status SnapshotIoError(std::string msg) {
   return Status(StatusCode::kSnapshotIoError, std::move(msg));
+}
+inline Status AdmissionRejectedError(std::string msg) {
+  return Status(StatusCode::kAdmissionRejected, std::move(msg));
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));

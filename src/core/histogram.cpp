@@ -1,0 +1,38 @@
+#include "core/histogram.hpp"
+
+namespace ss {
+
+std::int64_t LatencyHistogram::BucketLow(int bucket) {
+  if (bucket < kSub) return bucket;
+  const int exp = kSubBits + bucket / kSub - 1;
+  const int sub = bucket % kSub;
+  return (std::int64_t{1} << exp) +
+         (static_cast<std::int64_t>(sub) << (exp - kSubBits));
+}
+
+std::int64_t LatencyHistogram::BucketWidth(int bucket) {
+  if (bucket < kSub) return 1;
+  const int exp = kSubBits + bucket / kSub - 1;
+  return std::int64_t{1} << (exp - kSubBits);
+}
+
+double LatencyHistogram::Snapshot::Percentile(double q) const {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, nearest-rank definition).
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      return static_cast<double>(BucketLow(i)) +
+             static_cast<double>(BucketWidth(i)) / 2.0;
+    }
+  }
+  return static_cast<double>(BucketLow(kBuckets - 1));
+}
+
+}  // namespace ss

@@ -1,0 +1,157 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ss::net {
+
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+timeval ToTimeval(Tick t) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(t / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(t % 1'000'000);
+  return tv;
+}
+
+}  // namespace
+
+Status Client::Connect(const std::string& host, int port) {
+  if (connected()) return FailedPreconditionError("already connected");
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("unparseable IPv4 address '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoError("socket");
+  const timeval tv = ToTimeval(options_.io_timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status failed = ErrnoError("connect " + host + ":" +
+                               std::to_string(port));
+    ::close(fd);
+    return failed;
+  }
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+  return OkStatus();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendBytes(const void* data, std::size_t size) {
+  if (!connected()) return FailedPreconditionError("not connected");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t w = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return DeadlineExceededError("send timed out");
+    }
+    return ErrnoError("send");
+  }
+  return OkStatus();
+}
+
+Expected<Frame> Client::ReadFrame() {
+  if (!connected()) return FailedPreconditionError("not connected");
+  while (true) {
+    Frame frame;
+    auto got = decoder_.Next(&frame);
+    if (!got.ok()) return got.status();
+    if (*got) return frame;
+    char buf[65536];
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      decoder_.Append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      return CancelledError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return DeadlineExceededError("response timed out");
+    }
+    return ErrnoError("recv");
+  }
+}
+
+Expected<Frame> Client::RoundTrip(const std::vector<std::uint8_t>& encoded,
+                                  MsgType expected_type) {
+  SS_RETURN_IF_ERROR(SendBytes(encoded.data(), encoded.size()));
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MsgType::kError) {
+    ErrorResponseMsg err;
+    SS_RETURN_IF_ERROR(Decode(frame->body.data(), frame->body.size(), &err));
+    return StatusFromWireError(err.code, err.message);
+  }
+  if (frame->type != expected_type) {
+    return InternalError("unexpected response type " +
+                         std::to_string(static_cast<int>(frame->type)));
+  }
+  return frame;
+}
+
+Expected<SolveResponseMsg> Client::Solve(const SolveRequestMsg& request) {
+  auto frame = RoundTrip(Encode(request), MsgType::kSolveOk);
+  if (!frame.ok()) return frame.status();
+  SolveResponseMsg resp;
+  SS_RETURN_IF_ERROR(Decode(frame->body.data(), frame->body.size(), &resp));
+  return resp;
+}
+
+Expected<LookupResponseMsg> Client::Lookup(const LookupRequestMsg& request) {
+  auto frame = RoundTrip(Encode(request), MsgType::kLookupOk);
+  if (!frame.ok()) return frame.status();
+  LookupResponseMsg resp;
+  SS_RETURN_IF_ERROR(Decode(frame->body.data(), frame->body.size(), &resp));
+  return resp;
+}
+
+Expected<StatsResponseMsg> Client::Stats() {
+  auto frame = RoundTrip(EncodeStatsRequest(), MsgType::kStatsOk);
+  if (!frame.ok()) return frame.status();
+  StatsResponseMsg resp;
+  SS_RETURN_IF_ERROR(Decode(frame->body.data(), frame->body.size(), &resp));
+  return resp;
+}
+
+Expected<HealthResponseMsg> Client::Health() {
+  auto frame = RoundTrip(EncodeHealthRequest(), MsgType::kHealthOk);
+  if (!frame.ok()) return frame.status();
+  HealthResponseMsg resp;
+  SS_RETURN_IF_ERROR(Decode(frame->body.data(), frame->body.size(), &resp));
+  return resp;
+}
+
+}  // namespace ss::net

@@ -1,0 +1,68 @@
+// Blocking client for the schedule server's wire protocol.
+//
+// One TCP connection, one request in flight at a time: each verb sends a
+// frame and blocks for the matching response (kSolveOk / kLookupOk / ... on
+// success, kError mapped back to a typed Status via StatusFromWireError).
+// Socket timeouts (SO_RCVTIMEO / SO_SNDTIMEO) bound every call, so a hung
+// server surfaces as kDeadlineExceeded instead of a stuck thread.
+//
+// The raw SendBytes / ReadFrame escape hatch exists for the protocol tests:
+// they push malformed prefixes, truncated frames, and garbage versions at
+// the server and assert it answers with a typed error frame (or closes)
+// instead of misbehaving.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/time.hpp"
+#include "net/protocol.hpp"
+
+namespace ss::net {
+
+struct ClientOptions {
+  /// Bound on each send/receive syscall (SO_SNDTIMEO / SO_RCVTIMEO).
+  Tick io_timeout = ticks::FromSeconds(30);
+};
+
+class Client {
+ public:
+  Client() = default;
+  explicit Client(ClientOptions options) : options_(options) {}
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to an IPv4 address ("localhost" is accepted as 127.0.0.1).
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  Expected<SolveResponseMsg> Solve(const SolveRequestMsg& request);
+  Expected<LookupResponseMsg> Lookup(const LookupRequestMsg& request);
+  Expected<StatsResponseMsg> Stats();
+  Expected<HealthResponseMsg> Health();
+
+  // ---- Raw access for protocol tests -------------------------------------
+
+  /// Writes raw bytes to the socket (no framing).
+  Status SendBytes(const void* data, std::size_t size);
+  /// Blocks for the next complete frame. kDeadlineExceeded on timeout,
+  /// kCancelled when the server closes the connection first.
+  Expected<Frame> ReadFrame();
+
+ private:
+  /// Sends one encoded frame and decodes the response, expecting
+  /// `expected_type` (an error frame becomes its typed Status).
+  Expected<Frame> RoundTrip(const std::vector<std::uint8_t>& encoded,
+                            MsgType expected_type);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace ss::net

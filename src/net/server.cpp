@@ -1,0 +1,686 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_io.hpp"
+#include "sched/schedule.hpp"
+
+namespace ss::net {
+
+namespace {
+
+// epoll user-data ids for the two non-connection fds; connections count up
+// from kFirstConnId so an id is never reused even after its fd is.
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+ScheduleSummary Summarize(const service::CachedSolve& solve) {
+  ScheduleSummary summary;
+  summary.fingerprint_hex = solve.key.ToHex();
+  summary.latency = solve.schedule.Latency();
+  summary.initiation_interval = solve.schedule.initiation_interval;
+  summary.rotation = solve.schedule.rotation;
+  summary.quality =
+      solve.quality == sched::ScheduleQuality::kOptimal ? 0 : 1;
+  return summary;
+}
+
+}  // namespace
+
+// One client connection. Owned by the loop thread exclusively; completion
+// callbacks never touch a Conn — they post encoded frames by id.
+struct Server::Conn {
+  Conn(std::uint64_t id_in, int fd_in, std::size_t max_frame)
+      : id(id_in), fd(fd_in), decoder(max_frame) {}
+
+  const std::uint64_t id;
+  const int fd;
+  FrameDecoder decoder;
+  /// Pending response bytes; front frame partially written up to out_off.
+  std::deque<std::vector<std::uint8_t>> outq;
+  std::size_t out_off = 0;
+  Tick last_active = 0;
+  /// Solves submitted to the tenant front end whose completions have not
+  /// come back through the sink yet. A conn with pending work is never
+  /// idle-closed and survives a graceful drain until its responses flush.
+  int pending = 0;
+  /// Close once the write queue and pending work drain (set after a
+  /// protocol error so the error frame still gets out).
+  bool closing = false;
+  /// Hard failure (write error); close immediately.
+  bool broken = false;
+  bool want_write = false;
+};
+
+// Hand-off point between dispatcher threads and the loop. Callbacks hold it
+// by shared_ptr, so a solve finishing after Stop() posts into a closed sink
+// (dropped) instead of touching a dead Server.
+struct Server::CompletionSink {
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> queue;
+  bool open = true;
+  int event_fd = -1;
+
+  void Post(std::uint64_t conn_id, std::vector<std::uint8_t> frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!open) return;
+    queue.emplace_back(conn_id, std::move(frame));
+    Kick();
+  }
+
+  /// Wakes the loop without enqueueing (drain signal). Caller holds mu or
+  /// is the only other thread (Stop()).
+  void Kick() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd, &one, sizeof(one));
+  }
+
+  ~CompletionSink() {
+    if (event_fd >= 0) ::close(event_fd);
+  }
+};
+
+class Server::Impl {
+ public:
+  Impl(const ServerOptions& options, service::ScheduleService* service,
+       tenant::TenantScheduler* tenants, std::atomic<bool>* draining)
+      : options_(options),
+        service_(service),
+        tenants_(tenants),
+        draining_(draining),
+        sink_(std::make_shared<CompletionSink>()) {}
+
+  ~Impl() {
+    CloseAll();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  Expected<int> Bind() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+    if (listen_fd_ < 0) return ErrnoError("socket");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      return InvalidArgumentError("unparseable IPv4 listen address '" +
+                                  options_.host + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return ErrnoError("bind " + options_.host + ":" +
+                        std::to_string(options_.port));
+    }
+    if (::listen(listen_fd_, options_.backlog) != 0) {
+      return ErrnoError("listen");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      return ErrnoError("getsockname");
+    }
+
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return ErrnoError("epoll_create1");
+    sink_->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (sink_->event_fd < 0) return ErrnoError("eventfd");
+    SS_RETURN_IF_ERROR(AddFd(listen_fd_, kListenId));
+    SS_RETURN_IF_ERROR(AddFd(sink_->event_fd, kWakeId));
+    start_tick_ = WallNow();
+    return static_cast<int>(ntohs(bound.sin_port));
+  }
+
+  void Loop() {
+    std::vector<epoll_event> events(64);
+    bool drain_seen = false;
+    Tick drain_deadline = kTickInfinity;
+    while (true) {
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()),
+                                 /*timeout_ms=*/250);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        const epoll_event& ev = events[i];
+        if (ev.data.u64 == kListenId) {
+          AcceptAll();
+        } else if (ev.data.u64 == kWakeId) {
+          DrainEventFd();
+        } else {
+          HandleConnEvent(ev.data.u64, ev.events);
+        }
+      }
+      ProcessCompletions();
+      const Tick now = WallNow();
+      CloseIdle(now);
+      if (draining_->load(std::memory_order_acquire)) {
+        if (!drain_seen) {
+          drain_seen = true;
+          drain_deadline = now + options_.drain_timeout;
+          if (listen_fd_ >= 0) {
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+          }
+        }
+        CloseFinished();
+        if (conns_.empty() || now >= drain_deadline) break;
+      }
+    }
+    CloseAll();
+  }
+
+  void Kick() { sink_->Kick(); }
+
+  void CloseSink() {
+    std::lock_guard<std::mutex> lock(sink_->mu);
+    sink_->open = false;
+    sink_->queue.clear();
+  }
+
+  ServerStats Stats() const {
+    ServerStats stats;
+    stats.accepted = accepted_.load(std::memory_order_relaxed);
+    stats.active = active_.load(std::memory_order_relaxed);
+    stats.frames_received = frames_received_.load(std::memory_order_relaxed);
+    stats.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+    stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    stats.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+    stats.overload_closed = overload_closed_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  Tick start_tick() const { return start_tick_; }
+
+ private:
+  Status AddFd(int fd, std::uint64_t id) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return ErrnoError("epoll_ctl(ADD)");
+    }
+    return OkStatus();
+  }
+
+  void WantWrite(Conn& c, bool want) {
+    if (c.want_write == want) return;
+    c.want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = c.id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  void AcceptAll() {
+    while (listen_fd_ >= 0) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient accept failure; epoll re-notifies
+      }
+      if (conns_.size() >= options_.max_connections) {
+        overload_closed_.fetch_add(1, std::memory_order_relaxed);
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Conn>(next_conn_id_++, fd,
+                                         options_.max_frame_bytes);
+      conn->last_active = WallNow();
+      if (!AddFd(fd, conn->id).ok()) {
+        ::close(fd);
+        continue;
+      }
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      conns_.emplace(conn->id, std::move(conn));
+      active_.store(conns_.size(), std::memory_order_relaxed);
+    }
+  }
+
+  void DrainEventFd() {
+    std::uint64_t v = 0;
+    while (::read(sink_->event_fd, &v, sizeof(v)) ==
+           static_cast<ssize_t>(sizeof(v))) {
+    }
+  }
+
+  void HandleConnEvent(std::uint64_t id, std::uint32_t events) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn& c = *it->second;
+    bool alive = (events & (EPOLLHUP | EPOLLERR)) == 0;
+    if (alive && (events & EPOLLIN) != 0) alive = ReadConn(c);
+    if (alive && (events & EPOLLOUT) != 0) {
+      alive = FlushConn(c) && !ShouldClose(c);
+    }
+    if (!alive) CloseConn(id);
+  }
+
+  /// Reads until EAGAIN, extracts and handles complete frames. Returns
+  /// false when the connection must be closed now.
+  bool ReadConn(Conn& c) {
+    char buf[65536];
+    while (true) {
+      const ssize_t r = ::read(c.fd, buf, sizeof(buf));
+      if (r > 0) {
+        c.decoder.Append(buf, static_cast<std::size_t>(r));
+        c.last_active = WallNow();
+        continue;
+      }
+      if (r == 0) return false;  // peer closed
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    while (!c.closing) {
+      Frame frame;
+      auto got = c.decoder.Next(&frame);
+      if (!got.ok()) {
+        // Undecodable stream: best-effort error frame, then close once it
+        // (and any pending responses) flush.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendError(c, WireError::kMalformed, got.status().message());
+        c.closing = true;
+        break;
+      }
+      if (!*got) break;
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      HandleFrame(c, frame);
+    }
+    if (!FlushConn(c)) return false;
+    return !ShouldClose(c);
+  }
+
+  void HandleFrame(Conn& c, const Frame& frame) {
+    switch (frame.type) {
+      case MsgType::kSolve:
+        HandleSolve(c, frame);
+        return;
+      case MsgType::kLookup:
+        HandleLookup(c, frame);
+        return;
+      case MsgType::kStats:
+      case MsgType::kHealth:
+        if (!frame.body.empty()) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          SendError(c, WireError::kMalformed,
+                    "stats/health requests carry no body");
+          c.closing = true;
+          return;
+        }
+        if (frame.type == MsgType::kStats) {
+          HandleStats(c);
+        } else {
+          HandleHealth(c);
+        }
+        return;
+      default:
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendError(c, WireError::kUnsupported,
+                  "unsupported message type " +
+                      std::to_string(static_cast<int>(frame.type)));
+        c.closing = true;
+        return;
+    }
+  }
+
+  /// Parses problem text / regime shared by solve and lookup. Sends the
+  /// malformed-content error itself (connection stays open — the framing
+  /// was fine, the payload was the client's mistake).
+  bool ParseRequestProblem(Conn& c, const std::string& text,
+                           std::int32_t regime,
+                           service::SolveRequest* request) {
+    auto problem = ParseProblemCached(text);
+    if (!problem.ok()) {
+      SendError(c, WireError::kMalformed,
+                "bad problem text: " + problem.status().message());
+      return false;
+    }
+    if (regime < 0 ||
+        static_cast<std::size_t>(regime) >= (*problem)->regime_count) {
+      SendError(c, WireError::kMalformed,
+                "regime " + std::to_string(regime) + " out of range (" +
+                    std::to_string((*problem)->regime_count) + " regimes)");
+      return false;
+    }
+    request->problem = *problem;
+    request->regime = RegimeId{regime};
+    return true;
+  }
+
+  void HandleSolve(Conn& c, const Frame& frame) {
+    SolveRequestMsg msg;
+    Status decoded = Decode(frame.body.data(), frame.body.size(), &msg);
+    if (!decoded.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(c, WireError::kMalformed, decoded.message());
+      c.closing = true;
+      return;
+    }
+    if (draining_->load(std::memory_order_acquire)) {
+      SendError(c, WireError::kShuttingDown,
+                "server is draining; resubmit to another replica");
+      return;
+    }
+    service::SolveRequest request;
+    if (!ParseRequestProblem(c, msg.problem_text, msg.regime, &request)) {
+      return;
+    }
+    if (msg.deadline_micros > 0) {
+      request.deadline = WallNow() + msg.deadline_micros;
+    }
+    request.allow_degraded = msg.allow_degraded;
+
+    const std::uint64_t conn_id = c.id;
+    auto sink = sink_;
+    ++c.pending;
+    Status queued = tenants_->SubmitSolve(
+        msg.tenant, std::move(request),
+        [sink, conn_id](Expected<service::SolveResult> result,
+                        bool cache_hit) {
+          std::vector<std::uint8_t> encoded;
+          if (result.ok()) {
+            SolveResponseMsg resp;
+            resp.summary = Summarize(**result);
+            resp.cache_hit = cache_hit;
+            encoded = Encode(resp);
+          } else {
+            ErrorResponseMsg err;
+            err.code = WireErrorFromStatus(result.status());
+            err.message = result.status().message();
+            encoded = Encode(err);
+          }
+          sink->Post(conn_id, std::move(encoded));
+        });
+    if (!queued.ok()) {
+      // Typed refusal before the callback was captured anywhere: rate
+      // limit, lane full, unknown tenant, shutdown.
+      --c.pending;
+      SendError(c, WireErrorFromStatus(queued), queued.message());
+    }
+  }
+
+  void HandleLookup(Conn& c, const Frame& frame) {
+    LookupRequestMsg msg;
+    Status decoded = Decode(frame.body.data(), frame.body.size(), &msg);
+    if (!decoded.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(c, WireError::kMalformed, decoded.message());
+      c.closing = true;
+      return;
+    }
+    Status tenant_ok = tenants_->TouchTenant(msg.tenant);
+    if (!tenant_ok.ok()) {
+      SendError(c, WireErrorFromStatus(tenant_ok), tenant_ok.message());
+      return;
+    }
+    service::SolveRequest request;
+    if (!ParseRequestProblem(c, msg.problem_text, msg.regime, &request)) {
+      return;
+    }
+    auto probe = tenants_->Lookup(msg.tenant, request);
+    LookupResponseMsg resp;
+    if (probe.ok()) {
+      resp.found = true;
+      resp.summary = Summarize(**probe);
+    } else if (probe.status().code() != StatusCode::kNotFound) {
+      // e.g. kCorruptArtifact on a poisoned restored entry.
+      SendError(c, WireErrorFromStatus(probe.status()),
+                probe.status().message());
+      return;
+    }
+    SendFrame(c, Encode(resp));
+  }
+
+  void HandleStats(Conn& c) {
+    StatsResponseMsg resp;
+    const service::ServiceStats svc = service_->Stats();
+    resp.requests = svc.requests;
+    resp.cache_hits = svc.cache_hits;
+    resp.lookups = svc.lookups;
+    resp.lookup_hits = svc.lookup_hits;
+    resp.coalesced = svc.coalesced;
+    resp.solves = svc.solves;
+    resp.solve_failures = svc.solve_failures;
+    resp.deadline_exceeded = svc.deadline_exceeded;
+    resp.queue_rejected = svc.queue_rejected;
+    resp.corrupt_rejected = svc.corrupt_rejected;
+    resp.degraded = svc.degraded;
+    resp.cache_entries = svc.cache.entries;
+    resp.connections_accepted = accepted_.load(std::memory_order_relaxed);
+    resp.connections_active = conns_.size();
+    resp.frames_received = frames_received_.load(std::memory_order_relaxed);
+    resp.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    resp.uptime_micros = WallNow() - start_tick_;
+    for (const auto& tenant : tenants_->Stats()) {
+      resp.tenants.push_back(ToWire(tenant));
+    }
+    SendFrame(c, Encode(resp));
+  }
+
+  void HandleHealth(Conn& c) {
+    HealthResponseMsg resp;
+    resp.state =
+        draining_->load(std::memory_order_acquire) ? "draining" : "ok";
+    resp.uptime_micros = WallNow() - start_tick_;
+    SendFrame(c, Encode(resp));
+  }
+
+  void SendError(Conn& c, WireError code, const std::string& message) {
+    ErrorResponseMsg err;
+    err.code = code;
+    err.message = message;
+    SendFrame(c, Encode(err));
+  }
+
+  void SendFrame(Conn& c, std::vector<std::uint8_t> encoded) {
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    c.outq.push_back(std::move(encoded));
+  }
+
+  /// Writes as much of the out-queue as the socket accepts; arms EPOLLOUT
+  /// on a short write. Returns false on a hard write error.
+  bool FlushConn(Conn& c) {
+    if (c.broken) return false;
+    while (!c.outq.empty()) {
+      const auto& front = c.outq.front();
+      while (c.out_off < front.size()) {
+        const ssize_t w =
+            ::send(c.fd, front.data() + c.out_off, front.size() - c.out_off,
+                   MSG_NOSIGNAL);
+        if (w > 0) {
+          c.out_off += static_cast<std::size_t>(w);
+          continue;
+        }
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          WantWrite(c, true);
+          return true;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        c.broken = true;
+        return false;
+      }
+      c.out_off = 0;
+      c.outq.pop_front();
+    }
+    WantWrite(c, false);
+    return true;
+  }
+
+  bool ShouldClose(const Conn& c) const {
+    return c.broken || (c.closing && c.outq.empty() && c.pending == 0);
+  }
+
+  void ProcessCompletions() {
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> batch;
+    {
+      std::lock_guard<std::mutex> lock(sink_->mu);
+      batch.swap(sink_->queue);
+    }
+    for (auto& [conn_id, encoded] : batch) {
+      auto it = conns_.find(conn_id);
+      if (it == conns_.end()) continue;  // client went away; drop
+      Conn& c = *it->second;
+      if (c.pending > 0) --c.pending;
+      c.last_active = WallNow();
+      SendFrame(c, std::move(encoded));
+      if (!FlushConn(c) || ShouldClose(c)) CloseConn(conn_id);
+    }
+  }
+
+  void CloseConn(std::uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+    ::close(it->second->fd);
+    conns_.erase(it);
+    active_.store(conns_.size(), std::memory_order_relaxed);
+  }
+
+  void CloseIdle(Tick now) {
+    if (options_.idle_timeout >= kTickInfinity) return;
+    std::vector<std::uint64_t> expired;
+    for (const auto& [id, conn] : conns_) {
+      if (conn->pending == 0 && conn->outq.empty() &&
+          now - conn->last_active > options_.idle_timeout) {
+        expired.push_back(id);
+      }
+    }
+    for (std::uint64_t id : expired) {
+      idle_closed_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(id);
+    }
+  }
+
+  /// During drain: close every connection with nothing in flight and
+  /// nothing left to flush.
+  void CloseFinished() {
+    std::vector<std::uint64_t> finished;
+    for (const auto& [id, conn] : conns_) {
+      if (conn->pending == 0 && conn->outq.empty()) finished.push_back(id);
+    }
+    for (std::uint64_t id : finished) CloseConn(id);
+  }
+
+  void CloseAll() {
+    for (auto& [id, conn] : conns_) {
+      if (epoll_fd_ >= 0) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+      }
+      ::close(conn->fd);
+    }
+    conns_.clear();
+    active_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Text -> parsed problem memo (loop-thread only, FIFO eviction): a hot
+  /// fingerprint costs one parse, not one per request.
+  Expected<std::shared_ptr<const graph::ProblemSpec>> ParseProblemCached(
+      const std::string& text) {
+    auto it = problem_memo_.find(text);
+    if (it != problem_memo_.end()) return it->second;
+    auto parsed = graph::ParseProblem(text);
+    if (!parsed.ok()) return parsed.status();
+    auto spec = std::make_shared<const graph::ProblemSpec>(std::move(*parsed));
+    if (problem_memo_.size() >= options_.problem_cache_capacity &&
+        !memo_order_.empty()) {
+      problem_memo_.erase(memo_order_.front());
+      memo_order_.pop_front();
+    }
+    memo_order_.push_back(text);
+    problem_memo_.emplace(text, spec);
+    return spec;
+  }
+
+  const ServerOptions options_;
+  service::ScheduleService* service_;
+  tenant::TenantScheduler* tenants_;
+  std::atomic<bool>* draining_;
+  std::shared_ptr<CompletionSink> sink_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  Tick start_tick_ = 0;
+  std::uint64_t next_conn_id_ = kFirstConnId;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+
+  std::unordered_map<std::string, std::shared_ptr<const graph::ProblemSpec>>
+      problem_memo_;
+  std::deque<std::string> memo_order_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> responses_sent_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
+  std::atomic<std::uint64_t> overload_closed_{0};
+};
+
+Server::Server(ServerOptions options, service::ScheduleService* service,
+               tenant::TenantScheduler* tenants)
+    : options_(std::move(options)), service_(service), tenants_(tenants) {
+  SS_CHECK(service_ != nullptr);
+  SS_CHECK(tenants_ != nullptr);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (impl_ != nullptr) {
+    return FailedPreconditionError("server already started");
+  }
+  impl_ = std::make_unique<Impl>(options_, service_, tenants_, &draining_);
+  auto port = impl_->Bind();
+  if (!port.ok()) {
+    impl_.reset();
+    return port.status();
+  }
+  port_ = *port;
+  loop_ = std::thread([this] { impl_->Loop(); });
+  return OkStatus();
+}
+
+void Server::Stop() {
+  if (impl_ == nullptr) return;
+  draining_.store(true, std::memory_order_release);
+  impl_->Kick();
+  if (loop_.joinable()) loop_.join();
+  impl_->CloseSink();
+}
+
+ServerStats Server::Stats() const {
+  return impl_ != nullptr ? impl_->Stats() : ServerStats{};
+}
+
+}  // namespace ss::net

@@ -1,0 +1,105 @@
+// Non-blocking epoll front end for the multi-tenant schedule service.
+//
+// One event-loop thread owns every connection: accept, buffered reads
+// through the incremental FrameDecoder, request dispatch, buffered partial
+// writes (EPOLLOUT only while a write is pending), idle timeouts, and
+// graceful drain. Solver work never runs on the loop — solve requests go
+// through the TenantScheduler (admission, fair queueing) and complete on
+// its dispatcher threads, which hand the encoded response back to the loop
+// via a completion queue + eventfd wakeup. Lookup, stats, and health are
+// answered inline (cache probes and counter snapshots, no solver).
+//
+// Shutdown is a drain: Stop() closes the listener, keeps answering health
+// with "draining", refuses new solves with SHUTTING_DOWN, lets in-flight
+// solves finish and their responses flush, then force-closes whatever is
+// left after `drain_timeout`. Completion callbacks outlive the server
+// safely: they hold the completion sink (shared_ptr), which drops posts
+// once the loop is gone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/time.hpp"
+#include "net/protocol.hpp"
+#include "service/schedule_service.hpp"
+#include "tenant/tenant_service.hpp"
+
+namespace ss::net {
+
+struct ServerOptions {
+  /// IPv4 listen address. The tests and loadgen bind 127.0.0.1.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start().
+  int port = 0;
+  int backlog = 128;
+  /// Connections idle (no frames, nothing in flight) longer than this are
+  /// closed. kTickInfinity disables.
+  Tick idle_timeout = ticks::FromSeconds(60);
+  /// Grace period for Stop(): in-flight solves may finish and flush for
+  /// this long before remaining connections are force-closed.
+  Tick drain_timeout = ticks::FromSeconds(5);
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Accepted connections beyond this are closed immediately.
+  std::size_t max_connections = 1024;
+  /// Parsed-problem memo capacity (distinct problem texts); parsing is
+  /// memoized so a hot fingerprint costs one parse, not one per request.
+  std::size_t problem_cache_capacity = 1024;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t active = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t idle_closed = 0;
+  std::uint64_t overload_closed = 0;
+};
+
+class Server {
+ public:
+  /// `service` and `tenants` must outlive Stop()/destruction; not owned.
+  Server(ServerOptions options, service::ScheduleService* service,
+         tenant::TenantScheduler* tenants);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event loop. kInternal on socket
+  /// errors (address in use, bad host).
+  Status Start();
+
+  /// Actual listening port (after an ephemeral bind). 0 before Start().
+  int port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Graceful drain; joins the loop thread. Idempotent.
+  void Stop();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  ServerStats Stats() const;
+
+ private:
+  struct Conn;
+  struct CompletionSink;
+  class Impl;
+
+  ServerOptions options_;
+  service::ScheduleService* service_;
+  tenant::TenantScheduler* tenants_;
+  int port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::unique_ptr<Impl> impl_;
+  std::thread loop_;
+};
+
+}  // namespace ss::net

@@ -22,6 +22,8 @@ std::string ServiceStats::ToTable() const {
   };
   row("requests", requests);
   row("cache hits", cache_hits);
+  row("lookups (cache probes)", lookups);
+  row("lookup hits", lookup_hits);
   row("coalesced (single-flight)", coalesced);
   row("solver invocations", solves);
   row("solver failures", solve_failures);
@@ -139,6 +141,21 @@ Expected<SolveResult> ScheduleService::Solve(SolveRequest request) {
         "warm the cache when it completes)"));
   }
   return future.get();
+}
+
+Expected<SolveResult> ScheduleService::Lookup(const SolveRequest& request) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (!request.problem) {
+    return Status(InvalidArgumentError("request has no problem"));
+  }
+  const graph::Fingerprint key = RequestKey(request);
+  if (auto hit = cache_.Lookup(key)) {
+    Status usable = VerifyHit(key, request, hit);
+    if (!usable.ok()) return usable;
+    lookup_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Expected<SolveResult>(std::move(hit));
+  }
+  return Status(NotFoundError("no cached schedule for " + key.ToHex()));
 }
 
 namespace {
@@ -386,6 +403,8 @@ ServiceStats ScheduleService::Stats() const {
   ServiceStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.lookup_hits = lookup_hits_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.solves = solves_.load(std::memory_order_relaxed);
   stats.solve_failures = solve_failures_.load(std::memory_order_relaxed);

@@ -107,6 +107,10 @@ using SolveFuture = std::shared_future<Expected<SolveResult>>;
 struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t cache_hits = 0;
+  /// Cache-only probes served through Lookup() (the wire protocol's lookup
+  /// verb and the tenant front end's fast path), and how many hit.
+  std::uint64_t lookups = 0;
+  std::uint64_t lookup_hits = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t solves = 0;
   std::uint64_t solve_failures = 0;
@@ -159,6 +163,13 @@ class ScheduleService {
   /// waiting: if the deadline passes first the caller gets
   /// kDeadlineExceeded (the solve keeps running and still warms the cache).
   Expected<SolveResult> Solve(SolveRequest request);
+
+  /// Cache-only probe: the cached solve for the request's key (restored
+  /// artifacts are verified exactly as on the SubmitAsync hit path — a
+  /// corrupt one is evicted and reported kCorruptArtifact), or kNotFound
+  /// on a miss. Never queues solver work; does not count towards
+  /// `requests`.
+  Expected<SolveResult> Lookup(const SolveRequest& request);
 
   ServiceStats Stats() const;
   ScheduleCache& cache() { return cache_; }
@@ -234,6 +245,8 @@ class ScheduleService {
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> lookup_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> solves_{0};
   std::atomic<std::uint64_t> solve_failures_{0};

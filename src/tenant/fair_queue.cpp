@@ -1,0 +1,167 @@
+#include "tenant/fair_queue.hpp"
+
+#include <utility>
+
+namespace ss::tenant {
+
+FairScheduler::FairScheduler(FairQueueOptions options)
+    : options_(options) {
+  SS_CHECK_MSG(options_.dispatch_threads >= 0,
+               "negative dispatcher count");
+  SS_CHECK_MSG(options_.quantum > 0.0, "quantum must be positive");
+  threads_.reserve(static_cast<std::size_t>(options_.dispatch_threads));
+  for (int i = 0; i < options_.dispatch_threads; ++i) {
+    threads_.emplace_back([this] { DispatcherLoop(); });
+  }
+}
+
+FairScheduler::~FairScheduler() { Shutdown(); }
+
+int FairScheduler::AddTenant(double weight, std::size_t queue_capacity) {
+  SS_CHECK_MSG(weight > 0.0, "lane weight must be positive");
+  SS_CHECK_MSG(queue_capacity > 0, "lane capacity must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
+  Lane lane;
+  lane.weight = weight;
+  lane.capacity = queue_capacity;
+  lanes_.push_back(std::move(lane));
+  return static_cast<int>(lanes_.size()) - 1;
+}
+
+Status FairScheduler::Submit(int tenant_index, FairJob job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return CancelledError("fair scheduler is shut down");
+  }
+  if (tenant_index < 0 ||
+      static_cast<std::size_t>(tenant_index) >= lanes_.size()) {
+    return InvalidArgumentError("unknown tenant lane " +
+                                std::to_string(tenant_index));
+  }
+  Lane& lane = lanes_[static_cast<std::size_t>(tenant_index)];
+  if (lane.jobs.size() >= lane.capacity) {
+    ++lane.rejected_full;
+    return WouldBlockError("tenant queue full (" +
+                           std::to_string(lane.capacity) +
+                           " pending); retry later");
+  }
+  lane.jobs.push_back(std::move(job));
+  ++lane.submitted;
+  ++total_queued_;
+  cv_.notify_one();
+  return OkStatus();
+}
+
+bool FairScheduler::NextJobLocked(FairJob* out) {
+  if (total_queued_ == 0 || lanes_.empty()) return false;
+  const std::size_t n = lanes_.size();
+  // Each pass credits every backlogged lane once; total_queued_ > 0
+  // guarantees some lane's deficit eventually crosses 1, so this
+  // terminates in at most ceil(1 / (quantum * min_weight)) passes.
+  while (true) {
+    for (std::size_t k = 0; k < n; ++k) {
+      Lane& lane = lanes_[cursor_];
+      if (lane.jobs.empty()) {
+        // Idle lanes forfeit credit: service share is use-it-or-lose-it,
+        // which bounds post-idle bursts.
+        lane.deficit = 0.0;
+        cursor_ = (cursor_ + 1) % n;
+        continue;
+      }
+      if (lane.deficit < 1.0) {
+        lane.deficit += options_.quantum * lane.weight;
+      }
+      if (lane.deficit < 1.0) {
+        cursor_ = (cursor_ + 1) % n;
+        continue;
+      }
+      lane.deficit -= 1.0;
+      *out = std::move(lane.jobs.front());
+      lane.jobs.pop_front();
+      ++lane.dispatched;
+      --total_queued_;
+      if (lane.jobs.empty()) {
+        lane.deficit = 0.0;
+        cursor_ = (cursor_ + 1) % n;
+      } else if (lane.deficit < 1.0) {
+        // Credit spent: the next call moves on to the following lane.
+        cursor_ = (cursor_ + 1) % n;
+      }
+      return true;
+    }
+  }
+}
+
+bool FairScheduler::DispatchOne() {
+  FairJob job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!NextJobLocked(&job)) return false;
+  }
+  job(/*cancelled=*/false);
+  return true;
+}
+
+void FairScheduler::DispatcherLoop() {
+  for (;;) {
+    FairJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || total_queued_ > 0; });
+      if (shutdown_) return;
+      if (!NextJobLocked(&job)) continue;
+    }
+    job(/*cancelled=*/false);
+  }
+}
+
+std::size_t FairScheduler::QueuedFor(int tenant_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenant_index < 0 ||
+      static_cast<std::size_t>(tenant_index) >= lanes_.size()) {
+    return 0;
+  }
+  return lanes_[static_cast<std::size_t>(tenant_index)].jobs.size();
+}
+
+FairQueueStats FairScheduler::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FairQueueStats stats;
+  for (const Lane& lane : lanes_) {
+    stats.submitted += lane.submitted;
+    stats.dispatched += lane.dispatched;
+    stats.rejected_full += lane.rejected_full;
+    stats.queued += lane.jobs.size();
+  }
+  stats.cancelled = cancelled_;
+  return stats;
+}
+
+void FairScheduler::Shutdown() {
+  std::vector<std::thread> reaped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    reaped.swap(threads_);
+    cv_.notify_all();
+  }
+  for (std::thread& t : reaped) t.join();
+  // Drain: every queued job fails its caller promptly.
+  std::vector<FairJob> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Lane& lane : lanes_) {
+      while (!lane.jobs.empty()) {
+        cancelled.push_back(std::move(lane.jobs.front()));
+        lane.jobs.pop_front();
+        --total_queued_;
+        ++cancelled_;
+      }
+      lane.deficit = 0.0;
+    }
+  }
+  for (FairJob& job : cancelled) job(/*cancelled=*/true);
+}
+
+}  // namespace ss::tenant

@@ -1,0 +1,114 @@
+// Weighted deficit-round-robin dispatch over bounded per-tenant queues.
+//
+// The fair scheduler sits between admission control and the shared solver
+// pool: every admitted request waits in its own tenant's bounded FIFO, and
+// a small set of dispatcher threads drains the queues in deficit-round-
+// robin order. Each visit credits a tenant `quantum * weight` units and
+// dispatches whole jobs (cost 1) while credit lasts, so over any busy
+// window tenant i receives a weight_i / sum(weights) share of dispatches:
+// heavy tenants cannot monopolize the pool and light tenants never starve
+// (every active tenant is visited once per round). A tenant whose queue
+// drains forfeits its remaining deficit — credit never accumulates while
+// idle, which is what bounds burstiness.
+//
+// Jobs are closures; dispatcher threads run them to completion before
+// taking the next one, so `dispatch_threads` is also the cap on in-flight
+// solver work submitted through this queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace ss::tenant {
+
+/// One unit of queued work. Invoked exactly once: with `cancelled == false`
+/// on a dispatcher thread, or with `cancelled == true` during shutdown
+/// drain (the job must fail its caller promptly, not do the work).
+using FairJob = std::function<void(bool cancelled)>;
+
+struct FairQueueOptions {
+  /// Dispatcher threads; also the in-flight cap. 0 is a valid (paused)
+  /// configuration where jobs are only drained by DispatchOne()/Shutdown()
+  /// — used by tests for deterministic accounting.
+  int dispatch_threads = 2;
+  /// Credit granted per visit per unit weight. The default of 1 dispatches
+  /// ~weight jobs per round for integer weights; fractional weights simply
+  /// accumulate credit across rounds.
+  double quantum = 1.0;
+};
+
+struct FairQueueStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t queued = 0;  // current total backlog
+};
+
+class FairScheduler {
+ public:
+  explicit FairScheduler(FairQueueOptions options = {});
+  ~FairScheduler();
+
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Adds a tenant lane. Returns the dense index expected by Submit().
+  /// Lanes match TenantState::index when registered in the same order (the
+  /// TenantScheduler guarantees this).
+  int AddTenant(double weight, std::size_t queue_capacity);
+
+  /// Enqueues a job on the tenant's lane. kWouldBlock when that lane is at
+  /// capacity; kCancelled after Shutdown().
+  Status Submit(int tenant_index, FairJob job);
+
+  /// Runs at most one job inline using the same DRR accounting as the
+  /// dispatcher threads. Returns false when every lane is empty. Intended
+  /// for tests (deterministic fairness measurements with 0 threads).
+  bool DispatchOne();
+
+  /// Current backlog of one lane.
+  std::size_t QueuedFor(int tenant_index) const;
+
+  FairQueueStats Stats() const;
+
+  /// Stops dispatcher threads, then fails every queued job with
+  /// cancelled == true on the calling thread. Idempotent.
+  void Shutdown();
+
+ private:
+  struct Lane {
+    double weight = 1.0;
+    std::size_t capacity = 0;
+    std::deque<FairJob> jobs;
+    double deficit = 0.0;
+    std::uint64_t submitted = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t rejected_full = 0;
+  };
+
+  /// Picks the next job per DRR under mu_ (caller holds the lock). Returns
+  /// false when all lanes are empty.
+  bool NextJobLocked(FairJob* out);
+  void DispatcherLoop();
+
+  FairQueueOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Lane> lanes_;
+  /// Round-robin cursor: lane to visit next.
+  std::size_t cursor_ = 0;
+  std::size_t total_queued_ = 0;
+  std::uint64_t cancelled_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ss::tenant

@@ -1,0 +1,187 @@
+#include "tenant/tenant.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace ss::tenant {
+
+TenantStats TenantState::Stats(std::uint64_t queued_now) const {
+  TenantStats stats;
+  stats.name = config.name;
+  stats.weight = config.weight;
+  stats.admitted = admitted.load(std::memory_order_relaxed);
+  stats.rejected_rate_limited =
+      rejected_rate_limited.load(std::memory_order_relaxed);
+  stats.rejected_queue_full =
+      rejected_queue_full.load(std::memory_order_relaxed);
+  stats.dispatched = dispatched.load(std::memory_order_relaxed);
+  stats.completed = completed.load(std::memory_order_relaxed);
+  stats.failed = failed.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  stats.queued = queued_now;
+  const LatencyHistogram::Snapshot snap = latency.TakeSnapshot();
+  stats.p50_latency_us = snap.p50();
+  stats.p99_latency_us = snap.p99();
+  return stats;
+}
+
+TenantRegistry::TenantRegistry(RegistryOptions options)
+    : options_(std::move(options)) {
+  SS_CHECK_MSG(options_.max_tenants > 0, "max_tenants must be positive");
+}
+
+Expected<std::shared_ptr<TenantState>> TenantRegistry::Register(
+    TenantConfig config) {
+  if (config.name.empty()) {
+    return Status(InvalidArgumentError("tenant name must be non-empty"));
+  }
+  if (!(config.weight > 0.0)) {
+    return Status(InvalidArgumentError("tenant '" + config.name +
+                                       "' weight must be > 0"));
+  }
+  if (config.queue_capacity == 0) {
+    return Status(InvalidArgumentError("tenant '" + config.name +
+                                       "' queue capacity must be > 0"));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : tenants_) {
+    if (t->config.name == config.name) {
+      return Status(AlreadyExistsError("tenant '" + config.name +
+                                       "' already registered"));
+    }
+  }
+  if (tenants_.size() >= options_.max_tenants) {
+    return Status(FailedPreconditionError(
+        "tenant registry full (" + std::to_string(options_.max_tenants) +
+        " tenants)"));
+  }
+  auto state = std::make_shared<TenantState>(
+      std::move(config), static_cast<int>(tenants_.size()), WallNow());
+  tenants_.push_back(state);
+  return state;
+}
+
+Expected<std::shared_ptr<TenantState>> TenantRegistry::Resolve(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& t : tenants_) {
+      if (t->config.name == name) return t;
+    }
+  }
+  if (!options_.auto_register) {
+    return Status(NotFoundError("unknown tenant '" + name + "'"));
+  }
+  TenantConfig config = options_.default_config;
+  config.name = name;
+  auto registered = Register(std::move(config));
+  if (registered.ok()) return registered;
+  if (registered.status().code() == StatusCode::kAlreadyExists) {
+    // Lost a registration race: the other thread's entry is the answer.
+    return Resolve(name);
+  }
+  return registered.status();
+}
+
+std::vector<std::shared_ptr<TenantState>> TenantRegistry::All() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_;
+}
+
+std::size_t TenantRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+namespace {
+
+Status ConfigError(int line, const std::string& message) {
+  return InvalidArgumentError("tenant config line " + std::to_string(line) +
+                              ": " + message);
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (*end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Expected<std::vector<TenantConfig>> ParseTenantConfig(std::string_view text) {
+  std::vector<TenantConfig> configs;
+  std::unordered_set<std::string> names;
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    if (const std::size_t hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank / comment-only line
+    if (keyword != "tenant") {
+      return ConfigError(line_no, "expected 'tenant', got '" + keyword + "'");
+    }
+    TenantConfig config;
+    if (!(line >> config.name)) {
+      return ConfigError(line_no, "missing tenant name");
+    }
+    if (!names.insert(config.name).second) {
+      return ConfigError(line_no,
+                         "duplicate tenant '" + config.name + "'");
+    }
+    std::string token;
+    while (line >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return ConfigError(line_no, "expected key=value, got '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      double num = 0.0;
+      if (!ParseDouble(value, &num)) {
+        return ConfigError(line_no,
+                           "non-numeric value for '" + key + "': " + value);
+      }
+      if (key == "weight") {
+        if (!(num > 0.0)) return ConfigError(line_no, "weight must be > 0");
+        config.weight = num;
+      } else if (key == "rate") {
+        config.rate_per_sec = num;
+      } else if (key == "burst") {
+        if (!(num >= 1.0)) return ConfigError(line_no, "burst must be >= 1");
+        config.burst = num;
+      } else if (key == "queue") {
+        if (!(num >= 1.0)) return ConfigError(line_no, "queue must be >= 1");
+        config.queue_capacity = static_cast<std::size_t>(num);
+      } else {
+        return ConfigError(line_no, "unknown key '" + key + "'");
+      }
+    }
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+Expected<std::vector<TenantConfig>> LoadTenantConfigFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status(NotFoundError("cannot open tenant config '" + path + "'"));
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseTenantConfig(contents.str());
+}
+
+}  // namespace ss::tenant

@@ -1,0 +1,617 @@
+// Tests for the wire protocol and the epoll server: codec round-trips, the
+// incremental frame decoder against malformed/partial input (satellite:
+// fuzz-ish decoder coverage), end-to-end solve/lookup/stats/health over a
+// real socket, and the typed error surface — deadline-exceeded, per-tenant
+// queue-full, admission rejection, corrupt-artifact, unknown-tenant — each
+// round-tripping to a distinct protocol error code.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph_io.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "service/schedule_service.hpp"
+#include "tenant/tenant_service.hpp"
+
+namespace ss::net {
+namespace {
+
+std::string ProblemText(int salt) {
+  graph::ProblemSpec spec;
+  const TaskId src = spec.graph.AddTask("src", /*is_source=*/true);
+  const TaskId mid = spec.graph.AddTask("mid");
+  const TaskId sink = spec.graph.AddTask("sink");
+  const ChannelId a = spec.graph.AddChannel("a", 100);
+  spec.graph.SetProducer(src, a);
+  spec.graph.AddConsumer(mid, a);
+  const ChannelId b = spec.graph.AddChannel("b", 100);
+  spec.graph.SetProducer(mid, b);
+  spec.graph.AddConsumer(sink, b);
+  spec.costs.Set(RegimeId(0), src, graph::TaskCost::Serial(100 + salt));
+  spec.costs.Set(RegimeId(0), mid, graph::TaskCost::Serial(200));
+  spec.costs.Set(RegimeId(0), sink, graph::TaskCost::Serial(50));
+  spec.machine = graph::MachineConfig::SingleNode(2);
+  spec.comm = graph::CommModel::Free();
+  spec.regime_count = 1;
+  return graph::FormatProblem(spec);
+}
+
+SolveRequestMsg SolveMsg(const std::string& tenant, int salt) {
+  SolveRequestMsg msg;
+  msg.tenant = tenant;
+  msg.problem_text = ProblemText(salt);
+  msg.regime = 0;
+  return msg;
+}
+
+// ---- Codec round-trips (no socket) ---------------------------------------
+
+TEST(Protocol, SolveRequestRoundTrip) {
+  SolveRequestMsg msg;
+  msg.tenant = "team-a";
+  msg.problem_text = "task src serial=10\n";
+  msg.regime = 3;
+  msg.deadline_micros = 250000;
+  msg.allow_degraded = true;
+  const auto frame = Encode(msg);
+
+  FrameDecoder decoder;
+  decoder.Append(frame.data(), frame.size());
+  Frame out;
+  auto ready = decoder.Next(&out);
+  ASSERT_TRUE(ready.ok()) << ready.status().ToString();
+  ASSERT_TRUE(*ready);
+  EXPECT_EQ(out.type, MsgType::kSolve);
+
+  SolveRequestMsg decoded;
+  ASSERT_TRUE(Decode(out.body.data(), out.body.size(), &decoded).ok());
+  EXPECT_EQ(decoded.tenant, msg.tenant);
+  EXPECT_EQ(decoded.problem_text, msg.problem_text);
+  EXPECT_EQ(decoded.regime, msg.regime);
+  EXPECT_EQ(decoded.deadline_micros, msg.deadline_micros);
+  EXPECT_EQ(decoded.allow_degraded, msg.allow_degraded);
+}
+
+TEST(Protocol, StatsResponseRoundTrip) {
+  StatsResponseMsg msg;
+  msg.requests = 42;
+  msg.cache_hits = 17;
+  msg.protocol_errors = 3;
+  msg.uptime_micros = 123456789;
+  TenantStatsMsg t;
+  t.name = "video";
+  t.weight = 4.0;
+  t.admitted = 9;
+  t.p99_latency_us = 1234.5;
+  msg.tenants.push_back(t);
+  const auto frame = Encode(msg);
+
+  FrameDecoder decoder;
+  decoder.Append(frame.data(), frame.size());
+  Frame out;
+  auto ready = decoder.Next(&out);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_TRUE(*ready);
+  EXPECT_EQ(out.type, MsgType::kStatsOk);
+
+  StatsResponseMsg decoded;
+  ASSERT_TRUE(Decode(out.body.data(), out.body.size(), &decoded).ok());
+  EXPECT_EQ(decoded.requests, 42u);
+  EXPECT_EQ(decoded.cache_hits, 17u);
+  EXPECT_EQ(decoded.protocol_errors, 3u);
+  EXPECT_EQ(decoded.uptime_micros, 123456789);
+  ASSERT_EQ(decoded.tenants.size(), 1u);
+  EXPECT_EQ(decoded.tenants[0].name, "video");
+  EXPECT_DOUBLE_EQ(decoded.tenants[0].weight, 4.0);
+  EXPECT_EQ(decoded.tenants[0].admitted, 9u);
+  EXPECT_DOUBLE_EQ(decoded.tenants[0].p99_latency_us, 1234.5);
+}
+
+TEST(Protocol, ErrorCodesSurviveTheWire) {
+  for (WireError code :
+       {WireError::kMalformed, WireError::kDeadlineExceeded,
+        WireError::kQueueFull, WireError::kAdmissionRejected,
+        WireError::kUnknownTenant, WireError::kCorruptArtifact,
+        WireError::kShuttingDown}) {
+    ErrorResponseMsg msg;
+    msg.code = code;
+    msg.message = WireErrorName(code);
+    const auto frame = Encode(msg);
+    FrameDecoder decoder;
+    decoder.Append(frame.data(), frame.size());
+    Frame out;
+    auto ready = decoder.Next(&out);
+    ASSERT_TRUE(ready.ok());
+    ASSERT_TRUE(*ready);
+    ASSERT_EQ(out.type, MsgType::kError);
+    ErrorResponseMsg decoded;
+    ASSERT_TRUE(Decode(out.body.data(), out.body.size(), &decoded).ok());
+    EXPECT_EQ(decoded.code, code);
+    EXPECT_EQ(decoded.message, msg.message);
+  }
+}
+
+TEST(Protocol, StatusRoundTripIsTyped) {
+  EXPECT_EQ(WireErrorFromStatus(DeadlineExceededError("d")),
+            WireError::kDeadlineExceeded);
+  EXPECT_EQ(WireErrorFromStatus(WouldBlockError("q")), WireError::kQueueFull);
+  EXPECT_EQ(WireErrorFromStatus(AdmissionRejectedError("a")),
+            WireError::kAdmissionRejected);
+  EXPECT_EQ(WireErrorFromStatus(CorruptArtifactError("c")),
+            WireError::kCorruptArtifact);
+  EXPECT_EQ(StatusFromWireError(WireError::kDeadlineExceeded, "d").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(StatusFromWireError(WireError::kQueueFull, "q").code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(StatusFromWireError(WireError::kAdmissionRejected, "a").code(),
+            StatusCode::kAdmissionRejected);
+  EXPECT_EQ(StatusFromWireError(WireError::kCorruptArtifact, "c").code(),
+            StatusCode::kCorruptArtifact);
+}
+
+// ---- FrameDecoder against hostile input ----------------------------------
+
+TEST(FrameDecoder, ReassemblesByteAtATime) {
+  SolveRequestMsg msg;
+  msg.tenant = "t";
+  msg.problem_text = "x";
+  const auto frame = Encode(msg);
+
+  FrameDecoder decoder;
+  Frame out;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.Append(&frame[i], 1);
+    auto ready = decoder.Next(&out);
+    ASSERT_TRUE(ready.ok());
+    EXPECT_FALSE(*ready) << "frame complete after " << (i + 1) << " bytes";
+  }
+  decoder.Append(&frame[frame.size() - 1], 1);
+  auto ready = decoder.Next(&out);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_TRUE(*ready);
+  EXPECT_EQ(out.type, MsgType::kSolve);
+}
+
+TEST(FrameDecoder, TwoFramesInOneChunk) {
+  const auto a = EncodeHealthRequest();
+  const auto b = EncodeStatsRequest();
+  std::vector<std::uint8_t> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+
+  FrameDecoder decoder;
+  decoder.Append(both.data(), both.size());
+  Frame out;
+  auto first = decoder.Next(&out);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(*first);
+  EXPECT_EQ(out.type, MsgType::kHealth);
+  auto second = decoder.Next(&out);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(*second);
+  EXPECT_EQ(out.type, MsgType::kStats);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, OversizedLengthIsPermanentError) {
+  // length = 2 MiB > kMaxFrameBytes.
+  const std::uint8_t prefix[] = {0x00, 0x00, 0x20, 0x00};
+  FrameDecoder decoder;
+  decoder.Append(prefix, sizeof(prefix));
+  Frame out;
+  auto ready = decoder.Next(&out);
+  ASSERT_FALSE(ready.ok());
+  EXPECT_EQ(ready.status().code(), StatusCode::kInvalidArgument);
+  // Sticky: feeding more bytes does not revive the stream.
+  const std::uint8_t more[] = {0x01};
+  decoder.Append(more, sizeof(more));
+  EXPECT_FALSE(decoder.Next(&out).ok());
+}
+
+TEST(FrameDecoder, RuntLengthAndBadVersionAreErrors) {
+  {
+    // length = 1: too short to hold version + type.
+    const std::uint8_t frame[] = {0x01, 0x00, 0x00, 0x00, 0x01};
+    FrameDecoder decoder;
+    decoder.Append(frame, sizeof(frame));
+    Frame out;
+    EXPECT_FALSE(decoder.Next(&out).ok());
+  }
+  {
+    // version 9 != kProtocolVersion.
+    const std::uint8_t frame[] = {0x02, 0x00, 0x00, 0x00, 0x09, 0x04};
+    FrameDecoder decoder;
+    decoder.Append(frame, sizeof(frame));
+    Frame out;
+    EXPECT_FALSE(decoder.Next(&out).ok());
+  }
+}
+
+TEST(WireReaderTest, TruncatedAndTrailingBodiesFailDecode) {
+  SolveRequestMsg msg = SolveMsg("t", 1);
+  const auto frame = Encode(msg);
+  // Body starts after [u32 length][u8 version][u8 type].
+  const std::uint8_t* body = frame.data() + 6;
+  const std::size_t body_size = frame.size() - 6;
+
+  SolveRequestMsg out;
+  ASSERT_TRUE(Decode(body, body_size, &out).ok());
+  // Every strict prefix of the body must fail, never crash (fuzz-ish sweep
+  // over all truncation points).
+  for (std::size_t cut = 0; cut < body_size; ++cut) {
+    EXPECT_FALSE(Decode(body, cut, &out).ok()) << "cut=" << cut;
+  }
+  // Trailing garbage is malformed too (hides version skew).
+  std::vector<std::uint8_t> padded(body, body + body_size);
+  padded.push_back(0xFF);
+  EXPECT_FALSE(Decode(padded.data(), padded.size(), &out).ok());
+}
+
+// ---- End-to-end over a real socket ---------------------------------------
+
+struct TestServer {
+  service::ScheduleService service;
+  tenant::TenantScheduler tenants;
+  Server server;
+
+  static ServerOptions FastDrain() {
+    ServerOptions options;
+    options.drain_timeout = ticks::FromMillis(300);
+    return options;
+  }
+
+  TestServer(service::ServiceOptions service_options,
+             tenant::TenantSchedulerOptions tenant_options,
+             ServerOptions server_options = FastDrain())
+      : service(std::move(service_options)),
+        tenants(&service, std::move(tenant_options)),
+        server(std::move(server_options), &service, &tenants) {}
+
+  ~TestServer() {
+    server.Stop();
+    tenants.Shutdown();
+    service.Shutdown();
+  }
+
+  Status StartAndConnect(Client* client) {
+    SS_RETURN_IF_ERROR(server.Start());
+    return client->Connect("127.0.0.1", server.port());
+  }
+};
+
+service::ServiceOptions Workers(int n) {
+  service::ServiceOptions options;
+  options.workers = n;
+  return options;
+}
+
+tenant::TenantSchedulerOptions Dispatchers(int n) {
+  tenant::TenantSchedulerOptions options;
+  options.dispatch_threads = n;
+  return options;
+}
+
+TEST(NetServer, SolveLookupStatsHealthHappyPath) {
+  TestServer ts(Workers(2), Dispatchers(2));
+  Client client;
+  ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->state, "ok");
+  EXPECT_GE(health->uptime_micros, 0);
+
+  // Lookup before any solve: clean miss, not an error.
+  LookupRequestMsg lookup;
+  lookup.tenant = "alice";
+  lookup.problem_text = ProblemText(1);
+  auto miss = client.Lookup(lookup);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  EXPECT_FALSE(miss->found);
+
+  auto cold = client.Solve(SolveMsg("alice", 1));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->cache_hit);
+  EXPECT_GT(cold->summary.latency, 0);
+  EXPECT_GT(cold->summary.initiation_interval, 0);
+  EXPECT_EQ(cold->summary.quality, 0) << "expected a proven-optimal result";
+  EXPECT_FALSE(cold->summary.fingerprint_hex.empty());
+
+  auto warm = client.Solve(SolveMsg("alice", 1));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->summary.fingerprint_hex, cold->summary.fingerprint_hex);
+  EXPECT_EQ(warm->summary.latency, cold->summary.latency);
+
+  auto hit = client.Lookup(lookup);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->found);
+  EXPECT_EQ(hit->summary.fingerprint_hex, cold->summary.fingerprint_hex);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->requests, 1u);       // the dispatched cold solve
+  EXPECT_GE(stats->frames_received, 5u);
+  EXPECT_EQ(stats->protocol_errors, 0u);
+  EXPECT_EQ(stats->connections_active, 1u);
+  ASSERT_EQ(stats->tenants.size(), 1u);
+  EXPECT_EQ(stats->tenants[0].name, "alice");
+  EXPECT_EQ(stats->tenants[0].admitted, 2u);
+  EXPECT_EQ(stats->tenants[0].cache_hits, 2u);  // warm solve + lookup hit
+  EXPECT_EQ(stats->tenants[0].dispatched, 1u);
+
+  const ServerStats server_stats = ts.server.Stats();
+  EXPECT_EQ(server_stats.protocol_errors, 0u);
+  EXPECT_GE(server_stats.responses_sent, 6u);
+}
+
+TEST(NetServer, DeadlineExceededRoundTripsTyped) {
+  // Paused service: the dispatched solve can only end by deadline.
+  TestServer ts(Workers(0), Dispatchers(1));
+  Client client;
+  ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+
+  SolveRequestMsg msg = SolveMsg("alice", 2);
+  msg.deadline_micros = 50000;  // 50 ms
+  auto result = client.Solve(msg);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+}
+
+TEST(NetServer, PerTenantQueueFullRoundTripsTyped) {
+  // No dispatchers and a one-deep lane: the first solve parks in the
+  // tenant's queue, the second bounces with QUEUE_FULL.
+  tenant::TenantSchedulerOptions tenant_options = Dispatchers(0);
+  tenant_options.registry.default_config.queue_capacity = 1;
+  TestServer ts(Workers(0), std::move(tenant_options));
+  Client parked;
+  ASSERT_TRUE(ts.StartAndConnect(&parked).ok());
+
+  const auto first = Encode(SolveMsg("bob", 3));
+  ASSERT_TRUE(parked.SendBytes(first.data(), first.size()).ok());
+
+  // Wait until the server has admitted the first solve into bob's lane.
+  Client stats_client;
+  ASSERT_TRUE(stats_client.Connect("127.0.0.1", ts.server.port()).ok());
+  bool parked_visible = false;
+  for (int i = 0; i < 200 && !parked_visible; ++i) {
+    auto stats = stats_client.Stats();
+    ASSERT_TRUE(stats.ok());
+    for (const auto& t : stats->tenants) {
+      parked_visible |= (t.name == "bob" && t.queued == 1);
+    }
+    if (!parked_visible) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ASSERT_TRUE(parked_visible);
+
+  Client second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", ts.server.port()).ok());
+  auto full = second.Solve(SolveMsg("bob", 4));
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), StatusCode::kWouldBlock)
+      << full.status().ToString();
+
+  // Backpressure is per-tenant: carol's solve parks in her own lane
+  // instead of bouncing (sent raw — with no dispatchers it never answers).
+  const auto carol = Encode(SolveMsg("carol", 5));
+  ASSERT_TRUE(second.SendBytes(carol.data(), carol.size()).ok());
+  bool carol_parked = false;
+  for (int i = 0; i < 200 && !carol_parked; ++i) {
+    auto stats = stats_client.Stats();
+    ASSERT_TRUE(stats.ok());
+    for (const auto& t : stats->tenants) {
+      carol_parked |= (t.name == "carol" && t.queued == 1);
+    }
+    if (!carol_parked) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(carol_parked);
+  EXPECT_EQ(ts.server.Stats().protocol_errors, 0u);
+}
+
+TEST(NetServer, AdmissionRejectionRoundTripsTyped) {
+  tenant::TenantSchedulerOptions tenant_options = Dispatchers(2);
+  tenant_options.registry.default_config.rate_per_sec = 0.0001;
+  tenant_options.registry.default_config.burst = 1.0;
+  TestServer ts(Workers(2), std::move(tenant_options));
+  Client client;
+  ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+
+  auto first = client.Solve(SolveMsg("dave", 6));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  auto second = client.Solve(SolveMsg("dave", 7));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAdmissionRejected)
+      << second.status().ToString();
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->tenants.size(), 1u);
+  EXPECT_EQ(stats->tenants[0].rejected_rate_limited, 1u);
+}
+
+TEST(NetServer, CorruptArtifactRoundTripsTyped) {
+  service::ServiceOptions service_options = Workers(2);
+  service_options.max_solve_retries = 0;
+  service_options.solve_fault_injector = [](const graph::Fingerprint&, int) {
+    return CorruptArtifactError("injected corrupt artifact");
+  };
+  TestServer ts(std::move(service_options), Dispatchers(1));
+  Client client;
+  ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+
+  auto result = client.Solve(SolveMsg("erin", 8));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptArtifact)
+      << result.status().ToString();
+}
+
+TEST(NetServer, UnknownTenantRoundTripsTyped) {
+  tenant::TenantSchedulerOptions tenant_options = Dispatchers(1);
+  tenant_options.registry.auto_register = false;
+  TestServer ts(Workers(2), std::move(tenant_options));
+  ASSERT_TRUE(ts.tenants.RegisterTenant({.name = "known"}).ok());
+  Client client;
+  ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+
+  auto solve = client.Solve(SolveMsg("ghost", 9));
+  ASSERT_FALSE(solve.ok());
+  EXPECT_EQ(solve.status().code(), StatusCode::kNotFound);
+
+  LookupRequestMsg lookup;
+  lookup.tenant = "ghost";
+  lookup.problem_text = ProblemText(9);
+  auto probe = client.Lookup(lookup);
+  ASSERT_FALSE(probe.ok());
+  EXPECT_EQ(probe.status().code(), StatusCode::kNotFound);
+
+  // A registered tenant's lookup miss is found=false, NOT an error: the
+  // two kNotFound sources stay distinguishable on the wire.
+  lookup.tenant = "known";
+  auto miss = client.Lookup(lookup);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  EXPECT_FALSE(miss->found);
+}
+
+TEST(NetServer, BadProblemTextIsMalformedButConnectionSurvives) {
+  TestServer ts(Workers(2), Dispatchers(1));
+  Client client;
+  ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+
+  SolveRequestMsg bad;
+  bad.tenant = "alice";
+  bad.problem_text = "this is not a problem\n";
+  auto result = client.Solve(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // Content errors are per-request, not per-connection.
+  auto good = client.Solve(SolveMsg("alice", 10));
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+
+  SolveRequestMsg bad_regime = SolveMsg("alice", 10);
+  bad_regime.regime = 99;
+  auto out_of_range = client.Solve(bad_regime);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetServer, GarbageBytesGetErrorFrameThenClose) {
+  TestServer ts(Workers(0), Dispatchers(0));
+  Client client;
+  ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+
+  // Valid length prefix, wrong protocol version.
+  const std::uint8_t bad_version[] = {0x02, 0x00, 0x00, 0x00, 0x09, 0x04};
+  ASSERT_TRUE(client.SendBytes(bad_version, sizeof(bad_version)).ok());
+  auto frame = client.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->type, MsgType::kError);
+  ErrorResponseMsg err;
+  ASSERT_TRUE(Decode(frame->body.data(), frame->body.size(), &err).ok());
+  EXPECT_EQ(err.code, WireError::kMalformed);
+  // The stream is unrecoverable; the server closes it.
+  auto closed = client.ReadFrame();
+  ASSERT_FALSE(closed.ok());
+  EXPECT_EQ(closed.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(ts.server.Stats().protocol_errors, 1u);
+}
+
+TEST(NetServer, UnknownTypeAndNonEmptyHealthBodyAreRejected) {
+  TestServer ts(Workers(0), Dispatchers(0));
+  {
+    Client client;
+    ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+    // Unknown message type 42.
+    const auto frame = EncodeFrame(static_cast<MsgType>(42), {});
+    ASSERT_TRUE(client.SendBytes(frame.data(), frame.size()).ok());
+    auto reply = client.ReadFrame();
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->type, MsgType::kError);
+    ErrorResponseMsg err;
+    ASSERT_TRUE(Decode(reply->body.data(), reply->body.size(), &err).ok());
+    EXPECT_EQ(err.code, WireError::kUnsupported);
+  }
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port()).ok());
+    // Health request must have an empty body; trailing bytes are malformed.
+    const auto frame = EncodeFrame(MsgType::kHealth, {0x01, 0x02});
+    ASSERT_TRUE(client.SendBytes(frame.data(), frame.size()).ok());
+    auto reply = client.ReadFrame();
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->type, MsgType::kError);
+    ErrorResponseMsg err;
+    ASSERT_TRUE(Decode(reply->body.data(), reply->body.size(), &err).ok());
+    EXPECT_EQ(err.code, WireError::kMalformed);
+  }
+}
+
+TEST(NetServer, PartialWritesReassembleIntoOneRequest) {
+  TestServer ts(Workers(2), Dispatchers(1));
+  Client client;
+  ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+
+  // Dribble a valid solve frame a few bytes at a time across many TCP
+  // segments; the incremental decoder must see exactly one request.
+  const auto frame = Encode(SolveMsg("alice", 11));
+  for (std::size_t off = 0; off < frame.size(); off += 7) {
+    const std::size_t n = std::min<std::size_t>(7, frame.size() - off);
+    ASSERT_TRUE(client.SendBytes(frame.data() + off, n).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, MsgType::kSolveOk);
+  EXPECT_EQ(ts.server.Stats().frames_received, 1u);
+  EXPECT_EQ(ts.server.Stats().protocol_errors, 0u);
+}
+
+TEST(NetServer, IdleConnectionsAreReaped) {
+  ServerOptions options = TestServer::FastDrain();
+  options.idle_timeout = ticks::FromMillis(100);
+  TestServer ts(Workers(0), Dispatchers(0), std::move(options));
+  ClientOptions client_options;
+  client_options.io_timeout = ticks::FromSeconds(5);
+  Client idle(client_options);
+  ASSERT_TRUE(ts.server.Start().ok());
+  ASSERT_TRUE(idle.Connect("127.0.0.1", ts.server.port()).ok());
+
+  // The loop wakes at least every 250 ms; the idle close lands well
+  // within the read timeout.
+  auto frame = idle.ReadFrame();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ts.server.Stats().idle_closed, 1u);
+}
+
+TEST(NetServer, DrainRefusesNewSolvesAndReportsDraining) {
+  TestServer ts(Workers(2), Dispatchers(1));
+  Client client;
+  ASSERT_TRUE(ts.StartAndConnect(&client).ok());
+  ASSERT_TRUE(client.Solve(SolveMsg("alice", 12)).ok());
+
+  // Stop() from another thread while the connection stays open: the
+  // server must finish the drain without hanging, and the client sees
+  // the connection close.
+  std::thread stopper([&] { ts.server.Stop(); });
+  auto last = client.ReadFrame();
+  EXPECT_FALSE(last.ok());  // closed (possibly after a drain window)
+  stopper.join();
+  EXPECT_TRUE(ts.server.draining());
+}
+
+}  // namespace
+}  // namespace ss::net

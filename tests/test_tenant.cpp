@@ -1,0 +1,426 @@
+// Tests for the multi-tenant front end: the streaming latency histogram,
+// token-bucket admission, tenant registry + config parsing, the weighted
+// deficit-round-robin fair scheduler (including the weighted-share
+// convergence property under saturating load), and the TenantScheduler's
+// typed error surface over a real ScheduleService.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/histogram.hpp"
+#include "core/rng.hpp"
+#include "graph/graph_io.hpp"
+#include "service/schedule_service.hpp"
+#include "tenant/fair_queue.hpp"
+#include "tenant/tenant.hpp"
+#include "tenant/tenant_service.hpp"
+
+namespace ss::tenant {
+namespace {
+
+// ---- LatencyHistogram ----------------------------------------------------
+
+TEST(Histogram, SmallValuesLandInUnitBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Add(7);
+  const auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.total, 10u);
+  // Values below kSub get exact unit buckets; percentiles report the
+  // bucket midpoint.
+  EXPECT_DOUBLE_EQ(snap.p50(), 7.5);
+  EXPECT_DOUBLE_EQ(snap.p99(), 7.5);
+}
+
+TEST(Histogram, PercentilesWithinRelativeErrorBound) {
+  LatencyHistogram h;
+  // 1..100000 uniformly: true p50 = 50000, p99 = 99000.
+  for (std::int64_t v = 1; v <= 100000; ++v) h.Add(v);
+  const auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.total, 100000u);
+  EXPECT_NEAR(snap.p50(), 50000.0, 50000.0 / LatencyHistogram::kSub);
+  EXPECT_NEAR(snap.p99(), 99000.0, 99000.0 / LatencyHistogram::kSub);
+}
+
+TEST(Histogram, NegativeClampsAndEmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.TakeSnapshot().p50(), 0.0);
+  h.Add(-5);
+  const auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.total, 1u);
+  EXPECT_DOUBLE_EQ(snap.p50(), 0.5);  // midpoint of the [0,1) bucket
+}
+
+TEST(Histogram, BucketBoundsCoverInt64) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{15}, std::int64_t{16},
+                         std::int64_t{1000}, std::int64_t{1} << 40,
+                         std::int64_t{1} << 62}) {
+    const int b = LatencyHistogram::BucketFor(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, LatencyHistogram::kBuckets);
+    EXPECT_GE(v, LatencyHistogram::BucketLow(b));
+    EXPECT_LT(v, LatencyHistogram::BucketLow(b) +
+                     LatencyHistogram::BucketWidth(b));
+  }
+}
+
+// ---- TokenBucket ---------------------------------------------------------
+
+TEST(TokenBucket, BurstThenRefill) {
+  TokenBucket bucket(/*rate_per_sec=*/1000.0, /*burst=*/2.0, /*now=*/0);
+  EXPECT_TRUE(bucket.TryAcquire(0));
+  EXPECT_TRUE(bucket.TryAcquire(0));
+  EXPECT_FALSE(bucket.TryAcquire(0));
+  // 1 ms at 1000/s refills exactly one token.
+  EXPECT_TRUE(bucket.TryAcquire(ticks::FromMillis(1)));
+  EXPECT_FALSE(bucket.TryAcquire(ticks::FromMillis(1)));
+}
+
+TEST(TokenBucket, ZeroRateIsUnlimited) {
+  TokenBucket bucket(/*rate_per_sec=*/0.0, /*burst=*/1.0, /*now=*/0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.TryAcquire(0));
+}
+
+// ---- Tenant config parsing ----------------------------------------------
+
+TEST(TenantConfig, ParsesWeightsRatesAndQueues) {
+  auto configs = ParseTenantConfig(
+      "# fleet tenants\n"
+      "tenant video weight=4 rate=100 burst=8 queue=32\n"
+      "\n"
+      "tenant batch weight=0.5\n"
+      "tenant best-effort\n");
+  ASSERT_TRUE(configs.ok()) << configs.status().ToString();
+  ASSERT_EQ(configs->size(), 3u);
+  EXPECT_EQ((*configs)[0].name, "video");
+  EXPECT_DOUBLE_EQ((*configs)[0].weight, 4.0);
+  EXPECT_DOUBLE_EQ((*configs)[0].rate_per_sec, 100.0);
+  EXPECT_DOUBLE_EQ((*configs)[0].burst, 8.0);
+  EXPECT_EQ((*configs)[0].queue_capacity, 32u);
+  EXPECT_DOUBLE_EQ((*configs)[1].weight, 0.5);
+  EXPECT_DOUBLE_EQ((*configs)[2].weight, 1.0);
+}
+
+TEST(TenantConfig, RejectsUnknownKeysWithLineNumber) {
+  auto configs = ParseTenantConfig("tenant a\ntenant b speed=9\n");
+  ASSERT_FALSE(configs.ok());
+  EXPECT_EQ(configs.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(configs.status().message().find("line 2"), std::string::npos)
+      << configs.status().ToString();
+}
+
+TEST(TenantConfig, RejectsDuplicateAndMalformed) {
+  EXPECT_FALSE(ParseTenantConfig("tenant a\ntenant a\n").ok());
+  EXPECT_FALSE(ParseTenantConfig("tenant a weight=heavy\n").ok());
+  EXPECT_FALSE(ParseTenantConfig("tenant a weight=0\n").ok());
+  EXPECT_FALSE(ParseTenantConfig("widget a\n").ok());
+}
+
+// ---- TenantRegistry ------------------------------------------------------
+
+TEST(TenantRegistry, RegisterResolveAndTypedFailures) {
+  RegistryOptions options;
+  options.max_tenants = 2;
+  TenantRegistry registry(options);
+
+  TenantConfig a;
+  a.name = "a";
+  ASSERT_TRUE(registry.Register(a).ok());
+  EXPECT_EQ(registry.Register(a).status().code(),
+            StatusCode::kAlreadyExists);
+
+  auto b = registry.Resolve("b");  // auto-registers
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->index, 1);
+
+  TenantConfig c;
+  c.name = "c";
+  EXPECT_EQ(registry.Register(c).status().code(),
+            StatusCode::kFailedPrecondition);  // registry full
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(TenantRegistry, ClosedRegistryRejectsUnknown) {
+  RegistryOptions options;
+  options.auto_register = false;
+  TenantRegistry registry(options);
+  EXPECT_EQ(registry.Resolve("ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---- FairScheduler -------------------------------------------------------
+
+FairQueueOptions Paused() {
+  FairQueueOptions options;
+  options.dispatch_threads = 0;  // drain only via DispatchOne()
+  return options;
+}
+
+TEST(FairScheduler, QueueFullIsTyped) {
+  FairScheduler fair(Paused());
+  const int lane = fair.AddTenant(1.0, /*queue_capacity=*/2);
+  EXPECT_TRUE(fair.Submit(lane, [](bool) {}).ok());
+  EXPECT_TRUE(fair.Submit(lane, [](bool) {}).ok());
+  EXPECT_EQ(fair.Submit(lane, [](bool) {}).code(), StatusCode::kWouldBlock);
+  EXPECT_EQ(fair.QueuedFor(lane), 2u);
+  EXPECT_EQ(fair.Stats().rejected_full, 1u);
+}
+
+TEST(FairScheduler, ShutdownCancelsQueuedJobs) {
+  FairScheduler fair(Paused());
+  const int lane = fair.AddTenant(1.0, 8);
+  int cancelled = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fair.Submit(lane, [&](bool c) { cancelled += c; }).ok());
+  }
+  fair.Shutdown();
+  EXPECT_EQ(cancelled, 3);
+  EXPECT_EQ(fair.Submit(lane, [](bool) {}).code(), StatusCode::kCancelled);
+}
+
+/// Weighted-share convergence property: under saturating load (every lane
+/// topped up after each dispatch), tenant i's share of dispatches converges
+/// to weight_i / sum(weights) well within 20%, and nobody starves.
+TEST(FairScheduler, WeightedSharesConvergeUnderSaturation) {
+  const std::vector<double> weights = {4.0, 2.0, 1.0, 1.0, 0.5};
+  const double weight_sum = 8.5;
+  FairScheduler fair(Paused());
+  std::vector<int> lanes;
+  std::vector<int> dispatched(weights.size(), 0);
+  for (double w : weights) lanes.push_back(fair.AddTenant(w, 4));
+
+  auto top_up = [&] {
+    for (std::size_t t = 0; t < lanes.size(); ++t) {
+      while (fair.QueuedFor(lanes[t]) < 4) {
+        ASSERT_TRUE(
+            fair.Submit(lanes[t], [&dispatched, t](bool cancelled) {
+              if (!cancelled) ++dispatched[t];
+            }).ok());
+      }
+    }
+  };
+
+  const int kRounds = 1700;
+  for (int i = 0; i < kRounds; ++i) {
+    top_up();
+    ASSERT_TRUE(fair.DispatchOne());
+  }
+
+  int total = 0;
+  for (int d : dispatched) total += d;
+  ASSERT_EQ(total, kRounds);
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    const double expected = weights[t] / weight_sum;
+    const double achieved = static_cast<double>(dispatched[t]) / total;
+    EXPECT_GT(dispatched[t], 0) << "tenant " << t << " starved";
+    EXPECT_LT(std::abs(achieved - expected) / expected, 0.20)
+        << "tenant " << t << ": achieved " << achieved << ", expected "
+        << expected;
+  }
+  fair.Shutdown();
+}
+
+/// An idle lane forfeits credit: a tenant that was idle for many rounds
+/// does not burst past its steady-state share when it comes back.
+TEST(FairScheduler, IdleLaneForfeitsDeficit) {
+  FairScheduler fair(Paused());
+  const int busy = fair.AddTenant(1.0, 64);
+  const int idle = fair.AddTenant(1.0, 64);
+  int busy_count = 0;
+  int idle_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fair.Submit(busy, [&](bool) { ++busy_count; }).ok());
+  }
+  // idle's lane stays empty for 20 dispatches -> no credit accrues.
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(fair.DispatchOne());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fair.Submit(idle, [&](bool) { ++idle_count; }).ok());
+  }
+  // Next two dispatches: one each (round-robin), not an idle burst.
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(fair.DispatchOne());
+  EXPECT_EQ(idle_count, 5);
+  EXPECT_EQ(busy_count, 25);
+  fair.Shutdown();
+}
+
+// ---- TenantScheduler over a real service ---------------------------------
+
+std::shared_ptr<graph::ProblemSpec> SmallProblem(int salt) {
+  auto spec = std::make_shared<graph::ProblemSpec>();
+  const TaskId src = spec->graph.AddTask("src", /*is_source=*/true);
+  const TaskId sink = spec->graph.AddTask("sink");
+  const ChannelId a = spec->graph.AddChannel("a", 64);
+  spec->graph.SetProducer(src, a);
+  spec->graph.AddConsumer(sink, a);
+  spec->costs.Set(RegimeId(0), src, graph::TaskCost::Serial(100 + salt));
+  spec->costs.Set(RegimeId(0), sink, graph::TaskCost::Serial(60));
+  spec->machine = graph::MachineConfig::SingleNode(2);
+  spec->comm = graph::CommModel::Free();
+  spec->regime_count = 1;
+  return spec;
+}
+
+service::SolveRequest RequestFor(std::shared_ptr<graph::ProblemSpec> spec) {
+  service::SolveRequest request;
+  request.problem = std::move(spec);
+  request.regime = RegimeId(0);
+  return request;
+}
+
+TEST(TenantScheduler, SolvesAndServesCacheHitsInline) {
+  service::ScheduleService service{service::ServiceOptions{}};
+  TenantSchedulerOptions options;
+  options.dispatch_threads = 1;
+  TenantScheduler tenants(&service, options);
+
+  std::promise<bool> first_hit;
+  ASSERT_TRUE(tenants
+                  .SubmitSolve("alice", RequestFor(SmallProblem(1)),
+                               [&](Expected<service::SolveResult> result,
+                                   bool cache_hit) {
+                                 ASSERT_TRUE(result.ok());
+                                 first_hit.set_value(cache_hit);
+                               })
+                  .ok());
+  EXPECT_FALSE(first_hit.get_future().get());  // cold: went via the solver
+
+  // Same problem again: admission-time cache probe answers inline.
+  bool second_hit = false;
+  bool invoked = false;
+  ASSERT_TRUE(tenants
+                  .SubmitSolve("alice", RequestFor(SmallProblem(1)),
+                               [&](Expected<service::SolveResult> result,
+                                   bool cache_hit) {
+                                 EXPECT_TRUE(result.ok());
+                                 second_hit = cache_hit;
+                                 invoked = true;
+                               })
+                  .ok());
+  EXPECT_TRUE(invoked);  // inline, no dispatch round-trip
+  EXPECT_TRUE(second_hit);
+
+  const auto stats = tenants.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "alice");
+  EXPECT_EQ(stats[0].admitted, 2u);
+  EXPECT_EQ(stats[0].dispatched, 1u);
+  EXPECT_EQ(stats[0].cache_hits, 1u);
+  EXPECT_EQ(stats[0].completed, 2u);
+  tenants.Shutdown();
+}
+
+TEST(TenantScheduler, AdmissionRejectionIsTypedAndSkipsCallback) {
+  service::ScheduleService service{service::ServiceOptions{}};
+  TenantSchedulerOptions options;
+  options.dispatch_threads = 0;
+  options.registry.default_config.rate_per_sec = 0.0001;  // ~1 per 3 hours
+  options.registry.default_config.burst = 1.0;
+  TenantScheduler tenants(&service, options);
+
+  ASSERT_TRUE(tenants
+                  .SubmitSolve("bob", RequestFor(SmallProblem(2)),
+                               [](Expected<service::SolveResult>, bool) {})
+                  .ok());
+  bool invoked = false;
+  Status second = tenants.SubmitSolve(
+      "bob", RequestFor(SmallProblem(3)),
+      [&](Expected<service::SolveResult>, bool) { invoked = true; });
+  EXPECT_EQ(second.code(), StatusCode::kAdmissionRejected);
+  EXPECT_FALSE(invoked);
+  EXPECT_EQ(tenants.Stats()[0].rejected_rate_limited, 1u);
+  tenants.Shutdown();
+}
+
+TEST(TenantScheduler, PerTenantQueueFullIsTyped) {
+  service::ScheduleService service{service::ServiceOptions{}};
+  TenantSchedulerOptions options;
+  options.dispatch_threads = 0;  // nothing drains the lanes
+  options.registry.default_config.queue_capacity = 1;
+  TenantScheduler tenants(&service, options);
+
+  ASSERT_TRUE(tenants
+                  .SubmitSolve("carol", RequestFor(SmallProblem(4)),
+                               [](Expected<service::SolveResult>, bool) {})
+                  .ok());
+  Status second = tenants.SubmitSolve(
+      "carol", RequestFor(SmallProblem(5)),
+      [](Expected<service::SolveResult>, bool) {});
+  EXPECT_EQ(second.code(), StatusCode::kWouldBlock);
+  EXPECT_EQ(tenants.Stats()[0].rejected_queue_full, 1u);
+
+  // Another tenant's lane is unaffected (per-tenant backpressure).
+  EXPECT_TRUE(tenants
+                  .SubmitSolve("dave", RequestFor(SmallProblem(6)),
+                               [](Expected<service::SolveResult>, bool) {})
+                  .ok());
+  tenants.Shutdown();
+}
+
+TEST(TenantScheduler, UnknownTenantWhenRegistryClosed) {
+  service::ScheduleService service{service::ServiceOptions{}};
+  TenantSchedulerOptions options;
+  options.registry.auto_register = false;
+  TenantScheduler tenants(&service, options);
+  Status submit = tenants.SubmitSolve(
+      "ghost", RequestFor(SmallProblem(7)),
+      [](Expected<service::SolveResult>, bool) {});
+  EXPECT_EQ(submit.code(), StatusCode::kNotFound);
+  EXPECT_EQ(tenants.TouchTenant("ghost").code(), StatusCode::kNotFound);
+  tenants.Shutdown();
+}
+
+TEST(TenantScheduler, ShutdownCancelsQueuedWork) {
+  service::ScheduleService service{service::ServiceOptions{}};
+  TenantSchedulerOptions options;
+  options.dispatch_threads = 0;
+  TenantScheduler tenants(&service, options);
+  Status cancelled_status = OkStatus();
+  ASSERT_TRUE(tenants
+                  .SubmitSolve("erin", RequestFor(SmallProblem(8)),
+                               [&](Expected<service::SolveResult> result,
+                                   bool) {
+                                 cancelled_status = result.status();
+                               })
+                  .ok());
+  tenants.Shutdown();
+  EXPECT_EQ(cancelled_status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(tenants.Stats()[0].cancelled, 1u);
+}
+
+TEST(TenantScheduler, LookupNeverConsumesTokens) {
+  service::ScheduleService service{service::ServiceOptions{}};
+  TenantSchedulerOptions options;
+  options.dispatch_threads = 1;
+  options.registry.default_config.rate_per_sec = 0.0001;
+  options.registry.default_config.burst = 1.0;
+  TenantScheduler tenants(&service, options);
+
+  // Lookups miss (kNotFound) but never trip the rate limit.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(tenants.Lookup("frank", RequestFor(SmallProblem(9)))
+                  .status()
+                  .code(),
+              StatusCode::kNotFound);
+  }
+  // The single burst token is still available for a real solve.
+  std::promise<void> done;
+  ASSERT_TRUE(tenants
+                  .SubmitSolve("frank", RequestFor(SmallProblem(9)),
+                               [&](Expected<service::SolveResult> result,
+                                   bool) {
+                                 EXPECT_TRUE(result.ok());
+                                 done.set_value();
+                               })
+                  .ok());
+  done.get_future().wait();
+  auto hit = tenants.Lookup("frank", RequestFor(SmallProblem(9)));
+  EXPECT_TRUE(hit.ok());
+  tenants.Shutdown();
+}
+
+}  // namespace
+}  // namespace ss::tenant

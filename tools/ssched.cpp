@@ -9,9 +9,13 @@
 //          [--no-rotation] [--gantt-ms N] [--dot]
 //   ssched --demo   # built-in color tracker problem, regime = 8 models
 //   ssched --demo --serve-bench 8   # hammer the schedule service
-//   ssched verify <file.ssg> <file.sscache>   # audit a cache snapshot
-//                                             # with the static verifier
+//   ssched --serve --listen 127.0.0.1:7077   # multi-tenant TCP server
+//   ssched stats 127.0.0.1:7077              # query a running server
+//   ssched verify <file.ssg> <file.sscache>  # audit a cache snapshot
+//                                            # with the static verifier
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +26,8 @@
 
 #include "graph/graph_io.hpp"
 #include "graph/op_graph.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "regime/regime.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/occupancy.hpp"
@@ -32,6 +38,8 @@
 #include "verify/verifier.hpp"
 #include "sim/schedule_executor.hpp"
 #include "sim/trace.hpp"
+#include "tenant/tenant.hpp"
+#include "tenant/tenant_service.hpp"
 #include "tracker/costs.hpp"
 #include "tracker/graph_builder.hpp"
 
@@ -44,6 +52,9 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s <file.ssg> [options]\n"
       "       %s --demo [options]\n"
+      "       ssched --serve --listen <[host:]port> [--tenants <file>]\n"
+      "              [--max-tenants N] [--workers N] [--snapshot <file>]\n"
+      "       ssched stats <host:port>   # query a running server\n"
       "       ssched verify <file.ssg> <file.sscache> [--regime N]\n"
       "                     [--capacity N]   # audit snapshot artifacts\n"
       "options:\n"
@@ -65,7 +76,19 @@ int Usage(const char* argv0) {
       "                 client threads through the in-process schedule\n"
       "                 service (mixed regimes), printing throughput and\n"
       "                 the service counters; with a .ssg input the warm\n"
-      "                 cache is snapshotted next to the file\n",
+      "                 cache is snapshotted next to the file\n"
+      "serve options (with --serve):\n"
+      "  --listen ADDR  [host:]port to bind (port 0 = ephemeral, printed\n"
+      "                 at startup); default 127.0.0.1:7077\n"
+      "  --tenants F    tenant config file: one line per tenant,\n"
+      "                 'tenant <name> [weight=W] [rate=R] [burst=B]\n"
+      "                 [queue=N]'; unlisted tenants auto-register with\n"
+      "                 defaults\n"
+      "  --max-tenants N  registry capacity (default 64)\n"
+      "  --workers N    service worker threads (default: half the\n"
+      "                 hardware threads, at least 2)\n"
+      "  --snapshot F   warm-cache snapshot file loaded at startup and\n"
+      "                 written on drain\n",
       argv0, argv0);
   return 2;
 }
@@ -256,6 +279,137 @@ int VerifyCommand(int argc, char** argv) {
   return 0;
 }
 
+/// Parses "[host:]port" strictly. A bare port listens on 127.0.0.1.
+bool ParseListenAddr(const std::string& text, std::string* host, int* port) {
+  const std::size_t colon = text.rfind(':');
+  std::string port_text;
+  if (colon == std::string::npos) {
+    *host = "127.0.0.1";
+    port_text = text;
+  } else {
+    *host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+    if (host->empty()) *host = "127.0.0.1";
+  }
+  char* end = nullptr;
+  const long p = std::strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || *end != '\0' || p < 0 || p > 65535) {
+    std::fprintf(stderr, "error: bad port in address '%s'\n", text.c_str());
+    return false;
+  }
+  *port = static_cast<int>(p);
+  return true;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+/// `--serve` implementation: the full multi-tenant scheduling daemon —
+/// ScheduleService (solver pool + cache) behind a TenantScheduler
+/// (admission + weighted fair queueing) behind the epoll TCP server
+/// (docs/net.md). Runs until SIGINT/SIGTERM, then drains gracefully.
+int ServeCommand(const std::string& host, int port,
+                 const std::string& tenants_file, int max_tenants,
+                 int workers, int solver_threads,
+                 const std::string& snapshot_path) {
+  service::ServiceOptions sopts;
+  sopts.workers =
+      workers > 0 ? workers
+                  : static_cast<int>(std::max(
+                        2u, std::thread::hardware_concurrency() / 2));
+  sopts.queue_capacity = 256;
+  sopts.solver_threads = solver_threads;
+  sopts.snapshot_path = snapshot_path;
+  service::ScheduleService service(sopts);
+
+  tenant::TenantSchedulerOptions topts;
+  topts.registry.max_tenants = static_cast<std::size_t>(max_tenants);
+  topts.dispatch_threads = sopts.workers;
+  tenant::TenantScheduler tenants(&service, topts);
+  if (!tenants_file.empty()) {
+    auto configs = tenant::LoadTenantConfigFile(tenants_file);
+    if (!configs.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   configs.status().ToString().c_str());
+      return 1;
+    }
+    for (auto& config : *configs) {
+      const std::string name = config.name;
+      Status registered = tenants.RegisterTenant(std::move(config));
+      if (!registered.ok()) {
+        std::fprintf(stderr, "error: tenant '%s': %s\n", name.c_str(),
+                     registered.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("loaded %zu tenant(s) from %s\n", tenants.tenant_count(),
+                tenants_file.c_str());
+  }
+
+  net::ServerOptions nopts;
+  nopts.host = host;
+  nopts.port = port;
+  net::Server server(nopts, &service, &tenants);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("ssched serving on %s:%d  (%d workers, max %d tenants)\n",
+              host.c_str(), server.port(), sopts.workers, max_tenants);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("\ndraining...\n");
+  server.Stop();
+  tenants.Shutdown();
+  service.Shutdown();  // also writes the snapshot, if configured
+  const net::ServerStats ns = server.Stats();
+  std::printf("served %llu frame(s) over %llu connection(s), "
+              "%llu protocol error(s)\n\n",
+              static_cast<unsigned long long>(ns.frames_received),
+              static_cast<unsigned long long>(ns.accepted),
+              static_cast<unsigned long long>(ns.protocol_errors));
+  std::printf("%s", service.Stats().ToTable().c_str());
+  return 0;
+}
+
+/// `ssched stats <host:port>`: one stats request against a running server,
+/// rendered as the same table the server-side ToTable produces.
+int StatsCommand(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "error: stats needs a server address, e.g. "
+                         "ssched stats 127.0.0.1:7077\n");
+    return 2;
+  }
+  std::string host;
+  int port = 0;
+  if (!ParseListenAddr(argv[1], &host, &port) || port == 0) {
+    return 2;
+  }
+  net::ClientOptions copts;
+  copts.io_timeout = ticks::FromSeconds(5);
+  net::Client client(copts);
+  Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  auto stats = client.Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", stats->ToTable().c_str());
+  return 0;
+}
+
 graph::ProblemSpec DemoProblem() {
   graph::ProblemSpec spec;
   tracker::TrackerGraph tg = tracker::BuildTrackerGraph();
@@ -273,17 +427,26 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
     return VerifyCommand(argc - 1, argv + 1);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {
+    return StatsCommand(argc - 1, argv + 1);
+  }
   std::string path;
   bool demo = false;
   bool heuristic = false;
   bool dot = false;
   bool allow_rotation = true;
+  bool serve = false;
   int regime_index = 0;
   int frames_arg = 6;
   int serve_bench = 0;
   int solver_threads = 1;
+  int max_tenants = 64;
+  int workers = 0;
   double gantt_ms = 0;
   std::string throughput_bound;
+  std::string listen = "127.0.0.1:7077";
+  std::string tenants_file;
+  std::string snapshot_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -306,6 +469,41 @@ int main(int argc, char** argv) {
       if (!ParseIntArg("--frames", next(), &frames_arg) || frames_arg < 0) {
         return Usage(argv[0]);
       }
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "error: --listen expects [host:]port\n");
+        return Usage(argv[0]);
+      }
+      listen = v;
+    } else if (arg == "--tenants") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "error: --tenants expects a config file\n");
+        return Usage(argv[0]);
+      }
+      tenants_file = v;
+    } else if (arg == "--max-tenants") {
+      if (!ParseIntArg("--max-tenants", next(), &max_tenants) ||
+          max_tenants <= 0) {
+        std::fprintf(stderr,
+                     "error: --max-tenants expects a positive count\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--workers") {
+      if (!ParseIntArg("--workers", next(), &workers) || workers <= 0) {
+        std::fprintf(stderr, "error: --workers expects a positive count\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "error: --snapshot expects a file path\n");
+        return Usage(argv[0]);
+      }
+      snapshot_path = v;
     } else if (arg == "--serve-bench") {
       if (!ParseIntArg("--serve-bench", next(), &serve_bench) ||
           serve_bench <= 0) {
@@ -338,6 +536,19 @@ int main(int argc, char** argv) {
     } else {
       path = arg;
     }
+  }
+  if (serve) {
+    if (demo || !path.empty() || serve_bench > 0) {
+      std::fprintf(stderr,
+                   "error: --serve takes no input file, --demo, or "
+                   "--serve-bench\n");
+      return Usage(argv[0]);
+    }
+    std::string host;
+    int port = 0;
+    if (!ParseListenAddr(listen, &host, &port)) return Usage(argv[0]);
+    return ServeCommand(host, port, tenants_file, max_tenants, workers,
+                        solver_threads, snapshot_path);
   }
   if (!demo && path.empty()) return Usage(argv[0]);
   const std::size_t frames = static_cast<std::size_t>(frames_arg);
