@@ -4,14 +4,17 @@
 #include <condition_variable>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "core/steal_deque.hpp"
 #include "core/worker_pool.hpp"
+#include "sched/list_scheduler.hpp"
 
 namespace ss::sched {
 
@@ -22,18 +25,26 @@ using graph::ExpandPlan;
 using graph::MachineConfig;
 using graph::OpGraph;
 
-/// Overall number of subtree tasks the automatic split aims for, spread
-/// across the variant combinations. A fixed constant — never derived from
-/// the thread count — so the decomposition (and with it the reported
-/// schedule set) is identical for every `solver_threads` value, while still
-/// leaving plenty of tasks for work stealing to balance.
-constexpr int kAutoSplitTasks = 96;
+/// A worker donates sibling branches to its own deque only while the deque
+/// holds fewer than this many tasks. Small enough to keep task-creation
+/// overhead negligible, large enough that thieves always find work while
+/// any worker still owns an unexplored subtree of meaningful size.
+constexpr std::size_t kDonateWatermark = 8;
+/// Per-worker deque capacity. The watermark keeps occupancy far below this,
+/// so Push can never fail under the donation discipline.
+constexpr std::size_t kDequeCapacity = 256;
+/// A worker enables the shared memo table only once it has personally
+/// charged this many nodes, so small solves never pay the table's
+/// allocation + zeroing cost. Memoization affects only search *speed*
+/// (phase A never reports schedules), so this timing-free threshold has no
+/// effect on results.
+constexpr std::int64_t kMemoActivationNodes = 8192;
 
 /// Process-wide pool backing every solve's runner tasks, sized to the
 /// hardware. Shared so concurrent solves (e.g. on schedule-service workers)
 /// reuse one bounded set of threads instead of each spawning and joining a
 /// fresh `solver_threads - 1`-thread pool per request; per-solve parallelism
-/// is still capped by the number of runner tasks a solve submits.
+/// is still capped by the number of workers a solve enlists.
 WorkerPool& SolverPool() {
   // At least one worker even on a single-core host, so `solver_threads > 1`
   // always exercises the cross-thread path (the determinism tests rely on
@@ -43,8 +54,69 @@ WorkerPool& SolverPool() {
   return pool;
 }
 
-/// State shared by every search task of one solver invocation: the global
-/// incumbent and the global node budget.
+std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  h += 0x9e3779b97f4a7c15ULL + v;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// Sharded lock-free memo table deduplicating equivalent partial-schedule
+/// states across workers. A state is stored as a 128-bit hash (`lo` picks
+/// the shard and slot, `hi` is the stored tag); `Claim` returns true for
+/// the first visitor and false for everyone after it. Slots are claimed by
+/// CAS and never updated, so the table needs no reclamation protocol; when
+/// a probe window is full the claim simply succeeds (no dedup — sound,
+/// just slower). False sharing is avoided by design: distinct states hash
+/// to uniformly random slots.
+///
+/// Soundness caveat, documented in docs/solver.md: two *distinct* states
+/// colliding on all 128 bits would wrongly prune one of them. With at most
+/// max_nodes (~2^25) states per solve the collision probability is below
+/// 2^-77, far beneath hardware error rates.
+class MemoTable {
+ public:
+  explicit MemoTable(std::uint64_t max_nodes) {
+    std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_nodes, std::uint64_t{1} << 20));
+    std::size_t per_shard = 1u << 10;
+    while (per_shard * kShards < want) per_shard <<= 1;
+    shard_mask_ = per_shard - 1;
+    for (auto& shard : shards_) {
+      shard = std::vector<std::atomic<std::uint64_t>>(per_shard);
+    }
+  }
+
+  bool Claim(std::uint64_t lo, std::uint64_t hi) {
+    if (hi == 0) hi = 1;  // 0 marks an empty slot
+    auto& shard = shards_[(lo >> 60) & (kShards - 1)];
+    const std::size_t base = static_cast<std::size_t>(lo);
+    for (std::size_t probe = 0; probe < kMaxProbes; ++probe) {
+      std::atomic<std::uint64_t>& slot = shard[(base + probe) & shard_mask_];
+      std::uint64_t cur = slot.load(std::memory_order_acquire);
+      if (cur == hi) return false;
+      if (cur == 0) {
+        if (slot.compare_exchange_strong(cur, hi,
+                                         std::memory_order_acq_rel)) {
+          return true;
+        }
+        if (cur == hi) return false;  // lost the race to the same state
+      }
+      // Different state in this slot: probe on.
+    }
+    return true;  // window full: skip dedup for this state
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kMaxProbes = 16;
+
+  std::vector<std::atomic<std::uint64_t>> shards_[kShards];
+  std::size_t shard_mask_ = 0;
+};
+
+/// State shared by every worker of one solver invocation: the global
+/// incumbent, the global node budget, and the lazily created memo table.
 struct SearchShared {
   /// Best complete makespan found anywhere so far; only ever decreases.
   /// Fixed at the latency bound in throughput mode.
@@ -59,6 +131,33 @@ struct SearchShared {
   /// External cancellation request (OptimalOptions::cancel), or null.
   const std::atomic<bool>* cancel = nullptr;
   bool bound_mode = false;
+  /// Latency mode only: set (between phases, before the collection
+  /// engine's workers start) when `best` is known to equal the true
+  /// minimal latency L — either the bound-finding phase ran to completion
+  /// or the heuristic seed met the root lower bound. Collection may then
+  /// stop each task after its first `max_optimal_schedules` ties in serial
+  /// enumeration order, because no completion can beat the incumbent.
+  bool latency_pinned = false;
+
+  /// Memo table, created on demand by the first worker to cross the
+  /// activation threshold (so small solves never allocate it).
+  std::atomic<MemoTable*> memo{nullptr};
+  std::mutex memo_mu;
+  std::unique_ptr<MemoTable> memo_owner;
+  std::uint64_t memo_capacity_hint = 0;
+
+  MemoTable* AcquireMemo() {
+    MemoTable* table = memo.load(std::memory_order_acquire);
+    if (table != nullptr) return table;
+    std::lock_guard<std::mutex> lock(memo_mu);
+    table = memo.load(std::memory_order_relaxed);
+    if (table == nullptr) {
+      memo_owner = std::make_unique<MemoTable>(memo_capacity_hint);
+      table = memo_owner.get();
+      memo.store(table, std::memory_order_release);
+    }
+    return table;
+  }
 
   void OfferBest(Tick makespan) {
     Tick cur = best.load(std::memory_order_relaxed);
@@ -86,8 +185,13 @@ class NodeBudget {
     if (local_ == 0 && !Refill()) return false;
     --local_;
     ++used_;
+    ++lifetime_used_;
     return true;
   }
+
+  /// Nodes this searcher has charged over its lifetime (drives the memo
+  /// activation threshold).
+  std::int64_t LifetimeUsed() const { return lifetime_used_; }
 
   void Flush() {
     if (local_ > 0) {
@@ -131,32 +235,42 @@ class NodeBudget {
   SearchShared* shared_;
   std::int64_t local_ = 0;
   std::int64_t used_ = 0;
+  std::int64_t lifetime_used_ = 0;
 };
 
 /// Immutable per-variant-combination context: the expanded op graph plus
 /// everything derivable from it alone. Built once per combination and
-/// shared read-only by all of its subtree tasks.
+/// shared read-only by all workers.
 struct ComboContext {
   OpGraph og;
   /// Comm-free tail lengths, for the path lower bound.
   std::vector<Tick> tail;
-  /// Ready-op symmetry classes: eq_class[i] is the smallest op with the
-  /// same cost, predecessors and successors as i (e.g. chunks of one task).
-  /// Members of a class become ready together and are interchangeable, so
-  /// the search branches on one representative per class.
+  /// Op interchangeability classes: eq_class[i] is the smallest op with
+  /// the same cost, predecessors, successors and edge payloads as i (e.g.
+  /// chunks of one task). Swapping two class members anywhere in a
+  /// schedule is a makespan-preserving bijection. Used twice: ready-op
+  /// symmetry branches one representative per class, and the processor
+  /// merge rule matches live producers across processors by class.
   std::vector<int> eq_class;
   Tick total_work = 0;
 
   explicit ComboContext(OpGraph g)
       : og(std::move(g)), tail(og.TailLengths()) {
     const int n = static_cast<int>(og.op_count());
+    const auto same_succ_bytes = [this](int i, int j) {
+      for (int s : og.succs(i)) {
+        if (og.EdgeBytes(i, s) != og.EdgeBytes(j, s)) return false;
+      }
+      return true;
+    };
     eq_class.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       total_work += og.op(i).cost;
       eq_class[static_cast<std::size_t>(i)] = i;
       for (int j = 0; j < i; ++j) {
         if (og.op(i).cost == og.op(j).cost && og.preds(i) == og.preds(j) &&
-            og.succs(i) == og.succs(j)) {
+            og.succs(i) == og.succs(j) &&
+            og.pred_bytes(i) == og.pred_bytes(j) && same_succ_bytes(i, j)) {
           eq_class[static_cast<std::size_t>(i)] = j;
           break;
         }
@@ -165,50 +279,204 @@ struct ComboContext {
   }
 };
 
-/// One independent unit of search: a fixed placement prefix (chosen during
-/// frontier enumeration) within one variant combination.
-struct SubtreeTask {
+/// One stealable unit of search: a fixed placement prefix within one
+/// variant combination. Roots (empty prefix, one per live combination) are
+/// claimed from a shared index; everything else is donated mid-DFS.
+struct SearchTask {
   std::size_t combo = 0;
   std::vector<std::pair<int, ProcId>> prefix;
-  /// True when frontier enumeration already charged this (complete) prefix
-  /// to the node budget, so the task's root visit must not charge it again.
-  bool prefix_counted = false;
 };
 
 struct TaskCandidate {
   Tick makespan = 0;
-  std::uint64_t hash = 0;
   IterationSchedule sched;
 };
 
-/// Everything a subtree task reports back. Each task writes only its own
-/// slot; the merge after the barrier walks the slots in fixed task order.
-struct TaskResult {
-  /// Latency mode: the makespan of this task's retained candidates.
+/// Everything one worker accumulates. Each worker writes only its own
+/// state; the merge after the join walks the states in canonical order.
+struct WorkerState {
+  StealDeque<SearchTask> deque{kDequeCapacity};
+
+  /// Latency mode: the makespan of this worker's retained candidates.
   /// Throughput mode: the minimal latency among in-bound completions.
   Tick best_makespan = kTickInfinity;
-  std::vector<TaskCandidate> candidates;
-  /// Throughput mode: this task's best pipelined schedule.
+  /// Retained complete schedules, keyed (and therefore capped) by
+  /// canonical key — a data-only total order, so the per-worker cap keeps
+  /// a superset of the globally reported set no matter how the tree was
+  /// partitioned across workers.
+  std::map<std::string, TaskCandidate> candidates;
+  /// Throughput mode: this worker's best pipelined schedule.
   bool has_pipelined = false;
   PipelinedSchedule pipelined;
+  /// Bound-phase fallback: best complete schedule seen while not
+  /// collecting, returned only when the budget/cancel cuts the search.
+  bool has_fallback = false;
+  Tick fallback_makespan = kTickInfinity;
+  IterationSchedule fallback;
+
+  std::uint64_t steals = 0;
+  std::uint64_t pruned_symmetry = 0;
+  std::uint64_t pruned_dominance = 0;
+  std::uint64_t pruned_memo = 0;
+};
+
+class BnbSearcher;
+
+/// The work-stealing engine for one search phase. Worker 0 is the calling
+/// thread; workers 1..N-1 run as tasks on the shared SolverPool. Each
+/// worker loops: pop its own deque (LIFO, DFS order), else claim an
+/// unclaimed root combination, else steal the shallowest task from a
+/// sibling; it exits when the global in-flight count hits zero.
+/// Termination is safe because `inflight_` is incremented before a task
+/// becomes visible and decremented only after it fully ran.
+class SearchEngine {
+ public:
+  SearchEngine(const std::vector<std::unique_ptr<ComboContext>>& contexts,
+               const CommModel& comm, const MachineConfig& machine,
+               const OptimalOptions& options, const PruningOptions& prune,
+               SearchShared* shared, bool collect, bool use_memo,
+               int worker_count)
+      : contexts_(contexts),
+        comm_(comm),
+        machine_(machine),
+        options_(options),
+        prune_(prune),
+        shared_(shared),
+        collect_(collect),
+        use_memo_(use_memo) {
+    workers_.reserve(static_cast<std::size_t>(worker_count));
+    for (int w = 0; w < worker_count; ++w) {
+      workers_.push_back(std::make_unique<WorkerState>());
+    }
+    std::int64_t live = 0;
+    for (const auto& ctx : contexts_) {
+      if (ctx) ++live;
+    }
+    inflight_.store(live, std::memory_order_relaxed);
+  }
+
+  /// Runs the phase to completion; the calling thread participates.
+  void Run() {
+    const int runners = static_cast<int>(workers_.size()) - 1;
+    if (runners <= 0) {
+      WorkerLoop(0);
+      return;
+    }
+    WorkerPool& pool = SolverPool();
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    int live_runners = runners;
+    for (int r = 1; r <= runners; ++r) {
+      pool.Submit([this, r, &done_mu, &done_cv, &live_runners] {
+        WorkerLoop(static_cast<std::size_t>(r));
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--live_runners == 0) done_cv.notify_all();
+      });
+    }
+    WorkerLoop(0);
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return live_runners == 0; });
+  }
+
+  /// Called by a searcher mid-DFS to donate one sibling branch
+  /// (prefix + one extra placement) to its own deque for thieves to take.
+  /// False when the worker's deque is already fed (watermark) — the caller
+  /// then recurses into the branch inline, exactly as a serial DFS would.
+  bool Donate(std::size_t wid, std::size_t combo,
+              const std::vector<std::pair<int, ProcId>>& prefix, int op,
+              ProcId proc) {
+    WorkerState& ws = *workers_[wid];
+    if (ws.deque.SizeApprox() >= kDonateWatermark) return false;
+    auto task = std::make_unique<SearchTask>();
+    task->combo = combo;
+    task->prefix = prefix;
+    task->prefix.emplace_back(op, proc);
+    // Count the task in-flight before it becomes stealable.
+    inflight_.fetch_add(1, std::memory_order_release);
+    if (!ws.deque.Push(task.get())) {
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      return false;  // unreachable under the watermark discipline
+    }
+    task.release();
+    return true;
+  }
+
+  bool donation_enabled() const { return workers_.size() > 1; }
+  bool collect() const { return collect_; }
+  bool use_memo() const { return use_memo_; }
+  const PruningOptions& prune() const { return prune_; }
+
+  std::vector<std::unique_ptr<WorkerState>>& workers() { return workers_; }
+
+ private:
+  void WorkerLoop(std::size_t wid);  // defined after BnbSearcher
+
+  SearchTask* ClaimRoot() {
+    if (next_root_.load(std::memory_order_relaxed) >= contexts_.size()) {
+      return nullptr;
+    }
+    for (;;) {
+      const std::size_t idx =
+          next_root_.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= contexts_.size()) return nullptr;
+      if (!contexts_[idx]) continue;
+      auto* task = new SearchTask;
+      task->combo = idx;
+      return task;
+    }
+  }
+
+  SearchTask* StealFrom(std::size_t wid) {
+    const std::size_t count = workers_.size();
+    for (std::size_t d = 1; d < count; ++d) {
+      if (SearchTask* task = workers_[(wid + d) % count]->deque.Steal()) {
+        return task;
+      }
+    }
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<ComboContext>>& contexts_;
+  const CommModel& comm_;
+  const MachineConfig& machine_;
+  const OptimalOptions& options_;
+  const PruningOptions& prune_;
+  SearchShared* shared_;
+  const bool collect_;
+  const bool use_memo_;
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::atomic<std::size_t> next_root_{0};
+  std::atomic<std::int64_t> inflight_{0};
 };
 
 /// Branch-and-bound searcher over op orders x processor assignments for one
-/// expanded op graph. One instance per subtree task (construction is a few
-/// O(n) vectors): immutable inputs come from the shared ComboContext, all
-/// mutable search state is private to the instance, so tasks run without
-/// locks and the only cross-thread traffic is the incumbent and the budget.
+/// expanded op graph. One instance per (worker, combination) — workers keep
+/// the last one cached, so switching tasks within a combination costs only
+/// the prefix replay. Immutable inputs come from the shared ComboContext;
+/// all mutable search state is private to the instance, so workers run
+/// without locks and the only cross-thread traffic is the incumbent, the
+/// budget, the memo table and the deques.
 class BnbSearcher {
  public:
   BnbSearcher(const ComboContext& ctx, const CommModel& comm,
               const MachineConfig& machine, const OptimalOptions& options,
-              SearchShared* shared)
+              SearchShared* shared, SearchEngine* engine, std::size_t wid,
+              std::size_t combo)
       : ctx_(ctx),
         og_(ctx.og),
         comm_(comm),
         machine_(machine),
         options_(options),
+        prune_(engine->prune()),
         shared_(shared),
+        engine_(engine),
+        worker_(engine->workers()[wid].get()),
+        wid_(wid),
+        combo_(combo),
+        collect_(engine->collect()),
+        use_memo_(engine->use_memo()),
+        donate_(engine->donation_enabled()),
         budget_(shared),
         n_(static_cast<int>(ctx.og.op_count())),
         procs_(machine.total_procs()) {
@@ -218,7 +486,10 @@ class BnbSearcher {
     start_of_.assign(static_cast<std::size_t>(n_), 0);
     finish_of_.assign(static_cast<std::size_t>(n_), 0);
     msf_.assign(static_cast<std::size_t>(n_), 0);
+    unsched_succs_.assign(static_cast<std::size_t>(n_), 0);
     proc_free_.assign(static_cast<std::size_t>(procs_), 0);
+    live_on_proc_.assign(static_cast<std::size_t>(procs_), 0);
+    node_ops_.assign(static_cast<std::size_t>(machine.nodes), 0);
     for (int i = 0; i < n_; ++i) {
       pred_remaining_[static_cast<std::size_t>(i)] =
           static_cast<int>(og_.preds(i).size());
@@ -227,57 +498,55 @@ class BnbSearcher {
     frames_.resize(static_cast<std::size_t>(n_) + 1);
     class_seen_.assign(static_cast<std::size_t>(n_), 0);
     msf_undo_.reserve(og_.edges().size());
+    path_.reserve(static_cast<std::size_t>(n_));
+    std::size_t max_bytes = 0;
+    for (const auto& edge : og_.edges()) {
+      max_bytes = std::max(max_bytes, edge.bytes);
+    }
+    intra_comm_free_ = comm_.Cost(max_bytes, /*same_node=*/true) == 0;
+    node_procs_.resize(static_cast<std::size_t>(machine.nodes));
+    for (int p = 0; p < procs_; ++p) {
+      node_procs_[static_cast<std::size_t>(
+                      machine.NodeOfProc(ProcId(p)).value())]
+          .push_back(p);
+    }
+    proc_sig_.assign(static_cast<std::size_t>(procs_), 0);
+    live_prof_.resize(static_cast<std::size_t>(procs_));
   }
 
-  /// Runs one subtree task: replays its prefix, searches the subtree below
-  /// it, and reports into `result`.
-  void RunTask(const SubtreeTask& task, TaskResult* result) {
-    result_ = result;
+  /// Root lower bound of this combination (before anything is placed);
+  /// used to skip the bound-finding phase when the heuristic seed already
+  /// meets it.
+  Tick RootLowerBound() const { return LowerBound(0, 0); }
+
+  /// Runs one task: replays its prefix, searches the subtree below it,
+  /// undoes the replay. Replay is exact state reconstruction (every prefix
+  /// placement was legal when donated), so it re-derives the same
+  /// last-start/last-op canonical-order context.
+  void RunTask(const SearchTask& task) {
+    stopped_ = false;
+    task_ties_ = 0;
+    path_.clear();
+    replay_saved_.clear();
     Tick cur_makespan = 0;
     Tick last_start = 0;
     int last_op = -1;
     for (const auto& [op, proc] : task.prefix) {
       const Tick est = EarliestStart(op, proc);
       const Tick finish = est + og_.op(op).cost;
+      replay_saved_.push_back(proc_free_[proc.index()]);
       Place(op, proc, est, finish);
       cur_makespan = std::max(cur_makespan, finish);
       last_start = est;
       last_op = op;
+      path_.emplace_back(op, proc);
     }
     Dfs(static_cast<int>(task.prefix.size()), cur_makespan, last_start,
-        last_op, /*charge=*/!task.prefix_counted);
-  }
-
-  /// Frontier enumeration: replays `prefix`, reports whether it is already
-  /// a complete schedule and otherwise the canonical child placements, then
-  /// undoes the replay. Returns false once the node budget is exhausted.
-  bool ExpandPrefix(const std::vector<std::pair<int, ProcId>>& prefix,
-                    bool* complete,
-                    std::vector<std::pair<int, ProcId>>* children) {
-    if (!budget_.Consume()) return false;
-    Tick last_start = 0;
-    int last_op = -1;
-    expand_saved_.clear();
-    for (const auto& [op, proc] : prefix) {
-      const Tick est = EarliestStart(op, proc);
-      expand_saved_.push_back(proc_free_[proc.index()]);
-      Place(op, proc, est, est + og_.op(op).cost);
-      last_start = est;
-      last_op = op;
+        last_op);
+    for (std::size_t k = task.prefix.size(); k-- > 0;) {
+      Unplace(task.prefix[k].first, task.prefix[k].second, replay_saved_[k]);
     }
-    *complete = static_cast<int>(prefix.size()) == n_;
-    if (!*complete) {
-      Frame& frame = frames_[0];
-      CollectCandidates(&frame, last_start, last_op);
-      children->clear();
-      for (const Candidate& c : frame.cands) {
-        children->emplace_back(c.op, c.proc);
-      }
-    }
-    for (std::size_t k = prefix.size(); k-- > 0;) {
-      Unplace(prefix[k].first, prefix[k].second, expand_saved_[k]);
-    }
-    return true;
+    path_.clear();
   }
 
  private:
@@ -320,15 +589,37 @@ class BnbSearcher {
     free_sum_ += finish - proc_free_[proc.index()];
     proc_free_[proc.index()] = finish;
     remaining_work_ -= og_.op(op).cost;
+    ++node_ops_[static_cast<std::size_t>(machine_.NodeOfProc(proc).value())];
     for (int s : og_.succs(op)) {
       const auto si = static_cast<std::size_t>(s);
       --pred_remaining_[si];
       msf_undo_.push_back(msf_[si]);
       msf_[si] = std::max(msf_[si], finish);
     }
+    // Live-producer tracking for the processor-symmetry guard: an op is
+    // "live" while it is scheduled but some successor is not, because its
+    // hosting processor then matters for future comm costs.
+    for (int p : og_.preds(op)) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (--unsched_succs_[pi] == 0) {
+        --live_on_proc_[proc_of_[pi].index()];
+      }
+    }
+    unsched_succs_[o] = static_cast<int>(og_.succs(op).size());
+    if (unsched_succs_[o] > 0) ++live_on_proc_[proc.index()];
   }
 
   void Unplace(int op, ProcId proc, Tick saved_free) {
+    const auto o = static_cast<std::size_t>(op);
+    if (unsched_succs_[o] > 0) --live_on_proc_[proc.index()];
+    unsched_succs_[o] = 0;
+    for (int p : og_.preds(op)) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (unsched_succs_[pi]++ == 0) {
+        ++live_on_proc_[proc_of_[pi].index()];
+      }
+    }
+    --node_ops_[static_cast<std::size_t>(machine_.NodeOfProc(proc).value())];
     const auto& succs = og_.succs(op);
     for (std::size_t k = succs.size(); k-- > 0;) {
       const auto si = static_cast<std::size_t>(succs[k]);
@@ -339,8 +630,8 @@ class BnbSearcher {
     remaining_work_ += og_.op(op).cost;
     free_sum_ += saved_free - proc_free_[proc.index()];
     proc_free_[proc.index()] = saved_free;
-    scheduled_[static_cast<std::size_t>(op)] = false;
-    proc_of_[static_cast<std::size_t>(op)] = ProcId::Invalid();
+    scheduled_[o] = false;
+    proc_of_[o] = ProcId::Invalid();
   }
 
   /// Lower bound on the makespan of any completion of the current partial
@@ -352,35 +643,165 @@ class BnbSearcher {
   /// propagated one: follow the argmax predecessor chain of the maximizing
   /// op; each unscheduled hop only grows est+tail, so the maximum is
   /// attained at an op whose binding predecessor is scheduled (or absent).
-  Tick LowerBound(Tick cur_makespan) const {
+  /// `floor_start` exploits the canonical enumeration order: every future
+  /// placement starts at or after the last placement's start, so capacity
+  /// earlier than that is unusable in THIS branch (the schedules that
+  /// backfill it live in other branches) and every unscheduled op's start
+  /// is floored by it. Both refinements stay valid lower bounds on the
+  /// completions of this prefix, which is all the pruning compares.
+  Tick LowerBound(Tick cur_makespan, Tick floor_start) const {
+    Tick capacity = 0;
+    for (int p = 0; p < procs_; ++p) {
+      capacity += std::max(proc_free_[static_cast<std::size_t>(p)],
+                           floor_start);
+    }
     Tick lb = std::max(
         cur_makespan,
-        (free_sum_ + remaining_work_ + static_cast<Tick>(procs_) - 1) /
+        (capacity + remaining_work_ + static_cast<Tick>(procs_) - 1) /
             static_cast<Tick>(procs_));
     for (int i = 0; i < n_; ++i) {
       const auto ii = static_cast<std::size_t>(i);
-      if (!scheduled_[ii]) lb = std::max(lb, msf_[ii] + ctx_.tail[ii]);
+      if (!scheduled_[ii]) {
+        lb = std::max(lb, std::max(msf_[ii], floor_start) + ctx_.tail[ii]);
+      }
     }
     return lb;
   }
 
-  /// Candidate processors, deduplicated by (node, free time): two idle
-  /// processors on the same node are interchangeable. Depends only on
-  /// proc_free_, so one list serves every ready op at this node.
-  void CollectProcs(std::vector<ProcId>* out) const {
+  /// 128-bit hash of the *search-relevant* state: the scheduled set, the
+  /// (processor, finish) of every live op (scheduled, some successor not),
+  /// the processor free times, and the canonical-order context
+  /// (last_start, last_op). Two partial schedules agreeing on all of these
+  /// admit exactly the same set of completions with the same makespans, so
+  /// the second one reached can be pruned (memo). Finished-and-drained ops'
+  /// placements are deliberately excluded: they can no longer influence
+  /// any future placement.
+  /// Hashes the search state *canonically under same-node processor
+  /// relabeling*: dead ops contribute only their identity (their placement
+  /// can no longer influence any future decision), live ops and free times
+  /// fold into a per-processor signature, and each node feeds its
+  /// processors' signatures in sorted order. Two states that differ only by
+  /// permuting the processors inside a node therefore hash identically, so
+  /// the memo table gives the bound-finding phase full processor-symmetry
+  /// reduction — including the live-producer cases the CollectProcs rule
+  /// must conservatively keep (a relabeling moves the producers along with
+  /// the free times, so the completions are isomorphic). The matching is
+  /// by 64-bit signature, folded into the table's documented collision
+  /// budget.
+  std::pair<std::uint64_t, std::uint64_t> StateHash(Tick last_start,
+                                                    int last_op) {
+    std::uint64_t lo = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t hi = 0xc2b2ae3d27d4eb4fULL;
+    auto feed = [&lo, &hi](std::uint64_t v) {
+      lo = MixHash(lo, v);
+      hi = MixHash(hi, ~v);
+    };
+    for (int p = 0; p < procs_; ++p) {
+      const auto pp = static_cast<std::size_t>(p);
+      proc_sig_[pp] = MixHash(0x6a09e667f3bcc909ULL,
+                              static_cast<std::uint64_t>(proc_free_[pp]));
+    }
+    for (int i = 0; i < n_; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      if (!scheduled_[ii]) continue;
+      feed(static_cast<std::uint64_t>(i) * 2 + 1);
+      if (unsched_succs_[ii] > 0) {
+        const auto pp = static_cast<std::size_t>(proc_of_[ii].index());
+        proc_sig_[pp] = MixHash(proc_sig_[pp],
+                                static_cast<std::uint64_t>(i) * 2 + 1);
+        proc_sig_[pp] = MixHash(proc_sig_[pp],
+                                static_cast<std::uint64_t>(finish_of_[ii]));
+      }
+    }
+    for (const auto& procs : node_procs_) {
+      sig_scratch_.clear();
+      for (int p : procs) {
+        sig_scratch_.push_back(proc_sig_[static_cast<std::size_t>(p)]);
+      }
+      std::sort(sig_scratch_.begin(), sig_scratch_.end());
+      feed(0xbb67ae8584caa73bULL);  // node delimiter
+      for (std::uint64_t s : sig_scratch_) feed(s);
+    }
+    feed(static_cast<std::uint64_t>(last_start));
+    feed(static_cast<std::uint64_t>(last_op + 1));
+    return {lo, hi};
+  }
+
+  /// Candidate processors for this node, deduplicated by symmetry.
+  ///
+  /// Same-node rule: two processors on one node with equal free time are
+  /// interchangeable *provided* neither hosts a live producer (an op whose
+  /// output some unscheduled successor still needs) — if one does, placing
+  /// a consumer there avoids comm that the other processor would pay, so
+  /// they are distinguishable. When intra-node communication is free the
+  /// guard is unnecessary and equal free time suffices (this was the PR 2
+  /// rule; the live-producer guard fixes its unsoundness under nonzero
+  /// intra-node comm costs).
+  ///
+  /// Empty-node rule: nodes with no scheduled op at all are fully
+  /// interchangeable (the machine is uniform), so candidates are generated
+  /// on the first empty node only. Tracking uses per-node op counts, not
+  /// free times, because zero-cost split/join ops occupy a processor
+  /// without advancing its free time.
+  /// Two same-node processors with equal free times are interchangeable
+  /// when relabeling them is a makespan-preserving bijection of the
+  /// completions. That holds when intra-node communication is free (a live
+  /// producer's slot within the node is then immaterial), and in general
+  /// when the processors' *live profiles* match: their scheduled-ops-with-
+  /// unscheduled-successors pair up as interchangeable ops (same
+  /// eq_class — cost, predecessors, successors, payloads) finishing at the
+  /// same time, so the swap carries each producer to an indistinguishable
+  /// twin. Sibling chunks of one data-parallel task spread across a node
+  /// are the common case. Dead ops never matter: nothing downstream can
+  /// observe where they ran.
+  bool ProcsInterchangeable(ProcId p, ProcId q) const {
+    if (proc_free_[p.index()] != proc_free_[q.index()]) return false;
+    if (!machine_.SameNode(p, q)) return false;
+    if (intra_comm_free_) return true;
+    if (live_on_proc_[p.index()] != live_on_proc_[q.index()]) return false;
+    if (live_on_proc_[p.index()] == 0) return true;
+    return live_prof_[p.index()] == live_prof_[q.index()];
+  }
+
+  void CollectProcs(std::vector<ProcId>* out) {
     out->clear();
+    if (prune_.proc_symmetry && !intra_comm_free_) {
+      for (auto& prof : live_prof_) prof.clear();
+      for (int i = 0; i < n_; ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        if (!scheduled_[ii] || unsched_succs_[ii] == 0) continue;
+        live_prof_[proc_of_[ii].index()].emplace_back(ctx_.eq_class[ii],
+                                                      finish_of_[ii]);
+      }
+      for (auto& prof : live_prof_) {
+        std::sort(prof.begin(), prof.end());
+      }
+    }
     for (int p = 0; p < procs_; ++p) {
       ProcId pid(p);
       bool duplicate = false;
       for (ProcId q : *out) {
-        if (proc_free_[q.index()] == proc_free_[pid.index()] &&
-            machine_.SameNode(q, pid)) {
+        if (prune_.proc_symmetry && ProcsInterchangeable(q, pid)) {
+          duplicate = true;
+          break;
+        }
+        if (prune_.empty_node_symmetry && !machine_.SameNode(q, pid) &&
+            NodeEmpty(pid) && NodeEmpty(q)) {
           duplicate = true;
           break;
         }
       }
-      if (!duplicate) out->push_back(pid);
+      if (duplicate) {
+        ++worker_->pruned_symmetry;
+        continue;
+      }
+      out->push_back(pid);
     }
+  }
+
+  bool NodeEmpty(ProcId p) const {
+    return node_ops_[static_cast<std::size_t>(
+               machine_.NodeOfProc(p).value())] == 0;
   }
 
   void CollectCandidates(Frame* frame, Tick last_start, int last_op) {
@@ -394,9 +815,14 @@ class BnbSearcher {
       // The stamp marks classes already seen at this node; class members
       // share predecessors, so they are always ready together and the
       // smallest-id member is the representative that branches.
-      const auto cls = static_cast<std::size_t>(ctx_.eq_class[ii]);
-      if (class_seen_[cls] == class_stamp_) continue;
-      class_seen_[cls] = class_stamp_;
+      if (prune_.ready_symmetry) {
+        const auto cls = static_cast<std::size_t>(ctx_.eq_class[ii]);
+        if (class_seen_[cls] == class_stamp_) {
+          ++worker_->pruned_symmetry;
+          continue;
+        }
+        class_seen_[cls] = class_stamp_;
+      }
       for (ProcId p : frame->procs) {
         const Tick est = EarliestStart(i, p);
         // Canonical generation order: every greedy schedule is generated
@@ -407,6 +833,43 @@ class BnbSearcher {
         // branch ordering.
         if (est < last_start || (est == last_start && i < last_op)) continue;
         frame->cands.push_back(Candidate{i, p, est});
+      }
+    }
+    // Sink dominance (latency mode only): a ready sink op that would
+    // *finish* no later than every other candidate could even *start* can
+    // be scheduled unconditionally — any completion through a sibling
+    // branch maps to one at most as long that schedules the sink here
+    // first (exchange argument in docs/solver.md; positive cost keeps the
+    // resulting canonical order strict). Unsound in bound mode, where the
+    // pipelined argmin needs every in-bound completion, so the effective
+    // PruningOptions disable it there.
+    if (prune_.sink_dominance && frame->cands.size() > 1) {
+      Tick min1 = kTickInfinity;
+      Tick min2 = kTickInfinity;
+      int min1_count = 0;
+      for (const Candidate& c : frame->cands) {
+        if (c.est < min1) {
+          min2 = min1;
+          min1 = c.est;
+          min1_count = 1;
+        } else if (c.est == min1) {
+          ++min1_count;
+        } else {
+          min2 = std::min(min2, c.est);
+        }
+      }
+      for (const Candidate& c : frame->cands) {
+        if (!og_.succs(c.op).empty()) continue;
+        const Tick cost = og_.op(c.op).cost;
+        if (cost <= 0) continue;
+        const Tick others_min =
+            (c.est == min1 && min1_count == 1) ? min2 : min1;
+        if (c.est + cost <= others_min) {
+          worker_->pruned_dominance += frame->cands.size() - 1;
+          frame->cands[0] = c;
+          frame->cands.resize(1);
+          break;
+        }
       }
     }
   }
@@ -422,61 +885,110 @@ class BnbSearcher {
     return IterationSchedule(og_.variants(), std::move(entries));
   }
 
+  /// Position of the current completion in the serial enumeration order:
+  /// combo index, then the (op, proc) decision at every depth, big-endian
+  /// so lexicographic string compare reproduces sibling order (candidates
+  /// are generated op-ascending, proc-ascending). Two completions compare
+  /// on their first diverging decision, which is exactly the order a
+  /// 1-thread DFS would reach them in — independent of how the subtrees
+  /// were split into tasks.
+  std::string SerialKey() const {
+    std::string key;
+    key.reserve(4 + path_.size() * 8);
+    auto put32 = [&key](std::uint32_t v) {
+      for (int s = 24; s >= 0; s -= 8) {
+        key.push_back(static_cast<char>((v >> s) & 0xff));
+      }
+    };
+    put32(static_cast<std::uint32_t>(combo_));
+    for (const auto& step : path_) {
+      put32(static_cast<std::uint32_t>(step.first));
+      put32(static_cast<std::uint32_t>(step.second.index()));
+    }
+    return key;
+  }
+
+  void InsertCandidate(Tick makespan, IterationSchedule sched) {
+    const int cap = options_.max_optimal_schedules;
+    if (cap <= 0) return;
+    // Pinned latency collection retains the first `cap` ties in serial
+    // order (cheap, and each task may stop once its quota is full); the
+    // other modes retain the `cap` smallest canonical keys over a full
+    // enumeration. Either way the per-worker retained set provably
+    // contains the global first/smallest `cap`, so the merged result is
+    // independent of the thread count. Final output is re-sorted into
+    // canonical-key order regardless.
+    std::string key = (!shared_->bound_mode && shared_->latency_pinned)
+                          ? SerialKey()
+                          : sched.CanonicalKey();
+    auto& cands = worker_->candidates;
+    if (static_cast<int>(cands.size()) >= cap) {
+      auto last = std::prev(cands.end());
+      if (key >= last->first) return;
+    }
+    cands.emplace(std::move(key), TaskCandidate{makespan, std::move(sched)});
+    if (static_cast<int>(cands.size()) > cap) {
+      cands.erase(std::prev(cands.end()));
+    }
+  }
+
   void RecordComplete(Tick makespan) {
     shared_->complete_schedules.fetch_add(1, std::memory_order_relaxed);
-    if (makespan > shared_->best.load(std::memory_order_relaxed)) return;
     if (shared_->bound_mode) {
       // Throughput mode: the bound is fixed; compose every feasible
       // schedule and keep the argmin by the canonical throughput order.
       // The collection cap only limits what is *reported*, not considered.
-      result_->best_makespan = std::min(result_->best_makespan, makespan);
+      if (makespan > shared_->best.load(std::memory_order_relaxed)) return;
+      worker_->best_makespan = std::min(worker_->best_makespan, makespan);
       IterationSchedule sched = CurrentSchedule();
       PipelinedSchedule composed = PipelineComposer::Compose(
           sched, machine_.total_procs(), options_.pipeline);
-      if (!result_->has_pipelined ||
-          PipelineComposer::BetterThroughput(composed, result_->pipelined)) {
-        result_->pipelined = std::move(composed);
-        result_->has_pipelined = true;
+      if (!worker_->has_pipelined ||
+          PipelineComposer::BetterThroughput(composed, worker_->pipelined)) {
+        worker_->pipelined = std::move(composed);
+        worker_->has_pipelined = true;
       }
-      if (static_cast<int>(result_->candidates.size()) <
-          options_.max_optimal_schedules) {
-        const std::uint64_t hash = sched.CanonicalHash();
-        if (seen_hashes_.insert(hash).second) {
-          result_->candidates.push_back(
-              TaskCandidate{makespan, hash, std::move(sched)});
-        }
+      InsertCandidate(makespan, std::move(sched));
+      return;
+    }
+    shared_->OfferBest(makespan);
+    if (!collect_) {
+      // Bound-finding phase: nothing is reported from here; remember the
+      // best completion seen in case the budget (or a cancel) cuts the
+      // collection phase off before it completes anything.
+      if (makespan < worker_->fallback_makespan) {
+        worker_->fallback_makespan = makespan;
+        worker_->fallback = CurrentSchedule();
+        worker_->has_fallback = true;
       }
       return;
     }
-    // Latency mode. The incumbent filter above is a timing-dependent
+    // Collection phase. The incumbent filter is a timing-dependent
     // shortcut, but a harmless one: every completion at the global minimum
     // always passes it (the incumbent can never drop below the minimum),
-    // and the merge discards everything else. The candidate list holds only
-    // completions at this task's current best, so globally-minimal ones can
-    // never be crowded out of the cap by stale entries — any strictly
-    // better completion clears the list first.
-    shared_->OfferBest(makespan);
-    if (makespan < local_best_) {
-      local_best_ = makespan;
-      result_->best_makespan = makespan;
-      result_->candidates.clear();
-      seen_hashes_.clear();
+    // and the merge discards everything else. The candidate map holds only
+    // completions at this worker's current best, so globally-minimal ones
+    // can never be crowded out of the cap by stale entries — any strictly
+    // better completion clears the map first.
+    if (makespan > shared_->best.load(std::memory_order_relaxed)) return;
+    if (makespan > worker_->best_makespan) return;
+    if (makespan < worker_->best_makespan) {
+      worker_->best_makespan = makespan;
+      worker_->candidates.clear();
     }
-    if (static_cast<int>(result_->candidates.size()) >=
-        options_.max_optimal_schedules) {
-      return;
-    }
-    IterationSchedule sched = CurrentSchedule();
-    const std::uint64_t hash = sched.CanonicalHash();
-    if (seen_hashes_.insert(hash).second) {
-      result_->candidates.push_back(
-          TaskCandidate{makespan, hash, std::move(sched)});
+    InsertCandidate(makespan, CurrentSchedule());
+    // With the incumbent pinned at the proven minimum, every completion
+    // reaching this point is a tie, and this task only ever contributes
+    // its serially-first `cap` of them — once the quota is full the rest
+    // of the subtree can't change the reported set, so stop the task.
+    if (shared_->latency_pinned && options_.max_optimal_schedules > 0 &&
+        ++task_ties_ >= options_.max_optimal_schedules) {
+      stopped_ = true;
     }
   }
 
-  void Dfs(int depth, Tick cur_makespan, Tick last_start, int last_op,
-           bool charge = true) {
-    if (charge && !budget_.Consume()) {
+  void Dfs(int depth, Tick cur_makespan, Tick last_start, int last_op) {
+    if (!budget_.Consume()) {
       stopped_ = true;
       return;
     }
@@ -484,18 +996,61 @@ class BnbSearcher {
       RecordComplete(cur_makespan);
       return;
     }
-    if (LowerBound(cur_makespan) >
-        shared_->best.load(std::memory_order_relaxed)) {
-      return;
+    {
+      // Collection keeps every subtree that can still *tie* the incumbent
+      // (ties are exactly what the reported set contains). The bound-finding
+      // phase only needs strict improvements: its incumbent is always
+      // witnessed by a complete schedule (the heuristic seed or an earlier
+      // completion), so a subtree that can at best tie is a dead end there.
+      const Tick best = shared_->best.load(std::memory_order_relaxed);
+      const Tick lb = LowerBound(cur_makespan, last_start);
+      if (collect_ ? lb > best : lb >= best) return;
+    }
+    // Memo dedup (bound-finding phase only): the first visitor of a state
+    // claims it and explores its subtree; later visitors — along other
+    // branch orders, on any worker — prune. Sound because agreeing states
+    // admit identical completions; disabled while collecting because which
+    // path survives is timing-dependent across workers. Shallow states
+    // only: near-leaf states are overwhelmingly unique and would just
+    // thrash the table. The memo table itself is created lazily once this
+    // worker has charged kMemoActivationNodes, so small solves skip its
+    // allocation entirely.
+    if (use_memo_ && depth > 0 && n_ - depth > 2) {
+      MemoTable* memo = shared_->memo.load(std::memory_order_acquire);
+      if (memo == nullptr &&
+          budget_.LifetimeUsed() >= kMemoActivationNodes) {
+        memo = shared_->AcquireMemo();
+      }
+      if (memo != nullptr) {
+        const auto [lo, hi] = StateHash(last_start, last_op);
+        if (!memo->Claim(lo, hi)) {
+          ++worker_->pruned_memo;
+          return;
+        }
+      }
     }
     Frame& frame = frames_[static_cast<std::size_t>(depth)];
     CollectCandidates(&frame, last_start, last_op);
-    for (std::size_t k = 0; k < frame.cands.size(); ++k) {
+    // Donate later siblings (from the back, so the owner's LIFO pops keep
+    // serial DFS order) while this worker's deque is below the watermark.
+    // Only internal branches are donated — leaves are cheaper run inline
+    // than shipped.
+    std::size_t donate_from = frame.cands.size();
+    if (donate_ && frame.cands.size() > 1 && depth + 1 < n_) {
+      while (donate_from > 1) {
+        const Candidate& c = frame.cands[donate_from - 1];
+        if (!engine_->Donate(wid_, combo_, path_, c.op, c.proc)) break;
+        --donate_from;
+      }
+    }
+    for (std::size_t k = 0; k < donate_from; ++k) {
       const Candidate c = frame.cands[k];
       const Tick finish = c.est + og_.op(c.op).cost;
       const Tick saved_free = proc_free_[c.proc.index()];
       Place(c.op, c.proc, c.est, finish);
+      path_.emplace_back(c.op, c.proc);
       Dfs(depth + 1, std::max(cur_makespan, finish), c.est, c.op);
+      path_.pop_back();
       Unplace(c.op, c.proc, saved_free);
       if (stopped_) return;
     }
@@ -506,9 +1061,16 @@ class BnbSearcher {
   const CommModel& comm_;
   const MachineConfig& machine_;
   const OptimalOptions& options_;
+  const PruningOptions& prune_;
   SearchShared* shared_;
+  SearchEngine* engine_;
+  WorkerState* worker_;
+  const std::size_t wid_;
+  const std::size_t combo_;
+  const bool collect_;
+  const bool use_memo_;
+  const bool donate_;
   NodeBudget budget_;
-  TaskResult* result_ = nullptr;
 
   const int n_;
   const int procs_;
@@ -523,70 +1085,74 @@ class BnbSearcher {
   std::vector<Tick> msf_;
   /// Saved msf_ values of successors, restored in reverse by Unplace().
   std::vector<Tick> msf_undo_;
+  /// Unscheduled-successor counts for scheduled ops (live-producer guard).
+  std::vector<int> unsched_succs_;
+  /// Scheduled ops hosting at least one live producer, per processor.
+  std::vector<int> live_on_proc_;
+  /// Scheduled op count per machine node (empty-node symmetry).
+  std::vector<int> node_ops_;
   Tick remaining_work_ = 0;
   Tick free_sum_ = 0;
+  bool intra_comm_free_ = false;
+  /// Per-processor live profiles — sorted (eq_class, finish) of scheduled
+  /// ops that still feed unscheduled successors — rebuilt per expansion
+  /// for the processor-interchangeability test.
+  std::vector<std::vector<std::pair<int, Tick>>> live_prof_;
+  /// Processors grouped by node, for the relabeling-canonical state hash.
+  std::vector<std::vector<int>> node_procs_;
+  std::vector<std::uint64_t> proc_sig_;
+  std::vector<std::uint64_t> sig_scratch_;
 
   std::vector<Frame> frames_;
   std::vector<std::uint64_t> class_seen_;
   std::uint64_t class_stamp_ = 0;
-  std::vector<Tick> expand_saved_;
+  /// Current placement path from the task root, for donation prefixes.
+  std::vector<std::pair<int, ProcId>> path_;
+  std::vector<Tick> replay_saved_;
 
-  Tick local_best_ = kTickInfinity;
-  std::unordered_set<std::uint64_t> seen_hashes_;
   bool stopped_ = false;
+  /// Ties this task has contributed in pinned latency collection.
+  int task_ties_ = 0;
 };
 
-/// Splits one combination's canonical search tree into subtree tasks.
-///
-/// Expands the tree level by level — in the same canonical candidate order
-/// the DFS uses, so the emitted task order matches DFS visitation order —
-/// until a level holds at least `target` prefixes, or exactly `split_depth`
-/// levels when that option is positive. Prefixes that complete or die
-/// before the split level become their own (tiny or empty) tasks. The
-/// policy depends only on the problem and the options, never on the thread
-/// count.
-void SplitCombo(BnbSearcher& searcher, std::size_t combo_index, int target,
-                int split_depth, std::vector<SubtreeTask>* tasks) {
-  std::vector<std::vector<std::pair<int, ProcId>>> frontier(1);
-  std::vector<std::pair<int, ProcId>> children;
-  int depth = 0;
-  while (!frontier.empty()) {
-    const bool deep_enough =
-        split_depth > 0 ? depth >= split_depth
-                        : static_cast<int>(frontier.size()) >= target;
-    if (deep_enough) break;
-    std::vector<std::vector<std::pair<int, ProcId>>> next;
-    next.reserve(frontier.size() * 2);
-    for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
-      auto& prefix = frontier[idx];
-      bool complete = false;
-      if (!searcher.ExpandPrefix(prefix, &complete, &children)) {
-        // Budget exhausted mid-enumeration: emit everything still pending
-        // unchanged; workers observe the exhausted budget and stop fast.
-        for (std::size_t r = idx; r < frontier.size(); ++r) {
-          tasks->push_back(SubtreeTask{combo_index, std::move(frontier[r])});
-        }
-        for (auto& p : next) {
-          tasks->push_back(SubtreeTask{combo_index, std::move(p)});
-        }
-        return;
-      }
-      if (complete) {
-        tasks->push_back(SubtreeTask{combo_index, std::move(prefix),
-                                     /*prefix_counted=*/true});
+void SearchEngine::WorkerLoop(std::size_t wid) {
+  WorkerState& ws = *workers_[wid];
+  // Capacity-one searcher cache: tasks for the same combination (the
+  // overwhelmingly common case, since donations stay within a combination
+  // and steals favor the nearest victim) reuse the searcher and pay only
+  // the prefix replay.
+  std::unique_ptr<BnbSearcher> searcher;
+  std::size_t searcher_combo = std::numeric_limits<std::size_t>::max();
+  auto run = [&](SearchTask* task) {
+    std::unique_ptr<SearchTask> owned(task);
+    if (searcher_combo != task->combo) {
+      searcher = std::make_unique<BnbSearcher>(*contexts_[task->combo],
+                                               comm_, machine_, options_,
+                                               shared_, this, wid,
+                                               task->combo);
+      searcher_combo = task->combo;
+    }
+    searcher->RunTask(*task);
+    inflight_.fetch_sub(1, std::memory_order_release);
+  };
+  for (;;) {
+    if (SearchTask* task = ws.deque.Pop()) {
+      run(task);
+      continue;
+    }
+    if (SearchTask* task = ClaimRoot()) {
+      run(task);
+      continue;
+    }
+    if (workers_.size() > 1) {
+      if (SearchTask* task = StealFrom(wid)) {
+        ++ws.steals;
+        run(task);
         continue;
       }
-      for (const auto& child : children) {
-        auto extended = prefix;
-        extended.push_back(child);
-        next.push_back(std::move(extended));
-      }
     }
-    frontier = std::move(next);
-    ++depth;
-  }
-  for (auto& prefix : frontier) {
-    tasks->push_back(SubtreeTask{combo_index, std::move(prefix)});
+    if (inflight_.load(std::memory_order_acquire) == 0) return;
+    std::this_thread::yield();
   }
 }
 
@@ -621,11 +1187,25 @@ std::vector<std::vector<VariantId>> EnumerateCombos(
   return combos;
 }
 
-/// The whole Fig. 6 search: expand every combination, decompose into
-/// subtree tasks, run them (in parallel when solver_threads > 1), and merge
-/// in fixed task order. Latency mode minimizes makespan; bound mode
-/// (throughput) collects everything within `latency_bound` and keeps the
-/// best pipelined schedule.
+/// Runs one engine phase and folds its telemetry into the result.
+void RunPhase(SearchEngine& engine, OptimalResult* result) {
+  engine.Run();
+  for (const auto& ws : engine.workers()) {
+    result->steals += ws->steals;
+    result->nodes_pruned_symmetry += ws->pruned_symmetry;
+    result->nodes_pruned_dominance += ws->pruned_dominance;
+    result->nodes_pruned_memo += ws->pruned_memo;
+  }
+}
+
+/// The whole Fig. 6 search. Latency mode minimizes makespan in up to two
+/// phases — a memoized bound-finding phase A that establishes the minimal
+/// latency L, then a memo-free collection phase B that enumerates the
+/// reported set with the incumbent pinned at L (phase A is skipped when
+/// the heuristic seed already matches the root lower bound, or when
+/// memoization is off — then a single seeded collection phase suffices).
+/// Bound mode (throughput) runs one collection phase with the incumbent
+/// fixed at the latency bound and keeps the best pipelined schedule.
 Expected<OptimalResult> RunSearch(
     const graph::TaskGraph& graph, const graph::CostModel& costs,
     const CommModel& comm, const MachineConfig& machine,
@@ -636,9 +1216,21 @@ Expected<OptimalResult> RunSearch(
   OptimalResult result;
   result.variant_combinations = combos.size();
 
+  // Effective reductions for this mode: bound mode needs *every* in-bound
+  // completion for the pipelined argmin, so the latency-only rules and the
+  // seed are forced off there.
+  PruningOptions prune = options.pruning;
+  if (bound_mode) {
+    prune.sink_dominance = false;
+    prune.empty_node_symmetry = false;
+    prune.memo = false;
+    prune.seed_incumbent = false;
+  }
+
   SearchShared shared;
   shared.cancel = options.cancel;
   shared.bound_mode = bound_mode;
+  shared.memo_capacity_hint = options.max_nodes;
   shared.best.store(bound_mode ? latency_bound : kTickInfinity,
                     std::memory_order_relaxed);
   shared.budget_remaining.store(
@@ -667,67 +1259,86 @@ Expected<OptimalResult> RunSearch(
     ++live;
   }
 
-  // Decompose each combination's search into subtree tasks, spreading the
-  // fixed overall task target across the live combinations.
-  std::vector<SubtreeTask> tasks;
-  if (live > 0) {
-    const int target = std::max<int>(
-        1, static_cast<int>((kAutoSplitTasks + live - 1) / live));
-    for (std::size_t ci = 0; ci < contexts.size(); ++ci) {
-      if (!contexts[ci]) continue;
-      BnbSearcher searcher(*contexts[ci], comm, machine, options, &shared);
-      SplitCombo(searcher, ci, target, options.split_depth, &tasks);
+  // Heuristic seeding: the list scheduler's best makespan becomes the
+  // initial incumbent. Its schedule lies inside the search space (greedy
+  // earliest-start placements in start order), so the seed can never
+  // undercut the true minimum — it only lets pruning bite from node one.
+  Tick seed = kTickInfinity;
+  IterationSchedule seed_schedule;
+  bool has_seed_schedule = false;
+  if (!bound_mode && prune.seed_incumbent && live > 0) {
+    const ListScheduler heuristic(comm, machine);
+    for (const auto& ctx : contexts) {
+      if (!ctx) continue;
+      IterationSchedule s = heuristic.Schedule(ctx->og);
+      const Tick l = s.Latency();
+      if (l < seed) {
+        seed = l;
+        seed_schedule = std::move(s);
+        has_seed_schedule = true;
+      }
+    }
+    if (seed < kTickInfinity) {
+      shared.OfferBest(seed);
+      result.seed_makespan = seed;
     }
   }
 
-  // Run every task; each writes only its own result slot, and the shared
-  // incumbent lets pruning progress in any task benefit all others. Tasks
-  // are claimed through an atomic index by the calling thread plus up to
-  // `threads - 1` runner tasks on the shared process-wide pool — so a solve
-  // never spawns threads of its own, and concurrent solves divide the
-  // hardware instead of oversubscribing it.
-  std::vector<TaskResult> task_results(tasks.size());
-  auto run_task = [&](std::size_t idx) {
-    BnbSearcher searcher(*contexts[tasks[idx].combo], comm, machine, options,
-                         &shared);
-    searcher.RunTask(tasks[idx], &task_results[idx]);
-  };
-  std::atomic<std::size_t> next_task{0};
-  auto drain = [&] {
-    for (;;) {
-      const std::size_t idx =
-          next_task.fetch_add(1, std::memory_order_relaxed);
-      if (idx >= tasks.size()) return;
-      run_task(idx);
-    }
-  };
   int threads = options.solver_threads;
   if (threads == 0) {
-    threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   }
-  if (threads <= 1) {  // serial; kSolverThreadsUnset lands here too
-    drain();
-  } else {
-    WorkerPool& pool = SolverPool();
-    // Runners beyond the pool's workers could never execute (nobody calls
-    // Wait() on the shared pool), so cap by its size.
-    const int runners =
-        std::min({threads - 1, pool.thread_count(),
-                  static_cast<int>(tasks.size())});
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    int live_runners = runners;
-    for (int r = 0; r < runners; ++r) {
-      pool.Submit([&] {
-        drain();
-        std::lock_guard<std::mutex> lock(done_mu);
-        if (--live_runners == 0) done_cv.notify_all();
-      });
+  int worker_count = 1;
+  if (threads > 1) {
+    // Runners beyond the pool's workers could never execute concurrently
+    // (nobody calls Wait() on the shared pool), so cap by its size.
+    worker_count = std::min(threads, SolverPool().thread_count() + 1);
+  }
+
+  // Phase A (latency mode with memoization): establish the minimal latency
+  // L without collecting schedules. Skipped when the seed already equals
+  // the minimal root lower bound — then L is proven equal to the seed and
+  // the collection phase below starts exactly as tight.
+  std::vector<std::unique_ptr<WorkerState>> bound_phase_states;
+  if (!bound_mode && live > 0) {
+    Tick root_lb = kTickInfinity;
+    {
+      SearchEngine probe(contexts, comm, machine, options, prune, &shared,
+                         /*collect=*/false, /*use_memo=*/false, 1);
+      for (std::size_t ci = 0; ci < contexts.size(); ++ci) {
+        if (!contexts[ci]) continue;
+        BnbSearcher searcher(*contexts[ci], comm, machine, options, &shared,
+                             &probe, 0, ci);
+        root_lb = std::min(root_lb, searcher.RootLowerBound());
+      }
     }
-    drain();
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return live_runners == 0; });
+    if (seed < kTickInfinity && root_lb >= seed) {
+      // The heuristic seed meets the root lower bound, so L == seed is
+      // proven without searching: skip the bound-finding phase and let
+      // collection start pinned.
+      shared.latency_pinned = true;
+    } else if (prune.memo) {
+      SearchEngine engine(contexts, comm, machine, options, prune, &shared,
+                          /*collect=*/false, /*use_memo=*/true,
+                          worker_count);
+      RunPhase(engine, &result);
+      bound_phase_states = std::move(engine.workers());
+      // A completed bound phase proves `best` is the true minimum; a
+      // truncated one proves nothing, so collection runs unpinned.
+      shared.latency_pinned =
+          !shared.budget_exhausted.load(std::memory_order_relaxed) &&
+          !shared.cancelled.load(std::memory_order_relaxed);
+    }
   }
+
+  // Collection phase: enumerate and retain the reported set. In latency
+  // mode the incumbent is already pinned at L (phase A) or at the seed;
+  // in bound mode it is the fixed latency bound.
+  SearchEngine engine(contexts, comm, machine, options, prune, &shared,
+                      /*collect=*/true, /*use_memo=*/false, worker_count);
+  RunPhase(engine, &result);
+  auto& workers = engine.workers();
 
   result.nodes_explored =
       shared.nodes_consumed.load(std::memory_order_relaxed);
@@ -738,17 +1349,17 @@ Expected<OptimalResult> RunSearch(
   result.cancelled = shared.cancelled.load(std::memory_order_relaxed);
 
   Tick min_latency = kTickInfinity;
-  for (const auto& tr : task_results) {
-    min_latency = std::min(min_latency, tr.best_makespan);
+  for (const auto& ws : workers) {
+    min_latency = std::min(min_latency, ws->best_makespan);
   }
 
   if (bound_mode) {
     bool have_best = false;
-    for (const auto& tr : task_results) {
-      if (!tr.has_pipelined) continue;
+    for (const auto& ws : workers) {
+      if (!ws->has_pipelined) continue;
       if (!have_best ||
-          PipelineComposer::BetterThroughput(tr.pipelined, result.best)) {
-        result.best = tr.pipelined;
+          PipelineComposer::BetterThroughput(ws->pipelined, result.best)) {
+        result.best = ws->pipelined;
       }
       have_best = true;
     }
@@ -757,47 +1368,82 @@ Expected<OptimalResult> RunSearch(
                                   FormatTick(latency_bound)));
     }
     result.min_latency = min_latency == kTickInfinity ? 0 : min_latency;
-    std::unordered_set<std::uint64_t> seen;
-    for (auto& tr : task_results) {
-      for (auto& cand : tr.candidates) {
-        if (static_cast<int>(result.optimal.size()) >=
-            options.max_optimal_schedules) {
-          break;
-        }
-        if (seen.insert(cand.hash).second) {
-          result.optimal.push_back(std::move(cand.sched));
-        }
+    std::map<std::string, TaskCandidate> merged;
+    for (auto& ws : workers) {
+      for (auto& entry : ws->candidates) {
+        merged.emplace(entry.first, std::move(entry.second));
       }
+    }
+    for (auto& entry : merged) {
+      if (static_cast<int>(result.optimal.size()) >=
+          options.max_optimal_schedules) {
+        break;
+      }
+      result.optimal.push_back(std::move(entry.second.sched));
     }
     result.solve_wall_ticks = solve_timer.Elapsed();
     return result;
   }
 
-  // Latency mode. The merged set is every task's candidates at the global
-  // minimum, walked in fixed task order — independent of how the tasks were
-  // interleaved across threads (see docs/solver.md for the argument).
+  // Latency mode. The merged set is the cap smallest canonical keys among
+  // completions at the global minimum — independent of how the subtrees
+  // were spread across workers (see docs/solver.md for the argument).
   if (min_latency == kTickInfinity) {
-    if (result.cancelled) {
+    // The collection phase completed nothing (budget or cancel). Fall back
+    // to the best completion the bound-finding phase saw, if any.
+    const WorkerState* fallback = nullptr;
+    for (const auto& ws : bound_phase_states) {
+      if (!ws->has_fallback) continue;
+      if (fallback == nullptr ||
+          ws->fallback_makespan < fallback->fallback_makespan ||
+          (ws->fallback_makespan == fallback->fallback_makespan &&
+           ws->fallback.CanonicalKey() <
+               fallback->fallback.CanonicalKey())) {
+        fallback = ws.get();
+      }
+    }
+    if (fallback != nullptr &&
+        (!has_seed_schedule || fallback->fallback_makespan < seed)) {
+      result.min_latency = fallback->fallback_makespan;
+      result.optimal.push_back(fallback->fallback);
+    } else if (has_seed_schedule) {
+      // The bound-finding phase prunes everything that cannot strictly beat
+      // the seed, so when the seed is already optimal it completes nothing —
+      // the seed schedule itself is the witness.
+      result.min_latency = seed;
+      result.optimal.push_back(std::move(seed_schedule));
+    } else if (result.cancelled) {
       return Status(
           CancelledError("solve cancelled before any complete schedule"));
+    } else {
+      return Status(InternalError(
+          "no schedule found (budget exhausted before any completion)"));
     }
-    return Status(InternalError(
-        "no schedule found (budget exhausted before any completion)"));
-  }
-  result.min_latency = min_latency;
-  std::unordered_set<std::uint64_t> seen;
-  for (auto& tr : task_results) {
-    if (tr.best_makespan != min_latency) continue;
-    for (auto& cand : tr.candidates) {
-      if (cand.makespan != min_latency) continue;
+  } else {
+    result.min_latency = min_latency;
+    std::map<std::string, TaskCandidate> merged;
+    for (auto& ws : workers) {
+      if (ws->best_makespan != min_latency) continue;
+      for (auto& entry : ws->candidates) {
+        if (entry.second.makespan != min_latency) continue;
+        merged.emplace(entry.first, std::move(entry.second));
+      }
+    }
+    // The map key is the serial position (pinned collection) or the
+    // canonical key (unpinned) — either way the first `cap` entries are
+    // the deterministic retained set. Output order is canonical-key
+    // regardless, so consumers never see the internal keying.
+    for (auto& entry : merged) {
       if (static_cast<int>(result.optimal.size()) >=
           options.max_optimal_schedules) {
         break;
       }
-      if (seen.insert(cand.hash).second) {
-        result.optimal.push_back(std::move(cand.sched));
-      }
+      result.optimal.push_back(std::move(entry.second.sched));
     }
+    std::sort(result.optimal.begin(), result.optimal.end(),
+              [](const IterationSchedule& a, const IterationSchedule& b) {
+                return a.CanonicalKey() < b.CanonicalKey();
+              });
   }
   if (result.optimal.empty()) {
     return Status(InternalError("search produced no schedule"));

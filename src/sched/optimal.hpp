@@ -11,17 +11,23 @@
 // The paper argues exhaustive evaluation is affordable because the graphs
 // are tiny and the schedule runs for months; we implement the search as a
 // branch-and-bound over (data-parallel variant selection) x (op order) x
-// (processor assignment), with three soundness-preserving reductions:
+// (processor assignment), with soundness-preserving reductions:
 //   * processor symmetry: interchangeable processors (same node, same free
-//     time) are branched once;
+//     time, no live producers) are branched once, and entirely idle nodes
+//     are interchangeable with each other;
 //   * ready-op symmetry: interchangeable ready ops (chunks of the same task)
 //     are branched once;
-//   * lower-bound pruning on remaining critical path and remaining work.
-// The search runs on `solver_threads` threads: the tree is split at a
-// shallow depth into independent subtree tasks that share the incumbent
-// makespan through an atomic, and the decomposition never depends on the
-// thread count, so results are bit-identical from 1 to N threads (see
-// docs/solver.md for the argument).
+//   * lower-bound pruning on remaining critical path and remaining work,
+//     against an incumbent seeded from the list scheduler's makespan;
+//   * a sink-dominance rule: a ready sink op that can finish before any
+//     other candidate can even start is scheduled unconditionally;
+//   * a sharded lock-free memo table that deduplicates equivalent partial
+//     schedules reached along different branch orders (latency phase A).
+// The search runs on `solver_threads` threads via work stealing: each worker
+// owns a bounded Chase-Lev deque of subtree tasks and donates sibling
+// branches while its deque is hungry; idle workers steal the shallowest
+// (largest) subtrees. Results are bit-identical from 1 to N threads — see
+// docs/solver.md for the determinism argument.
 // One documented restriction: ops are placed at the earliest feasible time
 // on the chosen processor (no deliberate idle insertion). With communication
 // delays this can in principle exclude an optimal schedule; for the
@@ -49,6 +55,37 @@ namespace ss::sched {
 /// substitutes its deployment default (ServiceOptions::solver_threads).
 inline constexpr int kSolverThreadsUnset = -1;
 
+/// Search-space reduction toggles. All sound (they never change the minimal
+/// latency or the reported schedule set's contents — docs/solver.md carries
+/// the per-rule arguments), all on by default; exposed so ablations, the
+/// pruning property tests, and `ssched --solver-pruning` can isolate them.
+struct PruningOptions {
+  /// Branch once per interchangeable-processor class: two same-node
+  /// processors with equal free times merge when intra-node communication
+  /// is free, or when their live producers (scheduled ops still feeding
+  /// unscheduled successors) pair up as interchangeable ops with equal
+  /// finish times — then relabeling the processors is a makespan-
+  /// preserving bijection of the completions.
+  bool proc_symmetry = true;
+  /// Branch one representative per ready-op equivalence class (same cost,
+  /// predecessors and successors — e.g. chunks of one data-parallel task).
+  bool ready_symmetry = true;
+  /// Entirely idle nodes are interchangeable: candidates are generated on
+  /// the first idle node only.
+  bool empty_node_symmetry = true;
+  /// A ready sink op (no successors, positive cost) that finishes no later
+  /// than every other candidate's earliest start is scheduled
+  /// unconditionally (latency mode only).
+  bool sink_dominance = true;
+  /// Deduplicate equivalent partial-schedule states across workers through
+  /// a sharded lock-free memo table (latency mode, bound-finding phase
+  /// only; never used while collecting the reported set).
+  bool memo = true;
+  /// Seed the shared incumbent with the list scheduler's makespan so the
+  /// search starts tight instead of discovering its first bound late.
+  bool seed_incumbent = true;
+};
+
 struct OptimalOptions {
   /// Cap on how many latency-optimal iteration schedules are retained in S.
   int max_optimal_schedules = 32;
@@ -60,19 +97,17 @@ struct OptimalOptions {
   /// (the default) = no explicit choice: direct calls run serial, and the
   /// schedule service substitutes ServiceOptions::solver_threads. 1 = serial
   /// requested explicitly (the service honors it); 0 = one per hardware
-  /// thread. The search decomposition is independent of this value, so
-  /// min_latency, the reported schedule set and the best pipelined schedule
-  /// are identical for every thread count (as long as the node budget is
-  /// not exhausted — an exhausted search stops at a timing-dependent
-  /// frontier).
+  /// thread. The search result is a pure function of the problem and the
+  /// options, never of this value: min_latency, the reported schedule set
+  /// and the best pipelined schedule are identical for every thread count
+  /// (as long as the node budget is not exhausted — an exhausted search
+  /// stops at a timing-dependent frontier).
   int solver_threads = kSolverThreadsUnset;
-  /// Depth at which the search tree is split into independent subtree
-  /// tasks. 0 = automatic (split until roughly a hundred subtrees exist
-  /// across all variant combinations). Values > 0 force an exact split
-  /// depth; this changes the task granularity and — because the reported
-  /// set is capped — may change *which* equally-optimal schedules are
-  /// reported, so it participates in cache keys.
-  int split_depth = 0;
+  /// Search-space reductions. The symmetry/dominance toggles participate in
+  /// cache keys (they determine which equally-optimal schedules represent
+  /// their symmetry class in the reported set); seeding and memoization do
+  /// not (they only affect how fast the same result is found).
+  PruningOptions pruning;
   /// Pipelining options for step 3.
   PipelineOptions pipeline;
   /// Optional cooperative cancellation flag (not owned; may be set from any
@@ -99,7 +134,12 @@ struct OptimalResult {
   /// Step 1: minimal single-iteration latency (in throughput mode: the
   /// minimal latency encountered within the bound).
   Tick min_latency = 0;
-  /// Step 2: latency-optimal iteration schedules (deduplicated, capped).
+  /// Step 2: latency-optimal iteration schedules, reported in
+  /// canonical-key order. Capped at max_optimal_schedules: when the
+  /// enumeration holds more ties than the cap, the retained
+  /// representatives are the serially-first ones (a deterministic choice,
+  /// identical for every thread count); below the cap the set is every
+  /// tie the pruned enumeration admits.
   std::vector<IterationSchedule> optimal;
   /// Step 3: the best software-pipelined schedule from the set above.
   PipelinedSchedule best;
@@ -113,6 +153,16 @@ struct OptimalResult {
   bool cancelled = false;
   /// Wall-clock duration of the solve call that produced this result.
   Tick solve_wall_ticks = 0;
+  /// Work-stealing and pruning telemetry (run diagnostics only; not part
+  /// of SolveStats, so cache snapshots are unaffected). Steal counts are
+  /// timing-dependent; the pruning counters are deterministic for a fixed
+  /// problem whenever the memo table is off.
+  std::uint64_t steals = 0;
+  std::uint64_t nodes_pruned_symmetry = 0;
+  std::uint64_t nodes_pruned_dominance = 0;
+  std::uint64_t nodes_pruned_memo = 0;
+  /// Makespan of the heuristic seed schedule (0 = search ran unseeded).
+  Tick seed_makespan = 0;
 
   SolveStats Stats() const {
     return SolveStats{nodes_explored, complete_schedules,

@@ -76,14 +76,21 @@ graph::Fingerprint ScheduleService::RequestKey(const SolveRequest& request) {
   const sched::OptimalOptions& o = request.options;
   // solver_threads is deliberately absent: the parallel search is
   // deterministic across thread counts, so results are interchangeable.
-  // split_depth is present because it changes the task decomposition and
-  // with it which equally-optimal schedules survive the reporting cap.
+  // The symmetry/dominance toggles are present because they determine
+  // which representative of each symmetry class appears in the reported
+  // set; seeding and memoization are absent (they only change how fast the
+  // same result is found).
+  const std::uint64_t pruning_bits =
+      (o.pruning.proc_symmetry ? 1ULL : 0ULL) |
+      (o.pruning.ready_symmetry ? 2ULL : 0ULL) |
+      (o.pruning.empty_node_symmetry ? 4ULL : 0ULL) |
+      (o.pruning.sink_dominance ? 8ULL : 0ULL);
   return graph::Fingerprint(*request.problem)
       .Extended({static_cast<std::uint64_t>(request.regime.value()),
                  static_cast<std::uint64_t>(o.max_optimal_schedules),
                  o.max_nodes,
                  o.pipeline.allow_rotation ? 1ULL : 0ULL,
-                 static_cast<std::uint64_t>(o.split_depth)});
+                 pruning_bits});
 }
 
 Expected<SolveFuture> ScheduleService::SubmitAsync(SolveRequest request) {

@@ -17,6 +17,7 @@
 #include "core/ids.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
+#include "core/steal_deque.hpp"
 #include "core/time.hpp"
 #include "core/worker_pool.hpp"
 
@@ -376,6 +377,104 @@ TEST(DeadlineTest, WaitUntilTimesOutThenSeesPredicate) {
                     .WaitUntil(cv, lock, [&] { return flag; }));
   }
   setter.join();
+}
+
+// ---- steal deque ------------------------------------------------------------
+
+TEST(StealDequeTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(StealDeque<int>(1).capacity(), 2u);
+  EXPECT_EQ(StealDeque<int>(2).capacity(), 2u);
+  EXPECT_EQ(StealDeque<int>(3).capacity(), 4u);
+  EXPECT_EQ(StealDeque<int>(256).capacity(), 256u);
+  EXPECT_EQ(StealDeque<int>(300).capacity(), 512u);
+}
+
+TEST(StealDequeTest, OwnerPopsLifoThievesStealFifo) {
+  int items[4] = {10, 11, 12, 13};
+  StealDeque<int> dq(8);
+  for (int& item : items) ASSERT_TRUE(dq.Push(&item));
+  EXPECT_EQ(dq.SizeApprox(), 4u);
+  // A thief takes the oldest (shallowest) entry.
+  EXPECT_EQ(dq.Steal(), &items[0]);
+  // The owner takes the newest (deepest).
+  EXPECT_EQ(dq.Pop(), &items[3]);
+  EXPECT_EQ(dq.Steal(), &items[1]);
+  EXPECT_EQ(dq.Pop(), &items[2]);
+  EXPECT_EQ(dq.Pop(), nullptr);
+  EXPECT_EQ(dq.Steal(), nullptr);
+  EXPECT_EQ(dq.SizeApprox(), 0u);
+}
+
+TEST(StealDequeTest, PushReportsOverflowWhenFull) {
+  int items[3] = {1, 2, 3};
+  StealDeque<int> dq(2);
+  ASSERT_TRUE(dq.Push(&items[0]));
+  ASSERT_TRUE(dq.Push(&items[1]));
+  EXPECT_FALSE(dq.Push(&items[2]));
+  // Draining one entry makes room again.
+  EXPECT_EQ(dq.Steal(), &items[0]);
+  EXPECT_TRUE(dq.Push(&items[2]));
+  EXPECT_EQ(dq.Pop(), &items[2]);
+  EXPECT_EQ(dq.Pop(), &items[1]);
+  EXPECT_EQ(dq.Pop(), nullptr);
+}
+
+TEST(StealDequeTest, ConcurrentOwnerAndThievesConsumeEachItemOnce) {
+  // The owner pushes kItems entries while popping intermittently; three
+  // thieves steal concurrently. Every item must be consumed exactly once
+  // across all four threads — the classic Chase-Lev correctness property,
+  // and the test TSan exercises for the fence orderings.
+  constexpr int kItems = 20'000;
+  constexpr int kThieves = 3;
+  std::vector<int> items(kItems);
+  for (int i = 0; i < kItems; ++i) items[static_cast<std::size_t>(i)] = i;
+
+  StealDeque<int> dq(128);
+  std::atomic<bool> done{false};
+  std::vector<std::vector<int>> taken(kThieves + 1);
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&dq, &done, &taken, t] {
+      auto& mine = taken[static_cast<std::size_t>(t) + 1];
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* item = dq.Steal()) {
+          mine.push_back(*item);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      while (int* item = dq.Steal()) mine.push_back(*item);
+    });
+  }
+
+  auto& owner_taken = taken[0];
+  for (int i = 0; i < kItems; ++i) {
+    while (!dq.Push(&items[static_cast<std::size_t>(i)])) {
+      if (int* item = dq.Pop()) owner_taken.push_back(*item);
+    }
+    // Pop roughly half the time so both owner paths stay hot.
+    if ((i & 1) != 0) {
+      if (int* item = dq.Pop()) owner_taken.push_back(*item);
+    }
+  }
+  while (int* item = dq.Pop()) owner_taken.push_back(*item);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  // Late entries could race the thieves' final drain; sweep what's left.
+  while (int* item = dq.Pop()) owner_taken.push_back(*item);
+
+  std::set<int> seen;
+  std::size_t total = 0;
+  for (const auto& bucket : taken) {
+    total += bucket.size();
+    for (int v : bucket) {
+      EXPECT_TRUE(seen.insert(v).second) << "item " << v << " taken twice";
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kItems));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kItems));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -149,23 +150,130 @@ TEST(ParallelOptimalTest, KioskGraphIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(ParallelOptimalTest, ForcedSplitDepthStaysDeterministic) {
+TEST(ParallelOptimalTest, PruningConfigsStayDeterministicAcrossThreads) {
+  // Every pruning configuration must uphold the determinism contract on
+  // its own: the reported set may legitimately differ *between* configs
+  // (each symmetry rule picks the representative of its class), but for a
+  // fixed config it may never differ between thread counts.
   graph::SyntheticProblem dag = LayeredProblem(23);
   ASSERT_TRUE(dag.graph.Validate().ok());
-  OptimalScheduler sched(dag.graph, dag.costs, CommModel(),
-                         MachineConfig::SingleNode(2));
-  for (int split_depth : {1, 2, 3}) {
+  CommModel comm;
+  comm.intra_latency = 5;
+  OptimalScheduler sched(dag.graph, dag.costs, comm,
+                         MachineConfig::SingleNode(4));
+  for (int config = 0; config < 6; ++config) {
     std::vector<ResultSignature> signatures;
     for (int threads : {1, 4}) {
       OptimalOptions opts;
       opts.solver_threads = threads;
-      opts.split_depth = split_depth;
+      opts.pruning.proc_symmetry = config != 1;
+      opts.pruning.ready_symmetry = config != 2;
+      opts.pruning.empty_node_symmetry = config != 3;
+      opts.pruning.sink_dominance = config != 4;
+      opts.pruning.memo = config != 5;
+      opts.pruning.seed_incumbent = config != 5;
       auto result = sched.Schedule(kR0, opts);
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       signatures.emplace_back(*result);
     }
     EXPECT_TRUE(signatures[1] == signatures[0])
-        << "split depth " << split_depth << " diverged across threads";
+        << "pruning config " << config << " diverged across threads";
+  }
+}
+
+// Satellite of the work-stealing rework: t1 vs t4 vs t8 exact-equal
+// results over the property-sweep graph families (chain / fork-join /
+// layered, several seeds each). Runs under TSan in CI like the rest of
+// this suite, so the steal/donation protocol is raced while the contract
+// is checked.
+TEST(ParallelOptimalTest, PropertySweepIdenticalAcrossThreadCounts) {
+  struct Family {
+    const char* name;
+    graph::SyntheticProblem (*make)(Rng&, const graph::SyntheticOptions&);
+  };
+  const Family families[] = {
+      {"chain", [](Rng& rng, const graph::SyntheticOptions& gen) {
+         return graph::MakeChain(rng, 4, gen);
+       }},
+      {"forkjoin", [](Rng& rng, const graph::SyntheticOptions& gen) {
+         return graph::MakeForkJoin(rng, 3, gen);
+       }},
+      {"layered", [](Rng& rng, const graph::SyntheticOptions& gen) {
+         return graph::MakeLayered(rng, gen);
+       }},
+  };
+  for (const Family& family : families) {
+    for (std::uint64_t seed : {1u, 13u, 31u}) {
+      Rng rng(seed);
+      graph::SyntheticOptions gen;
+      gen.layers = 2;
+      gen.max_width = 2;
+      gen.max_chunks = 2;
+      graph::SyntheticProblem dag = family.make(rng, gen);
+      ASSERT_TRUE(dag.graph.Validate().ok());
+      CommModel comm;
+      comm.intra_latency = 7;
+      OptimalScheduler sched(dag.graph, dag.costs, comm,
+                             MachineConfig::SingleNode(2));
+      std::vector<ResultSignature> signatures;
+      for (int threads : {1, 4, 8}) {
+        OptimalOptions opts;
+        opts.solver_threads = threads;
+        auto result = sched.Schedule(kR0, opts);
+        ASSERT_TRUE(result.ok())
+            << family.name << " seed " << seed << " threads " << threads
+            << ": " << result.status().ToString();
+        ASSERT_FALSE(result->budget_exhausted);
+        signatures.emplace_back(*result);
+      }
+      for (std::size_t i = 1; i < signatures.size(); ++i) {
+        EXPECT_TRUE(signatures[i] == signatures[0])
+            << family.name << " seed " << seed
+            << " diverged across thread counts";
+      }
+    }
+  }
+}
+
+// Stress: many solves racing on the shared solver pool, each itself
+// multi-threaded with donation and stealing active. Every solve of the
+// same problem must agree with the serial baseline bit for bit. (TSan
+// covers the deque/memo/incumbent protocol here.)
+TEST(ParallelOptimalTest, ConcurrentSolvesStayDeterministic) {
+  graph::SyntheticProblem dag = LayeredProblem(42);
+  ASSERT_TRUE(dag.graph.Validate().ok());
+  CommModel comm;
+  comm.intra_latency = 5;
+  OptimalScheduler sched(dag.graph, dag.costs, comm,
+                         MachineConfig::SingleNode(2));
+  OptimalOptions serial;
+  auto base = sched.Schedule(kR0, serial);
+  ASSERT_TRUE(base.ok());
+  const ResultSignature want(*base);
+
+  constexpr int kSolvers = 6;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kSolvers, 0);
+  std::vector<int> failures(kSolvers, 0);
+  threads.reserve(kSolvers);
+  for (int t = 0; t < kSolvers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        OptimalOptions opts;
+        opts.solver_threads = 4;
+        auto result = sched.Schedule(kR0, opts);
+        if (!result.ok()) {
+          ++failures[t];
+          continue;
+        }
+        if (!(ResultSignature(*result) == want)) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kSolvers; ++t) {
+    EXPECT_EQ(failures[t], 0) << "solver thread " << t;
+    EXPECT_EQ(mismatches[t], 0) << "solver thread " << t;
   }
 }
 
@@ -236,9 +344,11 @@ TEST(ParallelOptimalTest, NodeBudgetIsRespectedGloballyAcrossWorkers) {
 TEST(ParallelOptimalTest, CompletePrefixesChargeTheBudgetOnce) {
   // A 3-op chain on one processor has exactly one schedule, and the search
   // visits each of its 4 prefixes (empty through complete) exactly once —
-  // so nodes_explored must be exactly 4. In particular, the complete prefix
-  // discovered during frontier enumeration must not be charged to the node
-  // budget a second time when its subtree task replays it.
+  // so nodes_explored must be exactly 4. This also pins down that the
+  // heuristic seed (here provably optimal: the root lower bound equals the
+  // list-scheduler makespan) suppresses the memoized bound-finding phase,
+  // so the chain is searched in a single collection pass, and that donated
+  // prefix replays never re-charge the budget.
   graph::TaskGraph g;
   const TaskId a = g.AddTask("a", true);
   const TaskId b = g.AddTask("b");
@@ -262,6 +372,7 @@ TEST(ParallelOptimalTest, CompletePrefixesChargeTheBudgetOnce) {
     auto result = sched.Schedule(kR0, opts);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_EQ(result->min_latency, 120);
+    EXPECT_EQ(result->seed_makespan, 120);
     EXPECT_EQ(result->nodes_explored, 4u) << "threads " << threads;
   }
 }

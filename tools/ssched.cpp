@@ -71,6 +71,11 @@ int Usage(const char* argv0) {
       "  --solver-threads N  threads for the branch-and-bound search\n"
       "                 (default 1; 0 = one per hardware thread; results\n"
       "                 are identical for every thread count)\n"
+      "  --solver-pruning full|basic|none  search reductions for the exact\n"
+      "                 solver (default full; basic = processor/ready\n"
+      "                 symmetry only; none = pure enumeration, for\n"
+      "                 cross-checking). All levels find the same minimum\n"
+      "                 latency; weaker levels just explore more nodes\n"
       "  --dot          also print the task graph in Graphviz dot format\n"
       "  --serve-bench N  skip the schedule printout and instead run N\n"
       "                 client threads through the in-process schedule\n"
@@ -440,6 +445,7 @@ int main(int argc, char** argv) {
   int frames_arg = 6;
   int serve_bench = 0;
   int solver_threads = 1;
+  std::string solver_pruning = "full";
   int max_tenants = 64;
   int workers = 0;
   double gantt_ms = 0;
@@ -516,6 +522,21 @@ int main(int argc, char** argv) {
           solver_threads < 0) {
         std::fprintf(stderr,
                      "error: --solver-threads expects a count >= 0\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--solver-pruning") {
+      const char* value = next();
+      if (value == nullptr) {
+        std::fprintf(stderr, "error: --solver-pruning expects a level\n");
+        return Usage(argv[0]);
+      }
+      solver_pruning = value;
+      if (solver_pruning != "full" && solver_pruning != "basic" &&
+          solver_pruning != "none") {
+        std::fprintf(stderr,
+                     "error: --solver-pruning expects full, basic or none "
+                     "(got %s)\n",
+                     solver_pruning.c_str());
         return Usage(argv[0]);
       }
     } else if (arg == "--gantt-ms") {
@@ -602,6 +623,16 @@ int main(int argc, char** argv) {
     sched::OptimalOptions opts;
     opts.pipeline.allow_rotation = allow_rotation;
     opts.solver_threads = solver_threads;
+    if (solver_pruning != "full") {
+      opts.pruning.empty_node_symmetry = false;
+      opts.pruning.sink_dominance = false;
+      opts.pruning.memo = false;
+      opts.pruning.seed_incumbent = false;
+      if (solver_pruning == "none") {
+        opts.pruning.proc_symmetry = false;
+        opts.pruning.ready_symmetry = false;
+      }
+    }
     Stopwatch sw;
     Expected<sched::OptimalResult> result = [&] {
       if (throughput_bound.empty()) return scheduler.Schedule(regime, opts);

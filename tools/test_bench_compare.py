@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench_compare direction rules.
+
+bench_compare has no .py extension (it is installed as a command), so the
+module is loaded by path with SourceFileLoader. Run directly or via ctest
+(registered in tools/CMakeLists.txt when a python3 interpreter is found).
+"""
+import importlib.machinery
+import importlib.util
+import json
+import os
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_LOADER = importlib.machinery.SourceFileLoader(
+    "bench_compare", os.path.join(_HERE, "bench_compare"))
+_SPEC = importlib.util.spec_from_loader("bench_compare", _LOADER)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_LOADER.exec_module(bench_compare)
+
+
+def _write(dirname: str, filename: str, records: dict) -> str:
+    path = os.path.join(dirname, filename)
+    with open(path, "w") as f:
+        json.dump([{"name": n, "median_ms": v, "p95_ms": v}
+                   for n, v in records.items()], f)
+    return path
+
+
+class CompareTest(unittest.TestCase):
+    def compare(self, base: dict, cur: dict, threshold: float = 25.0) -> list:
+        with tempfile.TemporaryDirectory() as d:
+            return bench_compare.compare(
+                _write(d, "base.json", base), _write(d, "cur.json", cur),
+                threshold)
+
+    def test_timing_regression_is_flagged(self):
+        failed = self.compare({"optimal_medium_t4": 10.0},
+                              {"optimal_medium_t4": 20.0})
+        self.assertEqual(failed, ["optimal_medium_t4"])
+
+    def test_timing_improvement_passes(self):
+        self.assertEqual(
+            self.compare({"optimal_medium_t4": 20.0},
+                         {"optimal_medium_t4": 10.0}), [])
+
+    def test_speedup_gain_is_not_a_regression(self):
+        # Higher is better for _x records: doubling the speedup must pass.
+        self.assertEqual(
+            self.compare({"optimal_medium_speedup_4t_x": 1.0},
+                         {"optimal_medium_speedup_4t_x": 2.0}), [])
+
+    def test_speedup_drop_is_flagged(self):
+        failed = self.compare({"optimal_medium_speedup_4t_x": 2.0},
+                              {"optimal_medium_speedup_4t_x": 1.0})
+        self.assertEqual(failed, ["optimal_medium_speedup_4t_x"])
+
+    def test_count_records_never_gate(self):
+        # Counters drift whenever pruning improves; huge swings in either
+        # direction are informational only.
+        self.assertEqual(
+            self.compare({"optimal_large_steals_count": 1000.0,
+                          "optimal_large_nodes_pruned_memo_count": 5.0},
+                         {"optimal_large_steals_count": 1.0,
+                          "optimal_large_nodes_pruned_memo_count": 9999.0}),
+            [])
+
+    def test_unshared_records_are_ignored(self):
+        self.assertEqual(
+            self.compare({"old_only_t1": 10.0}, {"new_only_t1": 10.0}), [])
+
+    def test_within_threshold_passes(self):
+        self.assertEqual(
+            self.compare({"optimal_small_t1": 10.0},
+                         {"optimal_small_t1": 12.0}), [])
+
+    def test_direction_helpers(self):
+        self.assertTrue(
+            bench_compare.higher_is_better("optimal_medium_speedup_4t_x"))
+        self.assertFalse(bench_compare.higher_is_better("optimal_medium_t4"))
+        self.assertTrue(
+            bench_compare.informational("optimal_large_steals_count"))
+        self.assertFalse(
+            bench_compare.informational("optimal_large_t8"))
+
+
+if __name__ == "__main__":
+    unittest.main()
