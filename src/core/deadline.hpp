@@ -10,9 +10,8 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 
+#include "core/sync.hpp"
 #include "core/time.hpp"
 
 namespace ss {
@@ -54,17 +53,21 @@ class Deadline {
     return steady_clock::time_point(microseconds(at_));
   }
 
-  /// Blocks until `pred()` is true or the deadline expires. Returns the
-  /// final value of `pred()`, i.e. false means a timeout. Never spins: the
-  /// wait is a single wait_until per wakeup.
-  template <typename Pred>
-  bool WaitUntil(std::condition_variable& cv,
-                 std::unique_lock<std::mutex>& lock, Pred pred) const {
+  /// Blocks once until notified or the deadline expires; false on expiry.
+  /// Callers loop on their guarded predicate explicitly (Thread Safety
+  /// Analysis treats lambda bodies as separate functions, so the std
+  /// predicate overloads would warn on every guarded read):
+  ///
+  ///   while (!done_) {
+  ///     if (!deadline.WaitOnce(cv_, lock)) break;  // timed out
+  ///   }
+  ///   return done_;
+  bool WaitOnce(CondVar& cv, MutexLock& lock) const {
     if (infinite()) {
-      cv.wait(lock, pred);
+      cv.Wait(lock);
       return true;
     }
-    return cv.wait_until(lock, time_point(), pred);
+    return cv.WaitUntil(lock, time_point()) == std::cv_status::no_timeout;
   }
 
  private:

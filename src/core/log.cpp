@@ -1,13 +1,14 @@
 #include "core/log.hpp"
 
 #include <cstdio>
-#include <mutex>
+
+#include "core/sync.hpp"
 
 namespace ss {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;  // serializes stderr writes so lines never interleave
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -27,7 +28,7 @@ LogLevel GetLogLevel() { return g_level.load(); }
 namespace internal {
 
 void LogLine(LogLevel level, const std::string& text) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[ss %s] %s\n", LevelTag(level), text.c_str());
 }
 

@@ -1,0 +1,271 @@
+// Capability-annotated synchronization primitives.
+//
+// Thin wrappers over the std primitives carrying Clang Thread Safety
+// Analysis attributes, so the compiler proves at build time that every
+// access to mutex-guarded state holds the right lock. Under GCC (or any
+// compiler without the attributes) every annotation compiles to nothing
+// and the wrappers are zero-cost aliases for the std types.
+//
+// Conventions (docs/static_analysis.md has the full discipline):
+//  - Every shared field names its lock:  `int queued_ SS_GUARDED_BY(mu_);`
+//  - Private helpers that expect the lock held are annotated
+//    `SS_REQUIRES(mu_)` and carry the `Locked` suffix.
+//  - Public entry points that must NOT be called with the lock held (they
+//    acquire it themselves) are annotated `SS_EXCLUDES(mu_)`.
+//  - Condition waits are explicit loops over CondVar::Wait* — predicate
+//    lambdas are analyzed as separate functions by TSA and would warn on
+//    every guarded read, so we do not use the std predicate overloads.
+//  - SS_NO_THREAD_SAFETY_ANALYSIS is a deliberate escape hatch; every use
+//    must carry a comment justifying why the analysis cannot see the
+//    invariant. Target: at most a handful in the whole tree.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros. No-ops outside clang.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SS_THREAD_ANNOTATION
+#define SS_THREAD_ANNOTATION(x)  // not clang: annotations vanish
+#endif
+
+/// Marks a type as a lockable capability (mutexes below).
+#define SS_CAPABILITY(x) SS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SS_SCOPED_CAPABILITY SS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is only read/written with the named mutex held.
+#define SS_GUARDED_BY(x) SS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is only accessed with the mutex held.
+#define SS_PT_GUARDED_BY(x) SS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held (exclusively / shared) on entry,
+/// and does not release it.
+#define SS_REQUIRES(...) \
+  SS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SS_REQUIRES_SHARED(...) \
+  SS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define SS_ACQUIRE(...) SS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SS_ACQUIRE_SHARED(...) \
+  SS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held on entry.
+#define SS_RELEASE(...) SS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SS_RELEASE_SHARED(...) \
+  SS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define SS_RELEASE_GENERIC(...) \
+  SS_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `ret`.
+#define SS_TRY_ACQUIRE(ret, ...) \
+  SS_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must be called WITHOUT the capability held (deadlock guard for
+/// public entry points that lock internally).
+#define SS_EXCLUDES(...) SS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares lock-ordering edges, checked under -Wthread-safety-beta.
+#define SS_ACQUIRED_BEFORE(...) \
+  SS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SS_ACQUIRED_AFTER(...) \
+  SS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the calling thread holds the capability.
+#define SS_ASSERT_CAPABILITY(x) \
+  SS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define SS_RETURN_CAPABILITY(x) SS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Each use MUST be
+/// accompanied by a comment explaining the invariant the analysis cannot
+/// express (see docs/static_analysis.md for the two sanctioned patterns).
+#define SS_NO_THREAD_SAFETY_ANALYSIS \
+  SS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ss {
+
+class CondVar;
+class MutexLock;
+class ReaderMutexLock;
+class WriterMutexLock;
+
+// ---------------------------------------------------------------------------
+// Mutex — std::mutex as a named capability.
+// ---------------------------------------------------------------------------
+
+class SS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SS_ACQUIRE() { mu_.lock(); }
+  bool TryLock() SS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Unlock() SS_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// ---------------------------------------------------------------------------
+// SharedMutex — std::shared_mutex as a named capability.
+// ---------------------------------------------------------------------------
+
+class SS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SS_ACQUIRE() { mu_.lock(); }
+  void Unlock() SS_RELEASE() { mu_.unlock(); }
+  void LockShared() SS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() SS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderMutexLock;
+  friend class WriterMutexLock;
+  std::shared_mutex mu_;
+};
+
+// ---------------------------------------------------------------------------
+// MutexLock — scoped exclusive hold of a Mutex.
+// ---------------------------------------------------------------------------
+
+class SS_SCOPED_CAPABILITY MutexLock {
+ public:
+  /// Tag for the contention-probing constructor below.
+  struct ProbeContention {};
+
+  explicit MutexLock(Mutex& mu) SS_ACQUIRE(mu) : lock_(mu.mu_) {}
+
+  /// Try-lock first; on failure, records the contention and blocks. Lets
+  /// hot paths count contended acquisitions without a second lock round
+  /// trip (`if (lock.contended()) ++stats_.contended;` under the lock).
+  MutexLock(Mutex& mu, ProbeContention) SS_ACQUIRE(mu)
+      : lock_(mu.mu_, std::try_to_lock) {
+    if (!lock_.owns_lock()) {
+      contended_ = true;
+      lock_.lock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() SS_RELEASE() = default;  // unique_lock unlocks iff still held
+
+  /// Releases early (e.g. before a join); the destructor then does nothing.
+  void Unlock() SS_RELEASE() { lock_.unlock(); }
+
+  /// Reacquires after an early Unlock().
+  void Lock() SS_ACQUIRE() { lock_.lock(); }
+
+  bool contended() const { return contended_; }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+  bool contended_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Reader/Writer locks — scoped holds of a SharedMutex.
+// ---------------------------------------------------------------------------
+
+class SS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SS_ACQUIRE_SHARED(mu)
+      : lock_(mu.mu_) {}
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+  ~ReaderMutexLock() SS_RELEASE() = default;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+class SS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+  ~WriterMutexLock() SS_RELEASE() = default;
+
+  /// Releases early; the destructor then does nothing.
+  void Unlock() SS_RELEASE() { lock_.unlock(); }
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+// ---------------------------------------------------------------------------
+// CondVar — std::condition_variable over ss::Mutex / ss::MutexLock.
+//
+// The Wait* methods carry no TSA annotations on purpose: they atomically
+// release and reacquire the lock, which the analysis models as the
+// capability being continuously held (correct from the caller's view —
+// guarded reads in the wait loop are legal before and after each wait).
+// Callers write explicit loops:
+//
+//   MutexLock lock(mu_);
+//   while (!done_) cv_.Wait(lock);
+// ---------------------------------------------------------------------------
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible; loop on the
+  /// guarded predicate).
+  ///
+  /// The raw waits below are intentionally loop-free — this wrapper is the
+  /// one place the std calls are allowed to appear outside a loop, because
+  /// every caller owns the `while (!cond) Wait(lock);` loop (the
+  /// spuriously-wake-up lint cannot see callers, hence the NOLINTs).
+  void Wait(MutexLock& lock) {
+    cv_.wait(lock.lock_);  // NOLINT(bugprone-spuriously-wake-up-functions)
+  }
+
+  /// Blocks until notified or `tp`; std::cv_status::timeout on expiry.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions)
+    return cv_.wait_until(lock.lock_, tp);
+  }
+
+  /// Blocks until notified or `d` elapses.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& d) {
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions)
+    return cv_.wait_for(lock.lock_, d);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ss

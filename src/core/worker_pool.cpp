@@ -27,25 +27,25 @@ void WorkerPool::Submit(std::function<void()> task) {
       next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
   pending_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(slots_[slot]->mu);
+    MutexLock lock(slots_[slot]->mu);
     slots_[slot]->q.push_back(std::move(task));
   }
   {
     // Publish under mu_: workers evaluate their wait predicate holding mu_,
     // so the increment cannot interleave inside a predicate-check-to-block
     // window and the notify below can never be lost.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queued_.fetch_add(1, std::memory_order_release);
   }
-  work_cv_.notify_one();
-  idle_cv_.notify_one();  // a Wait()ing caller can help with this task
+  work_cv_.NotifyOne();
+  idle_cv_.NotifyOne();  // a Wait()ing caller can help with this task
 }
 
 bool WorkerPool::PopTask(std::size_t home, std::function<void()>* out) {
   const std::size_t n = slots_.size();
   for (std::size_t k = 0; k < n; ++k) {
     Slot& slot = *slots_[(home + k) % n];
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(slot.mu);
     if (slot.q.empty()) continue;
     *out = std::move(slot.q.front());
     slot.q.pop_front();
@@ -60,8 +60,8 @@ bool WorkerPool::RunOneTask(std::size_t home) {
   if (!PopTask(home, &task)) return false;
   task();
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(mu_);
-    idle_cv_.notify_all();
+    MutexLock lock(mu_);
+    idle_cv_.NotifyAll();
   }
   return true;
 }
@@ -69,10 +69,10 @@ bool WorkerPool::RunOneTask(std::size_t home) {
 void WorkerPool::ThreadLoop(std::size_t index) {
   for (;;) {
     if (RunOneTask(index)) continue;
-    std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock, [this] {
-      return stop_ || queued_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(mu_);
+    while (!stop_ && queued_.load(std::memory_order_acquire) <= 0) {
+      work_cv_.Wait(lock);
+    }
     if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
   }
 }
@@ -84,23 +84,25 @@ void WorkerPool::Wait() {
     if (RunOneTask(home)) continue;
     // Everything left is running on workers; wait for completion (with a
     // timeout so a wakeup lost between the load and the wait cannot hang).
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
-      return pending_.load(std::memory_order_acquire) == 0 ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
+    // A single timed wait suffices — the enclosing loop re-checks both
+    // conditions on every wakeup, spurious or not.
+    MutexLock lock(mu_);
+    if (pending_.load(std::memory_order_acquire) != 0 &&
+        queued_.load(std::memory_order_acquire) <= 0) {
+      idle_cv_.WaitFor(lock, std::chrono::milliseconds(1));
+    }
   }
 }
 
 void WorkerPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_ && threads_.empty()) {
       // Already shut down; fall through only to drain stragglers.
     }
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
   threads_.clear();
   // Workers drain the queue before exiting, but a 0-thread pool (or a task

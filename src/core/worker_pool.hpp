@@ -20,14 +20,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace ss {
 
@@ -56,8 +56,8 @@ class WorkerPool {
 
  private:
   struct Slot {
-    std::mutex mu;
-    std::deque<std::function<void()>> q;
+    Mutex mu;
+    std::deque<std::function<void()>> q SS_GUARDED_BY(mu);
   };
 
   bool PopTask(std::size_t home, std::function<void()>* out);
@@ -69,13 +69,15 @@ class WorkerPool {
   std::vector<std::unique_ptr<Slot>> slots_;  // one per thread + submitter
   std::size_t thread_total_ = 0;
   std::atomic<std::size_t> next_slot_{0};
+  // Atomics read lock-free on the hot path, but *published* under mu_ so
+  // the condition-variable predicates cannot miss an update (see Submit).
   std::atomic<std::int64_t> queued_{0};   // tasks sitting in deques
   std::atomic<std::int64_t> pending_{0};  // queued + currently running
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: queued_ > 0 or stop
-  std::condition_variable idle_cv_;  // Wait(): pending_ hit 0 or new work
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers: queued_ > 0 or stop
+  CondVar idle_cv_;  // Wait(): pending_ hit 0 or new work
+  bool stop_ SS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -11,11 +11,11 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "graph/graph_io.hpp"
 #include "sched/schedule.hpp"
 
@@ -75,20 +75,24 @@ struct Server::Conn {
 // by shared_ptr, so a solve finishing after Stop() posts into a closed sink
 // (dropped) instead of touching a dead Server.
 struct Server::CompletionSink {
-  std::mutex mu;
-  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> queue;
-  bool open = true;
+  Mutex mu;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> queue
+      SS_GUARDED_BY(mu);
+  bool open SS_GUARDED_BY(mu) = true;
+  /// Set once during Bind() before any dispatcher thread exists, then
+  /// read-only: needs no lock.
   int event_fd = -1;
 
-  void Post(std::uint64_t conn_id, std::vector<std::uint8_t> frame) {
-    std::lock_guard<std::mutex> lock(mu);
+  void Post(std::uint64_t conn_id, std::vector<std::uint8_t> frame)
+      SS_EXCLUDES(mu) {
+    MutexLock lock(mu);
     if (!open) return;
     queue.emplace_back(conn_id, std::move(frame));
     Kick();
   }
 
-  /// Wakes the loop without enqueueing (drain signal). Caller holds mu or
-  /// is the only other thread (Stop()).
+  /// Wakes the loop without enqueueing (drain signal). Touches only the
+  /// immutable event_fd, so it is callable with or without mu held.
   void Kick() {
     const std::uint64_t one = 1;
     [[maybe_unused]] ssize_t n = ::write(event_fd, &one, sizeof(one));
@@ -200,7 +204,7 @@ class Server::Impl {
   void Kick() { sink_->Kick(); }
 
   void CloseSink() {
-    std::lock_guard<std::mutex> lock(sink_->mu);
+    MutexLock lock(sink_->mu);
     sink_->open = false;
     sink_->queue.clear();
   }
@@ -544,7 +548,7 @@ class Server::Impl {
   void ProcessCompletions() {
     std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> batch;
     {
-      std::lock_guard<std::mutex> lock(sink_->mu);
+      MutexLock lock(sink_->mu);
       batch.swap(sink_->queue);
     }
     for (auto& [conn_id, encoded] : batch) {

@@ -1,7 +1,6 @@
 #include "runtime/splitjoin.hpp"
 
 #include <map>
-#include <mutex>
 #include <tuple>
 
 #include "core/log.hpp"
@@ -47,10 +46,10 @@ Status SplitJoinHarness::Run(std::size_t frames, const InputFn& input,
 
   std::atomic<bool> failed{false};
   Status first_error;
-  std::mutex error_mu;
+  Mutex error_mu;
   auto fail = [&](const Status& s) {
     {
-      std::lock_guard lock(error_mu);
+      MutexLock lock(error_mu);
       if (!failed.exchange(true)) first_error = s;
     }
     work.Shutdown();
@@ -173,7 +172,7 @@ Status SplitJoinHarness::Run(std::size_t frames, const InputFn& input,
   stats_.chunks_processed = chunks_processed.load();
 
   if (failed.load()) {
-    std::lock_guard lock(error_mu);
+    MutexLock lock(error_mu);
     return first_error.ok() ? InternalError("split/join run failed")
                             : first_error;
   }
@@ -193,13 +192,13 @@ ChunkPool::ChunkPool(TaskBody* body, int workers)
         stm::Payload partial;
         Status s = body_->ProcessChunk(*job->inputs, job->index, job->total,
                                        &partial);
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         if (!s.ok() && first_error_.ok()) first_error_ = s;
         if (s.ok()) {
           partials_[static_cast<std::size_t>(job->index)] =
               std::move(partial);
         }
-        if (--outstanding_ == 0) cv_.notify_all();
+        if (--outstanding_ == 0) cv_.NotifyAll();
       }
     });
   }
@@ -216,7 +215,7 @@ Status ChunkPool::RunOne(const TaskInputs& in, int chunks, TaskOutputs* out,
                          Deadline deadline) {
   if (chunks <= 1) return body_->Process(in, out);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     SS_CHECK_MSG(outstanding_ == 0, "ChunkPool::RunOne is not reentrant");
     partials_.assign(static_cast<std::size_t>(chunks), stm::Payload{});
     outstanding_ = chunks;
@@ -230,11 +229,13 @@ Status ChunkPool::RunOne(const TaskInputs& in, int chunks, TaskOutputs* out,
   SS_RETURN_IF_ERROR(queue_.PushBatch(std::move(jobs)));
   std::vector<stm::Payload> partials;
   {
-    std::unique_lock lock(mu_);
-    const bool drained =
-        deadline.WaitUntil(cv_, lock, [&] { return outstanding_ == 0; });
+    MutexLock lock(mu_);
+    while (outstanding_ != 0) {
+      if (!deadline.WaitOnce(cv_, lock)) break;
+    }
+    const bool drained = outstanding_ == 0;
     if (!drained) {
-      lock.unlock();
+      lock.Unlock();
       // Chunks still in flight (or queued) reference `in`; shutting the
       // queue down and joining the workers guarantees nothing touches the
       // caller's inputs after we return.

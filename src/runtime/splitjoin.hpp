@@ -26,6 +26,7 @@
 #include "core/deadline.hpp"
 #include "core/error.hpp"
 #include "core/ids.hpp"
+#include "core/sync.hpp"
 #include "runtime/body.hpp"
 #include "stm/channel.hpp"
 #include "stm/work_queue.hpp"
@@ -131,7 +132,7 @@ class ChunkPool {
   /// afterwards. A body wedged inside ProcessChunk still blocks the join —
   /// cooperative cancellation is the body's job.
   Status RunOne(const TaskInputs& in, int chunks, TaskOutputs* out,
-                Deadline deadline = Deadline::Infinite());
+                Deadline deadline = Deadline::Infinite()) SS_EXCLUDES(mu_);
 
  private:
   struct Job {
@@ -144,11 +145,11 @@ class ChunkPool {
   stm::WorkQueue<Job> queue_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<stm::Payload> partials_;
-  int outstanding_ = 0;
-  Status first_error_;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<stm::Payload> partials_ SS_GUARDED_BY(mu_);
+  int outstanding_ SS_GUARDED_BY(mu_) = 0;
+  Status first_error_ SS_GUARDED_BY(mu_);
 };
 
 }  // namespace ss::runtime

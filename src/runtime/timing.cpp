@@ -5,8 +5,9 @@
 namespace ss::runtime {
 
 void TaskTimingCollector::Record(TaskId task, Kind kind, Tick elapsed) {
-  if (!task.valid() || task.index() >= stats_.size()) return;
-  std::lock_guard lock(mu_);
+  if (!task.valid()) return;
+  MutexLock lock(mu_);
+  if (task.index() >= stats_.size()) return;
   PerTask& pt = stats_[task.index()];
   switch (kind) {
     case Kind::kSerial: pt.serial.Add(static_cast<double>(elapsed)); break;
@@ -16,12 +17,12 @@ void TaskTimingCollector::Record(TaskId task, Kind kind, Tick elapsed) {
 }
 
 RunningStats TaskTimingCollector::SerialStats(TaskId task) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_.at(task.index()).serial;
 }
 
 std::size_t TaskTimingCollector::SampleCount(TaskId task) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const PerTask& pt = stats_.at(task.index());
   return pt.serial.count() + pt.chunk.count() + pt.join.count();
 }
@@ -30,7 +31,7 @@ std::vector<TaskTimingCollector::Drift> TaskTimingCollector::CompareTo(
     const graph::CostModel& costs, RegimeId regime,
     double tolerance) const {
   std::vector<Drift> drifted;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t t = 0; t < stats_.size(); ++t) {
     const TaskId tid(static_cast<TaskId::underlying_type>(t));
     const RunningStats& serial = stats_[t].serial;
@@ -49,7 +50,7 @@ std::vector<TaskTimingCollector::Drift> TaskTimingCollector::CompareTo(
 std::string TaskTimingCollector::Report(
     const graph::TaskGraph& graph) const {
   std::ostringstream os;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t t = 0; t < stats_.size() && t < graph.task_count(); ++t) {
     const TaskId tid(static_cast<TaskId::underlying_type>(t));
     const PerTask& pt = stats_[t];

@@ -10,11 +10,11 @@
 // CompareTo() reports tasks whose observed cost departs from the model.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/ids.hpp"
+#include "core/sync.hpp"
 #include "core/stats.hpp"
 #include "core/time.hpp"
 #include "graph/cost_model.hpp"
@@ -31,12 +31,12 @@ class TaskTimingCollector {
   /// `kind` distinguishes serial runs from chunk/join pieces; drift
   /// comparison uses only serial samples (chunk times are per-piece).
   enum class Kind { kSerial, kChunk, kJoin };
-  void Record(TaskId task, Kind kind, Tick elapsed);
+  void Record(TaskId task, Kind kind, Tick elapsed) SS_EXCLUDES(mu_);
 
   /// Serial-invocation statistics for a task.
-  RunningStats SerialStats(TaskId task) const;
+  RunningStats SerialStats(TaskId task) const SS_EXCLUDES(mu_);
   /// Total samples recorded for a task across all kinds.
-  std::size_t SampleCount(TaskId task) const;
+  std::size_t SampleCount(TaskId task) const SS_EXCLUDES(mu_);
 
   struct Drift {
     TaskId task;
@@ -50,10 +50,11 @@ class TaskTimingCollector {
   /// [1/(1+tolerance), 1+tolerance]). Tasks without serial samples are
   /// skipped.
   std::vector<Drift> CompareTo(const graph::CostModel& costs,
-                               RegimeId regime, double tolerance) const;
+                               RegimeId regime, double tolerance) const
+      SS_EXCLUDES(mu_);
 
   /// Human-readable per-task summary.
-  std::string Report(const graph::TaskGraph& graph) const;
+  std::string Report(const graph::TaskGraph& graph) const SS_EXCLUDES(mu_);
 
  private:
   struct PerTask {
@@ -61,8 +62,8 @@ class TaskTimingCollector {
     RunningStats chunk;
     RunningStats join;
   };
-  mutable std::mutex mu_;
-  std::vector<PerTask> stats_;
+  mutable Mutex mu_;
+  std::vector<PerTask> stats_ SS_GUARDED_BY(mu_);
 };
 
 }  // namespace ss::runtime

@@ -1,18 +1,17 @@
 #include "sched/optimal.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/steal_deque.hpp"
+#include "core/sync.hpp"
 #include "core/worker_pool.hpp"
 #include "sched/list_scheduler.hpp"
 
@@ -142,14 +141,14 @@ struct SearchShared {
   /// Memo table, created on demand by the first worker to cross the
   /// activation threshold (so small solves never allocate it).
   std::atomic<MemoTable*> memo{nullptr};
-  std::mutex memo_mu;
-  std::unique_ptr<MemoTable> memo_owner;
+  Mutex memo_mu;
+  std::unique_ptr<MemoTable> memo_owner SS_GUARDED_BY(memo_mu);
   std::uint64_t memo_capacity_hint = 0;
 
   MemoTable* AcquireMemo() {
     MemoTable* table = memo.load(std::memory_order_acquire);
     if (table != nullptr) return table;
-    std::lock_guard<std::mutex> lock(memo_mu);
+    MutexLock lock(memo_mu);
     table = memo.load(std::memory_order_relaxed);
     if (table == nullptr) {
       memo_owner = std::make_unique<MemoTable>(memo_capacity_hint);
@@ -363,19 +362,19 @@ class SearchEngine {
       return;
     }
     WorkerPool& pool = SolverPool();
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu;
+    CondVar done_cv;
     int live_runners = runners;
     for (int r = 1; r <= runners; ++r) {
       pool.Submit([this, r, &done_mu, &done_cv, &live_runners] {
         WorkerLoop(static_cast<std::size_t>(r));
-        std::lock_guard<std::mutex> lock(done_mu);
-        if (--live_runners == 0) done_cv.notify_all();
+        MutexLock lock(done_mu);
+        if (--live_runners == 0) done_cv.NotifyAll();
       });
     }
     WorkerLoop(0);
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return live_runners == 0; });
+    MutexLock lock(done_mu);
+    while (live_runners != 0) done_cv.Wait(lock);
   }
 
   /// Called by a searcher mid-DFS to donate one sibling branch

@@ -28,7 +28,7 @@ ScheduleCache::ScheduleCache(std::size_t capacity, int shards) {
 std::shared_ptr<const CachedSolve> ScheduleCache::Lookup(
     const graph::Fingerprint& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -42,7 +42,7 @@ std::shared_ptr<const CachedSolve> ScheduleCache::Lookup(
 void ScheduleCache::Insert(std::shared_ptr<const CachedSolve> value) {
   SS_CHECK(value != nullptr);
   Shard& shard = ShardFor(value->key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(value->key);
   if (it != shard.index.end()) {
     *it->second = std::move(value);
@@ -61,7 +61,7 @@ void ScheduleCache::Insert(std::shared_ptr<const CachedSolve> value) {
 
 bool ScheduleCache::Erase(const graph::Fingerprint& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return false;
   shard.lru.erase(it->second);
@@ -74,7 +74,7 @@ std::vector<std::shared_ptr<const CachedSolve>> ScheduleCache::Entries()
     const {
   std::vector<std::shared_ptr<const CachedSolve>> out;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     out.insert(out.end(), shard.lru.begin(), shard.lru.end());
   }
   return out;
@@ -94,7 +94,7 @@ CacheStats ScheduleCache::Stats() const {
 std::size_t ScheduleCache::size() const {
   std::size_t total = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.lru.size();
   }
   return total;
@@ -102,7 +102,7 @@ std::size_t ScheduleCache::size() const {
 
 void ScheduleCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
   }
@@ -169,7 +169,7 @@ Status ScheduleCache::Save(const std::string& path) const {
   std::ostringstream os;
   os << "sscache 3\n";
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& entry : shard.lru) {
       const sched::PipelinedSchedule& ps = entry->schedule;
       os << "entry key=" << entry->key.ToHex()

@@ -16,13 +16,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/error.hpp"
 #include "core/ids.hpp"
+#include "core/sync.hpp"
 #include "core/time.hpp"
 #include "graph/fingerprint.hpp"
 #include "sched/occupancy.hpp"
@@ -121,13 +121,13 @@ class ScheduleCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Front = most recently used.
-    std::list<std::shared_ptr<const CachedSolve>> lru;
+    std::list<std::shared_ptr<const CachedSolve>> lru SS_GUARDED_BY(mu);
     std::unordered_map<graph::Fingerprint,
                        std::list<std::shared_ptr<const CachedSolve>>::iterator,
                        graph::FingerprintHash>
-        index;
+        index SS_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const graph::Fingerprint& key) {

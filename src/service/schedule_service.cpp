@@ -109,7 +109,7 @@ Expected<SolveFuture> ScheduleService::SubmitAsync(SolveRequest request) {
     return ready.get_future().share();
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) {
     return Status(CancelledError("schedule service is shut down"));
   }
@@ -335,7 +335,7 @@ Status ScheduleService::VerifyHit(const graph::Fingerprint& key,
 void ScheduleService::RunJob(Job job) {
   bool cancelled;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SS_CHECK(queued_jobs_ > 0);
     --queued_jobs_;
     // The pool drains still-queued tasks on the caller during Shutdown();
@@ -402,7 +402,7 @@ void ScheduleService::RunJob(Job job) {
 void ScheduleService::FinishJob(const Job& job,
                                 Expected<SolveResult> result) {
   job.promise->set_value(std::move(result));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   inflight_.erase(job.key);
 }
 
@@ -434,7 +434,7 @@ ServiceStats ScheduleService::Stats() const {
 
 void ScheduleService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   // Running jobs finish normally; every job still queued in the pool runs
@@ -442,7 +442,7 @@ void ScheduleService::Shutdown() {
   // a threadless pool, right here on the caller.
   pool_->Shutdown();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     inflight_.clear();
   }
   // All solves have drained (pool shutdown joins the workers), so no one
@@ -462,23 +462,23 @@ void ScheduleService::Shutdown() {
 
 std::uint64_t ScheduleService::ArmWatchdog(Tick cancel_at,
                                            std::atomic<bool>* cancel) {
-  std::lock_guard<std::mutex> lock(watch_mu_);
+  MutexLock lock(watch_mu_);
   if (!watch_stop_ && !watchdog_.joinable()) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
   const std::uint64_t id = ++next_watch_id_;
   watched_.emplace(id, Watched{cancel_at, cancel});
-  watch_cv_.notify_one();
+  watch_cv_.NotifyOne();
   return id;
 }
 
 void ScheduleService::DisarmWatchdog(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(watch_mu_);
+  MutexLock lock(watch_mu_);
   watched_.erase(id);
 }
 
 void ScheduleService::WatchdogLoop() {
-  std::unique_lock<std::mutex> lock(watch_mu_);
+  MutexLock lock(watch_mu_);
   while (!watch_stop_) {
     Tick next = kTickInfinity;
     for (const auto& [id, w] : watched_) {
@@ -488,7 +488,7 @@ void ScheduleService::WatchdogLoop() {
     if (!deadline.expired()) {
       // Woken by a new registration, stop, or the earliest cancel point;
       // either way re-derive the registry state from scratch.
-      watch_cv_.wait_until(lock, deadline.time_point());
+      watch_cv_.WaitUntil(lock, deadline.time_point());
       continue;
     }
     const Tick now = WallNow();
@@ -507,10 +507,10 @@ void ScheduleService::WatchdogLoop() {
 void ScheduleService::StopWatchdog() {
   std::thread reaped;
   {
-    std::lock_guard<std::mutex> lock(watch_mu_);
+    MutexLock lock(watch_mu_);
     watch_stop_ = true;
     reaped = std::move(watchdog_);
-    watch_cv_.notify_all();
+    watch_cv_.NotifyAll();
   }
   if (reaped.joinable()) reaped.join();
 }

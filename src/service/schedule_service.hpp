@@ -23,17 +23,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "core/deadline.hpp"
 #include "core/error.hpp"
+#include "core/sync.hpp"
 #include "core/time.hpp"
 #include "core/worker_pool.hpp"
 #include "graph/fingerprint.hpp"
@@ -213,22 +212,23 @@ class ScheduleService {
 
   // Watchdog: a lazily started thread that flips the cancel flag of any
   // registered solve whose cancel point has passed.
-  std::uint64_t ArmWatchdog(Tick cancel_at, std::atomic<bool>* cancel);
-  void DisarmWatchdog(std::uint64_t id);
-  void WatchdogLoop();
-  void StopWatchdog();
+  std::uint64_t ArmWatchdog(Tick cancel_at, std::atomic<bool>* cancel)
+      SS_EXCLUDES(watch_mu_);
+  void DisarmWatchdog(std::uint64_t id) SS_EXCLUDES(watch_mu_);
+  void WatchdogLoop() SS_EXCLUDES(watch_mu_);
+  void StopWatchdog() SS_EXCLUDES(watch_mu_);
 
   ServiceOptions options_;
   ScheduleCache cache_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Single-flight registry: key -> future of the queued/running solve.
   std::unordered_map<graph::Fingerprint, SolveFuture,
                      graph::FingerprintHash>
-      inflight_;
-  bool shutdown_ = false;
+      inflight_ SS_GUARDED_BY(mu_);
+  bool shutdown_ SS_GUARDED_BY(mu_) = false;
   /// Accepted jobs not yet picked up by a pool thread; bounds the queue.
-  std::size_t queued_jobs_ = 0;
+  std::size_t queued_jobs_ SS_GUARDED_BY(mu_) = 0;
   std::unique_ptr<WorkerPool> pool_;
   std::atomic<bool> snapshot_saved_{false};
 
@@ -236,12 +236,15 @@ class ScheduleService {
     Tick cancel_at;
     std::atomic<bool>* cancel;
   };
-  std::mutex watch_mu_;
-  std::condition_variable watch_cv_;
-  std::unordered_map<std::uint64_t, Watched> watched_;
-  std::uint64_t next_watch_id_ = 0;
-  std::thread watchdog_;
-  bool watch_stop_ = false;
+  Mutex watch_mu_;
+  CondVar watch_cv_;
+  std::unordered_map<std::uint64_t, Watched> watched_
+      SS_GUARDED_BY(watch_mu_);
+  std::uint64_t next_watch_id_ SS_GUARDED_BY(watch_mu_) = 0;
+  /// The thread object itself is guarded (ArmWatchdog starts it lazily,
+  /// StopWatchdog moves it out under the lock and joins outside).
+  std::thread watchdog_ SS_GUARDED_BY(watch_mu_);
+  bool watch_stop_ SS_GUARDED_BY(watch_mu_) = false;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};

@@ -50,17 +50,8 @@ Channel::Channel(ChannelId id, std::string name, ChannelOptions options)
 
 Channel::~Channel() { Shutdown(); }
 
-std::unique_lock<std::mutex> Channel::AcquireLock() const {
-  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    lock.lock();
-    ++stats_.contended_lock_waits;
-  }
-  return lock;
-}
-
 ConnId Channel::Attach(ConnDir dir) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ConnState cs;
   cs.dir = dir;
   cs.attached = true;
@@ -78,7 +69,7 @@ ConnId Channel::Attach(ConnDir dir) {
 }
 
 void Channel::Detach(ConnId conn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!conn.valid() || conn.index() >= conns_.size()) return;
   ConnState& cs = conns_[conn.index()];
   if (cs.attached) {
@@ -128,7 +119,7 @@ std::size_t Channel::ReclaimLocked() {
 
 void Channel::WakeGettersLocked() {
   if (waiting_getters_ > 0) {
-    cv_items_.notify_all();
+    cv_items_.NotifyAll();
     ++stats_.notifies_sent;
   } else {
     ++stats_.notifies_suppressed;
@@ -137,7 +128,7 @@ void Channel::WakeGettersLocked() {
 
 void Channel::WakeSpaceLocked() {
   if (waiting_putters_ > 0) {
-    cv_space_.notify_all();
+    cv_space_.NotifyAll();
     ++stats_.notifies_sent;
   } else {
     ++stats_.notifies_suppressed;
@@ -155,8 +146,8 @@ Status Channel::ValidatePutLocked(const ConnId& conn) const {
   return OkStatus();
 }
 
-Status Channel::PutOneLocked(std::unique_lock<std::mutex>& lock, Timestamp ts,
-                             Payload payload, PutMode mode) {
+Status Channel::PutOneLocked(MutexLock& lock, Timestamp ts, Payload payload,
+                             PutMode mode) {
   if (shutdown_) return CancelledError("channel '" + name_ + "' shut down");
   if (gc_frontier_ && ts <= *gc_frontier_) {
     return OutOfRangeError("timestamp " + std::to_string(ts) +
@@ -188,7 +179,7 @@ Status Channel::PutOneLocked(std::unique_lock<std::mutex>& lock, Timestamp ts,
       case PutMode::kBlocking: {
         ++stats_.blocked_puts;
         ++waiting_putters_;
-        cv_space_.wait(lock, [&] { return shutdown_ || !FullLocked(); });
+        while (!shutdown_ && FullLocked()) cv_space_.Wait(lock);
         --waiting_putters_;
         if (shutdown_) {
           return CancelledError("channel '" + name_ + "' shut down");
@@ -213,7 +204,8 @@ Status Channel::PutOneLocked(std::unique_lock<std::mutex>& lock, Timestamp ts,
 }
 
 Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
-  auto lock = AcquireLock();
+  MutexLock lock(mu_, MutexLock::ProbeContention{});
+  if (lock.contended()) ++stats_.contended_lock_waits;
   SS_RETURN_IF_ERROR(ValidatePutLocked(conn));
   Status status = PutOneLocked(lock, ts, std::move(payload), mode);
   if (status.ok()) WakeGettersLocked();
@@ -221,7 +213,8 @@ Status Channel::Put(ConnId conn, Timestamp ts, Payload payload, PutMode mode) {
 }
 
 Status Channel::PutBatch(ConnId conn, std::vector<Item> items, PutMode mode) {
-  auto lock = AcquireLock();
+  MutexLock lock(mu_, MutexLock::ProbeContention{});
+  if (lock.contended()) ++stats_.contended_lock_waits;
   SS_RETURN_IF_ERROR(ValidatePutLocked(conn));
   ++stats_.batch_puts;
   Status status = OkStatus();
@@ -281,7 +274,8 @@ Expected<Item> Channel::FindLocked(ConnState& cs, const TsQuery& query,
 
 Expected<Item> Channel::Get(ConnId conn, TsQuery query, GetMode mode,
                             TsNeighbors* neighbors) {
-  auto lock = AcquireLock();
+  MutexLock lock(mu_, MutexLock::ProbeContention{});
+  if (lock.contended()) ++stats_.contended_lock_waits;
   if (!conn.valid() || conn.index() >= conns_.size() ||
       !conns_[conn.index()].attached) {
     return Status(
@@ -311,14 +305,15 @@ Expected<Item> Channel::Get(ConnId conn, TsQuery query, GetMode mode,
     }
     ++stats_.blocked_gets;
     ++waiting_getters_;
-    cv_items_.wait(lock);
+    cv_items_.Wait(lock);
     --waiting_getters_;
   }
 }
 
 Expected<std::vector<Item>> Channel::GetBatch(
     ConnId conn, const std::vector<BatchGet>& queries, GetMode mode) {
-  auto lock = AcquireLock();
+  MutexLock lock(mu_, MutexLock::ProbeContention{});
+  if (lock.contended()) ++stats_.contended_lock_waits;
   if (!conn.valid() || conn.index() >= conns_.size() ||
       !conns_[conn.index()].attached) {
     return Status(
@@ -362,7 +357,7 @@ Expected<std::vector<Item>> Channel::GetBatch(
       }
       ++stats_.blocked_gets;
       ++waiting_getters_;
-      cv_items_.wait(lock);
+      cv_items_.Wait(lock);
       --waiting_getters_;
     }
   }
@@ -371,7 +366,8 @@ Expected<std::vector<Item>> Channel::GetBatch(
 
 Expected<Item> Channel::GetFor(ConnId conn, TsQuery query, Tick timeout,
                                TsNeighbors* neighbors) {
-  auto lock = AcquireLock();
+  MutexLock lock(mu_, MutexLock::ProbeContention{});
+  if (lock.contended()) ++stats_.contended_lock_waits;
   if (!conn.valid() || conn.index() >= conns_.size() ||
       !conns_[conn.index()].attached) {
     return Status(InvalidArgumentError("get on invalid/detached connection"));
@@ -395,7 +391,7 @@ Expected<Item> Channel::GetFor(ConnId conn, TsQuery query, Tick timeout,
     }
     ++stats_.blocked_gets;
     ++waiting_getters_;
-    const auto wait_result = cv_items_.wait_until(lock, deadline);
+    const auto wait_result = cv_items_.WaitUntil(lock, deadline);
     --waiting_getters_;
     if (wait_result == std::cv_status::timeout) {
       ++stats_.failed_gets;
@@ -406,7 +402,8 @@ Expected<Item> Channel::GetFor(ConnId conn, TsQuery query, Tick timeout,
 }
 
 Status Channel::Consume(ConnId conn, Timestamp ts) {
-  auto lock = AcquireLock();
+  MutexLock lock(mu_, MutexLock::ProbeContention{});
+  if (lock.contended()) ++stats_.contended_lock_waits;
   if (!conn.valid() || conn.index() >= conns_.size() ||
       !conns_[conn.index()].attached) {
     return InvalidArgumentError("consume on invalid/detached connection");
@@ -426,38 +423,38 @@ Status Channel::Consume(ConnId conn, Timestamp ts) {
 }
 
 void Channel::Shutdown() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   shutdown_ = true;
-  cv_items_.notify_all();
-  cv_space_.notify_all();
+  cv_items_.NotifyAll();
+  cv_space_.NotifyAll();
 }
 
 bool Channel::shut_down() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return shutdown_;
 }
 
 std::size_t Channel::Occupancy() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return store_.size();
 }
 
 std::optional<Timestamp> Channel::OldestTs() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto ref = store_.Oldest();
   if (!ref) return std::nullopt;
   return ref->ts;
 }
 
 std::optional<Timestamp> Channel::NewestTs() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto ref = store_.Newest();
   if (!ref) return std::nullopt;
   return ref->ts;
 }
 
 std::optional<Timestamp> Channel::GcFrontier() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return gc_frontier_;
 }
 
@@ -465,7 +462,7 @@ ChannelStats Channel::Stats() const {
   // One lock acquisition: the snapshot is internally consistent, so
   // cross-counter invariants (puts == reclaimed + dropped + occupancy) hold
   // even while producers and consumers are running.
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ChannelStats s = stats_;
   s.occupancy = store_.size();
   return s;

@@ -27,15 +27,14 @@
 // Thread safety: all public methods are safe to call concurrently.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/error.hpp"
 #include "core/ids.hpp"
+#include "core/sync.hpp"
 #include "core/time.hpp"
 #include "stm/item.hpp"
 #include "stm/item_store.hpp"
@@ -132,22 +131,22 @@ class Channel {
   /// Attaches a new connection. Input connections participate in garbage
   /// collection; until an input connection consumes, its frontier holds all
   /// items live.
-  ConnId Attach(ConnDir dir);
+  ConnId Attach(ConnDir dir) SS_EXCLUDES(mu_);
 
   /// Detaches a connection; its consume frontier no longer pins items.
-  void Detach(ConnId conn);
+  void Detach(ConnId conn) SS_EXCLUDES(mu_);
 
   /// Inserts an item with the given timestamp. Duplicate timestamps are
   /// rejected with kAlreadyExists. A timestamp at or below the GC frontier
   /// is rejected with kOutOfRange (it could never be gotten).
   Status Put(ConnId conn, Timestamp ts, Payload payload,
-             PutMode mode = PutMode::kBlocking);
+             PutMode mode = PutMode::kBlocking) SS_EXCLUDES(mu_);
 
   /// Inserts several items under one lock acquisition, in order, with the
   /// same per-item semantics as Put. Stops at the first failure (earlier
   /// items stay inserted, as with sequential Puts); waiters are woken once.
   Status PutBatch(ConnId conn, std::vector<Item> items,
-                  PutMode mode = PutMode::kBlocking);
+                  PutMode mode = PutMode::kBlocking) SS_EXCLUDES(mu_);
 
   /// Typed convenience wrapper around Put.
   template <typename T>
@@ -167,7 +166,7 @@ class Channel {
   /// non-null) receives the adjacent available timestamps.
   Expected<Item> Get(ConnId conn, TsQuery query,
                      GetMode mode = GetMode::kBlocking,
-                     TsNeighbors* neighbors = nullptr);
+                     TsNeighbors* neighbors = nullptr) SS_EXCLUDES(mu_);
 
   /// Resolves several queries under one lock acquisition, in order, with
   /// the same per-query semantics as sequential Gets (kBlocking waits for
@@ -176,15 +175,15 @@ class Channel {
   /// kNoTimestamp) instead of failing the batch. On failure the batch
   /// returns the offending query's status; earlier side effects (last-got
   /// advancement) stand, exactly as with sequential Gets.
-  Expected<std::vector<Item>> GetBatch(ConnId conn,
-                                       const std::vector<BatchGet>& queries,
-                                       GetMode mode = GetMode::kBlocking);
+  Expected<std::vector<Item>> GetBatch(
+      ConnId conn, const std::vector<BatchGet>& queries,
+      GetMode mode = GetMode::kBlocking) SS_EXCLUDES(mu_);
 
   /// Blocking get with a deadline: waits up to `timeout` for a matching
   /// item, then fails with kWouldBlock. Latency-critical consumers use this
   /// to skip a late frame rather than stall the pipeline.
   Expected<Item> GetFor(ConnId conn, TsQuery query, Tick timeout,
-                        TsNeighbors* neighbors = nullptr);
+                        TsNeighbors* neighbors = nullptr) SS_EXCLUDES(mu_);
 
   /// Typed convenience wrapper around Get.
   template <typename T>
@@ -200,21 +199,21 @@ class Channel {
   /// timestamp <= ts. Advances the connection's frontier monotonically; items
   /// below the minimum frontier over attached input connections are
   /// reclaimed and blocked producers are woken.
-  Status Consume(ConnId conn, Timestamp ts);
+  Status Consume(ConnId conn, Timestamp ts) SS_EXCLUDES(mu_);
 
   /// Wakes all blocked callers with kCancelled and rejects future puts and
   /// blocking waits. Items already in the channel remain readable
   /// (drain-after-shutdown), so results can be collected after a run.
-  void Shutdown();
-  bool shut_down() const;
+  void Shutdown() SS_EXCLUDES(mu_);
+  bool shut_down() const SS_EXCLUDES(mu_);
 
   // ---- Introspection ------------------------------------------------------
-  std::size_t Occupancy() const;
-  std::optional<Timestamp> OldestTs() const;
-  std::optional<Timestamp> NewestTs() const;
+  std::size_t Occupancy() const SS_EXCLUDES(mu_);
+  std::optional<Timestamp> OldestTs() const SS_EXCLUDES(mu_);
+  std::optional<Timestamp> NewestTs() const SS_EXCLUDES(mu_);
   /// The highest timestamp reclaimed so far (GC frontier), if any.
-  std::optional<Timestamp> GcFrontier() const;
-  ChannelStats Stats() const;
+  std::optional<Timestamp> GcFrontier() const SS_EXCLUDES(mu_);
+  ChannelStats Stats() const SS_EXCLUDES(mu_);
 
  private:
   struct ConnState {
@@ -226,46 +225,45 @@ class Channel {
     Timestamp frontier = kNoTimestamp;
   };
 
-  /// Locks mu_, counting acquisitions that had to wait.
-  std::unique_lock<std::mutex> AcquireLock() const;
-
-  // All private helpers require mu_ held.
-  bool FullLocked() const;
+  // All private helpers require mu_ held (enforced by SS_REQUIRES).
+  bool FullLocked() const SS_REQUIRES(mu_);
   /// Reclaims items below the cached minimum input frontier; returns the
   /// number removed (callers wake blocked producers when non-zero).
-  std::size_t ReclaimLocked();
-  Timestamp MinInputFrontierLocked() const;
-  void RecomputeMinFrontierLocked();
-  Status ValidatePutLocked(const ConnId& conn) const;
-  Status PutOneLocked(std::unique_lock<std::mutex>& lock, Timestamp ts,
-                      Payload payload, PutMode mode);
+  std::size_t ReclaimLocked() SS_REQUIRES(mu_);
+  Timestamp MinInputFrontierLocked() const SS_REQUIRES(mu_);
+  void RecomputeMinFrontierLocked() SS_REQUIRES(mu_);
+  Status ValidatePutLocked(const ConnId& conn) const SS_REQUIRES(mu_);
+  /// Takes the scoped lock by reference because the blocking mode releases
+  /// mu_ inside a condition wait; the capability is held on entry and exit.
+  Status PutOneLocked(MutexLock& lock, Timestamp ts, Payload payload,
+                      PutMode mode) SS_REQUIRES(mu_);
   Expected<Item> FindLocked(ConnState& cs, const TsQuery& query,
-                            TsNeighbors* neighbors);
-  void WakeGettersLocked();
-  void WakeSpaceLocked();
+                            TsNeighbors* neighbors) SS_REQUIRES(mu_);
+  void WakeGettersLocked() SS_REQUIRES(mu_);
+  void WakeSpaceLocked() SS_REQUIRES(mu_);
 
   const ChannelId id_;
   const std::string name_;
   const ChannelOptions options_;
   const bool ring_storage_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_items_;  // signalled on put / shutdown
-  std::condition_variable cv_space_;  // signalled on reclaim / shutdown
-  detail::ItemStore store_;
-  std::vector<ConnState> conns_;
+  mutable Mutex mu_;
+  CondVar cv_items_;  // signalled on put / shutdown
+  CondVar cv_space_;  // signalled on reclaim / shutdown
+  detail::ItemStore store_ SS_GUARDED_BY(mu_);
+  std::vector<ConnState> conns_ SS_GUARDED_BY(mu_);
   /// Cached count of attached input connections and the minimum of their
   /// frontiers, so Consume/Put need no scan over conns_.
-  std::size_t attached_inputs_ = 0;
-  Timestamp min_input_frontier_ = kNoTimestamp;
+  std::size_t attached_inputs_ SS_GUARDED_BY(mu_) = 0;
+  Timestamp min_input_frontier_ SS_GUARDED_BY(mu_) = kNoTimestamp;
   /// Waiter counts let producers/consumers skip the notify syscall when
   /// nobody is blocked (the steady-state case under a feasible schedule).
-  int waiting_getters_ = 0;
-  int waiting_putters_ = 0;
-  bool shutdown_ = false;
-  std::optional<Timestamp> gc_frontier_;
-  mutable ChannelStats stats_;
-  PayloadPool pool_;
+  int waiting_getters_ SS_GUARDED_BY(mu_) = 0;
+  int waiting_putters_ SS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SS_GUARDED_BY(mu_) = false;
+  std::optional<Timestamp> gc_frontier_ SS_GUARDED_BY(mu_);
+  mutable ChannelStats stats_ SS_GUARDED_BY(mu_);
+  PayloadPool pool_;  // internally synchronized
 };
 
 }  // namespace ss::stm

@@ -1,24 +1,22 @@
 #include "stm/channel_table.hpp"
 
-#include <mutex>
-
 namespace ss::stm {
 
 Expected<Channel*> ChannelTable::Create(const std::string& name,
                                         ChannelOptions options,
                                         NodeId home) {
   NameShard& shard = ShardFor(name);
-  std::unique_lock shard_lock(shard.mu);
+  WriterMutexLock shard_lock(shard.mu);
   if (shard.by_name.count(name) != 0) {
     return Status(AlreadyExistsError("channel '" + name + "' exists"));
   }
-  std::unique_lock table_lock(table_mu_);
+  WriterMutexLock table_lock(table_mu_);
   auto id = ChannelId(static_cast<ChannelId::underlying_type>(
       channels_.size()));
   channels_.push_back(std::make_unique<Channel>(id, name, options));
   homes_.push_back(home);
   Channel* channel = channels_.back().get();
-  table_lock.unlock();
+  table_lock.Unlock();
   shard.by_name.emplace(name, id);
   return channel;
 }
@@ -27,44 +25,44 @@ Expected<Channel*> ChannelTable::Find(const std::string& name) const {
   const NameShard& shard = ShardFor(name);
   ChannelId id = ChannelId::Invalid();
   {
-    std::shared_lock shard_lock(shard.mu);
+    ReaderMutexLock shard_lock(shard.mu);
     auto it = shard.by_name.find(name);
     if (it == shard.by_name.end()) {
       return Status(NotFoundError("no channel named '" + name + "'"));
     }
     id = it->second;
   }
-  std::shared_lock table_lock(table_mu_);
+  ReaderMutexLock table_lock(table_mu_);
   return channels_[id.index()].get();
 }
 
 Channel* ChannelTable::Get(ChannelId id) const {
-  std::shared_lock lock(table_mu_);
+  ReaderMutexLock lock(table_mu_);
   if (!id.valid() || id.index() >= channels_.size()) return nullptr;
   return channels_[id.index()].get();
 }
 
 NodeId ChannelTable::Home(ChannelId id) const {
-  std::shared_lock lock(table_mu_);
+  ReaderMutexLock lock(table_mu_);
   if (!id.valid() || id.index() >= homes_.size()) return NodeId::Invalid();
   return homes_[id.index()];
 }
 
 std::size_t ChannelTable::size() const {
-  std::shared_lock lock(table_mu_);
+  ReaderMutexLock lock(table_mu_);
   return channels_.size();
 }
 
 void ChannelTable::ShutdownAll() {
   // Shared lock suffices: channel slots are stable unique_ptrs and Shutdown
   // is internally synchronized.
-  std::shared_lock lock(table_mu_);
+  ReaderMutexLock lock(table_mu_);
   for (auto& ch : channels_) ch->Shutdown();
 }
 
 std::vector<std::pair<std::string, ChannelStats>> ChannelTable::AllStats()
     const {
-  std::shared_lock lock(table_mu_);
+  ReaderMutexLock lock(table_mu_);
   std::vector<std::pair<std::string, ChannelStats>> out;
   out.reserve(channels_.size());
   for (const auto& ch : channels_) {

@@ -14,7 +14,6 @@
 
 #include <array>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -22,6 +21,7 @@
 
 #include "core/error.hpp"
 #include "core/ids.hpp"
+#include "core/sync.hpp"
 #include "stm/channel.hpp"
 
 namespace ss::stm {
@@ -58,8 +58,8 @@ class ChannelTable {
   static constexpr std::size_t kNameShards = 8;
 
   struct NameShard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::string, ChannelId> by_name;
+    mutable SharedMutex mu;
+    std::unordered_map<std::string, ChannelId> by_name SS_GUARDED_BY(mu);
   };
 
   NameShard& ShardFor(const std::string& name) const {
@@ -67,9 +67,9 @@ class ChannelTable {
   }
 
   // Lock order: name shard before table (Create holds both).
-  mutable std::shared_mutex table_mu_;  // guards channels_ and homes_
-  std::vector<std::unique_ptr<Channel>> channels_;
-  std::vector<NodeId> homes_;
+  mutable SharedMutex table_mu_;
+  std::vector<std::unique_ptr<Channel>> channels_ SS_GUARDED_BY(table_mu_);
+  std::vector<NodeId> homes_ SS_GUARDED_BY(table_mu_);
   mutable std::array<NameShard, kNameShards> shards_;
 };
 

@@ -16,12 +16,12 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <utility>
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/sync.hpp"
 #include "stm/item.hpp"
 
 namespace ss::stm {
@@ -63,11 +63,13 @@ class PayloadPool {
   static constexpr int kBuckets = 21;  // 64 B .. 64 MiB
 
   struct Core {
-    std::mutex mu;
-    std::vector<void*> buckets[kBuckets];
-    std::uint64_t allocations = 0;
-    std::uint64_t reuses = 0;
+    Mutex mu;
+    std::vector<void*> buckets[kBuckets] SS_GUARDED_BY(mu);
+    std::uint64_t allocations SS_GUARDED_BY(mu) = 0;
+    std::uint64_t reuses SS_GUARDED_BY(mu) = 0;
 
+    // Destructor runs on the last payload's release; no lock needed (and
+    // TSA exempts destructors from the analysis).
     ~Core() {
       for (auto& bucket : buckets) {
         for (void* p : bucket) ::operator delete(p);
@@ -83,10 +85,10 @@ class PayloadPool {
       return -1;  // larger than the biggest size class: unpooled
     }
 
-    void* Acquire(std::size_t n) {
+    void* Acquire(std::size_t n) SS_EXCLUDES(mu) {
       const int b = BucketFor(n);
       if (b >= 0) {
-        std::lock_guard lock(mu);
+        MutexLock lock(mu);
         auto& bucket = buckets[b];
         if (!bucket.empty()) {
           void* p = bucket.back();
@@ -99,18 +101,18 @@ class PayloadPool {
       return ::operator new(b >= 0 ? (kMinSlab << b) : n);
     }
 
-    void Release(void* p, std::size_t n) {
+    void Release(void* p, std::size_t n) SS_EXCLUDES(mu) {
       const int b = BucketFor(n);
       if (b < 0) {
         ::operator delete(p);
         return;
       }
-      std::lock_guard lock(mu);
+      MutexLock lock(mu);
       buckets[b].push_back(p);
     }
 
-    Stats GetStats() {
-      std::lock_guard lock(mu);
+    Stats GetStats() SS_EXCLUDES(mu) {
+      MutexLock lock(mu);
       Stats s;
       s.allocations = allocations;
       s.reuses = reuses;

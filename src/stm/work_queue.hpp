@@ -6,14 +6,13 @@
 // timestamp coexist and ordering is FIFO.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/sync.hpp"
 
 namespace ss::stm {
 
@@ -26,14 +25,14 @@ class WorkQueue {
   WorkQueue& operator=(const WorkQueue&) = delete;
 
   /// Blocking push; returns kCancelled after Shutdown().
-  Status Push(T value) {
-    std::unique_lock lock(mu_);
-    cv_space_.wait(lock, [&] {
-      return shutdown_ || capacity_ == 0 || queue_.size() < capacity_;
-    });
+  Status Push(T value) SS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!shutdown_ && capacity_ != 0 && queue_.size() >= capacity_) {
+      cv_space_.Wait(lock);
+    }
     if (shutdown_) return CancelledError("work queue shut down");
     queue_.push_back(std::move(value));
-    cv_items_.notify_one();
+    cv_items_.NotifyOne();
     return OkStatus();
   }
 
@@ -41,77 +40,77 @@ class WorkQueue {
   /// chunk (the splitter emits a whole frame's chunks at once). Semantics
   /// match sequential Pushes: space is awaited per item, and on shutdown the
   /// already-pushed prefix stays queued and kCancelled is returned.
-  Status PushBatch(std::vector<T> values) {
-    std::unique_lock lock(mu_);
+  Status PushBatch(std::vector<T> values) SS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (T& value : values) {
-      cv_space_.wait(lock, [&] {
-        return shutdown_ || capacity_ == 0 || queue_.size() < capacity_;
-      });
+      while (!shutdown_ && capacity_ != 0 && queue_.size() >= capacity_) {
+        cv_space_.Wait(lock);
+      }
       if (shutdown_) return CancelledError("work queue shut down");
       queue_.push_back(std::move(value));
-      cv_items_.notify_one();
+      cv_items_.NotifyOne();
     }
     return OkStatus();
   }
 
   /// Non-blocking push.
-  Status TryPush(T value) {
-    std::lock_guard lock(mu_);
+  Status TryPush(T value) SS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (shutdown_) return CancelledError("work queue shut down");
     if (capacity_ != 0 && queue_.size() >= capacity_) {
       return WouldBlockError("work queue full");
     }
     queue_.push_back(std::move(value));
-    cv_items_.notify_one();
+    cv_items_.NotifyOne();
     return OkStatus();
   }
 
   /// Blocking pop; empty optional after Shutdown() drains.
-  std::optional<T> Pop() {
-    std::unique_lock lock(mu_);
-    cv_items_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+  std::optional<T> Pop() SS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!shutdown_ && queue_.empty()) cv_items_.Wait(lock);
     if (queue_.empty()) return std::nullopt;  // shutdown and drained
     T value = std::move(queue_.front());
     queue_.pop_front();
-    cv_space_.notify_one();
+    cv_space_.NotifyOne();
     return value;
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::lock_guard lock(mu_);
+  std::optional<T> TryPop() SS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
-    cv_space_.notify_one();
+    cv_space_.NotifyOne();
     return value;
   }
 
   /// Wakes all waiters; Pop drains remaining items then returns nullopt.
-  void Shutdown() {
-    std::lock_guard lock(mu_);
+  void Shutdown() SS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     shutdown_ = true;
-    cv_items_.notify_all();
-    cv_space_.notify_all();
+    cv_items_.NotifyAll();
+    cv_space_.NotifyAll();
   }
 
-  bool shut_down() const {
-    std::lock_guard lock(mu_);
+  bool shut_down() const SS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return shutdown_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
+  std::size_t size() const SS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return queue_.size();
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_items_;
-  std::condition_variable cv_space_;
-  std::deque<T> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_items_;
+  CondVar cv_space_;
+  std::deque<T> queue_ SS_GUARDED_BY(mu_);
+  bool shutdown_ SS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ss::stm

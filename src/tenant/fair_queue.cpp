@@ -20,7 +20,7 @@ FairScheduler::~FairScheduler() { Shutdown(); }
 int FairScheduler::AddTenant(double weight, std::size_t queue_capacity) {
   SS_CHECK_MSG(weight > 0.0, "lane weight must be positive");
   SS_CHECK_MSG(queue_capacity > 0, "lane capacity must be positive");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Lane lane;
   lane.weight = weight;
   lane.capacity = queue_capacity;
@@ -29,7 +29,7 @@ int FairScheduler::AddTenant(double weight, std::size_t queue_capacity) {
 }
 
 Status FairScheduler::Submit(int tenant_index, FairJob job) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shutdown_) {
     return CancelledError("fair scheduler is shut down");
   }
@@ -48,7 +48,7 @@ Status FairScheduler::Submit(int tenant_index, FairJob job) {
   lane.jobs.push_back(std::move(job));
   ++lane.submitted;
   ++total_queued_;
-  cv_.notify_one();
+  cv_.NotifyOne();
   return OkStatus();
 }
 
@@ -95,7 +95,7 @@ bool FairScheduler::NextJobLocked(FairJob* out) {
 bool FairScheduler::DispatchOne() {
   FairJob job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!NextJobLocked(&job)) return false;
   }
   job(/*cancelled=*/false);
@@ -106,8 +106,8 @@ void FairScheduler::DispatcherLoop() {
   for (;;) {
     FairJob job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return shutdown_ || total_queued_ > 0; });
+      MutexLock lock(mu_);
+      while (!shutdown_ && total_queued_ == 0) cv_.Wait(lock);
       if (shutdown_) return;
       if (!NextJobLocked(&job)) continue;
     }
@@ -116,7 +116,7 @@ void FairScheduler::DispatcherLoop() {
 }
 
 std::size_t FairScheduler::QueuedFor(int tenant_index) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tenant_index < 0 ||
       static_cast<std::size_t>(tenant_index) >= lanes_.size()) {
     return 0;
@@ -125,7 +125,7 @@ std::size_t FairScheduler::QueuedFor(int tenant_index) const {
 }
 
 FairQueueStats FairScheduler::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FairQueueStats stats;
   for (const Lane& lane : lanes_) {
     stats.submitted += lane.submitted;
@@ -140,17 +140,17 @@ FairQueueStats FairScheduler::Stats() const {
 void FairScheduler::Shutdown() {
   std::vector<std::thread> reaped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
     reaped.swap(threads_);
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   for (std::thread& t : reaped) t.join();
   // Drain: every queued job fails its caller promptly.
   std::vector<FairJob> cancelled;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (Lane& lane : lanes_) {
       while (!lane.jobs.empty()) {
         cancelled.push_back(std::move(lane.jobs.front()));

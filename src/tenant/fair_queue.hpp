@@ -18,13 +18,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/sync.hpp"
 
 namespace ss::tenant {
 
@@ -96,19 +95,21 @@ class FairScheduler {
 
   /// Picks the next job per DRR under mu_ (caller holds the lock). Returns
   /// false when all lanes are empty.
-  bool NextJobLocked(FairJob* out);
-  void DispatcherLoop();
+  bool NextJobLocked(FairJob* out) SS_REQUIRES(mu_);
+  void DispatcherLoop() SS_EXCLUDES(mu_);
 
   FairQueueOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Lane> lanes_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<Lane> lanes_ SS_GUARDED_BY(mu_);
   /// Round-robin cursor: lane to visit next.
-  std::size_t cursor_ = 0;
-  std::size_t total_queued_ = 0;
-  std::uint64_t cancelled_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  std::size_t cursor_ SS_GUARDED_BY(mu_) = 0;
+  std::size_t total_queued_ SS_GUARDED_BY(mu_) = 0;
+  std::uint64_t cancelled_ SS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SS_GUARDED_BY(mu_) = false;
+  /// Written in the constructor (single-threaded) and swapped out under
+  /// mu_ by Shutdown so a concurrent Shutdown joins each thread once.
+  std::vector<std::thread> threads_ SS_GUARDED_BY(mu_);
 };
 
 }  // namespace ss::tenant

@@ -47,7 +47,7 @@ Expected<std::shared_ptr<TenantState>> TenantRegistry::Register(
     return Status(InvalidArgumentError("tenant '" + config.name +
                                        "' queue capacity must be > 0"));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& t : tenants_) {
     if (t->config.name == config.name) {
       return Status(AlreadyExistsError("tenant '" + config.name +
@@ -68,7 +68,7 @@ Expected<std::shared_ptr<TenantState>> TenantRegistry::Register(
 Expected<std::shared_ptr<TenantState>> TenantRegistry::Resolve(
     const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& t : tenants_) {
       if (t->config.name == name) return t;
     }
@@ -88,12 +88,12 @@ Expected<std::shared_ptr<TenantState>> TenantRegistry::Resolve(
 }
 
 std::vector<std::shared_ptr<TenantState>> TenantRegistry::All() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tenants_;
 }
 
 std::size_t TenantRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tenants_.size();
 }
 

@@ -17,13 +17,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/error.hpp"
 #include "core/histogram.hpp"
+#include "core/sync.hpp"
 #include "core/time.hpp"
 
 namespace ss::tenant {
@@ -117,8 +117,8 @@ struct TenantState {
   /// Dense index assigned at registration; keys the fair scheduler.
   const int index;
 
-  std::mutex bucket_mu;
-  TokenBucket bucket;
+  Mutex bucket_mu;
+  TokenBucket bucket SS_GUARDED_BY(bucket_mu);
 
   std::atomic<std::uint64_t> admitted{0};
   std::atomic<std::uint64_t> rejected_rate_limited{0};
@@ -165,8 +165,9 @@ class TenantRegistry {
 
  private:
   RegistryOptions options_;
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<TenantState>> tenants_;  // index order
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<TenantState>> tenants_
+      SS_GUARDED_BY(mu_);  // index order
 };
 
 /// Parses a tenant config file: '#' comments, blank lines, and

@@ -16,7 +16,7 @@ TenantScheduler::TenantScheduler(service::ScheduleService* service,
 TenantScheduler::~TenantScheduler() { Shutdown(); }
 
 Status TenantScheduler::RegisterTenant(TenantConfig config) {
-  std::lock_guard<std::mutex> lock(register_mu_);
+  MutexLock lock(register_mu_);
   auto registered = registry_.Register(std::move(config));
   if (!registered.ok()) return registered.status();
   const auto& state = *registered;
@@ -31,7 +31,7 @@ Expected<std::shared_ptr<TenantState>> TenantScheduler::ResolveTenant(
   // register_mu_ serializes auto-registration with explicit RegisterTenant
   // calls so the lane added here cannot interleave with another
   // registration and drift from the registry index.
-  std::lock_guard<std::mutex> lock(register_mu_);
+  MutexLock lock(register_mu_);
   const std::size_t before = registry_.size();
   auto state = registry_.Resolve(name);
   if (!state.ok()) return state;
@@ -51,7 +51,7 @@ Status TenantScheduler::SubmitSolve(const std::string& tenant_name,
   const std::shared_ptr<TenantState> state = std::move(*resolved);
 
   {
-    std::lock_guard<std::mutex> lock(state->bucket_mu);
+    MutexLock lock(state->bucket_mu);
     if (!state->bucket.TryAcquire(WallNow())) {
       state->rejected_rate_limited.fetch_add(1, std::memory_order_relaxed);
       return AdmissionRejectedError(

@@ -22,11 +22,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/sync.hpp"
 #include "service/schedule_service.hpp"
 #include "tenant/fair_queue.hpp"
 #include "tenant/tenant.hpp"
@@ -98,8 +98,10 @@ class TenantScheduler {
   TenantRegistry registry_;
   FairScheduler fair_;
   /// Serializes registration so registry indexes and fair-queue lanes
-  /// stay aligned.
-  std::mutex register_mu_;
+  /// stay aligned. Guards no fields directly: the invariant it protects
+  /// (registry index == fair-queue lane) spans two internally-synchronized
+  /// components.
+  Mutex register_mu_;
 };
 
 }  // namespace ss::tenant

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Compiles one snippet with Clang Thread Safety Analysis promoted to an
+# error and checks the outcome against an expectation:
+#
+#   pass — the snippet must compile cleanly (guards against the macros
+#          rotting into something that rejects correct code);
+#   fail — the snippet must be rejected, and specifically by a
+#          thread-safety diagnostic (an unrelated compile error would mean
+#          the snippet is broken, not that the analysis works).
+#
+# Exits 77 — the ctest SKIP_RETURN_CODE — when the compiler is not clang:
+# the annotations compile to nothing elsewhere, so there is nothing to
+# check and the test must not report a false pass.
+#
+# Usage: check_tsa.sh <c++-compiler> <src-include-dir> <snippet.cpp> <pass|fail>
+set -u
+
+cxx="$1"
+include_dir="$2"
+snippet="$3"
+expect="$4"
+
+if ! "$cxx" --version 2>/dev/null | grep -qi clang; then
+  echo "SKIP: '$cxx' is not clang; thread safety analysis is unavailable"
+  exit 77
+fi
+
+out=$("$cxx" -std=c++20 -fsyntax-only -I"$include_dir" \
+      -Wthread-safety -Wthread-safety-beta -Werror "$snippet" 2>&1)
+status=$?
+
+case "$expect" in
+  pass)
+    if [ "$status" -ne 0 ]; then
+      echo "expected a clean compile of $snippet, got:"
+      echo "$out"
+      exit 1
+    fi
+    ;;
+  fail)
+    if [ "$status" -eq 0 ]; then
+      echo "expected a thread-safety error, but $snippet compiled cleanly"
+      exit 1
+    fi
+    if ! echo "$out" | grep -q "thread-safety"; then
+      echo "$snippet failed to compile, but not with a thread-safety" \
+           "diagnostic:"
+      echo "$out"
+      exit 1
+    fi
+    ;;
+  *)
+    echo "unknown expectation '$expect' (want pass|fail)"
+    exit 2
+    ;;
+esac
+exit 0

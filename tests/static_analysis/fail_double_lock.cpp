@@ -1,0 +1,30 @@
+// Negative compile test: acquiring a mutex already held on the same path is
+// a guaranteed self-deadlock with std::mutex and must be rejected by
+// -Wthread-safety.
+#include "core/sync.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit() {
+    mu_.Lock();
+    // BUG under test: second acquisition of a capability already held.
+    mu_.Lock();
+    ++balance_;
+    mu_.Unlock();
+    mu_.Unlock();
+  }
+
+ private:
+  ss::Mutex mu_;
+  int balance_ SS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit();
+  return 0;
+}

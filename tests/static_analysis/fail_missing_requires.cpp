@@ -1,0 +1,26 @@
+// Negative compile test: calling an SS_REQUIRES(mu) helper without holding
+// the mutex must be rejected by -Wthread-safety. If this file ever compiles
+// under clang, the Locked-helper convention has no teeth.
+#include "core/sync.hpp"
+
+namespace {
+
+class Table {
+ public:
+  // BUG under test: calls the Locked helper with mu_ not held.
+  void Rebalance() { CompactLocked(); }
+
+ private:
+  void CompactLocked() SS_REQUIRES(mu_) { ++entries_; }
+
+  ss::Mutex mu_;
+  int entries_ SS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.Rebalance();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Negative compile test: reading a SS_GUARDED_BY field without holding its
+// mutex must be rejected by -Wthread-safety. If this file ever compiles
+// under clang, the guarded-field enforcement is broken.
+#include "core/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ss::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG under test: reads value_ with mu_ not held.
+  int Peek() const { return value_; }
+
+ private:
+  mutable ss::Mutex mu_;
+  int value_ SS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Peek();
+}

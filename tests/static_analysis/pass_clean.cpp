@@ -1,0 +1,107 @@
+// Positive compile test: idiomatic use of every primitive in
+// src/core/sync.hpp must compile warning-free under -Wthread-safety
+// -Wthread-safety-beta -Werror. Guards against the annotation layer
+// rotting into something that rejects correct code — each construct here
+// mirrors a pattern used in src/.
+#include "core/sync.hpp"
+
+#include <chrono>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace {
+
+// Mutex + CondVar: guarded fields, a REQUIRES helper, an explicit wait
+// loop, an early Unlock()/Lock() round trip, and the contention probe.
+class Queue {
+ public:
+  void Push(int v) SS_EXCLUDES(mu_) {
+    ss::MutexLock lock(mu_, ss::MutexLock::ProbeContention{});
+    if (lock.contended()) ++contended_;
+    items_.push_back(v);
+    cv_.NotifyOne();
+  }
+
+  int PopBlocking() SS_EXCLUDES(mu_) {
+    ss::MutexLock lock(mu_);
+    while (items_.empty()) cv_.Wait(lock);
+    return PopLocked();
+  }
+
+  bool PopFor(std::chrono::milliseconds d, int* out) SS_EXCLUDES(mu_) {
+    ss::MutexLock lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + d;
+    while (items_.empty()) {
+      if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout &&
+          items_.empty()) {
+        return false;
+      }
+    }
+    *out = PopLocked();
+    return true;
+  }
+
+  void DrainThenNotify() SS_EXCLUDES(mu_) {
+    ss::MutexLock lock(mu_);
+    items_.clear();
+    lock.Unlock();
+    cv_.NotifyAll();
+    lock.Lock();
+    ++contended_;
+  }
+
+  bool TryTouch() SS_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    ++contended_;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  int PopLocked() SS_REQUIRES(mu_) {
+    const int v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+  ss::Mutex mu_;
+  ss::CondVar cv_;
+  std::deque<int> items_ SS_GUARDED_BY(mu_);
+  int contended_ SS_GUARDED_BY(mu_) = 0;
+};
+
+// SharedMutex: reader/writer scoped holds with a writer early-unlock.
+class Directory {
+ public:
+  void Insert(const std::string& k, int v) SS_EXCLUDES(mu_) {
+    ss::WriterMutexLock lock(mu_);
+    entries_[k] = v;
+    lock.Unlock();
+  }
+
+  int Lookup(const std::string& k) const SS_EXCLUDES(mu_) {
+    ss::ReaderMutexLock lock(mu_);
+    const auto it = entries_.find(k);
+    return it == entries_.end() ? -1 : it->second;
+  }
+
+ private:
+  mutable ss::SharedMutex mu_;
+  std::unordered_map<std::string, int> entries_ SS_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push(1);
+  int v = q.PopBlocking();
+  (void)q.PopFor(std::chrono::milliseconds(1), &v);
+  q.DrainThenNotify();
+  (void)q.TryTouch();
+
+  Directory d;
+  d.Insert("a", 1);
+  return d.Lookup("a") == 1 ? 0 : 1;
+}

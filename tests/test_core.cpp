@@ -4,9 +4,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <future>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <unordered_set>
@@ -18,6 +16,7 @@
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/steal_deque.hpp"
+#include "core/sync.hpp"
 #include "core/time.hpp"
 #include "core/worker_pool.hpp"
 
@@ -355,26 +354,32 @@ TEST(DeadlineTest, AtWallMatchesWallNow) {
   EXPECT_EQ(later.at(), now + ticks::FromSeconds(60));
 }
 
-TEST(DeadlineTest, WaitUntilTimesOutThenSeesPredicate) {
-  std::mutex mu;
-  std::condition_variable cv;
+TEST(DeadlineTest, WaitOnceTimesOutThenSeesPredicate) {
+  Mutex mu;
+  CondVar cv;
   bool flag = false;
   {
-    // Expired deadline + false predicate: reports the timeout immediately.
-    std::unique_lock lock(mu);
-    EXPECT_FALSE(Deadline::After(ticks::FromMillis(2))
-                     .WaitUntil(cv, lock, [&] { return flag; }));
+    // Expired deadline + false condition: reports the timeout immediately.
+    const Deadline d = Deadline::After(ticks::FromMillis(2));
+    MutexLock lock(mu);
+    while (!flag) {
+      if (!d.WaitOnce(cv, lock)) break;
+    }
+    EXPECT_FALSE(flag);
   }
   std::thread setter([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     flag = true;
-    cv.notify_all();
+    cv.NotifyAll();
   });
   {
-    std::unique_lock lock(mu);
-    EXPECT_TRUE(Deadline::After(ticks::FromSeconds(30))
-                    .WaitUntil(cv, lock, [&] { return flag; }));
+    const Deadline d = Deadline::After(ticks::FromSeconds(30));
+    MutexLock lock(mu);
+    while (!flag) {
+      if (!d.WaitOnce(cv, lock)) break;
+    }
+    EXPECT_TRUE(flag);
   }
   setter.join();
 }
