@@ -30,6 +30,7 @@
 // (default 20%). `--json <file>` writes the bench records consumed by
 // tools/bench_compare (committed baseline: bench/BENCH_net.json).
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,7 +47,9 @@
 #include "core/time.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/synthetic.hpp"
+#include "net/chaos.hpp"
 #include "net/client.hpp"
+#include "net/resilient_client.hpp"
 #include "net/server.hpp"
 #include "service/schedule_service.hpp"
 #include "tenant/tenant.hpp"
@@ -69,6 +72,12 @@ struct LoadgenOptions {
   std::string connect_host;  // empty = self-host in-process
   int connect_port = 0;
   std::string json_path;
+  /// Chaos soak mode (--chaos-soak): fault-injected transport phases
+  /// instead of the throughput/fairness phases. Always self-hosted (the
+  /// soak drains and restarts the server on purpose).
+  bool chaos_soak = false;
+  /// Randomized chaos seeds in the flip phase of the soak.
+  int chaos_seeds = 8;
 };
 
 std::string TenantName(int i) { return "t" + std::to_string(i); }
@@ -491,6 +500,378 @@ int Run(const LoadgenOptions& options) {
   return ok ? 0 : 1;
 }
 
+// ---- Chaos soak ----------------------------------------------------------
+//
+// `--chaos-soak` replaces the throughput/fairness phases with three
+// fault-injection phases against a self-hosted server:
+//
+//   resilience  a ResilientClient fleet solves through a ChaosProxy that
+//               resets, dribbles, and delays (no flips), while the whole
+//               server stack is drained and restarted on the same port
+//               mid-run; the gate is ZERO failed requests — every reset
+//               and the restart gap must be absorbed by retry/reconnect;
+//   flips       `--chaos-seeds` randomized plans that additionally flip
+//               bytes; every request must resolve to exactly one typed
+//               outcome and the server must answer a direct health probe
+//               after every seed;
+//   overload    a fresh 1-worker server with max_pending_solves=4 is
+//               flooded by 16 direct connections; every failure must be
+//               exactly kOverloaded, the shed counter must move, and the
+//               p99 of admitted solves must stay bounded.
+
+/// Self-hosted server bundle the soak can tear down and rebuild on a
+/// fixed port (the listener sets SO_REUSEADDR, so an immediate rebind
+/// after a graceful drain works).
+struct SoakServer {
+  std::unique_ptr<service::ScheduleService> service;
+  std::unique_ptr<tenant::TenantScheduler> tenants;
+  std::unique_ptr<net::Server> server;
+
+  Status Start(int port, int workers, int dispatch_threads, int tenant_count,
+               net::ServerOptions nopts) {
+    service::ServiceOptions sopts;
+    sopts.workers = workers;
+    sopts.queue_capacity = 1024;
+    sopts.cache_capacity = 1024;
+    service = std::make_unique<service::ScheduleService>(sopts);
+    tenant::TenantSchedulerOptions topts;
+    topts.dispatch_threads = dispatch_threads;
+    tenants = std::make_unique<tenant::TenantScheduler>(service.get(), topts);
+    for (int t = 0; t < tenant_count; ++t) {
+      tenant::TenantConfig config;
+      config.name = TenantName(t);
+      config.weight = TenantWeight(t);
+      config.queue_capacity = 256;
+      if (Status st = tenants->RegisterTenant(std::move(config)); !st.ok()) {
+        return st;
+      }
+    }
+    nopts.port = port;
+    server =
+        std::make_unique<net::Server>(nopts, service.get(), tenants.get());
+    return server->Start();
+  }
+
+  void Stop() {
+    if (server != nullptr) server->Stop();
+    if (tenants != nullptr) tenants->Shutdown();
+    if (service != nullptr) service->Shutdown();
+    server.reset();
+    tenants.reset();
+    service.reset();
+  }
+};
+
+int RunChaosSoak(const LoadgenOptions& options) {
+  bench::PrintHeader("net loadgen: chaos soak (faults, restart, overload)");
+
+  bool ok = true;
+  auto gate = [&ok](bool pass, const std::string& what) {
+    std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", what.c_str());
+    if (!pass) ok = false;
+  };
+
+  // ---- Phase 1: resilience across resets and a live restart --------------
+  constexpr int kTenants = 4;
+  constexpr int kFleet = 8;
+  constexpr int kSolvesPerWorker = 12;
+  std::vector<double> resilient_ms;
+  int port = 0;
+  {
+    SoakServer soak;
+    net::ServerOptions nopts;
+    nopts.drain_timeout = ticks::FromSeconds(2);
+    Status started = soak.Start(/*port=*/0, /*workers=*/2,
+                                /*dispatch_threads=*/2, kTenants, nopts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = soak.server->port();
+    const std::string host = soak.server->host();
+
+    net::ChaosPlan plan;
+    plan.seed = 42;
+    plan.reset_prob = 0.35;
+    plan.dribble_prob = 0.5;
+    plan.dribble_max_bytes = 9;
+    plan.delay_prob = 0.2;
+    plan.max_delay = ticks::FromMillis(2);
+    net::ChaosProxy proxy(plan, host, port);
+    if (Status st = proxy.Start(); !st.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    std::printf("phase 1: %d resilient clients x %d solves through "
+                "reset/dribble/delay proxy, restart mid-run\n",
+                kFleet, kSolvesPerWorker);
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::mutex lat_mu;
+    std::vector<std::thread> fleet;
+    for (int w = 0; w < kFleet; ++w) {
+      fleet.emplace_back([&, w] {
+        net::ResilientClientOptions ropts;
+        ropts.total_deadline = ticks::FromSeconds(30);
+        ropts.io_timeout = ticks::FromMillis(500);
+        ropts.max_attempts = 0;  // budget-only
+        ropts.seed = static_cast<std::uint64_t>(w + 1);
+        net::ResilientClient client(ropts);
+        if (Status s = client.Connect("127.0.0.1", proxy.port()); !s.ok()) {
+          std::fprintf(stderr, "FAIL [resilience/connect]: %s\n",
+                       s.ToString().c_str());
+          failures.fetch_add(1);
+          return;
+        }
+        for (int i = 0; i < kSolvesPerWorker; ++i) {
+          const Tick start = WallNow();
+          auto resp = client.Solve(SolveMsg(
+              TenantName(w % kTenants),
+              MakeProblemText(static_cast<std::uint64_t>(i % 6))));
+          done.fetch_add(1);
+          if (!resp.ok()) {
+            std::fprintf(stderr, "FAIL [resilience/solve]: %s\n",
+                         resp.status().ToString().c_str());
+            failures.fetch_add(1);
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(lat_mu);
+          resilient_ms.push_back(MsSince(start));
+        }
+      });
+    }
+
+    // Drain and restart the entire stack on the same port once roughly a
+    // third of the work is through; the fleet must ride it out.
+    while (done.load() < kFleet * kSolvesPerWorker / 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::printf("  restarting server on port %d mid-run...\n", port);
+    soak.Stop();
+    Status restarted = soak.Start(port, /*workers=*/2,
+                                  /*dispatch_threads=*/2, kTenants, nopts);
+    if (!restarted.ok()) {
+      std::fprintf(stderr, "FAIL [resilience/restart]: %s\n",
+                   restarted.ToString().c_str());
+      for (auto& t : fleet) t.join();
+      return 1;
+    }
+    for (auto& t : fleet) t.join();
+
+    const auto pstats = proxy.Stats();
+    proxy.Stop();
+
+    // Post-chaos health/stats round-trip against the restarted server,
+    // bypassing the proxy.
+    net::Client direct;
+    bool healthy = false;
+    std::uint64_t protocol_errors = 0;
+    if (direct.Connect(host, port).ok()) {
+      auto health = direct.Health();
+      healthy = health.ok() && health->state == "ok";
+      if (auto stats = direct.Stats(); stats.ok()) {
+        protocol_errors = stats->protocol_errors;
+      } else {
+        healthy = false;
+      }
+    }
+    soak.Stop();
+
+    std::printf("  %llu solves, %llu failures, %llu proxy resets, %llu "
+                "upstream connect failures\n",
+                static_cast<unsigned long long>(done.load()),
+                static_cast<unsigned long long>(failures.load()),
+                static_cast<unsigned long long>(pstats.resets),
+                static_cast<unsigned long long>(
+                    pstats.upstream_connect_failures));
+    std::printf("\nphase 1 gates:\n");
+    gate(failures.load() == 0,
+         "zero failed requests across resets + restart (" +
+             std::to_string(failures.load()) + " failed)");
+    gate(pstats.resets > 0, "proxy injected at least one reset (" +
+                                std::to_string(pstats.resets) + ")");
+    gate(healthy, "post-chaos health/stats round-trip succeeds");
+    gate(protocol_errors == 0,
+         "restarted server counts zero protocol errors (" +
+             std::to_string(protocol_errors) + ")");
+  }
+
+  // ---- Phase 2: randomized flip seeds, exactly-one-typed-outcome ---------
+  std::uint64_t issued = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t flipped = 0;
+  bool health_after_every_seed = true;
+  {
+    SoakServer soak;
+    net::ServerOptions nopts;
+    Status started = soak.Start(/*port=*/0, /*workers=*/2,
+                                /*dispatch_threads=*/2, kTenants, nopts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nphase 2: %d randomized flip seeds\n", options.chaos_seeds);
+    for (int s = 0; s < options.chaos_seeds; ++s) {
+      net::ChaosPlan plan;
+      plan.seed = 1000 + static_cast<std::uint64_t>(s);
+      plan.flip_prob = 0.2;
+      plan.flip_window = 96;
+      plan.reset_prob = 0.3;
+      plan.dribble_prob = 0.5;
+      plan.dribble_max_bytes = 9;
+      plan.delay_prob = 0.2;
+      plan.max_delay = ticks::FromMillis(2);
+      plan.stall_prob = 0.05;
+      plan.stall_after_bytes = 10;
+      plan.stall_duration = ticks::FromMillis(30);
+      net::ChaosProxy proxy(plan, soak.server->host(), soak.server->port());
+      if (Status st = proxy.Start(); !st.ok()) {
+        std::fprintf(stderr, "FAIL: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      net::ResilientClientOptions ropts;
+      ropts.total_deadline = ticks::FromSeconds(8);
+      ropts.io_timeout = ticks::FromMillis(400);
+      ropts.max_attempts = 5;
+      ropts.seed = plan.seed;
+      net::ResilientClient client(ropts);
+      if (client.Connect("127.0.0.1", proxy.port()).ok()) {
+        for (int i = 0; i < 6; ++i) {
+          ++issued;
+          auto resp = client.Solve(SolveMsg(
+              TenantName((s + i) % kTenants),
+              MakeProblemText(static_cast<std::uint64_t>(40 + i % 5))));
+          // Expected<> carries exactly one outcome: a response or a typed
+          // Status. Anything else would have crashed right here.
+          if (resp.ok()) ++succeeded;
+        }
+      }
+      client.Close();
+      flipped += proxy.Stats().flipped_bytes;
+      proxy.Stop();
+      net::Client direct;
+      bool seed_healthy = false;
+      if (direct.Connect(soak.server->host(), soak.server->port()).ok()) {
+        auto health = direct.Health();
+        seed_healthy = health.ok() && health->state == "ok";
+      }
+      if (!seed_healthy) {
+        std::fprintf(stderr, "FAIL [flips/health]: seed %llu\n",
+                     static_cast<unsigned long long>(plan.seed));
+        health_after_every_seed = false;
+      }
+    }
+    soak.Stop();
+    std::printf("  %llu issued, %llu succeeded, %llu bytes flipped\n",
+                static_cast<unsigned long long>(issued),
+                static_cast<unsigned long long>(succeeded),
+                static_cast<unsigned long long>(flipped));
+    std::printf("\nphase 2 gates:\n");
+    gate(issued ==
+             static_cast<std::uint64_t>(options.chaos_seeds) * 6,
+         "every planned request was issued and resolved typed");
+    gate(succeeded * 4 >= issued * 3,
+         ">= 75% of requests succeeded despite flips (" +
+             std::to_string(succeeded) + "/" + std::to_string(issued) + ")");
+    gate(health_after_every_seed,
+         "direct health probe answered 'ok' after every seed");
+  }
+
+  // ---- Phase 3: overload shedding ----------------------------------------
+  std::vector<double> admitted_ms;
+  std::uint64_t shed_wire = 0;
+  std::uint64_t shed_server = 0;
+  std::atomic<std::uint64_t> overload_failures{0};
+  std::atomic<std::uint64_t> untyped_failures{0};
+  {
+    SoakServer soak;
+    net::ServerOptions nopts;
+    nopts.max_pending_solves = 4;
+    Status started = soak.Start(/*port=*/0, /*workers=*/1,
+                                /*dispatch_threads=*/1, kTenants, nopts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    constexpr int kFlood = 16;
+    constexpr int kPerConn = 8;
+    std::printf("\nphase 3: %d direct connections flood a 1-worker server "
+                "(max_pending_solves=4)\n",
+                kFlood);
+    std::mutex lat_mu;
+    std::vector<std::thread> flood;
+    for (int t = 0; t < kFlood; ++t) {
+      flood.emplace_back([&, t] {
+        net::Client client;
+        if (!client.Connect(soak.server->host(), soak.server->port()).ok()) {
+          untyped_failures.fetch_add(1);
+          return;
+        }
+        for (int i = 0; i < kPerConn; ++i) {
+          // Unique salts: every solve is a cache-missing cold solve.
+          const std::uint64_t salt = 0x200000ULL +
+                                     static_cast<std::uint64_t>(t) * 64 +
+                                     static_cast<std::uint64_t>(i);
+          const Tick start = WallNow();
+          auto resp = client.Solve(
+              SolveMsg(TenantName(t % kTenants), MakeProblemText(salt)));
+          if (resp.ok()) {
+            std::lock_guard<std::mutex> lock(lat_mu);
+            admitted_ms.push_back(MsSince(start));
+          } else if (resp.status().code() == StatusCode::kOverloaded) {
+            overload_failures.fetch_add(1);
+          } else {
+            std::fprintf(stderr, "FAIL [overload/solve]: %s\n",
+                         resp.status().ToString().c_str());
+            untyped_failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : flood) t.join();
+    net::Client direct;
+    if (direct.Connect(soak.server->host(), soak.server->port()).ok()) {
+      if (auto stats = direct.Stats(); stats.ok()) {
+        shed_wire = stats->shed_overload;
+      }
+    }
+    shed_server = soak.server->Stats().shed_overload;
+    soak.Stop();
+  }
+  const Summary admitted = Summarize(admitted_ms);
+  std::printf("  %zu admitted (p50 %.3f ms  p99 %.3f ms), %llu shed "
+              "kOverloaded, %llu shed per server counter\n",
+              admitted_ms.size(), admitted.median, admitted.p99,
+              static_cast<unsigned long long>(overload_failures.load()),
+              static_cast<unsigned long long>(shed_server));
+  std::printf("\nphase 3 gates:\n");
+  gate(untyped_failures.load() == 0,
+       "every failure under overload is typed kOverloaded (" +
+           std::to_string(untyped_failures.load()) + " other)");
+  gate(overload_failures.load() > 0 && shed_server > 0 && shed_wire > 0,
+       "load shedding engaged and counted (client " +
+           std::to_string(overload_failures.load()) + ", server " +
+           std::to_string(shed_server) + ", wire " +
+           std::to_string(shed_wire) + ")");
+  gate(!admitted_ms.empty() && admitted.p99 < 10000.0,
+       "admitted-request p99 bounded under overload (" +
+           std::to_string(admitted.p99) + " ms)");
+
+  const Summary resilient = Summarize(resilient_ms);
+  bench::JsonReport json(options.json_path);
+  json.Add("net_chaos_resilient_rtt", resilient.median, resilient.p95);
+  json.Add("net_chaos_success_rate_x",
+           issued > 0 ? static_cast<double>(succeeded) /
+                            static_cast<double>(issued)
+                      : 0.0,
+           1.0);
+  json.Add("net_chaos_admitted_rtt", admitted.median, admitted.p99);
+  json.Write();
+
+  return ok ? 0 : 1;
+}
+
 bool ParseInt(const char* flag, const char* text, int* out) {
   if (text == nullptr || *text == '\0') return false;
   char* end = nullptr;
@@ -562,10 +943,25 @@ int main(int argc, char** argv) {
       int pct = 0;
       if (!ss::ParseInt("--tolerance", next(), &pct) || pct <= 0) return 2;
       options.fairness_tolerance = pct / 100.0;
+    } else if (arg == "--chaos-soak") {
+      options.chaos_soak = true;
+    } else if (arg == "--chaos-seeds") {
+      if (!ss::ParseInt("--chaos-seeds", next(), &options.chaos_seeds) ||
+          options.chaos_seeds <= 0) {
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       return 2;
     }
+  }
+  if (options.chaos_soak) {
+    if (!options.connect_host.empty()) {
+      std::fprintf(stderr,
+                   "error: --chaos-soak is self-hosted; drop --connect\n");
+      return 2;
+    }
+    return ss::RunChaosSoak(options);
   }
   return ss::Run(options);
 }

@@ -16,6 +16,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kCorruptArtifact: return "CORRUPT_ARTIFACT";
     case StatusCode::kSnapshotIoError: return "SNAPSHOT_IO_ERROR";
     case StatusCode::kAdmissionRejected: return "ADMISSION_REJECTED";
+    case StatusCode::kOverloaded: return "OVERLOADED";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

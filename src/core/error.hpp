@@ -27,6 +27,7 @@ enum class StatusCode {
   kCorruptArtifact,   // stored schedule artifact failed static verification
   kSnapshotIoError,   // cache snapshot could not be written/renamed durably
   kAdmissionRejected,  // tenant rate limit / admission control refused entry
+  kOverloaded,         // server-wide load shedding refused entry; retry later
   kInternal,
 };
 
@@ -85,6 +86,9 @@ inline Status SnapshotIoError(std::string msg) {
 }
 inline Status AdmissionRejectedError(std::string msg) {
   return Status(StatusCode::kAdmissionRejected, std::move(msg));
+}
+inline Status OverloadedError(std::string msg) {
+  return Status(StatusCode::kOverloaded, std::move(msg));
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -25,6 +26,36 @@ timeval ToTimeval(Tick t) {
   return tv;
 }
 
+/// Finishes a connect() interrupted by a signal. POSIX keeps the three-way
+/// handshake running after EINTR, so the only correct continuation is to
+/// wait for writability and read the final result from SO_ERROR —
+/// reissuing connect() would race the in-flight attempt and failing
+/// outright turns every signal into a spurious I/O error.
+Status AwaitConnect(int fd, Tick timeout) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  const Tick give_up = WallNow() + timeout;
+  while (true) {
+    const Tick remaining = give_up - WallNow();
+    if (remaining <= 0) return DeadlineExceededError("connect timed out");
+    const int n = ::poll(&pfd, 1, static_cast<int>(remaining / 1000 + 1));
+    if (n > 0) break;
+    if (n == 0) return DeadlineExceededError("connect timed out");
+    if (errno == EINTR) continue;  // restart the wait, same deadline
+    return ErrnoError("poll(connect)");
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return ErrnoError("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    return InternalError(std::string("connect: ") + std::strerror(err));
+  }
+  return OkStatus();
+}
+
 }  // namespace
 
 Status Client::Connect(const std::string& host, int port) {
@@ -45,10 +76,18 @@ Status Client::Connect(const std::string& host, int port) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    Status failed = ErrnoError("connect " + host + ":" +
-                               std::to_string(port));
-    ::close(fd);
-    return failed;
+    Status failed;
+    if (errno == EINTR) {
+      // The handshake continues in the background; wait it out instead of
+      // surfacing a spurious error (see AwaitConnect).
+      failed = AwaitConnect(fd, options_.io_timeout);
+    } else {
+      failed = ErrnoError("connect " + host + ":" + std::to_string(port));
+    }
+    if (!failed.ok()) {
+      ::close(fd);
+      return failed;
+    }
   }
   fd_ = fd;
   decoder_ = FrameDecoder();
@@ -75,6 +114,12 @@ Status Client::SendBytes(const void* data, std::size_t size) {
     if (w < 0 && errno == EINTR) continue;
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       return DeadlineExceededError("send timed out");
+    }
+    if (w == 0) {
+      // send() returning 0 without an errno means no progress (seen when a
+      // signal lands at the exact syscall boundary); retrying is the only
+      // move that neither drops bytes nor invents a stale-errno error.
+      continue;
     }
     return ErrnoError("send");
   }

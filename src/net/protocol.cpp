@@ -18,6 +18,7 @@ const char* WireErrorName(WireError code) {
     case WireError::kCancelled: return "CANCELLED";
     case WireError::kShuttingDown: return "SHUTTING_DOWN";
     case WireError::kInternal: return "INTERNAL";
+    case WireError::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -35,6 +36,7 @@ WireError WireErrorFromStatus(const Status& status) {
     case StatusCode::kNotFound: return WireError::kUnknownTenant;
     case StatusCode::kInvalidArgument: return WireError::kMalformed;
     case StatusCode::kCancelled: return WireError::kCancelled;
+    case StatusCode::kOverloaded: return WireError::kOverloaded;
     default: return WireError::kInternal;
   }
 }
@@ -56,6 +58,7 @@ Status StatusFromWireError(WireError code, const std::string& message) {
     case WireError::kShuttingDown:
       return CancelledError(message);
     case WireError::kInternal: return InternalError(message);
+    case WireError::kOverloaded: return OverloadedError(message);
   }
   return InternalError(message);
 }
@@ -263,10 +266,13 @@ std::vector<std::uint8_t> Encode(const StatsResponseMsg& msg) {
   w.U64(msg.corrupt_rejected);
   w.U64(msg.degraded);
   w.U64(msg.cache_entries);
+  w.U64(msg.retries);
   w.U64(msg.connections_accepted);
   w.U64(msg.connections_active);
   w.U64(msg.frames_received);
   w.U64(msg.protocol_errors);
+  w.U64(msg.shed_overload);
+  w.U64(msg.expired_in_queue);
   w.I64(msg.uptime_micros);
   w.U32(static_cast<std::uint32_t>(msg.tenants.size()));
   for (const TenantStatsMsg& t : msg.tenants) {
@@ -297,9 +303,10 @@ Status Decode(const std::uint8_t* body, std::size_t size,
       !r.U64(&out->solve_failures) || !r.U64(&out->deadline_exceeded) ||
       !r.U64(&out->queue_rejected) || !r.U64(&out->corrupt_rejected) ||
       !r.U64(&out->degraded) || !r.U64(&out->cache_entries) ||
-      !r.U64(&out->connections_accepted) ||
+      !r.U64(&out->retries) || !r.U64(&out->connections_accepted) ||
       !r.U64(&out->connections_active) || !r.U64(&out->frames_received) ||
-      !r.U64(&out->protocol_errors) || !r.I64(&out->uptime_micros) ||
+      !r.U64(&out->protocol_errors) || !r.U64(&out->shed_overload) ||
+      !r.U64(&out->expired_in_queue) || !r.I64(&out->uptime_micros) ||
       !r.U32(&tenant_count)) {
     return MalformedBody("stats response");
   }
@@ -361,7 +368,7 @@ Status Decode(const std::uint8_t* body, std::size_t size,
   if (!r.U8(&code) || !r.Str(&out->message) || !r.AtEnd()) {
     return MalformedBody("error response");
   }
-  if (code > static_cast<std::uint8_t>(WireError::kInternal)) {
+  if (code > static_cast<std::uint8_t>(WireError::kOverloaded)) {
     return MalformedBody("error response");
   }
   out->code = static_cast<WireError>(code);
@@ -444,11 +451,14 @@ std::string StatsResponseMsg::ToTable() const {
   row("corrupt artifacts rejected", corrupt_rejected);
   row("degraded (heuristic) serves", degraded);
   row("cache entries", cache_entries);
+  row("solve retries", retries);
   service.AddRule();
   row("connections accepted", connections_accepted);
   row("connections active", connections_active);
   row("frames received", frames_received);
   row("protocol errors", protocol_errors);
+  row("shed (overloaded)", shed_overload);
+  row("expired in queue", expired_in_queue);
   service.AddRow({"uptime", FormatTick(uptime_micros)});
 
   std::string out = service.Render();

@@ -65,6 +65,7 @@ enum class WireError : std::uint8_t {
   kCancelled = 9,
   kShuttingDown = 10,      // server draining; retry against another replica
   kInternal = 11,
+  kOverloaded = 12,        // load shedding refused the request; retry later
 };
 
 const char* WireErrorName(WireError code);
@@ -143,11 +144,18 @@ struct StatsResponseMsg {
   std::uint64_t corrupt_rejected = 0;
   std::uint64_t degraded = 0;
   std::uint64_t cache_entries = 0;
+  /// Solver-layer retries spent recovering transient solve failures.
+  std::uint64_t retries = 0;
   // server
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_active = 0;
   std::uint64_t frames_received = 0;
   std::uint64_t protocol_errors = 0;
+  /// Solves refused with kOverloaded by the admission load-shed check.
+  std::uint64_t shed_overload = 0;
+  /// Queued solves completed with kDeadlineExceeded because their deadline
+  /// passed while waiting in a fair-queue lane (never reached the solver).
+  std::uint64_t expired_in_queue = 0;
   std::int64_t uptime_micros = 0;
   std::vector<TenantStatsMsg> tenants;
 

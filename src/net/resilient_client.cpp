@@ -1,0 +1,174 @@
+#include "net/resilient_client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace ss::net {
+
+ResilientClient::ResilientClient(ResilientClientOptions options)
+    : options_(options), rng_(options.seed) {}
+
+bool ResilientClient::IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:          // peer closed / reset / draining
+    case StatusCode::kDeadlineExceeded:   // attempt timed out; budget gates
+    case StatusCode::kInternal:           // errno-level socket failure
+    case StatusCode::kOverloaded:         // shed; explicitly "retry later"
+    case StatusCode::kWouldBlock:         // queue full
+    case StatusCode::kAdmissionRejected:  // rate limit; tokens refill
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ResilientClient::NeedsReconnect(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status ResilientClient::Connect(const std::string& host, int port) {
+  host_ = host;
+  port_ = port;
+  endpoint_set_ = true;
+  // Prove the endpoint is reachable up front; verbs reconnect on demand
+  // afterwards, so a failure here is advisory but catches typos early.
+  return Run([](Client&, Tick) { return OkStatus(); });
+}
+
+void ResilientClient::Close() { client_.reset(); }
+
+Status ResilientClient::EnsureConnected(Tick remaining) {
+  if (client_ != nullptr && client_->connected()) return OkStatus();
+  ClientOptions copts;
+  copts.io_timeout = std::max<Tick>(
+      1, std::min(options_.io_timeout, remaining));
+  client_ = std::make_unique<Client>(copts);
+  stats_.reconnects++;
+  Status st = client_->Connect(host_, port_);
+  if (!st.ok()) client_.reset();
+  return st;
+}
+
+void ResilientClient::Backoff(int attempt, Tick give_up) {
+  Tick delay = options_.backoff_base;
+  for (int i = 1; i < attempt && delay < options_.backoff_max; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.backoff_max);
+  if (delay > 1) {
+    // Uniform in [delay/2, delay]: decorrelates clients that all saw the
+    // same reset without giving up most of the wait.
+    delay = delay / 2 +
+            static_cast<Tick>(rng_.NextBelow(
+                static_cast<std::uint64_t>(delay / 2) + 1));
+  }
+  delay = std::min(delay, give_up - WallNow());
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+}
+
+template <typename Fn>
+Status ResilientClient::Run(Fn&& attempt_fn) {
+  if (!endpoint_set_) {
+    return FailedPreconditionError("ResilientClient: Connect() not called");
+  }
+  const Tick give_up = WallNow() + options_.total_deadline;
+  Status last = OkStatus();
+  for (int attempt = 1;; ++attempt) {
+    const Tick remaining = give_up - WallNow();
+    if (remaining <= 0) {
+      return DeadlineExceededError(
+          "retry budget exhausted after " + std::to_string(attempt - 1) +
+          " attempts; last error: " +
+          (last.ok() ? std::string("none") : last.ToString()));
+    }
+    stats_.attempts++;
+    Status st = EnsureConnected(remaining);
+    if (st.ok()) {
+      st = attempt_fn(*client_, give_up - WallNow());
+    }
+    if (st.ok()) return st;
+    last = st;
+    if (!IsRetryable(st)) return st;
+    if (NeedsReconnect(st)) {
+      // The stream may hold a late response for the request we abandoned;
+      // reusing it would pair that response with the next request.
+      client_.reset();
+    }
+    if (options_.max_attempts > 0 && attempt >= options_.max_attempts) {
+      return Status(st.code(),
+                    "gave up after " + std::to_string(attempt) +
+                        " attempts; last error: " + st.ToString());
+    }
+    stats_.retries++;
+    Backoff(attempt, give_up);
+  }
+}
+
+Expected<SolveResponseMsg> ResilientClient::Solve(SolveRequestMsg request) {
+  SolveResponseMsg out;
+  const std::int64_t caller_deadline = request.deadline_micros;
+  Status st = Run([&](Client& client, Tick remaining) {
+    // Propagate the shrinking budget so the server expires queued work we
+    // will no longer wait for; never loosen a caller-provided deadline.
+    request.deadline_micros =
+        caller_deadline > 0 ? std::min<std::int64_t>(caller_deadline,
+                                                     remaining)
+                            : remaining;
+    auto resp = client.Solve(request);
+    if (!resp.ok()) return resp.status();
+    out = std::move(*resp);
+    return OkStatus();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Expected<LookupResponseMsg> ResilientClient::Lookup(
+    const LookupRequestMsg& request) {
+  LookupResponseMsg out;
+  Status st = Run([&](Client& client, Tick) {
+    auto resp = client.Lookup(request);
+    if (!resp.ok()) return resp.status();
+    out = std::move(*resp);
+    return OkStatus();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Expected<StatsResponseMsg> ResilientClient::Stats() {
+  StatsResponseMsg out;
+  Status st = Run([&](Client& client, Tick) {
+    auto resp = client.Stats();
+    if (!resp.ok()) return resp.status();
+    out = std::move(*resp);
+    return OkStatus();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Expected<HealthResponseMsg> ResilientClient::Health() {
+  HealthResponseMsg out;
+  Status st = Run([&](Client& client, Tick) {
+    auto resp = client.Health();
+    if (!resp.ok()) return resp.status();
+    out = std::move(*resp);
+    return OkStatus();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace ss::net

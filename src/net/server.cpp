@@ -58,6 +58,10 @@ struct Server::Conn {
   /// Pending response bytes; front frame partially written up to out_off.
   std::deque<std::vector<std::uint8_t>> outq;
   std::size_t out_off = 0;
+  /// Last tick the peer made protocol progress: a complete frame decoded
+  /// or response bytes accepted by its socket. Raw bytes received do NOT
+  /// count — a slowloris dribbling one byte per idle window would
+  /// otherwise keep a half-frame connection alive forever.
   Tick last_active = 0;
   /// Solves submitted to the tenant front end whose completions have not
   /// come back through the sink yet. A conn with pending work is never
@@ -218,6 +222,7 @@ class Server::Impl {
     stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
     stats.idle_closed = idle_closed_.load(std::memory_order_relaxed);
     stats.overload_closed = overload_closed_.load(std::memory_order_relaxed);
+    stats.shed_overload = shed_overload_.load(std::memory_order_relaxed);
     return stats;
   }
 
@@ -298,7 +303,6 @@ class Server::Impl {
       const ssize_t r = ::read(c.fd, buf, sizeof(buf));
       if (r > 0) {
         c.decoder.Append(buf, static_cast<std::size_t>(r));
-        c.last_active = WallNow();
         continue;
       }
       if (r == 0) return false;  // peer closed
@@ -318,6 +322,10 @@ class Server::Impl {
         break;
       }
       if (!*got) break;
+      // Progress = whole frames, not bytes: only a completed frame resets
+      // the idle clock, so a peer dribbling a frame slower than the idle
+      // window is reaped mid-frame by CloseIdle.
+      c.last_active = WallNow();
       frames_received_.fetch_add(1, std::memory_order_relaxed);
       HandleFrame(c, frame);
     }
@@ -396,6 +404,20 @@ class Server::Impl {
                 "server is draining; resubmit to another replica");
       return;
     }
+    // Load shedding ahead of parsing: a fast typed refusal beats unbounded
+    // queueing, and the client's retry policy treats kOverloaded as
+    // backoff-and-retry. Both thresholds are checked here so one
+    // pipelining connection cannot occupy the whole solve budget.
+    if ((options_.max_inflight_per_conn > 0 &&
+         c.pending >= options_.max_inflight_per_conn) ||
+        (options_.max_pending_solves > 0 &&
+         pending_solves_ >= options_.max_pending_solves)) {
+      shed_overload_.fetch_add(1, std::memory_order_relaxed);
+      SendError(c, WireError::kOverloaded,
+                "server overloaded (" + std::to_string(pending_solves_) +
+                    " solves in flight); back off and retry");
+      return;
+    }
     service::SolveRequest request;
     if (!ParseRequestProblem(c, msg.problem_text, msg.regime, &request)) {
       return;
@@ -408,6 +430,7 @@ class Server::Impl {
     const std::uint64_t conn_id = c.id;
     auto sink = sink_;
     ++c.pending;
+    ++pending_solves_;
     Status queued = tenants_->SubmitSolve(
         msg.tenant, std::move(request),
         [sink, conn_id](Expected<service::SolveResult> result,
@@ -430,6 +453,7 @@ class Server::Impl {
       // Typed refusal before the callback was captured anywhere: rate
       // limit, lane full, unknown tenant, shutdown.
       --c.pending;
+      --pending_solves_;
       SendError(c, WireErrorFromStatus(queued), queued.message());
     }
   }
@@ -481,10 +505,13 @@ class Server::Impl {
     resp.corrupt_rejected = svc.corrupt_rejected;
     resp.degraded = svc.degraded;
     resp.cache_entries = svc.cache.entries;
+    resp.retries = svc.retried;
     resp.connections_accepted = accepted_.load(std::memory_order_relaxed);
     resp.connections_active = conns_.size();
     resp.frames_received = frames_received_.load(std::memory_order_relaxed);
     resp.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    resp.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+    resp.expired_in_queue = tenants_->QueueStats().expired;
     resp.uptime_micros = WallNow() - start_tick_;
     for (const auto& tenant : tenants_->Stats()) {
       resp.tenants.push_back(ToWire(tenant));
@@ -524,6 +551,10 @@ class Server::Impl {
                    MSG_NOSIGNAL);
         if (w > 0) {
           c.out_off += static_cast<std::size_t>(w);
+          // Write progress resets the idle clock: a reader draining a big
+          // response slowly is alive; one that stopped reading entirely is
+          // a slowloris on the response path and will be reaped.
+          c.last_active = WallNow();
           continue;
         }
         if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -552,6 +583,9 @@ class Server::Impl {
       batch.swap(sink_->queue);
     }
     for (auto& [conn_id, encoded] : batch) {
+      // The solve finished whether or not its connection survived; the
+      // global in-flight gauge must not leak when the client went away.
+      if (pending_solves_ > 0) --pending_solves_;
       auto it = conns_.find(conn_id);
       if (it == conns_.end()) continue;  // client went away; drop
       Conn& c = *it->second;
@@ -575,7 +609,11 @@ class Server::Impl {
     if (options_.idle_timeout >= kTickInfinity) return;
     std::vector<std::uint64_t> expired;
     for (const auto& [id, conn] : conns_) {
-      if (conn->pending == 0 && conn->outq.empty() &&
+      // No frame completed, no response byte accepted, nothing in flight
+      // for a whole idle window: covers the classic idle peer, the
+      // mid-frame slowloris (bytes trickling, frames never finishing), and
+      // the reader that stopped draining its responses.
+      if (conn->pending == 0 &&
           now - conn->last_active > options_.idle_timeout) {
         expired.push_back(id);
       }
@@ -637,6 +675,10 @@ class Server::Impl {
   Tick start_tick_ = 0;
   std::uint64_t next_conn_id_ = kFirstConnId;
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  /// Solves submitted whose completions have not been processed yet,
+  /// summed over all connections. Loop-thread only (shed decisions and
+  /// both update sites run on the loop).
+  std::size_t pending_solves_ = 0;
 
   std::unordered_map<std::string, std::shared_ptr<const graph::ProblemSpec>>
       problem_memo_;
@@ -649,6 +691,7 @@ class Server::Impl {
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> idle_closed_{0};
   std::atomic<std::uint64_t> overload_closed_{0};
+  std::atomic<std::uint64_t> shed_overload_{0};
 };
 
 Server::Server(ServerOptions options, service::ScheduleService* service,

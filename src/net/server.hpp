@@ -49,6 +49,13 @@ struct ServerOptions {
   /// Parsed-problem memo capacity (distinct problem texts); parsing is
   /// memoized so a hot fingerprint costs one parse, not one per request.
   std::size_t problem_cache_capacity = 1024;
+  /// Load shedding: solves in flight (submitted, completion not yet
+  /// processed) across all connections beyond this are refused with a
+  /// typed kOverloaded instead of queueing unboundedly. 0 disables.
+  std::size_t max_pending_solves = 256;
+  /// Per-connection cap on in-flight solves; one pipelining client cannot
+  /// occupy the whole solve budget. 0 disables.
+  int max_inflight_per_conn = 64;
 };
 
 struct ServerStats {
@@ -59,6 +66,8 @@ struct ServerStats {
   std::uint64_t protocol_errors = 0;
   std::uint64_t idle_closed = 0;
   std::uint64_t overload_closed = 0;
+  /// Solve requests refused with kOverloaded by the admission shed check.
+  std::uint64_t shed_overload = 0;
 };
 
 class Server {

@@ -28,7 +28,7 @@ int FairScheduler::AddTenant(double weight, std::size_t queue_capacity) {
   return static_cast<int>(lanes_.size()) - 1;
 }
 
-Status FairScheduler::Submit(int tenant_index, FairJob job) {
+Status FairScheduler::Submit(int tenant_index, FairJob job, Tick deadline) {
   MutexLock lock(mu_);
   if (shutdown_) {
     return CancelledError("fair scheduler is shut down");
@@ -45,22 +45,34 @@ Status FairScheduler::Submit(int tenant_index, FairJob job) {
                            std::to_string(lane.capacity) +
                            " pending); retry later");
   }
-  lane.jobs.push_back(std::move(job));
+  lane.jobs.push_back(Entry{std::move(job), deadline});
   ++lane.submitted;
   ++total_queued_;
   cv_.NotifyOne();
   return OkStatus();
 }
 
-bool FairScheduler::NextJobLocked(FairJob* out) {
-  if (total_queued_ == 0 || lanes_.empty()) return false;
+bool FairScheduler::NextJobLocked(FairJob* out,
+                                  std::vector<FairJob>* expired, Tick now) {
+  if (lanes_.empty()) return false;
   const std::size_t n = lanes_.size();
   // Each pass credits every backlogged lane once; total_queued_ > 0
   // guarantees some lane's deficit eventually crosses 1, so this
-  // terminates in at most ceil(1 / (quantum * min_weight)) passes.
-  while (true) {
+  // terminates in at most ceil(1 / (quantum * min_weight)) passes (or
+  // sooner, when expiry drains the last queued job).
+  while (total_queued_ > 0) {
     for (std::size_t k = 0; k < n; ++k) {
       Lane& lane = lanes_[cursor_];
+      // Dead fronts are completed with kExpired and charge no deficit:
+      // they never reach the solver, so they must not eat the lane's
+      // service share either.
+      while (!lane.jobs.empty() && lane.jobs.front().deadline <= now) {
+        expired->push_back(std::move(lane.jobs.front().job));
+        lane.jobs.pop_front();
+        ++lane.expired;
+        ++expired_;
+        --total_queued_;
+      }
       if (lane.jobs.empty()) {
         // Idle lanes forfeit credit: service share is use-it-or-lose-it,
         // which bounds post-idle bursts.
@@ -76,7 +88,7 @@ bool FairScheduler::NextJobLocked(FairJob* out) {
         continue;
       }
       lane.deficit -= 1.0;
-      *out = std::move(lane.jobs.front());
+      *out = std::move(lane.jobs.front().job);
       lane.jobs.pop_front();
       ++lane.dispatched;
       --total_queued_;
@@ -90,28 +102,36 @@ bool FairScheduler::NextJobLocked(FairJob* out) {
       return true;
     }
   }
+  return false;
 }
 
 bool FairScheduler::DispatchOne() {
   FairJob job;
+  std::vector<FairJob> expired;
+  bool have = false;
   {
     MutexLock lock(mu_);
-    if (!NextJobLocked(&job)) return false;
+    have = NextJobLocked(&job, &expired, WallNow());
   }
-  job(/*cancelled=*/false);
+  for (FairJob& dead : expired) dead(FairOutcome::kExpired);
+  if (!have) return false;
+  job(FairOutcome::kDispatched);
   return true;
 }
 
 void FairScheduler::DispatcherLoop() {
   for (;;) {
     FairJob job;
+    std::vector<FairJob> expired;
+    bool have = false;
     {
       MutexLock lock(mu_);
       while (!shutdown_ && total_queued_ == 0) cv_.Wait(lock);
       if (shutdown_) return;
-      if (!NextJobLocked(&job)) continue;
+      have = NextJobLocked(&job, &expired, WallNow());
     }
-    job(/*cancelled=*/false);
+    for (FairJob& dead : expired) dead(FairOutcome::kExpired);
+    if (have) job(FairOutcome::kDispatched);
   }
 }
 
@@ -134,6 +154,7 @@ FairQueueStats FairScheduler::Stats() const {
     stats.queued += lane.jobs.size();
   }
   stats.cancelled = cancelled_;
+  stats.expired = expired_;
   return stats;
 }
 
@@ -153,7 +174,7 @@ void FairScheduler::Shutdown() {
     MutexLock lock(mu_);
     for (Lane& lane : lanes_) {
       while (!lane.jobs.empty()) {
-        cancelled.push_back(std::move(lane.jobs.front()));
+        cancelled.push_back(std::move(lane.jobs.front().job));
         lane.jobs.pop_front();
         --total_queued_;
         ++cancelled_;
@@ -161,7 +182,7 @@ void FairScheduler::Shutdown() {
       lane.deficit = 0.0;
     }
   }
-  for (FairJob& job : cancelled) job(/*cancelled=*/true);
+  for (FairJob& job : cancelled) job(FairOutcome::kCancelled);
 }
 
 }  // namespace ss::tenant

@@ -24,13 +24,26 @@
 
 #include "core/error.hpp"
 #include "core/sync.hpp"
+#include "core/time.hpp"
 
 namespace ss::tenant {
 
-/// One unit of queued work. Invoked exactly once: with `cancelled == false`
-/// on a dispatcher thread, or with `cancelled == true` during shutdown
-/// drain (the job must fail its caller promptly, not do the work).
-using FairJob = std::function<void(bool cancelled)>;
+/// Why a queued job's closure is being invoked.
+enum class FairOutcome {
+  /// Normal dispatch on a dispatcher thread: do the work.
+  kDispatched,
+  /// Shutdown drain: fail the caller promptly, do not do the work.
+  kCancelled,
+  /// The job's deadline passed while it waited in its lane: fail the
+  /// caller with kDeadlineExceeded, do not do the work (solving a request
+  /// nobody is waiting for anymore only steals solver time from live ones).
+  kExpired,
+};
+
+/// One unit of queued work. Invoked exactly once with the outcome above —
+/// kDispatched on a dispatcher thread, kCancelled/kExpired on whichever
+/// thread noticed (shutdown caller or a dispatcher scanning the lanes).
+using FairJob = std::function<void(FairOutcome)>;
 
 struct FairQueueOptions {
   /// Dispatcher threads; also the in-flight cap. 0 is a valid (paused)
@@ -48,6 +61,8 @@ struct FairQueueStats {
   std::uint64_t dispatched = 0;
   std::uint64_t rejected_full = 0;
   std::uint64_t cancelled = 0;
+  /// Jobs completed with kExpired because their deadline passed in queue.
+  std::uint64_t expired = 0;
   std::uint64_t queued = 0;  // current total backlog
 };
 
@@ -65,8 +80,12 @@ class FairScheduler {
   int AddTenant(double weight, std::size_t queue_capacity);
 
   /// Enqueues a job on the tenant's lane. kWouldBlock when that lane is at
-  /// capacity; kCancelled after Shutdown().
-  Status Submit(int tenant_index, FairJob job);
+  /// capacity; kCancelled after Shutdown(). `deadline` is an absolute Tick
+  /// (kTickInfinity = none): a job still queued past it is completed with
+  /// kExpired the next time a dispatcher scans its lane, without ever
+  /// reaching the solver.
+  Status Submit(int tenant_index, FairJob job,
+                Tick deadline = kTickInfinity);
 
   /// Runs at most one job inline using the same DRR accounting as the
   /// dispatcher threads. Returns false when every lane is empty. Intended
@@ -83,19 +102,30 @@ class FairScheduler {
   void Shutdown();
 
  private:
+  struct Entry {
+    FairJob job;
+    /// Absolute expiry; kTickInfinity when the request has no deadline.
+    Tick deadline = kTickInfinity;
+  };
+
   struct Lane {
     double weight = 1.0;
     std::size_t capacity = 0;
-    std::deque<FairJob> jobs;
+    std::deque<Entry> jobs;
     double deficit = 0.0;
     std::uint64_t submitted = 0;
     std::uint64_t dispatched = 0;
     std::uint64_t rejected_full = 0;
+    std::uint64_t expired = 0;
   };
 
-  /// Picks the next job per DRR under mu_ (caller holds the lock). Returns
-  /// false when all lanes are empty.
-  bool NextJobLocked(FairJob* out) SS_REQUIRES(mu_);
+  /// Picks the next job per DRR under mu_ (caller holds the lock). Lane
+  /// fronts whose deadline passed are popped into `expired` (no deficit
+  /// charged — they never reach the solver) and the caller completes them
+  /// with kExpired outside the lock. Returns false when every lane is
+  /// empty of dispatchable work.
+  bool NextJobLocked(FairJob* out, std::vector<FairJob>* expired, Tick now)
+      SS_REQUIRES(mu_);
   void DispatcherLoop() SS_EXCLUDES(mu_);
 
   FairQueueOptions options_;
@@ -106,6 +136,7 @@ class FairScheduler {
   std::size_t cursor_ SS_GUARDED_BY(mu_) = 0;
   std::size_t total_queued_ SS_GUARDED_BY(mu_) = 0;
   std::uint64_t cancelled_ SS_GUARDED_BY(mu_) = 0;
+  std::uint64_t expired_ SS_GUARDED_BY(mu_) = 0;
   bool shutdown_ SS_GUARDED_BY(mu_) = false;
   /// Written in the constructor (single-threaded) and swapped out under
   /// mu_ by Shutdown so a concurrent Shutdown joins each thread once.

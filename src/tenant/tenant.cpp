@@ -21,6 +21,8 @@ TenantStats TenantState::Stats(std::uint64_t queued_now) const {
   stats.completed = completed.load(std::memory_order_relaxed);
   stats.failed = failed.load(std::memory_order_relaxed);
   stats.cancelled = cancelled.load(std::memory_order_relaxed);
+  stats.expired_in_queue =
+      expired_in_queue.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits.load(std::memory_order_relaxed);
   stats.queued = queued_now;
   const LatencyHistogram::Snapshot snap = latency.TakeSnapshot();

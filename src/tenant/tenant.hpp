@@ -97,6 +97,9 @@ struct TenantStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
+  /// Queued requests completed with kDeadlineExceeded because their
+  /// deadline passed before a dispatcher reached them.
+  std::uint64_t expired_in_queue = 0;
   /// Requests answered from the schedule cache without queueing.
   std::uint64_t cache_hits = 0;
   std::uint64_t queued = 0;  // current pending depth
@@ -127,6 +130,7 @@ struct TenantState {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> failed{0};
   std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> expired_in_queue{0};
   std::atomic<std::uint64_t> cache_hits{0};
   LatencyHistogram latency;
 

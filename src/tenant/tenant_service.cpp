@@ -79,14 +79,24 @@ Status TenantScheduler::SubmitSolve(const std::string& tenant_name,
     return OkStatus();
   }
 
+  const Tick queue_deadline = request.deadline;
   Status queued = fair_.Submit(
       state->index,
       [this, state, request = std::move(request), done = std::move(done),
-       start](bool cancelled) mutable {
-        if (cancelled) {
+       start](FairOutcome outcome) mutable {
+        if (outcome == FairOutcome::kCancelled) {
           state->cancelled.fetch_add(1, std::memory_order_relaxed);
           done(Status(CancelledError(
                    "tenant front end shut down before dispatch")),
+               /*cache_hit=*/false);
+          return;
+        }
+        if (outcome == FairOutcome::kExpired) {
+          state->expired_in_queue.fetch_add(1, std::memory_order_relaxed);
+          state->failed.fetch_add(1, std::memory_order_relaxed);
+          done(Status(DeadlineExceededError(
+                   "deadline passed while queued; request was never "
+                   "dispatched")),
                /*cache_hit=*/false);
           return;
         }
@@ -99,7 +109,8 @@ Status TenantScheduler::SubmitSolve(const std::string& tenant_name,
           state->failed.fetch_add(1, std::memory_order_relaxed);
         }
         done(std::move(result), /*cache_hit=*/false);
-      });
+      },
+      queue_deadline);
   if (!queued.ok() && queued.code() == StatusCode::kWouldBlock) {
     state->rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
   }

@@ -6,8 +6,16 @@
 // round-tripping to a distinct protocol error code.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -84,7 +92,10 @@ TEST(Protocol, StatsResponseRoundTrip) {
   StatsResponseMsg msg;
   msg.requests = 42;
   msg.cache_hits = 17;
+  msg.retries = 5;
   msg.protocol_errors = 3;
+  msg.shed_overload = 2;
+  msg.expired_in_queue = 4;
   msg.uptime_micros = 123456789;
   TenantStatsMsg t;
   t.name = "video";
@@ -106,7 +117,10 @@ TEST(Protocol, StatsResponseRoundTrip) {
   ASSERT_TRUE(Decode(out.body.data(), out.body.size(), &decoded).ok());
   EXPECT_EQ(decoded.requests, 42u);
   EXPECT_EQ(decoded.cache_hits, 17u);
+  EXPECT_EQ(decoded.retries, 5u);
   EXPECT_EQ(decoded.protocol_errors, 3u);
+  EXPECT_EQ(decoded.shed_overload, 2u);
+  EXPECT_EQ(decoded.expired_in_queue, 4u);
   EXPECT_EQ(decoded.uptime_micros, 123456789);
   ASSERT_EQ(decoded.tenants.size(), 1u);
   EXPECT_EQ(decoded.tenants[0].name, "video");
@@ -595,6 +609,131 @@ TEST(NetServer, IdleConnectionsAreReaped) {
   ASSERT_FALSE(frame.ok());
   EXPECT_EQ(frame.status().code(), StatusCode::kCancelled);
   EXPECT_EQ(ts.server.Stats().idle_closed, 1u);
+}
+
+// Satellite regression: signals without SA_RESTART landing mid-syscall
+// must not surface as spurious I/O errors. Covers connect() (EINTR leaves
+// the handshake in flight; the client must wait it out via poll +
+// SO_ERROR) and send()/recv() restarts.
+void IgnoreSignal(int) {}
+
+TEST(NetClient, SurvivesSignalStormDuringRoundTrips) {
+  TestServer ts(Workers(2), Dispatchers(2));
+  ASSERT_TRUE(ts.server.Start().ok());
+
+  struct sigaction action {};
+  action.sa_handler = IgnoreSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction previous {};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  std::atomic<bool> storming{true};
+  const pthread_t victim = pthread_self();
+  std::thread storm([&] {
+    while (storming.load(std::memory_order_acquire)) {
+      pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  for (int i = 0; i < 25; ++i) {
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port()).ok())
+        << "iteration " << i;
+    auto health = client.Health();
+    EXPECT_TRUE(health.ok()) << health.status().ToString();
+  }
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port()).ok());
+  auto solve = client.Solve(SolveMsg("alice", 13));
+  EXPECT_TRUE(solve.ok()) << solve.status().ToString();
+
+  storming.store(false, std::memory_order_release);
+  storm.join();
+  sigaction(SIGUSR1, &previous, nullptr);
+}
+
+// Satellite regression: a graceful drain must flush (not drop) responses
+// buffered behind a slow reader before reaping the connection.
+TEST(NetServer, DrainFlushesResponsesBufferedBehindSlowReader) {
+  ServerOptions server_options;
+  server_options.drain_timeout = ticks::FromSeconds(5);
+  TestServer ts(Workers(0), Dispatchers(0), std::move(server_options));
+  ASSERT_TRUE(ts.server.Start().ok());
+
+  // Raw socket with a tiny receive buffer, set before connect so the TCP
+  // window is negotiated small: pipelined responses pile up in the
+  // server's out-queue instead of the kernel's.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 1024;
+  ASSERT_EQ(
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf)), 0);
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ts.server.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  constexpr std::uint64_t kRequests = 4000;
+  const auto health = EncodeHealthRequest();
+  std::vector<std::uint8_t> burst;
+  burst.reserve(health.size() * kRequests);
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    burst.insert(burst.end(), health.begin(), health.end());
+  }
+  std::size_t sent = 0;
+  while (sent < burst.size()) {
+    const ssize_t w =
+        ::send(fd, burst.data() + sent, burst.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(w, 0) << "send failed at offset " << sent;
+    sent += static_cast<std::size_t>(w);
+  }
+  // Every request processed and its response queued (most still buffered
+  // server-side: nobody is reading yet).
+  for (int i = 0;
+       i < 1000 && ts.server.Stats().responses_sent < kRequests; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(ts.server.Stats().frames_received, kRequests);
+  ASSERT_EQ(ts.server.Stats().responses_sent, kRequests);
+
+  // Drain begins with a full out-queue; only then start reading, slowly.
+  std::thread stopper([&] { ts.server.Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  FrameDecoder decoder;
+  std::uint64_t received = 0;
+  std::vector<char> buf(8192);
+  while (true) {
+    const ssize_t r = ::recv(fd, buf.data(), buf.size(), 0);
+    if (r == 0) break;  // clean EOF after the flush
+    ASSERT_FALSE(r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        << "drain stalled after " << received << " responses";
+    if (r < 0) {
+      ASSERT_EQ(errno, EINTR) << "recv: " << std::strerror(errno);
+      continue;
+    }
+    decoder.Append(buf.data(), static_cast<std::size_t>(r));
+    Frame frame;
+    while (true) {
+      auto ready = decoder.Next(&frame);
+      ASSERT_TRUE(ready.ok()) << ready.status().ToString();
+      if (!*ready) break;
+      EXPECT_EQ(frame.type, MsgType::kHealthOk);
+      ++received;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stopper.join();
+  ::close(fd);
+  EXPECT_EQ(received, kRequests);
 }
 
 TEST(NetServer, DrainRefusesNewSolvesAndReportsDraining) {

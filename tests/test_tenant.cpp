@@ -163,9 +163,10 @@ FairQueueOptions Paused() {
 TEST(FairScheduler, QueueFullIsTyped) {
   FairScheduler fair(Paused());
   const int lane = fair.AddTenant(1.0, /*queue_capacity=*/2);
-  EXPECT_TRUE(fair.Submit(lane, [](bool) {}).ok());
-  EXPECT_TRUE(fair.Submit(lane, [](bool) {}).ok());
-  EXPECT_EQ(fair.Submit(lane, [](bool) {}).code(), StatusCode::kWouldBlock);
+  EXPECT_TRUE(fair.Submit(lane, [](FairOutcome) {}).ok());
+  EXPECT_TRUE(fair.Submit(lane, [](FairOutcome) {}).ok());
+  EXPECT_EQ(fair.Submit(lane, [](FairOutcome) {}).code(),
+            StatusCode::kWouldBlock);
   EXPECT_EQ(fair.QueuedFor(lane), 2u);
   EXPECT_EQ(fair.Stats().rejected_full, 1u);
 }
@@ -175,11 +176,80 @@ TEST(FairScheduler, ShutdownCancelsQueuedJobs) {
   const int lane = fair.AddTenant(1.0, 8);
   int cancelled = 0;
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(fair.Submit(lane, [&](bool c) { cancelled += c; }).ok());
+    ASSERT_TRUE(fair.Submit(lane, [&](FairOutcome o) {
+                       cancelled += o == FairOutcome::kCancelled;
+                     }).ok());
   }
   fair.Shutdown();
   EXPECT_EQ(cancelled, 3);
-  EXPECT_EQ(fair.Submit(lane, [](bool) {}).code(), StatusCode::kCancelled);
+  EXPECT_EQ(fair.Submit(lane, [](FairOutcome) {}).code(),
+            StatusCode::kCancelled);
+}
+
+TEST(FairScheduler, ExpiredFrontDrainsWithoutChargingDeficit) {
+  FairScheduler fair(Paused());
+  const int lane = fair.AddTenant(1.0, 8);
+  int expired = 0;
+  int dispatched = 0;
+  const Tick past = WallNow() - ticks::FromMillis(5);
+  ASSERT_TRUE(fair.Submit(lane,
+                          [&](FairOutcome o) {
+                            expired += o == FairOutcome::kExpired;
+                          },
+                          past)
+                  .ok());
+  ASSERT_TRUE(fair.Submit(lane, [&](FairOutcome o) {
+                     dispatched += o == FairOutcome::kDispatched;
+                   }).ok());
+  // One pass pops the expired front (completing it with kExpired) and then
+  // dispatches the live job behind it.
+  EXPECT_TRUE(fair.DispatchOne());
+  EXPECT_EQ(expired, 1);
+  EXPECT_EQ(dispatched, 1);
+  const auto stats = fair.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_EQ(fair.QueuedFor(lane), 0u);
+  fair.Shutdown();
+}
+
+TEST(FairScheduler, FullyExpiredLaneDrainsWithoutDispatch) {
+  FairScheduler fair(Paused());
+  const int lane = fair.AddTenant(1.0, 8);
+  int expired = 0;
+  const Tick past = WallNow() - ticks::FromMillis(5);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fair.Submit(lane,
+                            [&](FairOutcome o) {
+                              expired += o == FairOutcome::kExpired;
+                            },
+                            past)
+                    .ok());
+  }
+  // Nothing dispatchable remains, but the scan still completes the
+  // expired jobs (exactly once each).
+  EXPECT_FALSE(fair.DispatchOne());
+  EXPECT_EQ(expired, 3);
+  EXPECT_EQ(fair.Stats().expired, 3u);
+  EXPECT_EQ(fair.Stats().dispatched, 0u);
+  EXPECT_EQ(fair.QueuedFor(lane), 0u);
+  fair.Shutdown();
+}
+
+TEST(FairScheduler, FutureDeadlineIsDispatchedNormally) {
+  FairScheduler fair(Paused());
+  const int lane = fair.AddTenant(1.0, 8);
+  int dispatched = 0;
+  ASSERT_TRUE(fair.Submit(lane,
+                          [&](FairOutcome o) {
+                            dispatched += o == FairOutcome::kDispatched;
+                          },
+                          WallNow() + ticks::FromSeconds(60))
+                  .ok());
+  EXPECT_TRUE(fair.DispatchOne());
+  EXPECT_EQ(dispatched, 1);
+  EXPECT_EQ(fair.Stats().expired, 0u);
+  fair.Shutdown();
 }
 
 /// Weighted-share convergence property: under saturating load (every lane
@@ -197,8 +267,8 @@ TEST(FairScheduler, WeightedSharesConvergeUnderSaturation) {
     for (std::size_t t = 0; t < lanes.size(); ++t) {
       while (fair.QueuedFor(lanes[t]) < 4) {
         ASSERT_TRUE(
-            fair.Submit(lanes[t], [&dispatched, t](bool cancelled) {
-              if (!cancelled) ++dispatched[t];
+            fair.Submit(lanes[t], [&dispatched, t](FairOutcome o) {
+              if (o == FairOutcome::kDispatched) ++dispatched[t];
             }).ok());
       }
     }
@@ -233,12 +303,12 @@ TEST(FairScheduler, IdleLaneForfeitsDeficit) {
   int busy_count = 0;
   int idle_count = 0;
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(fair.Submit(busy, [&](bool) { ++busy_count; }).ok());
+    ASSERT_TRUE(fair.Submit(busy, [&](FairOutcome) { ++busy_count; }).ok());
   }
   // idle's lane stays empty for 20 dispatches -> no credit accrues.
   for (int i = 0; i < 20; ++i) ASSERT_TRUE(fair.DispatchOne());
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(fair.Submit(idle, [&](bool) { ++idle_count; }).ok());
+    ASSERT_TRUE(fair.Submit(idle, [&](FairOutcome) { ++idle_count; }).ok());
   }
   // Next two dispatches: one each (round-robin), not an idle burst.
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(fair.DispatchOne());
@@ -358,6 +428,32 @@ TEST(TenantScheduler, PerTenantQueueFullIsTyped) {
                                [](Expected<service::SolveResult>, bool) {})
                   .ok());
   tenants.Shutdown();
+}
+
+TEST(TenantScheduler, QueuedPastDeadlineExpiresTyped) {
+  service::ScheduleService service{service::ServiceOptions{}};
+  TenantSchedulerOptions options;
+  options.dispatch_threads = 1;
+  TenantScheduler tenants(&service, options);
+
+  // A deadline already in the past cannot be dispatched: the lane scan
+  // completes it with kDeadlineExceeded before it ever reaches the solver.
+  auto request = RequestFor(SmallProblem(40));
+  request.deadline = WallNow() - ticks::FromMillis(1);
+  std::promise<Status> done;
+  ASSERT_TRUE(tenants
+                  .SubmitSolve("erin", request,
+                               [&](Expected<service::SolveResult> result,
+                                   bool) {
+                                 done.set_value(result.status());
+                               })
+                  .ok());
+  EXPECT_EQ(done.get_future().get().code(), StatusCode::kDeadlineExceeded);
+  tenants.Shutdown();
+  const auto stats = tenants.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].expired_in_queue, 1u);
+  EXPECT_EQ(tenants.QueueStats().expired, 1u);
 }
 
 TEST(TenantScheduler, UnknownTenantWhenRegistryClosed) {

@@ -93,7 +93,12 @@ int Usage(const char* argv0) {
       "  --workers N    service worker threads (default: half the\n"
       "                 hardware threads, at least 2)\n"
       "  --snapshot F   warm-cache snapshot file loaded at startup and\n"
-      "                 written on drain\n",
+      "                 written on drain\n"
+      "  --max-pending-solves N  queued+inflight solve admission bound;\n"
+      "                 excess solves are shed with kOverloaded\n"
+      "                 (default 256, 0 = unbounded)\n"
+      "  --max-inflight N  per-connection pipelined-solve cap, shed with\n"
+      "                 kOverloaded past it (default 64, 0 = unbounded)\n",
       argv0, argv0);
   return 2;
 }
@@ -316,7 +321,8 @@ void HandleStopSignal(int) { g_stop_requested = 1; }
 int ServeCommand(const std::string& host, int port,
                  const std::string& tenants_file, int max_tenants,
                  int workers, int solver_threads,
-                 const std::string& snapshot_path) {
+                 const std::string& snapshot_path, int max_pending_solves,
+                 int max_inflight) {
   service::ServiceOptions sopts;
   sopts.workers =
       workers > 0 ? workers
@@ -354,6 +360,8 @@ int ServeCommand(const std::string& host, int port,
   net::ServerOptions nopts;
   nopts.host = host;
   nopts.port = port;
+  nopts.max_pending_solves = static_cast<std::size_t>(max_pending_solves);
+  nopts.max_inflight_per_conn = max_inflight;
   net::Server server(nopts, &service, &tenants);
   Status started = server.Start();
   if (!started.ok()) {
@@ -448,6 +456,8 @@ int main(int argc, char** argv) {
   std::string solver_pruning = "full";
   int max_tenants = 64;
   int workers = 0;
+  int max_pending_solves = 256;
+  int max_inflight = 64;
   double gantt_ms = 0;
   std::string throughput_bound;
   std::string listen = "127.0.0.1:7077";
@@ -501,6 +511,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers") {
       if (!ParseIntArg("--workers", next(), &workers) || workers <= 0) {
         std::fprintf(stderr, "error: --workers expects a positive count\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--max-pending-solves") {
+      if (!ParseIntArg("--max-pending-solves", next(),
+                       &max_pending_solves) ||
+          max_pending_solves < 0) {
+        std::fprintf(stderr,
+                     "error: --max-pending-solves expects a bound >= 0 "
+                     "(0 = unbounded)\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--max-inflight") {
+      if (!ParseIntArg("--max-inflight", next(), &max_inflight) ||
+          max_inflight < 0) {
+        std::fprintf(stderr,
+                     "error: --max-inflight expects a bound >= 0 "
+                     "(0 = unbounded)\n");
         return Usage(argv[0]);
       }
     } else if (arg == "--snapshot") {
@@ -569,7 +596,8 @@ int main(int argc, char** argv) {
     int port = 0;
     if (!ParseListenAddr(listen, &host, &port)) return Usage(argv[0]);
     return ServeCommand(host, port, tenants_file, max_tenants, workers,
-                        solver_threads, snapshot_path);
+                        solver_threads, snapshot_path, max_pending_solves,
+                        max_inflight);
   }
   if (!demo && path.empty()) return Usage(argv[0]);
   const std::size_t frames = static_cast<std::size_t>(frames_arg);
