@@ -29,8 +29,10 @@
 // deviates from its configured weight share by more than the tolerance
 // (default 20%). `--json <file>` writes the bench records consumed by
 // tools/bench_compare (committed baseline: bench/BENCH_net.json).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +49,7 @@
 #include "core/time.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/synthetic.hpp"
+#include "net/async_client.hpp"
 #include "net/chaos.hpp"
 #include "net/client.hpp"
 #include "net/resilient_client.hpp"
@@ -78,6 +81,12 @@ struct LoadgenOptions {
   bool chaos_soak = false;
   /// Randomized chaos seeds in the flip phase of the soak.
   int chaos_seeds = 8;
+  /// Pipelined mode (--pipelined): protocol-v2 out-of-order throughput
+  /// phases instead of the mixed/fairness phases. Always self-hosted (the
+  /// loop-scaling phase restarts the server with different loop_threads).
+  bool pipelined = false;
+  /// Hit-path requests per measured pipelined burst.
+  int pipelined_requests = 2000;
 };
 
 std::string TenantName(int i) { return "t" + std::to_string(i); }
@@ -872,6 +881,358 @@ int RunChaosSoak(const LoadgenOptions& options) {
   return ok ? 0 : 1;
 }
 
+// ---- Pipelined throughput ------------------------------------------------
+//
+// `--pipelined` replaces the mixed/fairness phases with protocol-v2
+// pipelining phases against a self-hosted server:
+//
+//   baseline   one blocking v1 client solves the (pre-seeded) hit path,
+//              one request per round trip — the synchronous floor;
+//   windows    one AsyncClient repeats the same burst at in-flight
+//              windows 1, 8, and 64; window 1 doubles as the TCP_NODELAY
+//              canary (with Nagle + delayed ACK a small-frame ping-pong
+//              sits near 40 ms per round trip, so its p50 must stay in
+//              single-digit milliseconds);
+//   scaling    the window-64 burst re-runs across several connections
+//              against loop_threads=1 and loop_threads=4 servers; the
+//              throughput ratio is recorded as-is (on a single-core host
+//              it is honestly ~1x — the record exists so multi-core CI
+//              shows real scaling, not to flatter this machine);
+//   interop    a v1 blocking client and a v2 pipelined client hammer the
+//              same server concurrently; the server must finish with
+//              zero protocol errors.
+//
+// The headline gate: window-64 pipelined throughput >= 3x the blocking
+// baseline on the same hit path.
+
+/// One pipelined hit-path burst over a single AsyncClient.
+struct PipelinedRun {
+  Summary rtt;
+  double kreq_s = 0.0;
+  std::uint64_t failures = 0;
+  std::uint64_t completed = 0;
+};
+
+PipelinedRun RunHitBurst(const std::string& host, int port, int window,
+                         int requests, int tenant_count,
+                         const std::vector<std::string>& texts) {
+  PipelinedRun out;
+  net::AsyncClientOptions copts;
+  copts.window = window;
+  net::AsyncClient client(copts);
+  if (Status s = client.Connect(host, port); !s.ok()) {
+    std::fprintf(stderr, "FAIL [pipelined/connect]: %s\n",
+                 s.ToString().c_str());
+    out.failures = static_cast<std::uint64_t>(requests);
+    return out;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(requests));
+  int done = 0;
+  // Corked chunks: one send syscall per kCorkChunk submissions instead of
+  // one per request (chunk < window, so flushed requests always keep the
+  // window draining).
+  constexpr int kCorkChunk = 16;
+  int corked = 0;
+  const Stopwatch wall;
+  client.Cork();
+  for (int i = 0; i < requests; ++i) {
+    const Tick start = WallNow();
+    client.SolveAsync(
+        SolveMsg(TenantName(i % tenant_count),
+                 texts[static_cast<std::size_t>(i) % texts.size()]),
+        [&, start](Expected<net::SolveResponseMsg> resp) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++done;
+          if (resp.ok()) {
+            ms.push_back(MsSince(start));
+          } else {
+            ++out.failures;
+            std::fprintf(stderr, "FAIL [pipelined/solve]: %s\n",
+                         resp.status().ToString().c_str());
+          }
+          // Only the last completion wakes the waiter: a notify per
+          // completion would put a futex wake + context switch on the
+          // measured path.
+          if (done == requests) cv.notify_all();
+        });
+    if (++corked == kCorkChunk) {
+      client.Uncork();
+      client.Cork();
+      corked = 0;
+    }
+  }
+  client.Uncork();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == requests; });
+  }
+  const double wall_s = wall.ElapsedSeconds();
+  client.Close();
+  out.completed = static_cast<std::uint64_t>(done);
+  out.kreq_s =
+      wall_s > 0 ? static_cast<double>(requests) / wall_s / 1000.0 : 0.0;
+  out.rtt = Summarize(std::move(ms));
+  return out;
+}
+
+/// Aggregate window-64 throughput over `conns` concurrent pipelined
+/// connections (the loop-scaling probe; with multiple loops each
+/// connection lands on its own shard).
+double AggregateHitKreqS(const std::string& host, int port, int conns,
+                         int per_conn, int tenant_count,
+                         const std::vector<std::string>& texts,
+                         std::uint64_t* failures) {
+  std::atomic<std::uint64_t> failed{0};
+  const Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&] {
+      PipelinedRun run =
+          RunHitBurst(host, port, /*window=*/64, per_conn, tenant_count,
+                      texts);
+      failed.fetch_add(run.failures, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+  *failures += failed.load();
+  return wall_s > 0 ? static_cast<double>(conns) *
+                          static_cast<double>(per_conn) / wall_s / 1000.0
+                    : 0.0;
+}
+
+int RunPipelined(const LoadgenOptions& options) {
+  bench::PrintHeader(
+      "net loadgen: pipelined protocol v2 (out-of-order completion)");
+
+  bool ok = true;
+  auto gate = [&ok](bool pass, const std::string& what) {
+    std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", what.c_str());
+    if (!pass) ok = false;
+  };
+
+  constexpr int kTenants = 4;
+  constexpr int kHitProblems = 32;
+  const int requests = options.pipelined_requests;
+  std::uint64_t failures = 0;
+
+  std::vector<std::string> texts;
+  texts.reserve(kHitProblems);
+  for (int p = 0; p < kHitProblems; ++p) {
+    texts.push_back(MakeProblemText(static_cast<std::uint64_t>(p)));
+  }
+
+  auto seed_cache = [&](const std::string& host, int port) -> Status {
+    net::Client seeder;
+    if (Status s = seeder.Connect(host, port); !s.ok()) return s;
+    for (int p = 0; p < kHitProblems; ++p) {
+      auto resp = seeder.Solve(SolveMsg(TenantName(p % kTenants),
+                                        texts[static_cast<std::size_t>(p)]));
+      if (!resp.ok()) return resp.status();
+    }
+    return OkStatus();
+  };
+
+  // ---- Phase 1: baseline + windows on a single-loop server ---------------
+  Summary blocking_rtt;
+  double blocking_kreq_s = 0.0;
+  PipelinedRun w1;
+  PipelinedRun w8;
+  PipelinedRun w64;
+  std::uint64_t interop_v1 = 0;
+  std::uint64_t interop_v2 = 0;
+  std::uint64_t protocol_errors = 0;
+  {
+    SoakServer soak;
+    net::ServerOptions nopts;
+    Status started = soak.Start(/*port=*/0, /*workers=*/4,
+                                /*dispatch_threads=*/2, kTenants, nopts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    const std::string host = soak.server->host();
+    const int port = soak.server->port();
+    if (Status s = seed_cache(host, port); !s.ok()) {
+      std::fprintf(stderr, "FAIL [pipelined/seed]: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("seeded %d hit problems; %d requests per burst\n",
+                kHitProblems, requests);
+
+    {
+      net::Client client;
+      if (Status s = client.Connect(host, port); !s.ok()) {
+        std::fprintf(stderr, "FAIL [pipelined/connect]: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::vector<double> ms;
+      ms.reserve(static_cast<std::size_t>(requests));
+      const Stopwatch wall;
+      for (int i = 0; i < requests; ++i) {
+        const Tick start = WallNow();
+        auto resp = client.Solve(
+            SolveMsg(TenantName(i % kTenants),
+                     texts[static_cast<std::size_t>(i) % texts.size()]));
+        if (!resp.ok()) {
+          ++failures;
+          std::fprintf(stderr, "FAIL [blocking/solve]: %s\n",
+                       resp.status().ToString().c_str());
+          continue;
+        }
+        ms.push_back(MsSince(start));
+      }
+      const double wall_s = wall.ElapsedSeconds();
+      blocking_kreq_s =
+          wall_s > 0 ? static_cast<double>(requests) / wall_s / 1000.0 : 0.0;
+      blocking_rtt = Summarize(std::move(ms));
+    }
+    std::printf("blocking baseline: %.2f kreq/s  (p50 %.3f ms  p99 %.3f "
+                "ms)\n",
+                blocking_kreq_s, blocking_rtt.median, blocking_rtt.p99);
+
+    w1 = RunHitBurst(host, port, 1, requests, kTenants, texts);
+    w8 = RunHitBurst(host, port, 8, requests, kTenants, texts);
+    w64 = RunHitBurst(host, port, 64, requests, kTenants, texts);
+    failures += w1.failures + w8.failures + w64.failures;
+    for (const auto* run : {&w1, &w8, &w64}) {
+      const int window = run == &w1 ? 1 : run == &w8 ? 8 : 64;
+      std::printf("pipelined w=%-2d:    %.2f kreq/s  (p50 %.3f ms  p99 "
+                  "%.3f ms)\n",
+                  window, run->kreq_s, run->rtt.median, run->rtt.p99);
+    }
+
+    // ---- Interop: v1 blocking and v2 pipelined share the server ----------
+    {
+      constexpr int kInteropRounds = 200;
+      std::atomic<std::uint64_t> v1_ok{0};
+      std::atomic<std::uint64_t> v2_ok{0};
+      std::thread v1_thread([&] {
+        net::Client client;
+        if (!client.Connect(host, port).ok()) return;
+        for (int i = 0; i < kInteropRounds; ++i) {
+          auto resp = client.Solve(
+              SolveMsg(TenantName(i % kTenants),
+                       texts[static_cast<std::size_t>(i) % texts.size()]));
+          if (resp.ok()) v1_ok.fetch_add(1, std::memory_order_relaxed);
+          if (i % 16 == 0 && client.Health().ok()) {
+            v1_ok.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+      std::thread v2_thread([&] {
+        net::AsyncClientOptions copts;
+        copts.window = 32;
+        net::AsyncClient client(copts);
+        if (!client.Connect(host, port).ok()) return;
+        std::mutex mu;
+        std::condition_variable cv;
+        int done = 0;
+        for (int i = 0; i < kInteropRounds; ++i) {
+          client.SolveAsync(
+              SolveMsg(TenantName(i % kTenants),
+                       texts[static_cast<std::size_t>(i) % texts.size()]),
+              [&](Expected<net::SolveResponseMsg> resp) {
+                std::lock_guard<std::mutex> lock(mu);
+                ++done;
+                if (resp.ok()) {
+                  v2_ok.fetch_add(1, std::memory_order_relaxed);
+                }
+                if (done == kInteropRounds) cv.notify_all();
+              });
+        }
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done == kInteropRounds; });
+      });
+      v1_thread.join();
+      v2_thread.join();
+      interop_v1 = v1_ok.load();
+      interop_v2 = v2_ok.load();
+      std::printf("interop: %llu v1 + %llu v2 responses interleaved\n",
+                  static_cast<unsigned long long>(interop_v1),
+                  static_cast<unsigned long long>(interop_v2));
+    }
+
+    net::Client direct;
+    if (direct.Connect(host, port).ok()) {
+      if (auto stats = direct.Stats(); stats.ok()) {
+        protocol_errors = stats->protocol_errors;
+      } else {
+        ++failures;
+      }
+    } else {
+      ++failures;
+    }
+    soak.Stop();
+  }
+
+  // ---- Phase 2: loop scaling (1 loop vs 4 loops, 4 connections) ----------
+  constexpr int kScaleConns = 4;
+  const int per_conn = std::max(1, requests / kScaleConns);
+  double kreq_1loop = 0.0;
+  double kreq_4loop = 0.0;
+  for (const int loops : {1, 4}) {
+    SoakServer soak;
+    net::ServerOptions nopts;
+    nopts.loop_threads = loops;
+    Status started = soak.Start(/*port=*/0, /*workers=*/4,
+                                /*dispatch_threads=*/2, kTenants, nopts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    if (Status s = seed_cache(soak.server->host(), soak.server->port());
+        !s.ok()) {
+      std::fprintf(stderr, "FAIL [scaling/seed]: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    const double kreq =
+        AggregateHitKreqS(soak.server->host(), soak.server->port(),
+                          kScaleConns, per_conn, kTenants, texts, &failures);
+    (loops == 1 ? kreq_1loop : kreq_4loop) = kreq;
+    std::printf("loop scaling: %d loop(s), %d conns -> %.2f kreq/s\n",
+                loops, kScaleConns, kreq);
+    soak.Stop();
+  }
+  const double loop_scaling =
+      kreq_1loop > 0 ? kreq_4loop / kreq_1loop : 0.0;
+  const double speedup =
+      blocking_kreq_s > 0 ? w64.kreq_s / blocking_kreq_s : 0.0;
+  std::printf("window-64 speedup over blocking: %.2fx;  4-loop/1-loop "
+              "scaling: %.2fx\n",
+              speedup, loop_scaling);
+
+  std::printf("\ngates:\n");
+  gate(failures == 0,
+       "zero failed requests (" + std::to_string(failures) + " failed)");
+  gate(protocol_errors == 0,
+       "zero server protocol errors with mixed v1+v2 clients (" +
+           std::to_string(protocol_errors) + ")");
+  gate(w1.rtt.median < 5.0,
+       "window-1 p50 in single-digit ms — TCP_NODELAY live on both sides "
+       "(" + std::to_string(w1.rtt.median) + " ms)");
+  gate(speedup >= 3.0, "pipelined window-64 >= 3x blocking throughput (" +
+                           std::to_string(speedup) + "x)");
+
+  bench::JsonReport json(options.json_path);
+  json.Add("net_pipelined_rtt_w1", w1.rtt.median, w1.rtt.p99);
+  json.Add("net_pipelined_rtt_w8", w8.rtt.median, w8.rtt.p99);
+  json.Add("net_pipelined_rtt_w64", w64.rtt.median, w64.rtt.p99);
+  json.Add("net_blocking_kreq_s_x", blocking_kreq_s, blocking_kreq_s);
+  json.Add("net_pipelined_kreq_s_w64_x", w64.kreq_s, w64.kreq_s);
+  json.Add("net_pipelined_speedup_x", speedup, speedup);
+  json.Add("net_loop_scaling_x", loop_scaling, loop_scaling);
+  json.Write();
+
+  return ok ? 0 : 1;
+}
+
 bool ParseInt(const char* flag, const char* text, int* out) {
   if (text == nullptr || *text == '\0') return false;
   char* end = nullptr;
@@ -943,6 +1304,14 @@ int main(int argc, char** argv) {
       int pct = 0;
       if (!ss::ParseInt("--tolerance", next(), &pct) || pct <= 0) return 2;
       options.fairness_tolerance = pct / 100.0;
+    } else if (arg == "--pipelined") {
+      options.pipelined = true;
+    } else if (arg == "--pipelined-requests") {
+      if (!ss::ParseInt("--pipelined-requests", next(),
+                        &options.pipelined_requests) ||
+          options.pipelined_requests <= 0) {
+        return 2;
+      }
     } else if (arg == "--chaos-soak") {
       options.chaos_soak = true;
     } else if (arg == "--chaos-seeds") {
@@ -955,13 +1324,19 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (options.chaos_soak) {
+  if (options.chaos_soak || options.pipelined) {
     if (!options.connect_host.empty()) {
-      std::fprintf(stderr,
-                   "error: --chaos-soak is self-hosted; drop --connect\n");
+      std::fprintf(stderr, "error: --%s is self-hosted; drop --connect\n",
+                   options.chaos_soak ? "chaos-soak" : "pipelined");
       return 2;
     }
-    return ss::RunChaosSoak(options);
+    if (options.chaos_soak && options.pipelined) {
+      std::fprintf(stderr,
+                   "error: pick one of --chaos-soak / --pipelined\n");
+      return 2;
+    }
+    return options.chaos_soak ? ss::RunChaosSoak(options)
+                              : ss::RunPipelined(options);
   }
   return ss::Run(options);
 }

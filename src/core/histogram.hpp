@@ -35,6 +35,7 @@ class LatencyHistogram {
     double Percentile(double q) const;
     double p50() const { return Percentile(0.50); }
     double p99() const { return Percentile(0.99); }
+    double p999() const { return Percentile(0.999); }
   };
 
   /// Records one sample (negative values clamp to 0). Thread-safe, relaxed.

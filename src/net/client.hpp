@@ -53,6 +53,9 @@ class Client {
   /// Blocks for the next complete frame. kDeadlineExceeded on timeout,
   /// kCancelled when the server closes the connection first.
   Expected<Frame> ReadFrame();
+  /// The connected socket (-1 when closed). AsyncClient's reader thread
+  /// polls it directly.
+  int fd() const { return fd_; }
 
  private:
   /// Sends one encoded frame and decodes the response, expecting

@@ -131,13 +131,18 @@ bool WireReader::Str(std::string* s) {
 // ---- Frame encoding ------------------------------------------------------
 
 std::vector<std::uint8_t> EncodeFrame(MsgType type,
-                                      const std::vector<std::uint8_t>& body) {
+                                      const std::vector<std::uint8_t>& body,
+                                      std::uint8_t version,
+                                      std::uint64_t request_id) {
+  const std::size_t header =
+      version >= kProtocolVersion2 ? 2 + sizeof(std::uint64_t) : 2;
   std::vector<std::uint8_t> frame;
-  frame.reserve(4 + 2 + body.size());
+  frame.reserve(4 + header + body.size());
   WireWriter w(&frame);
-  w.U32(static_cast<std::uint32_t>(2 + body.size()));
-  w.U8(kProtocolVersion);
+  w.U32(static_cast<std::uint32_t>(header + body.size()));
+  w.U8(version);
   w.U8(static_cast<std::uint8_t>(type));
+  if (version >= kProtocolVersion2) w.U64(request_id);
   frame.insert(frame.end(), body.begin(), body.end());
   return frame;
 }
@@ -164,7 +169,7 @@ bool ReadSummary(WireReader* r, ScheduleSummary* s) {
 
 }  // namespace
 
-std::vector<std::uint8_t> Encode(const SolveRequestMsg& msg) {
+std::vector<std::uint8_t> EncodeBody(const SolveRequestMsg& msg) {
   std::vector<std::uint8_t> body;
   WireWriter w(&body);
   w.Str(msg.tenant);
@@ -172,7 +177,11 @@ std::vector<std::uint8_t> Encode(const SolveRequestMsg& msg) {
   w.I32(msg.regime);
   w.I64(msg.deadline_micros);
   w.U8(msg.allow_degraded ? 1 : 0);
-  return EncodeFrame(MsgType::kSolve, body);
+  return body;
+}
+
+std::vector<std::uint8_t> Encode(const SolveRequestMsg& msg) {
+  return EncodeFrame(MsgType::kSolve, EncodeBody(msg));
 }
 
 Status Decode(const std::uint8_t* body, std::size_t size,
@@ -188,12 +197,16 @@ Status Decode(const std::uint8_t* body, std::size_t size,
   return OkStatus();
 }
 
-std::vector<std::uint8_t> Encode(const SolveResponseMsg& msg) {
+std::vector<std::uint8_t> EncodeBody(const SolveResponseMsg& msg) {
   std::vector<std::uint8_t> body;
   WireWriter w(&body);
   WriteSummary(&w, msg.summary);
   w.U8(msg.cache_hit ? 1 : 0);
-  return EncodeFrame(MsgType::kSolveOk, body);
+  return body;
+}
+
+std::vector<std::uint8_t> Encode(const SolveResponseMsg& msg) {
+  return EncodeFrame(MsgType::kSolveOk, EncodeBody(msg));
 }
 
 Status Decode(const std::uint8_t* body, std::size_t size,
@@ -207,13 +220,17 @@ Status Decode(const std::uint8_t* body, std::size_t size,
   return OkStatus();
 }
 
-std::vector<std::uint8_t> Encode(const LookupRequestMsg& msg) {
+std::vector<std::uint8_t> EncodeBody(const LookupRequestMsg& msg) {
   std::vector<std::uint8_t> body;
   WireWriter w(&body);
   w.Str(msg.tenant);
   w.Str(msg.problem_text);
   w.I32(msg.regime);
-  return EncodeFrame(MsgType::kLookup, body);
+  return body;
+}
+
+std::vector<std::uint8_t> Encode(const LookupRequestMsg& msg) {
+  return EncodeFrame(MsgType::kLookup, EncodeBody(msg));
 }
 
 Status Decode(const std::uint8_t* body, std::size_t size,
@@ -226,12 +243,16 @@ Status Decode(const std::uint8_t* body, std::size_t size,
   return OkStatus();
 }
 
-std::vector<std::uint8_t> Encode(const LookupResponseMsg& msg) {
+std::vector<std::uint8_t> EncodeBody(const LookupResponseMsg& msg) {
   std::vector<std::uint8_t> body;
   WireWriter w(&body);
   w.U8(msg.found ? 1 : 0);
   if (msg.found) WriteSummary(&w, msg.summary);
-  return EncodeFrame(MsgType::kLookupOk, body);
+  return body;
+}
+
+std::vector<std::uint8_t> Encode(const LookupResponseMsg& msg) {
+  return EncodeFrame(MsgType::kLookupOk, EncodeBody(msg));
 }
 
 Status Decode(const std::uint8_t* body, std::size_t size,
@@ -251,7 +272,7 @@ std::vector<std::uint8_t> EncodeStatsRequest() {
   return EncodeFrame(MsgType::kStats, {});
 }
 
-std::vector<std::uint8_t> Encode(const StatsResponseMsg& msg) {
+std::vector<std::uint8_t> EncodeBody(const StatsResponseMsg& msg) {
   std::vector<std::uint8_t> body;
   WireWriter w(&body);
   w.U64(msg.requests);
@@ -289,8 +310,20 @@ std::vector<std::uint8_t> Encode(const StatsResponseMsg& msg) {
     w.U64(t.queued);
     w.F64(t.p50_latency_us);
     w.F64(t.p99_latency_us);
+    w.F64(t.p999_latency_us);
   }
-  return EncodeFrame(MsgType::kStatsOk, body);
+  w.U32(static_cast<std::uint32_t>(msg.loops.size()));
+  for (const LoopStatsMsg& l : msg.loops) {
+    w.U32(l.loop);
+    w.U64(l.connections_active);
+    w.U64(l.frames_received);
+    w.U64(l.responses_sent);
+  }
+  return body;
+}
+
+std::vector<std::uint8_t> Encode(const StatsResponseMsg& msg) {
+  return EncodeFrame(MsgType::kStatsOk, EncodeBody(msg));
 }
 
 Status Decode(const std::uint8_t* body, std::size_t size,
@@ -323,10 +356,25 @@ Status Decode(const std::uint8_t* body, std::size_t size,
         !r.U64(&t.rejected_queue_full) || !r.U64(&t.dispatched) ||
         !r.U64(&t.completed) || !r.U64(&t.failed) || !r.U64(&t.cancelled) ||
         !r.U64(&t.cache_hits) || !r.U64(&t.queued) ||
-        !r.F64(&t.p50_latency_us) || !r.F64(&t.p99_latency_us)) {
+        !r.F64(&t.p50_latency_us) || !r.F64(&t.p99_latency_us) ||
+        !r.F64(&t.p999_latency_us)) {
       return MalformedBody("stats response");
     }
     out->tenants.push_back(std::move(t));
+  }
+  std::uint32_t loop_count = 0;
+  if (!r.U32(&loop_count)) return MalformedBody("stats response");
+  // Each loop entry is 28 bytes; reject counts the body cannot hold.
+  if (loop_count > size / 28) return MalformedBody("stats response");
+  out->loops.clear();
+  out->loops.reserve(loop_count);
+  for (std::uint32_t i = 0; i < loop_count; ++i) {
+    LoopStatsMsg l;
+    if (!r.U32(&l.loop) || !r.U64(&l.connections_active) ||
+        !r.U64(&l.frames_received) || !r.U64(&l.responses_sent)) {
+      return MalformedBody("stats response");
+    }
+    out->loops.push_back(l);
   }
   if (!r.AtEnd()) return MalformedBody("stats response");
   return OkStatus();
@@ -336,12 +384,16 @@ std::vector<std::uint8_t> EncodeHealthRequest() {
   return EncodeFrame(MsgType::kHealth, {});
 }
 
-std::vector<std::uint8_t> Encode(const HealthResponseMsg& msg) {
+std::vector<std::uint8_t> EncodeBody(const HealthResponseMsg& msg) {
   std::vector<std::uint8_t> body;
   WireWriter w(&body);
   w.Str(msg.state);
   w.I64(msg.uptime_micros);
-  return EncodeFrame(MsgType::kHealthOk, body);
+  return body;
+}
+
+std::vector<std::uint8_t> Encode(const HealthResponseMsg& msg) {
+  return EncodeFrame(MsgType::kHealthOk, EncodeBody(msg));
 }
 
 Status Decode(const std::uint8_t* body, std::size_t size,
@@ -353,12 +405,16 @@ Status Decode(const std::uint8_t* body, std::size_t size,
   return OkStatus();
 }
 
-std::vector<std::uint8_t> Encode(const ErrorResponseMsg& msg) {
+std::vector<std::uint8_t> EncodeBody(const ErrorResponseMsg& msg) {
   std::vector<std::uint8_t> body;
   WireWriter w(&body);
   w.U8(static_cast<std::uint8_t>(msg.code));
   w.Str(msg.message);
-  return EncodeFrame(MsgType::kError, body);
+  return body;
+}
+
+std::vector<std::uint8_t> Encode(const ErrorResponseMsg& msg) {
+  return EncodeFrame(MsgType::kError, EncodeBody(msg));
 }
 
 Status Decode(const std::uint8_t* body, std::size_t size,
@@ -403,13 +459,33 @@ Expected<bool> FrameDecoder::Next(Frame* out) {
   }
   if (avail < 4u + length) return false;
   const std::uint8_t version = buf_[pos_ + 4];
-  if (version != kProtocolVersion) {
+  if (version != kProtocolVersion && version != kProtocolVersion2) {
     error_ = InvalidArgumentError("unsupported protocol version " +
                                   std::to_string(version));
     return error_;
   }
+  out->version = version;
   out->type = static_cast<MsgType>(buf_[pos_ + 5]);
-  out->body.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 6),
+  std::size_t body_at = pos_ + 6;
+  if (version == kProtocolVersion2) {
+    // v2 carries a u64 request_id between type and body; a length that
+    // cannot hold it is a truncated header, not a short body.
+    if (length < 2 + sizeof(std::uint64_t)) {
+      error_ = InvalidArgumentError(
+          "malformed v2 frame: length " + std::to_string(length) +
+          " too short for a request_id");
+      return error_;
+    }
+    std::uint64_t id = 0;
+    for (int i = 7; i >= 0; --i) {
+      id = (id << 8) | buf_[body_at + static_cast<std::size_t>(i)];
+    }
+    out->request_id = id;
+    body_at += sizeof(std::uint64_t);
+  } else {
+    out->request_id = 0;
+  }
+  out->body.assign(buf_.begin() + static_cast<std::ptrdiff_t>(body_at),
                    buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + length));
   pos_ += 4u + length;
   return true;
@@ -430,6 +506,7 @@ TenantStatsMsg ToWire(const tenant::TenantStats& stats) {
   msg.queued = stats.queued;
   msg.p50_latency_us = stats.p50_latency_us;
   msg.p99_latency_us = stats.p99_latency_us;
+  msg.p999_latency_us = stats.p999_latency_us;
   return msg;
 }
 
@@ -462,12 +539,24 @@ std::string StatsResponseMsg::ToTable() const {
   service.AddRow({"uptime", FormatTick(uptime_micros)});
 
   std::string out = service.Render();
+  if (!loops.empty()) {
+    AsciiTable per_loop;
+    per_loop.SetHeader({"loop", "conns", "frames", "responses"});
+    for (const LoopStatsMsg& l : loops) {
+      per_loop.AddRow({std::to_string(l.loop),
+                       std::to_string(l.connections_active),
+                       std::to_string(l.frames_received),
+                       std::to_string(l.responses_sent)});
+    }
+    out += "\n";
+    out += per_loop.Render();
+  }
   if (tenants.empty()) return out;
 
   AsciiTable per_tenant;
   per_tenant.SetHeader({"tenant", "weight", "admitted", "rate-rej",
                         "queue-rej", "dispatched", "hits", "failed",
-                        "queued", "p50", "p99"});
+                        "queued", "p50", "p99", "p999"});
   for (const TenantStatsMsg& t : tenants) {
     per_tenant.AddRow(
         {t.name, FormatDouble(t.weight, 2), std::to_string(t.admitted),
@@ -476,7 +565,8 @@ std::string StatsResponseMsg::ToTable() const {
          std::to_string(t.dispatched), std::to_string(t.cache_hits),
          std::to_string(t.failed), std::to_string(t.queued),
          FormatTick(static_cast<Tick>(t.p50_latency_us)),
-         FormatTick(static_cast<Tick>(t.p99_latency_us))});
+         FormatTick(static_cast<Tick>(t.p99_latency_us)),
+         FormatTick(static_cast<Tick>(t.p999_latency_us))});
   }
   out += "\n";
   out += per_tenant.Render();

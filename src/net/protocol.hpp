@@ -1,15 +1,21 @@
 // Wire protocol for the multi-tenant scheduling server.
 //
-// Length-prefixed binary frames over TCP, little-endian throughout:
+// Length-prefixed binary frames over TCP, little-endian throughout. Two
+// frame layouts share the stream, discriminated by the version byte:
 //
-//   [u32 length][u8 version][u8 type][body...]
+//   v1:  [u32 length][u8 version=1][u8 type][body...]
+//   v2:  [u32 length][u8 version=2][u8 type][u64 request_id][body...]
 //
-// `length` counts everything after itself (version + type + body) and is
-// bounded by kMaxFrameBytes — a peer announcing more is malformed and the
-// connection is closed. Strings are [u32 length][bytes] (no NUL). The
-// request verbs are solve / lookup / stats / health; every request gets
-// exactly one response frame: the matching *Ok type on success or kError
-// carrying a typed WireError plus a human-readable message. Error codes
+// `length` counts everything after itself (version + type + request_id +
+// body) and is bounded by kMaxFrameBytes — a peer announcing more is
+// malformed and the connection is closed. Strings are [u32 length][bytes]
+// (no NUL). The request verbs are solve / lookup / stats / health; every
+// request gets exactly one response frame: the matching *Ok type on
+// success or kError carrying a typed WireError plus a human-readable
+// message. v1 responses arrive in request order; v2 responses carry the
+// request's `request_id` back and may complete out of order, which is what
+// lets one connection keep a window of requests in flight (AsyncClient).
+// A connection speaks one version, latched by its first frame. Error codes
 // are a closed enum so clients can switch on them; WireErrorFromStatus /
 // StatusFromWireError give a lossless-enough round trip for the service's
 // typed failures (deadline, queue-full, admission-rejected,
@@ -35,6 +41,9 @@
 namespace ss::net {
 
 inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Pipelined protocol: frames carry a u64 request_id after the type byte
+/// and responses may complete out of order.
+inline constexpr std::uint8_t kProtocolVersion2 = 2;
 /// Upper bound on one frame's payload (version + type + body). Problem
 /// texts are a few KiB; anything near this bound is abuse.
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
@@ -126,6 +135,16 @@ struct TenantStatsMsg {
   std::uint64_t queued = 0;
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  double p999_latency_us = 0.0;
+};
+
+/// Per-event-loop counters: one entry per epoll shard when the server runs
+/// with loop_threads > 0 (always at least one).
+struct LoopStatsMsg {
+  std::uint32_t loop = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t responses_sent = 0;
 };
 
 /// The coherent ScheduleService::Stats() snapshot plus server counters and
@@ -158,6 +177,9 @@ struct StatsResponseMsg {
   std::uint64_t expired_in_queue = 0;
   std::int64_t uptime_micros = 0;
   std::vector<TenantStatsMsg> tenants;
+  /// One entry per event-loop shard (loop sharding, ServerOptions::
+  /// loop_threads); rolls the per-loop counters up into the snapshot.
+  std::vector<LoopStatsMsg> loops;
 
   std::string ToTable() const;
 };
@@ -235,9 +257,25 @@ class WireReader {
   bool failed_ = false;
 };
 
-/// Encodes a complete frame (length prefix + version + type + body).
+/// Encodes a complete frame (length prefix + version + type + body). The
+/// defaults produce a v1 frame; pass kProtocolVersion2 and a request_id
+/// for the pipelined layout (the id rides between type and body).
 std::vector<std::uint8_t> EncodeFrame(MsgType type,
-                                      const std::vector<std::uint8_t>& body);
+                                      const std::vector<std::uint8_t>& body,
+                                      std::uint8_t version = kProtocolVersion,
+                                      std::uint64_t request_id = 0);
+
+// Body-only encoders, for callers that wrap the frame themselves (the
+// server echoes the connection's version and the request's id; the async
+// client stamps fresh v2 ids). Encode(msg) == EncodeFrame(type,
+// EncodeBody(msg)) for every message type.
+std::vector<std::uint8_t> EncodeBody(const SolveRequestMsg& msg);
+std::vector<std::uint8_t> EncodeBody(const SolveResponseMsg& msg);
+std::vector<std::uint8_t> EncodeBody(const LookupRequestMsg& msg);
+std::vector<std::uint8_t> EncodeBody(const LookupResponseMsg& msg);
+std::vector<std::uint8_t> EncodeBody(const StatsResponseMsg& msg);
+std::vector<std::uint8_t> EncodeBody(const HealthResponseMsg& msg);
+std::vector<std::uint8_t> EncodeBody(const ErrorResponseMsg& msg);
 
 std::vector<std::uint8_t> Encode(const SolveRequestMsg& msg);
 std::vector<std::uint8_t> Encode(const SolveResponseMsg& msg);
@@ -264,16 +302,21 @@ Status Decode(const std::uint8_t* body, std::size_t size,
 Status Decode(const std::uint8_t* body, std::size_t size,
               ErrorResponseMsg* out);
 
-/// One decoded frame: the type byte plus its body bytes.
+/// One decoded frame: the type byte plus its body bytes. `request_id` is
+/// the correlation id for v2 frames and 0 for v1 frames.
 struct Frame {
   MsgType type = MsgType::kError;
+  std::uint8_t version = kProtocolVersion;
+  std::uint64_t request_id = 0;
   std::vector<std::uint8_t> body;
 };
 
 /// Incremental frame extractor for a TCP byte stream. Feed arbitrary
-/// chunks with Append(); Next() yields complete frames in order. A
-/// malformed prefix (oversized length, unknown version) is a permanent,
-/// typed failure — the connection must be closed.
+/// chunks with Append(); Next() yields complete frames in order (v1 and
+/// v2 layouts both decode; the caller enforces any one-version-per-
+/// connection policy). A malformed prefix (oversized length, unknown
+/// version, v2 frame too short for its request_id) is a permanent, typed
+/// failure — the connection must be closed.
 class FrameDecoder {
  public:
   explicit FrameDecoder(std::size_t max_frame = kMaxFrameBytes)

@@ -41,17 +41,17 @@ Status ResilientClient::Connect(const std::string& host, int port) {
   endpoint_set_ = true;
   // Prove the endpoint is reachable up front; verbs reconnect on demand
   // afterwards, so a failure here is advisory but catches typos early.
-  return Run([](Client&, Tick) { return OkStatus(); });
+  return Run([](AsyncClient&, Tick) { return OkStatus(); });
 }
 
 void ResilientClient::Close() { client_.reset(); }
 
 Status ResilientClient::EnsureConnected(Tick remaining) {
   if (client_ != nullptr && client_->connected()) return OkStatus();
-  ClientOptions copts;
+  AsyncClientOptions copts;
   copts.io_timeout = std::max<Tick>(
       1, std::min(options_.io_timeout, remaining));
-  client_ = std::make_unique<Client>(copts);
+  client_ = std::make_unique<AsyncClient>(copts);
   stats_.reconnects++;
   Status st = client_->Connect(host_, port_);
   if (!st.ok()) client_.reset();
@@ -101,8 +101,8 @@ Status ResilientClient::Run(Fn&& attempt_fn) {
     last = st;
     if (!IsRetryable(st)) return st;
     if (NeedsReconnect(st)) {
-      // The stream may hold a late response for the request we abandoned;
-      // reusing it would pair that response with the next request.
+      // Transport failures break the whole pipelined stream (the async
+      // client fails every request in flight); start fresh.
       client_.reset();
     }
     if (options_.max_attempts > 0 && attempt >= options_.max_attempts) {
@@ -118,7 +118,7 @@ Status ResilientClient::Run(Fn&& attempt_fn) {
 Expected<SolveResponseMsg> ResilientClient::Solve(SolveRequestMsg request) {
   SolveResponseMsg out;
   const std::int64_t caller_deadline = request.deadline_micros;
-  Status st = Run([&](Client& client, Tick remaining) {
+  Status st = Run([&](AsyncClient& client, Tick remaining) {
     // Propagate the shrinking budget so the server expires queued work we
     // will no longer wait for; never loosen a caller-provided deadline.
     request.deadline_micros =
@@ -137,7 +137,7 @@ Expected<SolveResponseMsg> ResilientClient::Solve(SolveRequestMsg request) {
 Expected<LookupResponseMsg> ResilientClient::Lookup(
     const LookupRequestMsg& request) {
   LookupResponseMsg out;
-  Status st = Run([&](Client& client, Tick) {
+  Status st = Run([&](AsyncClient& client, Tick) {
     auto resp = client.Lookup(request);
     if (!resp.ok()) return resp.status();
     out = std::move(*resp);
@@ -149,7 +149,7 @@ Expected<LookupResponseMsg> ResilientClient::Lookup(
 
 Expected<StatsResponseMsg> ResilientClient::Stats() {
   StatsResponseMsg out;
-  Status st = Run([&](Client& client, Tick) {
+  Status st = Run([&](AsyncClient& client, Tick) {
     auto resp = client.Stats();
     if (!resp.ok()) return resp.status();
     out = std::move(*resp);
@@ -161,7 +161,7 @@ Expected<StatsResponseMsg> ResilientClient::Stats() {
 
 Expected<HealthResponseMsg> ResilientClient::Health() {
   HealthResponseMsg out;
-  Status st = Run([&](Client& client, Tick) {
+  Status st = Run([&](AsyncClient& client, Tick) {
     auto resp = client.Health();
     if (!resp.ok()) return resp.status();
     out = std::move(*resp);

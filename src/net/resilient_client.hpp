@@ -1,4 +1,11 @@
-// Retrying wrapper around the blocking net::Client.
+// Retrying wrapper around net::AsyncClient's blocking verbs.
+//
+// Each connection is a pipelined protocol-v2 stream; ResilientClient
+// issues one request at a time on it (the retry budget is per call), but
+// sharing the AsyncClient keeps the transport identical to the pipelined
+// hot path, and response correlation by request_id means an abandoned
+// request's late response is dropped by id instead of desynchronizing
+// the stream.
 //
 // Every verb runs under a per-call total deadline budget: attempts share
 // the budget, each attempt's socket timeout is clamped to what is left,
@@ -17,11 +24,11 @@
 // problem fingerprint — a duplicate solve hits the artifact cache.
 //
 // After a transport failure the connection is dropped and re-established:
-// a response that arrives after we stopped waiting for it would otherwise
-// desynchronize the request/response stream. Typed error frames keep the
+// once the stream has failed every request on it is done for, and a fresh
+// connection is the only way forward. Typed error frames keep the
 // connection (the stream is provably still framed correctly).
 //
-// Not thread-safe: one ResilientClient per thread, like Client.
+// Not thread-safe: one ResilientClient per thread.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +38,7 @@
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "core/time.hpp"
-#include "net/client.hpp"
+#include "net/async_client.hpp"
 #include "net/protocol.hpp"
 
 namespace ss::net {
@@ -104,7 +111,7 @@ class ResilientClient {
   std::string host_;
   int port_ = 0;
   bool endpoint_set_ = false;
-  std::unique_ptr<Client> client_;
+  std::unique_ptr<AsyncClient> client_;
   Rng rng_;
   ResilientClientStats stats_;
 };

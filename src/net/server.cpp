@@ -6,16 +6,21 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <deque>
+#include <map>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/sync.hpp"
+#include "graph/fingerprint.hpp"
 #include "graph/graph_io.hpp"
 #include "sched/schedule.hpp"
 
@@ -24,10 +29,16 @@ namespace ss::net {
 namespace {
 
 // epoll user-data ids for the two non-connection fds; connections count up
-// from kFirstConnId so an id is never reused even after its fd is.
+// from kFirstConnId so an id is never reused even after its fd is. Ids are
+// scoped to one loop shard (each shard has its own epoll instance).
 constexpr std::uint64_t kListenId = 0;
 constexpr std::uint64_t kWakeId = 1;
 constexpr std::uint64_t kFirstConnId = 2;
+
+/// Response frames gathered into one sendmsg() per flush round. Well under
+/// IOV_MAX; big enough that a pipelining window of small responses leaves
+/// in one syscall.
+constexpr std::size_t kWritevBatch = 64;
 
 Status ErrnoError(const std::string& what) {
   return InternalError(what + ": " + std::strerror(errno));
@@ -46,8 +57,9 @@ ScheduleSummary Summarize(const service::CachedSolve& solve) {
 
 }  // namespace
 
-// One client connection. Owned by the loop thread exclusively; completion
-// callbacks never touch a Conn — they post encoded frames by id.
+// One client connection. Owned by exactly one loop thread; completion
+// callbacks never touch a Conn — they post encoded frames by id into the
+// owning loop's sink.
 struct Server::Conn {
   Conn(std::uint64_t id_in, int fd_in, std::size_t max_frame)
       : id(id_in), fd(fd_in), decoder(max_frame) {}
@@ -73,26 +85,64 @@ struct Server::Conn {
   /// Hard failure (write error); close immediately.
   bool broken = false;
   bool want_write = false;
+  /// Protocol version latched by the first decoded frame; 0 until then.
+  /// Switching versions mid-connection is a protocol error.
+  std::uint8_t version = 0;
+  /// Submit sequence assigned to each solve handed to the tenant layer.
+  std::uint64_t next_solve_seq = 0;
+  /// v1 ordering: the next solve sequence allowed into the write queue.
+  /// Inline responses (lookup/stats/health/errors) are not sequenced —
+  /// they leave as soon as they are produced, ahead of parked solves,
+  /// which is what lets a shed error reach a pipelining client whose
+  /// first solve never finishes.
+  std::uint64_t next_solve_to_send = 0;
+  /// v1 reorder buffer: solve responses that completed before an earlier
+  /// solve's. v2 connections never populate it (responses carry the
+  /// request_id and leave immediately).
+  std::map<std::uint64_t, std::vector<std::uint8_t>> held;
 };
 
-// Hand-off point between dispatcher threads and the loop. Callbacks hold it
-// by shared_ptr, so a solve finishing after Stop() posts into a closed sink
-// (dropped) instead of touching a dead Server.
+// Hand-off point between other threads and one loop shard. Completion
+// callbacks hold it by shared_ptr, so a solve finishing after Stop() posts
+// into a closed sink (dropped) instead of touching a dead Server. The
+// accepting loop also routes new connections here (adopt).
 struct Server::CompletionSink {
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    /// Submit sequence of the originating solve, for v1 ordering.
+    std::uint64_t solve_seq = 0;
+    std::vector<std::uint8_t> frame;
+  };
+
   Mutex mu;
-  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> queue
-      SS_GUARDED_BY(mu);
+  std::vector<Completion> queue SS_GUARDED_BY(mu);
+  /// Accepted fds handed off by the accepting loop, waiting for this
+  /// shard's loop to adopt them.
+  std::vector<int> adopt SS_GUARDED_BY(mu);
   bool open SS_GUARDED_BY(mu) = true;
-  /// Set once during Bind() before any dispatcher thread exists, then
+  /// Set once during Bind() before any other thread exists, then
   /// read-only: needs no lock.
   int event_fd = -1;
 
-  void Post(std::uint64_t conn_id, std::vector<std::uint8_t> frame)
-      SS_EXCLUDES(mu) {
+  void Post(std::uint64_t conn_id, std::uint64_t solve_seq,
+            std::vector<std::uint8_t> frame) SS_EXCLUDES(mu) {
     MutexLock lock(mu);
     if (!open) return;
-    queue.emplace_back(conn_id, std::move(frame));
-    Kick();
+    // One eventfd write per wakeup, not per entry: a non-empty queue means
+    // a kick is already pending (or the loop is mid-iteration and will
+    // swap this entry out before it sleeps again).
+    if (queue.empty() && adopt.empty()) Kick();
+    queue.push_back(Completion{conn_id, solve_seq, std::move(frame)});
+  }
+
+  /// Hands an accepted fd to this shard. False once the sink closed — the
+  /// caller still owns (and must close) the fd.
+  bool PostAdopt(int fd) SS_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    if (!open) return false;
+    if (queue.empty() && adopt.empty()) Kick();
+    adopt.push_back(fd);
+    return true;
   }
 
   /// Wakes the loop without enqueueing (drain signal). Touches only the
@@ -114,13 +164,21 @@ class Server::Impl {
       : options_(options),
         service_(service),
         tenants_(tenants),
-        draining_(draining),
-        sink_(std::make_shared<CompletionSink>()) {}
+        draining_(draining) {
+    const int loops = options_.loop_threads < 1 ? 1 : options_.loop_threads;
+    shards_.reserve(static_cast<std::size_t>(loops));
+    for (int i = 0; i < loops; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->sink = std::make_shared<CompletionSink>();
+    }
+  }
 
   ~Impl() {
-    CloseAll();
+    for (auto& shard : shards_) {
+      CloseAll(*shard);
+      if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+    }
     if (listen_fd_ >= 0) ::close(listen_fd_);
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
   }
 
   Expected<int> Bind() {
@@ -153,22 +211,26 @@ class Server::Impl {
       return ErrnoError("getsockname");
     }
 
-    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-    if (epoll_fd_ < 0) return ErrnoError("epoll_create1");
-    sink_->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (sink_->event_fd < 0) return ErrnoError("eventfd");
-    SS_RETURN_IF_ERROR(AddFd(listen_fd_, kListenId));
-    SS_RETURN_IF_ERROR(AddFd(sink_->event_fd, kWakeId));
+    for (auto& shard : shards_) {
+      shard->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+      if (shard->epoll_fd < 0) return ErrnoError("epoll_create1");
+      shard->sink->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (shard->sink->event_fd < 0) return ErrnoError("eventfd");
+      SS_RETURN_IF_ERROR(AddFd(*shard, shard->sink->event_fd, kWakeId));
+    }
+    SS_RETURN_IF_ERROR(AddFd(*shards_.front(), listen_fd_, kListenId));
     start_tick_ = WallNow();
     return static_cast<int>(ntohs(bound.sin_port));
   }
 
-  void Loop() {
+  void Loop(std::size_t index) {
+    Shard& s = *shards_[index];
+    s.loop_thread = std::this_thread::get_id();
     std::vector<epoll_event> events(64);
     bool drain_seen = false;
     Tick drain_deadline = kTickInfinity;
     while (true) {
-      const int n = ::epoll_wait(epoll_fd_, events.data(),
+      const int n = ::epoll_wait(s.epoll_fd, events.data(),
                                  static_cast<int>(events.size()),
                                  /*timeout_ms=*/250);
       if (n < 0) {
@@ -178,77 +240,164 @@ class Server::Impl {
       for (int i = 0; i < n; ++i) {
         const epoll_event& ev = events[i];
         if (ev.data.u64 == kListenId) {
-          AcceptAll();
+          AcceptAll(s);
         } else if (ev.data.u64 == kWakeId) {
-          DrainEventFd();
+          DrainEventFd(s);
         } else {
-          HandleConnEvent(ev.data.u64, ev.events);
+          HandleConnEvent(s, ev.data.u64, ev.events);
         }
       }
-      ProcessCompletions();
+      ProcessSinkWork(s);
       const Tick now = WallNow();
-      CloseIdle(now);
+      CloseIdle(s, now);
       if (draining_->load(std::memory_order_acquire)) {
         if (!drain_seen) {
           drain_seen = true;
           drain_deadline = now + options_.drain_timeout;
-          if (listen_fd_ >= 0) {
-            ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          // The listener lives on shard 0; closing it is what stops new
+          // connections for every shard.
+          if (index == 0 && listen_fd_ >= 0) {
+            ::epoll_ctl(s.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
             ::close(listen_fd_);
             listen_fd_ = -1;
           }
         }
-        CloseFinished();
-        if (conns_.empty() || now >= drain_deadline) break;
+        CloseFinished(s);
+        if (s.conns.empty() || now >= drain_deadline) break;
       }
     }
-    CloseAll();
+    CloseAll(s);
   }
 
-  void Kick() { sink_->Kick(); }
+  void Kick() {
+    for (auto& shard : shards_) shard->sink->Kick();
+  }
 
-  void CloseSink() {
-    MutexLock lock(sink_->mu);
-    sink_->open = false;
-    sink_->queue.clear();
+  void CloseSinks() {
+    for (auto& shard : shards_) {
+      MutexLock lock(shard->sink->mu);
+      shard->sink->open = false;
+      shard->sink->queue.clear();
+      // Handed-off fds the loop never adopted (it exited first).
+      for (int fd : shard->sink->adopt) ::close(fd);
+      shard->sink->adopt.clear();
+    }
   }
 
   ServerStats Stats() const {
-    ServerStats stats;
-    stats.accepted = accepted_.load(std::memory_order_relaxed);
-    stats.active = active_.load(std::memory_order_relaxed);
-    stats.frames_received = frames_received_.load(std::memory_order_relaxed);
-    stats.responses_sent = responses_sent_.load(std::memory_order_relaxed);
-    stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-    stats.idle_closed = idle_closed_.load(std::memory_order_relaxed);
-    stats.overload_closed = overload_closed_.load(std::memory_order_relaxed);
-    stats.shed_overload = shed_overload_.load(std::memory_order_relaxed);
-    return stats;
+    ServerStats total;
+    for (const auto& shard : shards_) {
+      const ServerStats s = ShardStats(*shard);
+      total.accepted += s.accepted;
+      total.active += s.active;
+      total.frames_received += s.frames_received;
+      total.responses_sent += s.responses_sent;
+      total.protocol_errors += s.protocol_errors;
+      total.idle_closed += s.idle_closed;
+      total.overload_closed += s.overload_closed;
+      total.shed_overload += s.shed_overload;
+    }
+    return total;
+  }
+
+  std::vector<ServerStats> PerLoopStats() const {
+    std::vector<ServerStats> out;
+    out.reserve(shards_.size());
+    for (const auto& shard : shards_) out.push_back(ShardStats(*shard));
+    return out;
   }
 
   Tick start_tick() const { return start_tick_; }
 
  private:
-  Status AddFd(int fd, std::uint64_t id) {
+  // One epoll loop and the connections it owns. Everything except `sink`
+  // and the stats atomics is touched only by the owning loop thread.
+  struct Shard {
+    std::shared_ptr<CompletionSink> sink;
+    int epoll_fd = -1;
+    std::uint64_t next_conn_id = kFirstConnId;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+
+    /// The loop thread's id, set when the loop starts: solve completions
+    /// that run synchronously (cache hits) are detected by comparing
+    /// against it and bypass the completion sink.
+    std::thread::id loop_thread;
+
+    /// Text -> parsed problem + its fingerprint (loop-thread only, FIFO
+    /// eviction): a hot problem costs one parse AND one fingerprint hash
+    /// per shard, not one per request.
+    struct ParsedProblem {
+      std::shared_ptr<const graph::ProblemSpec> spec;
+      graph::Fingerprint fingerprint;
+    };
+    std::unordered_map<std::string, ParsedProblem> problem_memo;
+    std::deque<std::string> memo_order;
+
+    // Written by the owning loop, read by Stats()/stats requests anywhere.
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> responses_sent{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> overload_closed{0};
+    std::atomic<std::uint64_t> shed_overload{0};
+  };
+
+  static ServerStats ShardStats(const Shard& shard) {
+    ServerStats s;
+    s.accepted = shard.accepted.load(std::memory_order_relaxed);
+    s.active = shard.active.load(std::memory_order_relaxed);
+    s.frames_received =
+        shard.frames_received.load(std::memory_order_relaxed);
+    s.responses_sent = shard.responses_sent.load(std::memory_order_relaxed);
+    s.protocol_errors =
+        shard.protocol_errors.load(std::memory_order_relaxed);
+    s.idle_closed = shard.idle_closed.load(std::memory_order_relaxed);
+    s.overload_closed =
+        shard.overload_closed.load(std::memory_order_relaxed);
+    s.shed_overload = shard.shed_overload.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  std::size_t TotalActive() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->active.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// The version a connection's responses are framed with: the latched
+  /// version, or v1 before any frame decoded (errors for streams that
+  /// never produced a frame have nothing else to echo).
+  static std::uint8_t WireVersion(const Conn& c) {
+    return c.version == 0 ? kProtocolVersion : c.version;
+  }
+
+  Status AddFd(Shard& s, int fd, std::uint64_t id) {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = id;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    if (::epoll_ctl(s.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
       return ErrnoError("epoll_ctl(ADD)");
     }
     return OkStatus();
   }
 
-  void WantWrite(Conn& c, bool want) {
+  void WantWrite(Shard& s, Conn& c, bool want) {
     if (c.want_write == want) return;
     c.want_write = want;
     epoll_event ev{};
     ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
     ev.data.u64 = c.id;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+    ::epoll_ctl(s.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
   }
 
-  void AcceptAll() {
+  /// Runs on shard 0 only (it owns the listener). New connections go
+  /// round-robin across shards; remote shards adopt theirs on the next
+  /// eventfd wakeup.
+  void AcceptAll(Shard& s) {
     while (listen_fd_ >= 0) {
       const int fd = ::accept4(listen_fd_, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -256,48 +405,61 @@ class Server::Impl {
         if (errno == EINTR) continue;
         break;  // EAGAIN or transient accept failure; epoll re-notifies
       }
-      if (conns_.size() >= options_.max_connections) {
-        overload_closed_.fetch_add(1, std::memory_order_relaxed);
+      // The cap is summed over shards; fds in the hand-off window are not
+      // counted yet, so the bound is approximate under an accept burst.
+      if (TotalActive() >= options_.max_connections) {
+        s.overload_closed.fetch_add(1, std::memory_order_relaxed);
         ::close(fd);
         continue;
       }
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      auto conn = std::make_unique<Conn>(next_conn_id_++, fd,
-                                         options_.max_frame_bytes);
-      conn->last_active = WallNow();
-      if (!AddFd(fd, conn->id).ok()) {
+      const std::size_t target = next_accept_shard_ % shards_.size();
+      ++next_accept_shard_;
+      if (target == 0) {
+        AdoptConn(s, fd);
+      } else if (!shards_[target]->sink->PostAdopt(fd)) {
         ::close(fd);
-        continue;
       }
-      accepted_.fetch_add(1, std::memory_order_relaxed);
-      conns_.emplace(conn->id, std::move(conn));
-      active_.store(conns_.size(), std::memory_order_relaxed);
     }
   }
 
-  void DrainEventFd() {
+  /// Registers an accepted fd with this shard's epoll loop.
+  void AdoptConn(Shard& s, int fd) {
+    auto conn = std::make_unique<Conn>(s.next_conn_id++, fd,
+                                       options_.max_frame_bytes);
+    conn->last_active = WallNow();
+    if (!AddFd(s, fd, conn->id).ok()) {
+      ::close(fd);
+      return;
+    }
+    s.accepted.fetch_add(1, std::memory_order_relaxed);
+    s.conns.emplace(conn->id, std::move(conn));
+    s.active.store(s.conns.size(), std::memory_order_relaxed);
+  }
+
+  void DrainEventFd(Shard& s) {
     std::uint64_t v = 0;
-    while (::read(sink_->event_fd, &v, sizeof(v)) ==
+    while (::read(s.sink->event_fd, &v, sizeof(v)) ==
            static_cast<ssize_t>(sizeof(v))) {
     }
   }
 
-  void HandleConnEvent(std::uint64_t id, std::uint32_t events) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) return;
+  void HandleConnEvent(Shard& s, std::uint64_t id, std::uint32_t events) {
+    auto it = s.conns.find(id);
+    if (it == s.conns.end()) return;
     Conn& c = *it->second;
     bool alive = (events & (EPOLLHUP | EPOLLERR)) == 0;
-    if (alive && (events & EPOLLIN) != 0) alive = ReadConn(c);
+    if (alive && (events & EPOLLIN) != 0) alive = ReadConn(s, c);
     if (alive && (events & EPOLLOUT) != 0) {
-      alive = FlushConn(c) && !ShouldClose(c);
+      alive = FlushConn(s, c) && !ShouldClose(c);
     }
-    if (!alive) CloseConn(id);
+    if (!alive) CloseConn(s, id);
   }
 
   /// Reads until EAGAIN, extracts and handles complete frames. Returns
   /// false when the connection must be closed now.
-  bool ReadConn(Conn& c) {
+  bool ReadConn(Shard& s, Conn& c) {
     char buf[65536];
     while (true) {
       const ssize_t r = ::read(c.fd, buf, sizeof(buf));
@@ -314,51 +476,64 @@ class Server::Impl {
       Frame frame;
       auto got = c.decoder.Next(&frame);
       if (!got.ok()) {
-        // Undecodable stream: best-effort error frame, then close once it
-        // (and any pending responses) flush.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        SendError(c, WireError::kMalformed, got.status().message());
+        // Undecodable stream: best-effort error frame (request_id 0 — the
+        // bytes never became a request to correlate with), then close
+        // once it and any pending responses flush.
+        s.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendError(s, c, /*request_id=*/0, WireError::kMalformed,
+                  got.status().message());
         c.closing = true;
         break;
       }
       if (!*got) break;
+      if (c.version == 0) {
+        c.version = frame.version;
+      } else if (frame.version != c.version) {
+        // One version per connection: v1's ordering contract and v2's
+        // correlation ids cannot coexist on one stream.
+        s.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendError(s, c, frame.request_id, WireError::kUnsupported,
+                  "protocol version changed mid-connection");
+        c.closing = true;
+        break;
+      }
       // Progress = whole frames, not bytes: only a completed frame resets
       // the idle clock, so a peer dribbling a frame slower than the idle
       // window is reaped mid-frame by CloseIdle.
       c.last_active = WallNow();
-      frames_received_.fetch_add(1, std::memory_order_relaxed);
-      HandleFrame(c, frame);
+      s.frames_received.fetch_add(1, std::memory_order_relaxed);
+      HandleFrame(s, c, frame);
     }
-    if (!FlushConn(c)) return false;
+    if (!FlushConn(s, c)) return false;
     return !ShouldClose(c);
   }
 
-  void HandleFrame(Conn& c, const Frame& frame) {
+  void HandleFrame(Shard& s, Conn& c, const Frame& frame) {
     switch (frame.type) {
       case MsgType::kSolve:
-        HandleSolve(c, frame);
+        HandleSolve(s, c, frame);
         return;
       case MsgType::kLookup:
-        HandleLookup(c, frame);
+        HandleLookup(s, c, frame);
         return;
       case MsgType::kStats:
       case MsgType::kHealth:
         if (!frame.body.empty()) {
-          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-          SendError(c, WireError::kMalformed,
+          s.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          SendError(s, c, frame.request_id, WireError::kMalformed,
                     "stats/health requests carry no body");
           c.closing = true;
           return;
         }
         if (frame.type == MsgType::kStats) {
-          HandleStats(c);
+          HandleStats(s, c, frame.request_id);
         } else {
-          HandleHealth(c);
+          HandleHealth(s, c, frame.request_id);
         }
         return;
       default:
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        SendError(c, WireError::kUnsupported,
+        s.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendError(s, c, frame.request_id, WireError::kUnsupported,
                   "unsupported message type " +
                       std::to_string(static_cast<int>(frame.type)));
         c.closing = true;
@@ -369,57 +544,65 @@ class Server::Impl {
   /// Parses problem text / regime shared by solve and lookup. Sends the
   /// malformed-content error itself (connection stays open — the framing
   /// was fine, the payload was the client's mistake).
-  bool ParseRequestProblem(Conn& c, const std::string& text,
-                           std::int32_t regime,
+  bool ParseRequestProblem(Shard& s, Conn& c, std::uint64_t request_id,
+                           const std::string& text, std::int32_t regime,
                            service::SolveRequest* request) {
-    auto problem = ParseProblemCached(text);
+    auto problem = ParseProblemCached(s, text);
     if (!problem.ok()) {
-      SendError(c, WireError::kMalformed,
+      SendError(s, c, request_id, WireError::kMalformed,
                 "bad problem text: " + problem.status().message());
       return false;
     }
     if (regime < 0 ||
-        static_cast<std::size_t>(regime) >= (*problem)->regime_count) {
-      SendError(c, WireError::kMalformed,
+        static_cast<std::size_t>(regime) >= problem->spec->regime_count) {
+      SendError(s, c, request_id, WireError::kMalformed,
                 "regime " + std::to_string(regime) + " out of range (" +
-                    std::to_string((*problem)->regime_count) + " regimes)");
+                    std::to_string(problem->spec->regime_count) +
+                    " regimes)");
       return false;
     }
-    request->problem = *problem;
+    request->problem = problem->spec;
+    request->problem_fingerprint = problem->fingerprint;
+    request->has_problem_fingerprint = true;
     request->regime = RegimeId{regime};
     return true;
   }
 
-  void HandleSolve(Conn& c, const Frame& frame) {
+  void HandleSolve(Shard& s, Conn& c, const Frame& frame) {
     SolveRequestMsg msg;
     Status decoded = Decode(frame.body.data(), frame.body.size(), &msg);
     if (!decoded.ok()) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      SendError(c, WireError::kMalformed, decoded.message());
+      s.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      SendError(s, c, frame.request_id, WireError::kMalformed,
+                decoded.message());
       c.closing = true;
       return;
     }
     if (draining_->load(std::memory_order_acquire)) {
-      SendError(c, WireError::kShuttingDown,
+      SendError(s, c, frame.request_id, WireError::kShuttingDown,
                 "server is draining; resubmit to another replica");
       return;
     }
     // Load shedding ahead of parsing: a fast typed refusal beats unbounded
     // queueing, and the client's retry policy treats kOverloaded as
     // backoff-and-retry. Both thresholds are checked here so one
-    // pipelining connection cannot occupy the whole solve budget.
+    // pipelining connection cannot occupy the whole solve budget. The
+    // global gauge is shared across shards (relaxed atomic).
+    const std::size_t pending_now =
+        pending_solves_.load(std::memory_order_relaxed);
     if ((options_.max_inflight_per_conn > 0 &&
          c.pending >= options_.max_inflight_per_conn) ||
         (options_.max_pending_solves > 0 &&
-         pending_solves_ >= options_.max_pending_solves)) {
-      shed_overload_.fetch_add(1, std::memory_order_relaxed);
-      SendError(c, WireError::kOverloaded,
-                "server overloaded (" + std::to_string(pending_solves_) +
+         pending_now >= options_.max_pending_solves)) {
+      s.shed_overload.fetch_add(1, std::memory_order_relaxed);
+      SendError(s, c, frame.request_id, WireError::kOverloaded,
+                "server overloaded (" + std::to_string(pending_now) +
                     " solves in flight); back off and retry");
       return;
     }
     service::SolveRequest request;
-    if (!ParseRequestProblem(c, msg.problem_text, msg.regime, &request)) {
+    if (!ParseRequestProblem(s, c, frame.request_id, msg.problem_text,
+                             msg.regime, &request)) {
       return;
     }
     if (msg.deadline_micros > 0) {
@@ -428,52 +611,81 @@ class Server::Impl {
     request.allow_degraded = msg.allow_degraded;
 
     const std::uint64_t conn_id = c.id;
-    auto sink = sink_;
+    const std::uint64_t request_id = frame.request_id;
+    const std::uint8_t version = WireVersion(c);
+    const std::uint64_t solve_seq = c.next_solve_seq++;
+    auto sink = s.sink;
+    Shard* shard = &s;
+    Conn* conn = &c;
     ++c.pending;
-    ++pending_solves_;
+    pending_solves_.fetch_add(1, std::memory_order_relaxed);
     Status queued = tenants_->SubmitSolve(
         msg.tenant, std::move(request),
-        [sink, conn_id](Expected<service::SolveResult> result,
-                        bool cache_hit) {
+        [this, shard, conn, sink, conn_id, solve_seq, request_id, version](
+            Expected<service::SolveResult> result, bool cache_hit) {
           std::vector<std::uint8_t> encoded;
           if (result.ok()) {
             SolveResponseMsg resp;
             resp.summary = Summarize(**result);
             resp.cache_hit = cache_hit;
-            encoded = Encode(resp);
+            encoded = EncodeFrame(MsgType::kSolveOk, EncodeBody(resp),
+                                  version, request_id);
           } else {
             ErrorResponseMsg err;
             err.code = WireErrorFromStatus(result.status());
             err.message = result.status().message();
-            encoded = Encode(err);
+            encoded = EncodeFrame(MsgType::kError, EncodeBody(err), version,
+                                  request_id);
           }
-          sink->Post(conn_id, std::move(encoded));
+          // Cache hits complete synchronously on this very loop thread,
+          // still inside HandleSolve: the response goes straight onto the
+          // connection's output queue, skipping the sink's mutex + eventfd
+          // wakeup. `conn` is dereferenced only on that synchronous path,
+          // where HandleSolve's caller keeps it alive; the enclosing read
+          // pass flushes it with the rest of the batch. Dispatcher-thread
+          // completions take the sink.
+          if (std::this_thread::get_id() == shard->loop_thread) {
+            pending_solves_.fetch_sub(1, std::memory_order_relaxed);
+            if (conn->pending > 0) --conn->pending;
+            conn->last_active = WallNow();
+            QueueSolveResponse(*shard, *conn, solve_seq,
+                               std::move(encoded));
+            return;
+          }
+          sink->Post(conn_id, solve_seq, std::move(encoded));
         });
     if (!queued.ok()) {
       // Typed refusal before the callback was captured anywhere: rate
-      // limit, lane full, unknown tenant, shutdown.
+      // limit, lane full, unknown tenant, shutdown. Give back the solve
+      // sequence too — no completion will ever post for it, and a v1
+      // reorder gate waiting on it would stall the connection.
       --c.pending;
-      --pending_solves_;
-      SendError(c, WireErrorFromStatus(queued), queued.message());
+      --c.next_solve_seq;
+      pending_solves_.fetch_sub(1, std::memory_order_relaxed);
+      SendError(s, c, frame.request_id, WireErrorFromStatus(queued),
+                queued.message());
     }
   }
 
-  void HandleLookup(Conn& c, const Frame& frame) {
+  void HandleLookup(Shard& s, Conn& c, const Frame& frame) {
     LookupRequestMsg msg;
     Status decoded = Decode(frame.body.data(), frame.body.size(), &msg);
     if (!decoded.ok()) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      SendError(c, WireError::kMalformed, decoded.message());
+      s.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      SendError(s, c, frame.request_id, WireError::kMalformed,
+                decoded.message());
       c.closing = true;
       return;
     }
     Status tenant_ok = tenants_->TouchTenant(msg.tenant);
     if (!tenant_ok.ok()) {
-      SendError(c, WireErrorFromStatus(tenant_ok), tenant_ok.message());
+      SendError(s, c, frame.request_id, WireErrorFromStatus(tenant_ok),
+                tenant_ok.message());
       return;
     }
     service::SolveRequest request;
-    if (!ParseRequestProblem(c, msg.problem_text, msg.regime, &request)) {
+    if (!ParseRequestProblem(s, c, frame.request_id, msg.problem_text,
+                             msg.regime, &request)) {
       return;
     }
     auto probe = tenants_->Lookup(msg.tenant, request);
@@ -483,14 +695,14 @@ class Server::Impl {
       resp.summary = Summarize(**probe);
     } else if (probe.status().code() != StatusCode::kNotFound) {
       // e.g. kCorruptArtifact on a poisoned restored entry.
-      SendError(c, WireErrorFromStatus(probe.status()),
+      SendError(s, c, frame.request_id, WireErrorFromStatus(probe.status()),
                 probe.status().message());
       return;
     }
-    SendFrame(c, Encode(resp));
+    Respond(s, c, frame.request_id, MsgType::kLookupOk, EncodeBody(resp));
   }
 
-  void HandleStats(Conn& c) {
+  void HandleStats(Shard& s, Conn& c, std::uint64_t request_id) {
     StatsResponseMsg resp;
     const service::ServiceStats svc = service_->Stats();
     resp.requests = svc.requests;
@@ -506,109 +718,182 @@ class Server::Impl {
     resp.degraded = svc.degraded;
     resp.cache_entries = svc.cache.entries;
     resp.retries = svc.retried;
-    resp.connections_accepted = accepted_.load(std::memory_order_relaxed);
-    resp.connections_active = conns_.size();
-    resp.frames_received = frames_received_.load(std::memory_order_relaxed);
-    resp.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-    resp.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+    const ServerStats server = Stats();
+    resp.connections_accepted = server.accepted;
+    resp.connections_active = server.active;
+    resp.frames_received = server.frames_received;
+    resp.protocol_errors = server.protocol_errors;
+    resp.shed_overload = server.shed_overload;
     resp.expired_in_queue = tenants_->QueueStats().expired;
     resp.uptime_micros = WallNow() - start_tick_;
     for (const auto& tenant : tenants_->Stats()) {
       resp.tenants.push_back(ToWire(tenant));
     }
-    SendFrame(c, Encode(resp));
+    const std::vector<ServerStats> per_loop = PerLoopStats();
+    for (std::size_t i = 0; i < per_loop.size(); ++i) {
+      LoopStatsMsg loop;
+      loop.loop = static_cast<std::uint32_t>(i);
+      loop.connections_active = per_loop[i].active;
+      loop.frames_received = per_loop[i].frames_received;
+      loop.responses_sent = per_loop[i].responses_sent;
+      resp.loops.push_back(loop);
+    }
+    Respond(s, c, request_id, MsgType::kStatsOk, EncodeBody(resp));
   }
 
-  void HandleHealth(Conn& c) {
+  void HandleHealth(Shard& s, Conn& c, std::uint64_t request_id) {
     HealthResponseMsg resp;
     resp.state =
         draining_->load(std::memory_order_acquire) ? "draining" : "ok";
     resp.uptime_micros = WallNow() - start_tick_;
-    SendFrame(c, Encode(resp));
+    Respond(s, c, request_id, MsgType::kHealthOk, EncodeBody(resp));
   }
 
-  void SendError(Conn& c, WireError code, const std::string& message) {
+  void SendError(Shard& s, Conn& c, std::uint64_t request_id, WireError code,
+                 const std::string& message) {
     ErrorResponseMsg err;
     err.code = code;
     err.message = message;
-    SendFrame(c, Encode(err));
+    Respond(s, c, request_id, MsgType::kError, EncodeBody(err));
   }
 
-  void SendFrame(Conn& c, std::vector<std::uint8_t> encoded) {
-    responses_sent_.fetch_add(1, std::memory_order_relaxed);
-    c.outq.push_back(std::move(encoded));
+  /// Queues an inline response (lookup/stats/health/errors): produced on
+  /// the loop thread in request arrival order, so it goes straight to the
+  /// write queue on both protocol versions. On v1 it may overtake the
+  /// response of an earlier still-running solve — deliberately, so typed
+  /// refusals (shed, malformed) reach the client even when a parked solve
+  /// never finishes.
+  void QueueInline(Shard& s, Conn& c, std::vector<std::uint8_t> frame) {
+    s.responses_sent.fetch_add(1, std::memory_order_relaxed);
+    c.outq.push_back(std::move(frame));
   }
 
-  /// Writes as much of the out-queue as the socket accepts; arms EPOLLOUT
-  /// on a short write. Returns false on a hard write error.
-  bool FlushConn(Conn& c) {
+  void Respond(Shard& s, Conn& c, std::uint64_t request_id, MsgType type,
+               const std::vector<std::uint8_t>& body) {
+    QueueInline(s, c, EncodeFrame(type, body, WireVersion(c), request_id));
+  }
+
+  /// Queues one completed solve response. v2 responses leave in
+  /// completion order (the request_id correlates them); v1 solve
+  /// responses are released in submit order, holding early completions in
+  /// the reorder buffer. Every submitted solve completes exactly once
+  /// (the tenant layer's callback contract), so the gate always advances.
+  void QueueSolveResponse(Shard& s, Conn& c, std::uint64_t solve_seq,
+                          std::vector<std::uint8_t> frame) {
+    if (WireVersion(c) >= kProtocolVersion2) {
+      QueueInline(s, c, std::move(frame));
+      return;
+    }
+    if (solve_seq != c.next_solve_to_send) {
+      c.held.emplace(solve_seq, std::move(frame));
+      return;
+    }
+    QueueInline(s, c, std::move(frame));
+    ++c.next_solve_to_send;
+    auto it = c.held.begin();
+    while (it != c.held.end() && it->first == c.next_solve_to_send) {
+      QueueInline(s, c, std::move(it->second));
+      ++c.next_solve_to_send;
+      it = c.held.erase(it);
+    }
+  }
+
+  /// Writes as much of the out-queue as the socket accepts, coalescing up
+  /// to kWritevBatch queued frames into one sendmsg (gathered writev with
+  /// MSG_NOSIGNAL); arms EPOLLOUT on a short write. Returns false on a
+  /// hard write error.
+  bool FlushConn(Shard& s, Conn& c) {
     if (c.broken) return false;
     while (!c.outq.empty()) {
-      const auto& front = c.outq.front();
-      while (c.out_off < front.size()) {
-        const ssize_t w =
-            ::send(c.fd, front.data() + c.out_off, front.size() - c.out_off,
-                   MSG_NOSIGNAL);
-        if (w > 0) {
-          c.out_off += static_cast<std::size_t>(w);
-          // Write progress resets the idle clock: a reader draining a big
-          // response slowly is alive; one that stopped reading entirely is
-          // a slowloris on the response path and will be reaped.
-          c.last_active = WallNow();
-          continue;
-        }
-        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-          WantWrite(c, true);
-          return true;
-        }
-        if (w < 0 && errno == EINTR) continue;
-        c.broken = true;
-        return false;
+      std::array<iovec, kWritevBatch> iov;
+      std::size_t n = 0;
+      std::size_t off = c.out_off;
+      for (const auto& frame : c.outq) {
+        if (n == kWritevBatch) break;
+        iov[n].iov_base =
+            const_cast<std::uint8_t*>(frame.data() + off);
+        iov[n].iov_len = frame.size() - off;
+        off = 0;  // only the front frame is partially written
+        ++n;
       }
-      c.out_off = 0;
-      c.outq.pop_front();
+      msghdr mh{};
+      mh.msg_iov = iov.data();
+      mh.msg_iovlen = n;
+      const ssize_t w = ::sendmsg(c.fd, &mh, MSG_NOSIGNAL);
+      if (w > 0) {
+        // Write progress resets the idle clock: a reader draining a big
+        // response slowly is alive; one that stopped reading entirely is
+        // a slowloris on the response path and will be reaped.
+        c.last_active = WallNow();
+        std::size_t advanced = static_cast<std::size_t>(w);
+        while (advanced > 0) {
+          const std::size_t left = c.outq.front().size() - c.out_off;
+          if (advanced < left) {
+            c.out_off += advanced;
+            break;
+          }
+          advanced -= left;
+          c.out_off = 0;
+          c.outq.pop_front();
+        }
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        WantWrite(s, c, true);
+        return true;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w == 0) continue;  // signal at the syscall boundary; no progress
+      c.broken = true;
+      return false;
     }
-    WantWrite(c, false);
+    WantWrite(s, c, false);
     return true;
   }
 
   bool ShouldClose(const Conn& c) const {
-    return c.broken || (c.closing && c.outq.empty() && c.pending == 0);
+    return c.broken || (c.closing && c.outq.empty() && c.held.empty() &&
+                        c.pending == 0);
   }
 
-  void ProcessCompletions() {
-    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> batch;
+  /// Adopts handed-off connections and applies solve completions posted
+  /// to this shard's sink.
+  void ProcessSinkWork(Shard& s) {
+    std::vector<CompletionSink::Completion> batch;
+    std::vector<int> adopt;
     {
-      MutexLock lock(sink_->mu);
-      batch.swap(sink_->queue);
+      MutexLock lock(s.sink->mu);
+      batch.swap(s.sink->queue);
+      adopt.swap(s.sink->adopt);
     }
-    for (auto& [conn_id, encoded] : batch) {
+    for (int fd : adopt) AdoptConn(s, fd);
+    for (auto& done : batch) {
       // The solve finished whether or not its connection survived; the
       // global in-flight gauge must not leak when the client went away.
-      if (pending_solves_ > 0) --pending_solves_;
-      auto it = conns_.find(conn_id);
-      if (it == conns_.end()) continue;  // client went away; drop
+      pending_solves_.fetch_sub(1, std::memory_order_relaxed);
+      auto it = s.conns.find(done.conn_id);
+      if (it == s.conns.end()) continue;  // client went away; drop
       Conn& c = *it->second;
       if (c.pending > 0) --c.pending;
       c.last_active = WallNow();
-      SendFrame(c, std::move(encoded));
-      if (!FlushConn(c) || ShouldClose(c)) CloseConn(conn_id);
+      QueueSolveResponse(s, c, done.solve_seq, std::move(done.frame));
+      if (!FlushConn(s, c) || ShouldClose(c)) CloseConn(s, done.conn_id);
     }
   }
 
-  void CloseConn(std::uint64_t id) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) return;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  void CloseConn(Shard& s, std::uint64_t id) {
+    auto it = s.conns.find(id);
+    if (it == s.conns.end()) return;
+    ::epoll_ctl(s.epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
     ::close(it->second->fd);
-    conns_.erase(it);
-    active_.store(conns_.size(), std::memory_order_relaxed);
+    s.conns.erase(it);
+    s.active.store(s.conns.size(), std::memory_order_relaxed);
   }
 
-  void CloseIdle(Tick now) {
+  void CloseIdle(Shard& s, Tick now) {
     if (options_.idle_timeout >= kTickInfinity) return;
     std::vector<std::uint64_t> expired;
-    for (const auto& [id, conn] : conns_) {
+    for (const auto& [id, conn] : s.conns) {
       // No frame completed, no response byte accepted, nothing in flight
       // for a whole idle window: covers the classic idle peer, the
       // mid-frame slowloris (bytes trickling, frames never finishing), and
@@ -619,79 +904,70 @@ class Server::Impl {
       }
     }
     for (std::uint64_t id : expired) {
-      idle_closed_.fetch_add(1, std::memory_order_relaxed);
-      CloseConn(id);
+      s.idle_closed.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(s, id);
     }
   }
 
   /// During drain: close every connection with nothing in flight and
   /// nothing left to flush.
-  void CloseFinished() {
+  void CloseFinished(Shard& s) {
     std::vector<std::uint64_t> finished;
-    for (const auto& [id, conn] : conns_) {
-      if (conn->pending == 0 && conn->outq.empty()) finished.push_back(id);
+    for (const auto& [id, conn] : s.conns) {
+      if (conn->pending == 0 && conn->outq.empty() && conn->held.empty()) {
+        finished.push_back(id);
+      }
     }
-    for (std::uint64_t id : finished) CloseConn(id);
+    for (std::uint64_t id : finished) CloseConn(s, id);
   }
 
-  void CloseAll() {
-    for (auto& [id, conn] : conns_) {
-      if (epoll_fd_ >= 0) {
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  void CloseAll(Shard& s) {
+    for (auto& [id, conn] : s.conns) {
+      if (s.epoll_fd >= 0) {
+        ::epoll_ctl(s.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
       }
       ::close(conn->fd);
     }
-    conns_.clear();
-    active_.store(0, std::memory_order_relaxed);
+    s.conns.clear();
+    s.active.store(0, std::memory_order_relaxed);
   }
 
-  /// Text -> parsed problem memo (loop-thread only, FIFO eviction): a hot
-  /// fingerprint costs one parse, not one per request.
-  Expected<std::shared_ptr<const graph::ProblemSpec>> ParseProblemCached(
-      const std::string& text) {
-    auto it = problem_memo_.find(text);
-    if (it != problem_memo_.end()) return it->second;
+  Expected<Shard::ParsedProblem> ParseProblemCached(Shard& s,
+                                                    const std::string& text) {
+    auto it = s.problem_memo.find(text);
+    if (it != s.problem_memo.end()) return it->second;
     auto parsed = graph::ParseProblem(text);
     if (!parsed.ok()) return parsed.status();
-    auto spec = std::make_shared<const graph::ProblemSpec>(std::move(*parsed));
-    if (problem_memo_.size() >= options_.problem_cache_capacity &&
-        !memo_order_.empty()) {
-      problem_memo_.erase(memo_order_.front());
-      memo_order_.pop_front();
+    Shard::ParsedProblem entry;
+    entry.spec =
+        std::make_shared<const graph::ProblemSpec>(std::move(*parsed));
+    entry.fingerprint = graph::Fingerprint(*entry.spec);
+    if (s.problem_memo.size() >= options_.problem_cache_capacity &&
+        !s.memo_order.empty()) {
+      s.problem_memo.erase(s.memo_order.front());
+      s.memo_order.pop_front();
     }
-    memo_order_.push_back(text);
-    problem_memo_.emplace(text, spec);
-    return spec;
+    s.memo_order.push_back(text);
+    s.problem_memo.emplace(text, entry);
+    return entry;
   }
 
   const ServerOptions options_;
   service::ScheduleService* service_;
   tenant::TenantScheduler* tenants_;
   std::atomic<bool>* draining_;
-  std::shared_ptr<CompletionSink> sink_;
 
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Owned by shard 0's loop after Start (accept + drain close).
   int listen_fd_ = -1;
-  int epoll_fd_ = -1;
   Tick start_tick_ = 0;
-  std::uint64_t next_conn_id_ = kFirstConnId;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  /// Round-robin accept cursor; touched only by shard 0's loop.
+  std::size_t next_accept_shard_ = 0;
   /// Solves submitted whose completions have not been processed yet,
-  /// summed over all connections. Loop-thread only (shed decisions and
-  /// both update sites run on the loop).
-  std::size_t pending_solves_ = 0;
-
-  std::unordered_map<std::string, std::shared_ptr<const graph::ProblemSpec>>
-      problem_memo_;
-  std::deque<std::string> memo_order_;
-
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> active_{0};
-  std::atomic<std::uint64_t> frames_received_{0};
-  std::atomic<std::uint64_t> responses_sent_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
-  std::atomic<std::uint64_t> idle_closed_{0};
-  std::atomic<std::uint64_t> overload_closed_{0};
-  std::atomic<std::uint64_t> shed_overload_{0};
+  /// summed over all connections and shards. Relaxed atomic: shed
+  /// decisions tolerate a stale read, the gauge never leaks because every
+  /// increment pairs with exactly one decrement.
+  std::atomic<std::size_t> pending_solves_{0};
 };
 
 Server::Server(ServerOptions options, service::ScheduleService* service,
@@ -714,7 +990,12 @@ Status Server::Start() {
     return port.status();
   }
   port_ = *port;
-  loop_ = std::thread([this] { impl_->Loop(); });
+  const int loops = options_.loop_threads < 1 ? 1 : options_.loop_threads;
+  loops_.reserve(static_cast<std::size_t>(loops));
+  for (int i = 0; i < loops; ++i) {
+    loops_.emplace_back(
+        [this, i] { impl_->Loop(static_cast<std::size_t>(i)); });
+  }
   return OkStatus();
 }
 
@@ -722,12 +1003,20 @@ void Server::Stop() {
   if (impl_ == nullptr) return;
   draining_.store(true, std::memory_order_release);
   impl_->Kick();
-  if (loop_.joinable()) loop_.join();
-  impl_->CloseSink();
+  for (std::thread& t : loops_) {
+    if (t.joinable()) t.join();
+  }
+  loops_.clear();
+  impl_->CloseSinks();
 }
 
 ServerStats Server::Stats() const {
   return impl_ != nullptr ? impl_->Stats() : ServerStats{};
+}
+
+std::vector<ServerStats> Server::PerLoopStats() const {
+  return impl_ != nullptr ? impl_->PerLoopStats()
+                          : std::vector<ServerStats>{};
 }
 
 }  // namespace ss::net

@@ -1,13 +1,26 @@
 // Non-blocking epoll front end for the multi-tenant schedule service.
 //
-// One event-loop thread owns every connection: accept, buffered reads
-// through the incremental FrameDecoder, request dispatch, buffered partial
-// writes (EPOLLOUT only while a write is pending), idle timeouts, and
-// graceful drain. Solver work never runs on the loop — solve requests go
-// through the TenantScheduler (admission, fair queueing) and complete on
-// its dispatcher threads, which hand the encoded response back to the loop
-// via a completion queue + eventfd wakeup. Lookup, stats, and health are
-// answered inline (cache probes and counter snapshots, no solver).
+// The serving path is sharded: `loop_threads` epoll loops each own a
+// disjoint set of connections (round-robin handoff from the accepting
+// loop), and each loop handles its shard end to end — buffered reads
+// through the incremental FrameDecoder, request dispatch, coalesced
+// partial writes (one sendmsg/writev over the queued response frames,
+// EPOLLOUT only while a write is pending), idle timeouts, and graceful
+// drain. A connection never migrates between loops, so all per-connection
+// state stays single-threaded. Solver work never runs on a loop — solve
+// requests go through the TenantScheduler (admission, fair queueing) and
+// complete on its dispatcher threads, which hand the encoded response back
+// to the owning loop via its completion queue + eventfd wakeup. Lookup,
+// stats, and health are answered inline (cache probes and counter
+// snapshots, no solver).
+//
+// Protocol versions: a connection latches the version of its first frame.
+// On v1, solve responses are released in submit order (a reorder buffer
+// holds completions that finish early), while inline responses (lookup,
+// stats, health, typed errors) leave immediately — ahead of parked solves,
+// so a shed refusal always reaches a pipelining client. v2 responses echo
+// the request's request_id and leave as soon as they are ready, which is
+// what makes pipelining pay.
 //
 // Shutdown is a drain: Stop() closes the listener, keeps answering health
 // with "draining", refuses new solves with SHUTTING_DOWN, lets in-flight
@@ -22,6 +35,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/error.hpp"
 #include "core/time.hpp"
@@ -56,6 +70,9 @@ struct ServerOptions {
   /// Per-connection cap on in-flight solves; one pipelining client cannot
   /// occupy the whole solve budget. 0 disables.
   int max_inflight_per_conn = 64;
+  /// Event-loop shards. Loop 0 accepts and hands connections out
+  /// round-robin; values < 1 are treated as 1.
+  int loop_threads = 1;
 };
 
 struct ServerStats {
@@ -95,7 +112,10 @@ class Server {
     return draining_.load(std::memory_order_acquire);
   }
 
+  /// Aggregate counters summed over every loop shard.
   ServerStats Stats() const;
+  /// One entry per loop shard, in loop order (index 0 is the acceptor).
+  std::vector<ServerStats> PerLoopStats() const;
 
  private:
   struct Conn;
@@ -108,7 +128,7 @@ class Server {
   int port_ = 0;
   std::atomic<bool> draining_{false};
   std::unique_ptr<Impl> impl_;
-  std::thread loop_;
+  std::vector<std::thread> loops_;
 };
 
 }  // namespace ss::net

@@ -85,12 +85,13 @@ graph::Fingerprint ScheduleService::RequestKey(const SolveRequest& request) {
       (o.pruning.ready_symmetry ? 2ULL : 0ULL) |
       (o.pruning.empty_node_symmetry ? 4ULL : 0ULL) |
       (o.pruning.sink_dominance ? 8ULL : 0ULL);
-  return graph::Fingerprint(*request.problem)
-      .Extended({static_cast<std::uint64_t>(request.regime.value()),
-                 static_cast<std::uint64_t>(o.max_optimal_schedules),
-                 o.max_nodes,
-                 o.pipeline.allow_rotation ? 1ULL : 0ULL,
-                 pruning_bits});
+  const graph::Fingerprint base =
+      request.has_problem_fingerprint ? request.problem_fingerprint
+                                      : graph::Fingerprint(*request.problem);
+  return base.Extended(
+      {static_cast<std::uint64_t>(request.regime.value()),
+       static_cast<std::uint64_t>(o.max_optimal_schedules), o.max_nodes,
+       o.pipeline.allow_rotation ? 1ULL : 0ULL, pruning_bits});
 }
 
 Expected<SolveFuture> ScheduleService::SubmitAsync(SolveRequest request) {

@@ -87,6 +87,13 @@ struct ServiceOptions {
 
 struct SolveRequest {
   std::shared_ptr<const graph::ProblemSpec> problem;
+  /// Optional precomputed graph::Fingerprint(*problem). Hashing the whole
+  /// problem dominates the cache-hit request cost, and front ends that
+  /// memoize parsed problems (net::Server) already know the answer; it
+  /// must be exactly Fingerprint(*problem) or cache keys diverge. Unset
+  /// (has_problem_fingerprint false) means the service computes it.
+  graph::Fingerprint problem_fingerprint{};
+  bool has_problem_fingerprint = false;
   RegimeId regime{0};
   sched::OptimalOptions options;
   /// Absolute deadline in WallNow() ticks; kTickInfinity = none. A request

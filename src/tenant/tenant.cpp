@@ -28,6 +28,7 @@ TenantStats TenantState::Stats(std::uint64_t queued_now) const {
   const LatencyHistogram::Snapshot snap = latency.TakeSnapshot();
   stats.p50_latency_us = snap.p50();
   stats.p99_latency_us = snap.p99();
+  stats.p999_latency_us = snap.p999();
   return stats;
 }
 

@@ -105,6 +105,7 @@ struct TenantStats {
   std::uint64_t queued = 0;  // current pending depth
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  double p999_latency_us = 0.0;
 };
 
 /// Everything the front end tracks about one tenant. The mutex guards the

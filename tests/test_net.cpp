@@ -15,14 +15,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "graph/graph_io.hpp"
+#include "net/async_client.hpp"
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
@@ -102,7 +105,14 @@ TEST(Protocol, StatsResponseRoundTrip) {
   t.weight = 4.0;
   t.admitted = 9;
   t.p99_latency_us = 1234.5;
+  t.p999_latency_us = 5678.25;
   msg.tenants.push_back(t);
+  LoopStatsMsg loop;
+  loop.loop = 1;
+  loop.connections_active = 3;
+  loop.frames_received = 77;
+  loop.responses_sent = 76;
+  msg.loops.push_back(loop);
   const auto frame = Encode(msg);
 
   FrameDecoder decoder;
@@ -127,6 +137,12 @@ TEST(Protocol, StatsResponseRoundTrip) {
   EXPECT_DOUBLE_EQ(decoded.tenants[0].weight, 4.0);
   EXPECT_EQ(decoded.tenants[0].admitted, 9u);
   EXPECT_DOUBLE_EQ(decoded.tenants[0].p99_latency_us, 1234.5);
+  EXPECT_DOUBLE_EQ(decoded.tenants[0].p999_latency_us, 5678.25);
+  ASSERT_EQ(decoded.loops.size(), 1u);
+  EXPECT_EQ(decoded.loops[0].loop, 1u);
+  EXPECT_EQ(decoded.loops[0].connections_active, 3u);
+  EXPECT_EQ(decoded.loops[0].frames_received, 77u);
+  EXPECT_EQ(decoded.loops[0].responses_sent, 76u);
 }
 
 TEST(Protocol, ErrorCodesSurviveTheWire) {
@@ -245,6 +261,90 @@ TEST(FrameDecoder, RuntLengthAndBadVersionAreErrors) {
     decoder.Append(frame, sizeof(frame));
     Frame out;
     EXPECT_FALSE(decoder.Next(&out).ok());
+  }
+}
+
+// ---- Protocol v2: request correlation ------------------------------------
+
+TEST(ProtocolV2, FrameRoundTripsVersionAndRequestId) {
+  SolveRequestMsg msg = SolveMsg("t", 1);
+  const auto v2 = EncodeFrame(MsgType::kSolve, EncodeBody(msg),
+                              kProtocolVersion2, 0x0123456789abcdefULL);
+  FrameDecoder decoder;
+  decoder.Append(v2.data(), v2.size());
+  Frame out;
+  auto ready = decoder.Next(&out);
+  ASSERT_TRUE(ready.ok()) << ready.status().ToString();
+  ASSERT_TRUE(*ready);
+  EXPECT_EQ(out.version, kProtocolVersion2);
+  EXPECT_EQ(out.request_id, 0x0123456789abcdefULL);
+  EXPECT_EQ(out.type, MsgType::kSolve);
+  SolveRequestMsg decoded;
+  ASSERT_TRUE(Decode(out.body.data(), out.body.size(), &decoded).ok());
+  EXPECT_EQ(decoded.tenant, msg.tenant);
+
+  // v1 frames decode with request_id 0 — the codec never invents an id.
+  const auto v1 = Encode(msg);
+  FrameDecoder v1_decoder;
+  v1_decoder.Append(v1.data(), v1.size());
+  ASSERT_TRUE(*v1_decoder.Next(&out));
+  EXPECT_EQ(out.version, kProtocolVersion);
+  EXPECT_EQ(out.request_id, 0u);
+}
+
+TEST(ProtocolV2, ReassemblesByteAtATime) {
+  const auto frame =
+      EncodeFrame(MsgType::kHealth, {}, kProtocolVersion2, 42);
+  FrameDecoder decoder;
+  Frame out;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.Append(&frame[i], 1);
+    auto ready = decoder.Next(&out);
+    ASSERT_TRUE(ready.ok());
+    EXPECT_FALSE(*ready) << "frame complete after " << (i + 1) << " bytes";
+  }
+  decoder.Append(&frame[frame.size() - 1], 1);
+  auto ready = decoder.Next(&out);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_TRUE(*ready);
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.type, MsgType::kHealth);
+}
+
+TEST(ProtocolV2, TruncatedRequestIdIsTypedError) {
+  // A v2 frame whose length leaves no room for the 8-byte request_id:
+  // every length in [2, 9] is a runt. The decoder must fail typed, not
+  // read past the header.
+  for (std::uint32_t len = 2; len < 10; ++len) {
+    std::vector<std::uint8_t> frame;
+    frame.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFF));
+    frame.push_back(kProtocolVersion2);
+    frame.push_back(static_cast<std::uint8_t>(MsgType::kHealth));
+    for (std::uint32_t i = 2; i < len; ++i) frame.push_back(0x00);
+    FrameDecoder decoder;
+    decoder.Append(frame.data(), frame.size());
+    Frame out;
+    auto ready = decoder.Next(&out);
+    ASSERT_FALSE(ready.ok()) << "len=" << len;
+    EXPECT_EQ(ready.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ProtocolV2, TruncationSweepNeverCrashesDecoder) {
+  // Fuzz-ish: every strict prefix of a v2 frame is either "need more
+  // bytes" or a typed error — never a crash, never a phantom frame.
+  SolveRequestMsg msg = SolveMsg("t", 3);
+  const auto frame = EncodeFrame(MsgType::kSolve, EncodeBody(msg),
+                                 kProtocolVersion2, 7);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Append(frame.data(), cut);
+    Frame out;
+    auto ready = decoder.Next(&out);
+    if (ready.ok()) EXPECT_FALSE(*ready) << "cut=" << cut;
   }
 }
 
@@ -734,6 +834,231 @@ TEST(NetServer, DrainFlushesResponsesBufferedBehindSlowReader) {
   stopper.join();
   ::close(fd);
   EXPECT_EQ(received, kRequests);
+}
+
+// ---- AsyncClient: pipelined protocol v2 ----------------------------------
+
+TEST(AsyncClientTest, BlockingVerbsRoundTripOverV2) {
+  TestServer ts(Workers(2), Dispatchers(2));
+  ASSERT_TRUE(ts.server.Start().ok());
+  AsyncClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port()).ok());
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->state, "ok");
+
+  auto cold = client.Solve(SolveMsg("alice", 31));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->cache_hit);
+  auto warm = client.Solve(SolveMsg("alice", 31));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->summary.fingerprint_hex, cold->summary.fingerprint_hex);
+
+  LookupRequestMsg lookup;
+  lookup.tenant = "alice";
+  lookup.problem_text = ProblemText(31);
+  auto hit = client.Lookup(lookup);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->found);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->protocol_errors, 0u);
+  ASSERT_GE(stats->loops.size(), 1u);  // per-loop roll-up present
+  ASSERT_EQ(stats->tenants.size(), 1u);
+  EXPECT_GE(stats->tenants[0].p999_latency_us,
+            stats->tenants[0].p99_latency_us);
+  EXPECT_EQ(client.InFlight(), 0u);
+}
+
+TEST(AsyncClientTest, ResponsesCompleteOutOfOrder) {
+  // Paused workers: the solve can only finish via its 400 ms deadline,
+  // while health is answered inline. On v1 the pipelined health response
+  // would conceptually queue behind nothing (it is inline), but the solve
+  // response correlation is what lets the client pair them out of order.
+  TestServer ts(Workers(0), Dispatchers(1));
+  ASSERT_TRUE(ts.server.Start().ok());
+  AsyncClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port()).ok());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> order;
+  Status solve_status = OkStatus();
+
+  SolveRequestMsg solve = SolveMsg("alice", 32);
+  solve.deadline_micros = 400000;
+  client.SolveAsync(solve, [&](Expected<SolveResponseMsg> result) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back("solve");
+    solve_status = result.ok() ? OkStatus() : result.status();
+    cv.notify_all();
+  });
+  client.HealthAsync([&](Expected<HealthResponseMsg> result) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(result.ok() ? "health" : "health-error");
+    cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return order.size() == 2; }));
+  // The health response submitted *after* the solve arrives *before* it:
+  // the parked solve did not head-of-line block the connection.
+  ASSERT_EQ(order[0], "health");
+  ASSERT_EQ(order[1], "solve");
+  EXPECT_EQ(solve_status.code(), StatusCode::kDeadlineExceeded)
+      << solve_status.ToString();
+}
+
+TEST(AsyncClientTest, WindowBoundsInFlight) {
+  TestServer ts(Workers(0), Dispatchers(1));
+  ASSERT_TRUE(ts.server.Start().ok());
+  AsyncClientOptions options;
+  options.window = 2;
+  AsyncClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port()).ok());
+
+  // Two parked solves fill the window.
+  std::atomic<int> solves_done{0};
+  for (int salt = 0; salt < 2; ++salt) {
+    SolveRequestMsg solve = SolveMsg("alice", 33 + salt);
+    solve.deadline_micros = 300000;
+    client.SolveAsync(solve, [&](Expected<SolveResponseMsg>) {
+      solves_done.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(client.InFlight(), 2u);
+
+  // A third request blocks in Submit until a window slot frees (when the
+  // parked solves expire), then completes normally.
+  std::atomic<bool> health_done{false};
+  std::thread blocked([&] {
+    auto health = client.Health();
+    EXPECT_TRUE(health.ok()) << health.status().ToString();
+    health_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(health_done.load());
+  EXPECT_EQ(client.InFlight(), 2u);
+  blocked.join();
+  EXPECT_TRUE(health_done.load());
+  EXPECT_EQ(solves_done.load(), 2);
+}
+
+TEST(AsyncClientTest, ExpiredRequestsDropTheirLateResponses) {
+  // Client-side deadline (100 ms) fires long before the server's (400 ms):
+  // the request completes kDeadlineExceeded locally, and the late server
+  // response is dropped by request_id instead of poisoning the stream.
+  TestServer ts(Workers(0), Dispatchers(1));
+  ASSERT_TRUE(ts.server.Start().ok());
+  AsyncClientOptions options;
+  options.io_timeout = ticks::FromMillis(100);
+  AsyncClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port()).ok());
+
+  SolveRequestMsg solve = SolveMsg("alice", 35);
+  solve.deadline_micros = 400000;
+  auto result = client.Solve(solve);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+
+  // Wait past the server-side expiry so its response actually arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_TRUE(client.connected());
+  auto health = client.Health();
+  EXPECT_TRUE(health.ok()) << health.status().ToString();
+}
+
+// ---- Sharded event loops -------------------------------------------------
+
+TEST(NetMultiLoop, RoundRobinSpreadsConnectionsAndStatsRollUp) {
+  ServerOptions server_options = TestServer::FastDrain();
+  server_options.loop_threads = 4;
+  TestServer ts(Workers(2), Dispatchers(2), std::move(server_options));
+  ASSERT_TRUE(ts.server.Start().ok());
+
+  // 8 connections over 4 loops: round-robin handoff puts exactly 2 on
+  // each. A completed health round-trip proves each connection was
+  // adopted by its loop (the response had to come from somewhere).
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 8; ++i) {
+    auto client = std::make_unique<Client>();
+    ASSERT_TRUE(client->Connect("127.0.0.1", ts.server.port()).ok());
+    auto health = client->Health();
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    clients.push_back(std::move(client));
+  }
+
+  const std::vector<ServerStats> per_loop = ts.server.PerLoopStats();
+  ASSERT_EQ(per_loop.size(), 4u);
+  for (std::size_t i = 0; i < per_loop.size(); ++i) {
+    EXPECT_EQ(per_loop[i].accepted, 2u) << "loop " << i;
+    EXPECT_EQ(per_loop[i].active, 2u) << "loop " << i;
+    EXPECT_GE(per_loop[i].frames_received, 2u) << "loop " << i;
+  }
+  const ServerStats total = ts.server.Stats();
+  EXPECT_EQ(total.accepted, 8u);
+  EXPECT_EQ(total.active, 8u);
+
+  // The same roll-up is visible over the wire.
+  auto stats = clients[0]->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->loops.size(), 4u);
+  std::uint64_t conns = 0;
+  for (const auto& loop : stats->loops) conns += loop.connections_active;
+  EXPECT_EQ(conns, 8u);
+  EXPECT_EQ(stats->connections_active, 8u);
+}
+
+TEST(NetMultiLoop, MixedVersionClientsInterleaveCleanly) {
+  ServerOptions server_options = TestServer::FastDrain();
+  server_options.loop_threads = 2;
+  TestServer ts(Workers(2), Dispatchers(2), std::move(server_options));
+  ASSERT_TRUE(ts.server.Start().ok());
+
+  Client v1;
+  AsyncClient v2;
+  ASSERT_TRUE(v1.Connect("127.0.0.1", ts.server.port()).ok());
+  ASSERT_TRUE(v2.Connect("127.0.0.1", ts.server.port()).ok());
+
+  auto cold = v1.Solve(SolveMsg("alice", 36));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm = v2.Solve(SolveMsg("alice", 36));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->summary.fingerprint_hex, cold->summary.fingerprint_hex);
+
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(v1.Health().ok());
+    ASSERT_TRUE(v2.Health().ok());
+  }
+  auto stats = v2.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->protocol_errors, 0u);
+  EXPECT_EQ(ts.server.Stats().protocol_errors, 0u);
+}
+
+TEST(NetMultiLoop, StopDrainsEveryLoop) {
+  ServerOptions server_options = TestServer::FastDrain();
+  server_options.loop_threads = 3;
+  TestServer ts(Workers(2), Dispatchers(2), std::move(server_options));
+  ASSERT_TRUE(ts.server.Start().ok());
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 6; ++i) {
+    auto client = std::make_unique<Client>();
+    ASSERT_TRUE(client->Connect("127.0.0.1", ts.server.port()).ok());
+    ASSERT_TRUE(client->Health().ok());
+    clients.push_back(std::move(client));
+  }
+  EXPECT_EQ(ts.server.Stats().active, 6u);
+  ts.server.Stop();
+  EXPECT_TRUE(ts.server.draining());
+  EXPECT_EQ(ts.server.Stats().active, 0u);
 }
 
 TEST(NetServer, DrainRefusesNewSolvesAndReportsDraining) {

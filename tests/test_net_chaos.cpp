@@ -10,14 +10,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "graph/graph_io.hpp"
+#include "net/async_client.hpp"
 #include "net/chaos.hpp"
 #include "net/client.hpp"
 #include "net/protocol.hpp"
@@ -541,6 +544,210 @@ TEST(NetChaos, SixtyFourSeedSoak) {
   auto stats = direct.Stats();
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_GE(stats->requests, 1u);
+}
+
+// ---- Pipelined v2 through the chaos transport ----------------------------
+
+TEST(NetChaosV2, PipelinedSolvesSurviveDribbledBytes) {
+  TestServer ts(Workers(2), Dispatchers(2));
+  ASSERT_TRUE(ts.server.Start().ok());
+  ChaosPlan plan;
+  plan.seed = 23;
+  plan.dribble_prob = 1.0;
+  plan.dribble_max_bytes = 5;
+  ChaosProxy proxy(plan, "127.0.0.1", ts.server.port());
+  ASSERT_TRUE(proxy.Start().ok());
+
+  AsyncClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", proxy.port()).ok());
+  // Seed the cache, then pipeline hits: 16 in-flight requests whose v2
+  // responses all come back dribbled a few bytes at a time.
+  auto cold = client.Solve(SolveMsg("alice", 60));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  std::atomic<int> ok_count{0};
+  std::atomic<int> done_count{0};
+  for (int i = 0; i < 16; ++i) {
+    client.SolveAsync(SolveMsg("alice", 60),
+                      [&](Expected<SolveResponseMsg> result) {
+                        if (result.ok() && result->cache_hit) {
+                          ok_count.fetch_add(1);
+                        }
+                        done_count.fetch_add(1);
+                      });
+  }
+  for (int i = 0; i < 1000 && done_count.load() < 16; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(done_count.load(), 16);
+  EXPECT_EQ(ok_count.load(), 16);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->protocol_errors, 0u);
+  proxy.Stop();
+}
+
+TEST(NetChaosV2, MidStreamResetsFailEveryInFlightRequestTyped) {
+  TestServer ts(Workers(2), Dispatchers(2));
+  ASSERT_TRUE(ts.server.Start().ok());
+  ChaosPlan plan;
+  plan.seed = 29;
+  plan.reset_prob = 1.0;  // every proxied connection dies at some phase
+  ChaosProxy proxy(plan, "127.0.0.1", ts.server.port());
+  ASSERT_TRUE(proxy.Start().ok());
+
+  // Pipeline a burst per connection; when the reset lands, every request
+  // still in flight must complete exactly once with a typed, retryable
+  // transport error — no hangs, no lost callbacks.
+  int failures = 0;
+  for (int round = 0; round < 4; ++round) {
+    AsyncClientOptions options;
+    options.io_timeout = ticks::FromMillis(500);
+    AsyncClient client(options);
+    if (!client.Connect("127.0.0.1", proxy.port()).ok()) continue;
+
+    constexpr int kBurst = 8;
+    std::atomic<int> done_count{0};
+    std::vector<Status> outcomes(kBurst);
+    std::mutex outcomes_mu;
+    for (int i = 0; i < kBurst; ++i) {
+      client.SolveAsync(SolveMsg("alice", 61),
+                        [&, i](Expected<SolveResponseMsg> result) {
+                          std::lock_guard<std::mutex> lock(outcomes_mu);
+                          outcomes[static_cast<std::size_t>(i)] =
+                              result.ok() ? OkStatus() : result.status();
+                          done_count.fetch_add(1);
+                        });
+    }
+    for (int i = 0; i < 1000 && done_count.load() < kBurst; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_EQ(done_count.load(), kBurst) << "round " << round;
+    std::lock_guard<std::mutex> lock(outcomes_mu);
+    for (const Status& st : outcomes) {
+      if (st.ok()) continue;
+      ++failures;
+      EXPECT_TRUE(ResilientClient::IsRetryable(st)) << st.ToString();
+    }
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_GT(proxy.Stats().resets, 0u);
+  proxy.Stop();
+
+  // The server survived: clean direct v2 round-trip.
+  AsyncClient direct;
+  ASSERT_TRUE(direct.Connect("127.0.0.1", ts.server.port()).ok());
+  auto health = direct.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+}
+
+TEST(NetChaosV2, FlippedBytesAreTypedOutcomesOnThePipelinedClient) {
+  TestServer ts(Workers(2), Dispatchers(2));
+  ASSERT_TRUE(ts.server.Start().ok());
+  ChaosPlan plan;
+  plan.seed = 31;
+  plan.flip_prob = 1.0;
+  plan.max_flips = 3;
+  plan.flip_window = 64;
+  ChaosProxy proxy(plan, "127.0.0.1", ts.server.port());
+  ASSERT_TRUE(proxy.Start().ok());
+
+  // A flip in a response header desynchronizes the whole pipelined
+  // stream: the decoder fails typed and every in-flight request completes
+  // with that failure (kInvalidArgument), not a hang. A flip in a payload
+  // byte may still decode — both are legal, crashes are not.
+  int outcomes = 0;
+  for (int i = 0; i < 8; ++i) {
+    AsyncClientOptions options;
+    options.io_timeout = ticks::FromSeconds(5);
+    AsyncClient client(options);
+    if (!client.Connect("127.0.0.1", proxy.port()).ok()) continue;
+    auto solve = client.Solve(SolveMsg("alice", 62));
+    ++outcomes;  // returned exactly once, ok or typed
+    if (!solve.ok()) {
+      EXPECT_NE(solve.status().code(), StatusCode::kOk);
+    }
+  }
+  EXPECT_GT(outcomes, 0);
+  EXPECT_GT(proxy.Stats().flipped_bytes, 0u);
+  proxy.Stop();
+
+  Client direct;
+  ASSERT_TRUE(direct.Connect("127.0.0.1", ts.server.port()).ok());
+  auto health = direct.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+}
+
+// ---- Mixed-version soak --------------------------------------------------
+
+// One server, one v1 client thread and one pipelined v2 client thread
+// hammering it concurrently. Version latching is per connection, so the
+// streams must never interfere: zero protocol errors, every request a
+// typed outcome.
+TEST(NetChaosV2, MixedVersionSoakAgainstOneServer) {
+  TestServer ts(Workers(2), Dispatchers(2));
+  ASSERT_TRUE(ts.server.Start().ok());
+
+  constexpr int kRounds = 100;
+  // Seed the cache so the pipelined burst is hits: an unseeded burst of 64
+  // identical cold problems would (correctly) overflow the tenant queue
+  // with typed kWouldBlock backpressure, which is not what this test is
+  // about.
+  {
+    Client seeder;
+    ASSERT_TRUE(seeder.Connect("127.0.0.1", ts.server.port()).ok());
+    for (int salt = 70; salt < 73; ++salt) {
+      ASSERT_TRUE(seeder.Solve(SolveMsg("soak", salt)).ok());
+    }
+  }
+
+  std::atomic<int> v1_failures{0};
+  std::thread v1_thread([&] {
+    Client client;
+    if (!client.Connect("127.0.0.1", ts.server.port()).ok()) {
+      v1_failures.fetch_add(kRounds);
+      return;
+    }
+    for (int i = 0; i < kRounds; ++i) {
+      auto solve = client.Solve(SolveMsg("soak", 70 + (i % 3)));
+      if (!solve.ok()) v1_failures.fetch_add(1);
+      if (i % 10 == 0 && !client.Health().ok()) v1_failures.fetch_add(1);
+    }
+  });
+
+  std::atomic<int> v2_failures{0};
+  std::thread v2_thread([&] {
+    AsyncClient client;
+    if (!client.Connect("127.0.0.1", ts.server.port()).ok()) {
+      v2_failures.fetch_add(kRounds);
+      return;
+    }
+    std::atomic<int> done_count{0};
+    for (int i = 0; i < kRounds; ++i) {
+      client.SolveAsync(SolveMsg("soak", 70 + (i % 3)),
+                        [&](Expected<SolveResponseMsg> result) {
+                          if (!result.ok()) v2_failures.fetch_add(1);
+                          done_count.fetch_add(1);
+                        });
+    }
+    for (int i = 0; i < 2000 && done_count.load() < kRounds; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (done_count.load() < kRounds) v2_failures.fetch_add(1000);
+  });
+
+  v1_thread.join();
+  v2_thread.join();
+  EXPECT_EQ(v1_failures.load(), 0);
+  EXPECT_EQ(v2_failures.load(), 0);
+
+  Client direct;
+  ASSERT_TRUE(direct.Connect("127.0.0.1", ts.server.port()).ok());
+  auto stats = direct.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->protocol_errors, 0u);
+  EXPECT_GE(stats->frames_received, static_cast<std::uint64_t>(2 * kRounds));
 }
 
 }  // namespace

@@ -98,7 +98,9 @@ int Usage(const char* argv0) {
       "                 excess solves are shed with kOverloaded\n"
       "                 (default 256, 0 = unbounded)\n"
       "  --max-inflight N  per-connection pipelined-solve cap, shed with\n"
-      "                 kOverloaded past it (default 64, 0 = unbounded)\n",
+      "                 kOverloaded past it (default 64, 0 = unbounded)\n"
+      "  --loop-threads N  sharded epoll event loops; connections are\n"
+      "                 spread round-robin across them (default 1)\n",
       argv0, argv0);
   return 2;
 }
@@ -322,7 +324,7 @@ int ServeCommand(const std::string& host, int port,
                  const std::string& tenants_file, int max_tenants,
                  int workers, int solver_threads,
                  const std::string& snapshot_path, int max_pending_solves,
-                 int max_inflight) {
+                 int max_inflight, int loop_threads) {
   service::ServiceOptions sopts;
   sopts.workers =
       workers > 0 ? workers
@@ -362,6 +364,7 @@ int ServeCommand(const std::string& host, int port,
   nopts.port = port;
   nopts.max_pending_solves = static_cast<std::size_t>(max_pending_solves);
   nopts.max_inflight_per_conn = max_inflight;
+  nopts.loop_threads = loop_threads;
   net::Server server(nopts, &service, &tenants);
   Status started = server.Start();
   if (!started.ok()) {
@@ -458,6 +461,7 @@ int main(int argc, char** argv) {
   int workers = 0;
   int max_pending_solves = 256;
   int max_inflight = 64;
+  int loop_threads = 1;
   double gantt_ms = 0;
   std::string throughput_bound;
   std::string listen = "127.0.0.1:7077";
@@ -530,6 +534,13 @@ int main(int argc, char** argv) {
                      "(0 = unbounded)\n");
         return Usage(argv[0]);
       }
+    } else if (arg == "--loop-threads") {
+      if (!ParseIntArg("--loop-threads", next(), &loop_threads) ||
+          loop_threads < 1) {
+        std::fprintf(stderr,
+                     "error: --loop-threads expects a positive count\n");
+        return Usage(argv[0]);
+      }
     } else if (arg == "--snapshot") {
       const char* v = next();
       if (v == nullptr || *v == '\0') {
@@ -597,7 +608,7 @@ int main(int argc, char** argv) {
     if (!ParseListenAddr(listen, &host, &port)) return Usage(argv[0]);
     return ServeCommand(host, port, tenants_file, max_tenants, workers,
                         solver_threads, snapshot_path, max_pending_solves,
-                        max_inflight);
+                        max_inflight, loop_threads);
   }
   if (!demo && path.empty()) return Usage(argv[0]);
   const std::size_t frames = static_cast<std::size_t>(frames_arg);
